@@ -1,0 +1,50 @@
+//! Criterion bench: cycle-detection (back-path) cost as the program grows.
+//!
+//! Generates straight-line SPMD programs with `n` conflicting shared
+//! accesses and measures Shasha–Snir delay-set construction — the
+//! quadratic-ish core the SPMD two-copy reduction keeps tractable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::fmt::Write;
+use syncopt_core::shasha_snir;
+use syncopt_frontend::prepare_program;
+use syncopt_ir::lower::lower_main;
+
+fn program_with_accesses(n: usize) -> String {
+    let vars = 8;
+    let mut s = String::new();
+    for v in 0..vars {
+        writeln!(s, "shared int V{v};").unwrap();
+    }
+    writeln!(s, "fn main() {{").unwrap();
+    writeln!(s, "    int t;").unwrap();
+    for i in 0..n {
+        if i % 2 == 0 {
+            writeln!(s, "    V{} = {};", i % vars, i).unwrap();
+        } else {
+            writeln!(s, "    t = V{};", i % vars).unwrap();
+        }
+    }
+    writeln!(s, "}}").unwrap();
+    s
+}
+
+fn bench_cycle_detection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shasha_snir");
+    for n in [16usize, 32, 64, 128] {
+        let src = program_with_accesses(n);
+        let cfg = lower_main(&prepare_program(&src).unwrap()).unwrap();
+        assert_eq!(cfg.accesses.len(), n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &cfg, |b, cfg| {
+            b.iter(|| shasha_snir(std::hint::black_box(cfg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_cycle_detection
+);
+criterion_main!(benches);

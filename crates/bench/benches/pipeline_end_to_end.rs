@@ -1,0 +1,36 @@
+//! Criterion bench: the whole compiler pipeline (parse → check → inline →
+//! lower → analyze → optimize) per kernel — the cost a source-to-source
+//! translator like the paper's prototype pays per compilation unit.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use syncopt::{compile, DelayChoice, OptLevel};
+use syncopt_kernels::all_kernels;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile_full");
+    for kernel in all_kernels(16) {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kernel.name),
+            &kernel.source,
+            |b, src| {
+                b.iter(|| {
+                    compile(
+                        std::hint::black_box(src),
+                        16,
+                        OptLevel::Full,
+                        DelayChoice::SyncRefined,
+                    )
+                    .expect("compiles")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_pipeline
+);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench: discrete-event simulator throughput — EM3D at three
+//! machine sizes, reporting wall time per simulated run (the event count
+//! grows with processors × steps × remote accesses).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use syncopt_frontend::prepare_program;
+use syncopt_ir::lower::lower_main;
+use syncopt_kernels::{em3d, KernelParams};
+use syncopt_machine::{simulate, MachineConfig};
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_em3d");
+    for procs in [8u32, 16, 32] {
+        let kernel = em3d::generate(&KernelParams::evaluation(procs));
+        let cfg = lower_main(&prepare_program(&kernel.source).unwrap()).unwrap();
+        let config = MachineConfig::cm5(procs);
+        group.bench_with_input(BenchmarkId::from_parameter(procs), &cfg, |b, cfg| {
+            b.iter(|| simulate(std::hint::black_box(cfg), &config).expect("simulates"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_simulator
+);
+criterion_main!(benches);

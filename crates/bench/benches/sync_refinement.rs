@@ -1,0 +1,33 @@
+//! Criterion bench: cost of the full §5 synchronization-aware refinement
+//! on each evaluation kernel (dominators, D1, precedence fixpoint,
+//! orientation, lock guards, final back-path pass).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use syncopt_core::{analyze_sync, SyncOptions};
+use syncopt_frontend::prepare_program;
+use syncopt_ir::lower::lower_main;
+use syncopt_kernels::all_kernels;
+
+fn bench_refinement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analyze_sync");
+    for kernel in all_kernels(16) {
+        let cfg = lower_main(&prepare_program(&kernel.source).unwrap()).unwrap();
+        let opts = SyncOptions {
+            procs: Some(16),
+            ..SyncOptions::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kernel.name),
+            &cfg,
+            |b, cfg| b.iter(|| analyze_sync(std::hint::black_box(cfg), &opts)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_refinement
+);
+criterion_main!(benches);

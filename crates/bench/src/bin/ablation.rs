@@ -1,0 +1,95 @@
+//! Ablation study: what each analysis/optimization ingredient buys, per
+//! kernel. Rows toggle one ingredient at a time:
+//!
+//! * `D_SS`                — pipelining constrained by Shasha–Snir delays
+//! * `+sync analysis`      — refined delays (§5), barriers static-proved
+//! * `  -barrier info`     — refined, but barrier analysis disabled
+//! * `  -post/wait+locks`  — barriers only (no flags/locks: we emulate by
+//!   disabling nothing else; shown via delay size)
+//! * `+one-way`            — put→store conversion at barriers
+//! * `+elimination`        — redundant-get / forwarding / write-back
+//!
+//! The delay-set column shows *why* the time moves: fewer delays ⇒ more
+//! motion freedom.
+
+use syncopt_bench::row;
+use syncopt_core::{analyze_with, BarrierPolicy, SyncOptions};
+use syncopt_codegen::{optimize, DelayChoice, OptLevel};
+use syncopt_frontend::prepare_program;
+use syncopt_ir::lower::lower_main;
+use syncopt_kernels::all_kernels;
+use syncopt_machine::{simulate, MachineConfig};
+
+fn main() {
+    let procs = 16;
+    let config = MachineConfig::cm5(procs);
+    println!("Ablation: per-ingredient contribution ({procs}-processor CM-5)\n");
+    let widths = [10, 22, 9, 8, 9, 9];
+    println!(
+        "{}",
+        row(
+            &[
+                "kernel".into(),
+                "configuration".into(),
+                "cycles".into(),
+                "norm".into(),
+                "|D|".into(),
+                "stores".into(),
+            ],
+            &widths
+        )
+    );
+
+    for kernel in all_kernels(procs) {
+        let cfg = lower_main(&prepare_program(&kernel.source).expect("parse")).expect("lower");
+        let analysis_full = analyze_with(
+            &cfg,
+            &SyncOptions {
+                barrier_policy: BarrierPolicy::Static,
+                procs: Some(procs),
+            },
+        );
+        let analysis_nobarrier = analyze_with(
+            &cfg,
+            &SyncOptions {
+                barrier_policy: BarrierPolicy::Disabled,
+                procs: Some(procs),
+            },
+        );
+
+        let rows: Vec<(&str, &syncopt_core::Analysis, OptLevel, DelayChoice)> = vec![
+            ("D_SS only", &analysis_full, OptLevel::Pipelined, DelayChoice::ShashaSnir),
+            ("+sync analysis", &analysis_full, OptLevel::Pipelined, DelayChoice::SyncRefined),
+            ("  -barrier info", &analysis_nobarrier, OptLevel::Pipelined, DelayChoice::SyncRefined),
+            ("+one-way", &analysis_full, OptLevel::OneWay, DelayChoice::SyncRefined),
+            ("+elimination", &analysis_full, OptLevel::Full, DelayChoice::SyncRefined),
+        ];
+
+        let mut base = None;
+        for (name, analysis, level, choice) in rows {
+            let opt = optimize(&cfg, analysis, level, choice);
+            let sim = simulate(&opt.cfg, &config)
+                .unwrap_or_else(|e| panic!("{} [{}]: {e}", kernel.name, name));
+            let b = *base.get_or_insert(sim.exec_cycles);
+            let delays = match choice {
+                DelayChoice::ShashaSnir => analysis.delay_ss.len(),
+                DelayChoice::SyncRefined => analysis.delay_sync.len(),
+            };
+            println!(
+                "{}",
+                row(
+                    &[
+                        kernel.name.into(),
+                        name.into(),
+                        sim.exec_cycles.to_string(),
+                        format!("{:.3}", sim.exec_cycles as f64 / b as f64),
+                        delays.to_string(),
+                        sim.net.store_requests.to_string(),
+                    ],
+                    &widths
+                )
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,63 @@
+//! Weak-memory backend harness: memory fences required per kernel when
+//! compiling for a weakly-ordered shared-memory machine (the §9 use of the
+//! analysis), under the Shasha–Snir delay set vs the refined one.
+
+use syncopt_bench::row;
+use syncopt_codegen::fences::{plan_covers, plan_fences};
+use syncopt_core::analyze_for;
+use syncopt_frontend::prepare_program;
+use syncopt_ir::lower::lower_main;
+use syncopt_kernels::all_kernels;
+
+fn main() {
+    let procs = 64;
+    println!("Fence insertion for a weakly-ordered shared-memory machine");
+    println!("({procs} processors; fences = full write-buffer drains per loop body)\n");
+    let widths = [10, 12, 14, 12, 14, 12];
+    println!(
+        "{}",
+        row(
+            &[
+                "kernel".into(),
+                "fences(SS)".into(),
+                "sync-free(SS)".into(),
+                "fences(D)".into(),
+                "sync-free(D)".into(),
+                "reduction".into(),
+            ],
+            &widths
+        )
+    );
+    for kernel in all_kernels(procs) {
+        let cfg = lower_main(&prepare_program(&kernel.source).expect("parse")).expect("lower");
+        let a = analyze_for(&cfg, procs);
+        let pss = plan_fences(&cfg, &a.delay_ss);
+        let pref = plan_fences(&cfg, &a.delay_sync);
+        assert!(plan_covers(&cfg, &a.delay_ss, &pss));
+        assert!(plan_covers(&cfg, &a.delay_sync, &pref));
+        let reduction = if !pss.is_empty() {
+            format!(
+                "{:.0}%",
+                100.0 * (pss.len() - pref.len()) as f64 / pss.len() as f64
+            )
+        } else {
+            "-".to_string()
+        };
+        println!(
+            "{}",
+            row(
+                &[
+                    kernel.name.into(),
+                    pss.len().to_string(),
+                    pss.covered_by_sync.to_string(),
+                    pref.len().to_string(),
+                    pref.covered_by_sync.to_string(),
+                    reduction,
+                ],
+                &widths
+            )
+        );
+    }
+    println!("\nsync-free = delay pairs already ordered by a blocking sync op");
+    println!("(waits, barriers, locks fence implicitly).");
+}

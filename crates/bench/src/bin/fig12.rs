@@ -1,0 +1,67 @@
+//! Regenerates **Figure 12** of the paper: execution times of the five
+//! application kernels on a 64-processor CM-5, normalized so the code
+//! generated *without* synchronization analysis (Shasha–Snir delays only)
+//! is 1.0. The paper reports 20–35% improvements from message pipelining
+//! plus one-way communication.
+//!
+//! Also prints the message-count breakdown per configuration, quantifying
+//! the acknowledgement traffic that one-way conversion eliminates (§2).
+
+use syncopt_bench::{bar, row, run_kernel, FIGURE12_LEVELS};
+use syncopt_kernels::all_kernels;
+use syncopt_machine::MachineConfig;
+
+fn main() {
+    let procs = 64;
+    let config = MachineConfig::cm5(procs);
+    println!(
+        "Figure 12: normalized execution time, {} processors, {}",
+        procs, config.name
+    );
+    println!("(bars: unoptimized = 1.0; paper reports 0.65-0.80 for the optimized code)\n");
+
+    let widths = [10, 13, 10, 7, 9, 9, 8];
+    println!(
+        "{}",
+        row(
+            &[
+                "kernel".into(),
+                "config".into(),
+                "cycles".into(),
+                "norm".into(),
+                "msgs".into(),
+                "acks".into(),
+                "stores".into(),
+            ],
+            &widths
+        )
+    );
+
+    for kernel in all_kernels(procs) {
+        let mut base = None;
+        for (name, level, choice) in FIGURE12_LEVELS {
+            let r = run_kernel(&kernel, &config, level, choice)
+                .unwrap_or_else(|e| panic!("{} at {name}: {e}", kernel.name));
+            let base_cycles = *base.get_or_insert(r.exec_cycles);
+            let norm = r.exec_cycles as f64 / base_cycles as f64;
+            println!(
+                "{}  |{}",
+                row(
+                    &[
+                        kernel.name.into(),
+                        name.into(),
+                        r.exec_cycles.to_string(),
+                        format!("{norm:.3}"),
+                        r.net.total_messages().to_string(),
+                        r.net.put_acks.to_string(),
+                        r.net.store_requests.to_string(),
+                    ],
+                    &widths
+                ),
+                bar(norm, 40)
+            );
+        }
+        println!();
+    }
+    println!("norm < 1.0 means faster than the Shasha-Snir-only baseline.");
+}

@@ -1,0 +1,66 @@
+//! Cross-machine comparison — the paper's closing claim: "The relative
+//! speedups should be even higher on machines with lower communication
+//! startup costs or longer relative latencies" (§8).
+//!
+//! Runs every kernel on all three Table 1 machines at both ends of the
+//! optimization spectrum and reports the relative improvement, plus the
+//! latency each machine can hide per split-phase operation.
+
+use syncopt_bench::{row, run_kernel};
+use syncopt_codegen::{DelayChoice, OptLevel};
+use syncopt_kernels::all_kernels;
+use syncopt_machine::MachineConfig;
+
+fn main() {
+    let procs = 16;
+    println!("Optimization payoff per machine ({procs} processors)\n");
+    let widths = [10, 8, 12, 12, 9, 13];
+    println!(
+        "{}",
+        row(
+            &[
+                "kernel".into(),
+                "machine".into(),
+                "unopt".into(),
+                "optimized".into(),
+                "gain".into(),
+                "lat/startup".into(),
+            ],
+            &widths
+        )
+    );
+    for kernel in all_kernels(procs) {
+        for config in MachineConfig::table1(procs) {
+            let unopt = run_kernel(
+                &kernel,
+                &config,
+                OptLevel::Pipelined,
+                DelayChoice::ShashaSnir,
+            )
+            .unwrap_or_else(|e| panic!("{} on {}: {e}", kernel.name, config.name));
+            let opt = run_kernel(&kernel, &config, OptLevel::OneWay, DelayChoice::SyncRefined)
+                .unwrap();
+            let gain = 100.0 * (unopt.exec_cycles - opt.exec_cycles) as f64
+                / unopt.exec_cycles as f64;
+            let ratio =
+                config.network_latency as f64 * 2.0 / config.send_overhead.max(1) as f64;
+            println!(
+                "{}",
+                row(
+                    &[
+                        kernel.name.into(),
+                        config.name.clone(),
+                        unopt.exec_cycles.to_string(),
+                        opt.exec_cycles.to_string(),
+                        format!("{gain:.1}%"),
+                        format!("{ratio:.1}"),
+                    ],
+                    &widths
+                )
+            );
+        }
+        println!();
+    }
+    println!("lat/startup = round-trip network latency / send overhead: the");
+    println!("larger it is, the more latency one overlapped operation hides.");
+}

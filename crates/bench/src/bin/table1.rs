@@ -1,0 +1,67 @@
+//! Regenerates **Table 1** of the paper: access latencies for local and
+//! remote memory modules, in machine cycles.
+//!
+//! The configured column comes from the machine presets; the measured
+//! column runs a two-processor micro-benchmark on the simulator (one
+//! blocking read of a remote/local scalar) and reports the observed cost,
+//! demonstrating that the simulator realizes the configured latencies.
+
+use syncopt::{DelayChoice, OptLevel};
+use syncopt_bench::row;
+use syncopt_machine::MachineConfig;
+
+fn measure(config: &MachineConfig, remote: bool) -> u64 {
+    // X is homed on processor 0; processor 1 reads it remotely, processor
+    // 0 locally. `work(0)` keeps the other processor busy-free.
+    let src = if remote {
+        "shared int X; fn main() { if (MYPROC == 1) { int v; v = X; } }"
+    } else {
+        "shared int X; fn main() { if (MYPROC == 0) { int v; v = X; } }"
+    };
+    let r = syncopt::run(
+        src,
+        config,
+        OptLevel::Blocking,
+        DelayChoice::SyncRefined,
+    )
+    .expect("micro-benchmark must run");
+    let p = if remote { 1 } else { 0 };
+    // Subtract the branch-evaluation cost to isolate the access.
+    r.sim.proc_cycles[p] - config.local_op_cycles
+}
+
+fn main() {
+    println!("Table 1: access latencies for local and remote memory modules");
+    println!("(machine cycles; paper values: CM-5 400/30, T3D 85/23, DASH 110/26)\n");
+    let widths = [8, 18, 18, 16, 16];
+    println!(
+        "{}",
+        row(
+            &[
+                "machine".into(),
+                "remote (config)".into(),
+                "remote (meas.)".into(),
+                "local (config)".into(),
+                "local (meas.)".into(),
+            ],
+            &widths
+        )
+    );
+    for config in MachineConfig::table1(2) {
+        let remote = measure(&config, true);
+        let local = measure(&config, false);
+        println!(
+            "{}",
+            row(
+                &[
+                    config.name.clone(),
+                    config.remote_round_trip().to_string(),
+                    remote.to_string(),
+                    config.local_access_cycles.to_string(),
+                    local.to_string(),
+                ],
+                &widths
+            )
+        );
+    }
+}

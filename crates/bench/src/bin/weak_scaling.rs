@@ -1,0 +1,58 @@
+//! Weak-scaling sweep (ours, complementing Figure 13's strong scaling):
+//! per-processor work held constant while the machine grows, so ideal
+//! scaling is *flat* execution time. The transpose's all-to-all traffic
+//! still grows with `P`, which is exactly what pipelining and one-way
+//! conversion absorb.
+
+use syncopt_bench::{row, run_kernel, FIGURE12_LEVELS};
+use syncopt_kernels::{epithel, KernelParams};
+use syncopt_machine::MachineConfig;
+
+fn main() {
+    let proc_counts = [2u32, 4, 8, 16, 32];
+    println!("Weak scaling: Epithel, constant work per processor (CM-5)\n");
+    let widths = [6, 14, 14, 14, 14];
+    println!(
+        "{}",
+        row(
+            &[
+                "procs".into(),
+                "unopt".into(),
+                "pipelined".into(),
+                "one-way".into(),
+                "1-way/unopt".into(),
+            ],
+            &widths
+        )
+    );
+    for procs in proc_counts {
+        let kernel = epithel::generate(&KernelParams {
+            procs,
+            elements_per_proc: 16,
+            steps: 4,
+            work_per_element: 4,
+        });
+        let config = MachineConfig::cm5(procs);
+        let mut cycles = [0u64; 3];
+        for (i, (name, level, choice)) in FIGURE12_LEVELS.iter().enumerate() {
+            cycles[i] = run_kernel(&kernel, &config, *level, *choice)
+                .unwrap_or_else(|e| panic!("{procs} procs at {name}: {e}"))
+                .exec_cycles;
+        }
+        println!(
+            "{}",
+            row(
+                &[
+                    procs.to_string(),
+                    cycles[0].to_string(),
+                    cycles[1].to_string(),
+                    cycles[2].to_string(),
+                    format!("{:.3}", cycles[2] as f64 / cycles[0] as f64),
+                ],
+                &widths
+            )
+        );
+    }
+    println!("\nFlat columns = perfect weak scaling; the optimized versions stay");
+    println!("much closer to flat as the all-to-all volume grows with P.");
+}

@@ -1,0 +1,167 @@
+//! Post-elimination cleanup: dead local assignments and **dead
+//! communication**.
+//!
+//! The elimination passes (§7) leave residue: a forwarded or reused get
+//! becomes a local copy whose value may never be read, and lowering's
+//! compiler temporaries can end up unused. Beyond tidiness, the
+//! interesting case is a split `get` whose destination is dead — that is a
+//! whole remote round trip with no observer, so the initiation *and* every
+//! sync copy of its counter disappear (reads have no side effects, and a
+//! counter with no outstanding operations makes its `sync_ctr`s no-ops).
+
+use crate::OptStats;
+use std::collections::HashSet;
+use syncopt_ir::cfg::{Cfg, CtrId, Instr};
+use syncopt_ir::liveness::{is_dead_assignment, Liveness};
+
+/// Counter for removed dead instructions (reported via [`OptStats`]).
+pub fn remove_dead_code(cfg: &mut Cfg, stats: &mut OptStats) {
+    // Constant folding first: it exposes dead values (e.g. `v * 0`).
+    stats.exprs_folded += syncopt_ir::fold::fold_cfg(cfg);
+    let mut changed = true;
+    while changed {
+        changed = false;
+        let live = Liveness::compute(cfg);
+
+        // Pass 1: dead local assignments.
+        for b in cfg.block_ids().collect::<Vec<_>>() {
+            let mut idx = 0;
+            while idx < cfg.block(b).instrs.len() {
+                if is_dead_assignment(cfg, &live, b, idx) {
+                    cfg.block_mut(b).instrs.remove(idx);
+                    stats.dead_locals_removed += 1;
+                    changed = true;
+                } else {
+                    idx += 1;
+                }
+            }
+        }
+
+        // Pass 2: dead gets (destination never read).
+        let live = Liveness::compute(cfg);
+        let mut dead_ctrs: HashSet<CtrId> = HashSet::new();
+        for b in cfg.block_ids().collect::<Vec<_>>() {
+            let mut idx = 0;
+            while idx < cfg.block(b).instrs.len() {
+                let kill = match &cfg.block(b).instrs[idx] {
+                    Instr::GetInit { dst, ctr, .. }
+                        if !live.live_after(cfg, b, idx, *dst) => {
+                            dead_ctrs.insert(*ctr);
+                            true
+                        }
+                    Instr::GetShared { dst, .. } => !live.live_after(cfg, b, idx, *dst),
+                    _ => false,
+                };
+                if kill {
+                    cfg.block_mut(b).instrs.remove(idx);
+                    stats.dead_gets_removed += 1;
+                    changed = true;
+                } else {
+                    idx += 1;
+                }
+            }
+        }
+        // Drop the syncs of fully-dead counters.
+        if !dead_ctrs.is_empty() {
+            for b in cfg.block_ids().collect::<Vec<_>>() {
+                cfg.block_mut(b)
+                    .instrs
+                    .retain(|i| !matches!(i, Instr::SyncCtr { ctr } if dead_ctrs.contains(ctr)));
+            }
+        }
+    }
+    cfg.recompute_access_positions();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elim::{eliminate_redundant_gets, forward_put_values};
+    use crate::split::split_phase;
+    use syncopt_core::analyze_for;
+    use syncopt_frontend::prepare_program;
+    use syncopt_ir::lower::lower_main;
+
+    fn run(src: &str) -> (Cfg, OptStats) {
+        let cfg0 = lower_main(&prepare_program(src).unwrap()).unwrap();
+        let analysis = analyze_for(&cfg0, 4);
+        let mut cfg = cfg0.clone();
+        let mut stats = OptStats::default();
+        let _map = split_phase(&mut cfg, &mut stats);
+        eliminate_redundant_gets(&mut cfg, &analysis.delay_sync, &analysis, &mut stats);
+        forward_put_values(&mut cfg, &analysis.delay_sync, &mut stats);
+        remove_dead_code(&mut cfg, &mut stats);
+        (cfg, stats)
+    }
+
+    fn count(cfg: &Cfg, pred: impl Fn(&Instr) -> bool) -> usize {
+        cfg.blocks
+            .iter()
+            .flat_map(|b| b.instrs.iter())
+            .filter(|i| pred(i))
+            .count()
+    }
+
+    #[test]
+    fn dead_local_chain_is_removed() {
+        let (cfg, stats) = run(
+            "fn main() { int a; int b; a = 3; b = a + 1; work(7); }",
+        );
+        assert!(stats.dead_locals_removed >= 2, "{stats:?}");
+        assert_eq!(
+            count(&cfg, |i| matches!(i, Instr::AssignLocal { .. })),
+            0
+        );
+    }
+
+    #[test]
+    fn unused_remote_get_disappears_entirely() {
+        // The value is fetched and never used: no message should remain.
+        let (cfg, stats) = run(
+            "shared int A[64]; flag F; fn main() { wait F; int v; v = A[MYPROC + 1]; work(5); }",
+        );
+        assert_eq!(stats.dead_gets_removed, 1, "{stats:?}");
+        assert_eq!(count(&cfg, |i| matches!(i, Instr::GetInit { .. })), 0);
+        assert_eq!(count(&cfg, |i| matches!(i, Instr::SyncCtr { .. })), 0);
+    }
+
+    #[test]
+    fn used_gets_survive() {
+        let (cfg, stats) = run(
+            "shared int A[64]; flag F; fn main() { wait F; int v; v = A[MYPROC + 1]; work(v); }",
+        );
+        assert_eq!(stats.dead_gets_removed, 0, "{stats:?}");
+        assert_eq!(count(&cfg, |i| matches!(i, Instr::GetInit { .. })), 1);
+        assert_eq!(count(&cfg, |i| matches!(i, Instr::SyncCtr { .. })), 1);
+    }
+
+    #[test]
+    fn forwarding_residue_is_cleaned() {
+        // After forwarding, the local copy feeding nothing is removed and
+        // so is the copy chain behind it.
+        let (cfg, stats) = run(
+            r#"
+            shared int A[64];
+            fn main() {
+                int v;
+                A[MYPROC] = 5;
+                v = A[MYPROC];
+            }
+            "#,
+        );
+        // v = A[MYPROC] forwarded to v = 5, then removed as dead.
+        assert_eq!(stats.gets_eliminated, 1);
+        assert!(stats.dead_locals_removed >= 1, "{stats:?}");
+        assert_eq!(count(&cfg, |i| matches!(i, Instr::GetInit { .. })), 0);
+        // The put survives (it is observable).
+        assert_eq!(count(&cfg, |i| matches!(i, Instr::PutInit { .. })), 1);
+    }
+
+    #[test]
+    fn puts_are_never_touched_by_dce() {
+        let (cfg, _) = run(
+            "shared int A[64]; fn main() { A[MYPROC + 1] = 9; }",
+        );
+        assert_eq!(count(&cfg, |i| matches!(i, Instr::PutInit { .. })), 1);
+    }
+}

@@ -1,0 +1,842 @@
+//! Remote-access elimination (§7, Figures 9–11).
+//!
+//! Three transformations, all justified by the *absence of a delay edge*
+//! between the pair of accesses (no back-path ⇒ reordering them is
+//! unobservable ⇒ collapsing them is sequentially consistent):
+//!
+//! * **redundant-get reuse** — a second `get` of the same location becomes
+//!   a local copy of the first `get`'s destination (like keeping the value
+//!   in a register);
+//! * **write-back elimination** — an earlier `put` overwritten by a later
+//!   `put` to the same location is dropped (like a write-back cache);
+//! * **value forwarding** — a `get` of a location this processor just
+//!   `put` becomes a local re-evaluation of the written value ("reading a
+//!   remote variable that has recently been written can be avoided if the
+//!   written value is still available", §7 / Figure 11).
+//!
+//! Both run on the freshly split CFG (initiation and `sync_ctr` still
+//! adjacent) and work within basic blocks; the value-correctness conditions
+//! additionally require that no same-processor operation touches the
+//! location in between and that the operands involved are not redefined.
+
+use crate::OptStats;
+use syncopt_core::affine::{may_equal_same_proc, provably_equal_same_proc};
+use syncopt_core::{Analysis, DelaySet};
+use syncopt_ir::cfg::{Cfg, Instr};
+use syncopt_ir::expr::{Expr, SharedRef};
+use syncopt_ir::ids::{BlockId, VarId};
+
+/// Replaces redundant `get`s with local copies.
+pub fn eliminate_redundant_gets(
+    cfg: &mut Cfg,
+    delay: &DelaySet,
+    _analysis: &Analysis,
+    stats: &mut OptStats,
+) {
+    for b in cfg.block_ids().collect::<Vec<_>>() {
+        let mut j = 0;
+        while j < cfg.block(b).instrs.len() {
+            let Instr::GetInit {
+                access: g2_access,
+                dst: dst2,
+                src: ref2,
+                ctr: ctr2,
+            } = cfg.block(b).instrs[j].clone()
+            else {
+                j += 1;
+                continue;
+            };
+            // Scan backward for a matching earlier get.
+            let mut found: Option<(usize, VarId)> = None;
+            for i in (0..j).rev() {
+                let Instr::GetInit {
+                    access: g1_access,
+                    dst: dst1,
+                    src: ref1,
+                    ..
+                } = cfg.block(b).instrs[i].clone()
+                else {
+                    continue;
+                };
+                if ref1.var != ref2.var
+                    || !provably_equal_same_proc(ref1.index.as_ref(), ref2.index.as_ref())
+                {
+                    continue;
+                }
+                // No delay edge between the two gets (§7's condition).
+                if delay.contains(g1_access, g2_access) {
+                    break;
+                }
+                if reuse_invalidated(cfg, b, i, j, &ref1, dst1) {
+                    break;
+                }
+                found = Some((i, dst1));
+                break;
+            }
+            if let Some((_, dst1)) = found {
+                // Replace the get with a local copy and drop its adjacent
+                // sync (split-phase layout guarantees adjacency here).
+                cfg.block_mut(b).instrs[j] = Instr::AssignLocal {
+                    dst: dst2,
+                    value: Expr::Local(dst1),
+                };
+                if matches!(
+                    cfg.block(b).instrs.get(j + 1),
+                    Some(Instr::SyncCtr { ctr }) if *ctr == ctr2
+                ) {
+                    cfg.block_mut(b).instrs.remove(j + 1);
+                }
+                stats.gets_eliminated += 1;
+            }
+            j += 1;
+        }
+    }
+    cfg.recompute_access_positions();
+}
+
+/// Is the value produced by the get at `i` stale or unavailable by the
+/// point `j` (same block)?
+fn reuse_invalidated(
+    cfg: &Cfg,
+    b: BlockId,
+    i: usize,
+    j: usize,
+    loc: &SharedRef,
+    dst1: VarId,
+) -> bool {
+    let index_vars: Vec<VarId> = loc
+        .index
+        .as_ref()
+        .map(|e| e.vars_used())
+        .unwrap_or_default();
+    for instr in &cfg.block(b).instrs[i + 1..j] {
+        // Redefinition of the cached value or the index computation.
+        if let Some(d) = instr.def().or(instr.array_def()) {
+            if d == dst1 || index_vars.contains(&d) {
+                return true;
+            }
+        }
+        // A same-processor write to (possibly) the same location.
+        match instr {
+            Instr::PutShared { dst, .. }
+            | Instr::PutInit { dst, .. }
+            | Instr::StoreInit { dst, .. }
+                if dst.var == loc.var
+                    && may_equal_same_proc(dst.index.as_ref(), loc.index.as_ref())
+                => {
+                    return true;
+                }
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Cross-block redundant-get reuse: a get in a block *dominated* by an
+/// earlier matching get is replaced by a local copy, provided no block on
+/// any path between them (nor the end of the first block, nor the prefix
+/// of the second) can invalidate the cached value, and no delay edge
+/// separates the pair.
+pub fn eliminate_redundant_gets_cross_block(
+    cfg: &mut Cfg,
+    delay: &DelaySet,
+    stats: &mut OptStats,
+) {
+    use syncopt_ir::dom::Dominators;
+    use syncopt_ir::order::ProgramOrder;
+    let dom = Dominators::compute(cfg);
+    let po = ProgramOrder::compute(cfg);
+
+    // Collect all gets up front (positions are fresh post-split).
+    let gets: Vec<(BlockId, usize, Instr)> = cfg
+        .block_ids()
+        .flat_map(|b| {
+            cfg.block(b)
+                .instrs
+                .iter()
+                .enumerate()
+                .filter(|(_, i)| matches!(i, Instr::GetInit { .. }))
+                .map(move |(idx, i)| (b, idx, i.clone()))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+
+    for (b2, _, g2_snapshot) in &gets {
+        let Instr::GetInit {
+            access: g2_access,
+            src: ref2,
+            ..
+        } = g2_snapshot
+        else {
+            unreachable!()
+        };
+        // Re-locate g2 (earlier replacements shift indices).
+        let Some(j) = cfg
+            .block(*b2)
+            .instrs
+            .iter()
+            .position(|i| i.access_id() == Some(*g2_access))
+        else {
+            continue; // already replaced
+        };
+        let mut replacement: Option<(VarId, VarId, syncopt_ir::cfg::CtrId)> = None;
+        'g1: for (b1, _, g1_snapshot) in &gets {
+            let Instr::GetInit {
+                access: g1_access,
+                dst: dst1,
+                src: ref1,
+                ..
+            } = g1_snapshot
+            else {
+                unreachable!()
+            };
+            if g1_access == g2_access || b1 == b2 {
+                continue; // same-block handled by the intra-block pass
+            }
+            let Some(i) = cfg
+                .block(*b1)
+                .instrs
+                .iter()
+                .position(|x| x.access_id() == Some(*g1_access))
+            else {
+                continue;
+            };
+            if ref1.var != ref2.var
+                || !provably_equal_same_proc(ref1.index.as_ref(), ref2.index.as_ref())
+            {
+                continue;
+            }
+            // Availability: g1 dominates g2.
+            let p1 = syncopt_ir::ids::Position::new(*b1, i);
+            let p2 = syncopt_ir::ids::Position::new(*b2, j);
+            if !dom.pos_dominates(p1, p2) {
+                continue;
+            }
+            if delay.contains(*g1_access, *g2_access) {
+                continue;
+            }
+            // Invalidation scan: suffix of b1, prefix of b2, and every
+            // block on some path b1 → X → b2 (includes loop bodies that
+            // could re-enter b2).
+            if region_invalidates(&cfg.block(*b1).instrs[i + 1..], ref1, *dst1)
+                || region_invalidates(&cfg.block(*b2).instrs[..j], ref1, *dst1)
+            {
+                continue;
+            }
+            // Note: b1 and b2 themselves are NOT skipped here — if either
+            // lies on a cycle (b1 → ... → b2 can pass through them again),
+            // their full bodies are on a path and must be clean too.
+            for x in cfg.block_ids() {
+                if po.block_reaches(*b1, x)
+                    && po.block_reaches(x, *b2)
+                    && region_invalidates(&cfg.block(x).instrs, ref1, *dst1)
+                {
+                    continue 'g1;
+                }
+            }
+            let Instr::GetInit { dst: dst2, ctr, .. } = &cfg.block(*b2).instrs[j] else {
+                unreachable!()
+            };
+            replacement = Some((*dst2, *dst1, *ctr));
+            break;
+        }
+        if let Some((dst2, dst1, ctr)) = replacement {
+            cfg.block_mut(*b2).instrs[j] = Instr::AssignLocal {
+                dst: dst2,
+                value: Expr::Local(dst1),
+            };
+            if matches!(
+                cfg.block(*b2).instrs.get(j + 1),
+                Some(Instr::SyncCtr { ctr: c }) if *c == ctr
+            ) {
+                cfg.block_mut(*b2).instrs.remove(j + 1);
+            }
+            stats.gets_eliminated += 1;
+        }
+    }
+    cfg.recompute_access_positions();
+}
+
+/// Whether any instruction in `instrs` invalidates a cached read of `loc`
+/// held in `dst1`: a same-processor aliasing write, a redefinition of the
+/// cached local, or a redefinition of an index variable.
+fn region_invalidates(instrs: &[Instr], loc: &SharedRef, dst1: VarId) -> bool {
+    let index_vars: Vec<VarId> = loc
+        .index
+        .as_ref()
+        .map(|e| e.vars_used())
+        .unwrap_or_default();
+    for instr in instrs {
+        if let Some(d) = instr.def().or(instr.array_def()) {
+            if d == dst1 || index_vars.contains(&d) {
+                return true;
+            }
+        }
+        match instr {
+            Instr::PutShared { dst, .. }
+            | Instr::PutInit { dst, .. }
+            | Instr::StoreInit { dst, .. }
+                if dst.var == loc.var
+                    && may_equal_same_proc(dst.index.as_ref(), loc.index.as_ref())
+                => {
+                    return true;
+                }
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Forwards the value of a preceding `put` to a `get` of the same
+/// location on the same processor (Figure 11 "value propagation").
+///
+/// `put X = e; ...; get(d, X)` becomes `put X = e; ...; d = e`, provided
+/// the location provably matches, no variable of `e` (or of the index) is
+/// redefined in between, no other same-location operation intervenes, and
+/// no delay edge separates the pair.
+pub fn forward_put_values(cfg: &mut Cfg, delay: &DelaySet, stats: &mut OptStats) {
+    for b in cfg.block_ids().collect::<Vec<_>>() {
+        let mut j = 0;
+        while j < cfg.block(b).instrs.len() {
+            let Instr::GetInit {
+                access: g_access,
+                dst,
+                src: loc,
+                ctr,
+            } = cfg.block(b).instrs[j].clone()
+            else {
+                j += 1;
+                continue;
+            };
+            let mut found: Option<Expr> = None;
+            for i in (0..j).rev() {
+                let instr = cfg.block(b).instrs[i].clone();
+                let (p_access, p_dst, p_src) = match &instr {
+                    Instr::PutInit {
+                        access, dst, src, ..
+                    }
+                    | Instr::StoreInit { access, dst, src } => (*access, dst.clone(), src.clone()),
+                    _ => continue,
+                };
+                if p_dst.var != loc.var
+                    || !provably_equal_same_proc(p_dst.index.as_ref(), loc.index.as_ref())
+                {
+                    // A possibly-aliasing write we cannot prove equal kills
+                    // the window.
+                    if p_dst.var == loc.var
+                        && may_equal_same_proc(p_dst.index.as_ref(), loc.index.as_ref())
+                    {
+                        break;
+                    }
+                    continue;
+                }
+                if delay.contains(p_access, g_access) {
+                    break;
+                }
+                if forwarding_invalidated(cfg, b, i, j, &loc, &p_src) {
+                    break;
+                }
+                found = Some(p_src);
+                break;
+            }
+            if let Some(value) = found {
+                cfg.block_mut(b).instrs[j] = Instr::AssignLocal { dst, value };
+                if matches!(
+                    cfg.block(b).instrs.get(j + 1),
+                    Some(Instr::SyncCtr { ctr: c }) if *c == ctr
+                ) {
+                    cfg.block_mut(b).instrs.remove(j + 1);
+                }
+                stats.gets_eliminated += 1;
+            }
+            j += 1;
+        }
+    }
+    cfg.recompute_access_positions();
+}
+
+/// Is the forwarded value stale or unavailable by point `j`?
+fn forwarding_invalidated(
+    cfg: &Cfg,
+    b: BlockId,
+    i: usize,
+    j: usize,
+    loc: &SharedRef,
+    value: &Expr,
+) -> bool {
+    let mut watched: Vec<VarId> = value.vars_used();
+    if let Some(idx) = &loc.index {
+        for v in idx.vars_used() {
+            if !watched.contains(&v) {
+                watched.push(v);
+            }
+        }
+    }
+    for instr in &cfg.block(b).instrs[i + 1..j] {
+        if let Some(d) = instr.def().or(instr.array_def()) {
+            if watched.contains(&d) {
+                return true;
+            }
+        }
+        match instr {
+            Instr::PutShared { dst, .. }
+            | Instr::PutInit { dst, .. }
+            | Instr::StoreInit { dst, .. }
+                if dst.var == loc.var
+                    && may_equal_same_proc(dst.index.as_ref(), loc.index.as_ref())
+                => {
+                    return true;
+                }
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Drops `put`s whose value is overwritten before it can be observed.
+pub fn eliminate_overwritten_puts(cfg: &mut Cfg, analysis: &Analysis, stats: &mut OptStats) {
+    let delay = &analysis.delay_sync;
+    for b in cfg.block_ids().collect::<Vec<_>>() {
+        let mut i = 0;
+        'outer: while i < cfg.block(b).instrs.len() {
+            let Instr::PutInit {
+                access: p1_access,
+                dst: ref1,
+                ctr: ctr1,
+                ..
+            } = cfg.block(b).instrs[i].clone()
+            else {
+                i += 1;
+                continue;
+            };
+            let index_vars: Vec<VarId> = ref1
+                .index
+                .as_ref()
+                .map(|e| e.vars_used())
+                .unwrap_or_default();
+            // Scan forward for an overwriting put.
+            for j in i + 1..cfg.block(b).instrs.len() {
+                let instr = cfg.block(b).instrs[j].clone();
+                // Index-variable redefinition ends the comparison window.
+                if let Some(d) = instr.def().or(instr.array_def()) {
+                    if index_vars.contains(&d) {
+                        break;
+                    }
+                }
+                match &instr {
+                    Instr::PutInit {
+                        access: p2_access,
+                        dst: ref2,
+                        ..
+                    }
+                    | Instr::StoreInit {
+                        access: p2_access,
+                        dst: ref2,
+                        ..
+                    } => {
+                        if ref2.var == ref1.var
+                            && provably_equal_same_proc(
+                                ref2.index.as_ref(),
+                                ref1.index.as_ref(),
+                            )
+                            && !delay.contains(p1_access, *p2_access)
+                        {
+                            // Remove put1 and its adjacent sync.
+                            if matches!(
+                                cfg.block(b).instrs.get(i + 1),
+                                Some(Instr::SyncCtr { ctr }) if *ctr == ctr1
+                            ) {
+                                cfg.block_mut(b).instrs.remove(i + 1);
+                            }
+                            cfg.block_mut(b).instrs.remove(i);
+                            stats.puts_eliminated += 1;
+                            // Do not advance: a new instruction sits at `i`.
+                            continue 'outer;
+                        }
+                        // A conflicting same-location operation we cannot
+                        // prove equal: stop.
+                        if ref2.var == ref1.var
+                            && may_equal_same_proc(ref2.index.as_ref(), ref1.index.as_ref())
+                        {
+                            break;
+                        }
+                    }
+                    // A same-processor read of the location observes put1:
+                    // it must stay.
+                    Instr::GetShared { src, .. } | Instr::GetInit { src, .. }
+                        if src.var == ref1.var
+                            && may_equal_same_proc(src.index.as_ref(), ref1.index.as_ref())
+                        => {
+                            break;
+                        }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    cfg.recompute_access_positions();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::split::split_phase;
+    use syncopt_core::analyze;
+    use syncopt_frontend::prepare_program;
+    use syncopt_ir::lower::lower_main;
+
+    fn run(src: &str) -> (Cfg, OptStats) {
+        let cfg0 = lower_main(&prepare_program(src).unwrap()).unwrap();
+        let analysis = analyze(&cfg0);
+        let mut cfg = cfg0.clone();
+        let mut stats = OptStats::default();
+        let _map = split_phase(&mut cfg, &mut stats);
+        eliminate_redundant_gets(&mut cfg, &analysis.delay_sync, &analysis, &mut stats);
+        forward_put_values(&mut cfg, &analysis.delay_sync, &mut stats);
+        eliminate_overwritten_puts(&mut cfg, &analysis, &mut stats);
+        (cfg, stats)
+    }
+
+    fn count(cfg: &Cfg, pred: impl Fn(&Instr) -> bool) -> usize {
+        cfg.blocks
+            .iter()
+            .flat_map(|b| b.instrs.iter())
+            .filter(|i| pred(i))
+            .count()
+    }
+
+    #[test]
+    fn second_get_after_wait_is_reused() {
+        // Figure 9 (second case): post/wait ensures the put completed, so X
+        // is stable; two reads collapse to one.
+        let (cfg, stats) = run(
+            r#"
+            shared int X; flag F;
+            fn main() {
+                int a; int b;
+                if (MYPROC == 0) { X = 5; post F; }
+                else { wait F; a = X; b = X; work(a + b); }
+            }
+            "#,
+        );
+        assert_eq!(stats.gets_eliminated, 1, "{stats:?}");
+        assert_eq!(count(&cfg, |i| matches!(i, Instr::GetInit { .. })), 1);
+    }
+
+    #[test]
+    fn racy_second_get_is_kept() {
+        // No synchronization: the two reads may legally see different
+        // values (another processor writes X concurrently) — a delay edge
+        // exists and reuse is refused.
+        let (cfg, stats) = run(
+            r#"
+            shared int X;
+            fn main() {
+                int a; int b;
+                if (MYPROC == 0) { X = 5; }
+                else { a = X; b = X; work(a + b); }
+            }
+            "#,
+        );
+        assert_eq!(stats.gets_eliminated, 0, "{stats:?}");
+        assert_eq!(count(&cfg, |i| matches!(i, Instr::GetInit { .. })), 2);
+    }
+
+    #[test]
+    fn own_write_between_gets_blocks_reuse_but_allows_forwarding() {
+        // get; put; get — the second get must NOT reuse the first get's
+        // value (the put intervened), but it MAY take the put's value
+        // (forwarding), which is strictly better.
+        let (cfg, stats) = run(
+            r#"
+            shared int A[64]; flag F;
+            fn main() {
+                int a; int b;
+                wait F;
+                a = A[MYPROC + 1];
+                A[MYPROC + 1] = 9;
+                b = A[MYPROC + 1];
+                work(a + b);
+            }
+            "#,
+        );
+        assert_eq!(stats.gets_eliminated, 1, "{stats:?}");
+        // The first get survives; the second became `b = 9`.
+        assert_eq!(count(&cfg, |i| matches!(i, Instr::GetInit { .. })), 1);
+        let forwarded = cfg
+            .blocks
+            .iter()
+            .flat_map(|bl| bl.instrs.iter())
+            .any(|i| matches!(i, Instr::AssignLocal { value, .. }
+                if *value == syncopt_ir::expr::Expr::Int(9)));
+        assert!(forwarded, "second get should take the put's value");
+    }
+
+    #[test]
+    fn index_redefinition_blocks_reuse() {
+        let (_cfg, stats) = run(
+            r#"
+            shared int A[64]; flag F;
+            fn main() {
+                int i; int a; int b;
+                wait F;
+                i = 1;
+                a = A[i];
+                i = 2;
+                b = A[i];
+                work(a + b);
+            }
+            "#,
+        );
+        assert_eq!(stats.gets_eliminated, 0, "{stats:?}");
+    }
+
+    #[test]
+    fn overwritten_put_is_dropped() {
+        // Two successive writes to the same element with no reader in
+        // between and no cross-processor observer (owner slot): write-back.
+        let (cfg, stats) = run(
+            r#"
+            shared int A[64];
+            fn main() {
+                A[MYPROC] = 1;
+                A[MYPROC] = 2;
+            }
+            "#,
+        );
+        assert_eq!(stats.puts_eliminated, 1, "{stats:?}");
+        assert_eq!(count(&cfg, |i| matches!(i, Instr::PutInit { .. })), 1);
+    }
+
+    #[test]
+    fn observable_put_is_kept() {
+        // A racy reader elsewhere: the delay edge between the two writes
+        // keeps both.
+        let (_cfg, stats) = run(
+            r#"
+            shared int X;
+            fn main() {
+                int v;
+                if (MYPROC == 0) { X = 1; X = 2; }
+                else { v = X; work(v); }
+            }
+            "#,
+        );
+        assert_eq!(stats.puts_eliminated, 0, "{stats:?}");
+    }
+
+    #[test]
+    fn own_read_between_puts_forwards_then_write_backs() {
+        // put; get; put — without forwarding, the intervening read pins
+        // the first put. Forwarding turns the read into `v = 1`, after
+        // which the first put is dead and write-back removes it.
+        let (cfg, stats) = run(
+            r#"
+            shared int A[64];
+            fn main() {
+                int v;
+                A[MYPROC] = 1;
+                v = A[MYPROC];
+                A[MYPROC] = 2;
+                work(v);
+            }
+            "#,
+        );
+        assert_eq!(stats.gets_eliminated, 1, "{stats:?}");
+        assert_eq!(stats.puts_eliminated, 1, "{stats:?}");
+        assert_eq!(count(&cfg, |i| matches!(i, Instr::PutInit { .. })), 1);
+    }
+
+    fn run_cross(src: &str) -> (Cfg, OptStats) {
+        let cfg0 = lower_main(&prepare_program(src).unwrap()).unwrap();
+        let analysis = syncopt_core::analyze_for(&cfg0, 4);
+        let mut cfg = cfg0.clone();
+        let mut stats = OptStats::default();
+        let _map = split_phase(&mut cfg, &mut stats);
+        eliminate_redundant_gets(&mut cfg, &analysis.delay_sync, &analysis, &mut stats);
+        eliminate_redundant_gets_cross_block(&mut cfg, &analysis.delay_sync, &mut stats);
+        (cfg, stats)
+    }
+
+    #[test]
+    fn cross_block_reuse_after_wait() {
+        // First read before the branch, second read inside a dominated
+        // branch arm: the cached value is reusable (post-wait makes the
+        // location stable).
+        let (cfg, stats) = run_cross(
+            r#"
+            shared int X; flag F;
+            fn main() {
+                int a; int b;
+                wait F;
+                a = X;
+                if (MYPROC == 0) {
+                    b = X;
+                    work(b);
+                }
+                work(a);
+            }
+            "#,
+        );
+        assert_eq!(stats.gets_eliminated, 1, "{stats:?}");
+        assert_eq!(count(&cfg, |i| matches!(i, Instr::GetInit { .. })), 1);
+    }
+
+    #[test]
+    fn cross_block_reuse_blocked_by_loop_write() {
+        // The second get sits in a loop that also writes the location:
+        // iteration 2's read must see the new value, so no reuse.
+        let (_cfg, stats) = run_cross(
+            r#"
+            shared int A[64]; flag F;
+            fn main() {
+                int a; int b; int i;
+                wait F;
+                a = A[MYPROC];
+                for (i = 0; i < 3; i = i + 1) {
+                    b = A[MYPROC];
+                    A[MYPROC] = b + 1;
+                }
+                work(a);
+            }
+            "#,
+        );
+        assert_eq!(stats.gets_eliminated, 0, "{stats:?}");
+    }
+
+    #[test]
+    fn cross_block_requires_domination() {
+        // The first get is inside a branch: it does not dominate the
+        // later get, so the value may be unavailable.
+        let (_cfg, stats) = run_cross(
+            r#"
+            shared int X; flag F;
+            fn main() {
+                int a; int b;
+                wait F;
+                if (MYPROC == 0) { a = X; work(a); }
+                b = X;
+                work(b);
+            }
+            "#,
+        );
+        assert_eq!(stats.gets_eliminated, 0, "{stats:?}");
+    }
+
+    #[test]
+    fn cross_block_blocked_by_racy_location() {
+        // No synchronization: a delay edge separates the gets.
+        let (_cfg, stats) = run_cross(
+            r#"
+            shared int X;
+            fn main() {
+                int a; int b;
+                if (MYPROC == 0) { X = 1; }
+                else {
+                    a = X;
+                    if (MYPROC == 1) { work(1); }
+                    b = X;
+                    work(a + b);
+                }
+            }
+            "#,
+        );
+        assert_eq!(stats.gets_eliminated, 0, "{stats:?}");
+    }
+
+    #[test]
+    fn put_value_forwards_to_following_get() {
+        // Own-slot write then read-back: the read becomes a local
+        // re-evaluation and the put survives (others may read it later).
+        let (cfg, stats) = run(
+            r#"
+            shared int A[64];
+            fn main() {
+                int v;
+                A[MYPROC] = MYPROC * 3;
+                v = A[MYPROC];
+                work(v);
+            }
+            "#,
+        );
+        assert_eq!(stats.gets_eliminated, 1, "{stats:?}");
+        assert_eq!(count(&cfg, |i| matches!(i, Instr::GetInit { .. })), 0);
+        assert_eq!(count(&cfg, |i| matches!(i, Instr::PutInit { .. })), 1);
+    }
+
+    #[test]
+    fn forwarding_blocked_by_operand_redefinition() {
+        let (_cfg, stats) = run(
+            r#"
+            shared int A[64];
+            fn main() {
+                int k; int v;
+                k = 7;
+                A[MYPROC] = k;
+                k = 9;
+                v = A[MYPROC];
+                work(v + k);
+            }
+            "#,
+        );
+        assert_eq!(stats.gets_eliminated, 0, "{stats:?}");
+    }
+
+    #[test]
+    fn forwarding_blocked_by_racy_location() {
+        // Another processor writes the same scalar: a delay edge separates
+        // the pair and forwarding must not happen.
+        let (_cfg, stats) = run(
+            r#"
+            shared int X;
+            fn main() {
+                int v;
+                X = MYPROC;
+                v = X;
+                work(v);
+            }
+            "#,
+        );
+        assert_eq!(stats.gets_eliminated, 0, "{stats:?}");
+    }
+
+    #[test]
+    fn forwarding_enables_write_back() {
+        // put; get (forwarded); put — after forwarding, the first put has
+        // no observer left and the write-back pass removes it.
+        let (cfg, stats) = run(
+            r#"
+            shared int A[64];
+            fn main() {
+                int v;
+                A[MYPROC] = 1;
+                v = A[MYPROC];
+                A[MYPROC] = v + 1;
+            }
+            "#,
+        );
+        assert_eq!(stats.gets_eliminated, 1, "{stats:?}");
+        assert_eq!(stats.puts_eliminated, 1, "{stats:?}");
+        assert_eq!(count(&cfg, |i| matches!(i, Instr::PutInit { .. })), 1);
+    }
+
+    #[test]
+    fn distinct_elements_are_untouched() {
+        let (_cfg, stats) = run(
+            r#"
+            shared int A[64]; flag F;
+            fn main() {
+                int a; int b;
+                wait F;
+                a = A[MYPROC];
+                b = A[MYPROC + 1];
+                A[MYPROC] = a;
+                A[MYPROC + 32] = b;
+            }
+            "#,
+        );
+        assert_eq!(stats.gets_eliminated, 0);
+        assert_eq!(stats.puts_eliminated, 0);
+    }
+}

@@ -1,0 +1,259 @@
+//! Fence insertion for weakly-ordered shared-memory machines.
+//!
+//! The paper notes its analysis "could also be used for compiling weak
+//! memory programs" since "it can determine when code motion is legal"
+//! (§9, the Adve/Hill and DASH line of related work). On such a machine
+//! the compiler does not split accesses; it inserts **memory fences** so
+//! the hardware cannot reorder a delayed pair. This module plans a fence
+//! set that covers a delay set:
+//!
+//! * a delay `(u, v)` is *covered* if every path from `u` to `v` crosses a
+//!   fence (we place fences in `v`'s block, which every path to `v` enters);
+//! * blocking synchronization operations (`wait`, `barrier`, `lock`,
+//!   `unlock`, `post`) act as implicit fences — real implementations fence
+//!   inside them — so delays already separated by one cost nothing;
+//! * within a block, one fence can cover many pairs (classic interval
+//!   stabbing, greedily placing each fence as late as legality allows).
+//!
+//! The fence *count* is the cost metric: every fence is a full write-buffer
+//! drain. The `fences` harness compares counts under `D_SS` vs the refined
+//! delay set — the weak-memory analog of Figure 12.
+
+use std::collections::HashMap;
+use syncopt_core::DelaySet;
+use syncopt_ir::cfg::{Cfg, Instr};
+use syncopt_ir::ids::{BlockId, Position};
+
+/// A planned fence set.
+#[derive(Debug, Clone)]
+pub struct FencePlan {
+    /// Fence positions: the fence sits immediately *before* the
+    /// instruction at each position.
+    pub fences: Vec<Position>,
+    /// Delay pairs satisfied by an implicit fence (a blocking sync op).
+    pub covered_by_sync: usize,
+    /// Delay pairs that required an explicit fence.
+    pub covered_by_fence: usize,
+}
+
+impl FencePlan {
+    /// Number of explicit fences.
+    pub fn len(&self) -> usize {
+        self.fences.len()
+    }
+
+    /// Whether no explicit fences are needed.
+    pub fn is_empty(&self) -> bool {
+        self.fences.is_empty()
+    }
+}
+
+/// Whether an instruction acts as an implicit full fence.
+fn implicit_fence(instr: &Instr) -> bool {
+    matches!(
+        instr,
+        Instr::Barrier { .. }
+            | Instr::Wait { .. }
+            | Instr::Post { .. }
+            | Instr::LockAcq { .. }
+            | Instr::LockRel { .. }
+            | Instr::SyncCtr { .. }
+    )
+}
+
+/// Plans fences covering `delay` on the (blocking-access) source CFG.
+///
+/// # Panics
+///
+/// Panics if `delay` was computed for a different CFG.
+pub fn plan_fences(cfg: &Cfg, delay: &DelaySet) -> FencePlan {
+    assert_eq!(delay.num_accesses(), cfg.accesses.len());
+    let mut covered_by_sync = 0;
+    // Intervals per block: for pair (u, v), an explicit fence must sit at
+    // some index in (lo, hi] of v's block, where hi = v's index and lo =
+    // u's index when u shares the block (else block start).
+    let mut intervals: HashMap<BlockId, Vec<(usize, usize)>> = HashMap::new();
+    'pairs: for (u, v) in delay.pairs() {
+        let pu = cfg.accesses.info(u).pos;
+        let pv = cfg.accesses.info(v).pos;
+        // A blocking sync op as the *source* fences by itself: nothing
+        // after it issues until it completes.
+        if implicit_fence(&cfg.block(pu.block).instrs[pu.instr]) {
+            covered_by_sync += 1;
+            continue 'pairs;
+        }
+        let lo = if pu.block == pv.block && pu.instr < pv.instr {
+            pu.instr + 1
+        } else {
+            0
+        };
+        // Implicit fence between lo and pv.instr?
+        for idx in lo..pv.instr {
+            if implicit_fence(&cfg.block(pv.block).instrs[idx]) {
+                covered_by_sync += 1;
+                continue 'pairs;
+            }
+        }
+        // v itself blocking? Then ordering is trivial (it cannot issue
+        // early); treat as sync-covered.
+        if implicit_fence(&cfg.block(pv.block).instrs[pv.instr]) {
+            covered_by_sync += 1;
+            continue 'pairs;
+        }
+        intervals.entry(pv.block).or_default().push((lo, pv.instr));
+    }
+
+    // Greedy interval stabbing per block: sort by right endpoint, place a
+    // fence at the right endpoint unless one already stabs the interval.
+    let mut fences = Vec::new();
+    let mut covered_by_fence = 0;
+    let mut blocks: Vec<_> = intervals.into_iter().collect();
+    blocks.sort_by_key(|(b, _)| *b);
+    for (block, mut ivs) in blocks {
+        ivs.sort_by_key(|&(_, hi)| hi);
+        let mut placed: Vec<usize> = Vec::new();
+        for (lo, hi) in ivs {
+            covered_by_fence += 1;
+            if placed.iter().any(|&f| lo <= f && f <= hi) {
+                continue;
+            }
+            placed.push(hi);
+            fences.push(Position::new(block, hi));
+        }
+    }
+    fences.sort();
+    fences.dedup();
+    FencePlan {
+        fences,
+        covered_by_sync,
+        covered_by_fence,
+    }
+}
+
+/// Checks that `plan` covers every pair of `delay` (test helper and
+/// debug-assertion for harnesses): each pair must be separated by an
+/// explicit fence or an implicit one on the straight-line region checked
+/// by the planner.
+pub fn plan_covers(cfg: &Cfg, delay: &DelaySet, plan: &FencePlan) -> bool {
+    'pairs: for (u, v) in delay.pairs() {
+        let pu = cfg.accesses.info(u).pos;
+        let pv = cfg.accesses.info(v).pos;
+        if implicit_fence(&cfg.block(pu.block).instrs[pu.instr]) {
+            continue 'pairs;
+        }
+        let lo = if pu.block == pv.block && pu.instr < pv.instr {
+            pu.instr + 1
+        } else {
+            0
+        };
+        for idx in lo..=pv.instr {
+            if idx < pv.instr && implicit_fence(&cfg.block(pv.block).instrs[idx]) {
+                continue 'pairs;
+            }
+            if idx == pv.instr && implicit_fence(&cfg.block(pv.block).instrs[idx]) {
+                continue 'pairs;
+            }
+        }
+        let stabbed = plan
+            .fences
+            .iter()
+            .any(|f| f.block == pv.block && lo <= f.instr && f.instr <= pv.instr);
+        if !stabbed {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syncopt_core::analyze_for;
+    use syncopt_frontend::prepare_program;
+    use syncopt_ir::lower::lower_main;
+
+    fn plan(src: &str, refined: bool) -> (Cfg, FencePlan) {
+        let cfg = lower_main(&prepare_program(src).unwrap()).unwrap();
+        let a = analyze_for(&cfg, 4);
+        let d = if refined { &a.delay_sync } else { &a.delay_ss };
+        let p = plan_fences(&cfg, d);
+        assert!(plan_covers(&cfg, d, &p), "plan must cover its delay set");
+        (cfg, p)
+    }
+
+    #[test]
+    fn figure1_needs_two_fences() {
+        let src = r#"
+            shared int Data; shared int Flag;
+            fn main() {
+                int v; int w;
+                if (MYPROC == 0) { Data = 1; Flag = 1; }
+                else { v = Flag; w = Data; }
+            }
+        "#;
+        let (_, p) = plan(src, true);
+        assert_eq!(p.len(), 2, "one per side of the figure-eight: {p:?}");
+        assert_eq!(p.covered_by_sync, 0);
+    }
+
+    #[test]
+    fn no_delays_no_fences() {
+        let (_, p) = plan(
+            "shared int A[64]; fn main() { A[MYPROC] = 1; A[MYPROC] = 2; }",
+            true,
+        );
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn sync_ops_are_free_fences() {
+        // Every delay in this program targets or crosses a sync op.
+        let src = r#"
+            shared int X; flag F;
+            fn main() {
+                int v;
+                if (MYPROC == 0) { X = 1; post F; }
+                else { wait F; v = X; }
+            }
+        "#;
+        let (_, p) = plan(src, true);
+        assert!(p.is_empty(), "{p:?}");
+        assert!(p.covered_by_sync > 0);
+    }
+
+    #[test]
+    fn one_fence_covers_stacked_pairs() {
+        // Several writes all delayed against a final read pair: interval
+        // stabbing shares fences.
+        let src = r#"
+            shared int A; shared int B; shared int C; shared int Flag;
+            fn main() {
+                int v;
+                if (MYPROC == 0) { A = 1; B = 2; C = 3; Flag = 1; }
+                else { v = Flag; v = C; v = B; v = A; }
+            }
+        "#;
+        let (_, pss) = plan(src, false);
+        // Far fewer fences than delay pairs.
+        assert!(pss.len() < pss.covered_by_fence, "{pss:?}");
+    }
+
+    #[test]
+    fn refined_delays_need_fewer_fences_on_kernels() {
+        for kernel in syncopt_kernels::all_kernels(4) {
+            let cfg = lower_main(&prepare_program(&kernel.source).unwrap()).unwrap();
+            let a = analyze_for(&cfg, 4);
+            let pss = plan_fences(&cfg, &a.delay_ss);
+            let pref = plan_fences(&cfg, &a.delay_sync);
+            assert!(plan_covers(&cfg, &a.delay_ss, &pss));
+            assert!(plan_covers(&cfg, &a.delay_sync, &pref));
+            assert!(
+                pref.len() <= pss.len(),
+                "{}: refined {} vs ss {}",
+                kernel.name,
+                pref.len(),
+                pss.len()
+            );
+        }
+    }
+}

@@ -1,0 +1,254 @@
+#![warn(missing_docs)]
+
+//! Code generation and communication optimization (§6–§7 of the paper).
+//!
+//! Consumes a source CFG (blocking shared accesses) plus the analysis
+//! results from `syncopt-core`, and produces a target CFG using Split-C
+//! style split-phase operations:
+//!
+//! * [`split`] — turn every blocking access into `get_ctr`/`put_ctr`
+//!   followed immediately by `sync_ctr` (always legal);
+//! * [`motion`] — **message pipelining**: push `sync_ctr`s forward through
+//!   the CFG and pull initiations backward, bounded by delay edges and
+//!   local def-use constraints;
+//! * [`oneway`] — **two-way → one-way conversion**: a `put` whose syncs all
+//!   land at barriers becomes an unacknowledged `store`;
+//! * [`elim`] — **remote-access elimination**: redundant-`get` reuse,
+//!   put→get value forwarding, and write-back elimination of overwritten
+//!   `put`s;
+//! * [`cleanup`] — dead-code removal, including *dead communication*
+//!   (gets whose destination is never read);
+//! * [`fences`] — the weak-memory backend: fence insertion covering a
+//!   delay set for weakly-ordered shared-memory machines (§9).
+//!
+//! The optimization levels mirror the paper's Figure 12 bars: the baseline
+//! runs the same pipeline constrained by the Shasha–Snir delay set, the
+//! optimized versions use the synchronization-refined set.
+
+pub mod cleanup;
+pub mod elim;
+pub mod fences;
+pub mod motion;
+pub mod oneway;
+pub mod split;
+
+use syncopt_core::{Analysis, DelaySet};
+use syncopt_ir::cfg::Cfg;
+
+/// How far to optimize. Each level includes the previous ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum OptLevel {
+    /// Keep blocking accesses exactly as lowered (reference semantics).
+    Blocking,
+    /// Split-phase conversion + sync motion + initiation motion.
+    #[default]
+    Pipelined,
+    /// Pipelined plus put→store conversion at barriers.
+    OneWay,
+    /// OneWay plus remote-access elimination.
+    Full,
+}
+
+/// Which delay set constrains the motion passes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DelayChoice {
+    /// The Shasha–Snir baseline `D_SS` (paper's "unoptimized" bar).
+    ShashaSnir,
+    /// The synchronization-refined delay set (§5).
+    #[default]
+    SyncRefined,
+}
+
+/// Counters describing what the optimizer did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// Blocking reads converted to split-phase gets.
+    pub gets_split: usize,
+    /// Blocking writes converted to split-phase puts.
+    pub puts_split: usize,
+    /// How many instruction slots all `sync_ctr`s moved forward, summed.
+    pub sync_moves: usize,
+    /// `sync_ctr` copies merged (rule 2b of §6).
+    pub syncs_merged: usize,
+    /// How many instruction slots initiations moved backward, summed.
+    pub init_moves: usize,
+    /// Puts converted to one-way stores.
+    pub puts_to_stores: usize,
+    /// Redundant gets replaced by local copies.
+    pub gets_eliminated: usize,
+    /// Overwritten puts removed (write-back).
+    pub puts_eliminated: usize,
+    /// Dead local assignments removed by cleanup.
+    pub dead_locals_removed: usize,
+    /// Gets whose destination was never read, removed with their syncs.
+    pub dead_gets_removed: usize,
+    /// Expressions simplified by constant folding.
+    pub exprs_folded: usize,
+}
+
+/// The result of optimizing a program.
+#[derive(Debug, Clone)]
+pub struct Optimized {
+    /// The transformed CFG (target IR).
+    pub cfg: Cfg,
+    /// What happened.
+    pub stats: OptStats,
+    /// The level that was applied.
+    pub level: OptLevel,
+}
+
+/// Runs the optimization pipeline at `level`, constrained by `delay`.
+///
+/// `analysis` must have been computed on `cfg` (same access table).
+///
+/// # Panics
+///
+/// Panics if `analysis` was computed for a different CFG (access-count
+/// mismatch).
+pub fn optimize(
+    cfg: &Cfg,
+    analysis: &Analysis,
+    level: OptLevel,
+    choice: DelayChoice,
+) -> Optimized {
+    assert_eq!(
+        analysis.delay_ss.num_accesses(),
+        cfg.accesses.len(),
+        "analysis does not match this CFG"
+    );
+    let delay: &DelaySet = match choice {
+        DelayChoice::ShashaSnir => &analysis.delay_ss,
+        DelayChoice::SyncRefined => &analysis.delay_sync,
+    };
+    let mut out = cfg.clone();
+    let mut stats = OptStats::default();
+    if level == OptLevel::Blocking {
+        return Optimized {
+            cfg: out,
+            stats,
+            level,
+        };
+    }
+    let ctr_map = split::split_phase(&mut out, &mut stats);
+    // Elimination runs first, on the freshly split CFG where each
+    // initiation still has its sync adjacent (the passes rely on that
+    // layout to drop the right sync copies).
+    if level >= OptLevel::Full {
+        elim::eliminate_redundant_gets(&mut out, delay, analysis, &mut stats);
+        elim::eliminate_redundant_gets_cross_block(&mut out, delay, &mut stats);
+        // Forwarding may turn a get into a local assignment, which in turn
+        // can unblock write-back elimination of the forwarded put.
+        elim::forward_put_values(&mut out, delay, &mut stats);
+        elim::eliminate_overwritten_puts(&mut out, analysis, &mut stats);
+        cleanup::remove_dead_code(&mut out, &mut stats);
+    }
+    motion::move_syncs(&mut out, delay, &ctr_map, &mut stats);
+    motion::move_initiations(&mut out, delay, &ctr_map, &mut stats);
+    if level >= OptLevel::OneWay {
+        oneway::convert_one_way(&mut out, &ctr_map, &mut stats);
+    }
+    out.recompute_access_positions();
+    debug_assert_eq!(out.validate(), Ok(()));
+    Optimized {
+        cfg: out,
+        stats,
+        level,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syncopt_core::analyze;
+    use syncopt_frontend::prepare_program;
+    use syncopt_ir::cfg::Instr;
+    use syncopt_ir::lower::lower_main;
+
+    fn pipeline(src: &str, level: OptLevel, choice: DelayChoice) -> Optimized {
+        let cfg = lower_main(&prepare_program(src).unwrap()).unwrap();
+        let analysis = analyze(&cfg);
+        optimize(&cfg, &analysis, level, choice)
+    }
+
+    fn count(cfg: &Cfg, pred: impl Fn(&Instr) -> bool) -> usize {
+        cfg.blocks
+            .iter()
+            .flat_map(|b| b.instrs.iter())
+            .filter(|i| pred(i))
+            .count()
+    }
+
+    #[test]
+    fn blocking_level_is_identity() {
+        let src = "shared int X; fn main() { int v; v = X; X = v + 1; }";
+        let cfg = lower_main(&prepare_program(src).unwrap()).unwrap();
+        let analysis = analyze(&cfg);
+        let opt = optimize(&cfg, &analysis, OptLevel::Blocking, DelayChoice::SyncRefined);
+        assert_eq!(opt.cfg, cfg);
+        assert_eq!(opt.stats, OptStats::default());
+    }
+
+    #[test]
+    fn pipelined_level_splits_all_accesses() {
+        let opt = pipeline(
+            "shared int X; shared int Y; fn main() { int v; v = X; Y = v; }",
+            OptLevel::Pipelined,
+            DelayChoice::SyncRefined,
+        );
+        assert_eq!(opt.stats.gets_split, 1);
+        assert_eq!(opt.stats.puts_split, 1);
+        assert_eq!(count(&opt.cfg, |i| matches!(i, Instr::GetShared { .. })), 0);
+        assert_eq!(count(&opt.cfg, |i| matches!(i, Instr::PutShared { .. })), 0);
+        assert_eq!(count(&opt.cfg, |i| matches!(i, Instr::GetInit { .. })), 1);
+        assert_eq!(count(&opt.cfg, |i| matches!(i, Instr::PutInit { .. })), 1);
+        assert_eq!(count(&opt.cfg, |i| matches!(i, Instr::SyncCtr { .. })), 2);
+    }
+
+    #[test]
+    fn one_way_conversion_at_barrier() {
+        // A put whose sync can ride to the barrier becomes a store.
+        let opt = pipeline(
+            r#"
+            shared int A[64];
+            fn main() {
+                int v;
+                A[MYPROC + 1] = 7;
+                work(100);
+                barrier;
+                v = A[MYPROC];
+            }
+            "#,
+            OptLevel::OneWay,
+            DelayChoice::SyncRefined,
+        );
+        assert_eq!(
+            opt.stats.puts_to_stores, 1,
+            "stats: {:?}",
+            opt.stats
+        );
+        assert_eq!(count(&opt.cfg, |i| matches!(i, Instr::StoreInit { .. })), 1);
+        assert_eq!(count(&opt.cfg, |i| matches!(i, Instr::PutInit { .. })), 0);
+    }
+
+    #[test]
+    fn baseline_delay_choice_is_more_constrained() {
+        // Post-wait protected producer/consumer: the refined set lets the
+        // producer's two puts overlap; the baseline forces a sync between.
+        let src = r#"
+            shared int X; shared int Y; flag F;
+            fn main() {
+                int v;
+                if (MYPROC == 0) { X = 1; Y = 2; post F; }
+                else { wait F; v = Y; v = X; }
+            }
+        "#;
+        let base = pipeline(src, OptLevel::Pipelined, DelayChoice::ShashaSnir);
+        let opt = pipeline(src, OptLevel::Pipelined, DelayChoice::SyncRefined);
+        assert!(
+            opt.stats.sync_moves > base.stats.sync_moves,
+            "refined should move syncs further: base {:?} vs opt {:?}",
+            base.stats,
+            opt.stats
+        );
+    }
+}

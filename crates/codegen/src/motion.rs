@@ -1,0 +1,683 @@
+//! Message pipelining: sync motion and initiation motion (§6).
+//!
+//! `sync_ctr` operations move *forward* — to the end of their block and then
+//! into successors (duplicating per the §6 rules; copies merge when they
+//! meet) — until a delay edge or a local dependence stops them. Initiations
+//! (`get_ctr`/`put_ctr`/`store`) move *backward* within their block under
+//! the same constraints. The distance between initiation and sync is the
+//! communication overlap the simulator later converts into time.
+//!
+//! Heuristics from the paper: a sync is not pushed into a loop it did not
+//! start in (it would run every iteration), and the exit block keeps its
+//! syncs (program termination must drain the network).
+
+use crate::split::CtrMap;
+use crate::OptStats;
+use std::collections::HashSet;
+use syncopt_core::affine::{may_equal_same_proc, to_affine};
+use syncopt_core::DelaySet;
+use syncopt_ir::access::AccessKind;
+use syncopt_ir::cfg::{Cfg, CtrId, Instr};
+use syncopt_ir::dataflow::local_dependence;
+use syncopt_ir::dom::Dominators;
+use syncopt_ir::expr::Expr;
+use syncopt_ir::ids::{AccessId, BlockId};
+use syncopt_ir::loops::{defined_in_loop, find_loops, induction_vars, NaturalLoop};
+
+/// Accesses whose subscript is *injective across loop iterations*: it is
+/// affine with a nonzero coefficient on a basic induction variable of the
+/// containing loop, and every other variable in it is loop-invariant. Two
+/// dynamic instances of such an access from different iterations touch
+/// different elements, so an access may be reordered with *itself* (e.g. a
+/// transpose `put` in a scatter loop).
+pub fn iteration_injective_accesses(cfg: &Cfg) -> HashSet<AccessId> {
+    let dom = Dominators::compute(cfg);
+    let loops = find_loops(cfg, &dom);
+    let ivs = induction_vars(cfg, &loops);
+    let mut out = HashSet::new();
+    for (id, info) in cfg.accesses.iter() {
+        let Some(index) = &info.index else {
+            continue;
+        };
+        let Some(aff) = to_affine(index) else {
+            continue;
+        };
+        let block = info.pos.block;
+        for (loop_idx, l) in loops.iter().enumerate() {
+            if !l.contains(block) {
+                continue;
+            }
+            let mut has_driver = false;
+            let mut all_ok = true;
+            for (&var, &coeff) in &aff.coeffs {
+                if coeff == 0 {
+                    continue;
+                }
+                let iv = ivs
+                    .iter()
+                    .find(|iv| iv.loop_idx == loop_idx && iv.var == var);
+                match iv {
+                    Some(iv) if coeff.checked_mul(iv.step).is_some_and(|s| s != 0) => {
+                        has_driver = true;
+                    }
+                    _ => {
+                        if defined_in_loop(cfg, l, var) {
+                            all_ok = false;
+                            break;
+                        }
+                    }
+                }
+            }
+            if has_driver && all_ok {
+                out.insert(id);
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Pushes every `sync_ctr` as far forward as its constraints allow.
+pub fn move_syncs(cfg: &mut Cfg, delay: &DelaySet, ctr_map: &CtrMap, stats: &mut OptStats) {
+    let dom = Dominators::compute(cfg);
+    let loops = find_loops(cfg, &dom);
+    let injective = iteration_injective_accesses(cfg);
+    let mut propagated: HashSet<(BlockId, CtrId)> = HashSet::new();
+    let mut parked: HashSet<(BlockId, CtrId)> = HashSet::new();
+    let mut changed = true;
+    let mut rounds = 0usize;
+    while changed {
+        changed = false;
+        rounds += 1;
+        assert!(
+            rounds <= 4 * cfg.num_blocks() + 64,
+            "sync motion failed to terminate"
+        );
+        for b in cfg.block_ids().collect::<Vec<_>>() {
+            let mut i = 0;
+            loop {
+                let len = cfg.block(b).instrs.len();
+                if i >= len {
+                    break;
+                }
+                let Instr::SyncCtr { ctr } = cfg.block(b).instrs[i] else {
+                    i += 1;
+                    continue;
+                };
+                if i + 1 < len {
+                    let next = cfg.block(b).instrs[i + 1].clone();
+                    match next {
+                        Instr::SyncCtr { ctr: c2 } if c2 == ctr => {
+                            cfg.block_mut(b).instrs.remove(i + 1);
+                            stats.syncs_merged += 1;
+                            changed = true;
+                        }
+                        ref a if !sync_blocked(cfg, delay, ctr_map, &injective, ctr, a) => {
+                            cfg.block_mut(b).instrs.swap(i, i + 1);
+                            stats.sync_moves += 1;
+                            changed = true;
+                            i += 1;
+                        }
+                        _ => i += 1,
+                    }
+                } else {
+                    // Sync at the end of its block: try to propagate.
+                    if b == cfg.exit || parked.contains(&(b, ctr)) {
+                        i += 1;
+                        continue;
+                    }
+                    let succs = cfg.successors(b);
+                    if succs.is_empty() {
+                        i += 1;
+                        continue;
+                    }
+                    if succs
+                        .iter()
+                        .any(|&s| enters_foreign_loop(&loops, b, s))
+                    {
+                        parked.insert((b, ctr));
+                        i += 1;
+                        continue;
+                    }
+                    // Loop escape (the paper's anti-"every iteration"
+                    // heuristic): if this block belongs to a loop none of
+                    // whose instructions constrain this sync, hoist the
+                    // sync to the loop's exit targets instead of cycling a
+                    // copy through the body.
+                    let escape_loop = innermost_loop(&loops, b).filter(|&li| {
+                        !loop_needs_sync(cfg, delay, ctr_map, &injective, &loops[li], ctr)
+                    });
+                    cfg.block_mut(b).instrs.remove(i);
+                    if let Some(li) = escape_loop {
+                        for t in loop_exit_targets(cfg, &loops[li]) {
+                            if propagated.insert((t, ctr)) {
+                                cfg.block_mut(t).instrs.insert(0, Instr::SyncCtr { ctr });
+                            } else {
+                                stats.syncs_merged += 1;
+                            }
+                        }
+                    } else {
+                        for s in succs {
+                            if propagated.insert((s, ctr)) {
+                                cfg.block_mut(s).instrs.insert(0, Instr::SyncCtr { ctr });
+                            } else {
+                                stats.syncs_merged += 1;
+                            }
+                        }
+                    }
+                    stats.sync_moves += 1;
+                    changed = true;
+                    // Re-examine index i (a new instruction shifted in).
+                }
+            }
+        }
+    }
+}
+
+/// Whether jumping `from → to` enters a loop that `from` is not part of.
+fn enters_foreign_loop(loops: &[NaturalLoop], from: BlockId, to: BlockId) -> bool {
+    loops
+        .iter()
+        .any(|l| l.header == to && l.contains(to) && !l.contains(from))
+}
+
+/// Index of the innermost (fewest-blocks) loop containing `b`.
+fn innermost_loop(loops: &[NaturalLoop], b: BlockId) -> Option<usize> {
+    loops
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.contains(b))
+        .min_by_key(|(_, l)| l.blocks.len())
+        .map(|(i, _)| i)
+}
+
+/// Whether any instruction inside the loop constrains `sync_ctr(ctr)`.
+/// The counter's own initiation does not count (re-initiating an
+/// iteration-injective access needs no completion of the previous
+/// instance; non-injective self-overlap is caught by `shared_overlap`),
+/// and other syncs don't either (they are barriers to *crossing*, not
+/// consumers of this counter).
+fn loop_needs_sync(
+    cfg: &Cfg,
+    delay: &DelaySet,
+    ctr_map: &CtrMap,
+    injective: &HashSet<AccessId>,
+    l: &NaturalLoop,
+    ctr: CtrId,
+) -> bool {
+    for &b in &l.blocks {
+        for instr in &cfg.block(b).instrs {
+            if matches!(instr, Instr::SyncCtr { .. }) {
+                continue;
+            }
+            if instr_initiates(instr, ctr) {
+                // Own initiation: only a hazard when non-injective, which
+                // `sync_blocked`'s shared_overlap path reports below via
+                // the self check — so test it explicitly here.
+                let u = ctr_map[&ctr].access;
+                if shared_overlap(cfg, injective, u, u) {
+                    return true;
+                }
+                continue;
+            }
+            if sync_blocked(cfg, delay, ctr_map, injective, ctr, instr) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Whether `instr` is the initiation tracked by `ctr`.
+fn instr_initiates(instr: &Instr, ctr: CtrId) -> bool {
+    matches!(
+        instr,
+        Instr::GetInit { ctr: c, .. } | Instr::PutInit { ctr: c, .. } if *c == ctr
+    )
+}
+
+/// Blocks outside loop `l` that are targets of an edge leaving `l`.
+fn loop_exit_targets(cfg: &Cfg, l: &NaturalLoop) -> Vec<BlockId> {
+    let mut out = Vec::new();
+    for &b in &l.blocks {
+        for s in cfg.successors(b) {
+            if !l.contains(s) && !out.contains(&s) {
+                out.push(s);
+            }
+        }
+    }
+    out
+}
+
+/// Can `sync_ctr(ctr)` move past `a`?
+fn sync_blocked(
+    cfg: &Cfg,
+    delay: &DelaySet,
+    ctr_map: &CtrMap,
+    injective: &HashSet<AccessId>,
+    ctr: CtrId,
+    a: &Instr,
+) -> bool {
+    // Syncs never cross each other: it buys nothing and two adjacent syncs
+    // would otherwise swap forever.
+    if matches!(a, Instr::SyncCtr { .. }) {
+        return true;
+    }
+    // A sync never crosses its own initiation (it must stay downstream of
+    // the operation it completes).
+    if instr_initiates(a, ctr) {
+        return true;
+    }
+    let info = ctr_map[&ctr];
+    let u = info.access;
+    // Delay constraint: some access in `a` must wait for `u`'s completion.
+    if let Some(w) = a.access_id() {
+        if delay.contains(u, w) {
+            return true;
+        }
+        // Same-processor dependence through shared memory: the pending
+        // operation and `a` may touch the same location.
+        if shared_overlap(cfg, injective, u, w) {
+            return true;
+        }
+    }
+    // Barriers are hard stops: they are the landing pads for one-way
+    // conversion and phase boundaries for everything else.
+    if matches!(a, Instr::Barrier { .. }) {
+        return true;
+    }
+    // Local def-use: for a pending get, its destination must not be read or
+    // overwritten before the sync.
+    if let Some(dst) = info.get_dst {
+        let mut uses_dst = false;
+        a.for_each_use(&mut |v| uses_dst |= v == dst);
+        if uses_dst || a.def() == Some(dst) || a.array_def() == Some(dst) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Conservative same-processor aliasing between two shared accesses: same
+/// variable, at least one write, and indices not provably distinct on one
+/// processor. Index comparison is only trusted for `MYPROC`/constant
+/// expressions (locals could be redefined between the two points).
+fn shared_overlap(cfg: &Cfg, injective: &HashSet<AccessId>, u: AccessId, w: AccessId) -> bool {
+    // An iteration-injective access never collides with its own other
+    // instances.
+    if u == w && injective.contains(&u) {
+        return false;
+    }
+    let (ui, wi) = (cfg.accesses.info(u), cfg.accesses.info(w));
+    if !ui.kind.is_data() || !wi.kind.is_data() {
+        return false;
+    }
+    if ui.var != wi.var {
+        return false;
+    }
+    if ui.kind == AccessKind::Read && wi.kind == AccessKind::Read {
+        return false;
+    }
+    match (&ui.index, &wi.index) {
+        (None, None) => true,
+        (Some(e1), Some(e2)) if stable_index(e1) && stable_index(e2) => {
+            may_equal_same_proc(Some(e1), Some(e2))
+        }
+        _ => true,
+    }
+}
+
+/// An index expression whose value cannot change between program points:
+/// built only from constants and `MYPROC`/`PROCS`.
+fn stable_index(e: &Expr) -> bool {
+    match e {
+        Expr::Int(_) | Expr::Float(_) | Expr::Bool(_) | Expr::MyProc | Expr::Procs => true,
+        Expr::Local(_) | Expr::LocalElem { .. } => false,
+        Expr::Unary { expr, .. } => stable_index(expr),
+        Expr::Binary { lhs, rhs, .. } => stable_index(lhs) && stable_index(rhs),
+    }
+}
+
+/// Pulls initiations backward within their blocks.
+pub fn move_initiations(
+    cfg: &mut Cfg,
+    delay: &DelaySet,
+    ctr_map: &CtrMap,
+    stats: &mut OptStats,
+) {
+    let injective = iteration_injective_accesses(cfg);
+    for b in cfg.block_ids().collect::<Vec<_>>() {
+        let mut i = 1;
+        while i < cfg.block(b).instrs.len() {
+            let instr = cfg.block(b).instrs[i].clone();
+            let is_initiation = matches!(
+                instr,
+                Instr::GetInit { .. } | Instr::PutInit { .. } | Instr::StoreInit { .. }
+            );
+            if !is_initiation {
+                i += 1;
+                continue;
+            }
+            let u = instr.access_id().expect("initiations carry access ids");
+            let mut j = i;
+            while j > 0 {
+                let prev = cfg.block(b).instrs[j - 1].clone();
+                if init_blocked(cfg, delay, ctr_map, &injective, u, &instr, &prev) {
+                    break;
+                }
+                cfg.block_mut(b).instrs.swap(j - 1, j);
+                stats.init_moves += 1;
+                j -= 1;
+            }
+            i += 1;
+        }
+    }
+    cfg.recompute_access_positions();
+}
+
+/// Can the initiation of access `u` (instruction `instr`) move before
+/// `prev`?
+fn init_blocked(
+    cfg: &Cfg,
+    delay: &DelaySet,
+    ctr_map: &CtrMap,
+    injective: &HashSet<AccessId>,
+    u: AccessId,
+    instr: &Instr,
+    prev: &Instr,
+) -> bool {
+    // A sync point for an access we must wait on: either a delay edge, or
+    // the pending get feeds this initiation's operands (crossing would make
+    // us read the destination before it is valid).
+    if let Instr::SyncCtr { ctr } = prev {
+        let info = ctr_map[ctr];
+        if delay.contains(info.access, u) {
+            return true;
+        }
+        if let Some(dst) = info.get_dst {
+            let mut touches = false;
+            instr.for_each_use(&mut |v| touches |= v == dst);
+            if touches || instr.def() == Some(dst) || instr.array_def() == Some(dst) {
+                return true;
+            }
+        }
+        return false;
+    }
+    if let Some(w) = prev.access_id() {
+        if delay.contains(w, u) {
+            return true;
+        }
+        if shared_overlap(cfg, injective, w, u) {
+            return true;
+        }
+    }
+    // Local dataflow (operand definitions, destination clobbers).
+    local_dependence(prev, instr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::split::split_phase;
+    use syncopt_core::analyze;
+    use syncopt_frontend::prepare_program;
+    use syncopt_ir::lower::lower_main;
+
+    /// Runs split + sync motion + init motion with the refined delay set.
+    fn run(src: &str) -> (Cfg, OptStats) {
+        let cfg0 = lower_main(&prepare_program(src).unwrap()).unwrap();
+        let analysis = analyze(&cfg0);
+        let mut cfg = cfg0.clone();
+        let mut stats = OptStats::default();
+        let map = split_phase(&mut cfg, &mut stats);
+        move_syncs(&mut cfg, &analysis.delay_sync, &map, &mut stats);
+        move_initiations(&mut cfg, &analysis.delay_sync, &map, &mut stats);
+        cfg.recompute_access_positions();
+        (cfg, stats)
+    }
+
+    fn entry_kinds(cfg: &Cfg) -> Vec<String> {
+        cfg.block(cfg.entry)
+            .instrs
+            .iter()
+            .map(|i| {
+                let s = format!("{i:?}");
+                s.split_whitespace().next().unwrap().to_string()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sync_moves_past_independent_work() {
+        // get; sync; work → get; work; ...; sync (possibly in a later
+        // block: the destination is never used, so the sync can ride to
+        // the exit).
+        let (cfg, stats) = run(
+            "shared int A[64]; fn main() { int v; v = A[MYPROC + 1]; work(100); }",
+        );
+        let kinds = entry_kinds(&cfg);
+        let get_pos = kinds.iter().position(|k| k.contains("GetInit")).unwrap();
+        let work_pos = kinds.iter().position(|k| k.contains("Work")).unwrap();
+        assert!(get_pos < work_pos, "{kinds:?}");
+        if let Some(sync_pos) = kinds.iter().position(|k| k.contains("SyncCtr")) {
+            assert!(work_pos < sync_pos, "sync should pass work: {kinds:?}");
+        } else {
+            // Propagated onward; it must still exist somewhere (exit).
+            let total_syncs: usize = cfg
+                .blocks
+                .iter()
+                .flat_map(|b| b.instrs.iter())
+                .filter(|i| matches!(i, Instr::SyncCtr { .. }))
+                .count();
+            assert_eq!(total_syncs, 1);
+        }
+        assert!(stats.sync_moves > 0);
+    }
+
+    #[test]
+    fn sync_stops_at_use_of_get_destination() {
+        let (cfg, _) = run(
+            "shared int A[64]; fn main() { int v; v = A[MYPROC + 1]; work(v); }",
+        );
+        let kinds = entry_kinds(&cfg);
+        let work_pos = kinds.iter().position(|k| k.contains("Work")).unwrap();
+        let sync_pos = kinds.iter().position(|k| k.contains("SyncCtr")).unwrap();
+        assert!(sync_pos < work_pos, "sync must complete before use: {kinds:?}");
+    }
+
+    #[test]
+    fn two_gets_pipeline_without_conflicts() {
+        // Both initiations issue before either sync (message pipelining).
+        let (cfg, _) = run(
+            r#"
+            shared int A[64]; shared int B[64];
+            fn main() {
+                int x; int y;
+                x = A[MYPROC + 1];
+                y = B[MYPROC + 1];
+                work(x + y);
+            }
+            "#,
+        );
+        let kinds = entry_kinds(&cfg);
+        let inits: Vec<usize> = kinds
+            .iter()
+            .enumerate()
+            .filter(|(_, k)| k.contains("GetInit"))
+            .map(|(i, _)| i)
+            .collect();
+        let syncs: Vec<usize> = kinds
+            .iter()
+            .enumerate()
+            .filter(|(_, k)| k.contains("SyncCtr"))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(inits.len(), 2);
+        assert_eq!(syncs.len(), 2);
+        assert!(
+            inits.iter().max() < syncs.iter().min(),
+            "both gets should be outstanding together: {kinds:?}"
+        );
+    }
+
+    #[test]
+    fn sync_stops_at_barrier() {
+        let (cfg, _) = run(
+            "shared int A[64]; fn main() { A[MYPROC + 1] = 3; work(50); barrier; }",
+        );
+        let kinds = entry_kinds(&cfg);
+        let sync_pos = kinds.iter().position(|k| k.contains("SyncCtr")).unwrap();
+        let barrier_pos = kinds.iter().position(|k| k.contains("Barrier")).unwrap();
+        assert_eq!(
+            sync_pos + 1,
+            barrier_pos,
+            "sync should park right before the barrier: {kinds:?}"
+        );
+    }
+
+    #[test]
+    fn sync_propagates_through_branches_and_merges() {
+        // Figure 8 shape: the sync duplicates into both arms.
+        let (cfg, _) = run(
+            r#"
+            shared int X; shared int Z;
+            fn main() {
+                int x; int y; int z;
+                x = X;
+                y = 2;
+                if (MYPROC == 0) { y = x + 1; }
+                z = 1;
+                work(z);
+            }
+            "#,
+        );
+        // The get's sync must appear before `y = x + 1` in the then-arm and
+        // may float into the join/other arm as a copy.
+        let all: Vec<(usize, String)> = cfg
+            .block_ids()
+            .flat_map(|b| {
+                cfg.block(b)
+                    .instrs
+                    .iter()
+                    .map(move |i| (b.index(), format!("{i:?}")))
+            })
+            .collect();
+        let syncs = all.iter().filter(|(_, s)| s.contains("SyncCtr")).count();
+        assert!(syncs >= 1, "{all:?}");
+        // Wherever `y = x + 1` lives, a sync precedes it in that block.
+        for b in cfg.block_ids() {
+            let instrs = &cfg.block(b).instrs;
+            if let Some(use_pos) = instrs.iter().position(|i| {
+                let mut uses_x = false;
+                i.for_each_use(&mut |v| {
+                    uses_x |= cfg.vars.info(v).name == "%t0";
+                });
+                uses_x && matches!(i, Instr::AssignLocal { .. })
+            }) {
+                let sync_before = instrs[..use_pos]
+                    .iter()
+                    .any(|i| matches!(i, Instr::SyncCtr { .. }));
+                assert!(sync_before, "block {b:?} uses the get result unsynced");
+            }
+        }
+    }
+
+    #[test]
+    fn sync_does_not_enter_foreign_loop() {
+        let (cfg, _) = run(
+            r#"
+            shared int A[64];
+            fn main() {
+                int i;
+                A[MYPROC + 1] = 1;
+                for (i = 0; i < 100; i = i + 1) { work(5); }
+            }
+            "#,
+        );
+        // The put's sync must not be inside the loop body or header.
+        let dom = Dominators::compute(&cfg);
+        let loops = find_loops(&cfg, &dom);
+        assert_eq!(loops.len(), 1);
+        for b in &loops[0].blocks {
+            for instr in &cfg.block(*b).instrs {
+                assert!(
+                    !matches!(instr, Instr::SyncCtr { .. }),
+                    "sync leaked into loop block {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn initiation_moves_before_independent_work() {
+        let (cfg, stats) = run(
+            "shared int A[64]; fn main() { int v; work(100); v = A[MYPROC + 1]; work(v); }",
+        );
+        let kinds = entry_kinds(&cfg);
+        let get_pos = kinds.iter().position(|k| k.contains("GetInit")).unwrap();
+        let first_work = kinds.iter().position(|k| k.contains("Work")).unwrap();
+        assert!(get_pos < first_work, "get should hoist: {kinds:?}");
+        assert!(stats.init_moves > 0);
+    }
+
+    #[test]
+    fn initiation_stops_at_operand_definition() {
+        let (cfg, _) = run(
+            "shared int A[64]; fn main() { int i; i = MYPROC + 1; int v; v = A[i]; }",
+        );
+        let kinds = entry_kinds(&cfg);
+        let assign = kinds.iter().position(|k| k.contains("AssignLocal")).unwrap();
+        let get_pos = kinds.iter().position(|k| k.contains("GetInit")).unwrap();
+        assert!(assign < get_pos, "get cannot pass def of its index: {kinds:?}");
+    }
+
+    #[test]
+    fn same_location_accesses_stay_ordered() {
+        // write X then read X (same proc): the read's initiation must not
+        // cross the write, and the write's sync must precede the read.
+        let (cfg, _) = run("shared int X; fn main() { int v; X = 1; v = X; work(v); }");
+        let kinds = entry_kinds(&cfg);
+        let put = kinds.iter().position(|k| k.contains("PutInit")).unwrap();
+        let put_sync = kinds
+            .iter()
+            .position(|k| k.contains("SyncCtr"))
+            .unwrap();
+        let get = kinds.iter().position(|k| k.contains("GetInit")).unwrap();
+        assert!(put < get, "{kinds:?}");
+        assert!(put_sync < get, "write must complete before same-location read: {kinds:?}");
+    }
+
+    #[test]
+    fn delay_edges_block_motion() {
+        // Figure 1 producer: Write Data must complete before Write Flag.
+        let (cfg, _) = run(
+            r#"
+            shared int Data; shared int Flag;
+            fn main() {
+                int v;
+                if (MYPROC == 0) { Data = 1; Flag = 1; }
+                else { v = Flag; v = Data; }
+            }
+            "#,
+        );
+        // Find the block holding the two producer puts.
+        for b in cfg.block_ids() {
+            let instrs = &cfg.block(b).instrs;
+            let puts: Vec<usize> = instrs
+                .iter()
+                .enumerate()
+                .filter(|(_, i)| matches!(i, Instr::PutInit { .. }))
+                .map(|(i, _)| i)
+                .collect();
+            if puts.len() == 2 {
+                let sync_between = instrs[puts[0]..puts[1]]
+                    .iter()
+                    .any(|i| matches!(i, Instr::SyncCtr { .. }));
+                assert!(
+                    sync_between,
+                    "delay (WriteData, WriteFlag) must force a sync between the puts"
+                );
+            }
+        }
+    }
+}

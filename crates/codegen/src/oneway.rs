@@ -1,0 +1,184 @@
+//! Two-way → one-way communication conversion (§6).
+//!
+//! A `put` carries an acknowledgement so `sync_ctr` can observe its
+//! completion. When every `sync_ctr` copy for a put has propagated to a
+//! global barrier, the acknowledgement is pure overhead: the barrier's
+//! network quiescence already guarantees delivery. Such puts become
+//! `store`s — one-way writes with no ack traffic — and their syncs vanish.
+
+use crate::split::CtrMap;
+use crate::OptStats;
+use syncopt_ir::cfg::{Cfg, CtrId, Instr};
+
+/// Converts every eligible `put_ctr` into a `store` and removes its syncs.
+pub fn convert_one_way(cfg: &mut Cfg, ctr_map: &CtrMap, stats: &mut OptStats) {
+    // Gather sync positions per counter and check the barrier-adjacency
+    // condition.
+    let mut eligible: Vec<CtrId> = Vec::new();
+    for (&ctr, _) in ctr_map.iter() {
+        let mut sync_count = 0usize;
+        let mut all_at_barrier = true;
+        let mut is_put = false;
+        for b in cfg.block_ids() {
+            let instrs = &cfg.block(b).instrs;
+            for (i, instr) in instrs.iter().enumerate() {
+                match instr {
+                    Instr::SyncCtr { ctr: c } if *c == ctr => {
+                        sync_count += 1;
+                        let next_is_barrier =
+                            matches!(instrs.get(i + 1), Some(Instr::Barrier { .. }));
+                        all_at_barrier &= next_is_barrier;
+                    }
+                    Instr::PutInit { ctr: c, .. } if *c == ctr => {
+                        is_put = true;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if is_put && sync_count > 0 && all_at_barrier {
+            eligible.push(ctr);
+        }
+    }
+
+    for ctr in eligible {
+        for bi in 0..cfg.blocks.len() {
+            let b = syncopt_ir::ids::BlockId::from_index(bi);
+            let instrs = &mut cfg.block_mut(b).instrs;
+            let mut i = 0;
+            while i < instrs.len() {
+                match &instrs[i] {
+                    Instr::SyncCtr { ctr: c } if *c == ctr => {
+                        instrs.remove(i);
+                    }
+                    Instr::PutInit {
+                        access,
+                        dst,
+                        src,
+                        ctr: c,
+                    } if *c == ctr => {
+                        instrs[i] = Instr::StoreInit {
+                            access: *access,
+                            dst: dst.clone(),
+                            src: src.clone(),
+                        };
+                        i += 1;
+                    }
+                    _ => i += 1,
+                }
+            }
+        }
+        stats.puts_to_stores += 1;
+    }
+    cfg.recompute_access_positions();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::motion::{move_initiations, move_syncs};
+    use crate::split::split_phase;
+    use syncopt_core::analyze;
+    use syncopt_frontend::prepare_program;
+    use syncopt_ir::lower::lower_main;
+
+    fn run(src: &str) -> (Cfg, OptStats) {
+        let cfg0 = lower_main(&prepare_program(src).unwrap()).unwrap();
+        let analysis = analyze(&cfg0);
+        let mut cfg = cfg0.clone();
+        let mut stats = OptStats::default();
+        let map = split_phase(&mut cfg, &mut stats);
+        move_syncs(&mut cfg, &analysis.delay_sync, &map, &mut stats);
+        move_initiations(&mut cfg, &analysis.delay_sync, &map, &mut stats);
+        convert_one_way(&mut cfg, &map, &mut stats);
+        (cfg, stats)
+    }
+
+    fn count(cfg: &Cfg, pred: impl Fn(&Instr) -> bool) -> usize {
+        cfg.blocks
+            .iter()
+            .flat_map(|b| b.instrs.iter())
+            .filter(|i| pred(i))
+            .count()
+    }
+
+    #[test]
+    fn put_with_sync_at_barrier_becomes_store() {
+        let (cfg, stats) = run(
+            r#"
+            shared int A[64];
+            fn main() {
+                int v;
+                A[MYPROC + 1] = 7;
+                work(10);
+                barrier;
+                v = A[MYPROC];
+                work(v);
+            }
+            "#,
+        );
+        assert_eq!(stats.puts_to_stores, 1);
+        assert_eq!(count(&cfg, |i| matches!(i, Instr::StoreInit { .. })), 1);
+        assert_eq!(count(&cfg, |i| matches!(i, Instr::PutInit { .. })), 0);
+        // The store's sync is gone; the get's sync remains.
+        assert_eq!(count(&cfg, |i| matches!(i, Instr::SyncCtr { .. })), 1);
+    }
+
+    #[test]
+    fn put_without_barrier_keeps_ack() {
+        let (cfg, stats) = run(
+            "shared int A[64]; fn main() { A[MYPROC + 1] = 7; work(10); }",
+        );
+        assert_eq!(stats.puts_to_stores, 0);
+        assert_eq!(count(&cfg, |i| matches!(i, Instr::PutInit { .. })), 1);
+        assert_eq!(count(&cfg, |i| matches!(i, Instr::StoreInit { .. })), 0);
+    }
+
+    #[test]
+    fn put_whose_sync_is_blocked_by_use_keeps_ack() {
+        // Same-location read forces the sync before the read, not at the
+        // barrier.
+        let (cfg, stats) = run(
+            r#"
+            shared int X;
+            fn main() {
+                int v;
+                X = 1;
+                v = X;
+                work(v);
+                barrier;
+            }
+            "#,
+        );
+        assert_eq!(stats.puts_to_stores, 0);
+        assert!(count(&cfg, |i| matches!(i, Instr::PutInit { .. })) >= 1);
+    }
+
+    #[test]
+    fn gets_are_never_converted() {
+        let (cfg, stats) = run(
+            "shared int A[64]; fn main() { int v; v = A[MYPROC + 1]; barrier; work(v); }",
+        );
+        assert_eq!(stats.puts_to_stores, 0);
+        assert_eq!(count(&cfg, |i| matches!(i, Instr::GetInit { .. })), 1);
+    }
+
+    #[test]
+    fn loop_put_with_barrier_each_iteration_converts() {
+        let (cfg, stats) = run(
+            r#"
+            shared int A[64];
+            fn main() {
+                int i;
+                for (i = 0; i < 8; i = i + 1) {
+                    A[MYPROC + 1] = i;
+                    work(20);
+                    barrier;
+                }
+            }
+            "#,
+        );
+        assert_eq!(stats.puts_to_stores, 1, "{stats:?}");
+        assert_eq!(count(&cfg, |i| matches!(i, Instr::StoreInit { .. })), 1);
+    }
+}

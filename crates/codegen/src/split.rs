@@ -1,0 +1,155 @@
+//! Split-phase conversion (§6, "the first step in code generation").
+//!
+//! `v = read X` becomes `get_ctr(v, X, c); sync_ctr(c)` and
+//! `write X = e` becomes `put_ctr(X, e, c); sync_ctr(c)`. The transformation
+//! is *always* legal; the later motion passes create the actual overlap.
+//! Every access gets its own synchronizing counter so its completion can be
+//! tracked independently (counters are merged implicitly when syncs merge).
+
+use crate::OptStats;
+use std::collections::HashMap;
+use syncopt_ir::cfg::{Cfg, CtrId, Instr};
+use syncopt_ir::ids::AccessId;
+
+/// What a synchronizing counter tracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CtrInfo {
+    /// The access whose completion the counter observes.
+    pub access: AccessId,
+    /// For gets: the destination local that becomes valid at sync time.
+    pub get_dst: Option<syncopt_ir::ids::VarId>,
+}
+
+/// Maps each synchronizing counter to what it tracks.
+pub type CtrMap = HashMap<CtrId, CtrInfo>;
+
+/// Rewrites all blocking shared accesses into adjacent
+/// initiation/synchronization pairs. Returns the counter→access map.
+pub fn split_phase(cfg: &mut Cfg, stats: &mut OptStats) -> CtrMap {
+    let mut ctr_map = CtrMap::new();
+    for bi in 0..cfg.blocks.len() {
+        let block = syncopt_ir::ids::BlockId::from_index(bi);
+        let old = std::mem::take(&mut cfg.block_mut(block).instrs);
+        let mut new = Vec::with_capacity(old.len() * 2);
+        for instr in old {
+            match instr {
+                Instr::GetShared { access, dst, src } => {
+                    let ctr = cfg.fresh_ctr();
+                    ctr_map.insert(
+                        ctr,
+                        CtrInfo {
+                            access,
+                            get_dst: Some(dst),
+                        },
+                    );
+                    stats.gets_split += 1;
+                    new.push(Instr::GetInit {
+                        access,
+                        dst,
+                        src,
+                        ctr,
+                    });
+                    new.push(Instr::SyncCtr { ctr });
+                }
+                Instr::PutShared { access, dst, src } => {
+                    let ctr = cfg.fresh_ctr();
+                    ctr_map.insert(
+                        ctr,
+                        CtrInfo {
+                            access,
+                            get_dst: None,
+                        },
+                    );
+                    stats.puts_split += 1;
+                    new.push(Instr::PutInit {
+                        access,
+                        dst,
+                        src,
+                        ctr,
+                    });
+                    new.push(Instr::SyncCtr { ctr });
+                }
+                other => new.push(other),
+            }
+        }
+        cfg.block_mut(block).instrs = new;
+    }
+    cfg.recompute_access_positions();
+    ctr_map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syncopt_frontend::prepare_program;
+    use syncopt_ir::lower::lower_main;
+
+    fn split(src: &str) -> (Cfg, CtrMap, OptStats) {
+        let mut cfg = lower_main(&prepare_program(src).unwrap()).unwrap();
+        let mut stats = OptStats::default();
+        let map = split_phase(&mut cfg, &mut stats);
+        (cfg, map, stats)
+    }
+
+    #[test]
+    fn each_access_gets_its_own_counter() {
+        let (cfg, map, stats) = split(
+            "shared int X; shared int Y; fn main() { int v; v = X; Y = v; Y = v + 1; }",
+        );
+        assert_eq!(stats.gets_split, 1);
+        assert_eq!(stats.puts_split, 2);
+        assert_eq!(map.len(), 3);
+        // Counters are distinct and mapped to distinct accesses.
+        let mut accesses: Vec<AccessId> = map.values().map(|i| i.access).collect();
+        accesses.sort();
+        accesses.dedup();
+        assert_eq!(accesses.len(), 3);
+        // Gets record their destination; puts do not.
+        assert_eq!(map.values().filter(|i| i.get_dst.is_some()).count(), 1);
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn sync_follows_initiation_immediately() {
+        let (cfg, map, _) = split("shared int X; fn main() { int v; v = X; }");
+        let entry = cfg.block(cfg.entry);
+        let Instr::GetInit { ctr, .. } = &entry.instrs[0] else {
+            panic!("expected get init first: {:?}", entry.instrs);
+        };
+        let Instr::SyncCtr { ctr: sctr } = &entry.instrs[1] else {
+            panic!("expected sync second");
+        };
+        assert_eq!(ctr, sctr);
+        assert!(map.contains_key(ctr));
+    }
+
+    #[test]
+    fn sync_and_local_ops_are_untouched() {
+        let (cfg, _, _) = split(
+            "flag f; fn main() { int a; a = 1; work(a); barrier; post f; }",
+        );
+        let kinds: Vec<&Instr> = cfg
+            .blocks
+            .iter()
+            .flat_map(|b| b.instrs.iter())
+            .collect();
+        assert!(kinds.iter().any(|i| matches!(i, Instr::AssignLocal { .. })));
+        assert!(kinds.iter().any(|i| matches!(i, Instr::Work { .. })));
+        assert!(kinds.iter().any(|i| matches!(i, Instr::Barrier { .. })));
+        assert!(kinds.iter().any(|i| matches!(i, Instr::Post { .. })));
+        assert!(!kinds.iter().any(|i| matches!(i, Instr::SyncCtr { .. })));
+    }
+
+    #[test]
+    fn access_positions_are_refreshed() {
+        let (cfg, _, _) = split(
+            "shared int X; shared int Y; fn main() { int v; v = X; Y = v; }",
+        );
+        for (id, _) in cfg.accesses.iter() {
+            assert!(
+                cfg.instr_for_access(id).is_some(),
+                "stale position for {id}"
+            );
+        }
+    }
+}

@@ -1,0 +1,419 @@
+//! Affine analysis of array subscripts.
+//!
+//! The conflict set needs to decide whether two array accesses *could* touch
+//! the same element when executed by **different** processors. The paper
+//! notes that a conservative approximation of the conflict set is always
+//! sound (§6), so we only disambiguate the common SPMD pattern: subscripts
+//! of the form `c0 + c1·MYPROC` (plus terms in locals, which defeat the
+//! analysis conservatively).
+
+use syncopt_frontend::ast::{BinOp, UnOp};
+use syncopt_ir::expr::Expr;
+use syncopt_ir::ids::VarId;
+use std::collections::BTreeMap;
+
+/// An affine subscript `konst + myproc·MYPROC + Σ coeffs[v]·v`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Affine {
+    /// Constant term.
+    pub konst: i64,
+    /// Coefficient of `MYPROC`.
+    pub myproc: i64,
+    /// Coefficients of local variables (loop indices etc.).
+    pub coeffs: BTreeMap<VarId, i64>,
+}
+
+impl Affine {
+    /// The affine constant `c`.
+    pub fn constant(c: i64) -> Self {
+        Affine {
+            konst: c,
+            ..Default::default()
+        }
+    }
+
+    /// Whether the form has any local-variable terms.
+    pub fn has_locals(&self) -> bool {
+        self.coeffs.values().any(|&c| c != 0)
+    }
+
+    fn add(mut self, other: &Affine) -> Self {
+        self.konst += other.konst;
+        self.myproc += other.myproc;
+        for (v, c) in &other.coeffs {
+            *self.coeffs.entry(*v).or_insert(0) += c;
+        }
+        self.coeffs.retain(|_, c| *c != 0);
+        self
+    }
+
+    fn negate(mut self) -> Self {
+        self.konst = -self.konst;
+        self.myproc = -self.myproc;
+        for c in self.coeffs.values_mut() {
+            *c = -*c;
+        }
+        self
+    }
+
+    fn scale(mut self, k: i64) -> Self {
+        self.konst *= k;
+        self.myproc *= k;
+        for c in self.coeffs.values_mut() {
+            *c *= k;
+        }
+        self.coeffs.retain(|_, c| *c != 0);
+        self
+    }
+}
+
+/// Tries to put `expr` in affine form. Returns `None` for anything the
+/// analysis cannot handle exactly (division, modulo, comparisons, local
+/// array elements, `PROCS`, …).
+pub fn to_affine(expr: &Expr) -> Option<Affine> {
+    match expr {
+        Expr::Int(v) => Some(Affine::constant(*v)),
+        Expr::MyProc => Some(Affine {
+            myproc: 1,
+            ..Default::default()
+        }),
+        Expr::Local(v) => {
+            let mut coeffs = BTreeMap::new();
+            coeffs.insert(*v, 1);
+            Some(Affine {
+                konst: 0,
+                myproc: 0,
+                coeffs,
+            })
+        }
+        Expr::Unary {
+            op: UnOp::Neg,
+            expr,
+        } => Some(to_affine(expr)?.negate()),
+        Expr::Binary { op, lhs, rhs } => match op {
+            BinOp::Add => Some(to_affine(lhs)?.add(&to_affine(rhs)?)),
+            BinOp::Sub => Some(to_affine(lhs)?.add(&to_affine(rhs)?.negate())),
+            BinOp::Mul => {
+                let l = to_affine(lhs)?;
+                let r = to_affine(rhs)?;
+                if l.myproc == 0 && l.coeffs.is_empty() {
+                    Some(r.scale(l.konst))
+                } else if r.myproc == 0 && r.coeffs.is_empty() {
+                    Some(l.scale(r.konst))
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Could subscript `e1` evaluated on processor `p` equal subscript `e2`
+/// evaluated on a **different** processor `q`? Conservative: `true` unless
+/// provably disjoint.
+///
+/// The provable cases assume nothing about `PROCS` beyond `PROCS ≥ 2` and
+/// processor ids in `0..PROCS`.
+pub fn may_conflict_cross_proc(e1: Option<&Expr>, e2: Option<&Expr>) -> bool {
+    may_conflict_cross_proc_bounded(e1, e2, None)
+}
+
+/// [`may_conflict_cross_proc`] with an optional known processor count.
+///
+/// Knowing `PROCS` enables a *modular* disambiguation for loop-variant
+/// subscripts: if every local-variable coefficient in both subscripts is a
+/// multiple of `m`, then a collision requires
+/// `c0 + c1·p ≡ c0' + c1'·q (mod m)` for some `p ≠ q` in `0..PROCS`. The
+/// canonical SPMD scatter `A[q·B + MYPROC]` (with `B ≥ PROCS`) is thereby
+/// proven per-processor-disjoint even though `q` is a loop variable.
+pub fn may_conflict_cross_proc_bounded(
+    e1: Option<&Expr>,
+    e2: Option<&Expr>,
+    procs: Option<u32>,
+) -> bool {
+    let (Some(e1), Some(e2)) = (e1, e2) else {
+        // Scalars (no subscript) always alias themselves.
+        return true;
+    };
+    let (Some(a1), Some(a2)) = (to_affine(e1), to_affine(e2)) else {
+        return true;
+    };
+    if a1.has_locals() || a2.has_locals() {
+        // Loop-variant subscripts: try the modular argument, otherwise
+        // stay conservative.
+        if let Some(procs) = procs {
+            let m = local_coeff_gcd(&a1, &a2);
+            if m > 1 {
+                let collision = (0..procs as i64).any(|p| {
+                    (0..procs as i64).any(|q| {
+                        p != q
+                            && (a1.konst + a1.myproc * p - a2.konst - a2.myproc * q)
+                                .rem_euclid(m)
+                                == 0
+                    })
+                });
+                return collision;
+            }
+        }
+        return true;
+    }
+    // e1(p) = k1 + a·p, e2(q) = k2 + b·q; conflict iff ∃ p ≠ q: equal.
+    let (k1, a) = (a1.konst, a1.myproc);
+    let (k2, b) = (a2.konst, a2.myproc);
+    let d = k2 - k1; // need a·p − b·q = d
+    if a == b {
+        if a == 0 {
+            // Constant subscripts: same element iff equal constants.
+            return d == 0;
+        }
+        // a·(p − q) = d with p ≠ q: impossible when d = 0; otherwise
+        // needs d divisible by a with nonzero quotient.
+        return d != 0 && d % a == 0;
+    }
+    // Different coefficients: some (p, q) pair generally exists (we know
+    // nothing about PROCS). One more provable-disjoint case: one side
+    // constant, other side strided — disjoint iff non-divisible offset.
+    if a == 0 && b != 0 {
+        return d.rem_euclid(b.abs()) == 0;
+    }
+    if b == 0 && a != 0 {
+        return (-d).rem_euclid(a.abs()) == 0;
+    }
+    true
+}
+
+/// Public alias of [`local_coeff_gcd`] for sibling modules.
+pub(crate) fn local_coeff_gcd_pub(a1: &Affine, a2: &Affine) -> i64 {
+    local_coeff_gcd(a1, a2)
+}
+
+/// The gcd of all local-variable coefficients across both affine forms
+/// (0 when there are none).
+fn local_coeff_gcd(a1: &Affine, a2: &Affine) -> i64 {
+    fn gcd(a: i64, b: i64) -> i64 {
+        if b == 0 {
+            a.abs()
+        } else {
+            gcd(b, a % b)
+        }
+    }
+    let mut m = 0;
+    for c in a1.coeffs.values().chain(a2.coeffs.values()) {
+        m = gcd(m, *c);
+    }
+    m
+}
+
+/// Could subscript `e1` evaluated on processor `p` equal subscript `e2`
+/// evaluated on **any** processor `q` (including `q = p`)? Used for
+/// matching `post f[·]` sites against `wait f[·]` sites. Conservative:
+/// `true` unless provably disjoint for every `(p, q)`.
+pub fn may_match_any_proc(e1: Option<&Expr>, e2: Option<&Expr>) -> bool {
+    let (Some(e1), Some(e2)) = (e1, e2) else {
+        return true;
+    };
+    let (Some(a1), Some(a2)) = (to_affine(e1), to_affine(e2)) else {
+        return true;
+    };
+    if a1.has_locals() || a2.has_locals() {
+        return true;
+    }
+    let (k1, a) = (a1.konst, a1.myproc);
+    let (k2, b) = (a2.konst, a2.myproc);
+    let d = k2 - k1; // need a·p − b·q = d for some p, q ≥ 0
+    if a == 0 && b == 0 {
+        return d == 0;
+    }
+    if a == b {
+        return d % a == 0;
+    }
+    if a == 0 {
+        return d.rem_euclid(b.abs()) == 0;
+    }
+    if b == 0 {
+        return (-d).rem_euclid(a.abs()) == 0;
+    }
+    true
+}
+
+/// Could subscript `e1` equal `e2` when evaluated on the **same** processor
+/// and at the same point (identical local state)? Used for matching
+/// post/wait sites and redundant-access detection. Conservative: `true`
+/// unless provably disjoint.
+pub fn may_equal_same_proc(e1: Option<&Expr>, e2: Option<&Expr>) -> bool {
+    let (Some(e1), Some(e2)) = (e1, e2) else {
+        return true;
+    };
+    let (Some(a1), Some(a2)) = (to_affine(e1), to_affine(e2)) else {
+        return true;
+    };
+    // Difference must be identically zero to be *provably equal*; here we
+    // ask the opposite — provably different: difference is a nonzero
+    // constant once variable parts cancel.
+    let diff = a1.add(&a2.negate());
+    if diff.myproc == 0 && diff.coeffs.is_empty() {
+        return diff.konst == 0;
+    }
+    true
+}
+
+/// Are the two subscripts *provably equal* on the same processor with the
+/// same local state? (Stronger than [`may_equal_same_proc`].)
+pub fn provably_equal_same_proc(e1: Option<&Expr>, e2: Option<&Expr>) -> bool {
+    match (e1, e2) {
+        (None, None) => true,
+        (Some(e1), Some(e2)) => {
+            let (Some(a1), Some(a2)) = (to_affine(e1), to_affine(e2)) else {
+                return false;
+            };
+            a1 == a2
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syncopt_frontend::ast::BinOp;
+
+    fn myproc_plus(k: i64) -> Expr {
+        Expr::Binary {
+            op: BinOp::Add,
+            lhs: Box::new(Expr::MyProc),
+            rhs: Box::new(Expr::Int(k)),
+        }
+    }
+
+    fn myproc_times(k: i64) -> Expr {
+        Expr::Binary {
+            op: BinOp::Mul,
+            lhs: Box::new(Expr::MyProc),
+            rhs: Box::new(Expr::Int(k)),
+        }
+    }
+
+    #[test]
+    fn affine_of_linear_forms() {
+        let a = to_affine(&myproc_plus(3)).unwrap();
+        assert_eq!(a.konst, 3);
+        assert_eq!(a.myproc, 1);
+        let b = to_affine(&myproc_times(4)).unwrap();
+        assert_eq!(b.myproc, 4);
+        let c = to_affine(&Expr::Binary {
+            op: BinOp::Sub,
+            lhs: Box::new(myproc_times(4)),
+            rhs: Box::new(myproc_plus(1)),
+        })
+        .unwrap();
+        assert_eq!(c.myproc, 3);
+        assert_eq!(c.konst, -1);
+    }
+
+    #[test]
+    fn affine_rejects_nonlinear() {
+        assert!(to_affine(&Expr::Binary {
+            op: BinOp::Mul,
+            lhs: Box::new(Expr::MyProc),
+            rhs: Box::new(Expr::MyProc),
+        })
+        .is_none());
+        assert!(to_affine(&Expr::Binary {
+            op: BinOp::Rem,
+            lhs: Box::new(Expr::MyProc),
+            rhs: Box::new(Expr::Int(2)),
+        })
+        .is_none());
+        assert!(to_affine(&Expr::Procs).is_none());
+    }
+
+    #[test]
+    fn same_myproc_subscript_never_conflicts_cross_proc() {
+        // A[MYPROC] on p vs A[MYPROC] on q ≠ p: disjoint.
+        let e = Expr::MyProc;
+        assert!(!may_conflict_cross_proc(Some(&e), Some(&e)));
+    }
+
+    #[test]
+    fn neighbor_exchange_conflicts() {
+        // A[MYPROC] vs A[MYPROC + 1]: p = q + 1 collides.
+        let e1 = Expr::MyProc;
+        let e2 = myproc_plus(1);
+        assert!(may_conflict_cross_proc(Some(&e1), Some(&e2)));
+    }
+
+    #[test]
+    fn strided_blocks_disjoint_when_offset_within_stride() {
+        // A[4·MYPROC] vs A[4·MYPROC + 1]: never equal across processors.
+        let e1 = myproc_times(4);
+        let e2 = Expr::Binary {
+            op: BinOp::Add,
+            lhs: Box::new(myproc_times(4)),
+            rhs: Box::new(Expr::Int(1)),
+        };
+        assert!(!may_conflict_cross_proc(Some(&e1), Some(&e2)));
+        // But offset 4 is another processor's slot.
+        let e3 = Expr::Binary {
+            op: BinOp::Add,
+            lhs: Box::new(myproc_times(4)),
+            rhs: Box::new(Expr::Int(4)),
+        };
+        assert!(may_conflict_cross_proc(Some(&e1), Some(&e3)));
+    }
+
+    #[test]
+    fn constant_subscripts() {
+        let c3 = Expr::Int(3);
+        let c4 = Expr::Int(4);
+        assert!(may_conflict_cross_proc(Some(&c3), Some(&c3)));
+        assert!(!may_conflict_cross_proc(Some(&c3), Some(&c4)));
+    }
+
+    #[test]
+    fn constant_vs_strided() {
+        // A[6] vs A[4·MYPROC + 2]: 6 = 4q + 2 ⇒ q = 1: conflict.
+        let c6 = Expr::Int(6);
+        let strided = Expr::Binary {
+            op: BinOp::Add,
+            lhs: Box::new(myproc_times(4)),
+            rhs: Box::new(Expr::Int(2)),
+        };
+        assert!(may_conflict_cross_proc(Some(&c6), Some(&strided)));
+        // A[5] vs same: 5 = 4q + 2 has no integer solution: disjoint.
+        let c5 = Expr::Int(5);
+        assert!(!may_conflict_cross_proc(Some(&c5), Some(&strided)));
+    }
+
+    #[test]
+    fn loop_variables_are_conservative() {
+        let e = Expr::Binary {
+            op: BinOp::Add,
+            lhs: Box::new(Expr::Local(VarId(7))),
+            rhs: Box::new(Expr::MyProc),
+        };
+        assert!(may_conflict_cross_proc(Some(&e), Some(&e)));
+    }
+
+    #[test]
+    fn scalars_always_conflict() {
+        assert!(may_conflict_cross_proc(None, None));
+    }
+
+    #[test]
+    fn same_proc_equality() {
+        let e1 = myproc_plus(1);
+        let e2 = myproc_plus(2);
+        assert!(!may_equal_same_proc(Some(&e1), Some(&e2)));
+        assert!(may_equal_same_proc(Some(&e1), Some(&e1)));
+        assert!(provably_equal_same_proc(Some(&e1), Some(&e1)));
+        assert!(!provably_equal_same_proc(Some(&e1), Some(&e2)));
+        assert!(provably_equal_same_proc(None, None));
+        // Loop variable: may be equal, not provably so against a constant.
+        let v = Expr::Local(VarId(1));
+        assert!(may_equal_same_proc(Some(&v), Some(&Expr::Int(0))));
+        assert!(!provably_equal_same_proc(Some(&v), Some(&Expr::Int(0))));
+        assert!(provably_equal_same_proc(Some(&v), Some(&v)));
+    }
+}

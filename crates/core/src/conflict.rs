@@ -1,0 +1,363 @@
+//! Conflict-set construction (the `C` of `P ∪ C`, §3–§4).
+//!
+//! `C` conservatively approximates the cross-processor interferences: all
+//! unordered pairs of access sites `{a1, a2}` such that two *different*
+//! processors could touch the same location through them, with at least one
+//! side modifying it. In an SPMD program every site is executed by every
+//! processor, so a site can conflict **with itself** (e.g. two processors
+//! writing the same shared scalar through the same statement).
+//!
+//! Following Shasha & Snir, synchronization operations are modeled as
+//! conflicting accesses to their synchronization object; §5 then *orients*
+//! conflict edges using synchronization semantics. We therefore store the
+//! conflict set as a **directed** relation: initially symmetric, with
+//! directions removed as precedence information accrues (step 5 of the §5.1
+//! algorithm).
+
+use crate::affine::may_conflict_cross_proc_bounded;
+use crate::guards::{access_proc_sets, indices_may_collide, ProcSet};
+use syncopt_ir::access::AccessKind;
+use syncopt_ir::cfg::Cfg;
+use syncopt_ir::ids::AccessId;
+use syncopt_ir::order::BitMatrix;
+
+/// The (directed) conflict relation over access sites.
+#[derive(Debug, Clone)]
+pub struct ConflictSet {
+    n: usize,
+    directed: BitMatrix,
+}
+
+impl ConflictSet {
+    /// Builds the conflict set for `cfg` (symmetric: both directions set).
+    pub fn build(cfg: &Cfg) -> Self {
+        Self::build_bounded(cfg, None)
+    }
+
+    /// [`ConflictSet::build`] with a known processor count, enabling the
+    /// modular subscript disambiguation of
+    /// [`crate::affine::may_conflict_cross_proc_bounded`].
+    pub fn build_bounded(cfg: &Cfg, procs: Option<u32>) -> Self {
+        let n = cfg.accesses.len();
+        let mut directed = BitMatrix::new(n);
+        let infos: Vec<_> = cfg.accesses.iter().map(|(_, info)| info).collect();
+        let guards = access_proc_sets(cfg, procs);
+        for i in 0..n {
+            for j in i..n {
+                if sites_conflict(infos[i], infos[j], &guards[i], &guards[j], procs) {
+                    directed.set(i, j);
+                    directed.set(j, i);
+                }
+            }
+        }
+        ConflictSet { n, directed }
+    }
+
+    /// An empty conflict set over `n` accesses (used by tests).
+    pub fn empty(n: usize) -> Self {
+        ConflictSet {
+            n,
+            directed: BitMatrix::new(n),
+        }
+    }
+
+    /// Number of access sites covered.
+    pub fn num_accesses(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the directed conflict edge `a → b` is present (meaning an
+    /// execution where `a`'s instance is ordered before `b`'s instance can
+    /// be part of a violation path).
+    pub fn edge(&self, a: AccessId, b: AccessId) -> bool {
+        self.directed.get(a.index(), b.index())
+    }
+
+    /// Whether `a` and `b` conflict in at least one direction.
+    pub fn conflicts(&self, a: AccessId, b: AccessId) -> bool {
+        self.edge(a, b) || self.edge(b, a)
+    }
+
+    /// Removes the directed edge `a → b` (because synchronization guarantees
+    /// `b`'s instances never race ahead of `a` — step 5 of §5.1).
+    pub fn remove_direction(&mut self, a: AccessId, b: AccessId) {
+        self.directed.clear(a.index(), b.index());
+    }
+
+    /// The directed successors of `a` (all `b` with edge `a → b`).
+    pub fn succs(&self, a: AccessId) -> Vec<AccessId> {
+        (0..self.n)
+            .filter(|&j| self.directed.get(a.index(), j))
+            .map(AccessId::from_index)
+            .collect()
+    }
+
+    /// The directed predecessors of `a` (all `b` with edge `b → a`).
+    pub fn preds(&self, a: AccessId) -> Vec<AccessId> {
+        (0..self.n)
+            .filter(|&j| self.directed.get(j, a.index()))
+            .map(AccessId::from_index)
+            .collect()
+    }
+
+    /// All unordered conflicting pairs `(a, b)` with `a ≤ b`.
+    pub fn unordered_pairs(&self) -> Vec<(AccessId, AccessId)> {
+        let mut out = Vec::new();
+        for i in 0..self.n {
+            for j in i..self.n {
+                if self.directed.get(i, j) || self.directed.get(j, i) {
+                    out.push((AccessId::from_index(i), AccessId::from_index(j)));
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of directed edges currently present.
+    pub fn num_directed_edges(&self) -> usize {
+        self.directed.count_ones()
+    }
+}
+
+/// Do two access *sites* conflict (executed by different processors)?
+fn sites_conflict(
+    a: &syncopt_ir::access::AccessInfo,
+    b: &syncopt_ir::access::AccessInfo,
+    ga: &ProcSet,
+    gb: &ProcSet,
+    procs: Option<u32>,
+) -> bool {
+    use AccessKind::*;
+    match (a.kind, b.kind) {
+        // Barriers are global events: every barrier site interferes with
+        // every other (and itself).
+        (Barrier, Barrier) => true,
+        // Plain data accesses: same variable, at least one write, indices
+        // may coincide on two *distinct* processors allowed by the guards.
+        (Read, Read) => false,
+        (Read | Write, Read | Write) => {
+            a.var == b.var && a.var.is_some() && guarded_collision(a, b, ga, gb, procs)
+        }
+        // Event operations: a post modifies the event; two waits only
+        // observe it.
+        (Wait, Wait) => false,
+        (Post | Wait, Post | Wait) => {
+            a.var == b.var && guarded_collision(a, b, ga, gb, procs)
+        }
+        // Lock operations on the same lock all modify it (guards still
+        // apply: a lock op under `MYPROC == 0` cannot race with itself).
+        (LockAcq | LockRel, LockAcq | LockRel) => {
+            a.var == b.var && ga.exists_distinct_pair(gb, procs)
+        }
+        // Mixed kinds touch different objects.
+        _ => false,
+    }
+}
+
+/// Guard-aware location collision test for two same-variable accesses.
+fn guarded_collision(
+    a: &syncopt_ir::access::AccessInfo,
+    b: &syncopt_ir::access::AccessInfo,
+    ga: &ProcSet,
+    gb: &ProcSet,
+    procs: Option<u32>,
+) -> bool {
+    if !ga.exists_distinct_pair(gb, procs) {
+        return false;
+    }
+    match (&a.index, &b.index) {
+        (Some(e1), Some(e2)) => indices_may_collide(e1, e2, ga, gb, procs),
+        // Scalars: the guard test above is the whole story.
+        (None, None) => true,
+        // Shape mismatch cannot happen for same-variable accesses, but
+        // stay conservative.
+        _ => may_conflict_cross_proc_bounded(a.index.as_ref(), b.index.as_ref(), procs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syncopt_frontend::prepare_program;
+    use syncopt_ir::lower::lower_main;
+
+    fn conflicts_of(src: &str) -> (Cfg, ConflictSet) {
+        let cfg = lower_main(&prepare_program(src).unwrap()).unwrap();
+        let c = ConflictSet::build(&cfg);
+        (cfg, c)
+    }
+
+    fn ids(cfg: &Cfg) -> Vec<AccessId> {
+        cfg.accesses.ids().collect()
+    }
+
+    #[test]
+    fn flag_example_conflicts() {
+        // The paper's Figure 1 program.
+        let (cfg, c) = conflicts_of(
+            r#"
+            shared int Data; shared int Flag;
+            fn main() {
+                int v;
+                if (MYPROC == 0) { Data = 1; Flag = 1; }
+                else { v = Flag; v = Data; }
+            }
+            "#,
+        );
+        let a = ids(&cfg);
+        // a0=Write Data, a1=Write Flag, a2=Read Flag, a3=Read Data.
+        assert!(c.conflicts(a[0], a[3]), "write/read Data");
+        assert!(c.conflicts(a[1], a[2]), "write/read Flag");
+        assert!(!c.conflicts(a[0], a[1]), "different variables");
+        assert!(!c.conflicts(a[2], a[3]), "different variables");
+        // The `MYPROC == 0` guard means only one processor writes: the
+        // predicate refinement removes the write's self-conflict.
+        assert!(!c.conflicts(a[0], a[0]));
+        // Reads never self-conflict.
+        assert!(!c.conflicts(a[2], a[2]));
+    }
+
+    #[test]
+    fn unguarded_writes_self_conflict() {
+        let (cfg, c) = conflicts_of("shared int X; fn main() { X = MYPROC; }");
+        let a = ids(&cfg);
+        assert!(c.conflicts(a[0], a[0]));
+    }
+
+    #[test]
+    fn guards_disambiguate_same_processor_sites() {
+        // Both writes only execute on processor 0: no cross-processor
+        // conflict between them.
+        let (cfg, c) = conflicts_of(
+            r#"
+            shared int X;
+            fn main() {
+                if (MYPROC == 0) { X = 1; }
+                work(5);
+                if (MYPROC == 0) { X = 2; }
+            }
+            "#,
+        );
+        let a = ids(&cfg);
+        assert!(!c.conflicts(a[0], a[1]));
+        // But different-guard writes do conflict.
+        let (cfg2, c2) = conflicts_of(
+            r#"
+            shared int X;
+            fn main() {
+                if (MYPROC == 0) { X = 1; }
+                if (MYPROC == 1) { X = 2; }
+            }
+            "#,
+        );
+        let b = ids(&cfg2);
+        assert!(c2.conflicts(b[0], b[1]));
+        let _ = cfg2;
+    }
+
+    #[test]
+    fn owner_computes_writes_do_not_conflict() {
+        let (cfg, c) = conflicts_of(
+            "shared int A[64]; fn main() { A[MYPROC] = 1; }",
+        );
+        let a = ids(&cfg);
+        assert!(!c.conflicts(a[0], a[0]), "A[MYPROC] is per-processor");
+    }
+
+    #[test]
+    fn neighbor_read_conflicts_with_owner_write() {
+        let (cfg, c) = conflicts_of(
+            "shared int A[64]; fn main() { int v; A[MYPROC] = 1; v = A[MYPROC + 1]; }",
+        );
+        let a = ids(&cfg);
+        assert!(c.conflicts(a[0], a[1]));
+    }
+
+    #[test]
+    fn reads_never_conflict() {
+        let (cfg, c) = conflicts_of(
+            "shared int X; fn main() { int v; v = X; v = X; }",
+        );
+        let a = ids(&cfg);
+        assert!(!c.conflicts(a[0], a[1]));
+        assert_eq!(c.unordered_pairs().len(), 0);
+    }
+
+    #[test]
+    fn sync_objects_conflict_appropriately() {
+        let (cfg, c) = conflicts_of(
+            r#"
+            flag f; flag g; lock l;
+            fn main() {
+                if (MYPROC == 0) { post f; } else { wait f; wait g; }
+                lock l; unlock l;
+            }
+            "#,
+        );
+        let a = ids(&cfg);
+        // a0=post f, a1=wait f, a2=wait g, a3=lock, a4=unlock.
+        assert!(c.conflicts(a[0], a[1]), "post/wait same flag");
+        assert!(!c.conflicts(a[0], a[2]), "different flags");
+        assert!(!c.conflicts(a[1], a[1]), "wait/wait no conflict");
+        assert!(c.conflicts(a[3], a[4]), "lock ops on same lock");
+        assert!(c.conflicts(a[3], a[3]), "acquire self-conflicts");
+        assert!(!c.conflicts(a[0], a[3]), "flag vs lock");
+    }
+
+    #[test]
+    fn barriers_conflict_with_each_other() {
+        let (cfg, c) = conflicts_of("fn main() { barrier; barrier; }");
+        let a = ids(&cfg);
+        assert!(c.conflicts(a[0], a[1]));
+        assert!(c.conflicts(a[0], a[0]));
+    }
+
+    #[test]
+    fn data_and_sync_do_not_conflict() {
+        let (cfg, c) = conflicts_of(
+            "shared int X; flag f; fn main() { X = 1; post f; barrier; }",
+        );
+        let a = ids(&cfg);
+        assert!(!c.conflicts(a[0], a[1]));
+        assert!(!c.conflicts(a[0], a[2]));
+        assert!(!c.conflicts(a[1], a[2]));
+    }
+
+    #[test]
+    fn direction_removal() {
+        let (cfg, mut c) = conflicts_of(
+            "shared int X; fn main() { int v; X = 1; v = X; }",
+        );
+        let a = ids(&cfg);
+        assert!(c.edge(a[0], a[1]) && c.edge(a[1], a[0]));
+        let before = c.num_directed_edges();
+        c.remove_direction(a[1], a[0]);
+        assert!(c.edge(a[0], a[1]));
+        assert!(!c.edge(a[1], a[0]));
+        assert!(c.conflicts(a[0], a[1]), "still conflicting one-way");
+        assert_eq!(c.num_directed_edges(), before - 1);
+        // The write keeps its self-conflict edge (same site, two procs).
+        assert_eq!(c.succs(a[0]), vec![a[0], a[1]]);
+        assert!(c.succs(a[1]).is_empty());
+        assert_eq!(c.preds(a[1]), vec![a[0]]);
+    }
+
+    #[test]
+    fn flag_arrays_disambiguate_by_index() {
+        let (cfg, c) = conflicts_of(
+            r#"
+            flag f[16];
+            fn main() {
+                post f[MYPROC];
+                wait f[MYPROC];
+                wait f[0];
+            }
+            "#,
+        );
+        let a = ids(&cfg);
+        // post f[MYPROC] vs wait f[MYPROC] on different procs: indices differ.
+        assert!(!c.conflicts(a[0], a[1]));
+        // post f[MYPROC] vs wait f[0]: processor 0's post matches.
+        assert!(c.conflicts(a[0], a[2]));
+    }
+}

@@ -1,0 +1,434 @@
+//! SPMD cycle detection — the back-path algorithm (§4, and the authors'
+//! LCPC'94 SPMD reduction, reference 11).
+//!
+//! A delay `(u, v)` is required for a program edge `u ≤_P v` iff the graph
+//! `P ∪ C` contains a *back-path* from `v` to `u` whose interior lies on
+//! other processors. Because the program is SPMD, two copies of the program
+//! suffice: a violation cycle spanning any number of processors folds onto
+//!
+//! * the **home copy** holding only `u` and `v`, and
+//! * the **mirror copy** holding the remote accesses, connected internally
+//!   by program-order edges (`P`, the remote processor executes the same
+//!   code) and by conflict edges (`C`, for cycles through ≥ 3 processors).
+//!
+//! So `(u, v)` is a delay iff there exist accesses `x`, `y` with directed
+//! conflict edges `v → x` and `y → u` such that `x = y` or `y'` is
+//! reachable from `x'` inside the mirror copy.
+//!
+//! We check for *any* back-path rather than Shasha & Snir's *simple* paths
+//! (testing simple paths is NP-hard in general). This yields a sufficient,
+//! possibly slightly larger delay set — the standard practical compromise,
+//! and exact for the two-processor patterns the paper's figures exercise.
+
+use crate::conflict::ConflictSet;
+use crate::delay::DelaySet;
+use syncopt_ir::access::AccessKind;
+use syncopt_ir::cfg::Cfg;
+use syncopt_ir::ids::AccessId;
+use syncopt_ir::order::{BitMatrix, ProgramOrder};
+
+/// Options controlling one delay-set computation.
+#[derive(Default)]
+pub struct DelayOptions<'a> {
+    /// Restrict candidates to pairs where at least one side is a
+    /// synchronization access (used to compute `D1` in §5.1 step 2).
+    pub only_sync_pairs: bool,
+    /// Per-candidate node removal: given the candidate `(u, v)`, returns
+    /// access sites that cannot appear on a back-path and must be excluded
+    /// from the mirror copy (§5.1 step 6 refinement, §5.3 lock rule).
+    #[allow(clippy::type_complexity)]
+    pub removals: Option<Box<dyn Fn(AccessId, AccessId) -> Vec<AccessId> + 'a>>,
+}
+
+/// The mirror-copy graph plus cached reachability.
+pub struct BackPathOracle<'a> {
+    cfg: &'a Cfg,
+    conflicts: &'a ConflictSet,
+    #[allow(dead_code)]
+    po: &'a ProgramOrder,
+    /// Adjacency inside the mirror copy: program-order ∪ conflict edges.
+    mirror_adj: Vec<Vec<usize>>,
+    /// Cached reachability over the full mirror copy (no removals):
+    /// `reach.get(x, y)` iff `y'` reachable from `x'` via ≥ 1 edge.
+    reach: BitMatrix,
+}
+
+impl<'a> BackPathOracle<'a> {
+    /// Builds the oracle for the current (possibly partially oriented)
+    /// conflict set.
+    pub fn new(cfg: &'a Cfg, conflicts: &'a ConflictSet, po: &'a ProgramOrder) -> Self {
+        let n = cfg.accesses.len();
+        let mut mirror_adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut edges = Vec::new();
+        for (x, adj) in mirror_adj.iter_mut().enumerate() {
+            let xa = AccessId::from_index(x);
+            for y in 0..n {
+                let ya = AccessId::from_index(y);
+                let p_edge = x != y && po.access_precedes(cfg, xa, ya);
+                let c_edge = conflicts.edge(xa, ya);
+                if p_edge || c_edge {
+                    adj.push(y);
+                    edges.push((x, y));
+                }
+            }
+        }
+        let reach = syncopt_ir::order::reachability(n, &edges);
+        BackPathOracle {
+            cfg,
+            conflicts,
+            po,
+            mirror_adj,
+            reach,
+        }
+    }
+
+    /// Whether a back-path from `v` to `u` exists, excluding `removed`
+    /// accesses from the mirror copy.
+    pub fn has_back_path(&self, u: AccessId, v: AccessId, removed: &[AccessId]) -> bool {
+        let starts: Vec<AccessId> = self
+            .conflicts
+            .succs(v)
+            .into_iter()
+            .filter(|x| !removed.contains(x))
+            .collect();
+        if starts.is_empty() {
+            return false;
+        }
+        let ends: Vec<AccessId> = self
+            .conflicts
+            .preds(u)
+            .into_iter()
+            .filter(|y| !removed.contains(y))
+            .collect();
+        if ends.is_empty() {
+            return false;
+        }
+        // Direct two-conflict-edge path through a single remote access.
+        for &x in &starts {
+            if ends.contains(&x) {
+                return true;
+            }
+        }
+        if removed.is_empty() {
+            // Use cached full reachability.
+            return starts
+                .iter()
+                .any(|x| ends.iter().any(|y| self.reach.get(x.index(), y.index())));
+        }
+        // Quick refutation: if even the unrestricted graph has no path,
+        // the restricted one cannot.
+        if !starts
+            .iter()
+            .any(|x| ends.iter().any(|y| self.reach.get(x.index(), y.index())))
+        {
+            return false;
+        }
+        // BFS avoiding removed nodes.
+        let n = self.cfg.accesses.len();
+        let mut blocked = vec![false; n];
+        for r in removed {
+            blocked[r.index()] = true;
+        }
+        let mut seen = vec![false; n];
+        let mut queue: Vec<usize> = Vec::new();
+        for x in &starts {
+            if !seen[x.index()] {
+                seen[x.index()] = true;
+                queue.push(x.index());
+            }
+        }
+        let mut qi = 0;
+        let end_set: Vec<bool> = {
+            let mut s = vec![false; n];
+            for y in &ends {
+                s[y.index()] = true;
+            }
+            s
+        };
+        while qi < queue.len() {
+            let node = queue[qi];
+            qi += 1;
+            if end_set[node] {
+                return true;
+            }
+            for &next in &self.mirror_adj[node] {
+                if !seen[next] && !blocked[next] {
+                    seen[next] = true;
+                    queue.push(next);
+                }
+            }
+        }
+        false
+    }
+}
+
+/// Computes a delay set by back-path detection over `P ∪ C`.
+///
+/// With default options and a freshly built (symmetric) conflict set this is
+/// the Shasha–Snir set `D_SS`; §5 calls it with oriented conflicts, the
+/// sync-pair restriction, and removal callbacks.
+pub fn compute_delay_set(
+    cfg: &Cfg,
+    conflicts: &ConflictSet,
+    po: &ProgramOrder,
+    opts: &DelayOptions<'_>,
+) -> DelaySet {
+    let n = cfg.accesses.len();
+    let oracle = BackPathOracle::new(cfg, conflicts, po);
+    let mut out = DelaySet::new(n);
+    let is_sync: Vec<bool> = cfg
+        .accesses
+        .iter()
+        .map(|(_, info)| info.kind.is_sync())
+        .collect();
+    for u in cfg.accesses.ids() {
+        for v in cfg.accesses.ids() {
+            if !po.access_precedes(cfg, u, v) {
+                continue;
+            }
+            if opts.only_sync_pairs && !is_sync[u.index()] && !is_sync[v.index()] {
+                continue;
+            }
+            let removed = match &opts.removals {
+                Some(f) => f(u, v),
+                None => Vec::new(),
+            };
+            if oracle.has_back_path(u, v, &removed) {
+                out.insert(u, v);
+            }
+        }
+    }
+    out
+}
+
+/// The Shasha–Snir delay set: all-pairs back-path detection on the
+/// unoriented conflict set.
+pub fn shasha_snir(cfg: &Cfg) -> DelaySet {
+    shasha_snir_bounded(cfg, None)
+}
+
+/// [`shasha_snir`] with a known processor count (modular subscript
+/// disambiguation).
+pub fn shasha_snir_bounded(cfg: &Cfg, procs: Option<u32>) -> DelaySet {
+    let conflicts = ConflictSet::build_bounded(cfg, procs);
+    let po = ProgramOrder::compute(cfg);
+    compute_delay_set(cfg, &conflicts, &po, &DelayOptions::default())
+}
+
+/// Convenience predicate: is access `a` a data access (read/write)?
+pub fn is_data_access(cfg: &Cfg, a: AccessId) -> bool {
+    matches!(
+        cfg.accesses.info(a).kind,
+        AccessKind::Read | AccessKind::Write
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syncopt_frontend::prepare_program;
+    use syncopt_ir::lower::lower_main;
+
+    fn delays(src: &str) -> (Cfg, DelaySet) {
+        let cfg = lower_main(&prepare_program(src).unwrap()).unwrap();
+        let d = shasha_snir(&cfg);
+        (cfg, d)
+    }
+
+    /// Finds the n-th access id (in program order of the table).
+    fn a(cfg: &Cfg, i: usize) -> AccessId {
+        cfg.accesses.ids().nth(i).unwrap()
+    }
+
+    #[test]
+    fn figure1_flag_idiom_requires_both_delays() {
+        // Figure 1: the figure-eight. Producer writes Data then Flag;
+        // consumer reads Flag then Data. Both program edges need delays.
+        let (cfg, d) = delays(
+            r#"
+            shared int Data; shared int Flag;
+            fn main() {
+                int v;
+                if (MYPROC == 0) { Data = 1; Flag = 1; }
+                else { v = Flag; v = Data; }
+            }
+            "#,
+        );
+        // a0 = Write Data, a1 = Write Flag, a2 = Read Flag, a3 = Read Data.
+        assert!(d.contains(a(&cfg, 0), a(&cfg, 1)), "write side delay");
+        assert!(d.contains(a(&cfg, 2), a(&cfg, 3)), "read side delay");
+    }
+
+    #[test]
+    fn figure4_no_cycle_no_delay() {
+        // Figure 4: both processors touch Data and then Flag in the *same*
+        // order (writer writes both, reader reads both). P ∪ C has no
+        // figure-eight, so no delay constraints are required.
+        let (cfg, d) = delays(
+            r#"
+            shared int Data; shared int Flag;
+            fn main() {
+                int v;
+                if (MYPROC == 0) { Data = 1; Flag = 1; }
+                else { v = Data; v = Flag; }
+            }
+            "#,
+        );
+        assert_eq!(cfg.accesses.len(), 4);
+        assert!(d.is_empty(), "unexpected delays: {:?}", d.pairs());
+    }
+
+    #[test]
+    fn independent_variables_need_no_delay() {
+        // Each processor works on its own array slot: no conflicts at all.
+        let (cfg, d) = delays(
+            "shared int A[64]; fn main() { A[MYPROC] = 1; A[MYPROC] = 2; }",
+        );
+        assert!(d.is_empty(), "unexpected delays: {:?}", d.pairs());
+        assert_eq!(cfg.accesses.len(), 2);
+    }
+
+    #[test]
+    fn racy_accumulate_requires_delays() {
+        // Two unsynchronized writes to the same scalar from all processors,
+        // interleaved with reads — classic cycle.
+        let (_cfg, d) = delays(
+            "shared int X; shared int Y; fn main() { int v; X = 1; v = Y; Y = 2; }",
+        );
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn three_processor_cycle_detected() {
+        // A cycle that needs ≥3 processors: proc 0 writes X reads Y, proc 1
+        // writes Y reads Z, proc 2 writes Z reads X. As SPMD all branches
+        // exist; the mirror-copy C edges make the multi-hop path visible.
+        let (cfg, d) = delays(
+            r#"
+            shared int X; shared int Y; shared int Z;
+            fn main() {
+                int v;
+                if (MYPROC == 0) { X = 1; v = Y; }
+                else if (MYPROC == 1) { Y = 1; v = Z; }
+                else { Z = 1; v = X; }
+            }
+            "#,
+        );
+        // The write-X-then-read-Y edge needs a delay: back-path
+        // v=readY →C writeY' →P readZ' →C writeZ'' →P readX'' →C writeX=u.
+        let wx = cfg
+            .accesses
+            .iter()
+            .find(|(_, i)| {
+                i.kind == AccessKind::Write
+                    && cfg.vars.info(i.var.unwrap()).name == "X"
+            })
+            .unwrap()
+            .0;
+        let ry = cfg
+            .accesses
+            .iter()
+            .find(|(_, i)| {
+                i.kind == AccessKind::Read && cfg.vars.info(i.var.unwrap()).name == "Y"
+            })
+            .unwrap()
+            .0;
+        assert!(d.contains(wx, ry));
+    }
+
+    #[test]
+    fn loop_carried_self_delay() {
+        // A read and write of the same scalar inside a loop: successive
+        // iterations are ordered both ways, and both delay directions hold.
+        let (cfg, d) = delays(
+            r#"
+            shared int X;
+            fn main() {
+                int i; int v;
+                for (i = 0; i < 4; i = i + 1) { v = X; X = v + 1; }
+            }
+            "#,
+        );
+        let read = cfg
+            .accesses
+            .iter()
+            .find(|(_, i)| i.kind == AccessKind::Read)
+            .unwrap()
+            .0;
+        let write = cfg
+            .accesses
+            .iter()
+            .find(|(_, i)| i.kind == AccessKind::Write)
+            .unwrap()
+            .0;
+        assert!(d.contains(read, write));
+        assert!(d.contains(write, read), "loop-carried direction");
+    }
+
+    #[test]
+    fn sync_pair_restriction_filters_data_pairs() {
+        let src = r#"
+            shared int Data; shared int Flag; flag f;
+            fn main() {
+                int v;
+                if (MYPROC == 0) { Data = 1; post f; Flag = 1; }
+                else { v = Flag; wait f; v = Data; }
+            }
+        "#;
+        let cfg = lower_main(&prepare_program(src).unwrap()).unwrap();
+        let conflicts = ConflictSet::build(&cfg);
+        let po = ProgramOrder::compute(&cfg);
+        let d1 = compute_delay_set(
+            &cfg,
+            &conflicts,
+            &po,
+            &DelayOptions {
+                only_sync_pairs: true,
+                removals: None,
+            },
+        );
+        let is_sync = |x: AccessId| cfg.accesses.info(x).kind.is_sync();
+        assert!(!d1.is_empty());
+        for (u, v) in d1.pairs() {
+            assert!(is_sync(u) || is_sync(v), "non-sync pair ({u}, {v}) in D1");
+        }
+    }
+
+    #[test]
+    fn removals_can_break_back_paths() {
+        let src = r#"
+            shared int Data; shared int Flag;
+            fn main() {
+                int v;
+                if (MYPROC == 0) { Data = 1; Flag = 1; }
+                else { v = Flag; v = Data; }
+            }
+        "#;
+        let cfg = lower_main(&prepare_program(src).unwrap()).unwrap();
+        let conflicts = ConflictSet::build(&cfg);
+        let po = ProgramOrder::compute(&cfg);
+        // Removing the consumer-side reads destroys every back-path for the
+        // producer edge (Write Data, Write Flag).
+        let all: Vec<AccessId> = cfg.accesses.ids().collect();
+        let reads: Vec<AccessId> = all
+            .iter()
+            .copied()
+            .filter(|&x| cfg.accesses.info(x).kind == AccessKind::Read)
+            .collect();
+        let d = compute_delay_set(
+            &cfg,
+            &conflicts,
+            &po,
+            &DelayOptions {
+                only_sync_pairs: false,
+                removals: Some(Box::new(move |_u, _v| reads.clone())),
+            },
+        );
+        let writes: Vec<AccessId> = all
+            .iter()
+            .copied()
+            .filter(|&x| cfg.accesses.info(x).kind == AccessKind::Write)
+            .collect();
+        assert!(!d.contains(writes[0], writes[1]));
+    }
+}

@@ -1,0 +1,142 @@
+//! The delay set `D` (§3): ordered pairs of access sites `(u, v)` such that
+//! `v` must not be issued until `u` has completed.
+
+use syncopt_ir::ids::AccessId;
+use syncopt_ir::order::BitMatrix;
+
+/// A set of ordered delay pairs over `n` access sites.
+#[derive(Debug, Clone)]
+pub struct DelaySet {
+    n: usize,
+    m: BitMatrix,
+    count: usize,
+}
+
+impl DelaySet {
+    /// An empty delay set over `n` access sites.
+    pub fn new(n: usize) -> Self {
+        DelaySet {
+            n,
+            m: BitMatrix::new(n),
+            count: 0,
+        }
+    }
+
+    /// Number of access sites covered.
+    pub fn num_accesses(&self) -> usize {
+        self.n
+    }
+
+    /// Inserts the delay `(u, v)`: `v` waits for `u`'s completion.
+    pub fn insert(&mut self, u: AccessId, v: AccessId) {
+        if !self.m.get(u.index(), v.index()) {
+            self.m.set(u.index(), v.index());
+            self.count += 1;
+        }
+    }
+
+    /// Whether the delay `(u, v)` is present.
+    pub fn contains(&self, u: AccessId, v: AccessId) -> bool {
+        self.m.get(u.index(), v.index())
+    }
+
+    /// Number of delay pairs.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// All delay pairs in `(u, v)` index order.
+    pub fn pairs(&self) -> Vec<(AccessId, AccessId)> {
+        let mut out = Vec::with_capacity(self.count);
+        for u in 0..self.n {
+            for v in 0..self.n {
+                if self.m.get(u, v) {
+                    out.push((AccessId::from_index(u), AccessId::from_index(v)));
+                }
+            }
+        }
+        out
+    }
+
+    /// Inserts every pair of `other`.
+    pub fn union_with(&mut self, other: &DelaySet) {
+        assert_eq!(self.n, other.n, "delay sets over different access tables");
+        for (u, v) in other.pairs() {
+            self.insert(u, v);
+        }
+    }
+
+    /// Whether every pair of `self` is in `other`.
+    pub fn is_subset_of(&self, other: &DelaySet) -> bool {
+        self.pairs().iter().all(|&(u, v)| other.contains(u, v))
+    }
+
+    /// The delays whose *first* component is `u` (completions `v` must wait
+    /// for are found with [`DelaySet::delays_into`]).
+    pub fn delays_from(&self, u: AccessId) -> Vec<AccessId> {
+        (0..self.n)
+            .filter(|&v| self.m.get(u.index(), v))
+            .map(AccessId::from_index)
+            .collect()
+    }
+
+    /// The accesses `u` that must complete before `v` issues.
+    pub fn delays_into(&self, v: AccessId) -> Vec<AccessId> {
+        (0..self.n)
+            .filter(|&u| self.m.get(u, v.index()))
+            .map(AccessId::from_index)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(i: u32) -> AccessId {
+        AccessId(i)
+    }
+
+    #[test]
+    fn insert_and_query() {
+        let mut d = DelaySet::new(4);
+        assert!(d.is_empty());
+        d.insert(a(0), a(1));
+        d.insert(a(0), a(1)); // idempotent
+        d.insert(a(2), a(3));
+        assert_eq!(d.len(), 2);
+        assert!(d.contains(a(0), a(1)));
+        assert!(!d.contains(a(1), a(0)), "delays are ordered");
+        assert_eq!(d.pairs(), vec![(a(0), a(1)), (a(2), a(3))]);
+    }
+
+    #[test]
+    fn union_and_subset() {
+        let mut d1 = DelaySet::new(3);
+        d1.insert(a(0), a(1));
+        let mut d2 = DelaySet::new(3);
+        d2.insert(a(1), a(2));
+        let mut u = d1.clone();
+        u.union_with(&d2);
+        assert_eq!(u.len(), 2);
+        assert!(d1.is_subset_of(&u));
+        assert!(d2.is_subset_of(&u));
+        assert!(!u.is_subset_of(&d1));
+    }
+
+    #[test]
+    fn directional_queries() {
+        let mut d = DelaySet::new(4);
+        d.insert(a(0), a(2));
+        d.insert(a(0), a(3));
+        d.insert(a(1), a(3));
+        assert_eq!(d.delays_from(a(0)), vec![a(2), a(3)]);
+        assert_eq!(d.delays_into(a(3)), vec![a(0), a(1)]);
+        assert!(d.delays_into(a(0)).is_empty());
+    }
+}

@@ -1,0 +1,388 @@
+//! Predicate-aware conflict refinement.
+//!
+//! SPMD programs constantly branch on `MYPROC` (`if (MYPROC == 0) {...}`,
+//! `if (MYPROC % 4 == r) {...}`): the guarded code executes on a *subset*
+//! of the processors. Treating every access site as executed by every
+//! processor (the plain Shasha–Snir reading) manufactures conflicts that
+//! cannot happen — e.g. a write under `MYPROC == 0` can never self-conflict
+//! because only one processor runs it.
+//!
+//! This module computes, for every access site, the set of processors that
+//! can execute it, by collecting the *processor-pure* branch conditions
+//! (expressions over `MYPROC`, `PROCS`, and constants only) that dominate
+//! the site, and — when the machine size is known — evaluating them for
+//! each processor id. The conflict set then requires a *distinct* pair of
+//! processors satisfying both sides' guards, and, for affine subscripts,
+//! an actual index collision at some such pair.
+//!
+//! This is an extension beyond the 1995 paper (which relies on the
+//! conservative conflict set being sound); it follows the same principle
+//! as its affine subscript handling and is exercised by the evaluation
+//! kernels' owner-computes guards.
+
+use crate::affine::to_affine;
+use std::collections::HashMap;
+use syncopt_frontend::ast::{BinOp, UnOp};
+use syncopt_ir::cfg::{Cfg, Terminator};
+use syncopt_ir::dom::Dominators;
+use syncopt_ir::expr::Expr;
+use syncopt_ir::ids::BlockId;
+
+/// The processors that may execute an access site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProcSet {
+    /// Unconstrained (or not analyzable).
+    Any,
+    /// Exactly these processor ids.
+    Ids(Vec<i64>),
+}
+
+impl ProcSet {
+    /// Concrete candidate ids, when enumerable. With a known machine size
+    /// `Any` materializes to `0..procs`.
+    pub fn candidates(&self, procs: Option<u32>) -> Option<Vec<i64>> {
+        match self {
+            ProcSet::Ids(ids) => Some(ids.clone()),
+            ProcSet::Any => procs.map(|p| (0..p as i64).collect()),
+        }
+    }
+
+    /// Whether some processor pair `p ≠ q` has `p` allowed here and `q`
+    /// allowed in `other` (assuming at least two processors exist).
+    pub fn exists_distinct_pair(&self, other: &ProcSet, procs: Option<u32>) -> bool {
+        match (self.candidates(procs), other.candidates(procs)) {
+            (Some(a), Some(b)) => a.iter().any(|p| b.iter().any(|q| p != q)),
+            (Some(a), None) | (None, Some(a)) => !a.is_empty(),
+            (None, None) => true,
+        }
+    }
+
+    /// Whether the site can execute at all.
+    pub fn is_empty(&self, procs: Option<u32>) -> bool {
+        matches!(self.candidates(procs), Some(ids) if ids.is_empty())
+    }
+}
+
+/// Whether `e` mentions only `MYPROC`, `PROCS`, and constants.
+fn processor_pure(e: &Expr) -> bool {
+    match e {
+        Expr::Int(_) | Expr::Float(_) | Expr::Bool(_) | Expr::MyProc | Expr::Procs => true,
+        Expr::Local(_) | Expr::LocalElem { .. } => false,
+        Expr::Unary { expr, .. } => processor_pure(expr),
+        Expr::Binary { lhs, rhs, .. } => processor_pure(lhs) && processor_pure(rhs),
+    }
+}
+
+/// Evaluates a processor-pure expression for processor `p` (`procs` needed
+/// only if the expression mentions `PROCS`). Integer/bool subset only.
+fn eval_pure(e: &Expr, p: i64, procs: Option<u32>) -> Option<PureVal> {
+    match e {
+        Expr::Int(v) => Some(PureVal::Int(*v)),
+        Expr::Bool(v) => Some(PureVal::Bool(*v)),
+        Expr::Float(_) => None,
+        Expr::MyProc => Some(PureVal::Int(p)),
+        Expr::Procs => procs.map(|n| PureVal::Int(n as i64)),
+        Expr::Local(_) | Expr::LocalElem { .. } => None,
+        Expr::Unary { op, expr } => {
+            let v = eval_pure(expr, p, procs)?;
+            match (op, v) {
+                (UnOp::Neg, PureVal::Int(i)) => Some(PureVal::Int(-i)),
+                (UnOp::Not, PureVal::Bool(b)) => Some(PureVal::Bool(!b)),
+                _ => None,
+            }
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let l = eval_pure(lhs, p, procs)?;
+            let r = eval_pure(rhs, p, procs)?;
+            match (l, r) {
+                (PureVal::Int(a), PureVal::Int(b)) => Some(match op {
+                    BinOp::Add => PureVal::Int(a.wrapping_add(b)),
+                    BinOp::Sub => PureVal::Int(a.wrapping_sub(b)),
+                    BinOp::Mul => PureVal::Int(a.wrapping_mul(b)),
+                    BinOp::Div => PureVal::Int(a.checked_div(b)?),
+                    BinOp::Rem => {
+                        if b == 0 {
+                            return None;
+                        }
+                        PureVal::Int(a.rem_euclid(b))
+                    }
+                    BinOp::Eq => PureVal::Bool(a == b),
+                    BinOp::Ne => PureVal::Bool(a != b),
+                    BinOp::Lt => PureVal::Bool(a < b),
+                    BinOp::Le => PureVal::Bool(a <= b),
+                    BinOp::Gt => PureVal::Bool(a > b),
+                    BinOp::Ge => PureVal::Bool(a >= b),
+                    BinOp::And | BinOp::Or => return None,
+                }),
+                (PureVal::Bool(a), PureVal::Bool(b)) => Some(match op {
+                    BinOp::And => PureVal::Bool(a && b),
+                    BinOp::Or => PureVal::Bool(a || b),
+                    BinOp::Eq => PureVal::Bool(a == b),
+                    BinOp::Ne => PureVal::Bool(a != b),
+                    _ => return None,
+                }),
+                _ => None,
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum PureVal {
+    Int(i64),
+    Bool(bool),
+}
+
+/// The processor-pure branch conditions gating each block: `(cond, side)`
+/// means the block only executes when `cond` evaluates to `side`.
+fn block_gates(cfg: &Cfg, dom: &Dominators) -> Vec<Vec<(Expr, bool)>> {
+    let preds = cfg.predecessors();
+    let mut gates: Vec<Vec<(Expr, bool)>> = vec![Vec::new(); cfg.num_blocks()];
+    for x in cfg.block_ids() {
+        let Terminator::Branch {
+            cond,
+            then_bb,
+            else_bb,
+        } = &cfg.block(x).term
+        else {
+            continue;
+        };
+        if !processor_pure(cond) {
+            continue;
+        }
+        for (target, side) in [(*then_bb, true), (*else_bb, false)] {
+            // Entering `target` implies the branch decided `side` — sound
+            // only when `x` is the sole way in.
+            if preds[target.index()] != vec![x] {
+                continue;
+            }
+            for b in cfg.block_ids() {
+                if dom.dominates(target, b) {
+                    gates[b.index()].push((cond.clone(), side));
+                }
+            }
+        }
+    }
+    gates
+}
+
+/// Computes the [`ProcSet`] of every access site.
+pub fn access_proc_sets(cfg: &Cfg, procs: Option<u32>) -> Vec<ProcSet> {
+    let dom = Dominators::compute(cfg);
+    let gates = block_gates(cfg, &dom);
+    let mut cache: HashMap<BlockId, ProcSet> = HashMap::new();
+    cfg.accesses
+        .iter()
+        .map(|(_, info)| {
+            let block = info.pos.block;
+            cache
+                .entry(block)
+                .or_insert_with(|| proc_set_of_gates(&gates[block.index()], procs))
+                .clone()
+        })
+        .collect()
+}
+
+fn proc_set_of_gates(gates: &[(Expr, bool)], procs: Option<u32>) -> ProcSet {
+    if gates.is_empty() {
+        return ProcSet::Any;
+    }
+    if let Some(n) = procs {
+        // Evaluate every gate for every processor id.
+        let ids: Vec<i64> = (0..n as i64)
+            .filter(|&p| {
+                gates.iter().all(|(cond, side)| {
+                    match eval_pure(cond, p, procs) {
+                        Some(PureVal::Bool(b)) => b == *side,
+                        // Unevaluable gate: keep the processor (sound).
+                        _ => true,
+                    }
+                })
+            })
+            .collect();
+        return ProcSet::Ids(ids);
+    }
+    // Machine size unknown: only the `MYPROC == k` singleton pattern is
+    // representable.
+    for (cond, side) in gates {
+        if !side {
+            continue;
+        }
+        if let Expr::Binary {
+            op: BinOp::Eq,
+            lhs,
+            rhs,
+        } = cond
+        {
+            let k = match (lhs.as_ref(), rhs.as_ref()) {
+                (Expr::MyProc, Expr::Int(k)) | (Expr::Int(k), Expr::MyProc) => Some(*k),
+                _ => None,
+            };
+            if let Some(k) = k {
+                return ProcSet::Ids(vec![k]);
+            }
+        }
+    }
+    ProcSet::Any
+}
+
+/// Could two array subscripts collide for some *distinct* pair of
+/// processors allowed by the guards? Falls back to the guard-free affine
+/// tests when the candidate sets cannot be enumerated.
+pub fn indices_may_collide(
+    e1: &Expr,
+    e2: &Expr,
+    g1: &ProcSet,
+    g2: &ProcSet,
+    procs: Option<u32>,
+) -> bool {
+    let (Some(c1), Some(c2)) = (g1.candidates(procs), g2.candidates(procs)) else {
+        return crate::affine::may_conflict_cross_proc_bounded(Some(e1), Some(e2), procs);
+    };
+    let (a1, a2) = (to_affine(e1), to_affine(e2));
+    match (a1, a2) {
+        (Some(a1), Some(a2)) if !a1.has_locals() && !a2.has_locals() => {
+            // Exact per-pair evaluation.
+            c1.iter().any(|&p| {
+                c2.iter().any(|&q| {
+                    p != q && a1.konst + a1.myproc * p == a2.konst + a2.myproc * q
+                })
+            })
+        }
+        (Some(a1), Some(a2)) => {
+            // Loop-variant terms: modular congruence per pair.
+            let m = super::affine::local_coeff_gcd_pub(&a1, &a2);
+            if m > 1 {
+                c1.iter().any(|&p| {
+                    c2.iter().any(|&q| {
+                        p != q
+                            && (a1.konst + a1.myproc * p - a2.konst - a2.myproc * q)
+                                .rem_euclid(m)
+                                == 0
+                    })
+                })
+            } else {
+                g1.exists_distinct_pair(g2, procs)
+            }
+        }
+        _ => g1.exists_distinct_pair(g2, procs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syncopt_frontend::prepare_program;
+    use syncopt_ir::access::AccessKind;
+    use syncopt_ir::lower::lower_main;
+
+    fn sets(src: &str, procs: Option<u32>) -> (Cfg, Vec<ProcSet>) {
+        let cfg = lower_main(&prepare_program(src).unwrap()).unwrap();
+        let s = access_proc_sets(&cfg, procs);
+        (cfg, s)
+    }
+
+    #[test]
+    fn unguarded_accesses_are_any() {
+        let (_, s) = sets("shared int X; fn main() { X = 1; }", None);
+        assert_eq!(s, vec![ProcSet::Any]);
+    }
+
+    #[test]
+    fn myproc_eq_guard_is_singleton_without_machine_size() {
+        let (_, s) = sets(
+            "shared int X; fn main() { if (MYPROC == 3) { X = 1; } }",
+            None,
+        );
+        assert_eq!(s, vec![ProcSet::Ids(vec![3])]);
+    }
+
+    #[test]
+    fn else_side_enumerates_with_machine_size() {
+        let (cfg, s) = sets(
+            "shared int X; shared int Y; fn main() { if (MYPROC == 0) { X = 1; } else { Y = 1; } }",
+            Some(4),
+        );
+        let wx = cfg
+            .accesses
+            .iter()
+            .position(|(_, i)| i.kind == AccessKind::Write && cfg.vars.info(i.var.unwrap()).name == "X")
+            .unwrap();
+        let wy = cfg
+            .accesses
+            .iter()
+            .position(|(_, i)| cfg.vars.info(i.var.unwrap()).name == "Y")
+            .unwrap();
+        assert_eq!(s[wx], ProcSet::Ids(vec![0]));
+        assert_eq!(s[wy], ProcSet::Ids(vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn modulo_guards_enumerate() {
+        let (_, s) = sets(
+            "shared int X; fn main() { if (MYPROC % 3 == 1) { X = 1; } }",
+            Some(8),
+        );
+        assert_eq!(s, vec![ProcSet::Ids(vec![1, 4, 7])]);
+    }
+
+    #[test]
+    fn nested_guards_intersect() {
+        let (_, s) = sets(
+            r#"
+            shared int X;
+            fn main() {
+                if (MYPROC < 4) {
+                    if (MYPROC % 2 == 0) { X = 1; }
+                }
+            }
+            "#,
+            Some(8),
+        );
+        assert_eq!(s, vec![ProcSet::Ids(vec![0, 2])]);
+    }
+
+    #[test]
+    fn data_dependent_guards_are_any() {
+        let (_, s) = sets(
+            r#"
+            shared int X;
+            fn main() {
+                int v; v = X;
+                if (v > 0) { X = 1; }
+            }
+            "#,
+            Some(4),
+        );
+        // The write's guard depends on data: Any.
+        assert_eq!(s[1], ProcSet::Any);
+    }
+
+    #[test]
+    fn distinct_pair_logic() {
+        let a = ProcSet::Ids(vec![0]);
+        let b = ProcSet::Ids(vec![0]);
+        let c = ProcSet::Ids(vec![1]);
+        let any = ProcSet::Any;
+        assert!(!a.exists_distinct_pair(&b, None), "same singleton");
+        assert!(a.exists_distinct_pair(&c, None));
+        assert!(a.exists_distinct_pair(&any, None));
+        assert!(any.exists_distinct_pair(&any, None));
+        let empty = ProcSet::Ids(vec![]);
+        assert!(!empty.exists_distinct_pair(&any, None));
+        assert!(empty.is_empty(None));
+    }
+
+    #[test]
+    fn exact_index_collision_with_guards() {
+        // write A[MYPROC] under MYPROC==0 vs read A[0] under MYPROC!=0.
+        let e_w = Expr::MyProc;
+        let e_r = Expr::Int(0);
+        let g_w = ProcSet::Ids(vec![0]);
+        let g_r = ProcSet::Ids(vec![1, 2, 3]);
+        assert!(indices_may_collide(&e_w, &e_r, &g_w, &g_r, Some(4)));
+        // But A[MYPROC] under MYPROC==0 vs A[1] under MYPROC!=0: 0 ≠ 1.
+        let e_r1 = Expr::Int(1);
+        assert!(!indices_may_collide(&e_w, &e_r1, &g_w, &g_r, Some(4)));
+    }
+}

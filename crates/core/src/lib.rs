@@ -1,0 +1,189 @@
+#![warn(missing_docs)]
+
+//! Delay-set analysis for explicitly parallel SPMD programs.
+//!
+//! This crate is the reproduction of the analysis half of *Optimizing
+//! Parallel Programs with Explicit Synchronization* (Krishnamurthy &
+//! Yelick, PLDI 1995):
+//!
+//! * [`conflict`] — the conflict set `C` with affine subscript
+//!   disambiguation ([`affine`]);
+//! * [`cycle`] — Shasha–Snir cycle detection specialized to SPMD programs
+//!   (the two-copy back-path construction), producing the baseline delay
+//!   set `D_SS`;
+//! * [`sync`] — the paper's contribution: refining the delay set with
+//!   post-wait precedence, barrier alignment ([`barrier`]), and lock
+//!   mutual exclusion ([`locks`]).
+//!
+//! The one-stop entry point is [`analyze`]:
+//!
+//! ```
+//! use syncopt_frontend::prepare_program;
+//! use syncopt_ir::lower::lower_main;
+//! use syncopt_core::analyze;
+//!
+//! let src = r#"
+//!     shared int X; flag F;
+//!     fn main() {
+//!         int v;
+//!         if (MYPROC == 0) { X = 1; post F; }
+//!         else { wait F; v = X; }
+//!     }
+//! "#;
+//! let cfg = lower_main(&prepare_program(src)?)?;
+//! let analysis = analyze(&cfg);
+//! // Synchronization analysis never grows the delay set.
+//! assert!(analysis.delay_sync.is_subset_of(&analysis.delay_ss));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod affine;
+pub mod barrier;
+pub mod conflict;
+pub mod cycle;
+pub mod delay;
+pub mod guards;
+pub mod locks;
+pub mod sync;
+pub mod warnings;
+
+pub use barrier::BarrierPolicy;
+pub use conflict::ConflictSet;
+pub use cycle::shasha_snir;
+pub use delay::DelaySet;
+pub use sync::{analyze_sync, Precedence, SyncAnalysis, SyncOptions};
+pub use warnings::{sync_warnings, SyncWarning};
+
+use syncopt_ir::cfg::Cfg;
+
+/// Combined result of running both the baseline and the refined analysis.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// The conflict set `C` (unoriented).
+    pub conflicts: ConflictSet,
+    /// Shasha–Snir delay set (baseline, §4).
+    pub delay_ss: DelaySet,
+    /// Synchronization-refined delay set (§5).
+    pub delay_sync: DelaySet,
+    /// The detailed synchronization-analysis artifacts.
+    pub sync: SyncAnalysis,
+}
+
+impl Analysis {
+    /// Summary counters for reporting (delay-set sizes per kernel).
+    pub fn stats(&self) -> AnalysisStats {
+        AnalysisStats {
+            accesses: self.delay_ss.num_accesses(),
+            conflict_pairs: self.conflicts.unordered_pairs().len(),
+            delay_ss: self.delay_ss.len(),
+            delay_sync: self.delay_sync.len(),
+            precedence_pairs: self.sync.precedence.len(),
+            aligned_barriers: self.sync.aligned_barriers.len(),
+        }
+    }
+}
+
+/// Summary counters of an [`Analysis`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnalysisStats {
+    /// Number of access sites.
+    pub accesses: usize,
+    /// Number of unordered conflicting pairs.
+    pub conflict_pairs: usize,
+    /// Size of the Shasha–Snir delay set.
+    pub delay_ss: usize,
+    /// Size of the refined delay set.
+    pub delay_sync: usize,
+    /// Size of the precedence relation.
+    pub precedence_pairs: usize,
+    /// Number of statically aligned barriers.
+    pub aligned_barriers: usize,
+}
+
+/// Runs conflict construction, Shasha–Snir cycle detection, and the
+/// synchronization-aware refinement with default options.
+pub fn analyze(cfg: &Cfg) -> Analysis {
+    analyze_with(cfg, &SyncOptions::default())
+}
+
+/// [`analyze`] for a program compiled for a fixed machine size: the known
+/// processor count enables modular subscript disambiguation.
+pub fn analyze_for(cfg: &Cfg, procs: u32) -> Analysis {
+    analyze_with(
+        cfg,
+        &SyncOptions {
+            procs: Some(procs),
+            ..SyncOptions::default()
+        },
+    )
+}
+
+/// [`analyze`] with explicit options (e.g. the barrier policy).
+pub fn analyze_with(cfg: &Cfg, opts: &SyncOptions) -> Analysis {
+    let conflicts = ConflictSet::build_bounded(cfg, opts.procs);
+    let delay_ss = cycle::shasha_snir_bounded(cfg, opts.procs);
+    let sync = analyze_sync(cfg, opts);
+    Analysis {
+        conflicts,
+        delay_ss,
+        delay_sync: sync.delay.clone(),
+        sync,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syncopt_frontend::prepare_program;
+    use syncopt_ir::lower::lower_main;
+
+    #[test]
+    fn analyze_produces_consistent_stats() {
+        let src = r#"
+            shared int X; shared int Y; flag F;
+            fn main() {
+                int v;
+                if (MYPROC == 0) { X = 1; Y = 2; post F; }
+                else { wait F; v = Y; v = X; }
+            }
+        "#;
+        let cfg = lower_main(&prepare_program(src).unwrap()).unwrap();
+        let a = analyze(&cfg);
+        let s = a.stats();
+        assert_eq!(s.accesses, cfg.accesses.len());
+        assert!(s.delay_sync <= s.delay_ss);
+        assert!(s.precedence_pairs > 0);
+        assert!(a.delay_sync.is_subset_of(&a.delay_ss));
+    }
+
+    #[test]
+    fn barrier_policy_changes_results() {
+        // A barrier under a MYPROC branch: Static refuses it, AssumeAligned
+        // uses it.
+        let src = r#"
+            shared int X;
+            fn main() {
+                int v;
+                if (MYPROC == 0) { X = 1; barrier; } else { barrier; v = X; }
+            }
+        "#;
+        let cfg = lower_main(&prepare_program(src).unwrap()).unwrap();
+        let conservative = analyze_with(
+            &cfg,
+            &SyncOptions {
+                barrier_policy: BarrierPolicy::Static,
+                procs: None,
+            },
+        );
+        let optimistic = analyze_with(
+            &cfg,
+            &SyncOptions {
+                barrier_policy: BarrierPolicy::AssumeAligned,
+                procs: None,
+            },
+        );
+        assert_eq!(conservative.stats().aligned_barriers, 0);
+        assert_eq!(optimistic.stats().aligned_barriers, 2);
+        assert!(optimistic.delay_sync.len() <= conservative.delay_sync.len());
+    }
+}

@@ -1,0 +1,195 @@
+//! Static synchronization diagnostics.
+//!
+//! The analyses already gather everything needed to warn about the classic
+//! SPMD synchronization bugs before running anything: waits that no post
+//! can ever release, unbalanced lock usage, and barriers the static
+//! alignment analysis refused (which the paper's runtime check would then
+//! catch at execution time, §5.2).
+
+use crate::affine::may_match_any_proc;
+use crate::barrier::{aligned_barriers, BarrierPolicy};
+use std::collections::HashMap;
+use std::fmt;
+use syncopt_ir::access::AccessKind;
+use syncopt_ir::cfg::Cfg;
+use syncopt_ir::ids::AccessId;
+
+/// A diagnostic about the program's synchronization structure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SyncWarning {
+    /// A `wait` no post site can match: it will block forever if reached.
+    UnmatchablePost {
+        /// The orphaned wait.
+        wait: AccessId,
+    },
+    /// A lock with unbalanced acquire/release site counts.
+    UnbalancedLock {
+        /// Lock variable name.
+        lock: String,
+        /// Number of acquire sites.
+        acquires: usize,
+        /// Number of release sites.
+        releases: usize,
+    },
+    /// A barrier the static alignment analysis could not prove aligned —
+    /// the optimistic compilation path relies on the runtime check.
+    UnprovenBarrier {
+        /// The barrier site.
+        barrier: AccessId,
+    },
+}
+
+impl fmt::Display for SyncWarning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SyncWarning::UnmatchablePost { wait } => {
+                write!(f, "wait {wait} has no matching post site (will deadlock if reached)")
+            }
+            SyncWarning::UnbalancedLock {
+                lock,
+                acquires,
+                releases,
+            } => write!(
+                f,
+                "lock `{lock}` has {acquires} acquire site(s) but {releases} release site(s)"
+            ),
+            SyncWarning::UnprovenBarrier { barrier } => write!(
+                f,
+                "barrier {barrier} is not statically aligned (runtime check will decide)"
+            ),
+        }
+    }
+}
+
+/// Computes synchronization warnings for a program.
+pub fn sync_warnings(cfg: &Cfg) -> Vec<SyncWarning> {
+    let mut out = Vec::new();
+
+    // Orphaned waits.
+    let posts: Vec<&syncopt_ir::access::AccessInfo> = cfg
+        .accesses
+        .iter()
+        .filter(|(_, i)| i.kind == AccessKind::Post)
+        .map(|(_, i)| i)
+        .collect();
+    for (id, info) in cfg.accesses.iter() {
+        if info.kind != AccessKind::Wait {
+            continue;
+        }
+        let matched = posts.iter().any(|p| {
+            p.var == info.var && may_match_any_proc(p.index.as_ref(), info.index.as_ref())
+        });
+        if !matched {
+            out.push(SyncWarning::UnmatchablePost { wait: id });
+        }
+    }
+
+    // Unbalanced locks.
+    let mut acq: HashMap<_, usize> = HashMap::new();
+    let mut rel: HashMap<_, usize> = HashMap::new();
+    for (_, info) in cfg.accesses.iter() {
+        match info.kind {
+            AccessKind::LockAcq => *acq.entry(info.var).or_insert(0) += 1,
+            AccessKind::LockRel => *rel.entry(info.var).or_insert(0) += 1,
+            _ => {}
+        }
+    }
+    let mut locks: Vec<_> = acq.keys().chain(rel.keys()).copied().collect();
+    locks.sort();
+    locks.dedup();
+    for l in locks {
+        let a = acq.get(&l).copied().unwrap_or(0);
+        let r = rel.get(&l).copied().unwrap_or(0);
+        if a != r {
+            out.push(SyncWarning::UnbalancedLock {
+                lock: l
+                    .map(|v| cfg.vars.info(v).name.clone())
+                    .unwrap_or_default(),
+                acquires: a,
+                releases: r,
+            });
+        }
+    }
+
+    // Barriers the static policy refuses.
+    let aligned = aligned_barriers(cfg, BarrierPolicy::Static);
+    for (id, info) in cfg.accesses.iter() {
+        if info.kind == AccessKind::Barrier && !aligned.contains(&id) {
+            out.push(SyncWarning::UnprovenBarrier { barrier: id });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syncopt_frontend::prepare_program;
+    use syncopt_ir::lower::lower_main;
+
+    fn warnings(src: &str) -> Vec<SyncWarning> {
+        sync_warnings(&lower_main(&prepare_program(src).unwrap()).unwrap())
+    }
+
+    #[test]
+    fn clean_program_has_no_warnings() {
+        let w = warnings(
+            r#"
+            shared int X; flag F; lock l;
+            fn main() {
+                if (MYPROC == 0) { X = 1; post F; } else { wait F; }
+                lock l; X = 2; unlock l;
+                barrier;
+            }
+            "#,
+        );
+        assert!(w.is_empty(), "{w:?}");
+    }
+
+    #[test]
+    fn orphaned_wait_is_reported() {
+        let w = warnings("flag F; fn main() { wait F; }");
+        assert_eq!(w.len(), 1);
+        assert!(matches!(w[0], SyncWarning::UnmatchablePost { .. }));
+        assert!(w[0].to_string().contains("deadlock"));
+    }
+
+    #[test]
+    fn index_disjoint_post_does_not_match() {
+        // post f[MYPROC] can never release wait f[MYPROC + PROCS] — out of
+        // any processor's post range... but PROCS is unknown statically,
+        // so the conservative matcher accepts affine overlaps; use clearly
+        // disjoint constants instead.
+        let w = warnings(
+            "flag F[8]; fn main() { post F[0]; wait F[1]; }",
+        );
+        assert_eq!(w.len(), 1, "{w:?}");
+        assert!(matches!(w[0], SyncWarning::UnmatchablePost { .. }));
+    }
+
+    #[test]
+    fn unbalanced_lock_is_reported() {
+        let w = warnings("lock l; fn main() { lock l; }");
+        assert_eq!(w.len(), 1);
+        assert!(
+            w[0].to_string().contains("1 acquire site(s) but 0"),
+            "{}",
+            w[0]
+        );
+    }
+
+    #[test]
+    fn unproven_barrier_is_reported() {
+        let w = warnings("fn main() { if (MYPROC == 0) { barrier; } }");
+        assert_eq!(w.len(), 1);
+        assert!(matches!(w[0], SyncWarning::UnprovenBarrier { .. }));
+    }
+
+    #[test]
+    fn kernels_are_warning_free() {
+        for kernel in syncopt_kernels::all_kernels(8) {
+            let w = warnings(&kernel.source);
+            assert!(w.is_empty(), "{}: {w:?}", kernel.name);
+        }
+    }
+}

@@ -1,0 +1,806 @@
+//! Recursive-descent parser for `minisplit`.
+//!
+//! Expression parsing uses precedence climbing. The grammar is LL(2) — the
+//! only lookahead beyond one token distinguishes `x = e;` from `f(...);` and
+//! array lvalues.
+
+use crate::ast::{
+    BinOp, Decl, Expr, ExprKind, Function, LValue, Param, Program, Stmt, StmtKind, Type, UnOp,
+};
+use crate::diag::FrontendError;
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// A `minisplit` parser over a pre-lexed token stream.
+pub struct Parser<'a> {
+    #[allow(dead_code)]
+    src: &'a str,
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    /// Creates a parser for `tokens`, which must be terminated by `Eof`
+    /// (as produced by [`crate::lexer::lex`]).
+    pub fn new(src: &'a str, tokens: Vec<Token>) -> Self {
+        debug_assert!(matches!(
+            tokens.last().map(|t| &t.kind),
+            Some(TokenKind::Eof)
+        ));
+        Parser {
+            src,
+            tokens,
+            pos: 0,
+        }
+    }
+
+    /// Parses a whole program (declarations followed by functions, in any
+    /// interleaving).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first syntax error encountered.
+    pub fn parse_program(mut self) -> Result<Program, FrontendError> {
+        let mut program = Program::default();
+        loop {
+            match self.peek() {
+                TokenKind::Eof => break,
+                TokenKind::Shared | TokenKind::Flag | TokenKind::Lock => {
+                    program.decls.push(self.decl()?);
+                }
+                TokenKind::Fn => program.functions.push(self.function()?),
+                other => {
+                    let other = other.describe();
+                    return Err(FrontendError::parse(
+                        self.peek_span(),
+                        format!("expected declaration or function, found {other}"),
+                    ));
+                }
+            }
+        }
+        Ok(program)
+    }
+
+    // ---- token helpers -------------------------------------------------
+
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek_at(&self, n: usize) -> &TokenKind {
+        let idx = (self.pos + n).min(self.tokens.len() - 1);
+        &self.tokens[idx].kind
+    }
+
+    fn peek_span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn bump(&mut self) -> Token {
+        let tok = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        tok
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<Token, FrontendError> {
+        if self.peek() == kind {
+            Ok(self.bump())
+        } else {
+            Err(FrontendError::parse(
+                self.peek_span(),
+                format!("expected {}, found {}", kind.describe(), self.peek().describe()),
+            ))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<(String, Span), FrontendError> {
+        match self.peek() {
+            TokenKind::Ident(_) => {
+                let tok = self.bump();
+                let TokenKind::Ident(name) = tok.kind else {
+                    unreachable!()
+                };
+                Ok((name, tok.span))
+            }
+            other => Err(FrontendError::parse(
+                self.peek_span(),
+                format!("expected identifier, found {}", other.describe()),
+            )),
+        }
+    }
+
+    fn expect_int_lit(&mut self) -> Result<(i64, Span), FrontendError> {
+        match self.peek() {
+            TokenKind::IntLit(_) => {
+                let tok = self.bump();
+                let TokenKind::IntLit(v) = tok.kind else {
+                    unreachable!()
+                };
+                Ok((v, tok.span))
+            }
+            other => Err(FrontendError::parse(
+                self.peek_span(),
+                format!("expected integer literal, found {}", other.describe()),
+            )),
+        }
+    }
+
+    // ---- declarations --------------------------------------------------
+
+    fn decl(&mut self) -> Result<Decl, FrontendError> {
+        let start = self.peek_span();
+        match self.peek().clone() {
+            TokenKind::Shared => {
+                self.bump();
+                let ty = self.data_type()?;
+                let (name, _) = self.expect_ident()?;
+                if self.eat(&TokenKind::LBracket) {
+                    let (len, len_span) = self.expect_int_lit()?;
+                    if len <= 0 {
+                        return Err(FrontendError::parse(
+                            len_span,
+                            "array length must be positive",
+                        ));
+                    }
+                    self.expect(&TokenKind::RBracket)?;
+                    let end = self.expect(&TokenKind::Semi)?.span;
+                    Ok(Decl::SharedArray {
+                        name,
+                        ty,
+                        len: len as u64,
+                        span: start.merge(end),
+                    })
+                } else {
+                    let end = self.expect(&TokenKind::Semi)?.span;
+                    Ok(Decl::SharedScalar {
+                        name,
+                        ty,
+                        span: start.merge(end),
+                    })
+                }
+            }
+            TokenKind::Flag => {
+                self.bump();
+                let (name, _) = self.expect_ident()?;
+                if self.eat(&TokenKind::LBracket) {
+                    let (len, len_span) = self.expect_int_lit()?;
+                    if len <= 0 {
+                        return Err(FrontendError::parse(
+                            len_span,
+                            "flag array length must be positive",
+                        ));
+                    }
+                    self.expect(&TokenKind::RBracket)?;
+                    let end = self.expect(&TokenKind::Semi)?.span;
+                    Ok(Decl::FlagArray {
+                        name,
+                        len: len as u64,
+                        span: start.merge(end),
+                    })
+                } else {
+                    let end = self.expect(&TokenKind::Semi)?.span;
+                    Ok(Decl::Flag {
+                        name,
+                        span: start.merge(end),
+                    })
+                }
+            }
+            TokenKind::Lock => {
+                self.bump();
+                let (name, _) = self.expect_ident()?;
+                let end = self.expect(&TokenKind::Semi)?.span;
+                Ok(Decl::Lock {
+                    name,
+                    span: start.merge(end),
+                })
+            }
+            other => Err(FrontendError::parse(
+                start,
+                format!("expected declaration, found {}", other.describe()),
+            )),
+        }
+    }
+
+    fn data_type(&mut self) -> Result<Type, FrontendError> {
+        match self.peek() {
+            TokenKind::Int => {
+                self.bump();
+                Ok(Type::Int)
+            }
+            TokenKind::Double => {
+                self.bump();
+                Ok(Type::Double)
+            }
+            other => Err(FrontendError::parse(
+                self.peek_span(),
+                format!("expected `int` or `double`, found {}", other.describe()),
+            )),
+        }
+    }
+
+    // ---- functions -----------------------------------------------------
+
+    fn function(&mut self) -> Result<Function, FrontendError> {
+        let start = self.expect(&TokenKind::Fn)?.span;
+        let (name, _) = self.expect_ident()?;
+        self.expect(&TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if self.peek() != &TokenKind::RParen {
+            loop {
+                let pstart = self.peek_span();
+                let ty = self.data_type()?;
+                let (pname, pend) = self.expect_ident()?;
+                params.push(Param {
+                    name: pname,
+                    ty,
+                    span: pstart.merge(pend),
+                });
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        let (body, end) = self.block()?;
+        Ok(Function {
+            name,
+            params,
+            body,
+            span: start.merge(end),
+        })
+    }
+
+    fn block(&mut self) -> Result<(Vec<Stmt>, Span), FrontendError> {
+        let start = self.expect(&TokenKind::LBrace)?.span;
+        let mut stmts = Vec::new();
+        while self.peek() != &TokenKind::RBrace {
+            if self.peek() == &TokenKind::Eof {
+                return Err(FrontendError::parse(start, "unterminated block"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        let end = self.expect(&TokenKind::RBrace)?.span;
+        Ok((stmts, start.merge(end)))
+    }
+
+    // ---- statements ----------------------------------------------------
+
+    fn stmt(&mut self) -> Result<Stmt, FrontendError> {
+        let start = self.peek_span();
+        match self.peek().clone() {
+            TokenKind::Int | TokenKind::Double => self.local_decl(),
+            TokenKind::If => self.if_stmt(),
+            TokenKind::While => self.while_stmt(),
+            TokenKind::For => self.for_stmt(),
+            TokenKind::Barrier => {
+                self.bump();
+                let end = self.expect(&TokenKind::Semi)?.span;
+                Ok(Stmt::new(StmtKind::Barrier, start.merge(end)))
+            }
+            TokenKind::Post => self.event_stmt(true),
+            TokenKind::Wait => self.event_stmt(false),
+            TokenKind::Lock => {
+                self.bump();
+                let (lock, _) = self.expect_ident()?;
+                let end = self.expect(&TokenKind::Semi)?.span;
+                Ok(Stmt::new(StmtKind::Lock { lock }, start.merge(end)))
+            }
+            TokenKind::Unlock => {
+                self.bump();
+                let (lock, _) = self.expect_ident()?;
+                let end = self.expect(&TokenKind::Semi)?.span;
+                Ok(Stmt::new(StmtKind::Unlock { lock }, start.merge(end)))
+            }
+            TokenKind::Work => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let cost = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                let end = self.expect(&TokenKind::Semi)?.span;
+                Ok(Stmt::new(StmtKind::Work { cost }, start.merge(end)))
+            }
+            TokenKind::Return => {
+                self.bump();
+                let end = self.expect(&TokenKind::Semi)?.span;
+                Ok(Stmt::new(StmtKind::Return, start.merge(end)))
+            }
+            TokenKind::LBrace => {
+                let (stmts, span) = self.block()?;
+                Ok(Stmt::new(StmtKind::Block(stmts), span))
+            }
+            TokenKind::Ident(_) => {
+                if self.peek_at(1) == &TokenKind::LParen {
+                    self.call_stmt()
+                } else {
+                    self.assign_stmt()
+                }
+            }
+            other => Err(FrontendError::parse(
+                start,
+                format!("expected statement, found {}", other.describe()),
+            )),
+        }
+    }
+
+    fn local_decl(&mut self) -> Result<Stmt, FrontendError> {
+        let start = self.peek_span();
+        let ty = self.data_type()?;
+        let (name, _) = self.expect_ident()?;
+        if self.eat(&TokenKind::LBracket) {
+            let (len, len_span) = self.expect_int_lit()?;
+            if len <= 0 {
+                return Err(FrontendError::parse(
+                    len_span,
+                    "array length must be positive",
+                ));
+            }
+            self.expect(&TokenKind::RBracket)?;
+            let end = self.expect(&TokenKind::Semi)?.span;
+            return Ok(Stmt::new(
+                StmtKind::LocalDecl {
+                    name,
+                    ty,
+                    len: Some(len as u64),
+                    init: None,
+                },
+                start.merge(end),
+            ));
+        }
+        let init = if self.eat(&TokenKind::Assign) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let end = self.expect(&TokenKind::Semi)?.span;
+        Ok(Stmt::new(
+            StmtKind::LocalDecl {
+                name,
+                ty,
+                len: None,
+                init,
+            },
+            start.merge(end),
+        ))
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, FrontendError> {
+        let start = self.expect(&TokenKind::If)?.span;
+        self.expect(&TokenKind::LParen)?;
+        let cond = self.expr()?;
+        self.expect(&TokenKind::RParen)?;
+        let (then_branch, mut end) = self.block()?;
+        let else_branch = if self.eat(&TokenKind::Else) {
+            if self.peek() == &TokenKind::If {
+                let nested = self.if_stmt()?;
+                end = nested.span;
+                vec![nested]
+            } else {
+                let (stmts, espan) = self.block()?;
+                end = espan;
+                stmts
+            }
+        } else {
+            Vec::new()
+        };
+        Ok(Stmt::new(
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            },
+            start.merge(end),
+        ))
+    }
+
+    fn while_stmt(&mut self) -> Result<Stmt, FrontendError> {
+        let start = self.expect(&TokenKind::While)?.span;
+        self.expect(&TokenKind::LParen)?;
+        let cond = self.expr()?;
+        self.expect(&TokenKind::RParen)?;
+        let (body, end) = self.block()?;
+        Ok(Stmt::new(StmtKind::While { cond, body }, start.merge(end)))
+    }
+
+    fn for_stmt(&mut self) -> Result<Stmt, FrontendError> {
+        let start = self.expect(&TokenKind::For)?.span;
+        self.expect(&TokenKind::LParen)?;
+        let init = self.simple_assign()?;
+        self.expect(&TokenKind::Semi)?;
+        let cond = self.expr()?;
+        self.expect(&TokenKind::Semi)?;
+        let step = self.simple_assign()?;
+        self.expect(&TokenKind::RParen)?;
+        let (body, end) = self.block()?;
+        Ok(Stmt::new(
+            StmtKind::For {
+                init: Box::new(init),
+                cond,
+                step: Box::new(step),
+                body,
+            },
+            start.merge(end),
+        ))
+    }
+
+    /// An assignment without the trailing semicolon (for-loop headers).
+    fn simple_assign(&mut self) -> Result<Stmt, FrontendError> {
+        let start = self.peek_span();
+        let lhs = self.lvalue()?;
+        self.expect(&TokenKind::Assign)?;
+        let rhs = self.expr()?;
+        let span = start.merge(rhs.span);
+        Ok(Stmt::new(StmtKind::Assign { lhs, rhs }, span))
+    }
+
+    fn assign_stmt(&mut self) -> Result<Stmt, FrontendError> {
+        let stmt = self.simple_assign()?;
+        let end = self.expect(&TokenKind::Semi)?.span;
+        Ok(Stmt::new(stmt.kind, stmt.span.merge(end)))
+    }
+
+    fn call_stmt(&mut self) -> Result<Stmt, FrontendError> {
+        let start = self.peek_span();
+        let (name, _) = self.expect_ident()?;
+        self.expect(&TokenKind::LParen)?;
+        let mut args = Vec::new();
+        if self.peek() != &TokenKind::RParen {
+            loop {
+                args.push(self.expr()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        let end = self.expect(&TokenKind::Semi)?.span;
+        Ok(Stmt::new(StmtKind::Call { name, args }, start.merge(end)))
+    }
+
+    fn event_stmt(&mut self, is_post: bool) -> Result<Stmt, FrontendError> {
+        let start = self.bump().span; // `post` or `wait`
+        let (flag, _) = self.expect_ident()?;
+        let index = if self.eat(&TokenKind::LBracket) {
+            let e = self.expr()?;
+            self.expect(&TokenKind::RBracket)?;
+            Some(e)
+        } else {
+            None
+        };
+        let end = self.expect(&TokenKind::Semi)?.span;
+        let kind = if is_post {
+            StmtKind::Post { flag, index }
+        } else {
+            StmtKind::Wait { flag, index }
+        };
+        Ok(Stmt::new(kind, start.merge(end)))
+    }
+
+    fn lvalue(&mut self) -> Result<LValue, FrontendError> {
+        let (name, span) = self.expect_ident()?;
+        if self.eat(&TokenKind::LBracket) {
+            let index = self.expr()?;
+            let end = self.expect(&TokenKind::RBracket)?.span;
+            Ok(LValue::ArrayElem {
+                name,
+                index: Box::new(index),
+                span: span.merge(end),
+            })
+        } else {
+            Ok(LValue::Var { name, span })
+        }
+    }
+
+    // ---- expressions (precedence climbing) ------------------------------
+
+    /// Parses an expression.
+    ///
+    /// # Errors
+    ///
+    /// Returns a syntax error if the token stream does not start with a
+    /// valid expression.
+    pub fn expr(&mut self) -> Result<Expr, FrontendError> {
+        self.binary_expr(0)
+    }
+
+    fn binary_expr(&mut self, min_prec: u8) -> Result<Expr, FrontendError> {
+        let mut lhs = self.unary_expr()?;
+        // Not `while let`: the loop has a second exit condition (precedence).
+        #[allow(clippy::while_let_loop)]
+        loop {
+            let Some((op, prec)) = binop_of(self.peek()) else {
+                break;
+            };
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            let rhs = self.binary_expr(prec + 1)?;
+            let span = lhs.span.merge(rhs.span);
+            lhs = Expr::new(
+                ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            );
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, FrontendError> {
+        let start = self.peek_span();
+        match self.peek() {
+            TokenKind::Minus => {
+                self.bump();
+                let inner = self.unary_expr()?;
+                let span = start.merge(inner.span);
+                Ok(Expr::new(
+                    ExprKind::Unary {
+                        op: UnOp::Neg,
+                        expr: Box::new(inner),
+                    },
+                    span,
+                ))
+            }
+            TokenKind::Not => {
+                self.bump();
+                let inner = self.unary_expr()?;
+                let span = start.merge(inner.span);
+                Ok(Expr::new(
+                    ExprKind::Unary {
+                        op: UnOp::Not,
+                        expr: Box::new(inner),
+                    },
+                    span,
+                ))
+            }
+            _ => self.primary_expr(),
+        }
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, FrontendError> {
+        let start = self.peek_span();
+        match self.peek().clone() {
+            TokenKind::IntLit(v) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::IntLit(v), start))
+            }
+            TokenKind::FloatLit(v) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::FloatLit(v), start))
+            }
+            TokenKind::True => {
+                self.bump();
+                Ok(Expr::new(ExprKind::BoolLit(true), start))
+            }
+            TokenKind::False => {
+                self.bump();
+                Ok(Expr::new(ExprKind::BoolLit(false), start))
+            }
+            TokenKind::MyProc => {
+                self.bump();
+                Ok(Expr::new(ExprKind::MyProc, start))
+            }
+            TokenKind::Procs => {
+                self.bump();
+                Ok(Expr::new(ExprKind::Procs, start))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let inner = self.expr()?;
+                let end = self.expect(&TokenKind::RParen)?.span;
+                Ok(Expr::new(inner.kind, start.merge(end)))
+            }
+            TokenKind::Ident(_) => {
+                let (name, span) = self.expect_ident()?;
+                if self.eat(&TokenKind::LBracket) {
+                    let index = self.expr()?;
+                    let end = self.expect(&TokenKind::RBracket)?.span;
+                    Ok(Expr::new(
+                        ExprKind::ArrayElem {
+                            name,
+                            index: Box::new(index),
+                        },
+                        span.merge(end),
+                    ))
+                } else {
+                    Ok(Expr::new(ExprKind::Var(name), span))
+                }
+            }
+            other => Err(FrontendError::parse(
+                start,
+                format!("expected expression, found {}", other.describe()),
+            )),
+        }
+    }
+}
+
+/// Operator token → (BinOp, precedence). Higher binds tighter.
+fn binop_of(kind: &TokenKind) -> Option<(BinOp, u8)> {
+    Some(match kind {
+        TokenKind::OrOr => (BinOp::Or, 1),
+        TokenKind::AndAnd => (BinOp::And, 2),
+        TokenKind::EqEq => (BinOp::Eq, 3),
+        TokenKind::NotEq => (BinOp::Ne, 3),
+        TokenKind::Lt => (BinOp::Lt, 4),
+        TokenKind::Le => (BinOp::Le, 4),
+        TokenKind::Gt => (BinOp::Gt, 4),
+        TokenKind::Ge => (BinOp::Ge, 4),
+        TokenKind::Plus => (BinOp::Add, 5),
+        TokenKind::Minus => (BinOp::Sub, 5),
+        TokenKind::Star => (BinOp::Mul, 6),
+        TokenKind::Slash => (BinOp::Div, 6),
+        TokenKind::Percent => (BinOp::Rem, 6),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_program;
+
+    #[test]
+    fn parses_declarations() {
+        let prog = parse_program(
+            "shared int X; shared double A[128]; flag f; flag done[8]; lock l;",
+        )
+        .unwrap();
+        assert_eq!(prog.decls.len(), 5);
+        assert!(matches!(prog.decls[0], Decl::SharedScalar { .. }));
+        assert!(matches!(prog.decls[1], Decl::SharedArray { len: 128, .. }));
+        assert!(matches!(prog.decls[2], Decl::Flag { .. }));
+        assert!(matches!(prog.decls[3], Decl::FlagArray { len: 8, .. }));
+        assert!(matches!(prog.decls[4], Decl::Lock { .. }));
+    }
+
+    #[test]
+    fn parses_function_with_params() {
+        let prog = parse_program("fn f(int a, double b) { work(a); }").unwrap();
+        let f = prog.function("f").unwrap();
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.params[0].ty, Type::Int);
+        assert_eq!(f.params[1].ty, Type::Double);
+    }
+
+    #[test]
+    fn precedence_mul_binds_tighter_than_add() {
+        let prog = parse_program("fn main() { int x; x = 1 + 2 * 3; }").unwrap();
+        let body = &prog.function("main").unwrap().body;
+        let StmtKind::Assign { rhs, .. } = &body[1].kind else {
+            panic!("expected assign");
+        };
+        let ExprKind::Binary { op: BinOp::Add, rhs: mul, .. } = &rhs.kind else {
+            panic!("expected + at top: {rhs:?}");
+        };
+        assert!(matches!(
+            mul.kind,
+            ExprKind::Binary { op: BinOp::Mul, .. }
+        ));
+    }
+
+    #[test]
+    fn parens_override_precedence() {
+        let prog = parse_program("fn main() { int x; x = (1 + 2) * 3; }").unwrap();
+        let body = &prog.function("main").unwrap().body;
+        let StmtKind::Assign { rhs, .. } = &body[1].kind else {
+            panic!()
+        };
+        assert!(matches!(
+            rhs.kind,
+            ExprKind::Binary { op: BinOp::Mul, .. }
+        ));
+    }
+
+    #[test]
+    fn comparison_and_logical_chain() {
+        let prog =
+            parse_program("fn main() { int x; if (x < 1 && x != 2 || MYPROC == 0) { x = 1; } }");
+        assert!(prog.is_ok(), "{prog:?}");
+    }
+
+    #[test]
+    fn parses_control_flow() {
+        let src = r#"
+            shared int X;
+            fn main() {
+                int i;
+                for (i = 0; i < 10; i = i + 1) {
+                    while (i > 5) { i = i - 1; }
+                    if (i == 2) { X = i; } else if (i == 3) { X = 0; }
+                }
+            }
+        "#;
+        let prog = parse_program(src).unwrap();
+        let body = &prog.function("main").unwrap().body;
+        assert!(matches!(body[1].kind, StmtKind::For { .. }));
+    }
+
+    #[test]
+    fn parses_sync_statements() {
+        let src = r#"
+            flag f; flag g[4]; lock l;
+            fn main() {
+                barrier;
+                post f;
+                wait g[MYPROC];
+                lock l;
+                unlock l;
+                return;
+            }
+        "#;
+        let prog = parse_program(src).unwrap();
+        let body = &prog.function("main").unwrap().body;
+        assert!(matches!(body[0].kind, StmtKind::Barrier));
+        assert!(matches!(body[1].kind, StmtKind::Post { .. }));
+        assert!(matches!(
+            body[2].kind,
+            StmtKind::Wait { index: Some(_), .. }
+        ));
+        assert!(matches!(body[3].kind, StmtKind::Lock { .. }));
+        assert!(matches!(body[4].kind, StmtKind::Unlock { .. }));
+        assert!(matches!(body[5].kind, StmtKind::Return));
+    }
+
+    #[test]
+    fn parses_calls_and_blocks() {
+        let src = r#"
+            fn helper(int n) { work(n); }
+            fn main() { { helper(3); } }
+        "#;
+        let prog = parse_program(src).unwrap();
+        let body = &prog.function("main").unwrap().body;
+        let StmtKind::Block(inner) = &body[0].kind else {
+            panic!()
+        };
+        assert!(matches!(inner[0].kind, StmtKind::Call { .. }));
+    }
+
+    #[test]
+    fn rejects_garbage_at_top_level() {
+        assert!(parse_program("42").is_err());
+        assert!(parse_program("fn main() { 42; }").is_err());
+        assert!(parse_program("fn main() { x = ; }").is_err());
+        assert!(parse_program("fn main() {").is_err());
+    }
+
+    #[test]
+    fn rejects_zero_length_array() {
+        assert!(parse_program("shared int A[0];").is_err());
+    }
+
+    #[test]
+    fn unary_operators_nest() {
+        let prog = parse_program("fn main() { int x; x = --1; }").unwrap();
+        let StmtKind::Assign { rhs, .. } = &prog.function("main").unwrap().body[1].kind else {
+            panic!()
+        };
+        let ExprKind::Unary { op: UnOp::Neg, expr } = &rhs.kind else {
+            panic!()
+        };
+        assert!(matches!(expr.kind, ExprKind::Unary { op: UnOp::Neg, .. }));
+    }
+
+    #[test]
+    fn array_assignment_and_read() {
+        let src = "shared int A[8]; fn main() { A[MYPROC] = A[MYPROC + 1] + 2; }";
+        let prog = parse_program(src).unwrap();
+        let StmtKind::Assign { lhs, rhs } = &prog.function("main").unwrap().body[0].kind else {
+            panic!()
+        };
+        assert!(matches!(lhs, LValue::ArrayElem { .. }));
+        assert!(matches!(rhs.kind, ExprKind::Binary { .. }));
+    }
+}

@@ -1,0 +1,118 @@
+//! Diagnostics quality: errors point at the right place and say the right
+//! thing, across the lexer, parser, type checker, and inliner.
+
+use syncopt_frontend::{check_program, parse_program, prepare_program, FrontendError};
+
+fn parse_err(src: &str) -> FrontendError {
+    parse_program(src).expect_err("should not parse")
+}
+
+fn check_err(src: &str) -> FrontendError {
+    check_program(src).expect_err("should not check")
+}
+
+#[test]
+fn error_positions_are_line_accurate() {
+    let src = "shared int X;\nfn main() {\n    X = ;\n}\n";
+    let err = parse_err(src);
+    let (line, col) = err.span().line_col(src);
+    assert_eq!(line, 3, "{}", err.render(src));
+    assert!(col >= 9, "{}", err.render(src));
+    assert!(err.render(src).starts_with("3:"));
+}
+
+#[test]
+fn missing_semicolons_are_reported_with_expected_token() {
+    let err = parse_err("shared int X\nfn main() { }");
+    assert!(err.message().contains("`;`"), "{}", err.message());
+}
+
+#[test]
+fn reserved_words_cannot_be_identifiers() {
+    for kw in ["barrier", "post", "wait", "work", "flag"] {
+        let src = format!("fn main() {{ int {kw}; }}");
+        assert!(
+            parse_program(&src).is_err(),
+            "`{kw}` must not parse as a variable name"
+        );
+    }
+}
+
+#[test]
+fn mismatched_braces_and_parens() {
+    assert!(parse_program("fn main() { if (1 > 0 { } }").is_err());
+    assert!(parse_program("fn main() { work(3; }").is_err());
+    assert!(parse_program("fn main() { { }").is_err());
+    assert!(parse_program("fn main() } {").is_err());
+}
+
+#[test]
+fn for_header_must_be_assignments() {
+    assert!(parse_program("fn main() { int i; for (i < 3; i < 5; i = i + 1) { } }").is_err());
+    assert!(parse_program("fn main() { int i; for (i = 0; i = 1; i = i + 1) { } }").is_err());
+}
+
+#[test]
+fn type_errors_carry_the_offending_expression_span() {
+    let src = "fn main() {\n    int i;\n    i = 1.5;\n}\n";
+    let err = check_err(src);
+    let (line, _) = err.span().line_col(src);
+    assert_eq!(line, 3, "{}", err.render(src));
+    assert!(err.message().contains("cannot assign double to int"));
+}
+
+#[test]
+fn sync_misuse_messages_name_the_construct() {
+    assert!(check_err("flag f; fn main() { f = 1; }")
+        .message()
+        .contains("cannot be assigned"));
+    assert!(check_err("lock l; fn main() { post l; }")
+        .message()
+        .contains("not a flag"));
+    assert!(check_err("flag f; fn main() { lock f; }")
+        .message()
+        .contains("not a lock"));
+    assert!(check_err("shared int X; fn main() { wait X; }")
+        .message()
+        .contains("not a flag"));
+}
+
+#[test]
+fn inliner_reports_the_call_chain_problem() {
+    let err = prepare_program("fn a() { b(); } fn b() { c(); } fn c() { a(); } fn main() { a(); }")
+        .expect_err("mutual recursion");
+    assert!(err.message().contains("recursive"), "{}", err.message());
+}
+
+#[test]
+fn deep_but_finite_nesting_parses() {
+    // 64 nested blocks: the recursive-descent parser should handle it.
+    let mut src = String::from("fn main() {");
+    for _ in 0..64 {
+        src.push('{');
+    }
+    src.push_str("work(1);");
+    for _ in 0..64 {
+        src.push('}');
+    }
+    src.push('}');
+    check_program(&src).expect("deep nesting should parse");
+}
+
+#[test]
+fn long_programs_parse_quickly_enough() {
+    // 2000 statements — a smoke check that parsing is linear-ish.
+    let mut src = String::from("shared int X;\nfn main() {\n    int a;\n");
+    for i in 0..2000 {
+        src.push_str(&format!("    a = {i};\n"));
+    }
+    src.push_str("    X = a;\n}\n");
+    let program = check_program(&src).unwrap();
+    assert_eq!(program.functions[0].body.len(), 2002);
+}
+
+#[test]
+fn unicode_in_comments_is_fine_but_not_in_code() {
+    check_program("// ∀p: MYPROC < PROCS ✓\nfn main() { }").unwrap();
+    assert!(parse_program("fn main() { int π; }").is_err());
+}

@@ -1,0 +1,188 @@
+//! Property tests: pretty-printing is a parser fixpoint, and well-formed
+//! generated programs survive the whole frontend.
+
+use proptest::prelude::*;
+use syncopt_frontend::ast::BinOp;
+use syncopt_frontend::pretty::program_to_string;
+use syncopt_frontend::{check_program, parse_program, prepare_program};
+
+/// Renders a random integer expression over locals `a`, `b` and `MYPROC`.
+fn int_expr(depth: u32) -> BoxedStrategy<String> {
+    let leaf = prop_oneof![
+        (0..100i64).prop_map(|v| v.to_string()),
+        Just("a".to_string()),
+        Just("b".to_string()),
+        Just("MYPROC".to_string()),
+        Just("PROCS".to_string()),
+    ];
+    leaf.prop_recursive(depth, 32, 2, |inner| {
+        (
+            inner.clone(),
+            inner,
+            prop_oneof![
+                Just(BinOp::Add),
+                Just(BinOp::Sub),
+                Just(BinOp::Mul),
+            ],
+            any::<bool>(),
+        )
+            .prop_map(|(l, r, op, neg)| {
+                let core = format!("({l} {op} {r})");
+                if neg {
+                    format!("-{core}")
+                } else {
+                    core
+                }
+            })
+    })
+    .boxed()
+}
+
+fn bool_expr() -> BoxedStrategy<String> {
+    (
+        int_expr(1),
+        int_expr(1),
+        prop_oneof![
+            Just(BinOp::Lt),
+            Just(BinOp::Le),
+            Just(BinOp::Eq),
+            Just(BinOp::Ne),
+            Just(BinOp::Ge),
+            Just(BinOp::Gt),
+        ],
+        any::<bool>(),
+    )
+        .prop_map(|(l, r, op, not)| {
+            let core = format!("{l} {op} {r}");
+            if not {
+                format!("!({core})")
+            } else {
+                core
+            }
+        })
+        .boxed()
+}
+
+#[derive(Debug, Clone)]
+enum GenStmt {
+    AssignA(String),
+    AssignB(String),
+    WriteX(String),
+    WriteArr(String, String),
+    ReadArr(String),
+    If(String, Vec<GenStmt>, Vec<GenStmt>),
+    Work(String),
+    Barrier,
+    Post,
+    Wait,
+    LockBlock(Vec<GenStmt>),
+}
+
+fn stmt_strategy(depth: u32) -> BoxedStrategy<GenStmt> {
+    let leaf = prop_oneof![
+        int_expr(2).prop_map(GenStmt::AssignA),
+        int_expr(2).prop_map(GenStmt::AssignB),
+        int_expr(2).prop_map(GenStmt::WriteX),
+        (int_expr(1), int_expr(2)).prop_map(|(i, v)| GenStmt::WriteArr(i, v)),
+        int_expr(1).prop_map(GenStmt::ReadArr),
+        (1u64..200).prop_map(|c| GenStmt::Work(c.to_string())),
+        Just(GenStmt::Barrier),
+        Just(GenStmt::Post),
+        Just(GenStmt::Wait),
+    ];
+    leaf.prop_recursive(depth, 24, 3, |inner| {
+        prop_oneof![
+            (
+                bool_expr(),
+                prop::collection::vec(inner.clone(), 0..3),
+                prop::collection::vec(inner.clone(), 0..2),
+            )
+                .prop_map(|(c, t, e)| GenStmt::If(c, t, e)),
+            prop::collection::vec(inner.clone(), 1..3)
+                .prop_map(GenStmt::LockBlock),
+        ]
+    })
+    .boxed()
+}
+
+fn render_stmt(s: &GenStmt, out: &mut String, depth: usize) {
+    let pad = "    ".repeat(depth);
+    match s {
+        GenStmt::AssignA(e) => out.push_str(&format!("{pad}a = {e};\n")),
+        GenStmt::AssignB(e) => out.push_str(&format!("{pad}b = {e};\n")),
+        GenStmt::WriteX(e) => out.push_str(&format!("{pad}X = {e};\n")),
+        GenStmt::WriteArr(i, v) => out.push_str(&format!(
+            "{pad}Arr[({i}) - ({i}) + ({i} % 32 + 32) % 32] = {v};\n"
+        )),
+        GenStmt::ReadArr(i) => out.push_str(&format!(
+            "{pad}a = Arr[({i} % 32 + 32) % 32];\n"
+        )),
+        GenStmt::If(c, t, e) => {
+            out.push_str(&format!("{pad}if ({c}) {{\n"));
+            for s in t {
+                render_stmt(s, out, depth + 1);
+            }
+            if e.is_empty() {
+                out.push_str(&format!("{pad}}}\n"));
+            } else {
+                out.push_str(&format!("{pad}}} else {{\n"));
+                for s in e {
+                    render_stmt(s, out, depth + 1);
+                }
+                out.push_str(&format!("{pad}}}\n"));
+            }
+        }
+        GenStmt::Work(c) => out.push_str(&format!("{pad}work({c});\n")),
+        GenStmt::Barrier => out.push_str(&format!("{pad}barrier;\n")),
+        GenStmt::Post => out.push_str(&format!("{pad}post F[MYPROC];\n")),
+        GenStmt::Wait => out.push_str(&format!("{pad}wait F[MYPROC];\n")),
+        GenStmt::LockBlock(body) => {
+            out.push_str(&format!("{pad}lock L;\n"));
+            for s in body {
+                render_stmt(s, out, depth + 1);
+            }
+            out.push_str(&format!("{pad}unlock L;\n"));
+        }
+    }
+}
+
+fn render_program(stmts: &[GenStmt]) -> String {
+    let mut src = String::from(
+        "shared int X; shared int Arr[32]; flag F[64]; lock L;\nfn main() {\n    int a;\n    int b;\n",
+    );
+    for s in stmts {
+        render_stmt(s, &mut src, 1);
+    }
+    src.push_str("}\n");
+    src
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn generated_programs_parse_and_check(stmts in prop::collection::vec(stmt_strategy(2), 0..8)) {
+        let src = render_program(&stmts);
+        let checked = check_program(&src);
+        prop_assert!(checked.is_ok(), "frontend rejected:\n{src}\n{:?}", checked.err());
+    }
+
+    #[test]
+    fn pretty_print_is_a_parser_fixpoint(stmts in prop::collection::vec(stmt_strategy(2), 0..8)) {
+        let src = render_program(&stmts);
+        let p1 = parse_program(&src).unwrap();
+        let printed1 = program_to_string(&p1);
+        let p2 = parse_program(&printed1)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed1}"));
+        let printed2 = program_to_string(&p2);
+        prop_assert_eq!(printed1, printed2, "not a fixpoint for:\n{}", src);
+    }
+
+    #[test]
+    fn prepared_programs_stay_well_typed(stmts in prop::collection::vec(stmt_strategy(2), 0..6)) {
+        let src = render_program(&stmts);
+        let prepared = prepare_program(&src).unwrap();
+        // Inlining output must itself re-check.
+        prop_assert!(syncopt_frontend::typeck::check(&prepared).is_ok());
+    }
+}

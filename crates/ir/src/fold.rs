@@ -1,0 +1,332 @@
+//! Constant folding and algebraic simplification of local-pure
+//! expressions.
+//!
+//! The paper remarks that in explicitly parallel programs "the quality of
+//! the scalar code is limited by the inability to move code around
+//! parallelism primitives" (§1) — once the delay set tells the compiler
+//! which motion is legal, ordinary scalar optimization applies. This
+//! module provides the ordinary part: folding `1 + 2`, `x * 1`, `0 + x`,
+//! `e - e`-style identities inside instructions, conditions, and
+//! subscripts. Division and modulo fold only when the divisor is a
+//! nonzero constant (folding must not hide a runtime trap).
+
+use crate::cfg::{Cfg, Instr, Terminator};
+use crate::expr::Expr;
+use syncopt_frontend::ast::{BinOp, UnOp};
+
+/// Recursively folds an expression. Idempotent.
+pub fn fold_expr(e: &Expr) -> Expr {
+    match e {
+        Expr::Unary { op, expr } => {
+            let inner = fold_expr(expr);
+            match (op, &inner) {
+                (UnOp::Neg, Expr::Int(v)) => Expr::Int(v.wrapping_neg()),
+                (UnOp::Neg, Expr::Float(v)) => Expr::Float(-v),
+                (UnOp::Not, Expr::Bool(b)) => Expr::Bool(!b),
+                // --x = x
+                (
+                    UnOp::Neg,
+                    Expr::Unary {
+                        op: UnOp::Neg,
+                        expr,
+                    },
+                ) => (**expr).clone(),
+                (
+                    UnOp::Not,
+                    Expr::Unary {
+                        op: UnOp::Not,
+                        expr,
+                    },
+                ) => (**expr).clone(),
+                _ => Expr::Unary {
+                    op: *op,
+                    expr: Box::new(inner),
+                },
+            }
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let l = fold_expr(lhs);
+            let r = fold_expr(rhs);
+            fold_binary(*op, l, r)
+        }
+        Expr::LocalElem { array, index } => Expr::LocalElem {
+            array: *array,
+            index: Box::new(fold_expr(index)),
+        },
+        other => other.clone(),
+    }
+}
+
+fn fold_binary(op: BinOp, l: Expr, r: Expr) -> Expr {
+    use BinOp::*;
+    // Pure integer folding.
+    if let (Expr::Int(a), Expr::Int(b)) = (&l, &r) {
+        let (a, b) = (*a, *b);
+        match op {
+            Add => return Expr::Int(a.wrapping_add(b)),
+            Sub => return Expr::Int(a.wrapping_sub(b)),
+            Mul => return Expr::Int(a.wrapping_mul(b)),
+            Div if b != 0 => return Expr::Int(a.wrapping_div(b)),
+            Rem if b != 0 => return Expr::Int(a.rem_euclid(b)),
+            Eq => return Expr::Bool(a == b),
+            Ne => return Expr::Bool(a != b),
+            Lt => return Expr::Bool(a < b),
+            Le => return Expr::Bool(a <= b),
+            Gt => return Expr::Bool(a > b),
+            Ge => return Expr::Bool(a >= b),
+            _ => {}
+        }
+    }
+    if let (Expr::Bool(a), Expr::Bool(b)) = (&l, &r) {
+        match op {
+            And => return Expr::Bool(*a && *b),
+            Or => return Expr::Bool(*a || *b),
+            Eq => return Expr::Bool(a == b),
+            Ne => return Expr::Bool(a != b),
+            _ => {}
+        }
+    }
+    // Algebraic identities (trap-free operands only: folding away a
+    // division would be wrong, but every identity below keeps or drops a
+    // *pure* side).
+    match (op, &l, &r) {
+        // x + 0, 0 + x, x - 0.
+        (Add, x, Expr::Int(0)) | (Add, Expr::Int(0), x) | (Sub, x, Expr::Int(0)) => {
+            return x.clone()
+        }
+        // x * 1, 1 * x.
+        (Mul, x, Expr::Int(1)) | (Mul, Expr::Int(1), x) => return x.clone(),
+        // x * 0, 0 * x — only when x cannot trap.
+        (Mul, x, Expr::Int(0)) | (Mul, Expr::Int(0), x) if !may_trap(x) => {
+            return Expr::Int(0)
+        }
+        // x / 1.
+        (Div, x, Expr::Int(1)) => return x.clone(),
+        // b && true / b || false.
+        (And, x, Expr::Bool(true)) | (And, Expr::Bool(true), x) => return x.clone(),
+        (Or, x, Expr::Bool(false)) | (Or, Expr::Bool(false), x) => return x.clone(),
+        // b && false / b || true — only when b cannot trap.
+        (And, x, Expr::Bool(false)) | (And, Expr::Bool(false), x) if !may_trap(x) => {
+            return Expr::Bool(false)
+        }
+        (Or, x, Expr::Bool(true)) | (Or, Expr::Bool(true), x) if !may_trap(x) => {
+            return Expr::Bool(true)
+        }
+        _ => {}
+    }
+    Expr::Binary {
+        op,
+        lhs: Box::new(l),
+        rhs: Box::new(r),
+    }
+}
+
+/// Whether evaluating the expression can fault at runtime.
+pub fn may_trap(e: &Expr) -> bool {
+    match e {
+        Expr::Int(_) | Expr::Float(_) | Expr::Bool(_) | Expr::MyProc | Expr::Procs
+        | Expr::Local(_) => false,
+        Expr::LocalElem { .. } => true, // bounds check
+        Expr::Unary { expr, .. } => may_trap(expr),
+        Expr::Binary { op, lhs, rhs } => {
+            let divisorish = matches!(op, BinOp::Div | BinOp::Rem)
+                && !matches!(rhs.as_ref(), Expr::Int(v) if *v != 0);
+            divisorish || may_trap(lhs) || may_trap(rhs)
+        }
+    }
+}
+
+/// Folds every expression in the CFG in place: assignment values, shared
+/// indices, put sources, work costs, and branch conditions. Branches whose
+/// condition folds to a constant become unconditional jumps.
+pub fn fold_cfg(cfg: &mut Cfg) -> usize {
+    fn touch_with(e: &mut Expr, changes: &mut usize) {
+        let folded = fold_expr(e);
+        if folded != *e {
+            *e = folded;
+            *changes += 1;
+        }
+    }
+    let mut changes = 0;
+    for bi in 0..cfg.blocks.len() {
+        let b = crate::ids::BlockId::from_index(bi);
+        for instr in &mut cfg.block_mut(b).instrs {
+            match instr {
+                Instr::AssignLocal { value, .. } => touch_with(value, &mut changes),
+                Instr::AssignLocalElem { index, value, .. } => {
+                    touch_with(index, &mut changes);
+                    touch_with(value, &mut changes);
+                }
+                Instr::Work { cost } => touch_with(cost, &mut changes),
+                Instr::GetShared { src, .. } | Instr::GetInit { src, .. } => {
+                    if let Some(i) = &mut src.index {
+                        touch_with(i, &mut changes);
+                    }
+                }
+                Instr::PutShared { dst, src, .. }
+                | Instr::PutInit { dst, src, .. }
+                | Instr::StoreInit { dst, src, .. } => {
+                    if let Some(i) = &mut dst.index {
+                        touch_with(i, &mut changes);
+                    }
+                    touch_with(src, &mut changes);
+                }
+                Instr::Post { index, .. } | Instr::Wait { index, .. } => {
+                    if let Some(i) = index {
+                        touch_with(i, &mut changes);
+                    }
+                }
+                Instr::SyncCtr { .. }
+                | Instr::Barrier { .. }
+                | Instr::LockAcq { .. }
+                | Instr::LockRel { .. } => {}
+            }
+        }
+        let term = cfg.block(b).term.clone();
+        if let Terminator::Branch {
+            cond,
+            then_bb,
+            else_bb,
+        } = term
+        {
+            let folded = fold_expr(&cond);
+            match folded {
+                Expr::Bool(true) => {
+                    cfg.block_mut(b).term = Terminator::Goto(then_bb);
+                    changes += 1;
+                }
+                Expr::Bool(false) => {
+                    cfg.block_mut(b).term = Terminator::Goto(else_bb);
+                    changes += 1;
+                }
+                folded => {
+                    if folded != cond {
+                        changes += 1;
+                    }
+                    cfg.block_mut(b).term = Terminator::Branch {
+                        cond: folded,
+                        then_bb,
+                        else_bb,
+                    };
+                }
+            }
+        }
+    }
+    // Folding conditions can strand access positions if it changed reachable
+    // structure; positions themselves are untouched (no instruction moved).
+    changes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::VarId;
+
+    fn bin(op: BinOp, l: Expr, r: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            lhs: Box::new(l),
+            rhs: Box::new(r),
+        }
+    }
+
+    #[test]
+    fn folds_integer_arithmetic() {
+        assert_eq!(fold_expr(&bin(BinOp::Add, Expr::Int(1), Expr::Int(2))), Expr::Int(3));
+        assert_eq!(fold_expr(&bin(BinOp::Mul, Expr::Int(4), Expr::Int(8))), Expr::Int(32));
+        assert_eq!(
+            fold_expr(&bin(BinOp::Rem, Expr::Int(-1), Expr::Int(8))),
+            Expr::Int(7)
+        );
+        assert_eq!(
+            fold_expr(&bin(BinOp::Lt, Expr::Int(1), Expr::Int(2))),
+            Expr::Bool(true)
+        );
+    }
+
+    #[test]
+    fn division_by_zero_is_not_folded() {
+        let e = bin(BinOp::Div, Expr::Int(1), Expr::Int(0));
+        assert_eq!(fold_expr(&e), e, "must keep the trapping division");
+        let m = bin(BinOp::Rem, Expr::Int(1), Expr::Int(0));
+        assert_eq!(fold_expr(&m), m);
+    }
+
+    #[test]
+    fn identities() {
+        let x = Expr::Local(VarId(3));
+        assert_eq!(fold_expr(&bin(BinOp::Add, x.clone(), Expr::Int(0))), x);
+        assert_eq!(fold_expr(&bin(BinOp::Mul, Expr::Int(1), x.clone())), x);
+        assert_eq!(fold_expr(&bin(BinOp::Sub, x.clone(), Expr::Int(0))), x);
+        assert_eq!(fold_expr(&bin(BinOp::Div, x.clone(), Expr::Int(1))), x);
+        assert_eq!(
+            fold_expr(&bin(BinOp::Mul, x.clone(), Expr::Int(0))),
+            Expr::Int(0)
+        );
+    }
+
+    #[test]
+    fn trapping_subterms_block_zeroing() {
+        // (a / b) * 0 must not fold: the division may trap.
+        let div = bin(BinOp::Div, Expr::Local(VarId(0)), Expr::Local(VarId(1)));
+        let e = bin(BinOp::Mul, div.clone(), Expr::Int(0));
+        assert_eq!(fold_expr(&e), bin(BinOp::Mul, div, Expr::Int(0)));
+    }
+
+    #[test]
+    fn nested_folding_and_double_negation() {
+        let e = Expr::Unary {
+            op: UnOp::Neg,
+            expr: Box::new(Expr::Unary {
+                op: UnOp::Neg,
+                expr: Box::new(Expr::Local(VarId(2))),
+            }),
+        };
+        assert_eq!(fold_expr(&e), Expr::Local(VarId(2)));
+        let deep = bin(
+            BinOp::Add,
+            bin(BinOp::Mul, Expr::Int(2), Expr::Int(3)),
+            bin(BinOp::Sub, Expr::Int(10), Expr::Int(4)),
+        );
+        assert_eq!(fold_expr(&deep), Expr::Int(12));
+    }
+
+    #[test]
+    fn fold_is_idempotent() {
+        let e = bin(
+            BinOp::Add,
+            bin(BinOp::Mul, Expr::MyProc, Expr::Int(1)),
+            bin(BinOp::Add, Expr::Int(2), Expr::Int(3)),
+        );
+        let once = fold_expr(&e);
+        assert_eq!(fold_expr(&once), once);
+        assert_eq!(once, bin(BinOp::Add, Expr::MyProc, Expr::Int(5)));
+    }
+
+    #[test]
+    fn fold_cfg_simplifies_instructions_and_branches() {
+        use crate::lower::lower_main;
+        use syncopt_frontend::prepare_program;
+        let src = r#"
+            shared int A[8];
+            fn main() {
+                int v;
+                v = 2 * 3 + 0;
+                A[MYPROC * 1] = v + 1 * 0 + 6;
+                if (1 < 2) { work(4 + 4); }
+            }
+        "#;
+        let mut cfg = lower_main(&prepare_program(src).unwrap()).unwrap();
+        let changes = fold_cfg(&mut cfg);
+        assert!(changes >= 3, "{changes}");
+        // The branch became a goto.
+        let branches = cfg
+            .block_ids()
+            .filter(|&b| matches!(cfg.block(b).term, Terminator::Branch { .. }))
+            .count();
+        assert_eq!(branches, 0);
+        // Idempotent.
+        assert_eq!(fold_cfg(&mut cfg), 0);
+        cfg.validate().unwrap();
+    }
+}

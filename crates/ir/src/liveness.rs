@@ -1,0 +1,226 @@
+//! Live-variable analysis for locals (backward may-analysis).
+//!
+//! Used by `syncopt-codegen`'s cleanup pass to delete dead local
+//! assignments and — more interestingly — *dead communication*: a split
+//! `get` whose destination is never read is a remote message with no
+//! observer, so it (and its syncs) can be dropped entirely.
+
+use crate::cfg::{Cfg, Instr};
+use crate::dataflow::{instr_defs, instr_uses, term_uses};
+use crate::ids::{BlockId, VarId};
+use std::collections::HashSet;
+
+/// Block-level liveness sets.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    live_in: Vec<HashSet<VarId>>,
+    live_out: Vec<HashSet<VarId>>,
+}
+
+impl Liveness {
+    /// Runs the classic backward fixpoint.
+    pub fn compute(cfg: &Cfg) -> Self {
+        let nb = cfg.num_blocks();
+        let mut live_in: Vec<HashSet<VarId>> = vec![HashSet::new(); nb];
+        let mut live_out: Vec<HashSet<VarId>> = vec![HashSet::new(); nb];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for b in cfg.block_ids() {
+                let bi = b.index();
+                let mut out: HashSet<VarId> = HashSet::new();
+                for s in cfg.successors(b) {
+                    out.extend(live_in[s.index()].iter().copied());
+                }
+                let mut inn = out.clone();
+                // Walk the block backward: terminator first.
+                for v in term_uses(&cfg.block(b).term) {
+                    inn.insert(v);
+                }
+                for instr in cfg.block(b).instrs.iter().rev() {
+                    // Local arrays are conservative: element writes both
+                    // use and define the array, so they never kill it.
+                    if let Some(d) = instr.def() {
+                        inn.remove(&d);
+                    }
+                    for u in instr_uses(instr) {
+                        inn.insert(u);
+                    }
+                    if let Some(a) = instr.array_def() {
+                        inn.insert(a);
+                    }
+                }
+                if inn != live_in[bi] || out != live_out[bi] {
+                    live_in[bi] = inn;
+                    live_out[bi] = out;
+                    changed = true;
+                }
+            }
+        }
+        Liveness { live_in, live_out }
+    }
+
+    /// Variables live at entry of `b`.
+    pub fn live_in(&self, b: BlockId) -> &HashSet<VarId> {
+        &self.live_in[b.index()]
+    }
+
+    /// Variables live at exit of `b`.
+    pub fn live_out(&self, b: BlockId) -> &HashSet<VarId> {
+        &self.live_out[b.index()]
+    }
+
+    /// Whether `var` is live immediately *after* the instruction at
+    /// (`b`, `idx`) — i.e. whether some later use may read the value the
+    /// instruction just wrote.
+    pub fn live_after(&self, cfg: &Cfg, b: BlockId, idx: usize, var: VarId) -> bool {
+        let instrs = &cfg.block(b).instrs;
+        // Scan the block suffix after idx.
+        for instr in &instrs[idx + 1..] {
+            if instr_uses(instr).contains(&var) || instr.array_def() == Some(var) {
+                return true;
+            }
+            if instr_defs(instr).contains(&var) && instr.array_def() != Some(var) {
+                // Redefinition kills it before any use.
+                return false;
+            }
+        }
+        if term_uses(&cfg.block(b).term).contains(&var) {
+            return true;
+        }
+        self.live_out[b.index()].contains(&var)
+    }
+}
+
+/// A pure local assignment with a dead destination (safe to delete). The
+/// value expression must not be able to trap (no division/modulo), so
+/// deletion cannot suppress a runtime fault.
+pub fn is_dead_assignment(cfg: &Cfg, live: &Liveness, b: BlockId, idx: usize) -> bool {
+    let Instr::AssignLocal { dst, value } = &cfg.block(b).instrs[idx] else {
+        return false;
+    };
+    if expr_may_trap(value) {
+        return false;
+    }
+    !live.live_after(cfg, b, idx, *dst)
+}
+
+fn expr_may_trap(e: &crate::expr::Expr) -> bool {
+    use crate::expr::Expr;
+    use syncopt_frontend::ast::BinOp;
+    match e {
+        Expr::Int(_) | Expr::Float(_) | Expr::Bool(_) | Expr::MyProc | Expr::Procs
+        | Expr::Local(_) => false,
+        // Local array reads bounds-check at runtime.
+        Expr::LocalElem { .. } => true,
+        Expr::Unary { expr, .. } => expr_may_trap(expr),
+        Expr::Binary { op, lhs, rhs } => {
+            matches!(op, BinOp::Div | BinOp::Rem) || expr_may_trap(lhs) || expr_may_trap(rhs)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_main;
+    use syncopt_frontend::prepare_program;
+
+    fn analyzed(src: &str) -> (Cfg, Liveness) {
+        let cfg = lower_main(&prepare_program(src).unwrap()).unwrap();
+        let l = Liveness::compute(&cfg);
+        (cfg, l)
+    }
+
+    fn var(cfg: &Cfg, name: &str) -> VarId {
+        cfg.vars.by_name(name).unwrap()
+    }
+
+    #[test]
+    fn straight_line_liveness() {
+        let (cfg, l) = analyzed(
+            "shared int X; fn main() { int a; int b; a = 1; b = a + 1; X = b; }",
+        );
+        let a = var(&cfg, "a");
+        let b = var(&cfg, "b");
+        // After `a = 1` (idx 0), a is live (used by the next assign).
+        assert!(l.live_after(&cfg, cfg.entry, 0, a));
+        // After `b = a + 1` (idx 1), a is dead, b live.
+        assert!(!l.live_after(&cfg, cfg.entry, 1, a));
+        assert!(l.live_after(&cfg, cfg.entry, 1, b));
+    }
+
+    #[test]
+    fn loop_keeps_variables_alive() {
+        let (cfg, l) = analyzed(
+            r#"
+            shared int X;
+            fn main() {
+                int i; int acc;
+                acc = 0;
+                for (i = 0; i < 4; i = i + 1) { acc = acc + i; }
+                X = acc;
+            }
+            "#,
+        );
+        let acc = var(&cfg, "acc");
+        // acc is live out of the loop body (used next iteration + after).
+        let body = cfg
+            .block_ids()
+            .find(|&b| {
+                cfg.block(b)
+                    .instrs
+                    .iter()
+                    .any(|i| i.def() == Some(acc) && !cfg.block(b).instrs.is_empty())
+                    && b != cfg.entry
+            })
+            .unwrap();
+        assert!(l.live_out(body).contains(&acc));
+    }
+
+    #[test]
+    fn branch_condition_uses_count() {
+        let (cfg, l) = analyzed(
+            "fn main() { int a; a = 1; if (a > 0) { work(1); } }",
+        );
+        let a = var(&cfg, "a");
+        assert!(l.live_after(&cfg, cfg.entry, 0, a), "terminator reads a");
+    }
+
+    #[test]
+    fn dead_assignment_detection() {
+        let (cfg, l) = analyzed("fn main() { int a; int b; a = 1; b = 2; work(b); }");
+        assert!(is_dead_assignment(&cfg, &l, cfg.entry, 0), "a unused");
+        assert!(!is_dead_assignment(&cfg, &l, cfg.entry, 1), "b used");
+    }
+
+    #[test]
+    fn trapping_assignments_are_kept() {
+        let (cfg, l) = analyzed(
+            "fn main() { int a; int z; z = 0; a = 1 / z; work(z); }",
+        );
+        // `a = 1 / z` is dead but may trap: not removable.
+        let idx = cfg
+            .block(cfg.entry)
+            .instrs
+            .iter()
+            .position(|i| {
+                i.def() == Some(var(&cfg, "a"))
+            })
+            .unwrap();
+        assert!(!is_dead_assignment(&cfg, &l, cfg.entry, idx));
+    }
+
+    #[test]
+    fn local_arrays_never_die() {
+        let (cfg, l) = analyzed(
+            "fn main() { int buf[4]; buf[0] = 1; work(1); }",
+        );
+        let buf = var(&cfg, "buf");
+        // The element write keeps the array alive conservatively.
+        let idx = 0;
+        let _ = idx;
+        assert!(!is_dead_assignment(&cfg, &l, cfg.entry, 0));
+        let _ = buf;
+    }
+}

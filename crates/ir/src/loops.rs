@@ -1,0 +1,276 @@
+//! Natural-loop detection via back edges.
+//!
+//! Used by the sync-motion heuristics of `syncopt-codegen` (don't propagate
+//! a `sync_ctr` into a loop body — it would execute every iteration, §6) and
+//! by the barrier-alignment analysis.
+
+use crate::cfg::Cfg;
+use crate::dom::Dominators;
+use crate::ids::BlockId;
+
+/// A natural loop: header plus the set of blocks in the loop body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NaturalLoop {
+    /// The loop header (target of the back edge).
+    pub header: BlockId,
+    /// All blocks in the loop, including the header.
+    pub blocks: Vec<BlockId>,
+}
+
+impl NaturalLoop {
+    /// Whether `block` belongs to this loop.
+    pub fn contains(&self, block: BlockId) -> bool {
+        self.blocks.contains(&block)
+    }
+}
+
+/// Finds all natural loops of `cfg`. Loops sharing a header are merged.
+pub fn find_loops(cfg: &Cfg, dom: &Dominators) -> Vec<NaturalLoop> {
+    let mut loops: Vec<NaturalLoop> = Vec::new();
+    for b in cfg.block_ids() {
+        if !dom.is_reachable(b) {
+            continue;
+        }
+        for succ in cfg.successors(b) {
+            // Back edge: successor dominates source.
+            if dom.dominates(succ, b) {
+                let body = loop_body(cfg, succ, b);
+                if let Some(existing) = loops.iter_mut().find(|l| l.header == succ) {
+                    for blk in body {
+                        if !existing.blocks.contains(&blk) {
+                            existing.blocks.push(blk);
+                        }
+                    }
+                } else {
+                    loops.push(NaturalLoop {
+                        header: succ,
+                        blocks: body,
+                    });
+                }
+            }
+        }
+    }
+    loops
+}
+
+/// The natural loop of back edge `latch → header`: header plus all blocks
+/// that reach `latch` without passing through `header`.
+fn loop_body(cfg: &Cfg, header: BlockId, latch: BlockId) -> Vec<BlockId> {
+    let preds = cfg.predecessors();
+    let mut body = vec![header];
+    let mut stack = Vec::new();
+    if latch != header {
+        body.push(latch);
+        stack.push(latch);
+    }
+    while let Some(b) = stack.pop() {
+        for &p in &preds[b.index()] {
+            if !body.contains(&p) {
+                body.push(p);
+                stack.push(p);
+            }
+        }
+    }
+    body
+}
+
+/// A basic induction variable: inside `loops[loop_idx]` it is updated by
+/// exactly one statement of the form `var = var ± c`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InductionVar {
+    /// Index into the loop vector this variable belongs to.
+    pub loop_idx: usize,
+    /// The variable.
+    pub var: crate::ids::VarId,
+    /// Its per-iteration step (nonzero).
+    pub step: i64,
+}
+
+/// Detects basic induction variables of every loop.
+pub fn induction_vars(cfg: &Cfg, loops: &[NaturalLoop]) -> Vec<InductionVar> {
+    use crate::cfg::Instr;
+    use crate::expr::Expr;
+    use syncopt_frontend::ast::BinOp;
+    let mut out = Vec::new();
+    for (loop_idx, l) in loops.iter().enumerate() {
+        // Collect all defs inside the loop per variable.
+        let mut defs: std::collections::HashMap<crate::ids::VarId, Vec<&Instr>> =
+            std::collections::HashMap::new();
+        for &b in &l.blocks {
+            for instr in &cfg.block(b).instrs {
+                if let Some(d) = instr.def() {
+                    defs.entry(d).or_default().push(instr);
+                }
+                if let Some(d) = instr.array_def() {
+                    defs.entry(d).or_default().push(instr);
+                }
+            }
+        }
+        for (var, sites) in defs {
+            let [Instr::AssignLocal { dst, value }] = sites.as_slice() else {
+                continue;
+            };
+            debug_assert_eq!(*dst, var);
+            let step = match value {
+                Expr::Binary { op, lhs, rhs } => match (op, lhs.as_ref(), rhs.as_ref()) {
+                    (BinOp::Add, Expr::Local(v), Expr::Int(c)) if *v == var => Some(*c),
+                    (BinOp::Add, Expr::Int(c), Expr::Local(v)) if *v == var => Some(*c),
+                    (BinOp::Sub, Expr::Local(v), Expr::Int(c)) if *v == var => Some(-*c),
+                    _ => None,
+                },
+                _ => None,
+            };
+            if let Some(step) = step {
+                if step != 0 {
+                    out.push(InductionVar {
+                        loop_idx,
+                        var,
+                        step,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Whether `var` is defined anywhere inside the loop.
+pub fn defined_in_loop(cfg: &Cfg, l: &NaturalLoop, var: crate::ids::VarId) -> bool {
+    l.blocks.iter().any(|&b| {
+        cfg.block(b)
+            .instrs
+            .iter()
+            .any(|i| i.def() == Some(var) || i.array_def() == Some(var))
+    })
+}
+
+/// Convenience: the set of blocks belonging to *any* loop.
+pub fn blocks_in_loops(loops: &[NaturalLoop]) -> Vec<BlockId> {
+    let mut out = Vec::new();
+    for l in loops {
+        for &b in &l.blocks {
+            if !out.contains(&b) {
+                out.push(b);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_main;
+    use syncopt_frontend::prepare_program;
+
+    fn loops_of(src: &str) -> (Cfg, Vec<NaturalLoop>) {
+        let cfg = lower_main(&prepare_program(src).unwrap()).unwrap();
+        let dom = Dominators::compute(&cfg);
+        let loops = find_loops(&cfg, &dom);
+        (cfg, loops)
+    }
+
+    #[test]
+    fn straight_line_has_no_loops() {
+        let (_, loops) = loops_of("shared int X; fn main() { X = 1; X = 2; }");
+        assert!(loops.is_empty());
+    }
+
+    #[test]
+    fn single_while_loop_found() {
+        let (cfg, loops) = loops_of(
+            "fn main() { int i; i = 0; while (i < 4) { i = i + 1; } }",
+        );
+        assert_eq!(loops.len(), 1);
+        let l = &loops[0];
+        assert!(l.contains(l.header));
+        assert!(l.blocks.len() >= 2, "header and body");
+        // The exit block is not part of the loop.
+        assert!(!l.contains(cfg.exit));
+    }
+
+    #[test]
+    fn nested_loops_found_separately() {
+        let (_, loops) = loops_of(
+            r#"
+            fn main() {
+                int i; int j;
+                for (i = 0; i < 4; i = i + 1) {
+                    for (j = 0; j < 4; j = j + 1) { work(1); }
+                }
+            }
+            "#,
+        );
+        assert_eq!(loops.len(), 2);
+        // The outer loop contains the inner loop's header.
+        let (outer, inner) = if loops[0].blocks.len() > loops[1].blocks.len() {
+            (&loops[0], &loops[1])
+        } else {
+            (&loops[1], &loops[0])
+        };
+        assert!(outer.contains(inner.header));
+        assert!(!inner.contains(outer.header));
+    }
+
+    #[test]
+    fn induction_variables_detected() {
+        let (cfg, loops) = loops_of(
+            r#"
+            fn main() {
+                int i; int j; int acc;
+                acc = 0;
+                for (i = 0; i < 8; i = i + 2) {
+                    j = i * 3;       // derived, not basic induction
+                    acc = acc + j;   // also single-def... of add-local form?
+                    work(1);
+                }
+            }
+            "#,
+        );
+        let ivs = induction_vars(&cfg, &loops);
+        let i = cfg.vars.by_name("i").unwrap();
+        let j = cfg.vars.by_name("j").unwrap();
+        let found_i = ivs.iter().find(|iv| iv.var == i);
+        assert_eq!(found_i.map(|iv| iv.step), Some(2));
+        assert!(!ivs.iter().any(|iv| iv.var == j), "j is not basic");
+        // `acc = acc + j` is not a constant step.
+        let acc = cfg.vars.by_name("acc").unwrap();
+        assert!(!ivs.iter().any(|iv| iv.var == acc));
+    }
+
+    #[test]
+    fn defined_in_loop_query() {
+        let (cfg, loops) = loops_of(
+            r#"
+            fn main() {
+                int i; int outside;
+                outside = 5;
+                for (i = 0; i < 4; i = i + 1) { work(outside); }
+            }
+            "#,
+        );
+        let i = cfg.vars.by_name("i").unwrap();
+        let outside = cfg.vars.by_name("outside").unwrap();
+        assert!(defined_in_loop(&cfg, &loops[0], i));
+        assert!(!defined_in_loop(&cfg, &loops[0], outside));
+    }
+
+    #[test]
+    fn blocks_in_loops_deduplicates() {
+        let (_, loops) = loops_of(
+            r#"
+            fn main() {
+                int i; int j;
+                for (i = 0; i < 4; i = i + 1) {
+                    for (j = 0; j < 4; j = j + 1) { work(1); }
+                }
+            }
+            "#,
+        );
+        let all = blocks_in_loops(&loops);
+        let mut dedup = all.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(all.len(), dedup.len());
+    }
+}

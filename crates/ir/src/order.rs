@@ -1,0 +1,258 @@
+//! Program-order reachability.
+//!
+//! The compile-time approximation `P` of the paper (§3): `a ≤_P b` iff some
+//! control-flow path executes access `a` and then access `b`. With loops
+//! both `a ≤_P b` and `b ≤_P a` may hold.
+
+use crate::cfg::Cfg;
+use crate::ids::{AccessId, BlockId, Position};
+
+/// A dense boolean matrix, used for reachability closures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BitMatrix {
+    n: usize,
+    words_per_row: usize,
+    bits: Vec<u64>,
+}
+
+impl BitMatrix {
+    /// Creates an `n × n` matrix of `false`.
+    pub fn new(n: usize) -> Self {
+        let words_per_row = n.div_ceil(64);
+        BitMatrix {
+            n,
+            words_per_row,
+            bits: vec![0; words_per_row * n],
+        }
+    }
+
+    /// The dimension.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the matrix is 0×0.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Sets `(row, col)` to true.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of range.
+    pub fn set(&mut self, row: usize, col: usize) {
+        assert!(row < self.n && col < self.n);
+        self.bits[row * self.words_per_row + col / 64] |= 1 << (col % 64);
+    }
+
+    /// Clears `(row, col)` to false.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of range.
+    pub fn clear(&mut self, row: usize, col: usize) {
+        assert!(row < self.n && col < self.n);
+        self.bits[row * self.words_per_row + col / 64] &= !(1 << (col % 64));
+    }
+
+    /// Reads `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of range.
+    pub fn get(&self, row: usize, col: usize) -> bool {
+        assert!(row < self.n && col < self.n);
+        self.bits[row * self.words_per_row + col / 64] & (1 << (col % 64)) != 0
+    }
+
+    /// `row_dst |= row_src`; returns whether `row_dst` changed.
+    pub fn or_row(&mut self, row_dst: usize, row_src: usize) -> bool {
+        let (dst_off, src_off) = (row_dst * self.words_per_row, row_src * self.words_per_row);
+        let mut changed = false;
+        for w in 0..self.words_per_row {
+            let src = self.bits[src_off + w];
+            let dst = &mut self.bits[dst_off + w];
+            let new = *dst | src;
+            changed |= new != *dst;
+            *dst = new;
+        }
+        changed
+    }
+
+    /// Number of `true` entries.
+    pub fn count_ones(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+/// Computes the transitive closure of `edges` over `n` nodes:
+/// `result.get(a, b)` iff `b` is reachable from `a` via **one or more**
+/// edges.
+pub fn reachability(n: usize, edges: &[(usize, usize)]) -> BitMatrix {
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(a, b) in edges {
+        adj[a].push(b);
+    }
+    let mut m = BitMatrix::new(n);
+    // BFS from each node (kernel-sized graphs; O(n·e) is fine).
+    let mut stack = Vec::new();
+    let mut on = vec![false; n];
+    for start in 0..n {
+        on.iter_mut().for_each(|b| *b = false);
+        stack.clear();
+        for &s in &adj[start] {
+            if !on[s] {
+                on[s] = true;
+                stack.push(s);
+            }
+        }
+        while let Some(node) = stack.pop() {
+            m.set(start, node);
+            for &s in &adj[node] {
+                if !on[s] {
+                    on[s] = true;
+                    stack.push(s);
+                }
+            }
+        }
+    }
+    m
+}
+
+/// Program-order information for a CFG.
+#[derive(Debug, Clone)]
+pub struct ProgramOrder {
+    /// `block_reach.get(a, b)` iff block `b` is reachable from block `a`
+    /// via one or more CFG edges.
+    block_reach: BitMatrix,
+}
+
+impl ProgramOrder {
+    /// Computes block reachability for `cfg`.
+    pub fn compute(cfg: &Cfg) -> Self {
+        let mut edges = Vec::new();
+        for b in cfg.block_ids() {
+            for s in cfg.successors(b) {
+                edges.push((b.index(), s.index()));
+            }
+        }
+        ProgramOrder {
+            block_reach: reachability(cfg.num_blocks(), &edges),
+        }
+    }
+
+    /// Whether block `b` is reachable from block `a` via ≥ 1 edge.
+    pub fn block_reaches(&self, a: BlockId, b: BlockId) -> bool {
+        self.block_reach.get(a.index(), b.index())
+    }
+
+    /// Whether some execution runs the instruction at `a` and later the
+    /// instruction at `b` (`a <_P b`).
+    pub fn pos_precedes(&self, a: Position, b: Position) -> bool {
+        (a.block == b.block && a.instr < b.instr) || self.block_reaches(a.block, b.block)
+    }
+
+    /// Whether access `x` may execute before access `y` on some path.
+    pub fn access_precedes(&self, cfg: &Cfg, x: AccessId, y: AccessId) -> bool {
+        self.pos_precedes(cfg.accesses.info(x).pos, cfg.accesses.info(y).pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syncopt_frontend::prepare_program;
+    use crate::lower::lower_main;
+
+    fn order_of(src: &str) -> (Cfg, ProgramOrder) {
+        let cfg = lower_main(&prepare_program(src).unwrap()).unwrap();
+        let po = ProgramOrder::compute(&cfg);
+        (cfg, po)
+    }
+
+    #[test]
+    fn bitmatrix_set_get() {
+        let mut m = BitMatrix::new(70);
+        m.set(0, 65);
+        m.set(69, 0);
+        assert!(m.get(0, 65));
+        assert!(m.get(69, 0));
+        assert!(!m.get(1, 1));
+        assert_eq!(m.count_ones(), 2);
+    }
+
+    #[test]
+    fn bitmatrix_or_row() {
+        let mut m = BitMatrix::new(4);
+        m.set(1, 2);
+        assert!(m.or_row(0, 1));
+        assert!(m.get(0, 2));
+        assert!(!m.or_row(0, 1), "second or is a no-op");
+    }
+
+    #[test]
+    fn reachability_is_transitive_and_irreflexive_without_cycles() {
+        // 0→1→2, 3 isolated.
+        let m = reachability(4, &[(0, 1), (1, 2)]);
+        assert!(m.get(0, 1));
+        assert!(m.get(0, 2));
+        assert!(m.get(1, 2));
+        assert!(!m.get(0, 0));
+        assert!(!m.get(2, 0));
+        assert!(!m.get(3, 3));
+    }
+
+    #[test]
+    fn reachability_cycle_reaches_itself() {
+        let m = reachability(2, &[(0, 1), (1, 0)]);
+        assert!(m.get(0, 0));
+        assert!(m.get(1, 1));
+    }
+
+    #[test]
+    fn straight_line_accesses_are_ordered_one_way() {
+        let (cfg, po) = order_of("shared int X; shared int Y; fn main() { X = 1; Y = 2; }");
+        let ids: Vec<AccessId> = cfg.accesses.ids().collect();
+        assert!(po.access_precedes(&cfg, ids[0], ids[1]));
+        assert!(!po.access_precedes(&cfg, ids[1], ids[0]));
+        assert!(!po.access_precedes(&cfg, ids[0], ids[0]));
+    }
+
+    #[test]
+    fn loop_accesses_are_mutually_ordered() {
+        let (cfg, po) = order_of(
+            r#"
+            shared int X; shared int Y;
+            fn main() {
+                int i;
+                for (i = 0; i < 4; i = i + 1) { X = i; Y = i; }
+            }
+            "#,
+        );
+        let writes: Vec<AccessId> = cfg
+            .accesses
+            .iter()
+            .filter(|(_, a)| a.kind == crate::access::AccessKind::Write)
+            .map(|(id, _)| id)
+            .collect();
+        assert_eq!(writes.len(), 2);
+        assert!(po.access_precedes(&cfg, writes[0], writes[1]));
+        assert!(
+            po.access_precedes(&cfg, writes[1], writes[0]),
+            "across iterations Y-write precedes X-write"
+        );
+        // Loop body access precedes itself (next iteration).
+        assert!(po.access_precedes(&cfg, writes[0], writes[0]));
+    }
+
+    #[test]
+    fn branch_arms_are_unordered() {
+        let (cfg, po) = order_of(
+            "shared int X; shared int Y; fn main() { if (MYPROC == 0) { X = 1; } else { Y = 1; } }",
+        );
+        let ids: Vec<AccessId> = cfg.accesses.ids().collect();
+        assert!(!po.access_precedes(&cfg, ids[0], ids[1]));
+        assert!(!po.access_precedes(&cfg, ids[1], ids[0]));
+    }
+}

@@ -1,0 +1,237 @@
+//! Human-readable CFG dumps (used by examples, tests, and debugging).
+
+use crate::cfg::{Cfg, Instr, Terminator};
+use std::fmt::Write;
+
+/// Renders an instruction using source-level variable names.
+pub fn instr_to_string(cfg: &Cfg, instr: &Instr) -> String {
+    let name = |v: crate::ids::VarId| cfg.vars.info(v).name.clone();
+    let sref = |r: &crate::expr::SharedRef| match &r.index {
+        Some(idx) => format!("{}[{}]", name(r.var), expr_names(cfg, idx)),
+        None => name(r.var),
+    };
+    match instr {
+        Instr::GetShared { access, dst, src } => {
+            format!("{} = read {}    ; {access}", name(*dst), sref(src))
+        }
+        Instr::PutShared { access, dst, src } => {
+            format!("write {} = {}    ; {access}", sref(dst), expr_names(cfg, src))
+        }
+        Instr::GetInit {
+            access,
+            dst,
+            src,
+            ctr,
+        } => format!(
+            "get_ctr({}, {}, {ctr})    ; {access}",
+            name(*dst),
+            sref(src)
+        ),
+        Instr::PutInit {
+            access,
+            dst,
+            src,
+            ctr,
+        } => format!(
+            "put_ctr({}, {}, {ctr})    ; {access}",
+            sref(dst),
+            expr_names(cfg, src)
+        ),
+        Instr::StoreInit { access, dst, src } => {
+            format!("store({}, {})    ; {access}", sref(dst), expr_names(cfg, src))
+        }
+        Instr::SyncCtr { ctr } => format!("sync_ctr({ctr})"),
+        Instr::AssignLocal { dst, value } => {
+            format!("{} = {}", name(*dst), expr_names(cfg, value))
+        }
+        Instr::AssignLocalElem {
+            array,
+            index,
+            value,
+        } => format!(
+            "{}[{}] = {}",
+            name(*array),
+            expr_names(cfg, index),
+            expr_names(cfg, value)
+        ),
+        Instr::Work { cost } => format!("work({})", expr_names(cfg, cost)),
+        Instr::Post {
+            access,
+            flag,
+            index,
+        } => match index {
+            Some(idx) => format!("post {}[{}]    ; {access}", name(*flag), expr_names(cfg, idx)),
+            None => format!("post {}    ; {access}", name(*flag)),
+        },
+        Instr::Wait {
+            access,
+            flag,
+            index,
+        } => match index {
+            Some(idx) => format!("wait {}[{}]    ; {access}", name(*flag), expr_names(cfg, idx)),
+            None => format!("wait {}    ; {access}", name(*flag)),
+        },
+        Instr::Barrier { access } => format!("barrier    ; {access}"),
+        Instr::LockAcq { access, lock } => format!("lock {}    ; {access}", name(*lock)),
+        Instr::LockRel { access, lock } => format!("unlock {}    ; {access}", name(*lock)),
+    }
+}
+
+/// Renders an expression using source-level variable names.
+pub fn expr_names(cfg: &Cfg, expr: &crate::expr::Expr) -> String {
+    use crate::expr::Expr;
+    match expr {
+        Expr::Int(v) => v.to_string(),
+        Expr::Float(v) => v.to_string(),
+        Expr::Bool(v) => v.to_string(),
+        Expr::Local(v) => cfg.vars.info(*v).name.clone(),
+        Expr::LocalElem { array, index } => {
+            format!("{}[{}]", cfg.vars.info(*array).name, expr_names(cfg, index))
+        }
+        Expr::MyProc => "MYPROC".to_string(),
+        Expr::Procs => "PROCS".to_string(),
+        Expr::Unary { op, expr } => format!("{op}({})", expr_names(cfg, expr)),
+        Expr::Binary { op, lhs, rhs } => format!(
+            "({} {op} {})",
+            expr_names(cfg, lhs),
+            expr_names(cfg, rhs)
+        ),
+    }
+}
+
+/// Renders the whole CFG, one block per paragraph.
+pub fn cfg_to_string(cfg: &Cfg) -> String {
+    let mut out = String::new();
+    for b in cfg.block_ids() {
+        let tags = [
+            (b == cfg.entry).then_some("entry"),
+            (b == cfg.exit).then_some("exit"),
+        ]
+        .into_iter()
+        .flatten()
+        .collect::<Vec<_>>()
+        .join(", ");
+        if tags.is_empty() {
+            writeln!(out, "{b}:").unwrap();
+        } else {
+            writeln!(out, "{b}: ({tags})").unwrap();
+        }
+        for instr in &cfg.block(b).instrs {
+            writeln!(out, "    {}", instr_to_string(cfg, instr)).unwrap();
+        }
+        match &cfg.block(b).term {
+            Terminator::Goto(t) => writeln!(out, "    goto {t}").unwrap(),
+            Terminator::Branch {
+                cond,
+                then_bb,
+                else_bb,
+            } => writeln!(
+                out,
+                "    branch {} ? {then_bb} : {else_bb}",
+                expr_names(cfg, cond)
+            )
+            .unwrap(),
+            Terminator::Return => writeln!(out, "    return").unwrap(),
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the CFG as a Graphviz `dot` digraph (one record node per block).
+pub fn cfg_to_dot(cfg: &Cfg, title: &str) -> String {
+    let mut out = String::new();
+    writeln!(out, "digraph \"{title}\" {{").unwrap();
+    writeln!(out, "    node [shape=box, fontname=\"monospace\"];").unwrap();
+    for b in cfg.block_ids() {
+        let mut label = format!("{b}");
+        if b == cfg.entry {
+            label.push_str(" (entry)");
+        }
+        if b == cfg.exit {
+            label.push_str(" (exit)");
+        }
+        label.push_str("\\l");
+        for instr in &cfg.block(b).instrs {
+            let line = instr_to_string(cfg, instr)
+                .replace('\\', "\\\\")
+                .replace('"', "\\\"");
+            label.push_str(&line);
+            label.push_str("\\l");
+        }
+        writeln!(out, "    {b} [label=\"{label}\"];").unwrap();
+        match &cfg.block(b).term {
+            Terminator::Goto(t) => writeln!(out, "    {b} -> {t};").unwrap(),
+            Terminator::Branch {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
+                let c = expr_names(cfg, cond).replace('"', "\\\"");
+                writeln!(out, "    {b} -> {then_bb} [label=\"{c}\"];").unwrap();
+                writeln!(out, "    {b} -> {else_bb} [label=\"!\"];").unwrap();
+            }
+            Terminator::Return => {}
+        }
+    }
+    writeln!(out, "}}").unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_main;
+    use syncopt_frontend::prepare_program;
+
+    #[test]
+    fn dot_output_is_well_formed() {
+        let cfg = lower_main(
+            &prepare_program(
+                "shared int X; fn main() { if (MYPROC == 0) { X = 1; } else { X = 2; } }",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let dot = cfg_to_dot(&cfg, "test");
+        assert!(dot.starts_with("digraph \"test\" {"), "{dot}");
+        assert!(dot.trim_end().ends_with('}'));
+        // One node per block and at least the branch edges.
+        for b in cfg.block_ids() {
+            assert!(dot.contains(&format!("{b} [label=")), "{dot}");
+        }
+        assert!(dot.contains("->"));
+        assert!(dot.contains("(entry)"));
+        assert!(dot.contains("(exit)"));
+        // Balanced braces.
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+    }
+
+    #[test]
+    fn dump_contains_source_names_and_access_ids() {
+        let cfg = lower_main(
+            &prepare_program(
+                "shared int X; shared double A[4]; flag f; fn main() { int v; v = X; A[v] = 1.0; post f; }",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let dump = cfg_to_string(&cfg);
+        assert!(dump.contains("read X"), "{dump}");
+        assert!(dump.contains("write A["), "{dump}");
+        assert!(dump.contains("post f"), "{dump}");
+        assert!(dump.contains("; a0"), "{dump}");
+        assert!(dump.contains("(entry)"), "{dump}");
+        assert!(dump.contains("return"), "{dump}");
+    }
+
+    #[test]
+    fn dump_shows_branches() {
+        let cfg = lower_main(
+            &prepare_program("fn main() { if (MYPROC == 0) { work(1); } }").unwrap(),
+        )
+        .unwrap();
+        let dump = cfg_to_string(&cfg);
+        assert!(dump.contains("branch (MYPROC == 0) ?"), "{dump}");
+    }
+}

@@ -1,0 +1,157 @@
+//! EM3D: electromagnetic-wave propagation on a bipartite graph (Culler et
+//! al.'s Split-C application; reference 14 in the paper).
+//!
+//! Leapfrog integration: on alternate half steps the electric field `E` is
+//! updated from neighboring magnetic values `H`, then vice versa. The
+//! skeleton keeps the characteristic pattern — each half step pulls
+//! several *remote* graph neighbors (the cross-processor edges of the
+//! bipartite graph), updates owned nodes, pushes one ghost value to the
+//! neighbor, and hits a barrier.
+//!
+//! Under the Shasha–Snir delay set the remote pulls of one half step
+//! serialize (each pair of same-array reads is "cyclic" through the remote
+//! writes); the synchronization analysis recognizes the barrier phases and
+//! lets them pipeline — the paper's headline effect.
+
+use crate::{Kernel, KernelParams};
+use std::fmt::Write;
+
+/// Generates the EM3D skeleton for `params`.
+pub fn generate(params: &KernelParams) -> Kernel {
+    let p = params.procs as u64;
+    let b = params.elements_per_proc.max(6) as u64;
+    let n = p * b;
+    let steps = params.steps;
+    let w = params.work_per_element as u64 * b;
+    let mut s = String::new();
+    writeln!(s, "// EM3D: bipartite leapfrog with barrier half-steps.").unwrap();
+    writeln!(s, "shared double E[{n}];").unwrap();
+    writeln!(s, "shared double H[{n}];").unwrap();
+    writeln!(s, "shared double HG[{p}];").unwrap();
+    writeln!(s, "shared double EG[{p}];").unwrap();
+    writeln!(
+        s,
+        r#"
+fn main() {{
+    int t;
+    double h1; double h2; double h3; double hg;
+    double e1; double e2; double e3; double eg;
+    for (t = 0; t < {steps}; t = t + 1) {{
+        // E half-step: pull three remote H neighbors and the pushed ghost.
+        h1 = 0.0; h2 = 0.0; h3 = 0.0;
+        if (MYPROC < PROCS - 1) {{
+            h1 = H[MYPROC * {b} + {b}];
+            h2 = H[MYPROC * {b} + {b} + 1];
+            h3 = H[MYPROC * {b} + {b} + 2];
+        }}
+        hg = HG[MYPROC];
+        work({w});
+        E[MYPROC * {b}] = (h1 + h2 + h3 + hg) * 0.25;
+        E[MYPROC * {b} + 1] = (h1 - h3) * 0.5;
+        // Push this block's E edge into the right neighbor's ghost slot.
+        if (MYPROC < PROCS - 1) {{
+            EG[MYPROC + 1] = h1 * 0.5;
+        }}
+        barrier;
+        // H half-step: pull three remote E neighbors and the pushed ghost.
+        e1 = 0.0; e2 = 0.0; e3 = 0.0;
+        if (MYPROC > 0) {{
+            e1 = E[MYPROC * {b} - 1];
+            e2 = E[MYPROC * {b} - 2];
+            e3 = E[MYPROC * {b} - 3];
+        }}
+        eg = EG[MYPROC];
+        work({w});
+        H[MYPROC * {b}] = (e1 + e2 + e3 + eg) * 0.25;
+        H[MYPROC * {b} + 1] = (e1 - e3) * 0.5;
+        if (MYPROC < PROCS - 1) {{
+            HG[MYPROC + 1] = e1 * 0.5;
+        }}
+        barrier;
+    }}
+}}
+"#,
+        steps = steps,
+        b = b,
+        w = w,
+    )
+    .unwrap();
+    Kernel {
+        name: "EM3D",
+        source: s,
+        procs: params.procs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syncopt_core::analyze_for;
+    use syncopt_frontend::prepare_program;
+    use syncopt_ir::lower::lower_main;
+
+    #[test]
+    fn generates_valid_program() {
+        let k = generate(&KernelParams::evaluation(8));
+        prepare_program(&k.source).unwrap();
+    }
+
+    #[test]
+    fn refinement_shrinks_delays() {
+        let k = generate(&KernelParams::evaluation(4));
+        let cfg = lower_main(&prepare_program(&k.source).unwrap()).unwrap();
+        let analysis = analyze_for(&cfg, k.procs);
+        let s = analysis.stats();
+        assert!(s.delay_sync < s.delay_ss, "{s:?}");
+        assert_eq!(s.aligned_barriers, 2);
+    }
+
+    #[test]
+    fn ghost_pushes_convert_to_stores() {
+        use syncopt_codegen::{optimize, DelayChoice, OptLevel};
+        let k = generate(&KernelParams::evaluation(4));
+        let cfg = lower_main(&prepare_program(&k.source).unwrap()).unwrap();
+        let analysis = analyze_for(&cfg, k.procs);
+        let opt = optimize(&cfg, &analysis, OptLevel::OneWay, DelayChoice::SyncRefined);
+        assert!(
+            opt.stats.puts_to_stores >= 2,
+            "both ghost pushes should convert: {:?}",
+            opt.stats
+        );
+    }
+
+    #[test]
+    fn simulates_on_cm5() {
+        let k = generate(&KernelParams {
+            procs: 4,
+            elements_per_proc: 6,
+            steps: 2,
+            work_per_element: 50,
+        });
+        let cfg = lower_main(&prepare_program(&k.source).unwrap()).unwrap();
+        let r = syncopt_machine::simulate(&cfg, &syncopt_machine::MachineConfig::cm5(4))
+            .expect("EM3D should simulate");
+        assert!(r.barriers_aligned);
+        assert_eq!(r.net.barriers, 4, "2 steps × 2 half-step barriers");
+    }
+
+    #[test]
+    fn optimization_speeds_up_em3d() {
+        use syncopt_codegen::{optimize, DelayChoice, OptLevel};
+        let k = generate(&KernelParams::evaluation(8));
+        let config = syncopt_machine::MachineConfig::cm5(8);
+        let cfg = lower_main(&prepare_program(&k.source).unwrap()).unwrap();
+        let analysis = analyze_for(&cfg, k.procs);
+        let unopt = optimize(&cfg, &analysis, OptLevel::Pipelined, DelayChoice::ShashaSnir);
+        let opt = optimize(&cfg, &analysis, OptLevel::OneWay, DelayChoice::SyncRefined);
+        let unopt = syncopt_machine::simulate(&unopt.cfg, &config).unwrap();
+        let opt = syncopt_machine::simulate(&opt.cfg, &config).unwrap();
+        assert!(
+            opt.exec_cycles < unopt.exec_cycles,
+            "opt {} vs unopt {}",
+            opt.exec_cycles,
+            unopt.exec_cycles
+        );
+        assert_eq!(opt.memory, unopt.memory);
+    }
+}

@@ -1,0 +1,287 @@
+//! The distributed global address space.
+//!
+//! Shared scalars are placed round-robin across processors; distributed
+//! arrays use the Split-C block layout (element `i` of an `L`-element array
+//! on `P` processors lives on processor `i / ceil(L / P)`). Flags and locks
+//! also have home processors (their operations are messages to the home).
+
+use crate::value::{SimError, Value};
+use std::collections::HashMap;
+use syncopt_ir::ids::VarId;
+use syncopt_ir::vars::{VarKind, VarTable};
+
+/// A resolved shared location: variable plus concrete element index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Location {
+    /// The shared variable.
+    pub var: VarId,
+    /// Element index (0 for scalars).
+    pub index: u64,
+}
+
+/// The machine's shared memory plus synchronization-object state.
+#[derive(Debug, Clone)]
+pub struct SharedMemory {
+    procs: u32,
+    scalars: HashMap<VarId, Value>,
+    arrays: HashMap<VarId, Vec<Value>>,
+    flags: HashMap<VarId, Vec<bool>>,
+    home_cache: HashMap<VarId, HomeInfo>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum HomeInfo {
+    /// Fixed home processor (scalars, scalar flags, locks).
+    Fixed(u32),
+    /// Block-distributed: `home = index / block_size`.
+    Blocked {
+        block: u64,
+    },
+}
+
+impl SharedMemory {
+    /// Builds the memory image for a program's variables, zero-initialized.
+    pub fn new(procs: u32, vars: &VarTable) -> Self {
+        let mut scalars = HashMap::new();
+        let mut arrays = HashMap::new();
+        let mut flags = HashMap::new();
+        let mut home_cache = HashMap::new();
+        let mut rr = 0u32;
+        for (id, info) in vars.iter() {
+            match info.kind {
+                VarKind::SharedScalar => {
+                    scalars.insert(id, Value::zero(info.ty));
+                    home_cache.insert(id, HomeInfo::Fixed(rr % procs));
+                    rr += 1;
+                }
+                VarKind::SharedArray { len } => {
+                    arrays.insert(id, vec![Value::zero(info.ty); len as usize]);
+                    home_cache.insert(
+                        id,
+                        HomeInfo::Blocked {
+                            block: len.div_ceil(procs as u64).max(1),
+                        },
+                    );
+                }
+                VarKind::Flag => {
+                    flags.insert(id, vec![false]);
+                    home_cache.insert(id, HomeInfo::Fixed(rr % procs));
+                    rr += 1;
+                }
+                VarKind::FlagArray { len } => {
+                    flags.insert(id, vec![false; len as usize]);
+                    home_cache.insert(
+                        id,
+                        HomeInfo::Blocked {
+                            block: len.div_ceil(procs as u64).max(1),
+                        },
+                    );
+                }
+                VarKind::Lock => {
+                    home_cache.insert(id, HomeInfo::Fixed(rr % procs));
+                    rr += 1;
+                }
+                VarKind::Local | VarKind::LocalArray { .. } => {}
+            }
+        }
+        SharedMemory {
+            procs,
+            scalars,
+            arrays,
+            flags,
+            home_cache,
+        }
+    }
+
+    /// The home processor of a location.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is not a shared object.
+    pub fn home(&self, loc: Location) -> u32 {
+        match self.home_cache[&loc.var] {
+            HomeInfo::Fixed(p) => p,
+            HomeInfo::Blocked { block } => {
+                ((loc.index / block) as u32).min(self.procs - 1)
+            }
+        }
+    }
+
+    /// Reads a shared data location.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown variables or out-of-bounds indices.
+    pub fn load(&self, loc: Location) -> Result<Value, SimError> {
+        if let Some(v) = self.scalars.get(&loc.var) {
+            return Ok(*v);
+        }
+        self.arrays
+            .get(&loc.var)
+            .and_then(|a| a.get(loc.index as usize))
+            .copied()
+            .ok_or_else(|| {
+                SimError::new(format!(
+                    "shared load out of bounds: {}[{}]",
+                    loc.var, loc.index
+                ))
+            })
+    }
+
+    /// Writes a shared data location.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown variables or out-of-bounds indices.
+    pub fn store(&mut self, loc: Location, value: Value) -> Result<(), SimError> {
+        if let Some(v) = self.scalars.get_mut(&loc.var) {
+            *v = value;
+            return Ok(());
+        }
+        let slot = self
+            .arrays
+            .get_mut(&loc.var)
+            .and_then(|a| a.get_mut(loc.index as usize))
+            .ok_or_else(|| {
+                SimError::new(format!(
+                    "shared store out of bounds: {}[{}]",
+                    loc.var, loc.index
+                ))
+            })?;
+        *slot = value;
+        Ok(())
+    }
+
+    /// Reads a flag.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown flags or out-of-bounds indices.
+    pub fn flag(&self, loc: Location) -> Result<bool, SimError> {
+        self.flags
+            .get(&loc.var)
+            .and_then(|f| f.get(loc.index as usize))
+            .copied()
+            .ok_or_else(|| SimError::new(format!("unknown flag {}[{}]", loc.var, loc.index)))
+    }
+
+    /// Sets a flag (posts the event).
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown flags or out-of-bounds indices.
+    pub fn set_flag(&mut self, loc: Location) -> Result<(), SimError> {
+        let slot = self
+            .flags
+            .get_mut(&loc.var)
+            .and_then(|f| f.get_mut(loc.index as usize))
+            .ok_or_else(|| SimError::new(format!("unknown flag {}[{}]", loc.var, loc.index)))?;
+        *slot = true;
+        Ok(())
+    }
+
+    /// Snapshot of all shared data (for end-state equivalence checks).
+    pub fn snapshot(&self) -> Vec<(VarId, Vec<Value>)> {
+        let mut out: Vec<(VarId, Vec<Value>)> = Vec::new();
+        for (&v, &val) in &self.scalars {
+            out.push((v, vec![val]));
+        }
+        for (&v, arr) in &self.arrays {
+            out.push((v, arr.clone()));
+        }
+        out.sort_by_key(|(v, _)| *v);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syncopt_frontend::ast::Type;
+    use syncopt_ir::vars::VarInfo;
+
+    fn vars() -> (VarTable, VarId, VarId, VarId, VarId) {
+        let mut t = VarTable::new();
+        let x = t.push(VarInfo {
+            name: "X".into(),
+            kind: VarKind::SharedScalar,
+            ty: Type::Int,
+        });
+        let a = t.push(VarInfo {
+            name: "A".into(),
+            kind: VarKind::SharedArray { len: 16 },
+            ty: Type::Double,
+        });
+        let f = t.push(VarInfo {
+            name: "f".into(),
+            kind: VarKind::FlagArray { len: 4 },
+            ty: Type::Flag,
+        });
+        let l = t.push(VarInfo {
+            name: "l".into(),
+            kind: VarKind::Lock,
+            ty: Type::Lock,
+        });
+        (t, x, a, f, l)
+    }
+
+    #[test]
+    fn block_layout_homes() {
+        let (t, _, a, _, _) = vars();
+        let m = SharedMemory::new(4, &t);
+        // 16 elements on 4 procs: block of 4.
+        assert_eq!(m.home(Location { var: a, index: 0 }), 0);
+        assert_eq!(m.home(Location { var: a, index: 3 }), 0);
+        assert_eq!(m.home(Location { var: a, index: 4 }), 1);
+        assert_eq!(m.home(Location { var: a, index: 15 }), 3);
+    }
+
+    #[test]
+    fn scalar_homes_are_round_robin() {
+        let (t, x, _, f, l) = vars();
+        let m = SharedMemory::new(4, &t);
+        let hx = m.home(Location { var: x, index: 0 });
+        let hf_home = m.home(Location { var: f, index: 0 });
+        let hl = m.home(Location { var: l, index: 0 });
+        // x and l are round-robin fixed; the flag array is blocked.
+        assert_eq!(hx, 0);
+        assert_eq!(hl, 1);
+        assert_eq!(hf_home, 0);
+    }
+
+    #[test]
+    fn load_store_round_trip() {
+        let (t, x, a, _, _) = vars();
+        let mut m = SharedMemory::new(4, &t);
+        let lx = Location { var: x, index: 0 };
+        assert_eq!(m.load(lx).unwrap(), Value::Int(0));
+        m.store(lx, Value::Int(9)).unwrap();
+        assert_eq!(m.load(lx).unwrap(), Value::Int(9));
+        let la = Location { var: a, index: 7 };
+        m.store(la, Value::Double(2.5)).unwrap();
+        assert_eq!(m.load(la).unwrap(), Value::Double(2.5));
+        assert!(m.load(Location { var: a, index: 99 }).is_err());
+    }
+
+    #[test]
+    fn flags_start_clear_and_latch() {
+        let (t, _, _, f, _) = vars();
+        let mut m = SharedMemory::new(4, &t);
+        let lf = Location { var: f, index: 2 };
+        assert!(!m.flag(lf).unwrap());
+        m.set_flag(lf).unwrap();
+        assert!(m.flag(lf).unwrap());
+        assert!(m.flag(Location { var: f, index: 9 }).is_err());
+    }
+
+    #[test]
+    fn snapshot_is_deterministic() {
+        let (t, x, _, _, _) = vars();
+        let mut m = SharedMemory::new(2, &t);
+        m.store(Location { var: x, index: 0 }, Value::Int(3)).unwrap();
+        let s1 = m.snapshot();
+        let s2 = m.snapshot();
+        assert_eq!(s1, s2);
+        assert_eq!(s1.len(), 2, "scalar + array");
+    }
+}

@@ -1,0 +1,1370 @@
+//! The discrete-event simulator.
+//!
+//! Every processor runs the SPMD program (the same CFG); all shared-memory
+//! and synchronization effects are serialized through a timestamped event
+//! heap, so results are deterministic and independent of host scheduling.
+//!
+//! Cost model (see [`crate::config::MachineConfig`]):
+//!
+//! * a **blocking** remote access costs the full round trip
+//!   (`send + latency + handler + latency + recv` — Table 1);
+//! * a **split-phase** access costs the issuer only `send_overhead`; the
+//!   reply/ack decrements a synchronizing counter when it arrives and
+//!   steals `recv_overhead`/`ack_cycles` from the issuing CPU;
+//! * a **store** has no ack at all; global barriers wait for store
+//!   quiescence (the paper's completion rule for one-way communication);
+//! * request handlers at a home node serialize (hot homes congest);
+//! * `post`/`wait`/`lock`/`unlock` are messages to the object's home.
+//!
+//! The simulator also performs the paper's §5.2 **runtime barrier check**:
+//! it records each processor's sequence of barrier sites and reports
+//! whether they lined up.
+
+use crate::config::MachineConfig;
+use crate::memory::{Location, SharedMemory};
+use crate::trace::{Trace, TraceKind};
+use crate::value::{eval, ProcEnv, SimError, Value};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use syncopt_ir::cfg::{Cfg, CtrId, Instr, Terminator};
+use syncopt_ir::expr::SharedRef;
+use syncopt_ir::ids::{AccessId, BlockId, VarId};
+
+/// Network / synchronization message counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Split-phase or blocking read requests sent to a remote home.
+    pub get_requests: u64,
+    /// Data replies for gets.
+    pub get_replies: u64,
+    /// Two-way write requests.
+    pub put_requests: u64,
+    /// Acknowledgements for two-way writes.
+    pub put_acks: u64,
+    /// One-way store requests (never acknowledged).
+    pub store_requests: u64,
+    /// Post messages.
+    pub post_messages: u64,
+    /// Wait check/notify messages.
+    pub wait_messages: u64,
+    /// Lock request/grant/release messages.
+    pub lock_messages: u64,
+    /// Barrier episodes completed.
+    pub barriers: u64,
+}
+
+impl NetStats {
+    /// Total messages on the wire.
+    pub fn total_messages(&self) -> u64 {
+        self.get_requests
+            + self.get_replies
+            + self.put_requests
+            + self.put_acks
+            + self.store_requests
+            + self.post_messages
+            + self.wait_messages
+            + self.lock_messages
+    }
+}
+
+/// Cycles spent blocked, by cause, summed over processors.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StallStats {
+    /// Waiting on `sync_ctr`.
+    pub sync: u64,
+    /// Waiting at barriers.
+    pub barrier: u64,
+    /// Waiting on events (`wait`).
+    pub wait: u64,
+    /// Waiting for lock grants.
+    pub lock: u64,
+    /// Blocking (non-split) remote accesses.
+    pub blocking: u64,
+}
+
+/// The outcome of a simulation.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Execution time: the maximum processor finish time, in cycles.
+    pub exec_cycles: u64,
+    /// Per-processor finish times.
+    pub proc_cycles: Vec<u64>,
+    /// Message counters.
+    pub net: NetStats,
+    /// Stall cycle accounting.
+    pub stalls: StallStats,
+    /// Final shared-memory image (sorted by variable).
+    pub memory: Vec<(VarId, Vec<Value>)>,
+    /// Whether all processors executed the same barrier-site sequence
+    /// (`true` when the check is disabled or there are no barriers).
+    pub barriers_aligned: bool,
+}
+
+#[derive(Debug, Clone)]
+enum Msg {
+    Get {
+        from: u32,
+        loc: Location,
+        dst: VarId,
+        ctr: Option<CtrId>,
+    },
+    Put {
+        from: u32,
+        loc: Location,
+        val: Value,
+        ctr: Option<CtrId>,
+    },
+    Store {
+        from: u32,
+        loc: Location,
+        val: Value,
+    },
+    Post {
+        from: u32,
+        loc: Location,
+    },
+    WaitCheck {
+        from: u32,
+        loc: Location,
+    },
+    LockReq {
+        from: u32,
+        lock: VarId,
+    },
+    Unlock {
+        from: u32,
+        lock: VarId,
+    },
+}
+
+#[derive(Debug, Clone)]
+enum Delivery {
+    GetReply {
+        dst: VarId,
+        val: Value,
+        ctr: Option<CtrId>,
+        /// Receive cost paid inline by a *blocking* issuer (0 for local).
+        recv: u64,
+    },
+    PutAck {
+        ctr: Option<CtrId>,
+        /// Ack cost paid inline by a *blocking* issuer (0 for local).
+        recv: u64,
+    },
+    FlagSet,
+    LockGrant,
+}
+
+#[derive(Debug, Clone)]
+enum Event {
+    Run(u32),
+    Arrive { home: u32, msg: Msg },
+    Deliver { to: u32, del: Delivery },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Status {
+    Ready,
+    BlockedSync(CtrId, u64),
+    BlockedReply(u64),
+    BlockedWait(u64),
+    BlockedLock(u64),
+    BlockedBarrier(u64),
+    Finished,
+}
+
+struct ProcState {
+    env: ProcEnv,
+    block: BlockId,
+    instr: usize,
+    time: u64,
+    steal: u64,
+    steps: u64,
+    status: Status,
+    ctrs: HashMap<CtrId, u64>,
+    barrier_seq: Vec<AccessId>,
+    finished_at: Option<u64>,
+}
+
+struct LockState {
+    held: bool,
+    queue: VecDeque<u32>,
+}
+
+/// Runs `cfg` on the machine described by `config`.
+///
+/// # Errors
+///
+/// Returns a [`SimError`] on runtime faults (out-of-bounds indices,
+/// division by zero), deadlock, or when a processor exceeds
+/// `config.max_steps`.
+pub fn simulate(cfg: &Cfg, config: &MachineConfig) -> Result<SimResult, SimError> {
+    Simulator::new(cfg, config).run().map(|(r, _)| r)
+}
+
+/// [`simulate`], additionally returning an execution trace (bounded to
+/// `trace_cap` events).
+///
+/// # Errors
+///
+/// Same failure modes as [`simulate`].
+pub fn simulate_traced(
+    cfg: &Cfg,
+    config: &MachineConfig,
+    trace_cap: usize,
+) -> Result<(SimResult, Trace), SimError> {
+    let mut sim = Simulator::new(cfg, config);
+    sim.trace = Some(Trace::with_capacity(trace_cap));
+    sim.run().map(|(r, t)| (r, t.unwrap_or_default()))
+}
+
+struct Simulator<'a> {
+    cfg: &'a Cfg,
+    config: &'a MachineConfig,
+    procs: Vec<ProcState>,
+    memory: SharedMemory,
+    heap: BinaryHeap<Reverse<(u64, u64, usize)>>,
+    events: Vec<Event>,
+    locks: HashMap<VarId, LockState>,
+    waiters: HashMap<Location, Vec<u32>>,
+    handler_free: Vec<u64>,
+    next_inject: Vec<u64>,
+    // Barrier rendezvous state.
+    barrier_arrivals: Vec<Option<(AccessId, u64)>>,
+    // Arrival times of stores still in flight.
+    stores_in_flight: u64,
+    barrier_release_pending: bool,
+    net: NetStats,
+    stalls: StallStats,
+    trace: Option<Trace>,
+}
+
+impl<'a> Simulator<'a> {
+    fn new(cfg: &'a Cfg, config: &'a MachineConfig) -> Self {
+        let p = config.procs;
+        assert!(p >= 1, "need at least one processor");
+        let procs = (0..p)
+            .map(|i| ProcState {
+                env: ProcEnv::new(i, p, &cfg.vars),
+                block: cfg.entry,
+                instr: 0,
+                time: 0,
+                steal: 0,
+                steps: 0,
+                status: Status::Ready,
+                ctrs: HashMap::new(),
+                barrier_seq: Vec::new(),
+                finished_at: None,
+            })
+            .collect();
+        Simulator {
+            cfg,
+            config,
+            procs,
+            memory: SharedMemory::new(p, &cfg.vars),
+            heap: BinaryHeap::new(),
+            events: Vec::new(),
+            locks: HashMap::new(),
+            waiters: HashMap::new(),
+            handler_free: vec![0; p as usize],
+            next_inject: vec![0; p as usize],
+            barrier_arrivals: vec![None; p as usize],
+            stores_in_flight: 0,
+            barrier_release_pending: false,
+            net: NetStats::default(),
+            stalls: StallStats::default(),
+            trace: None,
+        }
+    }
+
+    fn trace(&mut self, time: u64, proc: u32, kind: TraceKind) {
+        if let Some(t) = &mut self.trace {
+            t.record(time, proc, kind);
+        }
+    }
+
+    fn push(&mut self, time: u64, event: Event) {
+        let seq = self.events.len() as u64;
+        self.events.push(event);
+        self.heap.push(Reverse((time, seq, self.events.len() - 1)));
+    }
+
+    fn run(mut self) -> Result<(SimResult, Option<Trace>), SimError> {
+        for p in 0..self.config.procs {
+            self.push(0, Event::Run(p));
+        }
+        while let Some(Reverse((time, _, idx))) = self.heap.pop() {
+            let event = self.events[idx].clone();
+            match event {
+                Event::Run(p) => {
+                    let pi = p as usize;
+                    if self.procs[pi].status == Status::Finished {
+                        continue;
+                    }
+                    self.procs[pi].time = self.procs[pi].time.max(time);
+                    self.run_proc(p)?;
+                }
+                Event::Arrive { home, msg } => self.handle_arrive(time, home, msg)?,
+                Event::Deliver { to, del } => self.handle_deliver(time, to, del)?,
+            }
+        }
+        // Everything drained: all processors must have finished.
+        let unfinished: Vec<usize> = self
+            .procs
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.status != Status::Finished)
+            .map(|(i, _)| i)
+            .collect();
+        if !unfinished.is_empty() {
+            return Err(SimError::new(format!(
+                "deadlock: processors {unfinished:?} blocked ({:?})",
+                self.procs[unfinished[0]].status
+            )));
+        }
+        let proc_cycles: Vec<u64> = self
+            .procs
+            .iter()
+            .map(|p| p.finished_at.expect("finished proc has finish time"))
+            .collect();
+        let exec_cycles = proc_cycles.iter().copied().max().unwrap_or(0);
+        let barriers_aligned = self.barriers_aligned();
+        Ok((
+            SimResult {
+                exec_cycles,
+                proc_cycles,
+                net: self.net,
+                stalls: self.stalls,
+                memory: self.memory.snapshot(),
+                barriers_aligned,
+            },
+            self.trace,
+        ))
+    }
+
+    fn barriers_aligned(&self) -> bool {
+        if !self.config.check_barrier_alignment {
+            return true;
+        }
+        let first = &self.procs[0].barrier_seq;
+        self.procs.iter().all(|p| &p.barrier_seq == first)
+    }
+
+    // ---- the per-processor interpreter ---------------------------------
+
+    fn run_proc(&mut self, p: u32) -> Result<(), SimError> {
+        let pi = p as usize;
+        // Consume stolen cycles (message handling charged to this CPU).
+        let steal = std::mem::take(&mut self.procs[pi].steal);
+        self.procs[pi].time += steal;
+        self.procs[pi].status = Status::Ready;
+        loop {
+            self.procs[pi].steps += 1;
+            if self.procs[pi].steps > self.config.max_steps {
+                return Err(SimError::new(format!(
+                    "processor {p} exceeded max_steps ({})",
+                    self.config.max_steps
+                )));
+            }
+            let block = self.procs[pi].block;
+            let idx = self.procs[pi].instr;
+            let instrs_len = self.cfg.block(block).instrs.len();
+            if idx >= instrs_len {
+                // Terminator.
+                match self.cfg.block(block).term.clone() {
+                    Terminator::Goto(t) => {
+                        self.procs[pi].block = t;
+                        self.procs[pi].instr = 0;
+                    }
+                    Terminator::Branch {
+                        cond,
+                        then_bb,
+                        else_bb,
+                    } => {
+                        self.procs[pi].time += self.config.local_op_cycles;
+                        let taken = eval(&cond, &self.procs[pi].env)?.as_bool()?;
+                        self.procs[pi].block = if taken { then_bb } else { else_bb };
+                        self.procs[pi].instr = 0;
+                    }
+                    Terminator::Return => {
+                        self.procs[pi].status = Status::Finished;
+                        self.procs[pi].finished_at = Some(self.procs[pi].time);
+                        let t = self.procs[pi].time;
+                        self.trace(t, p, TraceKind::Finished);
+                        return Ok(());
+                    }
+                }
+                continue;
+            }
+            let instr = self.cfg.block(block).instrs[idx].clone();
+            self.procs[pi].instr += 1;
+            if !self.exec_instr(p, &instr)? {
+                // Blocked: the instruction will be *re-tried or resumed* by
+                // a Deliver; blocking instructions are responsible for
+                // setting up their own continuation (we re-run the same
+                // instruction only for barrier-style retries, so blocked
+                // instructions rewind the counter themselves if needed).
+                return Ok(());
+            }
+        }
+    }
+
+    /// Executes one instruction; returns `false` if the processor blocked.
+    fn exec_instr(&mut self, p: u32, instr: &Instr) -> Result<bool, SimError> {
+        let pi = p as usize;
+        match instr {
+            Instr::AssignLocal { dst, value } => {
+                let v = eval(value, &self.procs[pi].env)?;
+                self.procs[pi].env.store(*dst, v)?;
+                self.procs[pi].time += self.config.local_op_cycles;
+                Ok(true)
+            }
+            Instr::AssignLocalElem {
+                array,
+                index,
+                value,
+            } => {
+                let idx = eval(index, &self.procs[pi].env)?.as_int()?;
+                let v = eval(value, &self.procs[pi].env)?;
+                self.procs[pi].env.store_elem(*array, idx, v)?;
+                self.procs[pi].time += self.config.local_op_cycles;
+                Ok(true)
+            }
+            Instr::Work { cost } => {
+                let c = eval(cost, &self.procs[pi].env)?.as_int()?;
+                if c < 0 {
+                    return Err(SimError::new("negative work cost"));
+                }
+                self.procs[pi].time += c as u64;
+                Ok(true)
+            }
+            Instr::GetShared { dst, src, .. } => {
+                let loc = self.resolve(p, src)?;
+                let home = self.memory.home(loc);
+                let t = if home == p {
+                    self.local_touch(pi)
+                } else {
+                    self.net.get_requests += 1;
+                    self.remote_send(pi)
+                };
+                self.push(
+                    t,
+                    Event::Arrive {
+                        home,
+                        msg: Msg::Get {
+                            from: p,
+                            loc,
+                            dst: *dst,
+                            ctr: None,
+                        },
+                    },
+                );
+                self.procs[pi].status = Status::BlockedReply(self.procs[pi].time);
+                Ok(false)
+            }
+            Instr::PutShared { dst, src, .. } => {
+                let loc = self.resolve(p, dst)?;
+                let val = eval(src, &self.procs[pi].env)?;
+                let home = self.memory.home(loc);
+                let t = if home == p {
+                    self.local_touch(pi)
+                } else {
+                    self.net.put_requests += 1;
+                    self.remote_send(pi)
+                };
+                self.push(
+                    t,
+                    Event::Arrive {
+                        home,
+                        msg: Msg::Put {
+                            from: p,
+                            loc,
+                            val,
+                            ctr: None,
+                        },
+                    },
+                );
+                self.procs[pi].status = Status::BlockedReply(self.procs[pi].time);
+                Ok(false)
+            }
+            Instr::GetInit { dst, src, ctr, .. } => {
+                let loc = self.resolve(p, src)?;
+                let home = self.memory.home(loc);
+                *self.procs[pi].ctrs.entry(*ctr).or_insert(0) += 1;
+                let t = if home == p {
+                    self.local_touch(pi)
+                } else {
+                    self.net.get_requests += 1;
+                    self.remote_send(pi)
+                };
+                self.push(
+                    t,
+                    Event::Arrive {
+                        home,
+                        msg: Msg::Get {
+                            from: p,
+                            loc,
+                            dst: *dst,
+                            ctr: Some(*ctr),
+                        },
+                    },
+                );
+                Ok(true)
+            }
+            Instr::PutInit { dst, src, ctr, .. } => {
+                let loc = self.resolve(p, dst)?;
+                let val = eval(src, &self.procs[pi].env)?;
+                let home = self.memory.home(loc);
+                *self.procs[pi].ctrs.entry(*ctr).or_insert(0) += 1;
+                let t = if home == p {
+                    self.local_touch(pi)
+                } else {
+                    self.net.put_requests += 1;
+                    self.remote_send(pi)
+                };
+                self.push(
+                    t,
+                    Event::Arrive {
+                        home,
+                        msg: Msg::Put {
+                            from: p,
+                            loc,
+                            val,
+                            ctr: Some(*ctr),
+                        },
+                    },
+                );
+                Ok(true)
+            }
+            Instr::StoreInit { dst, src, .. } => {
+                let loc = self.resolve(p, dst)?;
+                let val = eval(src, &self.procs[pi].env)?;
+                let home = self.memory.home(loc);
+                let t = if home == p {
+                    self.local_touch(pi)
+                } else {
+                    self.net.store_requests += 1;
+                    self.remote_send(pi)
+                };
+                self.stores_in_flight += 1;
+                self.push(
+                    t,
+                    Event::Arrive {
+                        home,
+                        msg: Msg::Store { from: p, loc, val },
+                    },
+                );
+                Ok(true)
+            }
+            Instr::SyncCtr { ctr } => {
+                self.procs[pi].time += self.config.local_op_cycles;
+                if self.procs[pi].ctrs.get(ctr).copied().unwrap_or(0) == 0 {
+                    Ok(true)
+                } else {
+                    self.procs[pi].status = Status::BlockedSync(*ctr, self.procs[pi].time);
+                    Ok(false)
+                }
+            }
+            Instr::Post { flag, index, .. } => {
+                let loc = self.resolve_flag(p, *flag, index.as_ref())?;
+                let home = self.memory.home(loc);
+                let t = if home == p {
+                    self.local_touch(pi)
+                } else {
+                    self.net.post_messages += 1;
+                    self.remote_send(pi)
+                };
+                self.push(
+                    t,
+                    Event::Arrive {
+                        home,
+                        msg: Msg::Post { from: p, loc },
+                    },
+                );
+                Ok(true)
+            }
+            Instr::Wait { flag, index, .. } => {
+                let loc = self.resolve_flag(p, *flag, index.as_ref())?;
+                let home = self.memory.home(loc);
+                let t = if home == p {
+                    self.local_touch(pi)
+                } else {
+                    self.net.wait_messages += 1;
+                    self.remote_send(pi)
+                };
+                self.push(
+                    t,
+                    Event::Arrive {
+                        home,
+                        msg: Msg::WaitCheck { from: p, loc },
+                    },
+                );
+                self.procs[pi].status = Status::BlockedWait(self.procs[pi].time);
+                Ok(false)
+            }
+            Instr::LockAcq { lock, .. } => {
+                let loc = Location {
+                    var: *lock,
+                    index: 0,
+                };
+                let home = self.memory.home(loc);
+                let t = if home == p {
+                    self.local_touch(pi)
+                } else {
+                    self.net.lock_messages += 1;
+                    self.remote_send(pi)
+                };
+                self.push(
+                    t,
+                    Event::Arrive {
+                        home,
+                        msg: Msg::LockReq {
+                            from: p,
+                            lock: *lock,
+                        },
+                    },
+                );
+                self.procs[pi].status = Status::BlockedLock(self.procs[pi].time);
+                Ok(false)
+            }
+            Instr::LockRel { lock, .. } => {
+                let loc = Location {
+                    var: *lock,
+                    index: 0,
+                };
+                let home = self.memory.home(loc);
+                let t = if home == p {
+                    self.local_touch(pi)
+                } else {
+                    self.net.lock_messages += 1;
+                    self.remote_send(pi)
+                };
+                self.push(
+                    t,
+                    Event::Arrive {
+                        home,
+                        msg: Msg::Unlock { from: p, lock: *lock },
+                    },
+                );
+                Ok(true)
+            }
+            Instr::Barrier { access } => {
+                self.procs[pi].barrier_seq.push(*access);
+                let arrive = self.procs[pi].time;
+                self.barrier_arrivals[pi] = Some((*access, arrive));
+                self.procs[pi].status = Status::BlockedBarrier(arrive);
+                if self.barrier_arrivals.iter().all(|a| a.is_some()) {
+                    // One-way stores must drain before the barrier
+                    // completes (the completion rule for stores); if any
+                    // are still in flight the last drain triggers release.
+                    if self.stores_in_flight == 0 {
+                        self.release_barrier(arrive)?;
+                    } else {
+                        self.barrier_release_pending = true;
+                    }
+                }
+                Ok(false)
+            }
+        }
+    }
+
+    fn release_barrier(&mut self, base: u64) -> Result<(), SimError> {
+        let max_arrival = self
+            .barrier_arrivals
+            .iter()
+            .map(|a| a.expect("all arrived").1)
+            .max()
+            .unwrap_or(0);
+        let release = max_arrival.max(base) + self.config.barrier_cycles;
+        self.trace(release, 0, TraceKind::BarrierRelease);
+        self.net.barriers += 1;
+        for pi in 0..self.procs.len() {
+            let (_, arrive) = self.barrier_arrivals[pi].take().expect("arrived");
+            self.stalls.barrier += release - arrive;
+            self.procs[pi].time = release;
+            self.push(release, Event::Run(pi as u32));
+        }
+        Ok(())
+    }
+
+    // ---- home-node message handling -------------------------------------
+
+    fn handle_arrive(&mut self, time: u64, home: u32, msg: Msg) -> Result<(), SimError> {
+        let hi = home as usize;
+        // Handlers at one node serialize. A message from the home processor
+        // itself models a plain local access: no handler cost.
+        let from_proc = match &msg {
+            Msg::Get { from, .. }
+            | Msg::Put { from, .. }
+            | Msg::Store { from, .. }
+            | Msg::Post { from, .. }
+            | Msg::WaitCheck { from, .. }
+            | Msg::LockReq { from, .. }
+            | Msg::Unlock { from, .. } => *from,
+        };
+        let local = from_proc == home;
+        let start = time.max(self.handler_free[hi]);
+        let handler = if local { 0 } else { self.config.handler_cycles };
+        let done = start + handler;
+        self.handler_free[hi] = done;
+        match msg {
+            Msg::Get { from, loc, dst, ctr } => {
+                self.trace(done, home, TraceKind::Service { what: "get" });
+                let val = self.memory.load(loc)?;
+                let (deliver, recv) = if local {
+                    (done, 0)
+                } else {
+                    self.net.get_replies += 1;
+                    (done + self.config.network_latency, self.config.recv_overhead)
+                };
+                if ctr.is_some() {
+                    // Split-phase replies interrupt the issuing CPU.
+                    self.procs[from as usize].steal += recv;
+                }
+                self.push(
+                    deliver,
+                    Event::Deliver {
+                        to: from,
+                        del: Delivery::GetReply {
+                            dst,
+                            val,
+                            ctr,
+                            recv,
+                        },
+                    },
+                );
+            }
+            Msg::Put { from, loc, val, ctr } => {
+                self.trace(done, home, TraceKind::Service { what: "put" });
+                self.memory.store(loc, val)?;
+                let (deliver, recv) = if local {
+                    (done, 0)
+                } else {
+                    self.net.put_acks += 1;
+                    (
+                        done + self.config.ack_cycles + self.config.network_latency,
+                        self.config.ack_cycles,
+                    )
+                };
+                if ctr.is_some() {
+                    self.procs[from as usize].steal += recv;
+                }
+                self.push(
+                    deliver,
+                    Event::Deliver {
+                        to: from,
+                        del: Delivery::PutAck { ctr, recv },
+                    },
+                );
+            }
+            Msg::Store { loc, val, .. } => {
+                self.trace(done, home, TraceKind::Service { what: "store" });
+                self.memory.store(loc, val)?;
+                self.stores_in_flight -= 1;
+                if self.stores_in_flight == 0 && self.barrier_release_pending {
+                    self.barrier_release_pending = false;
+                    self.release_barrier(done)?;
+                }
+            }
+            Msg::Post { loc, .. } => {
+                self.trace(done, home, TraceKind::Service { what: "post" });
+                self.memory.set_flag(loc)?;
+                if let Some(waiters) = self.waiters.remove(&loc) {
+                    for w in waiters {
+                        let (deliver, recv) = if w == home {
+                            (done, 0)
+                        } else {
+                            self.net.wait_messages += 1;
+                            (done + self.config.network_latency, self.config.recv_overhead)
+                        };
+                        self.procs[w as usize].steal += recv;
+                        self.push(
+                            deliver,
+                            Event::Deliver {
+                                to: w,
+                                del: Delivery::FlagSet,
+                            },
+                        );
+                    }
+                }
+            }
+            Msg::WaitCheck { from, loc } => {
+                self.trace(done, home, TraceKind::Service { what: "wait" });
+                if self.memory.flag(loc)? {
+                    let (deliver, recv) = if from == home {
+                        (done, 0)
+                    } else {
+                        self.net.wait_messages += 1;
+                        (done + self.config.network_latency, self.config.recv_overhead)
+                    };
+                    self.procs[from as usize].steal += recv;
+                    self.push(
+                        deliver,
+                        Event::Deliver {
+                            to: from,
+                            del: Delivery::FlagSet,
+                        },
+                    );
+                } else {
+                    self.waiters.entry(loc).or_default().push(from);
+                }
+            }
+            Msg::LockReq { from, lock } => {
+                self.trace(done, home, TraceKind::Service { what: "lock" });
+                let state = self.locks.entry(lock).or_insert(LockState {
+                    held: false,
+                    queue: VecDeque::new(),
+                });
+                if state.held {
+                    state.queue.push_back(from);
+                } else {
+                    state.held = true;
+                    let (deliver, recv) = if from == home {
+                        (done, 0)
+                    } else {
+                        self.net.lock_messages += 1;
+                        (done + self.config.network_latency, self.config.recv_overhead)
+                    };
+                    self.procs[from as usize].steal += recv;
+                    self.push(
+                        deliver,
+                        Event::Deliver {
+                            to: from,
+                            del: Delivery::LockGrant,
+                        },
+                    );
+                }
+            }
+            Msg::Unlock { lock, .. } => {
+                self.trace(done, home, TraceKind::Service { what: "unlock" });
+                let state = self.locks.entry(lock).or_insert(LockState {
+                    held: false,
+                    queue: VecDeque::new(),
+                });
+                if let Some(next) = state.queue.pop_front() {
+                    // Hand over directly to the next waiter.
+                    let (deliver, recv) = if next == home {
+                        (done, 0)
+                    } else {
+                        self.net.lock_messages += 1;
+                        (done + self.config.network_latency, self.config.recv_overhead)
+                    };
+                    self.procs[next as usize].steal += recv;
+                    self.push(
+                        deliver,
+                        Event::Deliver {
+                            to: next,
+                            del: Delivery::LockGrant,
+                        },
+                    );
+                } else {
+                    state.held = false;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn handle_deliver(&mut self, time: u64, to: u32, del: Delivery) -> Result<(), SimError> {
+        let pi = to as usize;
+        match del {
+            Delivery::GetReply {
+                dst,
+                val,
+                ctr,
+                recv,
+            } => {
+                self.trace(time, to, TraceKind::Deliver { what: "data" });
+                self.procs[pi].env.store(dst, val)?;
+                match ctr {
+                    Some(c) => self.ctr_completed(to, c, time),
+                    None => {
+                        if let Status::BlockedReply(since) = self.procs[pi].status {
+                            self.stalls.blocking += time.saturating_sub(since);
+                            // Blocking reads pay the receive cost inline.
+                            self.resume(to, time + recv);
+                        }
+                    }
+                }
+            }
+            Delivery::PutAck { ctr, recv } => {
+                self.trace(time, to, TraceKind::Deliver { what: "ack" });
+                match ctr {
+                    Some(c) => self.ctr_completed(to, c, time),
+                    None => {
+                        if let Status::BlockedReply(since) = self.procs[pi].status {
+                            self.stalls.blocking += time.saturating_sub(since);
+                            self.resume(to, time + recv);
+                        }
+                    }
+                }
+            }
+            Delivery::FlagSet => {
+                self.trace(time, to, TraceKind::Deliver { what: "flag" });
+                if let Status::BlockedWait(since) = self.procs[pi].status {
+                    self.stalls.wait += time.saturating_sub(since);
+                    self.resume(to, time);
+                }
+            }
+            Delivery::LockGrant => {
+                self.trace(time, to, TraceKind::Deliver { what: "grant" });
+                if let Status::BlockedLock(since) = self.procs[pi].status {
+                    self.stalls.lock += time.saturating_sub(since);
+                    self.resume(to, time);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// A split-phase operation on counter `c` completed at `time`.
+    fn ctr_completed(&mut self, p: u32, c: CtrId, time: u64) {
+        let pi = p as usize;
+        let n = self.procs[pi].ctrs.get_mut(&c).expect("known counter");
+        *n -= 1;
+        if *n == 0 {
+            if let Status::BlockedSync(bc, since) = self.procs[pi].status {
+                if bc == c {
+                    self.stalls.sync += time.saturating_sub(since);
+                    self.resume(p, time);
+                }
+            }
+        }
+    }
+
+    /// Charges a local memory touch and returns its completion time.
+    fn local_touch(&mut self, pi: usize) -> u64 {
+        self.procs[pi].time += self.config.local_access_cycles;
+        self.procs[pi].time
+    }
+
+    /// Charges a remote message injection (CPU overhead plus NIC
+    /// serialization) and returns the arrival time at the destination.
+    fn remote_send(&mut self, pi: usize) -> u64 {
+        self.procs[pi].time = self.procs[pi].time.max(self.next_inject[pi]);
+        self.procs[pi].time += self.config.send_overhead;
+        self.next_inject[pi] = self.procs[pi].time + self.config.injection_gap_cycles;
+        self.procs[pi].time + self.config.network_latency
+    }
+
+    fn resume(&mut self, p: u32, time: u64) {
+        let pi = p as usize;
+        self.procs[pi].time = self.procs[pi].time.max(time);
+        self.procs[pi].status = Status::Ready;
+        let t = self.procs[pi].time;
+        self.push(t, Event::Run(p));
+    }
+
+    // ---- helpers ---------------------------------------------------------
+
+    fn resolve(&self, p: u32, sref: &SharedRef) -> Result<Location, SimError> {
+        let index = match &sref.index {
+            Some(e) => {
+                let i = eval(e, &self.procs[p as usize].env)?.as_int()?;
+                u64::try_from(i).map_err(|_| {
+                    SimError::new(format!("negative shared index {i} into {}", sref.var))
+                })?
+            }
+            None => 0,
+        };
+        Ok(Location {
+            var: sref.var,
+            index,
+        })
+    }
+
+    fn resolve_flag(
+        &self,
+        p: u32,
+        flag: VarId,
+        index: Option<&syncopt_ir::expr::Expr>,
+    ) -> Result<Location, SimError> {
+        let index = match index {
+            Some(e) => {
+                let i = eval(e, &self.procs[p as usize].env)?.as_int()?;
+                u64::try_from(i)
+                    .map_err(|_| SimError::new(format!("negative flag index {i} into {flag}")))?
+            }
+            None => 0,
+        };
+        Ok(Location { var: flag, index })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syncopt_frontend::prepare_program;
+    use syncopt_ir::lower::lower_main;
+
+    fn sim(src: &str, procs: u32) -> SimResult {
+        let cfg = lower_main(&prepare_program(src).unwrap()).unwrap();
+        simulate(&cfg, &MachineConfig::cm5(procs)).expect("simulation should succeed")
+    }
+
+    fn mem_value(result: &SimResult, cfg_src: &str, name: &str, idx: usize) -> Value {
+        let cfg = lower_main(&prepare_program(cfg_src).unwrap()).unwrap();
+        let var = cfg.vars.by_name(name).unwrap();
+        result
+            .memory
+            .iter()
+            .find(|(v, _)| *v == var)
+            .map(|(_, vals)| vals[idx])
+            .unwrap()
+    }
+
+    #[test]
+    fn empty_program_finishes_immediately() {
+        let r = sim("fn main() { }", 4);
+        assert_eq!(r.exec_cycles, 0);
+        assert_eq!(r.proc_cycles, vec![0; 4]);
+        assert!(r.barriers_aligned);
+    }
+
+    #[test]
+    fn work_costs_its_cycles() {
+        let r = sim("fn main() { work(1000); }", 2);
+        assert_eq!(r.exec_cycles, 1000);
+    }
+
+    #[test]
+    fn blocking_remote_read_costs_table1_round_trip() {
+        // Proc 1 reads a scalar homed on proc 0; only measure proc 1.
+        let src = "shared int X; fn main() { if (MYPROC == 1) { int v; v = X; } }";
+        let r = sim(src, 2);
+        // branch (2) + send+2·latency+handler+recv (400) = 402.
+        assert_eq!(r.proc_cycles[1], 402, "stats: {:?}", r.net);
+        assert_eq!(r.net.get_requests, 1);
+        assert_eq!(r.net.get_replies, 1);
+    }
+
+    #[test]
+    fn local_access_is_cheap() {
+        // Proc 0 owns X (round-robin home of first scalar).
+        let src = "shared int X; fn main() { if (MYPROC == 0) { int v; v = X; } }";
+        let r = sim(src, 2);
+        // branch (2) + local access (30).
+        assert_eq!(r.proc_cycles[0], 32);
+        assert_eq!(r.net.get_requests, 0);
+    }
+
+    #[test]
+    fn writes_become_visible() {
+        let src = "shared int A[8]; fn main() { A[MYPROC] = MYPROC * 10; }";
+        let r = sim(src, 4);
+        for p in 0..4 {
+            assert_eq!(mem_value(&r, src, "A", p), Value::Int(p as i64 * 10));
+        }
+    }
+
+    #[test]
+    fn flag_synchronization_orders_data() {
+        let src = r#"
+            shared int Data; flag F;
+            fn main() {
+                if (MYPROC == 0) { Data = 42; post F; }
+                else { wait F; int v; v = Data; Data = v + 1; }
+            }
+        "#;
+        let r = sim(src, 2);
+        assert_eq!(mem_value(&r, src, "Data", 0), Value::Int(43));
+        assert!(r.stalls.wait > 0, "consumer must have waited");
+    }
+
+    #[test]
+    fn barrier_synchronizes_and_aligns() {
+        let src = r#"
+            shared int A[4];
+            fn main() {
+                A[MYPROC] = 1;
+                barrier;
+                int v; v = A[(MYPROC + 1) % PROCS];
+                work(v);
+            }
+        "#;
+        let r = sim(src, 4);
+        assert!(r.barriers_aligned);
+        assert_eq!(r.net.barriers, 1);
+        assert!(r.stalls.barrier > 0);
+    }
+
+    #[test]
+    fn misaligned_barriers_are_detected() {
+        let src = "fn main() { if (MYPROC == 0) { barrier; } }";
+        let cfg = lower_main(&prepare_program(src).unwrap()).unwrap();
+        let r = simulate(&cfg, &MachineConfig::cm5(2));
+        // Proc 0 blocks at the barrier forever: deadlock.
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn locks_serialize_increments() {
+        let src = r#"
+            shared int X; lock l;
+            fn main() {
+                lock l;
+                int v; v = X;
+                X = v + 1;
+                unlock l;
+            }
+        "#;
+        let r = sim(src, 8);
+        assert_eq!(mem_value(&r, src, "X", 0), Value::Int(8));
+        assert!(r.net.lock_messages > 0);
+    }
+
+    #[test]
+    fn loop_accumulates() {
+        let src = r#"
+            shared int A[4];
+            fn main() {
+                int i; int acc; acc = 0;
+                for (i = 0; i < 10; i = i + 1) { acc = acc + i; }
+                A[MYPROC] = acc;
+            }
+        "#;
+        let r = sim(src, 2);
+        assert_eq!(mem_value(&r, src, "A", 0), Value::Int(45));
+        assert_eq!(mem_value(&r, src, "A", 1), Value::Int(45));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let src = r#"
+            shared int A[16]; lock l; shared int X;
+            fn main() {
+                A[MYPROC] = MYPROC;
+                barrier;
+                int v; v = A[(MYPROC + 1) % PROCS];
+                lock l; X = X + v; unlock l;
+            }
+        "#;
+        let r1 = sim(src, 8);
+        let r2 = sim(src, 8);
+        assert_eq!(r1.exec_cycles, r2.exec_cycles);
+        assert_eq!(r1.memory, r2.memory);
+        assert_eq!(r1.net, r2.net);
+    }
+
+    #[test]
+    fn out_of_bounds_is_an_error() {
+        let src = "shared int A[4]; fn main() { A[7 + MYPROC] = 1; }";
+        let cfg = lower_main(&prepare_program(src).unwrap()).unwrap();
+        assert!(simulate(&cfg, &MachineConfig::cm5(2)).is_err());
+    }
+
+    #[test]
+    fn posted_flags_latch() {
+        // The post happens long before the wait: the waiter passes with a
+        // cheap check instead of blocking.
+        let src = r#"
+            flag F;
+            fn main() {
+                if (MYPROC == 0) { post F; }
+                else { work(100000); wait F; }
+            }
+        "#;
+        let r = sim(src, 2);
+        // The check still costs one round trip to the flag's home, but
+        // never the 100k-cycle gap a real block would show.
+        let rt = MachineConfig::cm5(2).remote_round_trip();
+        assert!(
+            r.stalls.wait <= rt,
+            "latched flag should cost at most a check: {}",
+            r.stalls.wait
+        );
+    }
+
+    #[test]
+    fn flag_array_elements_are_independent() {
+        let src = r#"
+            flag F[4];
+            fn main() {
+                post F[MYPROC];
+                wait F[(MYPROC + 1) % PROCS];
+            }
+        "#;
+        let r = sim(src, 4);
+        assert_eq!(r.proc_cycles.len(), 4);
+        // Everyone finished (no deadlock) — the elements did not collide.
+    }
+
+    #[test]
+    fn locks_grant_in_fifo_order() {
+        // All processors contend once; the total increments must all land
+        // regardless of grant order, and the lock hand-off chain should
+        // cost roughly one round trip per holder.
+        let src = r#"
+            shared int X; lock l;
+            fn main() {
+                work(MYPROC * 3);
+                lock l;
+                int v; v = X;
+                X = v + 1;
+                unlock l;
+            }
+        "#;
+        let r = sim(src, 6);
+        let x = r.memory.iter().find(|(_, vals)| vals.len() == 1).unwrap();
+        assert_eq!(x.1[0], Value::Int(6));
+        assert!(r.stalls.lock > 0, "contention must appear as lock stalls");
+    }
+
+    #[test]
+    fn t3d_and_dash_blocking_costs_match_table1() {
+        let src = "shared int X; fn main() { if (MYPROC == 1) { int v; v = X; } }";
+        let cfg = lower_main(&prepare_program(src).unwrap()).unwrap();
+        for config in MachineConfig::table1(2) {
+            let r = simulate(&cfg, &config).unwrap();
+            assert_eq!(
+                r.proc_cycles[1],
+                config.remote_round_trip() + config.local_op_cycles,
+                "{}",
+                config.name
+            );
+        }
+    }
+
+    #[test]
+    fn split_phase_overlaps_but_blocking_does_not() {
+        // Two independent remote reads (elements 4+ home on proc 1):
+        // blocking pays 2 round trips, split-phase roughly one.
+        let config = MachineConfig::cm5(2);
+        let src = r#"
+            shared int A[8]; shared int B[8];
+            fn main() {
+                int x; int y;
+                if (MYPROC == 0) {
+                    x = A[MYPROC + 4];
+                    y = B[MYPROC + 5];
+                    work(x + y);
+                }
+            }
+        "#;
+        let cfg = lower_main(&prepare_program(src).unwrap()).unwrap();
+        let blocking = simulate(&cfg, &config).unwrap();
+        let analysis = syncopt_core::analyze_for(&cfg, 2);
+        let opt = syncopt_codegen::optimize(
+            &cfg,
+            &analysis,
+            syncopt_codegen::OptLevel::Pipelined,
+            syncopt_codegen::DelayChoice::SyncRefined,
+        );
+        let pipelined = simulate(&opt.cfg, &config).unwrap();
+        let rt = config.remote_round_trip();
+        assert!(
+            blocking.proc_cycles[0] >= 2 * rt,
+            "blocking: {}",
+            blocking.proc_cycles[0]
+        );
+        assert!(
+            pipelined.proc_cycles[0] < blocking.proc_cycles[0] - rt / 2,
+            "pipelined {} vs blocking {}",
+            pipelined.proc_cycles[0],
+            blocking.proc_cycles[0]
+        );
+    }
+
+    #[test]
+    fn traced_simulation_matches_untraced() {
+        let src = r#"
+            shared int A[4]; flag F;
+            fn main() {
+                A[MYPROC] = MYPROC;
+                barrier;
+                int v; v = A[(MYPROC + 1) % PROCS];
+                if (MYPROC == 0) { post F; } else { wait F; }
+                work(v);
+            }
+        "#;
+        let cfg = lower_main(&prepare_program(src).unwrap()).unwrap();
+        let config = MachineConfig::cm5(4);
+        let plain = simulate(&cfg, &config).unwrap();
+        let (traced, trace) = crate::sim::simulate_traced(&cfg, &config, 10_000).unwrap();
+        assert_eq!(plain.exec_cycles, traced.exec_cycles);
+        assert_eq!(plain.memory, traced.memory);
+        let events = trace.events();
+        assert!(!events.is_empty());
+        // Trace is time-sorted and contains the expected event families.
+        assert!(events.windows(2).all(|w| w[0].time <= w[1].time));
+        let has = |pred: &dyn Fn(&crate::trace::TraceKind) -> bool| {
+            events.iter().any(|e| pred(&e.kind))
+        };
+        use crate::trace::TraceKind;
+        assert!(has(&|k| matches!(k, TraceKind::Service { what } if *what == "get")));
+        assert!(has(&|k| matches!(k, TraceKind::Service { what } if *what == "post")));
+        assert!(has(&|k| matches!(k, TraceKind::BarrierRelease)));
+        assert!(
+            events
+                .iter()
+                .filter(|e| matches!(e.kind, TraceKind::Finished))
+                .count()
+                == 4
+        );
+    }
+
+    #[test]
+    fn injection_gap_serializes_bursts() {
+        // Eight split-phase puts back to back: with a larger injection gap
+        // the burst takes longer even though CPU overhead is identical.
+        let src = r#"
+            shared int A[16];
+            fn main() {
+                if (MYPROC == 0) {
+                    A[8] = 1; A[9] = 1; A[10] = 1; A[11] = 1;
+                    A[12] = 1; A[13] = 1; A[14] = 1; A[15] = 1;
+                }
+                barrier;
+            }
+        "#;
+        let cfg = lower_main(&prepare_program(src).unwrap()).unwrap();
+        let analysis = syncopt_core::analyze_for(&cfg, 2);
+        let opt = syncopt_codegen::optimize(
+            &cfg,
+            &analysis,
+            syncopt_codegen::OptLevel::OneWay,
+            syncopt_codegen::DelayChoice::SyncRefined,
+        );
+        let mut fast = MachineConfig::cm5(2);
+        fast.injection_gap_cycles = 0;
+        let mut slow = MachineConfig::cm5(2);
+        slow.injection_gap_cycles = 100;
+        let rf = simulate(&opt.cfg, &fast).unwrap();
+        let rs = simulate(&opt.cfg, &slow).unwrap();
+        assert!(
+            rs.exec_cycles > rf.exec_cycles,
+            "gap should slow the burst: {} vs {}",
+            rs.exec_cycles,
+            rf.exec_cycles
+        );
+        assert_eq!(rf.memory, rs.memory);
+    }
+
+    #[test]
+    fn hot_home_handler_serializes() {
+        // Every processor reads a scalar homed on proc 0: handler
+        // serialization makes the last reply later than one round trip.
+        let src = "shared int X; fn main() { if (MYPROC > 0) { int v; v = X; } }";
+        let cfg = lower_main(&prepare_program(src).unwrap()).unwrap();
+        let config = MachineConfig::cm5(16);
+        let r = simulate(&cfg, &config).unwrap();
+        let rt = config.remote_round_trip() + config.local_op_cycles;
+        let slowest = *r.proc_cycles.iter().max().unwrap();
+        assert!(
+            slowest > rt,
+            "15 concurrent requests must queue at the home: {slowest} vs {rt}"
+        );
+        // Queueing delay ≈ (n-1)·handler on top of the round trip.
+        assert!(slowest >= rt + 14 * config.handler_cycles);
+    }
+
+    #[test]
+    fn infinite_loop_hits_step_limit() {
+        let src = "fn main() { int i; i = 0; while (i < 1) { i = 0; } }";
+        let cfg = lower_main(&prepare_program(src).unwrap()).unwrap();
+        let mut config = MachineConfig::cm5(1);
+        config.max_steps = 10_000;
+        let err = simulate(&cfg, &config).unwrap_err();
+        assert!(err.message().contains("max_steps"));
+    }
+}

@@ -1,0 +1,147 @@
+//! Execution tracing: a timestamped record of the simulation's
+//! communication and synchronization events, for debugging optimized
+//! programs and for teaching (the `codegen_walkthrough` example uses it to
+//! show overlap visually).
+
+use std::fmt;
+
+/// One traced event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulated time (cycles).
+    pub time: u64,
+    /// The processor the event belongs to (issuer for sends, receiver for
+    /// deliveries, home for services).
+    pub proc: u32,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// Event classification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A request was serviced at its home node.
+    Service {
+        /// `"get"`, `"put"`, `"store"`, `"post"`, `"wait"`, `"lock"`,
+        /// `"unlock"`.
+        what: &'static str,
+    },
+    /// A reply/grant/notification was delivered to a processor.
+    Deliver {
+        /// `"data"`, `"ack"`, `"flag"`, `"grant"`.
+        what: &'static str,
+    },
+    /// A barrier episode released all processors.
+    BarrierRelease,
+    /// A processor finished executing.
+    Finished,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            TraceKind::Service { what } => {
+                write!(f, "[{:>8}] p{:<3} service {what}", self.time, self.proc)
+            }
+            TraceKind::Deliver { what } => {
+                write!(f, "[{:>8}] p{:<3} deliver {what}", self.time, self.proc)
+            }
+            TraceKind::BarrierRelease => {
+                write!(f, "[{:>8}] ---  barrier release", self.time)
+            }
+            TraceKind::Finished => {
+                write!(f, "[{:>8}] p{:<3} finished", self.time, self.proc)
+            }
+        }
+    }
+}
+
+/// A bounded trace buffer (keeps the first `cap` events).
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl Trace {
+    /// A trace keeping at most `cap` events.
+    pub fn with_capacity(cap: usize) -> Self {
+        Trace {
+            events: Vec::new(),
+            cap,
+            dropped: 0,
+        }
+    }
+
+    /// Records an event (dropped silently past the cap, counted).
+    pub fn record(&mut self, time: u64, proc: u32, kind: TraceKind) {
+        if self.events.len() < self.cap {
+            self.events.push(TraceEvent { time, proc, kind });
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The recorded events, sorted by time (stable on ties).
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut out = self.events.clone();
+        out.sort_by_key(|e| e.time);
+        out
+    }
+
+    /// Events dropped because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Renders the whole trace, one event per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in self.events() {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        if self.dropped > 0 {
+            out.push_str(&format!("... ({} events dropped)\n", self.dropped));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_sorts() {
+        let mut t = Trace::with_capacity(10);
+        t.record(5, 1, TraceKind::Finished);
+        t.record(2, 0, TraceKind::Service { what: "get" });
+        let ev = t.events();
+        assert_eq!(ev[0].time, 2);
+        assert_eq!(ev[1].time, 5);
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn caps_and_counts_drops() {
+        let mut t = Trace::with_capacity(1);
+        t.record(1, 0, TraceKind::BarrierRelease);
+        t.record(2, 0, TraceKind::BarrierRelease);
+        assert_eq!(t.events().len(), 1);
+        assert_eq!(t.dropped(), 1);
+        assert!(t.render().contains("dropped"));
+    }
+
+    #[test]
+    fn display_formats() {
+        let e = TraceEvent {
+            time: 42,
+            proc: 3,
+            kind: TraceKind::Deliver { what: "data" },
+        };
+        let s = e.to_string();
+        assert!(s.contains("42") && s.contains("p3") && s.contains("data"), "{s}");
+    }
+}

@@ -1,0 +1,480 @@
+//! Runtime values and local-pure expression evaluation.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use syncopt_frontend::ast::{BinOp, Type, UnOp};
+use syncopt_ir::expr::Expr;
+use syncopt_ir::ids::VarId;
+use syncopt_ir::vars::{VarKind, VarTable};
+
+/// A runtime value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Double(f64),
+    /// Boolean (expression results only).
+    Bool(bool),
+}
+
+impl Value {
+    /// The zero value of a type.
+    pub fn zero(ty: Type) -> Value {
+        match ty {
+            Type::Double => Value::Double(0.0),
+            _ => Value::Int(0),
+        }
+    }
+
+    /// Interprets the value as an integer.
+    ///
+    /// # Errors
+    ///
+    /// Fails for non-integer values.
+    pub fn as_int(self) -> Result<i64, SimError> {
+        match self {
+            Value::Int(v) => Ok(v),
+            other => Err(SimError::new(format!("expected int, got {other:?}"))),
+        }
+    }
+
+    /// Interprets the value as a boolean.
+    ///
+    /// # Errors
+    ///
+    /// Fails for non-boolean values.
+    pub fn as_bool(self) -> Result<bool, SimError> {
+        match self {
+            Value::Bool(v) => Ok(v),
+            other => Err(SimError::new(format!("expected bool, got {other:?}"))),
+        }
+    }
+
+    /// Numeric view for mixed arithmetic.
+    fn as_f64(self) -> Result<f64, SimError> {
+        match self {
+            Value::Int(v) => Ok(v as f64),
+            Value::Double(v) => Ok(v),
+            Value::Bool(_) => Err(SimError::new("boolean used in arithmetic")),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Double(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// A runtime error in the simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimError {
+    message: String,
+}
+
+impl SimError {
+    /// Creates an error with `message`.
+    pub fn new(message: impl Into<String>) -> Self {
+        SimError {
+            message: message.into(),
+        }
+    }
+
+    /// The error description.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "simulation error: {}", self.message)
+    }
+}
+
+impl Error for SimError {}
+
+/// Per-processor local storage.
+#[derive(Debug, Clone)]
+pub struct ProcEnv {
+    /// This processor's id.
+    pub myproc: i64,
+    /// Total processor count.
+    pub procs: i64,
+    scalars: HashMap<VarId, Value>,
+    arrays: HashMap<VarId, Vec<Value>>,
+}
+
+impl ProcEnv {
+    /// Creates an environment with all locals zero-initialized.
+    pub fn new(myproc: u32, procs: u32, vars: &VarTable) -> Self {
+        let mut scalars = HashMap::new();
+        let mut arrays = HashMap::new();
+        for (id, info) in vars.iter() {
+            match info.kind {
+                VarKind::Local => {
+                    scalars.insert(id, Value::zero(info.ty));
+                }
+                VarKind::LocalArray { len } => {
+                    arrays.insert(id, vec![Value::zero(info.ty); len as usize]);
+                }
+                _ => {}
+            }
+        }
+        ProcEnv {
+            myproc: myproc as i64,
+            procs: procs as i64,
+            scalars,
+            arrays,
+        }
+    }
+
+    /// Reads a local scalar.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `var` is not a local scalar.
+    pub fn load(&self, var: VarId) -> Result<Value, SimError> {
+        self.scalars
+            .get(&var)
+            .copied()
+            .ok_or_else(|| SimError::new(format!("{var} is not a local scalar")))
+    }
+
+    /// Writes a local scalar.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `var` is not a local scalar.
+    pub fn store(&mut self, var: VarId, value: Value) -> Result<(), SimError> {
+        match self.scalars.get_mut(&var) {
+            Some(slot) => {
+                *slot = value;
+                Ok(())
+            }
+            None => Err(SimError::new(format!("{var} is not a local scalar"))),
+        }
+    }
+
+    /// Reads a local array element.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown arrays or out-of-bounds indices.
+    pub fn load_elem(&self, var: VarId, idx: i64) -> Result<Value, SimError> {
+        let arr = self
+            .arrays
+            .get(&var)
+            .ok_or_else(|| SimError::new(format!("{var} is not a local array")))?;
+        usize::try_from(idx)
+            .ok()
+            .and_then(|i| arr.get(i))
+            .copied()
+            .ok_or_else(|| SimError::new(format!("local index {idx} out of bounds for {var}")))
+    }
+
+    /// Writes a local array element.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown arrays or out-of-bounds indices.
+    pub fn store_elem(&mut self, var: VarId, idx: i64, value: Value) -> Result<(), SimError> {
+        let arr = self
+            .arrays
+            .get_mut(&var)
+            .ok_or_else(|| SimError::new(format!("{var} is not a local array")))?;
+        let slot = usize::try_from(idx)
+            .ok()
+            .and_then(|i| arr.get_mut(i))
+            .ok_or_else(|| SimError::new(format!("local index {idx} out of bounds for {var}")))?;
+        *slot = value;
+        Ok(())
+    }
+}
+
+/// Evaluates a local-pure expression.
+///
+/// # Errors
+///
+/// Fails on type confusion, unknown variables, out-of-bounds local array
+/// indices, or division by zero.
+pub fn eval(expr: &Expr, env: &ProcEnv) -> Result<Value, SimError> {
+    match expr {
+        Expr::Int(v) => Ok(Value::Int(*v)),
+        Expr::Float(v) => Ok(Value::Double(*v)),
+        Expr::Bool(v) => Ok(Value::Bool(*v)),
+        Expr::MyProc => Ok(Value::Int(env.myproc)),
+        Expr::Procs => Ok(Value::Int(env.procs)),
+        Expr::Local(v) => env.load(*v),
+        Expr::LocalElem { array, index } => {
+            let idx = eval(index, env)?.as_int()?;
+            env.load_elem(*array, idx)
+        }
+        Expr::Unary { op, expr } => {
+            let v = eval(expr, env)?;
+            match op {
+                UnOp::Neg => match v {
+                    Value::Int(i) => Ok(Value::Int(i.wrapping_neg())),
+                    Value::Double(d) => Ok(Value::Double(-d)),
+                    Value::Bool(_) => Err(SimError::new("cannot negate bool")),
+                },
+                UnOp::Not => Ok(Value::Bool(!v.as_bool()?)),
+            }
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let l = eval(lhs, env)?;
+            let r = eval(rhs, env)?;
+            eval_binop(*op, l, r)
+        }
+    }
+}
+
+fn eval_binop(op: BinOp, l: Value, r: Value) -> Result<Value, SimError> {
+    use BinOp::*;
+    match op {
+        And => Ok(Value::Bool(l.as_bool()? && r.as_bool()?)),
+        Or => Ok(Value::Bool(l.as_bool()? || r.as_bool()?)),
+        Rem => {
+            let (a, b) = (l.as_int()?, r.as_int()?);
+            if b == 0 {
+                return Err(SimError::new("modulo by zero"));
+            }
+            Ok(Value::Int(a.rem_euclid(b)))
+        }
+        _ => match (l, r) {
+            (Value::Int(a), Value::Int(b)) => match op {
+                Add => Ok(Value::Int(a.wrapping_add(b))),
+                Sub => Ok(Value::Int(a.wrapping_sub(b))),
+                Mul => Ok(Value::Int(a.wrapping_mul(b))),
+                Div => {
+                    if b == 0 {
+                        Err(SimError::new("division by zero"))
+                    } else {
+                        Ok(Value::Int(a.wrapping_div(b)))
+                    }
+                }
+                Eq => Ok(Value::Bool(a == b)),
+                Ne => Ok(Value::Bool(a != b)),
+                Lt => Ok(Value::Bool(a < b)),
+                Le => Ok(Value::Bool(a <= b)),
+                Gt => Ok(Value::Bool(a > b)),
+                Ge => Ok(Value::Bool(a >= b)),
+                And | Or | Rem => unreachable!("handled above"),
+            },
+            _ => {
+                let (a, b) = (l.as_f64()?, r.as_f64()?);
+                match op {
+                    Add => Ok(Value::Double(a + b)),
+                    Sub => Ok(Value::Double(a - b)),
+                    Mul => Ok(Value::Double(a * b)),
+                    Div => Ok(Value::Double(a / b)),
+                    Eq => Ok(Value::Bool(a == b)),
+                    Ne => Ok(Value::Bool(a != b)),
+                    Lt => Ok(Value::Bool(a < b)),
+                    Le => Ok(Value::Bool(a <= b)),
+                    Gt => Ok(Value::Bool(a > b)),
+                    Ge => Ok(Value::Bool(a >= b)),
+                    And | Or | Rem => unreachable!("handled above"),
+                }
+            }
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syncopt_ir::vars::VarInfo;
+
+    fn env() -> (ProcEnv, VarId, VarId) {
+        let mut vars = VarTable::new();
+        let s = vars.push(VarInfo {
+            name: "s".into(),
+            kind: VarKind::Local,
+            ty: Type::Int,
+        });
+        let a = vars.push(VarInfo {
+            name: "a".into(),
+            kind: VarKind::LocalArray { len: 4 },
+            ty: Type::Double,
+        });
+        (ProcEnv::new(3, 8, &vars), s, a)
+    }
+
+    fn bin(op: BinOp, l: Expr, r: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            lhs: Box::new(l),
+            rhs: Box::new(r),
+        }
+    }
+
+    #[test]
+    fn myproc_and_procs() {
+        let (env, _, _) = env();
+        assert_eq!(eval(&Expr::MyProc, &env).unwrap(), Value::Int(3));
+        assert_eq!(eval(&Expr::Procs, &env).unwrap(), Value::Int(8));
+    }
+
+    #[test]
+    fn locals_default_to_zero_and_are_mutable() {
+        let (mut env, s, a) = env();
+        assert_eq!(env.load(s).unwrap(), Value::Int(0));
+        env.store(s, Value::Int(7)).unwrap();
+        assert_eq!(eval(&Expr::Local(s), &env).unwrap(), Value::Int(7));
+        assert_eq!(env.load_elem(a, 2).unwrap(), Value::Double(0.0));
+        env.store_elem(a, 2, Value::Double(1.5)).unwrap();
+        let e = Expr::LocalElem {
+            array: a,
+            index: Box::new(Expr::Int(2)),
+        };
+        assert_eq!(eval(&e, &env).unwrap(), Value::Double(1.5));
+    }
+
+    #[test]
+    fn integer_arithmetic() {
+        let (env, _, _) = env();
+        assert_eq!(
+            eval(&bin(BinOp::Add, Expr::Int(2), Expr::Int(3)), &env).unwrap(),
+            Value::Int(5)
+        );
+        assert_eq!(
+            eval(&bin(BinOp::Rem, Expr::Int(-1), Expr::Int(8)), &env).unwrap(),
+            Value::Int(7),
+            "rem_euclid keeps processor indices positive"
+        );
+        assert!(eval(&bin(BinOp::Div, Expr::Int(1), Expr::Int(0)), &env).is_err());
+        assert!(eval(&bin(BinOp::Rem, Expr::Int(1), Expr::Int(0)), &env).is_err());
+    }
+
+    #[test]
+    fn mixed_arithmetic_widens() {
+        let (env, _, _) = env();
+        assert_eq!(
+            eval(&bin(BinOp::Mul, Expr::Int(2), Expr::Float(1.5)), &env).unwrap(),
+            Value::Double(3.0)
+        );
+        assert_eq!(
+            eval(&bin(BinOp::Lt, Expr::Float(0.5), Expr::Int(1)), &env).unwrap(),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn logic_and_comparison() {
+        let (env, _, _) = env();
+        let t = Expr::Bool(true);
+        let f = Expr::Bool(false);
+        assert_eq!(
+            eval(&bin(BinOp::And, t.clone(), f.clone()), &env).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            eval(&bin(BinOp::Or, t.clone(), f.clone()), &env).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval(
+                &Expr::Unary {
+                    op: UnOp::Not,
+                    expr: Box::new(f)
+                },
+                &env
+            )
+            .unwrap(),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn type_errors_are_reported() {
+        let (env, _, _) = env();
+        assert!(eval(&bin(BinOp::Add, Expr::Bool(true), Expr::Int(1)), &env).is_err());
+        assert!(Value::Double(1.0).as_int().is_err());
+        assert!(Value::Int(1).as_bool().is_err());
+    }
+
+    #[test]
+    fn out_of_bounds_local_array() {
+        let (env, _, a) = env();
+        assert!(env.load_elem(a, 4).is_err());
+        assert!(env.load_elem(a, -1).is_err());
+    }
+}
+
+#[cfg(test)]
+mod fold_consistency {
+    //! Cross-module property: `syncopt_ir::fold` must be semantics
+    //! preserving w.r.t. this evaluator — for any expression that
+    //! evaluates successfully, the folded expression evaluates to the
+    //! same value.
+
+    use super::*;
+    use proptest::prelude::*;
+    use syncopt_frontend::ast::BinOp;
+    use syncopt_ir::expr::Expr;
+    use syncopt_ir::fold::fold_expr;
+    use syncopt_ir::vars::VarTable;
+
+    fn arb_expr() -> impl Strategy<Value = Expr> {
+        let leaf = prop_oneof![
+            (-20i64..20).prop_map(Expr::Int),
+            Just(Expr::MyProc),
+            Just(Expr::Procs),
+        ];
+        leaf.prop_recursive(4, 64, 2, |inner| {
+            (
+                inner.clone(),
+                inner,
+                prop_oneof![
+                    Just(BinOp::Add),
+                    Just(BinOp::Sub),
+                    Just(BinOp::Mul),
+                    Just(BinOp::Div),
+                    Just(BinOp::Rem),
+                ],
+            )
+                .prop_map(|(l, r, op)| Expr::Binary {
+                    op,
+                    lhs: Box::new(l),
+                    rhs: Box::new(r),
+                })
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn folding_preserves_evaluation(e in arb_expr(), myproc in 0u32..8) {
+            let env = ProcEnv::new(myproc, 8, &VarTable::new());
+            let folded = fold_expr(&e);
+            // Idempotence.
+            prop_assert_eq!(&fold_expr(&folded), &folded);
+            match eval(&e, &env) {
+                Ok(v) => {
+                    let fv = eval(&folded, &env);
+                    prop_assert_eq!(fv.ok(), Some(v), "fold changed value of {:?}", e);
+                }
+                Err(_) => {
+                    // Folding may not *introduce* success where evaluation
+                    // trapped... it may, though, if the trap was in a
+                    // discarded pure position? No: identities only discard
+                    // trap-free sides. So the folded expression must trap
+                    // too.
+                    prop_assert!(
+                        eval(&folded, &env).is_err(),
+                        "fold hid a trap in {:?}",
+                        e
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! `syncoptc` — command-line driver for the syncopt pipeline.
+//!
+//! ```text
+//! syncoptc analyze <file> [--procs N]
+//!     print conflict/delay-set statistics and the delay pairs
+//! syncoptc opt <file> [--procs N] [--level L] [--delay D] [--dump]
+//!     optimize and (with --dump) print the target CFG
+//! syncoptc run <file> [--procs N] [--machine M] [--level L] [--delay D]
+//!     simulate and report cycles, messages, stalls, final memory
+//! syncoptc litmus <file> [--procs N]
+//!     enumerate weak vs sequentially consistent outcomes
+//!
+//! `opt --dot` emits Graphviz instead of text; `run --trace` appends the
+//! first 200 trace events.
+//!
+//! L ∈ blocking|pipelined|oneway|full      (default pipelined)
+//! D ∈ ss|sync                             (default sync)
+//! M ∈ cm5|t3d|dash                        (default cm5)
+//! N                                        (default 4)
+//! ```
+
+use std::process::ExitCode;
+use syncopt::core::DelaySet;
+use syncopt::machine::litmus::{sc_outcomes, weak_outcomes};
+use syncopt::machine::MachineConfig;
+use syncopt::{compile, run, DelayChoice, OptLevel};
+
+struct Args {
+    command: String,
+    file: String,
+    procs: u32,
+    level: OptLevel,
+    delay: DelayChoice,
+    machine: String,
+    dump: bool,
+    dot: bool,
+    trace: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next().ok_or("missing command")?;
+    let file = argv.next().ok_or("missing input file")?;
+    let mut args = Args {
+        command,
+        file,
+        procs: 4,
+        level: OptLevel::Pipelined,
+        delay: DelayChoice::SyncRefined,
+        machine: "cm5".to_string(),
+        dump: false,
+        dot: false,
+        trace: false,
+    };
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--procs" => {
+                args.procs = argv
+                    .next()
+                    .ok_or("--procs needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --procs: {e}"))?;
+            }
+            "--level" => {
+                args.level = match argv.next().ok_or("--level needs a value")?.as_str() {
+                    "blocking" => OptLevel::Blocking,
+                    "pipelined" => OptLevel::Pipelined,
+                    "oneway" => OptLevel::OneWay,
+                    "full" => OptLevel::Full,
+                    other => return Err(format!("unknown level `{other}`")),
+                };
+            }
+            "--delay" => {
+                args.delay = match argv.next().ok_or("--delay needs a value")?.as_str() {
+                    "ss" => DelayChoice::ShashaSnir,
+                    "sync" => DelayChoice::SyncRefined,
+                    other => return Err(format!("unknown delay choice `{other}`")),
+                };
+            }
+            "--machine" => {
+                args.machine = argv.next().ok_or("--machine needs a value")?;
+            }
+            "--dump" => args.dump = true,
+            "--dot" => args.dot = true,
+            "--trace" => args.trace = true,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn machine_config(name: &str, procs: u32) -> Result<MachineConfig, String> {
+    Ok(match name {
+        "cm5" => MachineConfig::cm5(procs),
+        "t3d" => MachineConfig::t3d(procs),
+        "dash" => MachineConfig::dash(procs),
+        other => return Err(format!("unknown machine `{other}`")),
+    })
+}
+
+fn main() -> ExitCode {
+    // Exit quietly when stdout is closed early (`syncoptc ... | head`):
+    // println! panics on EPIPE, which is noise, not an error.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let broken_pipe = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(|s| s.contains("Broken pipe"))
+            .unwrap_or(false);
+        if broken_pipe {
+            std::process::exit(0);
+        }
+        default_hook(info);
+    }));
+    match real_main() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("syncoptc: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn real_main() -> Result<(), String> {
+    let args = parse_args().map_err(|e| format!("{e}\nrun with: syncoptc <analyze|opt|run|litmus> <file> [flags]"))?;
+    let src = std::fs::read_to_string(&args.file)
+        .map_err(|e| format!("cannot read {}: {e}", args.file))?;
+    match args.command.as_str() {
+        "analyze" => cmd_analyze(&src, &args),
+        "opt" => cmd_opt(&src, &args),
+        "run" => cmd_run(&src, &args),
+        "litmus" => cmd_litmus(&src, &args),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn cmd_analyze(src: &str, args: &Args) -> Result<(), String> {
+    let c = compile(src, args.procs, OptLevel::Blocking, args.delay)
+        .map_err(|e| render_err(src, &e))?;
+    let s = c.analysis.stats();
+    println!("access sites:          {}", s.accesses);
+    println!("conflicting pairs:     {}", s.conflict_pairs);
+    println!("|D_SS| (Shasha-Snir):  {}", s.delay_ss);
+    println!("|D|    (refined):      {}", s.delay_sync);
+    println!("|R|    (precedence):   {}", s.precedence_pairs);
+    println!("aligned barriers:      {}", s.aligned_barriers);
+    println!();
+    println!("refined delay pairs:");
+    for (u, v) in c.analysis.delay_sync.pairs() {
+        let d = |a: syncopt::ir::ids::AccessId| {
+            let i = c.source_cfg.accesses.info(a);
+            let var = i
+                .var
+                .map(|v| c.source_cfg.vars.info(v).name.clone())
+                .unwrap_or_default();
+            let (line, col) = i.span.line_col(src);
+            format!("{a} {:?} {var} @{line}:{col}", i.kind)
+        };
+        println!("  {}  →  {}", d(u), d(v));
+    }
+    let warnings = syncopt::core::sync_warnings(&c.source_cfg);
+    if !warnings.is_empty() {
+        println!();
+        for w in warnings {
+            println!("warning: {w}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_opt(src: &str, args: &Args) -> Result<(), String> {
+    let c = compile(src, args.procs, args.level, args.delay).map_err(|e| render_err(src, &e))?;
+    if args.dot {
+        println!("{}", syncopt::ir::print::cfg_to_dot(&c.optimized.cfg, &args.file));
+        return Ok(());
+    }
+    println!("{:#?}", c.optimized.stats);
+    if args.dump {
+        println!("\n{}", syncopt::ir::print::cfg_to_string(&c.optimized.cfg));
+    }
+    Ok(())
+}
+
+fn cmd_run(src: &str, args: &Args) -> Result<(), String> {
+    let config = machine_config(&args.machine, args.procs)?;
+    let r = run(src, &config, args.level, args.delay).map_err(|e| render_err(src, &e))?;
+    if args.trace {
+        let (_, trace) = syncopt::machine::simulate_traced(
+            &r.compiled.optimized.cfg,
+            &config,
+            200,
+        )
+        .map_err(|e| e.to_string())?;
+        println!("--- trace (first 200 events) ---");
+        print!("{}", trace.render());
+        println!("--------------------------------");
+    }
+    println!("machine:            {} × {}", config.procs, config.name);
+    println!("execution:          {} cycles", r.sim.exec_cycles);
+    println!("messages:           {}", r.sim.net.total_messages());
+    println!("  gets/replies:     {}/{}", r.sim.net.get_requests, r.sim.net.get_replies);
+    println!("  puts/acks:        {}/{}", r.sim.net.put_requests, r.sim.net.put_acks);
+    println!("  stores:           {}", r.sim.net.store_requests);
+    println!("  barriers:         {}", r.sim.net.barriers);
+    println!(
+        "stalls (cycles):    sync {} | barrier {} | wait {} | lock {} | blocking {}",
+        r.sim.stalls.sync,
+        r.sim.stalls.barrier,
+        r.sim.stalls.wait,
+        r.sim.stalls.lock,
+        r.sim.stalls.blocking
+    );
+    println!("barriers aligned:   {}", r.sim.barriers_aligned);
+    println!("final shared memory:");
+    for (var, vals) in &r.sim.memory {
+        let name = &r.compiled.source_cfg.vars.info(*var).name;
+        if vals.len() == 1 {
+            println!("  {name} = {}", vals[0]);
+        } else {
+            let shown: Vec<String> = vals.iter().take(16).map(|v| v.to_string()).collect();
+            let ellipsis = if vals.len() > 16 { ", ..." } else { "" };
+            println!("  {name} = [{}{}]", shown.join(", "), ellipsis);
+        }
+    }
+    Ok(())
+}
+
+fn cmd_litmus(src: &str, args: &Args) -> Result<(), String> {
+    let c = compile(src, args.procs, OptLevel::Blocking, args.delay)
+        .map_err(|e| render_err(src, &e))?;
+    let cfg = &c.source_cfg;
+    let sc = sc_outcomes(cfg, args.procs).map_err(|e| e.to_string())?;
+    let none = weak_outcomes(cfg, &DelaySet::new(cfg.accesses.len()), args.procs)
+        .map_err(|e| e.to_string())?;
+    let refined =
+        weak_outcomes(cfg, &c.analysis.delay_sync, args.procs).map_err(|e| e.to_string())?;
+    println!("SC outcomes:                 {sc:?}");
+    println!("weak outcomes, no delays:    {none:?}");
+    println!("weak outcomes, refined D:    {refined:?}");
+    println!(
+        "refined D preserves SC:      {}",
+        refined.is_subset(&sc)
+    );
+    Ok(())
+}
+
+fn render_err(src: &str, e: &syncopt::SyncoptError) -> String {
+    match e {
+        syncopt::SyncoptError::Frontend(fe) => fe.render(src),
+        other => other.to_string(),
+    }
+}

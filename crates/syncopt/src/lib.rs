@@ -1,0 +1,326 @@
+#![warn(missing_docs)]
+
+//! `syncopt` — a sequential-consistency-preserving optimizer for
+//! explicitly parallel SPMD programs.
+//!
+//! This workspace reproduces *Optimizing Parallel Programs with Explicit
+//! Synchronization* (Krishnamurthy & Yelick, PLDI 1995): cycle detection à
+//! la Shasha & Snir, refined with post-wait / barrier / lock
+//! synchronization analysis, driving message pipelining, one-way
+//! communication conversion, and remote-access elimination — evaluated on
+//! a deterministic distributed-memory machine simulator.
+//!
+//! This crate is the facade: it re-exports the pipeline stages and offers
+//! the one-call entry points [`compile`] and [`run`].
+//!
+//! ```
+//! use syncopt::{run, OptLevel, DelayChoice};
+//! use syncopt::machine::MachineConfig;
+//!
+//! let src = r#"
+//!     shared int A[32];
+//!     fn main() {
+//!         A[MYPROC] = MYPROC;
+//!         barrier;
+//!         int v; v = A[(MYPROC + 1) % PROCS];
+//!         work(v);
+//!     }
+//! "#;
+//! let config = MachineConfig::cm5(8);
+//! let blocking = run(src, &config, OptLevel::Blocking, DelayChoice::SyncRefined)?;
+//! let optimized = run(src, &config, OptLevel::OneWay, DelayChoice::SyncRefined)?;
+//! assert!(optimized.sim.exec_cycles <= blocking.sim.exec_cycles);
+//! // Optimization never changes the final memory image.
+//! assert_eq!(optimized.sim.memory, blocking.sim.memory);
+//! # Ok::<(), syncopt::SyncoptError>(())
+//! ```
+
+pub use syncopt_codegen::{DelayChoice, OptLevel, OptStats, Optimized};
+pub use syncopt_core::{Analysis, AnalysisStats, DelaySet};
+pub use syncopt_machine::{MachineConfig, SimResult};
+
+/// Frontend stage (lexer, parser, type checker, inlining).
+pub use syncopt_frontend as frontend;
+/// IR stage (CFG, dominators, dataflow).
+pub use syncopt_ir as ir;
+/// Analysis stage (conflicts, cycle detection, synchronization analysis).
+pub use syncopt_core as core;
+/// Optimization stage (split-phase codegen and communication passes).
+pub use syncopt_codegen as codegen;
+/// Execution substrate (machine simulator, litmus explorer).
+pub use syncopt_machine as machine;
+/// The five evaluation kernels.
+pub use syncopt_kernels as kernels;
+
+use std::error::Error;
+use std::fmt;
+use syncopt_ir::cfg::Cfg;
+
+/// Any error from the pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SyncoptError {
+    /// Lexing, parsing, type checking, or inlining failed.
+    Frontend(syncopt_frontend::FrontendError),
+    /// AST → CFG lowering failed.
+    Lower(syncopt_ir::lower::LowerError),
+    /// Simulation failed (runtime fault, deadlock, step limit).
+    Sim(syncopt_machine::SimError),
+}
+
+impl fmt::Display for SyncoptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SyncoptError::Frontend(e) => write!(f, "{e}"),
+            SyncoptError::Lower(e) => write!(f, "{e}"),
+            SyncoptError::Sim(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for SyncoptError {}
+
+impl From<syncopt_frontend::FrontendError> for SyncoptError {
+    fn from(e: syncopt_frontend::FrontendError) -> Self {
+        SyncoptError::Frontend(e)
+    }
+}
+
+impl From<syncopt_ir::lower::LowerError> for SyncoptError {
+    fn from(e: syncopt_ir::lower::LowerError) -> Self {
+        SyncoptError::Lower(e)
+    }
+}
+
+impl From<syncopt_machine::SimError> for SyncoptError {
+    fn from(e: syncopt_machine::SimError) -> Self {
+        SyncoptError::Sim(e)
+    }
+}
+
+/// The output of [`compile`]: the source CFG, the analysis, and the
+/// optimized target CFG.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    /// The lowered (blocking-access) source CFG.
+    pub source_cfg: Cfg,
+    /// Conflict/delay analysis results.
+    pub analysis: Analysis,
+    /// The optimized program.
+    pub optimized: Optimized,
+}
+
+/// Parses, checks, lowers, analyzes (for `procs` processors), and
+/// optimizes a `minisplit` program.
+///
+/// # Errors
+///
+/// Returns frontend or lowering errors.
+pub fn compile(
+    src: &str,
+    procs: u32,
+    level: OptLevel,
+    choice: DelayChoice,
+) -> Result<Compiled, SyncoptError> {
+    let program = syncopt_frontend::prepare_program(src)?;
+    let source_cfg = syncopt_ir::lower::lower_main(&program)?;
+    let analysis = syncopt_core::analyze_for(&source_cfg, procs);
+    let optimized = syncopt_codegen::optimize(&source_cfg, &analysis, level, choice);
+    Ok(Compiled {
+        source_cfg,
+        analysis,
+        optimized,
+    })
+}
+
+/// The output of [`run`]: compilation artifacts plus the simulation result.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Compilation artifacts.
+    pub compiled: Compiled,
+    /// The simulated execution.
+    pub sim: SimResult,
+}
+
+/// [`compile`]s for `config.procs` processors and simulates the optimized
+/// program on `config`.
+///
+/// # Errors
+///
+/// Returns frontend, lowering, or simulation errors.
+pub fn run(
+    src: &str,
+    config: &MachineConfig,
+    level: OptLevel,
+    choice: DelayChoice,
+) -> Result<RunResult, SyncoptError> {
+    let compiled = compile(src, config.procs, level, choice)?;
+    let sim = syncopt_machine::simulate(&compiled.optimized.cfg, config)?;
+    Ok(RunResult { compiled, sim })
+}
+
+/// Which code version a two-version execution ended up using.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VersionUsed {
+    /// The barrier-optimistic optimized version ran to completion and the
+    /// runtime check confirmed barrier alignment.
+    Optimized,
+    /// The runtime check failed (or the optimistic run deadlocked on a
+    /// barrier) and the conservative version was used instead.
+    Conservative,
+}
+
+/// The result of a two-version execution.
+#[derive(Debug, Clone)]
+pub struct TwoVersionResult {
+    /// The simulation that "counts".
+    pub sim: SimResult,
+    /// Which version produced it.
+    pub used: VersionUsed,
+}
+
+/// The paper's §5.2 **two-version compilation**: barrier alignment is
+/// undecidable in general, so the compiler emits an *optimistic* version
+/// (barriers assumed aligned, full optimization) guarded by a runtime
+/// check, plus a *conservative* version (no barrier information). The
+/// optimistic version runs; if the dynamic barrier-sequence check fails,
+/// the conservative version's result is used.
+///
+/// # Errors
+///
+/// Returns frontend/lowering errors, or simulation errors from the
+/// conservative version (the optimistic version's runtime faults trigger
+/// the fallback instead of failing).
+pub fn run_two_version(
+    src: &str,
+    config: &MachineConfig,
+    level: OptLevel,
+) -> Result<TwoVersionResult, SyncoptError> {
+    let program = syncopt_frontend::prepare_program(src)?;
+    let source_cfg = syncopt_ir::lower::lower_main(&program)?;
+
+    // Optimistic: assume barriers align; the simulator double-checks.
+    let optimistic = syncopt_core::analyze_with(
+        &source_cfg,
+        &syncopt_core::SyncOptions {
+            barrier_policy: syncopt_core::BarrierPolicy::AssumeAligned,
+            procs: Some(config.procs),
+        },
+    );
+    let opt_cfg =
+        syncopt_codegen::optimize(&source_cfg, &optimistic, level, DelayChoice::SyncRefined);
+    if let Ok(sim) = syncopt_machine::simulate(&opt_cfg.cfg, config) {
+        if sim.barriers_aligned {
+            return Ok(TwoVersionResult {
+                sim,
+                used: VersionUsed::Optimized,
+            });
+        }
+    }
+
+    // Conservative: no barrier information at all.
+    let conservative = syncopt_core::analyze_with(
+        &source_cfg,
+        &syncopt_core::SyncOptions {
+            barrier_policy: syncopt_core::BarrierPolicy::Disabled,
+            procs: Some(config.procs),
+        },
+    );
+    let cons_cfg =
+        syncopt_codegen::optimize(&source_cfg, &conservative, level, DelayChoice::SyncRefined);
+    let sim = syncopt_machine::simulate(&cons_cfg.cfg, config)?;
+    Ok(TwoVersionResult {
+        sim,
+        used: VersionUsed::Conservative,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = r#"
+        shared int A[16]; flag F;
+        fn main() {
+            A[MYPROC] = MYPROC * 2;
+            barrier;
+            int v; v = A[(MYPROC + 1) % PROCS];
+            if (MYPROC == 0) { post F; } else { wait F; }
+            work(v);
+        }
+    "#;
+
+    #[test]
+    fn compile_produces_valid_cfg_at_every_level() {
+        for level in [
+            OptLevel::Blocking,
+            OptLevel::Pipelined,
+            OptLevel::OneWay,
+            OptLevel::Full,
+        ] {
+            let c = compile(SRC, 4, level, DelayChoice::SyncRefined).unwrap();
+            c.optimized.cfg.validate().unwrap();
+            assert_eq!(c.optimized.level, level);
+        }
+    }
+
+    #[test]
+    fn run_executes_and_optimization_preserves_memory() {
+        let config = MachineConfig::cm5(4);
+        let base = run(SRC, &config, OptLevel::Blocking, DelayChoice::SyncRefined).unwrap();
+        let opt = run(SRC, &config, OptLevel::Full, DelayChoice::SyncRefined).unwrap();
+        assert_eq!(base.sim.memory, opt.sim.memory);
+        assert!(opt.sim.exec_cycles <= base.sim.exec_cycles);
+    }
+
+    #[test]
+    fn frontend_errors_propagate() {
+        let err = compile("fn main() { x = 1; }", 2, OptLevel::Full, DelayChoice::SyncRefined)
+            .unwrap_err();
+        assert!(matches!(err, SyncoptError::Frontend(_)), "{err}");
+        assert!(err.to_string().contains("unknown variable"));
+    }
+
+    #[test]
+    fn two_version_uses_optimized_when_barriers_align() {
+        let r = run_two_version(SRC, &MachineConfig::cm5(4), OptLevel::OneWay).unwrap();
+        assert_eq!(r.used, VersionUsed::Optimized);
+        assert!(r.sim.barriers_aligned);
+    }
+
+    #[test]
+    fn two_version_falls_back_on_misaligned_barriers() {
+        // Same barrier COUNT everywhere but different sites per branch:
+        // the optimistic run completes yet the sequence check fails.
+        let src = r#"
+            shared int X;
+            fn main() {
+                int v;
+                if (MYPROC == 0) {
+                    X = 1;
+                    barrier;
+                    work(10);
+                    barrier;
+                } else {
+                    barrier;
+                    barrier;
+                    v = X;
+                    work(v);
+                }
+            }
+        "#;
+        let r = run_two_version(src, &MachineConfig::cm5(2), OptLevel::OneWay).unwrap();
+        assert_eq!(r.used, VersionUsed::Conservative);
+    }
+
+    #[test]
+    fn sim_errors_propagate() {
+        let err = run(
+            "shared int A[2]; fn main() { A[5] = 1; }",
+            &MachineConfig::cm5(2),
+            OptLevel::Blocking,
+            DelayChoice::SyncRefined,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SyncoptError::Sim(_)), "{err}");
+    }
+}

@@ -1,0 +1,143 @@
+//! End-to-end tests of the `syncoptc` command-line tool, run against the
+//! sample programs in `programs/`.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn syncoptc(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_syncoptc"))
+        .args(args)
+        .current_dir(repo_root())
+        .output()
+        .expect("binary should run");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn repo_root() -> PathBuf {
+    // crates/syncopt/../..
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap()
+}
+
+#[test]
+fn analyze_reports_delay_sets() {
+    let (ok, stdout, stderr) = syncoptc(&["analyze", "programs/figure1.ms"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("|D_SS| (Shasha-Snir):  2"), "{stdout}");
+    assert!(stdout.contains("Write Data"), "{stdout}");
+    assert!(stdout.contains("Read Flag"), "{stdout}");
+}
+
+#[test]
+fn run_reports_execution_and_memory() {
+    let (ok, stdout, stderr) = syncoptc(&[
+        "run",
+        "programs/allreduce.ms",
+        "--procs",
+        "8",
+        "--level",
+        "full",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("barriers aligned:   true"), "{stdout}");
+    // sum(1..=8) lands at the root.
+    assert!(stdout.contains("Val = [36,"), "{stdout}");
+}
+
+#[test]
+fn run_honors_machine_selection() {
+    let (_, cm5, _) = syncoptc(&["run", "programs/stencil.ms", "--procs", "8"]);
+    let (_, t3d, _) = syncoptc(&[
+        "run",
+        "programs/stencil.ms",
+        "--procs",
+        "8",
+        "--machine",
+        "t3d",
+    ]);
+    assert!(cm5.contains("CM-5"), "{cm5}");
+    assert!(t3d.contains("T3D"), "{t3d}");
+    let cycles = |s: &str| -> u64 {
+        s.lines()
+            .find(|l| l.contains("execution:"))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|n| n.parse().ok())
+            .unwrap()
+    };
+    assert!(cycles(&t3d) < cycles(&cm5), "T3D should be faster");
+}
+
+#[test]
+fn litmus_detects_sc_preservation() {
+    let (ok, stdout, stderr) = syncoptc(&["litmus", "programs/postwait.ms", "--procs", "2"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("refined D preserves SC:      true"), "{stdout}");
+}
+
+#[test]
+fn opt_dot_emits_graphviz() {
+    let (ok, stdout, _) = syncoptc(&["opt", "programs/figure1.ms", "--dot"]);
+    assert!(ok);
+    assert!(stdout.starts_with("digraph"), "{stdout}");
+    assert!(stdout.contains("bb0"), "{stdout}");
+}
+
+#[test]
+fn run_trace_prints_events() {
+    let (ok, stdout, _) = syncoptc(&[
+        "run",
+        "programs/postwait.ms",
+        "--procs",
+        "2",
+        "--trace",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("service post"), "{stdout}");
+    assert!(stdout.contains("finished"), "{stdout}");
+}
+
+#[test]
+fn analyze_warns_on_orphaned_wait() {
+    // Write a temp file with a deadlocking wait.
+    let dir = std::env::temp_dir();
+    let path = dir.join("syncoptc_cli_test_orphan.ms");
+    std::fs::write(&path, "flag F; fn main() { wait F; }").unwrap();
+    let (ok, stdout, _) = syncoptc(&["analyze", path.to_str().unwrap()]);
+    assert!(ok);
+    assert!(stdout.contains("warning:"), "{stdout}");
+    assert!(stdout.contains("deadlock"), "{stdout}");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn bad_usage_fails_with_message() {
+    let (ok, _, stderr) = syncoptc(&["frobnicate", "programs/figure1.ms"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"), "{stderr}");
+
+    let (ok, _, stderr) = syncoptc(&["run", "programs/figure1.ms", "--machine", "pdp11"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown machine"), "{stderr}");
+
+    let (ok, _, stderr) = syncoptc(&["run", "does_not_exist.ms"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot read"), "{stderr}");
+}
+
+#[test]
+fn frontend_errors_are_rendered_with_position() {
+    let dir = std::env::temp_dir();
+    let path = dir.join("syncoptc_cli_test_badsyntax.ms");
+    std::fs::write(&path, "shared int X;\nfn main() {\n    X = ;\n}\n").unwrap();
+    let (ok, _, stderr) = syncoptc(&["analyze", path.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("3:"), "{stderr}");
+    assert!(stderr.contains("syntax error"), "{stderr}");
+    let _ = std::fs::remove_file(path);
+}

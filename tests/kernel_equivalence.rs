@@ -1,0 +1,149 @@
+//! Cross-crate integration on the five evaluation kernels: every
+//! optimization level must preserve the final shared-memory image, respect
+//! the barrier-alignment runtime check, and never slow the program down.
+
+use syncopt::machine::MachineConfig;
+use syncopt::{run, DelayChoice, OptLevel};
+use syncopt_kernels::{all_kernels, KernelParams};
+
+fn small_kernels(procs: u32) -> Vec<syncopt_kernels::Kernel> {
+    let p = KernelParams {
+        procs,
+        elements_per_proc: 6,
+        steps: 3,
+        work_per_element: 40,
+    };
+    vec![
+        syncopt_kernels::ocean::generate(&p),
+        syncopt_kernels::em3d::generate(&p),
+        syncopt_kernels::epithel::generate(&p),
+        syncopt_kernels::cholesky::generate(&p),
+        syncopt_kernels::health::generate(&p),
+    ]
+}
+
+#[test]
+fn kernels_produce_identical_memory_at_all_levels() {
+    let procs = 4;
+    let config = MachineConfig::cm5(procs);
+    for kernel in small_kernels(procs) {
+        let baseline = run(
+            &kernel.source,
+            &config,
+            OptLevel::Blocking,
+            DelayChoice::SyncRefined,
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", kernel.name));
+        for level in [OptLevel::Pipelined, OptLevel::OneWay, OptLevel::Full] {
+            for choice in [DelayChoice::ShashaSnir, DelayChoice::SyncRefined] {
+                let r = run(&kernel.source, &config, level, choice)
+                    .unwrap_or_else(|e| panic!("{} {level:?}: {e}", kernel.name));
+                assert_eq!(
+                    r.sim.memory, baseline.sim.memory,
+                    "{} at {level:?}/{choice:?}",
+                    kernel.name
+                );
+                assert!(r.sim.barriers_aligned, "{}", kernel.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn refined_delays_never_slower_than_baseline_delays() {
+    let procs = 8;
+    let config = MachineConfig::cm5(procs);
+    for kernel in all_kernels(procs) {
+        let ss = run(
+            &kernel.source,
+            &config,
+            OptLevel::Pipelined,
+            DelayChoice::ShashaSnir,
+        )
+        .unwrap()
+        .sim
+        .exec_cycles;
+        let refined = run(
+            &kernel.source,
+            &config,
+            OptLevel::Pipelined,
+            DelayChoice::SyncRefined,
+        )
+        .unwrap()
+        .sim
+        .exec_cycles;
+        assert!(
+            refined <= ss,
+            "{}: refined {refined} vs shasha-snir {ss}",
+            kernel.name
+        );
+    }
+}
+
+#[test]
+fn one_way_reduces_total_messages_where_stores_apply() {
+    let procs = 8;
+    let config = MachineConfig::cm5(procs);
+    for kernel in all_kernels(procs) {
+        let two_way = run(
+            &kernel.source,
+            &config,
+            OptLevel::Pipelined,
+            DelayChoice::SyncRefined,
+        )
+        .unwrap()
+        .sim;
+        let one_way = run(
+            &kernel.source,
+            &config,
+            OptLevel::OneWay,
+            DelayChoice::SyncRefined,
+        )
+        .unwrap()
+        .sim;
+        assert!(
+            one_way.net.total_messages() <= two_way.net.total_messages(),
+            "{}",
+            kernel.name
+        );
+        if one_way.net.store_requests > 0 {
+            assert!(
+                one_way.net.put_acks < two_way.net.put_acks
+                    || two_way.net.put_acks == 0,
+                "{}: stores should remove acks",
+                kernel.name
+            );
+        }
+    }
+}
+
+#[test]
+fn kernels_run_on_all_table1_machines() {
+    for config in MachineConfig::table1(4) {
+        for kernel in small_kernels(4) {
+            run(
+                &kernel.source,
+                &config,
+                OptLevel::Full,
+                DelayChoice::SyncRefined,
+            )
+            .unwrap_or_else(|e| panic!("{} on {}: {e}", kernel.name, config.name));
+        }
+    }
+}
+
+#[test]
+fn kernel_simulations_are_deterministic() {
+    let config = MachineConfig::cm5(4);
+    for kernel in small_kernels(4) {
+        let a = run(&kernel.source, &config, OptLevel::Full, DelayChoice::SyncRefined)
+            .unwrap()
+            .sim;
+        let b = run(&kernel.source, &config, OptLevel::Full, DelayChoice::SyncRefined)
+            .unwrap()
+            .sim;
+        assert_eq!(a.exec_cycles, b.exec_cycles, "{}", kernel.name);
+        assert_eq!(a.memory, b.memory, "{}", kernel.name);
+        assert_eq!(a.net, b.net, "{}", kernel.name);
+    }
+}

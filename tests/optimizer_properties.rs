@@ -1,0 +1,187 @@
+//! Property-based tests of the optimizer: on randomly generated SPMD
+//! programs (loops, barriers, post/wait, affine array traffic), the fully
+//! optimized program must compute the same final shared memory as the
+//! blocking original, never run slower, and contain no blocking accesses
+//! after split-phase conversion.
+
+use proptest::prelude::*;
+use syncopt::machine::MachineConfig;
+use syncopt::{compile, run, DelayChoice, OptLevel};
+
+/// One abstract statement of a generated program body.
+#[derive(Debug, Clone)]
+enum Stmt {
+    WriteOwn { arr: usize, off: u64, val: i64 },
+    ReadNeighbor { arr: usize, off: u64 },
+    ReadOwn { arr: usize, off: u64 },
+    Work { cost: u64 },
+    Barrier,
+}
+
+const B: u64 = 8; // elements per processor per array
+
+fn stmt_strategy() -> impl Strategy<Value = Stmt> {
+    prop_oneof![
+        (0..2usize, 0..B, 1..9i64)
+            .prop_map(|(arr, off, val)| Stmt::WriteOwn { arr, off, val }),
+        (0..2usize, 0..B).prop_map(|(arr, off)| Stmt::ReadNeighbor { arr, off }),
+        (0..2usize, 0..B).prop_map(|(arr, off)| Stmt::ReadOwn { arr, off }),
+        (10..200u64).prop_map(|cost| Stmt::Work { cost }),
+        Just(Stmt::Barrier),
+    ]
+}
+
+#[derive(Debug, Clone)]
+struct ProgSpec {
+    body: Vec<Stmt>,
+    loop_steps: u64,
+    postwait: bool,
+}
+
+fn spec_strategy() -> impl Strategy<Value = ProgSpec> {
+    (
+        prop::collection::vec(stmt_strategy(), 2..8),
+        1..4u64,
+        any::<bool>(),
+    )
+        .prop_map(|(body, loop_steps, postwait)| ProgSpec {
+            body,
+            loop_steps,
+            postwait,
+        })
+}
+
+fn render(spec: &ProgSpec, procs: u32) -> String {
+    let n = B * procs as u64;
+    let mut src = format!("shared int A0[{n}]; shared int A1[{n}];\n");
+    if spec.postwait {
+        src.push_str(&format!("flag F[{}];\n", procs));
+    }
+    src.push_str("fn main() {\n    int t;\n    int step;\n");
+    src.push_str(&format!(
+        "    for (step = 0; step < {}; step = step + 1) {{\n",
+        spec.loop_steps
+    ));
+    for s in &spec.body {
+        match s {
+            Stmt::WriteOwn { arr, off, val } => src.push_str(&format!(
+                "        A{arr}[MYPROC * {B} + {off}] = {val} + MYPROC;\n"
+            )),
+            Stmt::ReadNeighbor { arr, off } => src.push_str(&format!(
+                "        if (MYPROC < PROCS - 1) {{ t = A{arr}[MYPROC * {B} + {B} + {off}]; }}\n"
+            )),
+            Stmt::ReadOwn { arr, off } => src.push_str(&format!(
+                "        t = A{arr}[MYPROC * {B} + {off}];\n"
+            )),
+            Stmt::Work { cost } => src.push_str(&format!("        work({cost});\n")),
+            Stmt::Barrier => src.push_str("        barrier;\n"),
+        }
+    }
+    src.push_str("        barrier;\n"); // phase end keeps reads/writes sane
+    src.push_str("    }\n");
+    if spec.postwait {
+        src.push_str("    post F[MYPROC];\n    wait F[(MYPROC + 1) % PROCS];\n");
+    }
+    src.push_str("}\n");
+    src
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn optimized_programs_compute_the_same_memory(spec in spec_strategy()) {
+        let procs = 4;
+        let src = render(&spec, procs);
+        let config = MachineConfig::cm5(procs);
+        let base = run(&src, &config, OptLevel::Blocking, DelayChoice::SyncRefined)
+            .unwrap_or_else(|e| panic!("blocking run failed: {e}\n{src}"));
+        for level in [OptLevel::Pipelined, OptLevel::OneWay, OptLevel::Full] {
+            let opt = run(&src, &config, level, DelayChoice::SyncRefined)
+                .unwrap_or_else(|e| panic!("{level:?} run failed: {e}\n{src}"));
+            prop_assert_eq!(
+                &opt.sim.memory, &base.sim.memory,
+                "memory diverged at {:?} on:\n{}", level, src
+            );
+            // Split-phase conversion carries a few cycles of counter
+            // bookkeeping per access; on purely-local programs there is
+            // nothing to overlap, so allow that constant overhead (but no
+            // more than 5% + 64 cycles).
+            let slack = base.sim.exec_cycles / 20 + 64;
+            prop_assert!(
+                opt.sim.exec_cycles <= base.sim.exec_cycles + slack,
+                "{:?} slower ({} > {} + {}) on:\n{}",
+                level, opt.sim.exec_cycles, base.sim.exec_cycles, slack, src
+            );
+        }
+    }
+
+    #[test]
+    fn memory_is_machine_independent_for_synchronized_programs(spec in spec_strategy()) {
+        // The generated programs are race-free at phase granularity (every
+        // loop body ends with a barrier), so the final memory image must
+        // not depend on machine timing parameters.
+        let src = render(&spec, 4);
+        let results: Vec<_> = MachineConfig::table1(4)
+            .into_iter()
+            .map(|cfg| {
+                run(&src, &cfg, OptLevel::Full, DelayChoice::SyncRefined)
+                    .unwrap_or_else(|e| panic!("{}: {e}\n{src}", cfg.name))
+                    .sim
+                    .memory
+            })
+            .collect();
+        prop_assert_eq!(&results[0], &results[1], "CM-5 vs T3D diverged on:\n{}", src);
+        prop_assert_eq!(&results[0], &results[2], "CM-5 vs DASH diverged on:\n{}", src);
+    }
+
+    #[test]
+    fn split_phase_removes_all_blocking_accesses(spec in spec_strategy()) {
+        let src = render(&spec, 4);
+        let c = compile(&src, 4, OptLevel::Pipelined, DelayChoice::SyncRefined).unwrap();
+        for block in &c.optimized.cfg.blocks {
+            for instr in &block.instrs {
+                prop_assert!(
+                    !matches!(
+                        instr,
+                        syncopt::ir::cfg::Instr::GetShared { .. }
+                            | syncopt::ir::cfg::Instr::PutShared { .. }
+                    ),
+                    "blocking access survived split-phase on:\n{}", src
+                );
+            }
+        }
+        c.optimized.cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn every_initiation_has_a_sync_on_every_path(spec in spec_strategy()) {
+        // Structural safety: each get/put counter that appears in the CFG
+        // is synced at least once somewhere reachable (stores excepted).
+        let src = render(&spec, 4);
+        let c = compile(&src, 4, OptLevel::OneWay, DelayChoice::SyncRefined).unwrap();
+        use std::collections::HashSet;
+        let mut initiated: HashSet<u32> = HashSet::new();
+        let mut synced: HashSet<u32> = HashSet::new();
+        for block in &c.optimized.cfg.blocks {
+            for instr in &block.instrs {
+                match instr {
+                    syncopt::ir::cfg::Instr::GetInit { ctr, .. }
+                    | syncopt::ir::cfg::Instr::PutInit { ctr, .. } => {
+                        initiated.insert(ctr.0);
+                    }
+                    syncopt::ir::cfg::Instr::SyncCtr { ctr } => {
+                        synced.insert(ctr.0);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for ctr in &initiated {
+            prop_assert!(
+                synced.contains(ctr),
+                "counter ctr{} initiated but never synced on:\n{}", ctr, src
+            );
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! End-to-end pipeline integration: source text → frontend → IR → analysis
+//! → codegen → simulation, across optimization levels and machine models.
+
+use syncopt::machine::MachineConfig;
+use syncopt::{compile, run, DelayChoice, OptLevel};
+
+const LEVELS: [OptLevel; 4] = [
+    OptLevel::Blocking,
+    OptLevel::Pipelined,
+    OptLevel::OneWay,
+    OptLevel::Full,
+];
+
+const PROGRAMS: &[(&str, &str)] = &[
+    (
+        "producer_consumer",
+        r#"
+        shared int Data[16]; flag ready;
+        fn main() {
+            if (MYPROC == 0) {
+                int i;
+                for (i = 0; i < 16; i = i + 1) { Data[i] = i * i; }
+                post ready;
+            }
+            wait ready;
+            int v; v = Data[MYPROC];
+            work(v);
+        }
+        "#,
+    ),
+    (
+        "phase_exchange",
+        r#"
+        shared double Grid[32]; shared double Next[32];
+        fn main() {
+            int t;
+            double left;
+            for (t = 0; t < 3; t = t + 1) {
+                left = 0.0;
+                if (MYPROC > 0) { left = Grid[MYPROC * 4 - 1]; }
+                work(200);
+                Next[MYPROC * 4] = left + 1.0;
+                barrier;
+                Grid[MYPROC * 4] = Next[MYPROC * 4];
+                barrier;
+            }
+        }
+        "#,
+    ),
+    (
+        "lock_counter",
+        r#"
+        shared int Total; lock guard;
+        fn main() {
+            int i;
+            for (i = 0; i < 3; i = i + 1) {
+                work(50);
+                lock guard;
+                int v; v = Total;
+                Total = v + 1;
+                unlock guard;
+            }
+        }
+        "#,
+    ),
+    (
+        "functions_and_calls",
+        r#"
+        shared int Acc[8]; flag done[8];
+        fn bump(int slot, int amount) {
+            int v; v = Acc[slot];
+            Acc[slot] = v + amount;
+        }
+        fn main() {
+            bump(MYPROC, 5);
+            bump(MYPROC, 7);
+            post done[MYPROC];
+            wait done[(MYPROC + 1) % PROCS];
+        }
+        "#,
+    ),
+];
+
+#[test]
+fn every_program_compiles_at_every_level() {
+    for (name, src) in PROGRAMS {
+        for level in LEVELS {
+            let c = compile(src, 8, level, DelayChoice::SyncRefined)
+                .unwrap_or_else(|e| panic!("{name} at {level:?}: {e}"));
+            c.optimized
+                .cfg
+                .validate()
+                .unwrap_or_else(|e| panic!("{name} at {level:?}: invalid CFG: {e}"));
+        }
+    }
+}
+
+#[test]
+fn optimization_levels_preserve_final_memory() {
+    let config = MachineConfig::cm5(8);
+    for (name, src) in PROGRAMS {
+        let baseline = run(src, &config, OptLevel::Blocking, DelayChoice::SyncRefined)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        for level in LEVELS {
+            for choice in [DelayChoice::ShashaSnir, DelayChoice::SyncRefined] {
+                let r = run(src, &config, level, choice)
+                    .unwrap_or_else(|e| panic!("{name} at {level:?}/{choice:?}: {e}"));
+                assert_eq!(
+                    r.sim.memory, baseline.sim.memory,
+                    "{name} at {level:?}/{choice:?}: memory diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn full_optimization_never_slows_programs_down() {
+    let config = MachineConfig::cm5(8);
+    for (name, src) in PROGRAMS {
+        let blocking = run(src, &config, OptLevel::Blocking, DelayChoice::SyncRefined)
+            .unwrap()
+            .sim
+            .exec_cycles;
+        let full = run(src, &config, OptLevel::Full, DelayChoice::SyncRefined)
+            .unwrap()
+            .sim
+            .exec_cycles;
+        // Allow the constant split-phase bookkeeping overhead (counters),
+        // which purely-local access sequences cannot amortize.
+        let slack = blocking / 20 + 64;
+        assert!(
+            full <= blocking + slack,
+            "{name}: full {full} > blocking {blocking} + {slack}"
+        );
+    }
+}
+
+#[test]
+fn all_three_machines_run_all_programs() {
+    for config in MachineConfig::table1(8) {
+        for (name, src) in PROGRAMS {
+            let r = run(src, &config, OptLevel::Full, DelayChoice::SyncRefined)
+                .unwrap_or_else(|e| panic!("{name} on {}: {e}", config.name));
+            assert!(r.sim.barriers_aligned, "{name} on {}", config.name);
+        }
+    }
+}
+
+#[test]
+fn faster_machines_run_faster() {
+    // T3D has far lower remote latency than CM-5; communication-bound
+    // programs must finish sooner.
+    let (_, src) = PROGRAMS[1]; // phase_exchange
+    let cm5 = run(src, &MachineConfig::cm5(8), OptLevel::Blocking, DelayChoice::SyncRefined)
+        .unwrap()
+        .sim
+        .exec_cycles;
+    let t3d = run(src, &MachineConfig::t3d(8), OptLevel::Blocking, DelayChoice::SyncRefined)
+        .unwrap()
+        .sim
+        .exec_cycles;
+    assert!(t3d < cm5, "t3d {t3d} vs cm5 {cm5}");
+}
+
+#[test]
+fn processor_counts_scale_results() {
+    let (_, src) = PROGRAMS[2]; // lock_counter: Total = 3 × procs
+    for procs in [2u32, 4, 16] {
+        let r = run(
+            src,
+            &MachineConfig::cm5(procs),
+            OptLevel::Full,
+            DelayChoice::SyncRefined,
+        )
+        .unwrap();
+        let total = r
+            .sim
+            .memory
+            .iter()
+            .find(|(v, _)| r.compiled.source_cfg.vars.info(*v).name == "Total")
+            .map(|(_, vals)| vals[0])
+            .unwrap();
+        assert_eq!(total, syncopt::machine::Value::Int(3 * procs as i64));
+    }
+}

@@ -1,0 +1,300 @@
+//! Operational soundness of the computed delay sets: for each litmus
+//! program, every weak-machine outcome admitted under the delay set must
+//! be sequentially consistent — and where the paper says no delays are
+//! needed, the empty set must suffice.
+
+use syncopt::core::{analyze, DelaySet};
+use syncopt::frontend::prepare_program;
+use syncopt::ir::cfg::Cfg;
+use syncopt::ir::lower::lower_main;
+use syncopt::machine::litmus::{is_sc_preserving, sc_outcomes, weak_outcomes};
+
+fn cfg_of(src: &str) -> Cfg {
+    lower_main(&prepare_program(src).unwrap()).unwrap()
+}
+
+/// The programs of the paper's semantic figures plus classic litmuses.
+const CASES: &[(&str, &str, u32)] = &[
+    (
+        "figure1",
+        r#"
+        shared int Data; shared int Flag;
+        fn main() {
+            int v; int w;
+            if (MYPROC == 0) { Data = 1; Flag = 1; }
+            else { v = Flag; w = Data; }
+        }
+        "#,
+        2,
+    ),
+    (
+        "dekker",
+        r#"
+        shared int X; shared int Y;
+        fn main() {
+            int v;
+            if (MYPROC == 0) { X = 1; v = Y; }
+            else { Y = 1; v = X; }
+        }
+        "#,
+        2,
+    ),
+    (
+        "figure5_postwait",
+        r#"
+        shared int X; shared int Y; flag F;
+        fn main() {
+            int v; int w;
+            if (MYPROC == 0) { X = 1; Y = 2; post F; }
+            else { wait F; v = Y; w = X; }
+        }
+        "#,
+        2,
+    ),
+    (
+        "barrier_exchange",
+        r#"
+        shared int A[2];
+        fn main() {
+            int v;
+            A[MYPROC] = MYPROC + 10;
+            barrier;
+            v = A[(MYPROC + 1) % PROCS];
+        }
+        "#,
+        2,
+    ),
+    (
+        "iriw_like",
+        r#"
+        shared int X; shared int Y;
+        fn main() {
+            int v; int w;
+            if (MYPROC == 0) { X = 1; }
+            else if (MYPROC == 1) { Y = 1; }
+            else if (MYPROC == 2) { v = X; w = Y; }
+            else { v = Y; w = X; }
+        }
+        "#,
+        4,
+    ),
+    (
+        "message_chain_3proc",
+        r#"
+        shared int D; shared int F1; shared int F2;
+        fn main() {
+            int v; int w;
+            if (MYPROC == 0) { D = 7; F1 = 1; }
+            else if (MYPROC == 1) { v = F1; F2 = 1; }
+            else { v = F2; w = D; }
+        }
+        "#,
+        3,
+    ),
+];
+
+/// More classic litmus shapes, all checked for SC preservation under the
+/// computed delay sets.
+const EXTRA_CASES: &[(&str, &str, u32)] = &[
+    (
+        "load_buffering",
+        r#"
+        shared int X; shared int Y;
+        fn main() {
+            int v;
+            if (MYPROC == 0) { v = X; Y = 1; }
+            else { v = Y; X = 1; }
+        }
+        "#,
+        2,
+    ),
+    (
+        "message_passing_with_two_flags",
+        r#"
+        shared int D1; shared int D2; shared int F;
+        fn main() {
+            int a; int b; int c;
+            if (MYPROC == 0) { D1 = 1; D2 = 2; F = 1; }
+            else { a = F; b = D2; c = D1; }
+        }
+        "#,
+        2,
+    ),
+    (
+        "write_chain_3proc",
+        r#"
+        shared int X;
+        fn main() {
+            int v;
+            if (MYPROC == 0) { X = 1; }
+            else if (MYPROC == 1) { v = X; X = 2; }
+            else { v = X; }
+        }
+        "#,
+        3,
+    ),
+    (
+        "double_barrier_phases",
+        r#"
+        shared int A[3];
+        fn main() {
+            int v;
+            A[MYPROC] = MYPROC + 1;
+            barrier;
+            v = A[(MYPROC + 1) % PROCS];
+            barrier;
+            A[MYPROC] = 0;
+            work(v);
+        }
+        "#,
+        3,
+    ),
+    (
+        "post_chain",
+        r#"
+        shared int D; flag F1; flag F2;
+        fn main() {
+            int v;
+            if (MYPROC == 0) { D = 5; post F1; }
+            else if (MYPROC == 1) { wait F1; post F2; }
+            else { wait F2; v = D; }
+        }
+        "#,
+        3,
+    ),
+];
+
+#[test]
+fn extra_litmus_cases_preserve_sc() {
+    for (name, src, procs) in EXTRA_CASES {
+        let cfg = cfg_of(src);
+        let analysis = analyze(&cfg);
+        assert!(
+            is_sc_preserving(&cfg, &analysis.delay_ss, *procs)
+                .unwrap_or_else(|e| panic!("{name}: {e}")),
+            "{name}: D_SS"
+        );
+        assert!(
+            is_sc_preserving(&cfg, &analysis.delay_sync, *procs).unwrap(),
+            "{name}: refined D"
+        );
+    }
+}
+
+#[test]
+fn post_chain_transfers_the_value() {
+    // The two-hop flag chain must force the final reader to see D = 5.
+    let (_, src, procs) = EXTRA_CASES[4];
+    let cfg = cfg_of(src);
+    let analysis = analyze(&cfg);
+    let weak = weak_outcomes(&cfg, &analysis.delay_sync, procs).unwrap();
+    assert_eq!(weak.len(), 1, "{weak:?}");
+    assert!(weak.contains(&vec![5]), "{weak:?}");
+}
+
+#[test]
+fn double_barrier_pipeline_is_deterministic() {
+    let (_, src, procs) = EXTRA_CASES[3];
+    let cfg = cfg_of(src);
+    let analysis = analyze(&cfg);
+    let weak = weak_outcomes(&cfg, &analysis.delay_sync, procs).unwrap();
+    // Each processor deterministically reads its neighbor's phase-1 value.
+    assert_eq!(weak.len(), 1, "{weak:?}");
+}
+
+#[test]
+fn computed_delay_sets_preserve_sc_on_all_cases() {
+    for (name, src, procs) in CASES {
+        let cfg = cfg_of(src);
+        let analysis = analyze(&cfg);
+        assert!(
+            is_sc_preserving(&cfg, &analysis.delay_ss, *procs)
+                .unwrap_or_else(|e| panic!("{name}: {e}")),
+            "{name}: D_SS not SC-preserving"
+        );
+        assert!(
+            is_sc_preserving(&cfg, &analysis.delay_sync, *procs).unwrap(),
+            "{name}: refined D not SC-preserving"
+        );
+    }
+}
+
+#[test]
+fn racy_cases_need_their_delays() {
+    // figure1 and dekker genuinely require delays: the empty set violates.
+    for (name, src, procs) in &CASES[..2] {
+        let cfg = cfg_of(src);
+        let empty = DelaySet::new(cfg.accesses.len());
+        assert!(
+            !is_sc_preserving(&cfg, &empty, *procs).unwrap(),
+            "{name}: empty delay set should violate SC"
+        );
+    }
+}
+
+#[test]
+fn synchronized_cases_need_only_sync_delays() {
+    // figure5 and barrier_exchange are fully synchronized: the refined set
+    // contains only pairs that involve a synchronization access.
+    for (name, src, procs) in &CASES[2..4] {
+        let cfg = cfg_of(src);
+        let analysis = analyze(&cfg);
+        for (u, v) in analysis.delay_sync.pairs() {
+            let ku = cfg.accesses.info(u).kind;
+            let kv = cfg.accesses.info(v).kind;
+            assert!(
+                ku.is_sync() || kv.is_sync(),
+                "{name}: data-data delay ({ku:?}, {kv:?}) survived refinement"
+            );
+        }
+        assert!(is_sc_preserving(&cfg, &analysis.delay_sync, *procs).unwrap());
+    }
+}
+
+#[test]
+fn figure1_delays_are_individually_necessary() {
+    // Minimality in the Shasha–Snir sense: dropping either of the two
+    // delay pairs re-admits a non-SC outcome.
+    let (_, src, procs) = &CASES[0];
+    let cfg = cfg_of(src);
+    let analysis = analyze(&cfg);
+    let pairs = analysis.delay_sync.pairs();
+    assert_eq!(pairs.len(), 2);
+    for skip in 0..pairs.len() {
+        let mut weakened = DelaySet::new(cfg.accesses.len());
+        for (i, (u, v)) in pairs.iter().enumerate() {
+            if i != skip {
+                weakened.insert(*u, *v);
+            }
+        }
+        assert!(
+            !is_sc_preserving(&cfg, &weakened, *procs).unwrap(),
+            "dropping pair {skip} should break SC"
+        );
+    }
+}
+
+#[test]
+fn weak_outcomes_shrink_as_delays_grow() {
+    for (name, src, procs) in CASES {
+        let cfg = cfg_of(src);
+        let analysis = analyze(&cfg);
+        let empty = DelaySet::new(cfg.accesses.len());
+        let all = weak_outcomes(&cfg, &empty, *procs).unwrap();
+        let with_sync = weak_outcomes(&cfg, &analysis.delay_sync, *procs).unwrap();
+        let with_ss = weak_outcomes(&cfg, &analysis.delay_ss, *procs).unwrap();
+        assert!(with_ss.is_subset(&with_sync) || with_ss == with_sync,
+            "{name}: D_SS admits outcomes the refined set forbids?");
+        assert!(
+            with_sync.is_subset(&all),
+            "{name}: delays must only remove behaviors"
+        );
+        // SC outcomes are always weakly reachable (delays never kill legal
+        // behavior entirely).
+        let sc = sc_outcomes(&cfg, *procs).unwrap();
+        assert!(
+            sc.is_subset(&all),
+            "{name}: SC outcomes must be weakly reachable with no delays"
+        );
+    }
+}
