@@ -44,11 +44,10 @@ pub fn remove_dead_code(cfg: &mut Cfg, stats: &mut OptStats) {
             let mut idx = 0;
             while idx < cfg.block(b).instrs.len() {
                 let kill = match &cfg.block(b).instrs[idx] {
-                    Instr::GetInit { dst, ctr, .. }
-                        if !live.live_after(cfg, b, idx, *dst) => {
-                            dead_ctrs.insert(*ctr);
-                            true
-                        }
+                    Instr::GetInit { dst, ctr, .. } if !live.live_after(cfg, b, idx, *dst) => {
+                        dead_ctrs.insert(*ctr);
+                        true
+                    }
                     Instr::GetShared { dst, .. } => !live.live_after(cfg, b, idx, *dst),
                     _ => false,
                 };
@@ -104,14 +103,9 @@ mod tests {
 
     #[test]
     fn dead_local_chain_is_removed() {
-        let (cfg, stats) = run(
-            "fn main() { int a; int b; a = 3; b = a + 1; work(7); }",
-        );
+        let (cfg, stats) = run("fn main() { int a; int b; a = 3; b = a + 1; work(7); }");
         assert!(stats.dead_locals_removed >= 2, "{stats:?}");
-        assert_eq!(
-            count(&cfg, |i| matches!(i, Instr::AssignLocal { .. })),
-            0
-        );
+        assert_eq!(count(&cfg, |i| matches!(i, Instr::AssignLocal { .. })), 0);
     }
 
     #[test]
@@ -139,16 +133,14 @@ mod tests {
     fn forwarding_residue_is_cleaned() {
         // After forwarding, the local copy feeding nothing is removed and
         // so is the copy chain behind it.
-        let (cfg, stats) = run(
-            r#"
+        let (cfg, stats) = run(r#"
             shared int A[64];
             fn main() {
                 int v;
                 A[MYPROC] = 5;
                 v = A[MYPROC];
             }
-            "#,
-        );
+            "#);
         // v = A[MYPROC] forwarded to v = 5, then removed as dead.
         assert_eq!(stats.gets_eliminated, 1);
         assert!(stats.dead_locals_removed >= 1, "{stats:?}");
@@ -159,9 +151,7 @@ mod tests {
 
     #[test]
     fn puts_are_never_touched_by_dce() {
-        let (cfg, _) = run(
-            "shared int A[64]; fn main() { A[MYPROC + 1] = 9; }",
-        );
+        let (cfg, _) = run("shared int A[64]; fn main() { A[MYPROC + 1] = 9; }");
         assert_eq!(count(&cfg, |i| matches!(i, Instr::PutInit { .. })), 1);
     }
 }

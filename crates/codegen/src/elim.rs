@@ -122,10 +122,10 @@ fn reuse_invalidated(
             | Instr::PutInit { dst, .. }
             | Instr::StoreInit { dst, .. }
                 if dst.var == loc.var
-                    && may_equal_same_proc(dst.index.as_ref(), loc.index.as_ref())
-                => {
-                    return true;
-                }
+                    && may_equal_same_proc(dst.index.as_ref(), loc.index.as_ref()) =>
+            {
+                return true;
+            }
             _ => {}
         }
     }
@@ -137,11 +137,7 @@ fn reuse_invalidated(
 /// any path between them (nor the end of the first block, nor the prefix
 /// of the second) can invalidate the cached value, and no delay edge
 /// separates the pair.
-pub fn eliminate_redundant_gets_cross_block(
-    cfg: &mut Cfg,
-    delay: &DelaySet,
-    stats: &mut OptStats,
-) {
+pub fn eliminate_redundant_gets_cross_block(cfg: &mut Cfg, delay: &DelaySet, stats: &mut OptStats) {
     use syncopt_ir::dom::Dominators;
     use syncopt_ir::order::ProgramOrder;
     let dom = Dominators::compute(cfg);
@@ -277,10 +273,10 @@ fn region_invalidates(instrs: &[Instr], loc: &SharedRef, dst1: VarId) -> bool {
             | Instr::PutInit { dst, .. }
             | Instr::StoreInit { dst, .. }
                 if dst.var == loc.var
-                    && may_equal_same_proc(dst.index.as_ref(), loc.index.as_ref())
-                => {
-                    return true;
-                }
+                    && may_equal_same_proc(dst.index.as_ref(), loc.index.as_ref()) =>
+            {
+                return true;
+            }
             _ => {}
         }
     }
@@ -383,10 +379,10 @@ fn forwarding_invalidated(
             | Instr::PutInit { dst, .. }
             | Instr::StoreInit { dst, .. }
                 if dst.var == loc.var
-                    && may_equal_same_proc(dst.index.as_ref(), loc.index.as_ref())
-                => {
-                    return true;
-                }
+                    && may_equal_same_proc(dst.index.as_ref(), loc.index.as_ref()) =>
+            {
+                return true;
+            }
             _ => {}
         }
     }
@@ -435,10 +431,7 @@ pub fn eliminate_overwritten_puts(cfg: &mut Cfg, analysis: &Analysis, stats: &mu
                         ..
                     } => {
                         if ref2.var == ref1.var
-                            && provably_equal_same_proc(
-                                ref2.index.as_ref(),
-                                ref1.index.as_ref(),
-                            )
+                            && provably_equal_same_proc(ref2.index.as_ref(), ref1.index.as_ref())
                             && !delay.contains(p1_access, *p2_access)
                         {
                             // Remove put1 and its adjacent sync.
@@ -465,10 +458,10 @@ pub fn eliminate_overwritten_puts(cfg: &mut Cfg, analysis: &Analysis, stats: &mu
                     // it must stay.
                     Instr::GetShared { src, .. } | Instr::GetInit { src, .. }
                         if src.var == ref1.var
-                            && may_equal_same_proc(src.index.as_ref(), ref1.index.as_ref())
-                        => {
-                            break;
-                        }
+                            && may_equal_same_proc(src.index.as_ref(), ref1.index.as_ref()) =>
+                    {
+                        break;
+                    }
                     _ => {}
                 }
             }
@@ -510,16 +503,14 @@ mod tests {
     fn second_get_after_wait_is_reused() {
         // Figure 9 (second case): post/wait ensures the put completed, so X
         // is stable; two reads collapse to one.
-        let (cfg, stats) = run(
-            r#"
+        let (cfg, stats) = run(r#"
             shared int X; flag F;
             fn main() {
                 int a; int b;
                 if (MYPROC == 0) { X = 5; post F; }
                 else { wait F; a = X; b = X; work(a + b); }
             }
-            "#,
-        );
+            "#);
         assert_eq!(stats.gets_eliminated, 1, "{stats:?}");
         assert_eq!(count(&cfg, |i| matches!(i, Instr::GetInit { .. })), 1);
     }
@@ -529,16 +520,14 @@ mod tests {
         // No synchronization: the two reads may legally see different
         // values (another processor writes X concurrently) — a delay edge
         // exists and reuse is refused.
-        let (cfg, stats) = run(
-            r#"
+        let (cfg, stats) = run(r#"
             shared int X;
             fn main() {
                 int a; int b;
                 if (MYPROC == 0) { X = 5; }
                 else { a = X; b = X; work(a + b); }
             }
-            "#,
-        );
+            "#);
         assert_eq!(stats.gets_eliminated, 0, "{stats:?}");
         assert_eq!(count(&cfg, |i| matches!(i, Instr::GetInit { .. })), 2);
     }
@@ -548,8 +537,7 @@ mod tests {
         // get; put; get — the second get must NOT reuse the first get's
         // value (the put intervened), but it MAY take the put's value
         // (forwarding), which is strictly better.
-        let (cfg, stats) = run(
-            r#"
+        let (cfg, stats) = run(r#"
             shared int A[64]; flag F;
             fn main() {
                 int a; int b;
@@ -559,24 +547,20 @@ mod tests {
                 b = A[MYPROC + 1];
                 work(a + b);
             }
-            "#,
-        );
+            "#);
         assert_eq!(stats.gets_eliminated, 1, "{stats:?}");
         // The first get survives; the second became `b = 9`.
         assert_eq!(count(&cfg, |i| matches!(i, Instr::GetInit { .. })), 1);
-        let forwarded = cfg
-            .blocks
-            .iter()
-            .flat_map(|bl| bl.instrs.iter())
-            .any(|i| matches!(i, Instr::AssignLocal { value, .. }
-                if *value == syncopt_ir::expr::Expr::Int(9)));
+        let forwarded = cfg.blocks.iter().flat_map(|bl| bl.instrs.iter()).any(|i| {
+            matches!(i, Instr::AssignLocal { value, .. }
+                if *value == syncopt_ir::expr::Expr::Int(9))
+        });
         assert!(forwarded, "second get should take the put's value");
     }
 
     #[test]
     fn index_redefinition_blocks_reuse() {
-        let (_cfg, stats) = run(
-            r#"
+        let (_cfg, stats) = run(r#"
             shared int A[64]; flag F;
             fn main() {
                 int i; int a; int b;
@@ -587,8 +571,7 @@ mod tests {
                 b = A[i];
                 work(a + b);
             }
-            "#,
-        );
+            "#);
         assert_eq!(stats.gets_eliminated, 0, "{stats:?}");
     }
 
@@ -596,15 +579,13 @@ mod tests {
     fn overwritten_put_is_dropped() {
         // Two successive writes to the same element with no reader in
         // between and no cross-processor observer (owner slot): write-back.
-        let (cfg, stats) = run(
-            r#"
+        let (cfg, stats) = run(r#"
             shared int A[64];
             fn main() {
                 A[MYPROC] = 1;
                 A[MYPROC] = 2;
             }
-            "#,
-        );
+            "#);
         assert_eq!(stats.puts_eliminated, 1, "{stats:?}");
         assert_eq!(count(&cfg, |i| matches!(i, Instr::PutInit { .. })), 1);
     }
@@ -613,16 +594,14 @@ mod tests {
     fn observable_put_is_kept() {
         // A racy reader elsewhere: the delay edge between the two writes
         // keeps both.
-        let (_cfg, stats) = run(
-            r#"
+        let (_cfg, stats) = run(r#"
             shared int X;
             fn main() {
                 int v;
                 if (MYPROC == 0) { X = 1; X = 2; }
                 else { v = X; work(v); }
             }
-            "#,
-        );
+            "#);
         assert_eq!(stats.puts_eliminated, 0, "{stats:?}");
     }
 
@@ -631,8 +610,7 @@ mod tests {
         // put; get; put — without forwarding, the intervening read pins
         // the first put. Forwarding turns the read into `v = 1`, after
         // which the first put is dead and write-back removes it.
-        let (cfg, stats) = run(
-            r#"
+        let (cfg, stats) = run(r#"
             shared int A[64];
             fn main() {
                 int v;
@@ -641,8 +619,7 @@ mod tests {
                 A[MYPROC] = 2;
                 work(v);
             }
-            "#,
-        );
+            "#);
         assert_eq!(stats.gets_eliminated, 1, "{stats:?}");
         assert_eq!(stats.puts_eliminated, 1, "{stats:?}");
         assert_eq!(count(&cfg, |i| matches!(i, Instr::PutInit { .. })), 1);
@@ -749,8 +726,7 @@ mod tests {
     fn put_value_forwards_to_following_get() {
         // Own-slot write then read-back: the read becomes a local
         // re-evaluation and the put survives (others may read it later).
-        let (cfg, stats) = run(
-            r#"
+        let (cfg, stats) = run(r#"
             shared int A[64];
             fn main() {
                 int v;
@@ -758,8 +734,7 @@ mod tests {
                 v = A[MYPROC];
                 work(v);
             }
-            "#,
-        );
+            "#);
         assert_eq!(stats.gets_eliminated, 1, "{stats:?}");
         assert_eq!(count(&cfg, |i| matches!(i, Instr::GetInit { .. })), 0);
         assert_eq!(count(&cfg, |i| matches!(i, Instr::PutInit { .. })), 1);
@@ -767,8 +742,7 @@ mod tests {
 
     #[test]
     fn forwarding_blocked_by_operand_redefinition() {
-        let (_cfg, stats) = run(
-            r#"
+        let (_cfg, stats) = run(r#"
             shared int A[64];
             fn main() {
                 int k; int v;
@@ -778,8 +752,7 @@ mod tests {
                 v = A[MYPROC];
                 work(v + k);
             }
-            "#,
-        );
+            "#);
         assert_eq!(stats.gets_eliminated, 0, "{stats:?}");
     }
 
@@ -787,8 +760,7 @@ mod tests {
     fn forwarding_blocked_by_racy_location() {
         // Another processor writes the same scalar: a delay edge separates
         // the pair and forwarding must not happen.
-        let (_cfg, stats) = run(
-            r#"
+        let (_cfg, stats) = run(r#"
             shared int X;
             fn main() {
                 int v;
@@ -796,8 +768,7 @@ mod tests {
                 v = X;
                 work(v);
             }
-            "#,
-        );
+            "#);
         assert_eq!(stats.gets_eliminated, 0, "{stats:?}");
     }
 
@@ -805,8 +776,7 @@ mod tests {
     fn forwarding_enables_write_back() {
         // put; get (forwarded); put — after forwarding, the first put has
         // no observer left and the write-back pass removes it.
-        let (cfg, stats) = run(
-            r#"
+        let (cfg, stats) = run(r#"
             shared int A[64];
             fn main() {
                 int v;
@@ -814,8 +784,7 @@ mod tests {
                 v = A[MYPROC];
                 A[MYPROC] = v + 1;
             }
-            "#,
-        );
+            "#);
         assert_eq!(stats.gets_eliminated, 1, "{stats:?}");
         assert_eq!(stats.puts_eliminated, 1, "{stats:?}");
         assert_eq!(count(&cfg, |i| matches!(i, Instr::PutInit { .. })), 1);
@@ -823,8 +792,7 @@ mod tests {
 
     #[test]
     fn distinct_elements_are_untouched() {
-        let (_cfg, stats) = run(
-            r#"
+        let (_cfg, stats) = run(r#"
             shared int A[64]; flag F;
             fn main() {
                 int a; int b;
@@ -834,8 +802,7 @@ mod tests {
                 A[MYPROC] = a;
                 A[MYPROC + 32] = b;
             }
-            "#,
-        );
+            "#);
         assert_eq!(stats.gets_eliminated, 0);
         assert_eq!(stats.puts_eliminated, 0);
     }

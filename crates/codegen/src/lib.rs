@@ -105,12 +105,7 @@ pub struct Optimized {
 ///
 /// Panics if `analysis` was computed for a different CFG (access-count
 /// mismatch).
-pub fn optimize(
-    cfg: &Cfg,
-    analysis: &Analysis,
-    level: OptLevel,
-    choice: DelayChoice,
-) -> Optimized {
+pub fn optimize(cfg: &Cfg, analysis: &Analysis, level: OptLevel, choice: DelayChoice) -> Optimized {
     assert_eq!(
         analysis.delay_ss.num_accesses(),
         cfg.accesses.len(),
@@ -183,7 +178,12 @@ mod tests {
         let src = "shared int X; fn main() { int v; v = X; X = v + 1; }";
         let cfg = lower_main(&prepare_program(src).unwrap()).unwrap();
         let analysis = analyze(&cfg);
-        let opt = optimize(&cfg, &analysis, OptLevel::Blocking, DelayChoice::SyncRefined);
+        let opt = optimize(
+            &cfg,
+            &analysis,
+            OptLevel::Blocking,
+            DelayChoice::SyncRefined,
+        );
         assert_eq!(opt.cfg, cfg);
         assert_eq!(opt.stats, OptStats::default());
     }
@@ -221,11 +221,7 @@ mod tests {
             OptLevel::OneWay,
             DelayChoice::SyncRefined,
         );
-        assert_eq!(
-            opt.stats.puts_to_stores, 1,
-            "stats: {:?}",
-            opt.stats
-        );
+        assert_eq!(opt.stats.puts_to_stores, 1, "stats: {:?}", opt.stats);
         assert_eq!(count(&opt.cfg, |i| matches!(i, Instr::StoreInit { .. })), 1);
         assert_eq!(count(&opt.cfg, |i| matches!(i, Instr::PutInit { .. })), 0);
     }

@@ -131,10 +131,7 @@ pub fn move_syncs(cfg: &mut Cfg, delay: &DelaySet, ctr_map: &CtrMap, stats: &mut
                         i += 1;
                         continue;
                     }
-                    if succs
-                        .iter()
-                        .any(|&s| enters_foreign_loop(&loops, b, s))
-                    {
+                    if succs.iter().any(|&s| enters_foreign_loop(&loops, b, s)) {
                         parked.insert((b, ctr));
                         i += 1;
                         continue;
@@ -339,12 +336,7 @@ fn stable_index(e: &Expr) -> bool {
 }
 
 /// Pulls initiations backward within their blocks.
-pub fn move_initiations(
-    cfg: &mut Cfg,
-    delay: &DelaySet,
-    ctr_map: &CtrMap,
-    stats: &mut OptStats,
-) {
+pub fn move_initiations(cfg: &mut Cfg, delay: &DelaySet, ctr_map: &CtrMap, stats: &mut OptStats) {
     let injective = iteration_injective_accesses(cfg);
     for b in cfg.block_ids().collect::<Vec<_>>() {
         let mut i = 1;
@@ -452,9 +444,8 @@ mod tests {
         // get; sync; work → get; work; ...; sync (possibly in a later
         // block: the destination is never used, so the sync can ride to
         // the exit).
-        let (cfg, stats) = run(
-            "shared int A[64]; fn main() { int v; v = A[MYPROC + 1]; work(100); }",
-        );
+        let (cfg, stats) =
+            run("shared int A[64]; fn main() { int v; v = A[MYPROC + 1]; work(100); }");
         let kinds = entry_kinds(&cfg);
         let get_pos = kinds.iter().position(|k| k.contains("GetInit")).unwrap();
         let work_pos = kinds.iter().position(|k| k.contains("Work")).unwrap();
@@ -476,20 +467,20 @@ mod tests {
 
     #[test]
     fn sync_stops_at_use_of_get_destination() {
-        let (cfg, _) = run(
-            "shared int A[64]; fn main() { int v; v = A[MYPROC + 1]; work(v); }",
-        );
+        let (cfg, _) = run("shared int A[64]; fn main() { int v; v = A[MYPROC + 1]; work(v); }");
         let kinds = entry_kinds(&cfg);
         let work_pos = kinds.iter().position(|k| k.contains("Work")).unwrap();
         let sync_pos = kinds.iter().position(|k| k.contains("SyncCtr")).unwrap();
-        assert!(sync_pos < work_pos, "sync must complete before use: {kinds:?}");
+        assert!(
+            sync_pos < work_pos,
+            "sync must complete before use: {kinds:?}"
+        );
     }
 
     #[test]
     fn two_gets_pipeline_without_conflicts() {
         // Both initiations issue before either sync (message pipelining).
-        let (cfg, _) = run(
-            r#"
+        let (cfg, _) = run(r#"
             shared int A[64]; shared int B[64];
             fn main() {
                 int x; int y;
@@ -497,8 +488,7 @@ mod tests {
                 y = B[MYPROC + 1];
                 work(x + y);
             }
-            "#,
-        );
+            "#);
         let kinds = entry_kinds(&cfg);
         let inits: Vec<usize> = kinds
             .iter()
@@ -522,9 +512,7 @@ mod tests {
 
     #[test]
     fn sync_stops_at_barrier() {
-        let (cfg, _) = run(
-            "shared int A[64]; fn main() { A[MYPROC + 1] = 3; work(50); barrier; }",
-        );
+        let (cfg, _) = run("shared int A[64]; fn main() { A[MYPROC + 1] = 3; work(50); barrier; }");
         let kinds = entry_kinds(&cfg);
         let sync_pos = kinds.iter().position(|k| k.contains("SyncCtr")).unwrap();
         let barrier_pos = kinds.iter().position(|k| k.contains("Barrier")).unwrap();
@@ -538,8 +526,7 @@ mod tests {
     #[test]
     fn sync_propagates_through_branches_and_merges() {
         // Figure 8 shape: the sync duplicates into both arms.
-        let (cfg, _) = run(
-            r#"
+        let (cfg, _) = run(r#"
             shared int X; shared int Z;
             fn main() {
                 int x; int y; int z;
@@ -549,8 +536,7 @@ mod tests {
                 z = 1;
                 work(z);
             }
-            "#,
-        );
+            "#);
         // The get's sync must appear before `y = x + 1` in the then-arm and
         // may float into the join/other arm as a copy.
         let all: Vec<(usize, String)> = cfg
@@ -584,16 +570,14 @@ mod tests {
 
     #[test]
     fn sync_does_not_enter_foreign_loop() {
-        let (cfg, _) = run(
-            r#"
+        let (cfg, _) = run(r#"
             shared int A[64];
             fn main() {
                 int i;
                 A[MYPROC + 1] = 1;
                 for (i = 0; i < 100; i = i + 1) { work(5); }
             }
-            "#,
-        );
+            "#);
         // The put's sync must not be inside the loop body or header.
         let dom = Dominators::compute(&cfg);
         let loops = find_loops(&cfg, &dom);
@@ -610,9 +594,8 @@ mod tests {
 
     #[test]
     fn initiation_moves_before_independent_work() {
-        let (cfg, stats) = run(
-            "shared int A[64]; fn main() { int v; work(100); v = A[MYPROC + 1]; work(v); }",
-        );
+        let (cfg, stats) =
+            run("shared int A[64]; fn main() { int v; work(100); v = A[MYPROC + 1]; work(v); }");
         let kinds = entry_kinds(&cfg);
         let get_pos = kinds.iter().position(|k| k.contains("GetInit")).unwrap();
         let first_work = kinds.iter().position(|k| k.contains("Work")).unwrap();
@@ -622,13 +605,18 @@ mod tests {
 
     #[test]
     fn initiation_stops_at_operand_definition() {
-        let (cfg, _) = run(
-            "shared int A[64]; fn main() { int i; i = MYPROC + 1; int v; v = A[i]; }",
-        );
+        let (cfg, _) =
+            run("shared int A[64]; fn main() { int i; i = MYPROC + 1; int v; v = A[i]; }");
         let kinds = entry_kinds(&cfg);
-        let assign = kinds.iter().position(|k| k.contains("AssignLocal")).unwrap();
+        let assign = kinds
+            .iter()
+            .position(|k| k.contains("AssignLocal"))
+            .unwrap();
         let get_pos = kinds.iter().position(|k| k.contains("GetInit")).unwrap();
-        assert!(assign < get_pos, "get cannot pass def of its index: {kinds:?}");
+        assert!(
+            assign < get_pos,
+            "get cannot pass def of its index: {kinds:?}"
+        );
     }
 
     #[test]
@@ -638,28 +626,26 @@ mod tests {
         let (cfg, _) = run("shared int X; fn main() { int v; X = 1; v = X; work(v); }");
         let kinds = entry_kinds(&cfg);
         let put = kinds.iter().position(|k| k.contains("PutInit")).unwrap();
-        let put_sync = kinds
-            .iter()
-            .position(|k| k.contains("SyncCtr"))
-            .unwrap();
+        let put_sync = kinds.iter().position(|k| k.contains("SyncCtr")).unwrap();
         let get = kinds.iter().position(|k| k.contains("GetInit")).unwrap();
         assert!(put < get, "{kinds:?}");
-        assert!(put_sync < get, "write must complete before same-location read: {kinds:?}");
+        assert!(
+            put_sync < get,
+            "write must complete before same-location read: {kinds:?}"
+        );
     }
 
     #[test]
     fn delay_edges_block_motion() {
         // Figure 1 producer: Write Data must complete before Write Flag.
-        let (cfg, _) = run(
-            r#"
+        let (cfg, _) = run(r#"
             shared int Data; shared int Flag;
             fn main() {
                 int v;
                 if (MYPROC == 0) { Data = 1; Flag = 1; }
                 else { v = Flag; v = Data; }
             }
-            "#,
-        );
+            "#);
         // Find the block holding the two producer puts.
         for b in cfg.block_ids() {
             let instrs = &cfg.block(b).instrs;

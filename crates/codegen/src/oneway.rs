@@ -104,8 +104,7 @@ mod tests {
 
     #[test]
     fn put_with_sync_at_barrier_becomes_store() {
-        let (cfg, stats) = run(
-            r#"
+        let (cfg, stats) = run(r#"
             shared int A[64];
             fn main() {
                 int v;
@@ -115,8 +114,7 @@ mod tests {
                 v = A[MYPROC];
                 work(v);
             }
-            "#,
-        );
+            "#);
         assert_eq!(stats.puts_to_stores, 1);
         assert_eq!(count(&cfg, |i| matches!(i, Instr::StoreInit { .. })), 1);
         assert_eq!(count(&cfg, |i| matches!(i, Instr::PutInit { .. })), 0);
@@ -126,9 +124,7 @@ mod tests {
 
     #[test]
     fn put_without_barrier_keeps_ack() {
-        let (cfg, stats) = run(
-            "shared int A[64]; fn main() { A[MYPROC + 1] = 7; work(10); }",
-        );
+        let (cfg, stats) = run("shared int A[64]; fn main() { A[MYPROC + 1] = 7; work(10); }");
         assert_eq!(stats.puts_to_stores, 0);
         assert_eq!(count(&cfg, |i| matches!(i, Instr::PutInit { .. })), 1);
         assert_eq!(count(&cfg, |i| matches!(i, Instr::StoreInit { .. })), 0);
@@ -138,8 +134,7 @@ mod tests {
     fn put_whose_sync_is_blocked_by_use_keeps_ack() {
         // Same-location read forces the sync before the read, not at the
         // barrier.
-        let (cfg, stats) = run(
-            r#"
+        let (cfg, stats) = run(r#"
             shared int X;
             fn main() {
                 int v;
@@ -148,25 +143,22 @@ mod tests {
                 work(v);
                 barrier;
             }
-            "#,
-        );
+            "#);
         assert_eq!(stats.puts_to_stores, 0);
         assert!(count(&cfg, |i| matches!(i, Instr::PutInit { .. })) >= 1);
     }
 
     #[test]
     fn gets_are_never_converted() {
-        let (cfg, stats) = run(
-            "shared int A[64]; fn main() { int v; v = A[MYPROC + 1]; barrier; work(v); }",
-        );
+        let (cfg, stats) =
+            run("shared int A[64]; fn main() { int v; v = A[MYPROC + 1]; barrier; work(v); }");
         assert_eq!(stats.puts_to_stores, 0);
         assert_eq!(count(&cfg, |i| matches!(i, Instr::GetInit { .. })), 1);
     }
 
     #[test]
     fn loop_put_with_barrier_each_iteration_converts() {
-        let (cfg, stats) = run(
-            r#"
+        let (cfg, stats) = run(r#"
             shared int A[64];
             fn main() {
                 int i;
@@ -176,8 +168,7 @@ mod tests {
                     barrier;
                 }
             }
-            "#,
-        );
+            "#);
         assert_eq!(stats.puts_to_stores, 1, "{stats:?}");
         assert_eq!(count(&cfg, |i| matches!(i, Instr::StoreInit { .. })), 1);
     }

@@ -93,9 +93,8 @@ mod tests {
 
     #[test]
     fn each_access_gets_its_own_counter() {
-        let (cfg, map, stats) = split(
-            "shared int X; shared int Y; fn main() { int v; v = X; Y = v; Y = v + 1; }",
-        );
+        let (cfg, map, stats) =
+            split("shared int X; shared int Y; fn main() { int v; v = X; Y = v; Y = v + 1; }");
         assert_eq!(stats.gets_split, 1);
         assert_eq!(stats.puts_split, 2);
         assert_eq!(map.len(), 3);
@@ -125,14 +124,8 @@ mod tests {
 
     #[test]
     fn sync_and_local_ops_are_untouched() {
-        let (cfg, _, _) = split(
-            "flag f; fn main() { int a; a = 1; work(a); barrier; post f; }",
-        );
-        let kinds: Vec<&Instr> = cfg
-            .blocks
-            .iter()
-            .flat_map(|b| b.instrs.iter())
-            .collect();
+        let (cfg, _, _) = split("flag f; fn main() { int a; a = 1; work(a); barrier; post f; }");
+        let kinds: Vec<&Instr> = cfg.blocks.iter().flat_map(|b| b.instrs.iter()).collect();
         assert!(kinds.iter().any(|i| matches!(i, Instr::AssignLocal { .. })));
         assert!(kinds.iter().any(|i| matches!(i, Instr::Work { .. })));
         assert!(kinds.iter().any(|i| matches!(i, Instr::Barrier { .. })));
@@ -142,9 +135,7 @@ mod tests {
 
     #[test]
     fn access_positions_are_refreshed() {
-        let (cfg, _, _) = split(
-            "shared int X; shared int Y; fn main() { int v; v = X; Y = v; }",
-        );
+        let (cfg, _, _) = split("shared int X; shared int Y; fn main() { int v; v = X; Y = v; }");
         for (id, _) in cfg.accesses.iter() {
             assert!(
                 cfg.instr_for_access(id).is_some(),

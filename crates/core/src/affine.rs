@@ -7,10 +7,10 @@
 //! of the form `c0 + c1·MYPROC` (plus terms in locals, which defeat the
 //! analysis conservatively).
 
+use std::collections::BTreeMap;
 use syncopt_frontend::ast::{BinOp, UnOp};
 use syncopt_ir::expr::Expr;
 use syncopt_ir::ids::VarId;
-use std::collections::BTreeMap;
 
 /// An affine subscript `konst + myproc·MYPROC + Σ coeffs[v]·v`.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -149,8 +149,7 @@ pub fn may_conflict_cross_proc_bounded(
                 let collision = (0..procs as i64).any(|p| {
                     (0..procs as i64).any(|q| {
                         p != q
-                            && (a1.konst + a1.myproc * p - a2.konst - a2.myproc * q)
-                                .rem_euclid(m)
+                            && (a1.konst + a1.myproc * p - a2.konst - a2.myproc * q).rem_euclid(m)
                                 == 0
                     })
                 });

@@ -183,10 +183,7 @@ pub fn barrier_precedence_edges(
     for &b1 in aligned {
         out.push((b1, b1));
         for &b2 in aligned {
-            if b1 != b2
-                && po.access_precedes(cfg, b1, b2)
-                && !po.access_precedes(cfg, b2, b1)
-            {
+            if b1 != b2 && po.access_precedes(cfg, b1, b2) && !po.access_precedes(cfg, b2, b1) {
                 out.push((b1, b2));
             }
         }
@@ -220,9 +217,8 @@ mod tests {
 
     #[test]
     fn barrier_in_uniform_loop_aligns() {
-        let cfg = cfg_of(
-            "fn main() { int i; for (i = 0; i < 8; i = i + 1) { barrier; work(1); } }",
-        );
+        let cfg =
+            cfg_of("fn main() { int i; for (i = 0; i < 8; i = i + 1) { barrier; work(1); } }");
         let aligned = aligned_barriers(&cfg, BarrierPolicy::Static);
         assert_eq!(aligned.len(), 1, "trip count is processor-independent");
     }
@@ -244,9 +240,7 @@ mod tests {
     #[test]
     fn barrier_in_loop_with_tainted_bound_does_not_align() {
         // Trip count depends on MYPROC.
-        let cfg = cfg_of(
-            "fn main() { int i; for (i = 0; i < MYPROC; i = i + 1) { barrier; } }",
-        );
+        let cfg = cfg_of("fn main() { int i; for (i = 0; i < MYPROC; i = i + 1) { barrier; } }");
         let aligned = aligned_barriers(&cfg, BarrierPolicy::Static);
         assert!(aligned.is_empty());
     }
@@ -255,9 +249,7 @@ mod tests {
     fn barrier_after_myproc_branch_rejoins_and_aligns() {
         // The branch is processor-dependent, but the barrier postdominates
         // the join, so every processor reaches it exactly once.
-        let cfg = cfg_of(
-            "shared int X; fn main() { if (MYPROC == 0) { X = 1; } barrier; }",
-        );
+        let cfg = cfg_of("shared int X; fn main() { if (MYPROC == 0) { X = 1; } barrier; }");
         let aligned = aligned_barriers(&cfg, BarrierPolicy::Static);
         assert_eq!(aligned.len(), 1);
     }

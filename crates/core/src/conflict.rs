@@ -141,9 +141,7 @@ fn sites_conflict(
         // Event operations: a post modifies the event; two waits only
         // observe it.
         (Wait, Wait) => false,
-        (Post | Wait, Post | Wait) => {
-            a.var == b.var && guarded_collision(a, b, ga, gb, procs)
-        }
+        (Post | Wait, Post | Wait) => a.var == b.var && guarded_collision(a, b, ga, gb, procs),
         // Lock operations on the same lock all modify it (guards still
         // apply: a lock op under `MYPROC == 0` cannot race with itself).
         (LockAcq | LockRel, LockAcq | LockRel) => {
@@ -257,9 +255,7 @@ mod tests {
 
     #[test]
     fn owner_computes_writes_do_not_conflict() {
-        let (cfg, c) = conflicts_of(
-            "shared int A[64]; fn main() { A[MYPROC] = 1; }",
-        );
+        let (cfg, c) = conflicts_of("shared int A[64]; fn main() { A[MYPROC] = 1; }");
         let a = ids(&cfg);
         assert!(!c.conflicts(a[0], a[0]), "A[MYPROC] is per-processor");
     }
@@ -275,9 +271,7 @@ mod tests {
 
     #[test]
     fn reads_never_conflict() {
-        let (cfg, c) = conflicts_of(
-            "shared int X; fn main() { int v; v = X; v = X; }",
-        );
+        let (cfg, c) = conflicts_of("shared int X; fn main() { int v; v = X; v = X; }");
         let a = ids(&cfg);
         assert!(!c.conflicts(a[0], a[1]));
         assert_eq!(c.unordered_pairs().len(), 0);
@@ -314,9 +308,7 @@ mod tests {
 
     #[test]
     fn data_and_sync_do_not_conflict() {
-        let (cfg, c) = conflicts_of(
-            "shared int X; flag f; fn main() { X = 1; post f; barrier; }",
-        );
+        let (cfg, c) = conflicts_of("shared int X; flag f; fn main() { X = 1; post f; barrier; }");
         let a = ids(&cfg);
         assert!(!c.conflicts(a[0], a[1]));
         assert!(!c.conflicts(a[0], a[2]));
@@ -325,9 +317,7 @@ mod tests {
 
     #[test]
     fn direction_removal() {
-        let (cfg, mut c) = conflicts_of(
-            "shared int X; fn main() { int v; X = 1; v = X; }",
-        );
+        let (cfg, mut c) = conflicts_of("shared int X; fn main() { int v; X = 1; v = X; }");
         let a = ids(&cfg);
         assert!(c.edge(a[0], a[1]) && c.edge(a[1], a[0]));
         let before = c.num_directed_edges();

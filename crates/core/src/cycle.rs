@@ -281,9 +281,7 @@ mod tests {
     #[test]
     fn independent_variables_need_no_delay() {
         // Each processor works on its own array slot: no conflicts at all.
-        let (cfg, d) = delays(
-            "shared int A[64]; fn main() { A[MYPROC] = 1; A[MYPROC] = 2; }",
-        );
+        let (cfg, d) = delays("shared int A[64]; fn main() { A[MYPROC] = 1; A[MYPROC] = 2; }");
         assert!(d.is_empty(), "unexpected delays: {:?}", d.pairs());
         assert_eq!(cfg.accesses.len(), 2);
     }
@@ -292,9 +290,8 @@ mod tests {
     fn racy_accumulate_requires_delays() {
         // Two unsynchronized writes to the same scalar from all processors,
         // interleaved with reads — classic cycle.
-        let (_cfg, d) = delays(
-            "shared int X; shared int Y; fn main() { int v; X = 1; v = Y; Y = 2; }",
-        );
+        let (_cfg, d) =
+            delays("shared int X; shared int Y; fn main() { int v; X = 1; v = Y; Y = 2; }");
         assert!(!d.is_empty());
     }
 
@@ -319,18 +316,13 @@ mod tests {
         let wx = cfg
             .accesses
             .iter()
-            .find(|(_, i)| {
-                i.kind == AccessKind::Write
-                    && cfg.vars.info(i.var.unwrap()).name == "X"
-            })
+            .find(|(_, i)| i.kind == AccessKind::Write && cfg.vars.info(i.var.unwrap()).name == "X")
             .unwrap()
             .0;
         let ry = cfg
             .accesses
             .iter()
-            .find(|(_, i)| {
-                i.kind == AccessKind::Read && cfg.vars.info(i.var.unwrap()).name == "Y"
-            })
+            .find(|(_, i)| i.kind == AccessKind::Read && cfg.vars.info(i.var.unwrap()).name == "Y")
             .unwrap()
             .0;
         assert!(d.contains(wx, ry));

@@ -1,0 +1,625 @@
+//! Shared diagnostics framework for the static analyses.
+//!
+//! Every static finding — synchronization warnings ([`crate::warnings`])
+//! and data-race reports ([`crate::races`]) — is rendered through one
+//! [`Diagnostic`] type carrying a stable code, a severity, a primary
+//! source [`Span`], and attached notes. Two renderers are provided:
+//!
+//! * [`Diagnostic::render`] — a rustc-style human format with the source
+//!   line and a caret underline;
+//! * [`Diagnostic::to_json`] — a machine format built on the std-only
+//!   JSON [`json::Value`] (no serde), used by `syncoptc check --format
+//!   json`.
+//!
+//! Diagnostic codes are documented, with minimal triggering programs, in
+//! `docs/DIAGNOSTICS.md`.
+
+use std::fmt;
+use syncopt_frontend::span::Span;
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational; never affects the exit status.
+    Note,
+    /// Suspicious but not certainly wrong; fails `--strict` runs.
+    Warning,
+    /// Definitely wrong; `syncoptc check` exits nonzero.
+    Error,
+}
+
+impl Severity {
+    /// The lowercase label used in both renderers.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+
+    /// Parses a [`Severity::label`] back (for JSON round-trips).
+    pub fn from_label(s: &str) -> Option<Self> {
+        match s {
+            "note" => Some(Severity::Note),
+            "warning" => Some(Severity::Warning),
+            "error" => Some(Severity::Error),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A secondary message attached to a [`Diagnostic`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Note {
+    /// The note text.
+    pub message: String,
+    /// An optional source location the note refers to.
+    pub span: Option<Span>,
+}
+
+/// One finding of a static analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable machine-readable code (`W...` for warnings, `R...` for
+    /// races); see `docs/DIAGNOSTICS.md`.
+    pub code: &'static str,
+    /// Severity level.
+    pub severity: Severity,
+    /// Primary human-readable message.
+    pub message: String,
+    /// Primary source location.
+    pub span: Span,
+    /// Secondary locations and explanations.
+    pub notes: Vec<Note>,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic with no notes.
+    pub fn new(
+        code: &'static str,
+        severity: Severity,
+        message: impl Into<String>,
+        span: Span,
+    ) -> Self {
+        Diagnostic {
+            code,
+            severity,
+            message: message.into(),
+            span,
+            notes: Vec::new(),
+        }
+    }
+
+    /// Attaches a note (builder style).
+    #[must_use]
+    pub fn with_note(mut self, message: impl Into<String>, span: Option<Span>) -> Self {
+        self.notes.push(Note {
+            message: message.into(),
+            span,
+        });
+        self
+    }
+
+    /// Renders the diagnostic rustc-style against the original source:
+    ///
+    /// ```text
+    /// error[R001]: write-write race on `Data`
+    ///   --> programs/racy.ms:4:5
+    ///    |
+    ///  4 |     Data = MYPROC;
+    ///    |     ^^^^^^^^^^^^^
+    ///    = note: the racing instance executes on a different processor
+    /// ```
+    pub fn render(&self, src: &str, file: &str) -> String {
+        let mut out = String::new();
+        let (line, col) = self.span.line_col(src);
+        out.push_str(&format!(
+            "{}[{}]: {}\n  --> {}:{}:{}\n",
+            self.severity, self.code, self.message, file, line, col
+        ));
+        render_snippet(&mut out, src, self.span);
+        for note in &self.notes {
+            match note.span {
+                Some(s) => {
+                    let (nl, nc) = s.line_col(src);
+                    out.push_str(&format!(
+                        "   = note: {} ({}:{}:{})\n",
+                        note.message, file, nl, nc
+                    ));
+                    render_snippet(&mut out, src, s);
+                }
+                None => out.push_str(&format!("   = note: {}\n", note.message)),
+            }
+        }
+        out
+    }
+
+    /// Converts the diagnostic to the JSON object emitted by
+    /// `syncoptc check --format json`. Line/column fields are resolved
+    /// against `src` so consumers need not re-read the source.
+    pub fn to_json(&self, src: &str) -> json::Value {
+        let notes = self
+            .notes
+            .iter()
+            .map(|n| {
+                let mut fields = vec![("message".to_string(), json::Value::Str(n.message.clone()))];
+                if let Some(s) = n.span {
+                    fields.push(("span".to_string(), span_to_json(s, src)));
+                }
+                json::Value::Obj(fields)
+            })
+            .collect();
+        json::Value::Obj(vec![
+            ("code".to_string(), json::Value::Str(self.code.to_string())),
+            (
+                "severity".to_string(),
+                json::Value::Str(self.severity.label().to_string()),
+            ),
+            (
+                "message".to_string(),
+                json::Value::Str(self.message.clone()),
+            ),
+            ("span".to_string(), span_to_json(self.span, src)),
+            ("notes".to_string(), json::Value::Arr(notes)),
+        ])
+    }
+}
+
+/// A span as a JSON object with both byte offsets and line/column.
+fn span_to_json(span: Span, src: &str) -> json::Value {
+    let (line, col) = span.line_col(src);
+    json::Value::Obj(vec![
+        ("start".to_string(), json::Value::Int(i64::from(span.start))),
+        ("end".to_string(), json::Value::Int(i64::from(span.end))),
+        ("line".to_string(), json::Value::Int(line as i64)),
+        ("col".to_string(), json::Value::Int(col as i64)),
+    ])
+}
+
+/// Appends the `NN | <source line>` + caret-underline gutter for `span`.
+fn render_snippet(out: &mut String, src: &str, span: Span) {
+    let start = (span.start as usize).min(src.len());
+    let line_start = src[..start].rfind('\n').map_or(0, |i| i + 1);
+    let line_end = src[line_start..]
+        .find('\n')
+        .map_or(src.len(), |i| line_start + i);
+    let line_text = &src[line_start..line_end];
+    let line_no = src[..start].bytes().filter(|&b| b == b'\n').count() + 1;
+    let col = start - line_start;
+    // Caret width: clamp the span to the first line it touches; zero-width
+    // (synthesized) spans still get one caret.
+    let width = (span.end as usize)
+        .min(line_end)
+        .saturating_sub(start)
+        .max(1);
+    let gutter = line_no.to_string().len().max(2);
+    out.push_str(&format!("{:gutter$} |\n", "", gutter = gutter));
+    out.push_str(&format!(
+        "{:>gutter$} | {}\n",
+        line_no,
+        line_text,
+        gutter = gutter
+    ));
+    out.push_str(&format!(
+        "{:gutter$} | {}{}\n",
+        "",
+        " ".repeat(col),
+        "^".repeat(width),
+        gutter = gutter
+    ));
+}
+
+/// Sorts diagnostics deterministically: by severity (errors first), then
+/// source position, then code.
+pub fn sort_diagnostics(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        b.severity
+            .cmp(&a.severity)
+            .then(a.span.cmp(&b.span))
+            .then(a.code.cmp(b.code))
+    });
+}
+
+pub mod json {
+    //! A minimal JSON value: hand-rolled emitter **and** parser, std-only.
+    //!
+    //! The emitter produces canonical output (no whitespace ambiguity),
+    //! and the parser accepts exactly the JSON this crate emits plus
+    //! ordinary whitespace — enough to round-trip `syncoptc check
+    //! --format json` output without serde.
+
+    use std::fmt;
+
+    /// A JSON value. Numbers are restricted to `i64`: every quantity the
+    /// diagnostics pipeline emits (offsets, lines, counts) is integral.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum Value {
+        /// `null`
+        Null,
+        /// `true` / `false`
+        Bool(bool),
+        /// An integer number.
+        Int(i64),
+        /// A string.
+        Str(String),
+        /// An array.
+        Arr(Vec<Value>),
+        /// An object; insertion order is preserved.
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// Looks up a key in an object value.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        /// The string payload, if this is a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The integer payload, if this is a number.
+        pub fn as_int(&self) -> Option<i64> {
+            match self {
+                Value::Int(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        /// The element list, if this is an array.
+        pub fn as_arr(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(items) => Some(items),
+                _ => None,
+            }
+        }
+
+        /// Parses a JSON document.
+        ///
+        /// # Errors
+        ///
+        /// Returns a description of the first syntax error.
+        pub fn parse(text: &str) -> Result<Value, String> {
+            let mut p = Parser {
+                bytes: text.as_bytes(),
+                pos: 0,
+            };
+            p.skip_ws();
+            let v = p.value()?;
+            p.skip_ws();
+            if p.pos != p.bytes.len() {
+                return Err(format!("trailing input at byte {}", p.pos));
+            }
+            Ok(v)
+        }
+    }
+
+    impl fmt::Display for Value {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                Value::Null => f.write_str("null"),
+                Value::Bool(b) => write!(f, "{b}"),
+                Value::Int(n) => write!(f, "{n}"),
+                Value::Str(s) => write_escaped(f, s),
+                Value::Arr(items) => {
+                    f.write_str("[")?;
+                    for (i, v) in items.iter().enumerate() {
+                        if i > 0 {
+                            f.write_str(",")?;
+                        }
+                        write!(f, "{v}")?;
+                    }
+                    f.write_str("]")
+                }
+                Value::Obj(fields) => {
+                    f.write_str("{")?;
+                    for (i, (k, v)) in fields.iter().enumerate() {
+                        if i > 0 {
+                            f.write_str(",")?;
+                        }
+                        write_escaped(f, k)?;
+                        write!(f, ":{v}")?;
+                    }
+                    f.write_str("}")
+                }
+            }
+        }
+    }
+
+    fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+        f.write_str("\"")?;
+        for c in s.chars() {
+            match c {
+                '"' => f.write_str("\\\"")?,
+                '\\' => f.write_str("\\\\")?,
+                '\n' => f.write_str("\\n")?,
+                '\r' => f.write_str("\\r")?,
+                '\t' => f.write_str("\\t")?,
+                c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+                c => write!(f, "{c}")?,
+            }
+        }
+        f.write_str("\"")
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn skip_ws(&mut self) {
+            while self
+                .bytes
+                .get(self.pos)
+                .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+            {
+                self.pos += 1;
+            }
+        }
+
+        fn expect(&mut self, b: u8) -> Result<(), String> {
+            if self.bytes.get(self.pos) == Some(&b) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(format!("expected `{}` at byte {}", b as char, self.pos))
+            }
+        }
+
+        fn literal(&mut self, word: &str, v: Value) -> Result<Value, String> {
+            if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+                self.pos += word.len();
+                Ok(v)
+            } else {
+                Err(format!("invalid literal at byte {}", self.pos))
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, String> {
+            match self.bytes.get(self.pos) {
+                Some(b'n') => self.literal("null", Value::Null),
+                Some(b't') => self.literal("true", Value::Bool(true)),
+                Some(b'f') => self.literal("false", Value::Bool(false)),
+                Some(b'"') => Ok(Value::Str(self.string()?)),
+                Some(b'[') => self.array(),
+                Some(b'{') => self.object(),
+                Some(b'-' | b'0'..=b'9') => self.number(),
+                _ => Err(format!("unexpected input at byte {}", self.pos)),
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, String> {
+            let start = self.pos;
+            if self.bytes.get(self.pos) == Some(&b'-') {
+                self.pos += 1;
+            }
+            while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
+                self.pos += 1;
+            }
+            std::str::from_utf8(&self.bytes[start..self.pos])
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .map(Value::Int)
+                .ok_or_else(|| format!("bad number at byte {start}"))
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.bytes.get(self.pos) {
+                    None => return Err("unterminated string".to_string()),
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        match self.bytes.get(self.pos) {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'/') => out.push('/'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b'r') => out.push('\r'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'u') => {
+                                let hex = self
+                                    .bytes
+                                    .get(self.pos + 1..self.pos + 5)
+                                    .and_then(|h| std::str::from_utf8(h).ok())
+                                    .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                    .ok_or("bad \\u escape")?;
+                                out.push(char::from_u32(hex).ok_or("bad \\u codepoint")?);
+                                self.pos += 4;
+                            }
+                            _ => return Err(format!("bad escape at byte {}", self.pos)),
+                        }
+                        self.pos += 1;
+                    }
+                    Some(_) => {
+                        // Copy one UTF-8 character verbatim.
+                        let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                            .map_err(|_| "invalid utf-8".to_string())?;
+                        let c = rest.chars().next().expect("non-empty by get()");
+                        out.push(c);
+                        self.pos += c.len_utf8();
+                    }
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Value, String> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.bytes.get(self.pos) == Some(&b']') {
+                self.pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                self.skip_ws();
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.bytes.get(self.pos) {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+                }
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, String> {
+            self.expect(b'{')?;
+            let mut fields = Vec::new();
+            self.skip_ws();
+            if self.bytes.get(self.pos) == Some(&b'}') {
+                self.pos += 1;
+                return Ok(Value::Obj(fields));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.expect(b':')?;
+                self.skip_ws();
+                let val = self.value()?;
+                fields.push((key, val));
+                self.skip_ws();
+                match self.bytes.get(self.pos) {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Value::Obj(fields));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::json::Value;
+    use super::*;
+
+    #[test]
+    fn severity_ordering_and_labels() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Note);
+        for s in [Severity::Error, Severity::Warning, Severity::Note] {
+            assert_eq!(Severity::from_label(s.label()), Some(s));
+        }
+        assert_eq!(Severity::from_label("fatal"), None);
+    }
+
+    #[test]
+    fn render_points_caret_at_span() {
+        let src = "shared int X;\nfn main() { X = 1; }\n";
+        let span = Span::new(26, 31); // `X = 1`
+        let d = Diagnostic::new("R001", Severity::Error, "write-write race on `X`", span)
+            .with_note(
+                "the racing instance executes on a different processor",
+                None,
+            );
+        let r = d.render(src, "test.ms");
+        assert!(r.contains("error[R001]: write-write race on `X`"), "{r}");
+        assert!(r.contains("--> test.ms:2:13"), "{r}");
+        assert!(r.contains("2 | fn main() { X = 1; }"), "{r}");
+        assert!(r.contains("|             ^^^^^"), "{r}");
+        assert!(r.contains("= note: the racing instance"), "{r}");
+    }
+
+    #[test]
+    fn render_handles_dummy_span() {
+        let d = Diagnostic::new("W001", Severity::Warning, "msg", Span::dummy());
+        let r = d.render("x\ny\n", "f.ms");
+        assert!(r.contains("--> f.ms:1:1"), "{r}");
+        assert!(r.contains('^'), "{r}");
+    }
+
+    #[test]
+    fn sort_is_deterministic_and_severity_major() {
+        let mut diags = vec![
+            Diagnostic::new("W003", Severity::Note, "n", Span::new(0, 1)),
+            Diagnostic::new("R001", Severity::Error, "e", Span::new(9, 10)),
+            Diagnostic::new("W001", Severity::Warning, "w", Span::new(5, 6)),
+            Diagnostic::new("R002", Severity::Error, "e2", Span::new(2, 3)),
+        ];
+        sort_diagnostics(&mut diags);
+        let codes: Vec<_> = diags.iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec!["R002", "R001", "W001", "W003"]);
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let v = Value::Obj(vec![
+            ("file".to_string(), Value::Str("a \"b\"\n\\ μ".to_string())),
+            (
+                "diagnostics".to_string(),
+                Value::Arr(vec![
+                    Value::Int(-42),
+                    Value::Bool(true),
+                    Value::Null,
+                    Value::Obj(vec![]),
+                    Value::Arr(vec![]),
+                ]),
+            ),
+        ]);
+        let text = v.to_string();
+        let back = Value::parse(&text).unwrap();
+        assert_eq!(back, v);
+        // Canonical output is a fixpoint.
+        assert_eq!(back.to_string(), text);
+    }
+
+    #[test]
+    fn json_parser_rejects_garbage() {
+        for bad in ["", "{", "[1,]", "\"abc", "{\"a\" 1}", "12x", "nul"] {
+            assert!(Value::parse(bad).is_err(), "{bad}");
+        }
+        // Whitespace tolerated.
+        let v = Value::parse(" { \"a\" : [ 1 , 2 ] } ").unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn diagnostic_to_json_shape() {
+        let src = "flag F; fn main() { wait F; }";
+        let d = Diagnostic::new(
+            "W001",
+            Severity::Warning,
+            "unmatched wait",
+            Span::new(20, 27),
+        )
+        .with_note("no post site matches", Some(Span::new(0, 4)));
+        let j = d.to_json(src);
+        assert_eq!(j.get("code").unwrap().as_str(), Some("W001"));
+        assert_eq!(j.get("severity").unwrap().as_str(), Some("warning"));
+        let span = j.get("span").unwrap();
+        assert_eq!(span.get("start").unwrap().as_int(), Some(20));
+        assert_eq!(span.get("line").unwrap().as_int(), Some(1));
+        assert_eq!(span.get("col").unwrap().as_int(), Some(21));
+        assert_eq!(j.get("notes").unwrap().as_arr().unwrap().len(), 1);
+        // And it survives a parse round-trip.
+        assert_eq!(Value::parse(&j.to_string()).unwrap(), j);
+    }
+}

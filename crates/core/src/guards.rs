@@ -244,9 +244,8 @@ pub fn indices_may_collide(
         (Some(a1), Some(a2)) if !a1.has_locals() && !a2.has_locals() => {
             // Exact per-pair evaluation.
             c1.iter().any(|&p| {
-                c2.iter().any(|&q| {
-                    p != q && a1.konst + a1.myproc * p == a2.konst + a2.myproc * q
-                })
+                c2.iter()
+                    .any(|&q| p != q && a1.konst + a1.myproc * p == a2.konst + a2.myproc * q)
             })
         }
         (Some(a1), Some(a2)) => {
@@ -256,8 +255,7 @@ pub fn indices_may_collide(
                 c1.iter().any(|&p| {
                     c2.iter().any(|&q| {
                         p != q
-                            && (a1.konst + a1.myproc * p - a2.konst - a2.myproc * q)
-                                .rem_euclid(m)
+                            && (a1.konst + a1.myproc * p - a2.konst - a2.myproc * q).rem_euclid(m)
                                 == 0
                     })
                 })
@@ -306,7 +304,9 @@ mod tests {
         let wx = cfg
             .accesses
             .iter()
-            .position(|(_, i)| i.kind == AccessKind::Write && cfg.vars.info(i.var.unwrap()).name == "X")
+            .position(|(_, i)| {
+                i.kind == AccessKind::Write && cfg.vars.info(i.var.unwrap()).name == "X"
+            })
             .unwrap();
         let wy = cfg
             .accesses

@@ -42,8 +42,10 @@ pub mod barrier;
 pub mod conflict;
 pub mod cycle;
 pub mod delay;
+pub mod diag;
 pub mod guards;
 pub mod locks;
+pub mod races;
 pub mod sync;
 pub mod warnings;
 
@@ -51,8 +53,10 @@ pub use barrier::BarrierPolicy;
 pub use conflict::ConflictSet;
 pub use cycle::shasha_snir;
 pub use delay::DelaySet;
+pub use diag::{sort_diagnostics, Diagnostic, Severity};
+pub use races::{detect_races, race_diagnostics, Confidence, RaceAnalysis, RaceReport};
 pub use sync::{analyze_sync, Precedence, SyncAnalysis, SyncOptions};
-pub use warnings::{sync_warnings, SyncWarning};
+pub use warnings::{sync_warnings, warning_diagnostics, SyncWarning};
 
 use syncopt_ir::cfg::Cfg;
 

@@ -166,14 +166,12 @@ pub fn compute_lock_guards(cfg: &Cfg, dom: &Dominators, d1: &DelaySet) -> LockGu
         for &l in &held {
             let has_b1 = acqs.get(&l).is_some_and(|sites| {
                 sites.iter().any(|&b1| {
-                    dom.pos_dominates(cfg.accesses.info(b1).pos, info.pos)
-                        && d1.contains(b1, a)
+                    dom.pos_dominates(cfg.accesses.info(b1).pos, info.pos) && d1.contains(b1, a)
                 })
             });
             let has_b2 = rels.get(&l).is_some_and(|sites| {
                 sites.iter().any(|&b2| {
-                    dom.pos_dominates(info.pos, cfg.accesses.info(b2).pos)
-                        && d1.contains(a, b2)
+                    dom.pos_dominates(info.pos, cfg.accesses.info(b2).pos) && d1.contains(a, b2)
                 })
             });
             if has_b1 && has_b2 {

@@ -112,6 +112,11 @@ pub struct SyncAnalysis {
     pub aligned_barriers: Vec<AccessId>,
     /// Lock guard information.
     pub guards: LockGuards,
+    /// The conflict set after step-5 orientation: a direction `a2 → a1`
+    /// is removed whenever `(a1, a2) ∈ R`. Pairs that keep both
+    /// directions are the conflicts synchronization could not order —
+    /// the raw material of [`crate::races`].
+    pub oriented: ConflictSet,
     /// The final, refined delay set (`D1` ∪ step-6 recomputation).
     pub delay: DelaySet,
 }
@@ -195,6 +200,7 @@ pub fn analyze_sync(cfg: &Cfg, opts: &SyncOptions) -> SyncAnalysis {
         precedence: r,
         aligned_barriers: aligned,
         guards,
+        oriented,
         delay,
     }
 }
@@ -314,10 +320,7 @@ mod tests {
         cfg.accesses
             .iter()
             .find(|(_, i)| {
-                i.kind == kind
-                    && i.var
-                        .map(|v| cfg.vars.info(v).name == var)
-                        .unwrap_or(false)
+                i.kind == kind && i.var.map(|v| cfg.vars.info(v).name == var).unwrap_or(false)
             })
             .map(|(id, _)| id)
             .unwrap_or_else(|| panic!("no {kind:?} access on {var}"))
@@ -366,7 +369,10 @@ mod tests {
         assert!(sa.precedence.contains(a2, a5));
 
         // The refined delay set drops the data-data delays.
-        assert!(!sa.delay.contains(a1, a2), "pipelining of X,Y writes allowed");
+        assert!(
+            !sa.delay.contains(a1, a2),
+            "pipelining of X,Y writes allowed"
+        );
         assert!(!sa.delay.contains(a5, a6), "overlap of Y,X reads allowed");
 
         // Refinement only removes delays, never invents new ones.
@@ -604,10 +610,7 @@ mod tests {
             "#,
         ] {
             let (_cfg, sa, ss) = run(src);
-            assert!(
-                sa.delay.is_subset_of(&ss),
-                "refinement must shrink: {src}"
-            );
+            assert!(sa.delay.is_subset_of(&ss), "refinement must shrink: {src}");
         }
     }
 }

@@ -5,9 +5,14 @@
 //! can ever release, unbalanced lock usage, and barriers the static
 //! alignment analysis refused (which the paper's runtime check would then
 //! catch at execution time, §5.2).
+//!
+//! Warnings share the [`crate::diag`] framework with the race detector
+//! ([`crate::races`]): each maps to a stable code (`W001`–`W003`) and a
+//! severity via [`SyncWarning::to_diagnostic`].
 
 use crate::affine::may_match_any_proc;
 use crate::barrier::{aligned_barriers, BarrierPolicy};
+use crate::diag::{Diagnostic, Severity};
 use std::collections::HashMap;
 use std::fmt;
 use syncopt_ir::access::AccessKind;
@@ -18,7 +23,7 @@ use syncopt_ir::ids::AccessId;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SyncWarning {
     /// A `wait` no post site can match: it will block forever if reached.
-    UnmatchablePost {
+    UnmatchedWait {
         /// The orphaned wait.
         wait: AccessId,
     },
@@ -30,6 +35,9 @@ pub enum SyncWarning {
         acquires: usize,
         /// Number of release sites.
         releases: usize,
+        /// A representative site (first acquire, else first release),
+        /// for source attribution.
+        site: AccessId,
     },
     /// A barrier the static alignment analysis could not prove aligned —
     /// the optimistic compilation path relies on the runtime check.
@@ -39,16 +47,77 @@ pub enum SyncWarning {
     },
 }
 
+impl SyncWarning {
+    /// The stable diagnostic code (see `docs/DIAGNOSTICS.md`).
+    pub fn code(&self) -> &'static str {
+        match self {
+            SyncWarning::UnmatchedWait { .. } => "W001",
+            SyncWarning::UnbalancedLock { .. } => "W002",
+            SyncWarning::UnprovenBarrier { .. } => "W003",
+        }
+    }
+
+    /// The severity level this warning is reported at.
+    pub fn severity(&self) -> Severity {
+        match self {
+            // A wait nothing can release deadlocks if reached; a lock
+            // imbalance usually means a leaked or double release.
+            SyncWarning::UnmatchedWait { .. } | SyncWarning::UnbalancedLock { .. } => {
+                Severity::Warning
+            }
+            // Unproven alignment is a compilation-strategy fact, not a
+            // bug: the runtime check decides.
+            SyncWarning::UnprovenBarrier { .. } => Severity::Note,
+        }
+    }
+
+    /// The access site the warning is anchored to.
+    pub fn site(&self) -> AccessId {
+        match self {
+            SyncWarning::UnmatchedWait { wait } => *wait,
+            SyncWarning::UnbalancedLock { site, .. } => *site,
+            SyncWarning::UnprovenBarrier { barrier } => *barrier,
+        }
+    }
+
+    /// Converts the warning to a span-carrying [`Diagnostic`].
+    pub fn to_diagnostic(&self, cfg: &Cfg) -> Diagnostic {
+        let span = cfg.accesses.info(self.site()).span;
+        let d = Diagnostic::new(self.code(), self.severity(), self.to_string(), span);
+        match self {
+            SyncWarning::UnmatchedWait { .. } => d.with_note(
+                "no `post` in the program targets this flag (or its index \
+                 range never overlaps)",
+                None,
+            ),
+            SyncWarning::UnbalancedLock { .. } => d.with_note(
+                "every execution path should release exactly the locks it \
+                 acquires",
+                None,
+            ),
+            SyncWarning::UnprovenBarrier { .. } => d.with_note(
+                "the optimistic compilation path inserts a runtime alignment \
+                 check here (§5.2)",
+                None,
+            ),
+        }
+    }
+}
+
 impl fmt::Display for SyncWarning {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SyncWarning::UnmatchablePost { wait } => {
-                write!(f, "wait {wait} has no matching post site (will deadlock if reached)")
+            SyncWarning::UnmatchedWait { wait } => {
+                write!(
+                    f,
+                    "wait {wait} has no matching post site (will deadlock if reached)"
+                )
             }
             SyncWarning::UnbalancedLock {
                 lock,
                 acquires,
                 releases,
+                ..
             } => write!(
                 f,
                 "lock `{lock}` has {acquires} acquire site(s) but {releases} release site(s)"
@@ -62,6 +131,9 @@ impl fmt::Display for SyncWarning {
 }
 
 /// Computes synchronization warnings for a program.
+///
+/// The result is deterministically ordered: by anchoring access site,
+/// then by code.
 pub fn sync_warnings(cfg: &Cfg) -> Vec<SyncWarning> {
     let mut out = Vec::new();
 
@@ -80,17 +152,24 @@ pub fn sync_warnings(cfg: &Cfg) -> Vec<SyncWarning> {
             p.var == info.var && may_match_any_proc(p.index.as_ref(), info.index.as_ref())
         });
         if !matched {
-            out.push(SyncWarning::UnmatchablePost { wait: id });
+            out.push(SyncWarning::UnmatchedWait { wait: id });
         }
     }
 
     // Unbalanced locks.
     let mut acq: HashMap<_, usize> = HashMap::new();
     let mut rel: HashMap<_, usize> = HashMap::new();
-    for (_, info) in cfg.accesses.iter() {
+    let mut first_site: HashMap<_, AccessId> = HashMap::new();
+    for (id, info) in cfg.accesses.iter() {
         match info.kind {
-            AccessKind::LockAcq => *acq.entry(info.var).or_insert(0) += 1,
-            AccessKind::LockRel => *rel.entry(info.var).or_insert(0) += 1,
+            AccessKind::LockAcq => {
+                *acq.entry(info.var).or_insert(0) += 1;
+                first_site.entry(info.var).or_insert(id);
+            }
+            AccessKind::LockRel => {
+                *rel.entry(info.var).or_insert(0) += 1;
+                first_site.entry(info.var).or_insert(id);
+            }
             _ => {}
         }
     }
@@ -102,11 +181,10 @@ pub fn sync_warnings(cfg: &Cfg) -> Vec<SyncWarning> {
         let r = rel.get(&l).copied().unwrap_or(0);
         if a != r {
             out.push(SyncWarning::UnbalancedLock {
-                lock: l
-                    .map(|v| cfg.vars.info(v).name.clone())
-                    .unwrap_or_default(),
+                lock: l.map(|v| cfg.vars.info(v).name.clone()).unwrap_or_default(),
                 acquires: a,
                 releases: r,
+                site: first_site[&l],
             });
         }
     }
@@ -118,7 +196,20 @@ pub fn sync_warnings(cfg: &Cfg) -> Vec<SyncWarning> {
             out.push(SyncWarning::UnprovenBarrier { barrier: id });
         }
     }
+
+    out.sort_by_key(|w| (w.site(), w.code()));
     out
+}
+
+/// [`sync_warnings`] as span-carrying [`Diagnostic`]s, in
+/// [`crate::diag::sort_diagnostics`] order.
+pub fn warning_diagnostics(cfg: &Cfg) -> Vec<Diagnostic> {
+    let mut diags: Vec<Diagnostic> = sync_warnings(cfg)
+        .iter()
+        .map(|w| w.to_diagnostic(cfg))
+        .collect();
+    crate::diag::sort_diagnostics(&mut diags);
+    diags
 }
 
 #[cfg(test)]
@@ -150,8 +241,10 @@ mod tests {
     fn orphaned_wait_is_reported() {
         let w = warnings("flag F; fn main() { wait F; }");
         assert_eq!(w.len(), 1);
-        assert!(matches!(w[0], SyncWarning::UnmatchablePost { .. }));
+        assert!(matches!(w[0], SyncWarning::UnmatchedWait { .. }));
         assert!(w[0].to_string().contains("deadlock"));
+        assert_eq!(w[0].code(), "W001");
+        assert_eq!(w[0].severity(), Severity::Warning);
     }
 
     #[test]
@@ -160,11 +253,9 @@ mod tests {
         // any processor's post range... but PROCS is unknown statically,
         // so the conservative matcher accepts affine overlaps; use clearly
         // disjoint constants instead.
-        let w = warnings(
-            "flag F[8]; fn main() { post F[0]; wait F[1]; }",
-        );
+        let w = warnings("flag F[8]; fn main() { post F[0]; wait F[1]; }");
         assert_eq!(w.len(), 1, "{w:?}");
-        assert!(matches!(w[0], SyncWarning::UnmatchablePost { .. }));
+        assert!(matches!(w[0], SyncWarning::UnmatchedWait { .. }));
     }
 
     #[test]
@@ -176,6 +267,7 @@ mod tests {
             "{}",
             w[0]
         );
+        assert_eq!(w[0].code(), "W002");
     }
 
     #[test]
@@ -183,6 +275,45 @@ mod tests {
         let w = warnings("fn main() { if (MYPROC == 0) { barrier; } }");
         assert_eq!(w.len(), 1);
         assert!(matches!(w[0], SyncWarning::UnprovenBarrier { .. }));
+        assert_eq!(w[0].severity(), Severity::Note);
+    }
+
+    #[test]
+    fn warnings_are_deterministically_ordered() {
+        let src = r#"
+            flag F; lock l;
+            fn main() {
+                wait F;
+                lock l;
+                if (MYPROC == 0) { barrier; }
+            }
+        "#;
+        let w = warnings(src);
+        assert_eq!(w.len(), 3, "{w:?}");
+        for _ in 0..4 {
+            assert_eq!(warnings(src), w);
+        }
+        let mut sites: Vec<_> = w.iter().map(SyncWarning::site).collect();
+        let sorted = {
+            let mut s = sites.clone();
+            s.sort();
+            s
+        };
+        assert_eq!(sites, sorted);
+        sites.dedup();
+        assert_eq!(sites.len(), 3);
+    }
+
+    #[test]
+    fn diagnostics_carry_spans() {
+        let src = "flag F; fn main() { wait F; }";
+        let cfg = lower_main(&prepare_program(src).unwrap()).unwrap();
+        let diags = warning_diagnostics(&cfg);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "W001");
+        let rendered = diags[0].render(src, "t.ms");
+        assert!(rendered.contains("wait F"), "{rendered}");
+        assert!(rendered.contains('^'), "{rendered}");
     }
 
     #[test]

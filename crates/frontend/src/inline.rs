@@ -86,17 +86,20 @@ impl<'a> Inliner<'a> {
                         format!("recursive call to `{name}` cannot be inlined"),
                     ));
                 }
-                let callee = self.program.function(name).ok_or_else(|| {
-                    FrontendError::inline(span, format!("call to unknown function `{name}`"))
-                })?.clone();
+                let callee = self
+                    .program
+                    .function(name)
+                    .ok_or_else(|| {
+                        FrontendError::inline(span, format!("call to unknown function `{name}`"))
+                    })?
+                    .clone();
                 self.counter += 1;
                 let suffix = format!("__{}_{}", name, self.counter);
 
                 // Fresh names for parameters and all locals of the callee.
                 let mut callee_renames: HashMap<String, String> = HashMap::new();
                 for param in &callee.params {
-                    callee_renames
-                        .insert(param.name.clone(), format!("{}{}", param.name, suffix));
+                    callee_renames.insert(param.name.clone(), format!("{}{}", param.name, suffix));
                 }
                 collect_local_decls(&callee.body, &mut |n| {
                     callee_renames
@@ -260,7 +263,9 @@ fn collect_local_decls(stmts: &[Stmt], f: &mut impl FnMut(&str)) {
                 collect_local_decls(else_branch, f);
             }
             StmtKind::While { body, .. } => collect_local_decls(body, f),
-            StmtKind::For { init, step, body, .. } => {
+            StmtKind::For {
+                init, step, body, ..
+            } => {
                 collect_local_decls(std::slice::from_ref(init), f);
                 collect_local_decls(std::slice::from_ref(step), f);
                 collect_local_decls(body, f);
@@ -310,8 +315,8 @@ fn rename_lvalue(lvalue: &LValue, renames: &HashMap<String, String>) -> LValue {
 
 #[cfg(test)]
 mod tests {
-    use crate::pretty::program_to_string;
     use crate::prepare_program;
+    use crate::pretty::program_to_string;
 
     #[test]
     fn inlines_simple_call() {

@@ -99,7 +99,11 @@ impl<'a> Parser<'a> {
         } else {
             Err(FrontendError::parse(
                 self.peek_span(),
-                format!("expected {}, found {}", kind.describe(), self.peek().describe()),
+                format!(
+                    "expected {}, found {}",
+                    kind.describe(),
+                    self.peek().describe()
+                ),
             ))
         }
     }
@@ -654,10 +658,9 @@ mod tests {
 
     #[test]
     fn parses_declarations() {
-        let prog = parse_program(
-            "shared int X; shared double A[128]; flag f; flag done[8]; lock l;",
-        )
-        .unwrap();
+        let prog =
+            parse_program("shared int X; shared double A[128]; flag f; flag done[8]; lock l;")
+                .unwrap();
         assert_eq!(prog.decls.len(), 5);
         assert!(matches!(prog.decls[0], Decl::SharedScalar { .. }));
         assert!(matches!(prog.decls[1], Decl::SharedArray { len: 128, .. }));
@@ -682,13 +685,15 @@ mod tests {
         let StmtKind::Assign { rhs, .. } = &body[1].kind else {
             panic!("expected assign");
         };
-        let ExprKind::Binary { op: BinOp::Add, rhs: mul, .. } = &rhs.kind else {
+        let ExprKind::Binary {
+            op: BinOp::Add,
+            rhs: mul,
+            ..
+        } = &rhs.kind
+        else {
             panic!("expected + at top: {rhs:?}");
         };
-        assert!(matches!(
-            mul.kind,
-            ExprKind::Binary { op: BinOp::Mul, .. }
-        ));
+        assert!(matches!(mul.kind, ExprKind::Binary { op: BinOp::Mul, .. }));
     }
 
     #[test]
@@ -698,10 +703,7 @@ mod tests {
         let StmtKind::Assign { rhs, .. } = &body[1].kind else {
             panic!()
         };
-        assert!(matches!(
-            rhs.kind,
-            ExprKind::Binary { op: BinOp::Mul, .. }
-        ));
+        assert!(matches!(rhs.kind, ExprKind::Binary { op: BinOp::Mul, .. }));
     }
 
     #[test]
@@ -787,7 +789,11 @@ mod tests {
         let StmtKind::Assign { rhs, .. } = &prog.function("main").unwrap().body[1].kind else {
             panic!()
         };
-        let ExprKind::Unary { op: UnOp::Neg, expr } = &rhs.kind else {
+        let ExprKind::Unary {
+            op: UnOp::Neg,
+            expr,
+        } = &rhs.kind
+        else {
             panic!()
         };
         assert!(matches!(expr.kind, ExprKind::Unary { op: UnOp::Neg, .. }));

@@ -272,7 +272,10 @@ impl<'a> Checker<'a> {
                     *span,
                     format!("synchronization object `{name}` cannot be assigned"),
                 )),
-                None => Err(FrontendError::ty(*span, format!("unknown variable `{name}`"))),
+                None => Err(FrontendError::ty(
+                    *span,
+                    format!("unknown variable `{name}`"),
+                )),
             },
             LValue::ArrayElem { name, index, span } => {
                 let idx_ty = self.expr_type(index)?;
@@ -306,12 +309,10 @@ impl<'a> Checker<'a> {
                     expr.span,
                     format!("array `{name}` must be indexed"),
                 )),
-                Some(Binding::Flag | Binding::FlagArray | Binding::Lock) => {
-                    Err(FrontendError::ty(
-                        expr.span,
-                        format!("synchronization object `{name}` is not data"),
-                    ))
-                }
+                Some(Binding::Flag | Binding::FlagArray | Binding::Lock) => Err(FrontendError::ty(
+                    expr.span,
+                    format!("synchronization object `{name}` is not data"),
+                )),
                 None => Err(FrontendError::ty(
                     expr.span,
                     format!("unknown variable `{name}`"),
@@ -342,10 +343,7 @@ impl<'a> Checker<'a> {
                 match op {
                     UnOp::Neg if t.is_numeric() => Ok(t),
                     UnOp::Not if t == Type::Bool => Ok(Type::Bool),
-                    UnOp::Neg => Err(FrontendError::ty(
-                        inner.span,
-                        format!("cannot negate {t}"),
-                    )),
+                    UnOp::Neg => Err(FrontendError::ty(inner.span, format!("cannot negate {t}"))),
                     UnOp::Not => Err(FrontendError::ty(
                         inner.span,
                         format!("`!` requires bool, found {t}"),
@@ -371,10 +369,7 @@ impl<'a> Checker<'a> {
                     ));
                 }
                 if *op == BinOp::Rem && (lt != Type::Int || rt != Type::Int) {
-                    return Err(FrontendError::ty(
-                        expr.span,
-                        "`%` requires int operands",
-                    ));
+                    return Err(FrontendError::ty(expr.span, "`%` requires int operands"));
                 }
                 if op.is_comparison() {
                     Ok(Type::Bool)

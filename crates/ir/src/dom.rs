@@ -174,11 +174,11 @@ fn intersect(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::access::AccessTable;
+    use crate::cfg::Cfg;
     use crate::cfg::{Block, Terminator};
     use crate::expr::Expr;
     use crate::vars::VarTable;
-    use crate::access::AccessTable;
-    use crate::cfg::Cfg;
 
     fn cfg_from(blocks: Vec<Terminator>, entry: u32, exit: u32) -> Cfg {
         Cfg {

@@ -212,10 +212,7 @@ mod tests {
         };
         assert_eq!(e.to_string(), "(MYPROC * 4)");
         assert_eq!(SharedRef::scalar(v(2)).to_string(), "v2");
-        assert_eq!(
-            SharedRef::element(v(3), Expr::Int(7)).to_string(),
-            "v3[7]"
-        );
+        assert_eq!(SharedRef::element(v(3), Expr::Int(7)).to_string(), "v3[7]");
     }
 
     #[test]

@@ -97,9 +97,7 @@ fn fold_binary(op: BinOp, l: Expr, r: Expr) -> Expr {
         // x * 1, 1 * x.
         (Mul, x, Expr::Int(1)) | (Mul, Expr::Int(1), x) => return x.clone(),
         // x * 0, 0 * x — only when x cannot trap.
-        (Mul, x, Expr::Int(0)) | (Mul, Expr::Int(0), x) if !may_trap(x) => {
-            return Expr::Int(0)
-        }
+        (Mul, x, Expr::Int(0)) | (Mul, Expr::Int(0), x) if !may_trap(x) => return Expr::Int(0),
         // x / 1.
         (Div, x, Expr::Int(1)) => return x.clone(),
         // b && true / b || false.
@@ -124,7 +122,11 @@ fn fold_binary(op: BinOp, l: Expr, r: Expr) -> Expr {
 /// Whether evaluating the expression can fault at runtime.
 pub fn may_trap(e: &Expr) -> bool {
     match e {
-        Expr::Int(_) | Expr::Float(_) | Expr::Bool(_) | Expr::MyProc | Expr::Procs
+        Expr::Int(_)
+        | Expr::Float(_)
+        | Expr::Bool(_)
+        | Expr::MyProc
+        | Expr::Procs
         | Expr::Local(_) => false,
         Expr::LocalElem { .. } => true, // bounds check
         Expr::Unary { expr, .. } => may_trap(expr),
@@ -232,8 +234,14 @@ mod tests {
 
     #[test]
     fn folds_integer_arithmetic() {
-        assert_eq!(fold_expr(&bin(BinOp::Add, Expr::Int(1), Expr::Int(2))), Expr::Int(3));
-        assert_eq!(fold_expr(&bin(BinOp::Mul, Expr::Int(4), Expr::Int(8))), Expr::Int(32));
+        assert_eq!(
+            fold_expr(&bin(BinOp::Add, Expr::Int(1), Expr::Int(2))),
+            Expr::Int(3)
+        );
+        assert_eq!(
+            fold_expr(&bin(BinOp::Mul, Expr::Int(4), Expr::Int(8))),
+            Expr::Int(32)
+        );
         assert_eq!(
             fold_expr(&bin(BinOp::Rem, Expr::Int(-1), Expr::Int(8))),
             Expr::Int(7)

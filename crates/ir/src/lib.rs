@@ -41,8 +41,8 @@ pub mod dom;
 pub mod expr;
 pub mod fold;
 pub mod ids;
-pub mod loops;
 pub mod liveness;
+pub mod loops;
 pub mod lower;
 pub mod order;
 pub mod print;

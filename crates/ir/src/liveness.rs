@@ -109,7 +109,11 @@ fn expr_may_trap(e: &crate::expr::Expr) -> bool {
     use crate::expr::Expr;
     use syncopt_frontend::ast::BinOp;
     match e {
-        Expr::Int(_) | Expr::Float(_) | Expr::Bool(_) | Expr::MyProc | Expr::Procs
+        Expr::Int(_)
+        | Expr::Float(_)
+        | Expr::Bool(_)
+        | Expr::MyProc
+        | Expr::Procs
         | Expr::Local(_) => false,
         // Local array reads bounds-check at runtime.
         Expr::LocalElem { .. } => true,
@@ -138,9 +142,8 @@ mod tests {
 
     #[test]
     fn straight_line_liveness() {
-        let (cfg, l) = analyzed(
-            "shared int X; fn main() { int a; int b; a = 1; b = a + 1; X = b; }",
-        );
+        let (cfg, l) =
+            analyzed("shared int X; fn main() { int a; int b; a = 1; b = a + 1; X = b; }");
         let a = var(&cfg, "a");
         let b = var(&cfg, "b");
         // After `a = 1` (idx 0), a is live (used by the next assign).
@@ -180,9 +183,7 @@ mod tests {
 
     #[test]
     fn branch_condition_uses_count() {
-        let (cfg, l) = analyzed(
-            "fn main() { int a; a = 1; if (a > 0) { work(1); } }",
-        );
+        let (cfg, l) = analyzed("fn main() { int a; a = 1; if (a > 0) { work(1); } }");
         let a = var(&cfg, "a");
         assert!(l.live_after(&cfg, cfg.entry, 0, a), "terminator reads a");
     }
@@ -196,26 +197,20 @@ mod tests {
 
     #[test]
     fn trapping_assignments_are_kept() {
-        let (cfg, l) = analyzed(
-            "fn main() { int a; int z; z = 0; a = 1 / z; work(z); }",
-        );
+        let (cfg, l) = analyzed("fn main() { int a; int z; z = 0; a = 1 / z; work(z); }");
         // `a = 1 / z` is dead but may trap: not removable.
         let idx = cfg
             .block(cfg.entry)
             .instrs
             .iter()
-            .position(|i| {
-                i.def() == Some(var(&cfg, "a"))
-            })
+            .position(|i| i.def() == Some(var(&cfg, "a")))
             .unwrap();
         assert!(!is_dead_assignment(&cfg, &l, cfg.entry, idx));
     }
 
     #[test]
     fn local_arrays_never_die() {
-        let (cfg, l) = analyzed(
-            "fn main() { int buf[4]; buf[0] = 1; work(1); }",
-        );
+        let (cfg, l) = analyzed("fn main() { int buf[4]; buf[0] = 1; work(1); }");
         let buf = var(&cfg, "buf");
         // The element write keeps the array alive conservatively.
         let idx = 0;

@@ -178,9 +178,7 @@ mod tests {
 
     #[test]
     fn single_while_loop_found() {
-        let (cfg, loops) = loops_of(
-            "fn main() { int i; i = 0; while (i < 4) { i = i + 1; } }",
-        );
+        let (cfg, loops) = loops_of("fn main() { int i; i = 0; while (i < 4) { i = i + 1; } }");
         assert_eq!(loops.len(), 1);
         let l = &loops[0];
         assert!(l.contains(l.header));

@@ -216,10 +216,7 @@ impl Lowerer {
                         if self.cfg.vars.info(dst).kind == VarKind::Local
                             && self.cfg.vars.info(dst).ty == self.cfg.vars.info(src_var).ty
                         {
-                            let idx = idx_ast
-                                .as_ref()
-                                .map(|e| self.lower_expr(e))
-                                .transpose()?;
+                            let idx = idx_ast.as_ref().map(|e| self.lower_expr(e)).transpose()?;
                             let access = self.add_access(
                                 AccessKind::Read,
                                 Some(src_var),
@@ -426,15 +423,11 @@ impl Lowerer {
 
     /// If `rhs` is exactly a read of a shared scalar or shared array
     /// element, returns the variable and the (un-lowered) index.
-    fn shared_read_target<'e>(
-        &self,
-        rhs: &'e ast::Expr,
-    ) -> Option<(VarId, Option<&'e ast::Expr>)> {
+    fn shared_read_target<'e>(&self, rhs: &'e ast::Expr) -> Option<(VarId, Option<&'e ast::Expr>)> {
         match &rhs.kind {
             ast::ExprKind::Var(n) => {
                 let v = self.names.get(n).copied()?;
-                matches!(self.cfg.vars.info(v).kind, VarKind::SharedScalar)
-                    .then_some((v, None))
+                matches!(self.cfg.vars.info(v).kind, VarKind::SharedScalar).then_some((v, None))
             }
             ast::ExprKind::ArrayElem { name, index } => {
                 let v = self.names.get(name).copied()?;
@@ -551,10 +544,7 @@ mod tests {
             3
         );
         assert_eq!(cfg.accesses.len(), 3);
-        assert!(cfg
-            .accesses
-            .iter()
-            .all(|(_, a)| a.kind == AccessKind::Read));
+        assert!(cfg.accesses.iter().all(|(_, a)| a.kind == AccessKind::Read));
     }
 
     #[test]
@@ -565,7 +555,10 @@ mod tests {
             1
         );
         assert_eq!(cfg.accesses.len(), 1);
-        assert_eq!(cfg.accesses.iter().next().unwrap().1.kind, AccessKind::Write);
+        assert_eq!(
+            cfg.accesses.iter().next().unwrap().1.kind,
+            AccessKind::Write
+        );
     }
 
     #[test]
@@ -584,9 +577,8 @@ mod tests {
 
     #[test]
     fn if_produces_diamond() {
-        let cfg = lower(
-            "shared int X; fn main() { if (MYPROC == 0) { X = 1; } else { X = 2; } X = 3; }",
-        );
+        let cfg =
+            lower("shared int X; fn main() { if (MYPROC == 0) { X = 1; } else { X = 2; } X = 3; }");
         cfg.validate().unwrap();
         // entry, exit, then, else, join
         assert_eq!(cfg.num_blocks(), 5);
@@ -650,7 +642,10 @@ mod tests {
             ]
         );
         // Indexed wait keeps its index expression.
-        let wait = cfg.accesses.iter().find(|(_, a)| a.kind == AccessKind::Wait);
+        let wait = cfg
+            .accesses
+            .iter()
+            .find(|(_, a)| a.kind == AccessKind::Wait);
         assert!(wait.unwrap().1.index.is_some());
     }
 
@@ -727,8 +722,7 @@ mod tests {
 
     #[test]
     fn rejects_unprepared_program_with_calls() {
-        let program =
-            syncopt_frontend::check_program("fn f() {} fn main() { f(); }").unwrap();
+        let program = syncopt_frontend::check_program("fn f() {} fn main() { f(); }").unwrap();
         let err = lower_main(&program).unwrap_err();
         assert!(err.message().contains("inlining"), "{err}");
     }

@@ -162,8 +162,8 @@ impl ProgramOrder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use syncopt_frontend::prepare_program;
     use crate::lower::lower_main;
+    use syncopt_frontend::prepare_program;
 
     fn order_of(src: &str) -> (Cfg, ProgramOrder) {
         let cfg = lower_main(&prepare_program(src).unwrap()).unwrap();

@@ -15,7 +15,11 @@ pub fn instr_to_string(cfg: &Cfg, instr: &Instr) -> String {
             format!("{} = read {}    ; {access}", name(*dst), sref(src))
         }
         Instr::PutShared { access, dst, src } => {
-            format!("write {} = {}    ; {access}", sref(dst), expr_names(cfg, src))
+            format!(
+                "write {} = {}    ; {access}",
+                sref(dst),
+                expr_names(cfg, src)
+            )
         }
         Instr::GetInit {
             access,
@@ -38,7 +42,11 @@ pub fn instr_to_string(cfg: &Cfg, instr: &Instr) -> String {
             expr_names(cfg, src)
         ),
         Instr::StoreInit { access, dst, src } => {
-            format!("store({}, {})    ; {access}", sref(dst), expr_names(cfg, src))
+            format!(
+                "store({}, {})    ; {access}",
+                sref(dst),
+                expr_names(cfg, src)
+            )
         }
         Instr::SyncCtr { ctr } => format!("sync_ctr({ctr})"),
         Instr::AssignLocal { dst, value } => {
@@ -60,7 +68,11 @@ pub fn instr_to_string(cfg: &Cfg, instr: &Instr) -> String {
             flag,
             index,
         } => match index {
-            Some(idx) => format!("post {}[{}]    ; {access}", name(*flag), expr_names(cfg, idx)),
+            Some(idx) => format!(
+                "post {}[{}]    ; {access}",
+                name(*flag),
+                expr_names(cfg, idx)
+            ),
             None => format!("post {}    ; {access}", name(*flag)),
         },
         Instr::Wait {
@@ -68,7 +80,11 @@ pub fn instr_to_string(cfg: &Cfg, instr: &Instr) -> String {
             flag,
             index,
         } => match index {
-            Some(idx) => format!("wait {}[{}]    ; {access}", name(*flag), expr_names(cfg, idx)),
+            Some(idx) => format!(
+                "wait {}[{}]    ; {access}",
+                name(*flag),
+                expr_names(cfg, idx)
+            ),
             None => format!("wait {}    ; {access}", name(*flag)),
         },
         Instr::Barrier { access } => format!("barrier    ; {access}"),
@@ -91,11 +107,9 @@ pub fn expr_names(cfg: &Cfg, expr: &crate::expr::Expr) -> String {
         Expr::MyProc => "MYPROC".to_string(),
         Expr::Procs => "PROCS".to_string(),
         Expr::Unary { op, expr } => format!("{op}({})", expr_names(cfg, expr)),
-        Expr::Binary { op, lhs, rhs } => format!(
-            "({} {op} {})",
-            expr_names(cfg, lhs),
-            expr_names(cfg, rhs)
-        ),
+        Expr::Binary { op, lhs, rhs } => {
+            format!("({} {op} {})", expr_names(cfg, lhs), expr_names(cfg, rhs))
+        }
     }
 }
 
@@ -227,10 +241,9 @@ mod tests {
 
     #[test]
     fn dump_shows_branches() {
-        let cfg = lower_main(
-            &prepare_program("fn main() { if (MYPROC == 0) { work(1); } }").unwrap(),
-        )
-        .unwrap();
+        let cfg =
+            lower_main(&prepare_program("fn main() { if (MYPROC == 0) { work(1); } }").unwrap())
+                .unwrap();
         let dump = cfg_to_string(&cfg);
         assert!(dump.contains("branch (MYPROC == 0) ?"), "{dump}");
     }

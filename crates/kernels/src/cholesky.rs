@@ -28,7 +28,11 @@ pub fn generate(params: &KernelParams) -> Kernel {
     let w_factor = params.work_per_element as u64 * 8;
     let w_update = params.work_per_element as u64 * 4;
     let mut s = String::new();
-    writeln!(s, "// Cholesky: blocked-cyclic panels with post/wait flags.").unwrap();
+    writeln!(
+        s,
+        "// Cholesky: blocked-cyclic panels with post/wait flags."
+    )
+    .unwrap();
     writeln!(s, "shared double Panel[{n}];").unwrap();
     writeln!(s, "flag f[{panels}];").unwrap();
     writeln!(

@@ -142,7 +142,12 @@ mod tests {
         let config = syncopt_machine::MachineConfig::cm5(8);
         let cfg = lower_main(&prepare_program(&k.source).unwrap()).unwrap();
         let analysis = analyze_for(&cfg, k.procs);
-        let unopt = optimize(&cfg, &analysis, OptLevel::Pipelined, DelayChoice::ShashaSnir);
+        let unopt = optimize(
+            &cfg,
+            &analysis,
+            OptLevel::Pipelined,
+            DelayChoice::ShashaSnir,
+        );
         let opt = optimize(&cfg, &analysis, OptLevel::OneWay, DelayChoice::SyncRefined);
         let unopt = syncopt_machine::simulate(&unopt.cfg, &config).unwrap();
         let opt = syncopt_machine::simulate(&opt.cfg, &config).unwrap();

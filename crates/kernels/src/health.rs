@@ -20,7 +20,11 @@ pub fn generate(params: &KernelParams) -> Kernel {
     let p = params.procs as u64;
     let regions: u64 = if p >= 4 { 4 } else { 1 };
     let mut s = String::new();
-    writeln!(s, "// Health: hierarchical service system guarded by locks.").unwrap();
+    writeln!(
+        s,
+        "// Health: hierarchical service system guarded by locks."
+    )
+    .unwrap();
     writeln!(s, "shared int Village[{p}];").unwrap();
     writeln!(s, "shared int Region[{regions}];").unwrap();
     writeln!(s, "shared int Referrals[{regions}];").unwrap();

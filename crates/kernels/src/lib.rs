@@ -106,9 +106,8 @@ mod tests {
         for procs in [2, 4, 16, 64] {
             for kernel in all_kernels(procs) {
                 assert_eq!(kernel.procs, procs);
-                prepare_program(&kernel.source).unwrap_or_else(|e| {
-                    panic!("{} at {procs} procs: {e}", kernel.name)
-                });
+                prepare_program(&kernel.source)
+                    .unwrap_or_else(|e| panic!("{} at {procs} procs: {e}", kernel.name));
             }
         }
     }

@@ -153,9 +153,7 @@ fn extract_one(cfg: &Cfg, myproc: u32, procs: u32) -> Result<Vec<TraceOp>, SimEr
             Instr::PutShared { access, dst, src } => {
                 let loc = resolve_sym(dst, &locals, myproc, procs)?;
                 let val = sym_eval(src, &locals, myproc, procs)
-                    .ok_or_else(|| {
-                        SimError::new("litmus: written value depends on a shared read")
-                    })?
+                    .ok_or_else(|| SimError::new("litmus: written value depends on a shared read"))?
                     .as_int()?;
                 trace.push(TraceOp::Write {
                     loc,
@@ -223,7 +221,11 @@ fn sym_eval(
         Expr::Bool(v) => Some(Value::Bool(*v)),
         Expr::MyProc => Some(Value::Int(myproc as i64)),
         Expr::Procs => Some(Value::Int(procs as i64)),
-        Expr::Local(v) => locals.get(v).copied().unwrap_or(Some(Value::Int(0)))?.into(),
+        Expr::Local(v) => locals
+            .get(v)
+            .copied()
+            .unwrap_or(Some(Value::Int(0)))?
+            .into(),
         Expr::LocalElem { .. } => None,
         Expr::Unary { op, expr } => {
             let v = sym_eval(expr, locals, myproc, procs)?;
@@ -390,8 +392,6 @@ pub fn sample_weak_outcomes(
     runs: u32,
     seed: u64,
 ) -> Result<BTreeSet<Outcome>, SimError> {
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
     let traces = extract_traces(cfg, procs)?;
     for t in &traces {
         if t.len() > 64 {
@@ -405,7 +405,7 @@ pub fn sample_weak_outcomes(
         visited: HashSet::new(),
         state_cap: usize::MAX,
     };
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut outcomes = BTreeSet::new();
     for _ in 0..runs {
         let mut state = ExploreState {
@@ -434,7 +434,7 @@ pub fn sample_weak_outcomes(
             if total == 0 {
                 break;
             }
-            let pick = rng.gen_range(0..total);
+            let pick = rng.below(total);
             if pick == moves.len() {
                 for (p, i) in episode.expect("episode exists when picked") {
                     state.committed[p] |= 1 << i;
@@ -465,6 +465,32 @@ pub fn sample_weak_outcomes(
     Ok(outcomes)
 }
 
+/// Seeded PRNG (SplitMix64) so the Monte-Carlo walk needs no external
+/// crates and stays reproducible across platforms.
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` via Lemire's multiply-shift reduction
+    /// (the tiny modulo bias is irrelevant for sampling walks).
+    fn below(&mut self, bound: usize) -> usize {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as usize
+    }
+}
+
 fn explore(
     traces: &[Vec<TraceOp>],
     delay: Option<&DelaySet>,
@@ -476,7 +502,11 @@ fn explore(
     }
     let barrier_counts: Vec<usize> = traces
         .iter()
-        .map(|t| t.iter().filter(|o| matches!(o, TraceOp::Barrier { .. })).count())
+        .map(|t| {
+            t.iter()
+                .filter(|o| matches!(o, TraceOp::Barrier { .. }))
+                .count()
+        })
         .collect();
     if barrier_counts.iter().any(|&c| c != barrier_counts[0]) {
         return Err(SimError::new(
@@ -520,10 +550,9 @@ impl<'a> Explorer<'a> {
                 }
                 match op {
                     TraceOp::Barrier { .. } => continue, // handled below
-                    TraceOp::Wait { loc, .. }
-                        if !state.flags.contains(loc) => {
-                            continue;
-                        }
+                    TraceOp::Wait { loc, .. } if !state.flags.contains(loc) => {
+                        continue;
+                    }
                     _ => {}
                 }
                 progressed = true;
@@ -558,13 +587,12 @@ impl<'a> Explorer<'a> {
             self.dfs(next)?;
         }
 
-        if !progressed
-            && self.all_committed(&state) {
-                let outcome: Outcome = state.reads.values().copied().collect();
-                self.outcomes.insert(outcome);
-            }
-            // Otherwise: deadlock along this path (e.g. wait with no
-            // matching post). Such executions produce no outcome.
+        if !progressed && self.all_committed(&state) {
+            let outcome: Outcome = state.reads.values().copied().collect();
+            self.outcomes.insert(outcome);
+        }
+        // Otherwise: deadlock along this path (e.g. wait with no
+        // matching post). Such executions produce no outcome.
         Ok(())
     }
 
@@ -600,8 +628,8 @@ impl<'a> Explorer<'a> {
             }
             // Same-location per-processor order (uniprocessor dependence).
             if let (Some(l1), Some(l2)) = (earlier.data_loc(), op.data_loc()) {
-                let write_involved = matches!(earlier, TraceOp::Write { .. })
-                    || matches!(op, TraceOp::Write { .. });
+                let write_involved =
+                    matches!(earlier, TraceOp::Write { .. }) || matches!(op, TraceOp::Write { .. });
                 if l1 == l2 && write_involved {
                     return false;
                 }

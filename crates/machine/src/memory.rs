@@ -34,9 +34,7 @@ enum HomeInfo {
     /// Fixed home processor (scalars, scalar flags, locks).
     Fixed(u32),
     /// Block-distributed: `home = index / block_size`.
-    Blocked {
-        block: u64,
-    },
+    Blocked { block: u64 },
 }
 
 impl SharedMemory {
@@ -101,9 +99,7 @@ impl SharedMemory {
     pub fn home(&self, loc: Location) -> u32 {
         match self.home_cache[&loc.var] {
             HomeInfo::Fixed(p) => p,
-            HomeInfo::Blocked { block } => {
-                ((loc.index / block) as u32).min(self.procs - 1)
-            }
+            HomeInfo::Blocked { block } => ((loc.index / block) as u32).min(self.procs - 1),
         }
     }
 
@@ -278,7 +274,8 @@ mod tests {
     fn snapshot_is_deterministic() {
         let (t, x, _, _, _) = vars();
         let mut m = SharedMemory::new(2, &t);
-        m.store(Location { var: x, index: 0 }, Value::Int(3)).unwrap();
+        m.store(Location { var: x, index: 0 }, Value::Int(3))
+            .unwrap();
         let s1 = m.snapshot();
         let s2 = m.snapshot();
         assert_eq!(s1, s2);

@@ -643,7 +643,10 @@ impl<'a> Simulator<'a> {
                     t,
                     Event::Arrive {
                         home,
-                        msg: Msg::Unlock { from: p, lock: *lock },
+                        msg: Msg::Unlock {
+                            from: p,
+                            lock: *lock,
+                        },
                     },
                 );
                 Ok(true)
@@ -708,14 +711,22 @@ impl<'a> Simulator<'a> {
         let done = start + handler;
         self.handler_free[hi] = done;
         match msg {
-            Msg::Get { from, loc, dst, ctr } => {
+            Msg::Get {
+                from,
+                loc,
+                dst,
+                ctr,
+            } => {
                 self.trace(done, home, TraceKind::Service { what: "get" });
                 let val = self.memory.load(loc)?;
                 let (deliver, recv) = if local {
                     (done, 0)
                 } else {
                     self.net.get_replies += 1;
-                    (done + self.config.network_latency, self.config.recv_overhead)
+                    (
+                        done + self.config.network_latency,
+                        self.config.recv_overhead,
+                    )
                 };
                 if ctr.is_some() {
                     // Split-phase replies interrupt the issuing CPU.
@@ -734,7 +745,12 @@ impl<'a> Simulator<'a> {
                     },
                 );
             }
-            Msg::Put { from, loc, val, ctr } => {
+            Msg::Put {
+                from,
+                loc,
+                val,
+                ctr,
+            } => {
                 self.trace(done, home, TraceKind::Service { what: "put" });
                 self.memory.store(loc, val)?;
                 let (deliver, recv) = if local {
@@ -775,7 +791,10 @@ impl<'a> Simulator<'a> {
                             (done, 0)
                         } else {
                             self.net.wait_messages += 1;
-                            (done + self.config.network_latency, self.config.recv_overhead)
+                            (
+                                done + self.config.network_latency,
+                                self.config.recv_overhead,
+                            )
                         };
                         self.procs[w as usize].steal += recv;
                         self.push(
@@ -795,7 +814,10 @@ impl<'a> Simulator<'a> {
                         (done, 0)
                     } else {
                         self.net.wait_messages += 1;
-                        (done + self.config.network_latency, self.config.recv_overhead)
+                        (
+                            done + self.config.network_latency,
+                            self.config.recv_overhead,
+                        )
                     };
                     self.procs[from as usize].steal += recv;
                     self.push(
@@ -823,7 +845,10 @@ impl<'a> Simulator<'a> {
                         (done, 0)
                     } else {
                         self.net.lock_messages += 1;
-                        (done + self.config.network_latency, self.config.recv_overhead)
+                        (
+                            done + self.config.network_latency,
+                            self.config.recv_overhead,
+                        )
                     };
                     self.procs[from as usize].steal += recv;
                     self.push(
@@ -847,7 +872,10 @@ impl<'a> Simulator<'a> {
                         (done, 0)
                     } else {
                         self.net.lock_messages += 1;
-                        (done + self.config.network_latency, self.config.recv_overhead)
+                        (
+                            done + self.config.network_latency,
+                            self.config.recv_overhead,
+                        )
                     };
                     self.procs[next as usize].steal += recv;
                     self.push(
@@ -1287,12 +1315,15 @@ mod tests {
         assert!(!events.is_empty());
         // Trace is time-sorted and contains the expected event families.
         assert!(events.windows(2).all(|w| w[0].time <= w[1].time));
-        let has = |pred: &dyn Fn(&crate::trace::TraceKind) -> bool| {
-            events.iter().any(|e| pred(&e.kind))
-        };
+        let has =
+            |pred: &dyn Fn(&crate::trace::TraceKind) -> bool| events.iter().any(|e| pred(&e.kind));
         use crate::trace::TraceKind;
-        assert!(has(&|k| matches!(k, TraceKind::Service { what } if *what == "get")));
-        assert!(has(&|k| matches!(k, TraceKind::Service { what } if *what == "post")));
+        assert!(has(
+            &|k| matches!(k, TraceKind::Service { what } if *what == "get")
+        ));
+        assert!(has(
+            &|k| matches!(k, TraceKind::Service { what } if *what == "post")
+        ));
         assert!(has(&|k| matches!(k, TraceKind::BarrierRelease)));
         assert!(
             events

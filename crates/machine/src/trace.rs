@@ -142,6 +142,9 @@ mod tests {
             kind: TraceKind::Deliver { what: "data" },
         };
         let s = e.to_string();
-        assert!(s.contains("42") && s.contains("p3") && s.contains("data"), "{s}");
+        assert!(
+            s.contains("42") && s.contains("p3") && s.contains("data"),
+            "{s}"
+        );
     }
 }

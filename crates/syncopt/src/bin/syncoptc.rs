@@ -9,9 +9,13 @@
 //!     simulate and report cycles, messages, stalls, final memory
 //! syncoptc litmus <file> [--procs N]
 //!     enumerate weak vs sequentially consistent outcomes
+//! syncoptc check <file> [--procs N] [--strict] [--format json]
+//!     static race/synchronization check; exit 1 if errors are found
+//! syncoptc check --kernels [--procs N] [--format json]
+//!     check every built-in evaluation kernel, with per-kernel statistics
 //!
 //! `opt --dot` emits Graphviz instead of text; `run --trace` appends the
-//! first 200 trace events.
+//! first 200 trace events; `check --strict` promotes warnings to errors.
 //!
 //! L ∈ blocking|pipelined|oneway|full      (default pipelined)
 //! D ∈ ss|sync                             (default sync)
@@ -20,7 +24,11 @@
 //! ```
 
 use std::process::ExitCode;
-use syncopt::core::DelaySet;
+use syncopt::core::diag::{json, sort_diagnostics, Diagnostic, Severity};
+use syncopt::core::races::{detect_races, race_diagnostics, RaceAnalysis};
+use syncopt::core::warnings::sync_warnings;
+use syncopt::core::{DelaySet, SyncOptions};
+use syncopt::ir::cfg::Cfg;
 use syncopt::machine::litmus::{sc_outcomes, weak_outcomes};
 use syncopt::machine::MachineConfig;
 use syncopt::{compile, run, DelayChoice, OptLevel};
@@ -35,12 +43,25 @@ struct Args {
     dump: bool,
     dot: bool,
     trace: bool,
+    strict: bool,
+    kernels: bool,
+    format: Format,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Human,
+    Json,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut argv = std::env::args().skip(1);
+    let mut argv = std::env::args().skip(1).peekable();
     let command = argv.next().ok_or("missing command")?;
-    let file = argv.next().ok_or("missing input file")?;
+    // The input file is optional for `check --kernels`.
+    let file = match argv.peek() {
+        Some(a) if !a.starts_with("--") => argv.next().unwrap(),
+        _ => String::new(),
+    };
     let mut args = Args {
         command,
         file,
@@ -51,6 +72,9 @@ fn parse_args() -> Result<Args, String> {
         dump: false,
         dot: false,
         trace: false,
+        strict: false,
+        kernels: false,
+        format: Format::Human,
     };
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -83,8 +107,20 @@ fn parse_args() -> Result<Args, String> {
             "--dump" => args.dump = true,
             "--dot" => args.dot = true,
             "--trace" => args.trace = true,
+            "--strict" => args.strict = true,
+            "--kernels" => args.kernels = true,
+            "--format" => {
+                args.format = match argv.next().ok_or("--format needs a value")?.as_str() {
+                    "human" => Format::Human,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format `{other}`")),
+                };
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
+    }
+    if args.file.is_empty() && !(args.command == "check" && args.kernels) {
+        return Err("missing input file".to_string());
     }
     Ok(args)
 }
@@ -123,7 +159,12 @@ fn main() -> ExitCode {
 }
 
 fn real_main() -> Result<(), String> {
-    let args = parse_args().map_err(|e| format!("{e}\nrun with: syncoptc <analyze|opt|run|litmus> <file> [flags]"))?;
+    let args = parse_args().map_err(|e| {
+        format!("{e}\nrun with: syncoptc <analyze|opt|run|litmus|check> <file> [flags]")
+    })?;
+    if args.command == "check" && args.kernels {
+        return cmd_check_kernels(&args);
+    }
     let src = std::fs::read_to_string(&args.file)
         .map_err(|e| format!("cannot read {}: {e}", args.file))?;
     match args.command.as_str() {
@@ -131,6 +172,7 @@ fn real_main() -> Result<(), String> {
         "opt" => cmd_opt(&src, &args),
         "run" => cmd_run(&src, &args),
         "litmus" => cmd_litmus(&src, &args),
+        "check" => cmd_check(&src, &args),
         other => Err(format!("unknown command `{other}`")),
     }
 }
@@ -172,7 +214,10 @@ fn cmd_analyze(src: &str, args: &Args) -> Result<(), String> {
 fn cmd_opt(src: &str, args: &Args) -> Result<(), String> {
     let c = compile(src, args.procs, args.level, args.delay).map_err(|e| render_err(src, &e))?;
     if args.dot {
-        println!("{}", syncopt::ir::print::cfg_to_dot(&c.optimized.cfg, &args.file));
+        println!(
+            "{}",
+            syncopt::ir::print::cfg_to_dot(&c.optimized.cfg, &args.file)
+        );
         return Ok(());
     }
     println!("{:#?}", c.optimized.stats);
@@ -186,12 +231,8 @@ fn cmd_run(src: &str, args: &Args) -> Result<(), String> {
     let config = machine_config(&args.machine, args.procs)?;
     let r = run(src, &config, args.level, args.delay).map_err(|e| render_err(src, &e))?;
     if args.trace {
-        let (_, trace) = syncopt::machine::simulate_traced(
-            &r.compiled.optimized.cfg,
-            &config,
-            200,
-        )
-        .map_err(|e| e.to_string())?;
+        let (_, trace) = syncopt::machine::simulate_traced(&r.compiled.optimized.cfg, &config, 200)
+            .map_err(|e| e.to_string())?;
         println!("--- trace (first 200 events) ---");
         print!("{}", trace.render());
         println!("--------------------------------");
@@ -199,8 +240,14 @@ fn cmd_run(src: &str, args: &Args) -> Result<(), String> {
     println!("machine:            {} × {}", config.procs, config.name);
     println!("execution:          {} cycles", r.sim.exec_cycles);
     println!("messages:           {}", r.sim.net.total_messages());
-    println!("  gets/replies:     {}/{}", r.sim.net.get_requests, r.sim.net.get_replies);
-    println!("  puts/acks:        {}/{}", r.sim.net.put_requests, r.sim.net.put_acks);
+    println!(
+        "  gets/replies:     {}/{}",
+        r.sim.net.get_requests, r.sim.net.get_replies
+    );
+    println!(
+        "  puts/acks:        {}/{}",
+        r.sim.net.put_requests, r.sim.net.put_acks
+    );
     println!("  stores:           {}", r.sim.net.store_requests);
     println!("  barriers:         {}", r.sim.net.barriers);
     println!(
@@ -238,10 +285,197 @@ fn cmd_litmus(src: &str, args: &Args) -> Result<(), String> {
     println!("SC outcomes:                 {sc:?}");
     println!("weak outcomes, no delays:    {none:?}");
     println!("weak outcomes, refined D:    {refined:?}");
-    println!(
-        "refined D preserves SC:      {}",
-        refined.is_subset(&sc)
-    );
+    println!("refined D preserves SC:      {}", refined.is_subset(&sc));
+    Ok(())
+}
+
+/// Everything `check` computes for one program.
+struct CheckOutcome {
+    races: RaceAnalysis,
+    diags: Vec<Diagnostic>,
+}
+
+impl CheckOutcome {
+    fn errors(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    fn count(&self, s: Severity) -> usize {
+        self.diags.iter().filter(|d| d.severity == s).count()
+    }
+}
+
+/// Runs the race detector and the synchronization warnings over `cfg`,
+/// merging both into one sorted diagnostic list. `--strict` promotes
+/// warnings to errors.
+fn run_check(cfg: &Cfg, args: &Args) -> CheckOutcome {
+    let opts = SyncOptions {
+        procs: Some(args.procs),
+        ..SyncOptions::default()
+    };
+    let races = detect_races(cfg, &opts);
+    let mut diags = race_diagnostics(cfg, &races);
+    for w in sync_warnings(cfg) {
+        diags.push(w.to_diagnostic(cfg));
+    }
+    if args.strict {
+        for d in &mut diags {
+            if d.severity == Severity::Warning {
+                d.severity = Severity::Error;
+            }
+        }
+    }
+    sort_diagnostics(&mut diags);
+    CheckOutcome { races, diags }
+}
+
+fn check_summary_json(outcome: &CheckOutcome) -> json::Value {
+    json::Value::Obj(vec![
+        (
+            "errors".to_string(),
+            json::Value::Int(outcome.errors() as i64),
+        ),
+        (
+            "warnings".to_string(),
+            json::Value::Int(outcome.count(Severity::Warning) as i64),
+        ),
+        (
+            "notes".to_string(),
+            json::Value::Int(outcome.count(Severity::Note) as i64),
+        ),
+        (
+            "conflicting_pairs".to_string(),
+            json::Value::Int((outcome.races.races.len() + outcome.races.ordered.len()) as i64),
+        ),
+        (
+            "ordered".to_string(),
+            json::Value::Int(outcome.races.ordered.len() as i64),
+        ),
+        (
+            "races".to_string(),
+            json::Value::Int(outcome.races.races.len() as i64),
+        ),
+        (
+            "proven_races".to_string(),
+            json::Value::Int(outcome.races.proven() as i64),
+        ),
+        (
+            "race_free".to_string(),
+            json::Value::Bool(outcome.races.race_free()),
+        ),
+    ])
+}
+
+fn cmd_check(src: &str, args: &Args) -> Result<(), String> {
+    let c = compile(src, args.procs, OptLevel::Blocking, args.delay)
+        .map_err(|e| render_err(src, &e))?;
+    let outcome = run_check(&c.source_cfg, args);
+    match args.format {
+        Format::Json => {
+            let report = json::Value::Obj(vec![
+                ("file".to_string(), json::Value::Str(args.file.clone())),
+                ("procs".to_string(), json::Value::Int(i64::from(args.procs))),
+                ("summary".to_string(), check_summary_json(&outcome)),
+                (
+                    "diagnostics".to_string(),
+                    json::Value::Arr(outcome.diags.iter().map(|d| d.to_json(src)).collect()),
+                ),
+            ]);
+            println!("{report}");
+        }
+        Format::Human => {
+            for d in &outcome.diags {
+                println!("{}", d.render(src, &args.file));
+            }
+            let r = &outcome.races;
+            println!(
+                "{}: {} conflicting data pair(s): {} ordered, {} potentially racy ({} proven)",
+                args.file,
+                r.races.len() + r.ordered.len(),
+                r.ordered.len(),
+                r.races.len(),
+                r.proven()
+            );
+            println!(
+                "{} error(s), {} warning(s), {} note(s)",
+                outcome.errors(),
+                outcome.count(Severity::Warning),
+                outcome.count(Severity::Note)
+            );
+        }
+    }
+    if outcome.errors() > 0 {
+        return Err(format!("check failed: {} error(s)", outcome.errors()));
+    }
+    Ok(())
+}
+
+fn cmd_check_kernels(args: &Args) -> Result<(), String> {
+    use syncopt::frontend::prepare_program;
+    use syncopt::ir::lower::lower_main;
+
+    let mut failed = 0usize;
+    let mut rows = Vec::new();
+    for kernel in syncopt::kernels::all_kernels(args.procs) {
+        let cfg = lower_main(
+            &prepare_program(&kernel.source)
+                .map_err(|e| format!("{}: {}", kernel.name, e.render(&kernel.source)))?,
+        )
+        .map_err(|e| format!("{}: {e}", kernel.name))?;
+        let outcome = run_check(&cfg, args);
+        failed += usize::from(outcome.errors() > 0);
+        rows.push((kernel.name, outcome));
+    }
+    match args.format {
+        Format::Json => {
+            let kernels = rows
+                .iter()
+                .map(|(name, outcome)| {
+                    json::Value::Obj(vec![
+                        ("name".to_string(), json::Value::Str((*name).to_string())),
+                        ("summary".to_string(), check_summary_json(outcome)),
+                    ])
+                })
+                .collect();
+            let report = json::Value::Obj(vec![
+                ("procs".to_string(), json::Value::Int(i64::from(args.procs))),
+                ("kernels".to_string(), json::Value::Arr(kernels)),
+            ]);
+            println!("{report}");
+        }
+        Format::Human => {
+            println!(
+                "{:<10} {:>9} {:>8} {:>6} {:>7} {:>6} {:>6}",
+                "kernel", "conflicts", "ordered", "races", "proven", "warns", "notes"
+            );
+            for (name, outcome) in &rows {
+                let r = &outcome.races;
+                println!(
+                    "{:<10} {:>9} {:>8} {:>6} {:>7} {:>6} {:>6}",
+                    name,
+                    r.races.len() + r.ordered.len(),
+                    r.ordered.len(),
+                    r.races.len(),
+                    r.proven(),
+                    outcome.count(Severity::Warning),
+                    outcome.count(Severity::Note)
+                );
+            }
+            let racy: Vec<&str> = rows
+                .iter()
+                .filter(|(_, o)| !o.races.race_free())
+                .map(|(n, _)| *n)
+                .collect();
+            if racy.is_empty() {
+                println!("all {} kernel(s) race-free", rows.len());
+            } else {
+                println!("race reports in: {}", racy.join(", "));
+            }
+        }
+    }
+    if failed > 0 {
+        return Err(format!("check failed: {failed} kernel(s) with errors"));
+    }
     Ok(())
 }
 

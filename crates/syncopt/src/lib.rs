@@ -39,18 +39,18 @@ pub use syncopt_codegen::{DelayChoice, OptLevel, OptStats, Optimized};
 pub use syncopt_core::{Analysis, AnalysisStats, DelaySet};
 pub use syncopt_machine::{MachineConfig, SimResult};
 
+/// Optimization stage (split-phase codegen and communication passes).
+pub use syncopt_codegen as codegen;
+/// Analysis stage (conflicts, cycle detection, synchronization analysis).
+pub use syncopt_core as core;
 /// Frontend stage (lexer, parser, type checker, inlining).
 pub use syncopt_frontend as frontend;
 /// IR stage (CFG, dominators, dataflow).
 pub use syncopt_ir as ir;
-/// Analysis stage (conflicts, cycle detection, synchronization analysis).
-pub use syncopt_core as core;
-/// Optimization stage (split-phase codegen and communication passes).
-pub use syncopt_codegen as codegen;
-/// Execution substrate (machine simulator, litmus explorer).
-pub use syncopt_machine as machine;
 /// The five evaluation kernels.
 pub use syncopt_kernels as kernels;
+/// Execution substrate (machine simulator, litmus explorer).
+pub use syncopt_machine as machine;
 
 use std::error::Error;
 use std::fmt;
@@ -274,8 +274,13 @@ mod tests {
 
     #[test]
     fn frontend_errors_propagate() {
-        let err = compile("fn main() { x = 1; }", 2, OptLevel::Full, DelayChoice::SyncRefined)
-            .unwrap_err();
+        let err = compile(
+            "fn main() { x = 1; }",
+            2,
+            OptLevel::Full,
+            DelayChoice::SyncRefined,
+        )
+        .unwrap_err();
         assert!(matches!(err, SyncoptError::Frontend(_)), "{err}");
         assert!(err.to_string().contains("unknown variable"));
     }

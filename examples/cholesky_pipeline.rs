@@ -17,7 +17,11 @@ fn main() -> Result<(), SyncoptError> {
     let config = MachineConfig::cm5(procs);
     let configs = [
         ("blocking", OptLevel::Blocking, DelayChoice::SyncRefined),
-        ("unoptimized (D_SS)", OptLevel::Pipelined, DelayChoice::ShashaSnir),
+        (
+            "unoptimized (D_SS)",
+            OptLevel::Pipelined,
+            DelayChoice::ShashaSnir,
+        ),
         ("pipelined", OptLevel::Pipelined, DelayChoice::SyncRefined),
         ("one-way", OptLevel::OneWay, DelayChoice::SyncRefined),
         ("full (elim)", OptLevel::Full, DelayChoice::SyncRefined),

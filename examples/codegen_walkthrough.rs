@@ -38,7 +38,10 @@ fn main() -> Result<(), SyncoptError> {
     println!("==== optimized CFG (split-phase, one-way) ====\n");
     println!("{}", cfg_to_string(&optimized.optimized.cfg));
 
-    println!("==== optimizer statistics ====\n{:#?}", optimized.optimized.stats);
+    println!(
+        "==== optimizer statistics ====\n{:#?}",
+        optimized.optimized.stats
+    );
 
     // And the payoff, measured:
     let config = syncopt::machine::MachineConfig::cm5(8);
@@ -48,8 +51,7 @@ fn main() -> Result<(), SyncoptError> {
         "\nblocking: {} cycles   optimized: {} cycles   ({:.1}% faster)",
         base.sim.exec_cycles,
         fast.sim.exec_cycles,
-        100.0 * (base.sim.exec_cycles - fast.sim.exec_cycles) as f64
-            / base.sim.exec_cycles as f64
+        100.0 * (base.sim.exec_cycles - fast.sim.exec_cycles) as f64 / base.sim.exec_cycles as f64
     );
     Ok(())
 }

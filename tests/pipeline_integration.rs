@@ -152,14 +152,24 @@ fn faster_machines_run_faster() {
     // T3D has far lower remote latency than CM-5; communication-bound
     // programs must finish sooner.
     let (_, src) = PROGRAMS[1]; // phase_exchange
-    let cm5 = run(src, &MachineConfig::cm5(8), OptLevel::Blocking, DelayChoice::SyncRefined)
-        .unwrap()
-        .sim
-        .exec_cycles;
-    let t3d = run(src, &MachineConfig::t3d(8), OptLevel::Blocking, DelayChoice::SyncRefined)
-        .unwrap()
-        .sim
-        .exec_cycles;
+    let cm5 = run(
+        src,
+        &MachineConfig::cm5(8),
+        OptLevel::Blocking,
+        DelayChoice::SyncRefined,
+    )
+    .unwrap()
+    .sim
+    .exec_cycles;
+    let t3d = run(
+        src,
+        &MachineConfig::t3d(8),
+        OptLevel::Blocking,
+        DelayChoice::SyncRefined,
+    )
+    .unwrap()
+    .sim
+    .exec_cycles;
     assert!(t3d < cm5, "t3d {t3d} vs cm5 {cm5}");
 }
 

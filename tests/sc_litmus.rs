@@ -283,8 +283,10 @@ fn weak_outcomes_shrink_as_delays_grow() {
         let all = weak_outcomes(&cfg, &empty, *procs).unwrap();
         let with_sync = weak_outcomes(&cfg, &analysis.delay_sync, *procs).unwrap();
         let with_ss = weak_outcomes(&cfg, &analysis.delay_ss, *procs).unwrap();
-        assert!(with_ss.is_subset(&with_sync) || with_ss == with_sync,
-            "{name}: D_SS admits outcomes the refined set forbids?");
+        assert!(
+            with_ss.is_subset(&with_sync) || with_ss == with_sync,
+            "{name}: D_SS admits outcomes the refined set forbids?"
+        );
         assert!(
             with_sync.is_subset(&all),
             "{name}: delays must only remove behaviors"
