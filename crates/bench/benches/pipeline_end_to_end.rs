@@ -3,7 +3,7 @@
 //! translator like the paper's prototype pays per compilation unit.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use syncopt::{compile, DelayChoice, OptLevel};
+use syncopt::{OptLevel, Syncopt};
 use syncopt_kernels::all_kernels;
 
 fn bench_pipeline(c: &mut Criterion) {
@@ -14,13 +14,11 @@ fn bench_pipeline(c: &mut Criterion) {
             &kernel.source,
             |b, src| {
                 b.iter(|| {
-                    compile(
-                        std::hint::black_box(src),
-                        16,
-                        OptLevel::Full,
-                        DelayChoice::SyncRefined,
-                    )
-                    .expect("compiles")
+                    Syncopt::new(std::hint::black_box(src))
+                        .procs(16)
+                        .level(OptLevel::Full)
+                        .compile()
+                        .expect("compiles")
                 })
             },
         );

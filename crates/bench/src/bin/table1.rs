@@ -6,7 +6,7 @@
 //! blocking read of a remote/local scalar) and reports the observed cost,
 //! demonstrating that the simulator realizes the configured latencies.
 
-use syncopt::{DelayChoice, OptLevel};
+use syncopt::{OptLevel, Syncopt};
 use syncopt_bench::row;
 use syncopt_machine::MachineConfig;
 
@@ -18,13 +18,10 @@ fn measure(config: &MachineConfig, remote: bool) -> u64 {
     } else {
         "shared int X; fn main() { if (MYPROC == 0) { int v; v = X; } }"
     };
-    let r = syncopt::run(
-        src,
-        config,
-        OptLevel::Blocking,
-        DelayChoice::SyncRefined,
-    )
-    .expect("micro-benchmark must run");
+    let r = Syncopt::new(src)
+        .level(OptLevel::Blocking)
+        .run(config)
+        .expect("micro-benchmark must run");
     let p = if remote { 1 } else { 0 };
     // Subtract the branch-evaluation cost to isolate the access.
     r.sim.proc_cycles[p] - config.local_op_cycles

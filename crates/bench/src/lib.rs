@@ -6,7 +6,7 @@
 //! (see DESIGN.md's experiment index): `table1`, `fig12`, `fig13`,
 //! `litmus`, `delay_sizes`.
 
-use syncopt::{DelayChoice, OptLevel, SyncoptError};
+use syncopt::{DelayChoice, OptLevel, Syncopt, SyncoptError};
 use syncopt_kernels::Kernel;
 use syncopt_machine::{MachineConfig, SimResult};
 
@@ -37,7 +37,11 @@ pub fn run_kernel(
         kernel.procs, config.procs,
         "kernel generated for a different machine size"
     );
-    Ok(syncopt::run(&kernel.source, config, level, choice)?.sim)
+    Ok(Syncopt::new(&kernel.source)
+        .level(level)
+        .delay(choice)
+        .run(config)?
+        .sim)
 }
 
 /// Renders a row of fixed-width right-aligned columns.

@@ -162,6 +162,23 @@ impl<'a> BackPathOracle<'a> {
     }
 }
 
+/// What one [`compute_delay_set_counted`] run did — the raw material of
+/// the pipeline observability report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DelayQueryStats {
+    /// Ordered program pairs considered as delay candidates.
+    pub candidates: u64,
+    /// Candidates skipped by the `only_sync_pairs` restriction.
+    pub sync_skipped: u64,
+    /// Back-path oracle queries issued.
+    pub backpath_queries: u64,
+    /// Mirror-copy nodes excluded across all removal callbacks (§5.1
+    /// step 6 / §5.3 lock rule).
+    pub removed_nodes: u64,
+    /// Queries that found a back-path (delay edges kept).
+    pub delays_found: u64,
+}
+
 /// Computes a delay set by back-path detection over `P ∪ C`.
 ///
 /// With default options and a freshly built (symmetric) conflict set this is
@@ -173,9 +190,21 @@ pub fn compute_delay_set(
     po: &ProgramOrder,
     opts: &DelayOptions<'_>,
 ) -> DelaySet {
+    compute_delay_set_counted(cfg, conflicts, po, opts).0
+}
+
+/// [`compute_delay_set`], additionally reporting how much work the
+/// back-path search performed.
+pub fn compute_delay_set_counted(
+    cfg: &Cfg,
+    conflicts: &ConflictSet,
+    po: &ProgramOrder,
+    opts: &DelayOptions<'_>,
+) -> (DelaySet, DelayQueryStats) {
     let n = cfg.accesses.len();
     let oracle = BackPathOracle::new(cfg, conflicts, po);
     let mut out = DelaySet::new(n);
+    let mut stats = DelayQueryStats::default();
     let is_sync: Vec<bool> = cfg
         .accesses
         .iter()
@@ -186,19 +215,24 @@ pub fn compute_delay_set(
             if !po.access_precedes(cfg, u, v) {
                 continue;
             }
+            stats.candidates += 1;
             if opts.only_sync_pairs && !is_sync[u.index()] && !is_sync[v.index()] {
+                stats.sync_skipped += 1;
                 continue;
             }
             let removed = match &opts.removals {
                 Some(f) => f(u, v),
                 None => Vec::new(),
             };
+            stats.removed_nodes += removed.len() as u64;
+            stats.backpath_queries += 1;
             if oracle.has_back_path(u, v, &removed) {
+                stats.delays_found += 1;
                 out.insert(u, v);
             }
         }
     }
-    out
+    (out, stats)
 }
 
 /// The Shasha–Snir delay set: all-pairs back-path detection on the

@@ -15,7 +15,9 @@
 //! `docs/DIAGNOSTICS.md`.
 
 use std::fmt;
+use syncopt_frontend::error::FrontendErrorKind;
 use syncopt_frontend::span::Span;
+use syncopt_frontend::FrontendError;
 
 /// How serious a diagnostic is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -214,6 +216,35 @@ fn render_snippet(out: &mut String, src: &str, span: Span) {
         "^".repeat(width),
         gutter = gutter
     ));
+}
+
+/// Routes a [`FrontendError`] through the shared diagnostic framework, so
+/// frontend failures render with the same rustc-style snippets as the
+/// static analyses (codes `E001`–`E004`, one per frontend stage).
+pub fn frontend_diagnostic(e: &FrontendError) -> Diagnostic {
+    let code = match e.kind() {
+        FrontendErrorKind::Lex => "E001",
+        FrontendErrorKind::Parse => "E002",
+        FrontendErrorKind::Type => "E003",
+        FrontendErrorKind::Inline => "E004",
+    };
+    Diagnostic::new(
+        code,
+        Severity::Error,
+        format!("{}: {}", e.kind(), e.message()),
+        e.span(),
+    )
+}
+
+/// Routes an AST→CFG lowering error through the diagnostic framework
+/// (code `E005`).
+pub fn lower_diagnostic(e: &syncopt_ir::lower::LowerError) -> Diagnostic {
+    Diagnostic::new(
+        "E005",
+        Severity::Error,
+        format!("lowering error: {}", e.message()),
+        e.span(),
+    )
 }
 
 /// Sorts diagnostics deterministically: by severity (errors first), then

@@ -45,6 +45,7 @@ pub mod delay;
 pub mod diag;
 pub mod guards;
 pub mod locks;
+pub mod obs;
 pub mod races;
 pub mod sync;
 pub mod warnings;
@@ -54,6 +55,7 @@ pub use conflict::ConflictSet;
 pub use cycle::shasha_snir;
 pub use delay::DelaySet;
 pub use diag::{sort_diagnostics, Diagnostic, Severity};
+pub use obs::{Counters, PhaseTimings};
 pub use races::{detect_races, race_diagnostics, Confidence, RaceAnalysis, RaceReport};
 pub use sync::{analyze_sync, Precedence, SyncAnalysis, SyncOptions};
 pub use warnings::{sync_warnings, warning_diagnostics, SyncWarning};
@@ -71,6 +73,9 @@ pub struct Analysis {
     pub delay_sync: DelaySet,
     /// The detailed synchronization-analysis artifacts.
     pub sync: SyncAnalysis,
+    /// Work counters from every analysis stage (`conflict.*`, `cycle.*`,
+    /// `sync.*`, `delay.*` keys), for the pipeline observability report.
+    pub metrics: Counters,
 }
 
 impl Analysis {
@@ -124,14 +129,32 @@ pub fn analyze_for(cfg: &Cfg, procs: u32) -> Analysis {
 
 /// [`analyze`] with explicit options (e.g. the barrier policy).
 pub fn analyze_with(cfg: &Cfg, opts: &SyncOptions) -> Analysis {
+    let mut metrics = Counters::new();
     let conflicts = ConflictSet::build_bounded(cfg, opts.procs);
-    let delay_ss = cycle::shasha_snir_bounded(cfg, opts.procs);
+    metrics.set("conflict.pairs", conflicts.unordered_pairs().len() as u64);
+    metrics.set(
+        "conflict.directed_edges",
+        conflicts.num_directed_edges() as u64,
+    );
+    let po = syncopt_ir::order::ProgramOrder::compute(cfg);
+    let (delay_ss, ss_stats) =
+        cycle::compute_delay_set_counted(cfg, &conflicts, &po, &cycle::DelayOptions::default());
+    metrics.set("cycle.candidate_pairs", ss_stats.candidates);
+    metrics.set("cycle.backpath_queries", ss_stats.backpath_queries);
     let sync = analyze_sync(cfg, opts);
+    metrics.merge(&sync.counters);
+    metrics.set("delay.ss_pairs", delay_ss.len() as u64);
+    metrics.set("delay.refined_pairs", sync.delay.len() as u64);
+    metrics.set(
+        "delay.pairs_dropped",
+        (delay_ss.len().saturating_sub(sync.delay.len())) as u64,
+    );
     Analysis {
         conflicts,
         delay_ss,
         delay_sync: sync.delay.clone(),
         sync,
+        metrics,
     }
 }
 

@@ -1,0 +1,218 @@
+//! Observability primitives shared by every pipeline stage.
+//!
+//! Two std-only building blocks:
+//!
+//! * [`Counters`] — a deterministic named-counter registry. Analysis and
+//!   optimization passes report *what they did* (pairs considered,
+//!   back-path searches, edges kept/dropped per refinement rule) into one
+//!   of these; the facade merges them into the `PipelineReport`.
+//! * [`PhaseTimings`] — phase-scoped wall-clock timers. Timings are
+//!   inherently nondeterministic, so they are kept separate from the
+//!   counters: consumers that need reproducible output (golden tests,
+//!   report diffing) compare counters exactly and scrub or ratio the
+//!   timings.
+//!
+//! Both types convert to the std-only JSON [`crate::diag::json::Value`],
+//! with keys in a stable order.
+
+use crate::diag::json;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// A deterministic registry of named `u64` counters.
+///
+/// Keys use dotted `stage.metric` names (`"cycle.backpath_queries"`,
+/// `"sync.post_wait_edges"`); iteration and JSON emission are sorted by
+/// key, so two runs over the same input produce identical output.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counters {
+    values: BTreeMap<String, u64>,
+}
+
+impl Counters {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Counters::default()
+    }
+
+    /// Adds `n` to `name` (creating it at zero first).
+    pub fn add(&mut self, name: &str, n: u64) {
+        *self.values.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Increments `name` by one.
+    pub fn inc(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Sets `name` to `n`, overwriting any previous value.
+    pub fn set(&mut self, name: &str, n: u64) {
+        self.values.insert(name.to_string(), n);
+    }
+
+    /// The value of `name` (zero if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.values.get(name).copied().unwrap_or(0)
+    }
+
+    /// All `(name, value)` pairs, sorted by name.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Number of distinct counters.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no counter was ever touched.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Merges another registry into this one (summing shared keys).
+    pub fn merge(&mut self, other: &Counters) {
+        for (k, v) in other.iter() {
+            self.add(k, v);
+        }
+    }
+
+    /// The registry as a JSON object, keys sorted.
+    pub fn to_json(&self) -> json::Value {
+        json::Value::Obj(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), json::Value::Int(v as i64)))
+                .collect(),
+        )
+    }
+}
+
+/// Phase-scoped wall-clock timers, recorded in microseconds.
+///
+/// Phases keep their insertion order (the pipeline order), and a disabled
+/// collector records every phase with a zero duration so the *schema* of
+/// emitted reports does not depend on whether timing was requested.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    enabled: bool,
+    phases: Vec<(String, u64)>,
+}
+
+impl PhaseTimings {
+    /// A collector; `enabled = false` records zeros (schema-stable no-op).
+    pub fn new(enabled: bool) -> Self {
+        PhaseTimings {
+            enabled,
+            phases: Vec::new(),
+        }
+    }
+
+    /// Whether durations are actually measured.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Runs `f` as phase `name`, recording its duration.
+    pub fn time<R>(&mut self, name: &str, f: impl FnOnce() -> R) -> R {
+        if !self.enabled {
+            self.phases.push((name.to_string(), 0));
+            return f();
+        }
+        let start = Instant::now();
+        let out = f();
+        let micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        self.phases.push((name.to_string(), micros));
+        out
+    }
+
+    /// Records an externally measured phase duration.
+    pub fn record(&mut self, name: &str, micros: u64) {
+        self.phases
+            .push((name.to_string(), if self.enabled { micros } else { 0 }));
+    }
+
+    /// All `(phase, micros)` pairs in pipeline order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.phases.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// The duration of `name` (zero if absent or disabled).
+    pub fn get(&self, name: &str) -> u64 {
+        self.phases
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// Sum of all recorded phase durations, in microseconds.
+    pub fn total_micros(&self) -> u64 {
+        self.phases.iter().map(|(_, v)| v).sum()
+    }
+
+    /// The timings as a JSON object in pipeline order; every value is the
+    /// phase duration in microseconds (all zeros when disabled).
+    pub fn to_json(&self) -> json::Value {
+        json::Value::Obj(
+            self.iter()
+                .map(|(k, v)| (format!("{k}_us"), json::Value::Int(v as i64)))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_sort() {
+        let mut c = Counters::new();
+        c.inc("b.second");
+        c.add("a.first", 41);
+        c.inc("a.first");
+        assert_eq!(c.get("a.first"), 42);
+        assert_eq!(c.get("missing"), 0);
+        let keys: Vec<&str> = c.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["a.first", "b.second"]);
+        assert_eq!(c.to_json().to_string(), r#"{"a.first":42,"b.second":1}"#);
+    }
+
+    #[test]
+    fn counters_merge_sums_shared_keys() {
+        let mut a = Counters::new();
+        a.add("x", 1);
+        let mut b = Counters::new();
+        b.add("x", 2);
+        b.add("y", 3);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 3);
+        assert_eq!(a.get("y"), 3);
+    }
+
+    #[test]
+    fn disabled_timings_record_zeros_with_stable_schema() {
+        let mut t = PhaseTimings::new(false);
+        let out = t.time("parse", || 7);
+        assert_eq!(out, 7);
+        t.record("simulate", 1234);
+        assert!(!t.enabled());
+        assert_eq!(t.get("parse"), 0);
+        assert_eq!(t.get("simulate"), 0);
+        assert_eq!(t.to_json().to_string(), r#"{"parse_us":0,"simulate_us":0}"#);
+    }
+
+    #[test]
+    fn enabled_timings_measure_and_preserve_order() {
+        let mut t = PhaseTimings::new(true);
+        t.time("first", || {
+            std::thread::sleep(std::time::Duration::from_millis(2))
+        });
+        t.record("second", 99);
+        assert!(t.get("first") >= 1000, "slept 2ms: {}", t.get("first"));
+        assert_eq!(t.get("second"), 99);
+        let keys: Vec<&str> = t.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["first", "second"]);
+        assert_eq!(t.total_micros(), t.get("first") + 99);
+    }
+}

@@ -25,9 +25,10 @@
 use crate::affine::may_match_any_proc;
 use crate::barrier::{aligned_barriers, barrier_precedence_edges, BarrierPolicy};
 use crate::conflict::ConflictSet;
-use crate::cycle::{compute_delay_set, DelayOptions};
+use crate::cycle::{compute_delay_set_counted, DelayOptions};
 use crate::delay::DelaySet;
 use crate::locks::{compute_lock_guards, LockGuards};
+use crate::obs::Counters;
 use syncopt_ir::access::AccessKind;
 use syncopt_ir::cfg::Cfg;
 use syncopt_ir::dom::Dominators;
@@ -119,6 +120,8 @@ pub struct SyncAnalysis {
     pub oriented: ConflictSet,
     /// The final, refined delay set (`D1` ∪ step-6 recomputation).
     pub delay: DelaySet,
+    /// Work counters for the observability report (`sync.*` keys).
+    pub counters: Counters,
 }
 
 /// Runs the full §5 analysis.
@@ -126,9 +129,10 @@ pub fn analyze_sync(cfg: &Cfg, opts: &SyncOptions) -> SyncAnalysis {
     let po = ProgramOrder::compute(cfg);
     let dom = Dominators::compute(cfg);
     let conflicts = ConflictSet::build_bounded(cfg, opts.procs);
+    let mut counters = Counters::new();
 
     // Step 2: D1.
-    let d1 = compute_delay_set(
+    let (d1, d1_stats) = compute_delay_set_counted(
         cfg,
         &conflicts,
         &po,
@@ -137,25 +141,40 @@ pub fn analyze_sync(cfg: &Cfg, opts: &SyncOptions) -> SyncAnalysis {
             removals: None,
         },
     );
+    counters.set("sync.d1_pairs", d1.len() as u64);
+    counters.set("sync.d1_backpath_queries", d1_stats.backpath_queries);
 
     // Step 3: seed R.
     let mut r = Precedence::new(cfg.accesses.len());
-    for (p, w) in post_wait_edges(cfg) {
+    let pw = post_wait_edges(cfg);
+    counters.set("sync.post_wait_edges", pw.len() as u64);
+    for (p, w) in pw {
         r.insert(p, w);
     }
     let aligned = aligned_barriers(cfg, opts.barrier_policy);
-    for (b1, b2) in barrier_precedence_edges(cfg, &po, &aligned) {
+    counters.set("sync.aligned_barriers", aligned.len() as u64);
+    let be = barrier_precedence_edges(cfg, &po, &aligned);
+    counters.set("sync.barrier_edges", be.len() as u64);
+    for (b1, b2) in be {
         r.insert(b1, b2);
     }
+    let seeded = r.len() as u64;
 
     // Step 4: fixpoint.
     grow_precedence(cfg, &dom, &d1, &mut r);
+    counters.set("sync.precedence_pairs", r.len() as u64);
+    counters.set("sync.precedence_derived", r.len() as u64 - seeded);
 
     // Step 5: orient conflict edges.
     let mut oriented = conflicts.clone();
+    let edges_before = oriented.num_directed_edges() as u64;
     for (a1, a2) in r.pairs() {
         oriented.remove_direction(a2, a1);
     }
+    counters.set(
+        "sync.conflict_directions_removed",
+        edges_before - oriented.num_directed_edges() as u64,
+    );
 
     // Lock guards (§5.3).
     let guards = compute_lock_guards(cfg, &dom, &d1);
@@ -184,7 +203,7 @@ pub fn analyze_sync(cfg: &Cfg, opts: &SyncOptions) -> SyncAnalysis {
         }
         out
     };
-    let mut delay = compute_delay_set(
+    let (mut delay, step6_stats) = compute_delay_set_counted(
         cfg,
         &oriented,
         &po,
@@ -194,6 +213,10 @@ pub fn analyze_sync(cfg: &Cfg, opts: &SyncOptions) -> SyncAnalysis {
         },
     );
     delay.union_with(&d1);
+    counters.set("sync.candidate_pairs", step6_stats.candidates);
+    counters.set("sync.backpath_queries", step6_stats.backpath_queries);
+    counters.set("sync.removed_backpath_nodes", step6_stats.removed_nodes);
+    counters.set("sync.refined_pairs", delay.len() as u64);
 
     SyncAnalysis {
         d1,
@@ -202,6 +225,7 @@ pub fn analyze_sync(cfg: &Cfg, opts: &SyncOptions) -> SyncAnalysis {
         guards,
         oriented,
         delay,
+        counters,
     }
 }
 

@@ -1,4 +1,13 @@
-//! Frontend diagnostics.
+//! Frontend errors.
+//!
+//! [`FrontendError`] carries a classification, a message, and the source
+//! [`Span`] it refers to. It deliberately stays renderer-free beyond the
+//! plain [`FrontendError::render`] line format: the shared diagnostics
+//! framework in `syncopt-core` (`diag::frontend_diagnostic`) converts it
+//! to a full rustc-style [`Diagnostic`] with a source snippet, so there is
+//! a single snippet renderer for the whole pipeline.
+//!
+//! [`Diagnostic`]: https://docs.rs/syncopt-core
 
 use crate::span::Span;
 use std::error::Error;

@@ -9,7 +9,7 @@
 //! `main` (an inlined `return` would need a structured jump the AST lacks).
 
 use crate::ast::{Expr, ExprKind, Function, LValue, Program, Stmt, StmtKind};
-use crate::diag::FrontendError;
+use crate::error::FrontendError;
 use crate::span::Span;
 use std::collections::HashMap;
 

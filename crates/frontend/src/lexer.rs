@@ -4,7 +4,7 @@
 //! decimal integer and floating-point literals, and the operators listed in
 //! [`crate::token::TokenKind`].
 
-use crate::diag::FrontendError;
+use crate::error::FrontendError;
 use crate::span::Span;
 use crate::token::{Token, TokenKind};
 

@@ -41,7 +41,7 @@
 //! ```
 
 pub mod ast;
-pub mod diag;
+pub mod error;
 pub mod inline;
 pub mod lexer;
 pub mod parser;
@@ -53,7 +53,7 @@ pub mod typeck;
 pub use ast::{
     BinOp, Decl, Expr, ExprKind, Function, LValue, Param, Program, Stmt, StmtKind, Type, UnOp,
 };
-pub use diag::FrontendError;
+pub use error::{FrontendError, FrontendErrorKind};
 pub use span::Span;
 
 /// Parses `minisplit` source text into an AST without type checking.

@@ -7,7 +7,7 @@
 use crate::ast::{
     BinOp, Decl, Expr, ExprKind, Function, LValue, Param, Program, Stmt, StmtKind, Type, UnOp,
 };
-use crate::diag::FrontendError;
+use crate::error::FrontendError;
 use crate::span::Span;
 use crate::token::{Token, TokenKind};
 

@@ -9,7 +9,7 @@
 use crate::ast::{
     BinOp, Decl, Expr, ExprKind, Function, LValue, Program, Stmt, StmtKind, Type, UnOp,
 };
-use crate::diag::FrontendError;
+use crate::error::FrontendError;
 use crate::span::Span;
 use std::collections::HashMap;
 

@@ -44,6 +44,12 @@ impl LowerError {
     pub fn message(&self) -> &str {
         &self.message
     }
+
+    /// The source span the error refers to (dummy when the failure has no
+    /// single source location, e.g. a missing `main`).
+    pub fn span(&self) -> Span {
+        self.span
+    }
 }
 
 impl fmt::Display for LowerError {

@@ -36,12 +36,14 @@
 pub mod config;
 pub mod litmus;
 pub mod memory;
+pub mod metrics;
 pub mod sim;
 pub mod trace;
 pub mod value;
 
 pub use config::MachineConfig;
 pub use memory::{Location, SharedMemory};
+pub use metrics::{BarrierEpoch, LatencyHistogram, ProcCycles, SimMetrics};
 pub use sim::{simulate, simulate_traced, NetStats, SimResult, StallStats};
 pub use trace::{Trace, TraceEvent, TraceKind};
 pub use value::{SimError, Value};

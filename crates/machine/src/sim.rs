@@ -22,6 +22,7 @@
 
 use crate::config::MachineConfig;
 use crate::memory::{Location, SharedMemory};
+use crate::metrics::{BarrierEpoch, ProcCycles, SimMetrics};
 use crate::trace::{Trace, TraceKind};
 use crate::value::{eval, ProcEnv, SimError, Value};
 use std::cmp::Reverse;
@@ -98,6 +99,12 @@ pub struct SimResult {
     /// Whether all processors executed the same barrier-site sequence
     /// (`true` when the check is disabled or there are no barriers).
     pub barriers_aligned: bool,
+    /// Per-processor cycle accounting, remote-access latency histogram,
+    /// and the barrier epoch timeline.
+    pub metrics: SimMetrics,
+    /// Each processor's sequence of barrier sites, for diagnosing a
+    /// misaligned-barrier fallback (the §5.2 runtime check).
+    pub barrier_seqs: Vec<Vec<AccessId>>,
 }
 
 #[derive(Debug, Clone)]
@@ -107,17 +114,22 @@ enum Msg {
         loc: Location,
         dst: VarId,
         ctr: Option<CtrId>,
+        /// Injection time at the issuer (`None` for a local access) —
+        /// carried through to the reply for the latency histogram.
+        issued: Option<u64>,
     },
     Put {
         from: u32,
         loc: Location,
         val: Value,
         ctr: Option<CtrId>,
+        issued: Option<u64>,
     },
     Store {
         from: u32,
         loc: Location,
         val: Value,
+        issued: Option<u64>,
     },
     Post {
         from: u32,
@@ -145,11 +157,15 @@ enum Delivery {
         ctr: Option<CtrId>,
         /// Receive cost paid inline by a *blocking* issuer (0 for local).
         recv: u64,
+        /// Injection time of the originating request (`None` for local).
+        issued: Option<u64>,
     },
     PutAck {
         ctr: Option<CtrId>,
         /// Ack cost paid inline by a *blocking* issuer (0 for local).
         recv: u64,
+        /// Injection time of the originating request (`None` for local).
+        issued: Option<u64>,
     },
     FlagSet,
     LockGrant,
@@ -236,6 +252,7 @@ struct Simulator<'a> {
     barrier_release_pending: bool,
     net: NetStats,
     stalls: StallStats,
+    metrics: SimMetrics,
     trace: Option<Trace>,
 }
 
@@ -273,6 +290,10 @@ impl<'a> Simulator<'a> {
             barrier_release_pending: false,
             net: NetStats::default(),
             stalls: StallStats::default(),
+            metrics: SimMetrics {
+                per_proc: vec![ProcCycles::default(); p as usize],
+                ..SimMetrics::default()
+            },
             trace: None,
         }
     }
@@ -301,7 +322,9 @@ impl<'a> Simulator<'a> {
                     if self.procs[pi].status == Status::Finished {
                         continue;
                     }
-                    self.procs[pi].time = self.procs[pi].time.max(time);
+                    let slack = time.saturating_sub(self.procs[pi].time);
+                    self.procs[pi].time += slack;
+                    self.metrics.per_proc[pi].busy += slack;
                     self.run_proc(p)?;
                 }
                 Event::Arrive { home, msg } => self.handle_arrive(time, home, msg)?,
@@ -329,6 +352,12 @@ impl<'a> Simulator<'a> {
             .collect();
         let exec_cycles = proc_cycles.iter().copied().max().unwrap_or(0);
         let barriers_aligned = self.barriers_aligned();
+        // Processors that finished early were idle until the slowest one
+        // was done; with that, every simulated cycle is accounted for.
+        for (pi, finish) in proc_cycles.iter().enumerate() {
+            self.metrics.per_proc[pi].idle = exec_cycles - finish;
+        }
+        let barrier_seqs = self.procs.iter().map(|p| p.barrier_seq.clone()).collect();
         Ok((
             SimResult {
                 exec_cycles,
@@ -337,6 +366,8 @@ impl<'a> Simulator<'a> {
                 stalls: self.stalls,
                 memory: self.memory.snapshot(),
                 barriers_aligned,
+                metrics: self.metrics,
+                barrier_seqs,
             },
             self.trace,
         ))
@@ -357,6 +388,7 @@ impl<'a> Simulator<'a> {
         // Consume stolen cycles (message handling charged to this CPU).
         let steal = std::mem::take(&mut self.procs[pi].steal);
         self.procs[pi].time += steal;
+        self.metrics.per_proc[pi].busy += steal;
         self.procs[pi].status = Status::Ready;
         loop {
             self.procs[pi].steps += 1;
@@ -382,6 +414,7 @@ impl<'a> Simulator<'a> {
                         else_bb,
                     } => {
                         self.procs[pi].time += self.config.local_op_cycles;
+                        self.metrics.per_proc[pi].busy += self.config.local_op_cycles;
                         let taken = eval(&cond, &self.procs[pi].env)?.as_bool()?;
                         self.procs[pi].block = if taken { then_bb } else { else_bb };
                         self.procs[pi].instr = 0;
@@ -417,6 +450,7 @@ impl<'a> Simulator<'a> {
                 let v = eval(value, &self.procs[pi].env)?;
                 self.procs[pi].env.store(*dst, v)?;
                 self.procs[pi].time += self.config.local_op_cycles;
+                self.metrics.per_proc[pi].busy += self.config.local_op_cycles;
                 Ok(true)
             }
             Instr::AssignLocalElem {
@@ -428,6 +462,7 @@ impl<'a> Simulator<'a> {
                 let v = eval(value, &self.procs[pi].env)?;
                 self.procs[pi].env.store_elem(*array, idx, v)?;
                 self.procs[pi].time += self.config.local_op_cycles;
+                self.metrics.per_proc[pi].busy += self.config.local_op_cycles;
                 Ok(true)
             }
             Instr::Work { cost } => {
@@ -436,6 +471,7 @@ impl<'a> Simulator<'a> {
                     return Err(SimError::new("negative work cost"));
                 }
                 self.procs[pi].time += c as u64;
+                self.metrics.per_proc[pi].busy += c as u64;
                 Ok(true)
             }
             Instr::GetShared { dst, src, .. } => {
@@ -447,6 +483,7 @@ impl<'a> Simulator<'a> {
                     self.net.get_requests += 1;
                     self.remote_send(pi)
                 };
+                let issued = (home != p).then(|| self.procs[pi].time);
                 self.push(
                     t,
                     Event::Arrive {
@@ -456,6 +493,7 @@ impl<'a> Simulator<'a> {
                             loc,
                             dst: *dst,
                             ctr: None,
+                            issued,
                         },
                     },
                 );
@@ -472,6 +510,7 @@ impl<'a> Simulator<'a> {
                     self.net.put_requests += 1;
                     self.remote_send(pi)
                 };
+                let issued = (home != p).then(|| self.procs[pi].time);
                 self.push(
                     t,
                     Event::Arrive {
@@ -481,6 +520,7 @@ impl<'a> Simulator<'a> {
                             loc,
                             val,
                             ctr: None,
+                            issued,
                         },
                     },
                 );
@@ -497,6 +537,7 @@ impl<'a> Simulator<'a> {
                     self.net.get_requests += 1;
                     self.remote_send(pi)
                 };
+                let issued = (home != p).then(|| self.procs[pi].time);
                 self.push(
                     t,
                     Event::Arrive {
@@ -506,6 +547,7 @@ impl<'a> Simulator<'a> {
                             loc,
                             dst: *dst,
                             ctr: Some(*ctr),
+                            issued,
                         },
                     },
                 );
@@ -522,6 +564,7 @@ impl<'a> Simulator<'a> {
                     self.net.put_requests += 1;
                     self.remote_send(pi)
                 };
+                let issued = (home != p).then(|| self.procs[pi].time);
                 self.push(
                     t,
                     Event::Arrive {
@@ -531,6 +574,7 @@ impl<'a> Simulator<'a> {
                             loc,
                             val,
                             ctr: Some(*ctr),
+                            issued,
                         },
                     },
                 );
@@ -546,18 +590,25 @@ impl<'a> Simulator<'a> {
                     self.net.store_requests += 1;
                     self.remote_send(pi)
                 };
+                let issued = (home != p).then(|| self.procs[pi].time);
                 self.stores_in_flight += 1;
                 self.push(
                     t,
                     Event::Arrive {
                         home,
-                        msg: Msg::Store { from: p, loc, val },
+                        msg: Msg::Store {
+                            from: p,
+                            loc,
+                            val,
+                            issued,
+                        },
                     },
                 );
                 Ok(true)
             }
             Instr::SyncCtr { ctr } => {
                 self.procs[pi].time += self.config.local_op_cycles;
+                self.metrics.per_proc[pi].busy += self.config.local_op_cycles;
                 if self.procs[pi].ctrs.get(ctr).copied().unwrap_or(0) == 0 {
                     Ok(true)
                 } else {
@@ -678,12 +729,24 @@ impl<'a> Simulator<'a> {
             .map(|a| a.expect("all arrived").1)
             .max()
             .unwrap_or(0);
+        let min_arrival = self
+            .barrier_arrivals
+            .iter()
+            .map(|a| a.expect("all arrived").1)
+            .min()
+            .unwrap_or(0);
         let release = max_arrival.max(base) + self.config.barrier_cycles;
         self.trace(release, 0, TraceKind::BarrierRelease);
         self.net.barriers += 1;
+        self.metrics.barrier_epochs.push(BarrierEpoch {
+            first_arrival: min_arrival,
+            last_arrival: max_arrival,
+            release,
+        });
         for pi in 0..self.procs.len() {
             let (_, arrive) = self.barrier_arrivals[pi].take().expect("arrived");
             self.stalls.barrier += release - arrive;
+            self.metrics.per_proc[pi].barrier += release - self.procs[pi].time;
             self.procs[pi].time = release;
             self.push(release, Event::Run(pi as u32));
         }
@@ -710,12 +773,16 @@ impl<'a> Simulator<'a> {
         let handler = if local { 0 } else { self.config.handler_cycles };
         let done = start + handler;
         self.handler_free[hi] = done;
+        if !local {
+            self.metrics.per_proc[hi].msgs_handled += 1;
+        }
         match msg {
             Msg::Get {
                 from,
                 loc,
                 dst,
                 ctr,
+                issued,
             } => {
                 self.trace(done, home, TraceKind::Service { what: "get" });
                 let val = self.memory.load(loc)?;
@@ -741,6 +808,7 @@ impl<'a> Simulator<'a> {
                             val,
                             ctr,
                             recv,
+                            issued,
                         },
                     },
                 );
@@ -750,6 +818,7 @@ impl<'a> Simulator<'a> {
                 loc,
                 val,
                 ctr,
+                issued,
             } => {
                 self.trace(done, home, TraceKind::Service { what: "put" });
                 self.memory.store(loc, val)?;
@@ -769,13 +838,20 @@ impl<'a> Simulator<'a> {
                     deliver,
                     Event::Deliver {
                         to: from,
-                        del: Delivery::PutAck { ctr, recv },
+                        del: Delivery::PutAck { ctr, recv, issued },
                     },
                 );
             }
-            Msg::Store { loc, val, .. } => {
+            Msg::Store {
+                loc, val, issued, ..
+            } => {
                 self.trace(done, home, TraceKind::Service { what: "store" });
                 self.memory.store(loc, val)?;
+                // A store has no reply: its latency ends when the home
+                // applies it.
+                if let Some(iss) = issued {
+                    self.metrics.latency.record(done.saturating_sub(iss));
+                }
                 self.stores_in_flight -= 1;
                 if self.stores_in_flight == 0 && self.barrier_release_pending {
                     self.barrier_release_pending = false;
@@ -901,8 +977,12 @@ impl<'a> Simulator<'a> {
                 val,
                 ctr,
                 recv,
+                issued,
             } => {
                 self.trace(time, to, TraceKind::Deliver { what: "data" });
+                if let Some(iss) = issued {
+                    self.metrics.latency.record(time.saturating_sub(iss));
+                }
                 self.procs[pi].env.store(dst, val)?;
                 match ctr {
                     Some(c) => self.ctr_completed(to, c, time),
@@ -910,19 +990,22 @@ impl<'a> Simulator<'a> {
                         if let Status::BlockedReply(since) = self.procs[pi].status {
                             self.stalls.blocking += time.saturating_sub(since);
                             // Blocking reads pay the receive cost inline.
-                            self.resume(to, time + recv);
+                            self.resume_blocking(to, time, recv);
                         }
                     }
                 }
             }
-            Delivery::PutAck { ctr, recv } => {
+            Delivery::PutAck { ctr, recv, issued } => {
                 self.trace(time, to, TraceKind::Deliver { what: "ack" });
+                if let Some(iss) = issued {
+                    self.metrics.latency.record(time.saturating_sub(iss));
+                }
                 match ctr {
                     Some(c) => self.ctr_completed(to, c, time),
                     None => {
                         if let Status::BlockedReply(since) = self.procs[pi].status {
                             self.stalls.blocking += time.saturating_sub(since);
-                            self.resume(to, time + recv);
+                            self.resume_blocking(to, time, recv);
                         }
                     }
                 }
@@ -931,14 +1014,16 @@ impl<'a> Simulator<'a> {
                 self.trace(time, to, TraceKind::Deliver { what: "flag" });
                 if let Status::BlockedWait(since) = self.procs[pi].status {
                     self.stalls.wait += time.saturating_sub(since);
-                    self.resume(to, time);
+                    let advanced = self.resume(to, time);
+                    self.metrics.per_proc[pi].wait += advanced;
                 }
             }
             Delivery::LockGrant => {
                 self.trace(time, to, TraceKind::Deliver { what: "grant" });
                 if let Status::BlockedLock(since) = self.procs[pi].status {
                     self.stalls.lock += time.saturating_sub(since);
-                    self.resume(to, time);
+                    let advanced = self.resume(to, time);
+                    self.metrics.per_proc[pi].lock += advanced;
                 }
             }
         }
@@ -954,7 +1039,8 @@ impl<'a> Simulator<'a> {
             if let Status::BlockedSync(bc, since) = self.procs[pi].status {
                 if bc == c {
                     self.stalls.sync += time.saturating_sub(since);
-                    self.resume(p, time);
+                    let advanced = self.resume(p, time);
+                    self.metrics.per_proc[pi].sync += advanced;
                 }
             }
         }
@@ -963,24 +1049,43 @@ impl<'a> Simulator<'a> {
     /// Charges a local memory touch and returns its completion time.
     fn local_touch(&mut self, pi: usize) -> u64 {
         self.procs[pi].time += self.config.local_access_cycles;
+        self.metrics.per_proc[pi].busy += self.config.local_access_cycles;
         self.procs[pi].time
     }
 
     /// Charges a remote message injection (CPU overhead plus NIC
     /// serialization) and returns the arrival time at the destination.
+    /// NIC backpressure (waiting out the injection gap) counts as busy:
+    /// the CPU is occupied with communication, not blocked on a peer.
     fn remote_send(&mut self, pi: usize) -> u64 {
-        self.procs[pi].time = self.procs[pi].time.max(self.next_inject[pi]);
-        self.procs[pi].time += self.config.send_overhead;
+        let gap = self.next_inject[pi].saturating_sub(self.procs[pi].time);
+        self.procs[pi].time += gap + self.config.send_overhead;
+        self.metrics.per_proc[pi].busy += gap + self.config.send_overhead;
+        self.metrics.per_proc[pi].msgs_sent += 1;
         self.next_inject[pi] = self.procs[pi].time + self.config.injection_gap_cycles;
         self.procs[pi].time + self.config.network_latency
     }
 
-    fn resume(&mut self, p: u32, time: u64) {
+    /// Unblocks `p` at `time` and returns how many cycles its clock
+    /// advanced, so the caller can attribute them to the blocking cause.
+    fn resume(&mut self, p: u32, time: u64) -> u64 {
         let pi = p as usize;
-        self.procs[pi].time = self.procs[pi].time.max(time);
+        let advanced = time.saturating_sub(self.procs[pi].time);
+        self.procs[pi].time += advanced;
         self.procs[pi].status = Status::Ready;
         let t = self.procs[pi].time;
         self.push(t, Event::Run(p));
+        advanced
+    }
+
+    /// Unblocks `p` after a blocking remote access: the round trip counts
+    /// as network wait, the inline receive cost (`recv`) as busy.
+    fn resume_blocking(&mut self, p: u32, time: u64, recv: u64) {
+        let pi = p as usize;
+        let advanced = self.resume(p, time + recv);
+        let busy_part = advanced.min(recv);
+        self.metrics.per_proc[pi].busy += busy_part;
+        self.metrics.per_proc[pi].network_wait += advanced - busy_part;
     }
 
     // ---- helpers ---------------------------------------------------------
@@ -1027,7 +1132,28 @@ mod tests {
 
     fn sim(src: &str, procs: u32) -> SimResult {
         let cfg = lower_main(&prepare_program(src).unwrap()).unwrap();
-        simulate(&cfg, &MachineConfig::cm5(procs)).expect("simulation should succeed")
+        let r = simulate(&cfg, &MachineConfig::cm5(procs)).expect("simulation should succeed");
+        assert_cycles_conserved(&r);
+        r
+    }
+
+    /// Every processor's cycle accounting must sum exactly to the
+    /// execution time — no cycle unattributed, none double-counted.
+    fn assert_cycles_conserved(r: &SimResult) {
+        assert_eq!(r.metrics.per_proc.len(), r.proc_cycles.len());
+        for (pi, pc) in r.metrics.per_proc.iter().enumerate() {
+            assert_eq!(
+                pc.accounted(),
+                r.exec_cycles,
+                "proc {pi} accounting off: {pc:?} vs exec_cycles {}",
+                r.exec_cycles
+            );
+            assert_eq!(
+                r.exec_cycles - r.proc_cycles[pi],
+                pc.idle,
+                "proc {pi} idle must be the gap to the slowest processor"
+            );
+        }
     }
 
     fn mem_value(result: &SimResult, cfg_src: &str, name: &str, idx: usize) -> Value {
@@ -1387,6 +1513,121 @@ mod tests {
         );
         // Queueing delay ≈ (n-1)·handler on top of the round trip.
         assert!(slowest >= rt + 14 * config.handler_cycles);
+    }
+
+    #[test]
+    fn cycle_accounting_conserves_on_mixed_workload() {
+        // Exercises every blocking cause at once: blocking remote reads,
+        // barriers, flags, locks, and uneven work.
+        let src = r#"
+            shared int A[16]; shared int X; flag F; lock l;
+            fn main() {
+                work(MYPROC * 57);
+                A[MYPROC] = MYPROC;
+                barrier;
+                int v; v = A[(MYPROC + 1) % PROCS];
+                if (MYPROC == 0) { post F; } else { wait F; }
+                lock l; X = X + v; unlock l;
+                barrier;
+            }
+        "#;
+        let r = sim(src, 8);
+        // `sim` already asserts conservation; spot-check the categories
+        // that this workload must populate.
+        let total: u64 = r.metrics.per_proc.iter().map(|p| p.barrier).sum();
+        assert_eq!(total, r.stalls.barrier, "per-proc barrier sums to global");
+        let lock: u64 = r.metrics.per_proc.iter().map(|p| p.lock).sum();
+        assert_eq!(lock, r.stalls.lock);
+        let wait: u64 = r.metrics.per_proc.iter().map(|p| p.wait).sum();
+        assert_eq!(wait, r.stalls.wait);
+        assert!(r.metrics.per_proc.iter().any(|p| p.network_wait > 0));
+        assert!(r.metrics.per_proc.iter().all(|p| p.busy > 0));
+    }
+
+    #[test]
+    fn split_phase_cycle_accounting_conserves() {
+        let config = MachineConfig::cm5(2);
+        let src = r#"
+            shared int A[8]; shared int B[8];
+            fn main() {
+                int x; int y;
+                if (MYPROC == 0) {
+                    x = A[MYPROC + 4];
+                    y = B[MYPROC + 5];
+                    work(x + y);
+                }
+                barrier;
+            }
+        "#;
+        let cfg = lower_main(&prepare_program(src).unwrap()).unwrap();
+        let analysis = syncopt_core::analyze_for(&cfg, 2);
+        for level in [
+            syncopt_codegen::OptLevel::Pipelined,
+            syncopt_codegen::OptLevel::OneWay,
+            syncopt_codegen::OptLevel::Full,
+        ] {
+            let opt = syncopt_codegen::optimize(
+                &cfg,
+                &analysis,
+                level,
+                syncopt_codegen::DelayChoice::SyncRefined,
+            );
+            let r = simulate(&opt.cfg, &config).unwrap();
+            assert_cycles_conserved(&r);
+            let sync: u64 = r.metrics.per_proc.iter().map(|p| p.sync).sum();
+            assert_eq!(sync, r.stalls.sync);
+        }
+    }
+
+    #[test]
+    fn latency_histogram_counts_remote_completions() {
+        let src = "shared int X; fn main() { if (MYPROC == 1) { int v; v = X; X = v + 1; } }";
+        let r = sim(src, 2);
+        // One remote get reply plus one remote put ack, nothing local.
+        assert_eq!(
+            r.metrics.latency.count,
+            r.net.get_replies + r.net.put_acks + r.net.store_requests
+        );
+        assert_eq!(r.metrics.latency.count, 2);
+        // Each one-way leg is at least the network latency.
+        let config = MachineConfig::cm5(2);
+        assert!(r.metrics.latency.min >= config.network_latency);
+    }
+
+    #[test]
+    fn local_accesses_record_no_latency() {
+        let src = "shared int X; fn main() { if (MYPROC == 0) { int v; v = X; } }";
+        let r = sim(src, 2);
+        assert_eq!(r.metrics.latency.count, 0);
+    }
+
+    #[test]
+    fn barrier_epochs_track_arrival_spread() {
+        let src = r#"
+            fn main() {
+                work(MYPROC * 1000);
+                barrier;
+                barrier;
+            }
+        "#;
+        let r = sim(src, 4);
+        assert_eq!(r.metrics.barrier_epochs.len() as u64, r.net.barriers);
+        assert_eq!(r.metrics.barrier_epochs.len(), 2);
+        let first = &r.metrics.barrier_epochs[0];
+        // Proc 0 arrives ~3000 cycles before proc 3.
+        assert!(first.skew() >= 2000, "skew {}", first.skew());
+        assert!(first.release > first.last_arrival);
+        // Epochs are in completion order.
+        assert!(r.metrics.barrier_epochs[1].release > first.release);
+    }
+
+    #[test]
+    fn barrier_seqs_are_exposed_per_processor() {
+        let src = "fn main() { barrier; barrier; }";
+        let r = sim(src, 3);
+        assert_eq!(r.barrier_seqs.len(), 3);
+        assert!(r.barrier_seqs.iter().all(|s| s.len() == 2));
+        assert!(r.barrier_seqs.iter().all(|s| s == &r.barrier_seqs[0]));
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //!     optimize and (with --dump) print the target CFG
 //! syncoptc run <file> [--procs N] [--machine M] [--level L] [--delay D]
 //!     simulate and report cycles, messages, stalls, final memory
+//! syncoptc profile <file> [--procs N] [--machine M] [--level L] [--delay D]
+//!     run blocking vs optimized and compare (the paper's Figure 12 shape)
 //! syncoptc litmus <file> [--procs N]
 //!     enumerate weak vs sequentially consistent outcomes
 //! syncoptc check <file> [--procs N] [--strict] [--format json]
@@ -15,7 +17,11 @@
 //!     check every built-in evaluation kernel, with per-kernel statistics
 //!
 //! `opt --dot` emits Graphviz instead of text; `run --trace` appends the
-//! first 200 trace events; `check --strict` promotes warnings to errors.
+//! first 200 trace events; `run --emit-report <path>` writes the pipeline
+//! report JSON to a file; `check --strict` promotes warnings to errors.
+//! `run` and `profile` honor `--format json` (machine-readable report on
+//! stdout); `profile` also accepts `--format table` for the side-by-side
+//! comparison (the default).
 //!
 //! L ∈ blocking|pipelined|oneway|full      (default pipelined)
 //! D ∈ ss|sync                             (default sync)
@@ -31,7 +37,7 @@ use syncopt::core::{DelaySet, SyncOptions};
 use syncopt::ir::cfg::Cfg;
 use syncopt::machine::litmus::{sc_outcomes, weak_outcomes};
 use syncopt::machine::MachineConfig;
-use syncopt::{compile, run, DelayChoice, OptLevel};
+use syncopt::{DelayChoice, OptLevel, Syncopt, TraceLevel};
 
 struct Args {
     command: String,
@@ -46,6 +52,7 @@ struct Args {
     strict: bool,
     kernels: bool,
     format: Format,
+    emit_report: Option<String>,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -75,6 +82,7 @@ fn parse_args() -> Result<Args, String> {
         strict: false,
         kernels: false,
         format: Format::Human,
+        emit_report: None,
     };
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -111,10 +119,13 @@ fn parse_args() -> Result<Args, String> {
             "--kernels" => args.kernels = true,
             "--format" => {
                 args.format = match argv.next().ok_or("--format needs a value")?.as_str() {
-                    "human" => Format::Human,
+                    "human" | "table" => Format::Human,
                     "json" => Format::Json,
                     other => return Err(format!("unknown format `{other}`")),
                 };
+            }
+            "--emit-report" => {
+                args.emit_report = Some(argv.next().ok_or("--emit-report needs a path")?);
             }
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -160,7 +171,7 @@ fn main() -> ExitCode {
 
 fn real_main() -> Result<(), String> {
     let args = parse_args().map_err(|e| {
-        format!("{e}\nrun with: syncoptc <analyze|opt|run|litmus|check> <file> [flags]")
+        format!("{e}\nrun with: syncoptc <analyze|opt|run|profile|litmus|check> <file> [flags]")
     })?;
     if args.command == "check" && args.kernels {
         return cmd_check_kernels(&args);
@@ -171,6 +182,7 @@ fn real_main() -> Result<(), String> {
         "analyze" => cmd_analyze(&src, &args),
         "opt" => cmd_opt(&src, &args),
         "run" => cmd_run(&src, &args),
+        "profile" => cmd_profile(&src, &args),
         "litmus" => cmd_litmus(&src, &args),
         "check" => cmd_check(&src, &args),
         other => Err(format!("unknown command `{other}`")),
@@ -178,8 +190,12 @@ fn real_main() -> Result<(), String> {
 }
 
 fn cmd_analyze(src: &str, args: &Args) -> Result<(), String> {
-    let c = compile(src, args.procs, OptLevel::Blocking, args.delay)
-        .map_err(|e| render_err(src, &e))?;
+    let c = Syncopt::new(src)
+        .procs(args.procs)
+        .level(OptLevel::Blocking)
+        .delay(args.delay)
+        .compile()
+        .map_err(|e| render_err(src, &args.file, &e))?;
     let s = c.analysis.stats();
     println!("access sites:          {}", s.accesses);
     println!("conflicting pairs:     {}", s.conflict_pairs);
@@ -212,7 +228,12 @@ fn cmd_analyze(src: &str, args: &Args) -> Result<(), String> {
 }
 
 fn cmd_opt(src: &str, args: &Args) -> Result<(), String> {
-    let c = compile(src, args.procs, args.level, args.delay).map_err(|e| render_err(src, &e))?;
+    let c = Syncopt::new(src)
+        .procs(args.procs)
+        .level(args.level)
+        .delay(args.delay)
+        .compile()
+        .map_err(|e| render_err(src, &args.file, &e))?;
     if args.dot {
         println!(
             "{}",
@@ -229,12 +250,31 @@ fn cmd_opt(src: &str, args: &Args) -> Result<(), String> {
 
 fn cmd_run(src: &str, args: &Args) -> Result<(), String> {
     let config = machine_config(&args.machine, args.procs)?;
-    let r = run(src, &config, args.level, args.delay).map_err(|e| render_err(src, &e))?;
-    if args.trace {
-        let (_, trace) = syncopt::machine::simulate_traced(&r.compiled.optimized.cfg, &config, 200)
-            .map_err(|e| e.to_string())?;
+    let r = Syncopt::new(src)
+        .procs(args.procs)
+        .level(args.level)
+        .delay(args.delay)
+        .trace(if args.trace {
+            TraceLevel::Events
+        } else {
+            TraceLevel::Off
+        })
+        .run(&config)
+        .map_err(|e| render_err(src, &args.file, &e))?;
+    if let Some(path) = &args.emit_report {
+        std::fs::write(path, format!("{}\n", r.report().to_json()))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("pipeline report written to {path}");
+    }
+    if args.format == Format::Json {
+        println!("{}", r.report().to_json());
+        return Ok(());
+    }
+    if let Some(trace) = &r.trace {
         println!("--- trace (first 200 events) ---");
-        print!("{}", trace.render());
+        for e in trace.events().iter().take(200) {
+            println!("{e}");
+        }
         println!("--------------------------------");
     }
     println!("machine:            {} × {}", config.procs, config.name);
@@ -273,9 +313,28 @@ fn cmd_run(src: &str, args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_profile(src: &str, args: &Args) -> Result<(), String> {
+    let config = machine_config(&args.machine, args.procs)?;
+    let p = Syncopt::new(src)
+        .procs(args.procs)
+        .level(args.level)
+        .delay(args.delay)
+        .profile(&config)
+        .map_err(|e| render_err(src, &args.file, &e))?;
+    match args.format {
+        Format::Json => println!("{}", p.to_json()),
+        Format::Human => print!("{}", p.render_table()),
+    }
+    Ok(())
+}
+
 fn cmd_litmus(src: &str, args: &Args) -> Result<(), String> {
-    let c = compile(src, args.procs, OptLevel::Blocking, args.delay)
-        .map_err(|e| render_err(src, &e))?;
+    let c = Syncopt::new(src)
+        .procs(args.procs)
+        .level(OptLevel::Blocking)
+        .delay(args.delay)
+        .compile()
+        .map_err(|e| render_err(src, &args.file, &e))?;
     let cfg = &c.source_cfg;
     let sc = sc_outcomes(cfg, args.procs).map_err(|e| e.to_string())?;
     let none = weak_outcomes(cfg, &DelaySet::new(cfg.accesses.len()), args.procs)
@@ -367,8 +426,12 @@ fn check_summary_json(outcome: &CheckOutcome) -> json::Value {
 }
 
 fn cmd_check(src: &str, args: &Args) -> Result<(), String> {
-    let c = compile(src, args.procs, OptLevel::Blocking, args.delay)
-        .map_err(|e| render_err(src, &e))?;
+    let c = Syncopt::new(src)
+        .procs(args.procs)
+        .level(OptLevel::Blocking)
+        .delay(args.delay)
+        .compile()
+        .map_err(|e| render_err(src, &args.file, &e))?;
     let outcome = run_check(&c.source_cfg, args);
     match args.format {
         Format::Json => {
@@ -417,10 +480,9 @@ fn cmd_check_kernels(args: &Args) -> Result<(), String> {
     let mut failed = 0usize;
     let mut rows = Vec::new();
     for kernel in syncopt::kernels::all_kernels(args.procs) {
-        let cfg = lower_main(
-            &prepare_program(&kernel.source)
-                .map_err(|e| format!("{}: {}", kernel.name, e.render(&kernel.source)))?,
-        )
+        let cfg = lower_main(&prepare_program(&kernel.source).map_err(|e| {
+            syncopt::core::diag::frontend_diagnostic(&e).render(&kernel.source, kernel.name)
+        })?)
         .map_err(|e| format!("{}: {e}", kernel.name))?;
         let outcome = run_check(&cfg, args);
         failed += usize::from(outcome.errors() > 0);
@@ -479,9 +541,12 @@ fn cmd_check_kernels(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn render_err(src: &str, e: &syncopt::SyncoptError) -> String {
+/// Renders a pipeline error for the terminal: frontend and lowering errors
+/// get the rustc-style snippet (code, span, caret line); simulation errors
+/// have no source span and stay one-line.
+fn render_err(src: &str, file: &str, e: &syncopt::SyncoptError) -> String {
     match e {
-        syncopt::SyncoptError::Frontend(fe) => fe.render(src),
-        other => other.to_string(),
+        syncopt::SyncoptError::Sim(_) => e.to_string(),
+        spanned => spanned.to_diagnostic().render(src, file),
     }
 }

@@ -10,11 +10,12 @@
 //! communication conversion, and remote-access elimination — evaluated on
 //! a deterministic distributed-memory machine simulator.
 //!
-//! This crate is the facade: it re-exports the pipeline stages and offers
-//! the one-call entry points [`compile`] and [`run`].
+//! This crate is the facade: the [`Syncopt`] builder configures and drives
+//! the whole pipeline, and every run produces a [`PipelineReport`]
+//! describing what each stage did.
 //!
 //! ```
-//! use syncopt::{run, OptLevel, DelayChoice};
+//! use syncopt::{Syncopt, OptLevel};
 //! use syncopt::machine::MachineConfig;
 //!
 //! let src = r#"
@@ -27,14 +28,19 @@
 //!     }
 //! "#;
 //! let config = MachineConfig::cm5(8);
-//! let blocking = run(src, &config, OptLevel::Blocking, DelayChoice::SyncRefined)?;
-//! let optimized = run(src, &config, OptLevel::OneWay, DelayChoice::SyncRefined)?;
+//! let blocking = Syncopt::new(src).level(OptLevel::Blocking).run(&config)?;
+//! let optimized = Syncopt::new(src).level(OptLevel::OneWay).run(&config)?;
 //! assert!(optimized.sim.exec_cycles <= blocking.sim.exec_cycles);
 //! // Optimization never changes the final memory image.
 //! assert_eq!(optimized.sim.memory, blocking.sim.memory);
+//! // Every run carries a structured report of what the pipeline did.
+//! assert!(optimized.report().to_json().to_string().contains("exec_cycles"));
 //! # Ok::<(), syncopt::SyncoptError>(())
 //! ```
 
+pub mod report;
+
+pub use report::{PipelineReport, ProfileReport, ReportMeta, SimReport};
 pub use syncopt_codegen::{DelayChoice, OptLevel, OptStats, Optimized};
 pub use syncopt_core::{Analysis, AnalysisStats, DelaySet};
 pub use syncopt_machine::{MachineConfig, SimResult};
@@ -54,7 +60,9 @@ pub use syncopt_machine as machine;
 
 use std::error::Error;
 use std::fmt;
+use syncopt_core::PhaseTimings;
 use syncopt_ir::cfg::Cfg;
+use syncopt_machine::{SimError, Trace};
 
 /// Any error from the pipeline.
 #[derive(Debug, Clone, PartialEq)]
@@ -65,6 +73,25 @@ pub enum SyncoptError {
     Lower(syncopt_ir::lower::LowerError),
     /// Simulation failed (runtime fault, deadlock, step limit).
     Sim(syncopt_machine::SimError),
+}
+
+impl SyncoptError {
+    /// Converts the error to a [`core::Diagnostic`] carrying the source
+    /// span, for rustc-style rendering (`E001`–`E005` for frontend and
+    /// lowering errors; simulation errors have no source span and map to
+    /// a dummy-span diagnostic with code `E006`).
+    pub fn to_diagnostic(&self) -> syncopt_core::Diagnostic {
+        match self {
+            SyncoptError::Frontend(e) => syncopt_core::diag::frontend_diagnostic(e),
+            SyncoptError::Lower(e) => syncopt_core::diag::lower_diagnostic(e),
+            SyncoptError::Sim(e) => syncopt_core::Diagnostic::new(
+                "E006",
+                syncopt_core::Severity::Error,
+                format!("simulation error: {}", e.message()),
+                syncopt_frontend::Span::dummy(),
+            ),
+        }
+    }
 }
 
 impl fmt::Display for SyncoptError {
@@ -97,8 +124,260 @@ impl From<syncopt_machine::SimError> for SyncoptError {
     }
 }
 
-/// The output of [`compile`]: the source CFG, the analysis, and the
-/// optimized target CFG.
+/// How much the pipeline should observe about itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum TraceLevel {
+    /// No wall-clock timing, no event trace. Reports still carry all
+    /// deterministic counters (with zeroed `_us` timings).
+    #[default]
+    Off,
+    /// Measure wall-clock phase timings (parse → simulate).
+    Phases,
+    /// Phase timings plus a bounded simulator event trace on
+    /// [`RunResult::trace`].
+    Events,
+}
+
+/// Upper bound on captured simulator events at [`TraceLevel::Events`].
+const EVENT_TRACE_CAP: usize = 100_000;
+
+/// The pipeline builder: configure once, then [`compile`](Syncopt::compile),
+/// [`run`](Syncopt::run), [`run_two_version`](Syncopt::run_two_version), or
+/// [`profile`](Syncopt::profile).
+///
+/// Defaults: [`OptLevel::Full`], [`DelayChoice::SyncRefined`],
+/// [`TraceLevel::Off`], and the processor count taken from the
+/// [`MachineConfig`] handed to `run` (or analysis unbounded in processor
+/// count for a bare `compile`).
+///
+/// ```
+/// use syncopt::{Syncopt, OptLevel, DelayChoice, TraceLevel};
+/// use syncopt::machine::MachineConfig;
+///
+/// let src = "shared int A[8]; fn main() { A[MYPROC] = 1; barrier; }";
+/// let result = Syncopt::new(src)
+///     .procs(8)
+///     .level(OptLevel::Full)
+///     .delay(DelayChoice::SyncRefined)
+///     .trace(TraceLevel::Phases)
+///     .run(&MachineConfig::cm5(8))?;
+/// assert!(result.sim.barriers_aligned);
+/// # Ok::<(), syncopt::SyncoptError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Syncopt<'a> {
+    src: &'a str,
+    procs: Option<u32>,
+    level: OptLevel,
+    delay: DelayChoice,
+    trace: TraceLevel,
+}
+
+impl<'a> Syncopt<'a> {
+    /// Starts a pipeline over `src` with default settings.
+    pub fn new(src: &'a str) -> Self {
+        Syncopt {
+            src,
+            procs: None,
+            level: OptLevel::Full,
+            delay: DelayChoice::SyncRefined,
+            trace: TraceLevel::Off,
+        }
+    }
+
+    /// Analyzes for a fixed machine size (enables modular subscript
+    /// disambiguation). `run` defaults this to the machine's processor
+    /// count when unset.
+    #[must_use]
+    pub fn procs(mut self, procs: u32) -> Self {
+        self.procs = Some(procs);
+        self
+    }
+
+    /// Sets the optimization level (default [`OptLevel::Full`]).
+    #[must_use]
+    pub fn level(mut self, level: OptLevel) -> Self {
+        self.level = level;
+        self
+    }
+
+    /// Sets the delay set constraining code motion (default
+    /// [`DelayChoice::SyncRefined`]).
+    #[must_use]
+    pub fn delay(mut self, delay: DelayChoice) -> Self {
+        self.delay = delay;
+        self
+    }
+
+    /// Sets the observability level (default [`TraceLevel::Off`]).
+    #[must_use]
+    pub fn trace(mut self, trace: TraceLevel) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Parses, checks, lowers, analyzes, and optimizes the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns frontend or lowering errors.
+    pub fn compile(&self) -> Result<Compiled, SyncoptError> {
+        self.compile_for(self.procs)
+    }
+
+    fn compile_for(&self, procs: Option<u32>) -> Result<Compiled, SyncoptError> {
+        let mut timings = PhaseTimings::new(self.trace >= TraceLevel::Phases);
+        let program = timings.time("parse", || syncopt_frontend::parse_program(self.src))?;
+        timings.time("typeck", || syncopt_frontend::typeck::check(&program))?;
+        let program = timings.time("inline", || {
+            syncopt_frontend::inline::inline_program(&program)
+        })?;
+        let source_cfg = timings.time("lower", || syncopt_ir::lower::lower_main(&program))?;
+        let analysis = timings.time("analyze", || match procs {
+            Some(p) => syncopt_core::analyze_for(&source_cfg, p),
+            None => syncopt_core::analyze(&source_cfg),
+        });
+        let optimized = timings.time("optimize", || {
+            syncopt_codegen::optimize(&source_cfg, &analysis, self.level, self.delay)
+        });
+        let report = PipelineReport {
+            meta: report::meta_for(procs.unwrap_or(0), self.level, self.delay, None),
+            timings,
+            analysis: analysis.stats(),
+            counters: analysis.metrics.clone(),
+            codegen: optimized.stats,
+            sim: None,
+        };
+        Ok(Compiled {
+            source_cfg,
+            analysis,
+            optimized,
+            report,
+        })
+    }
+
+    /// Compiles (analyzing for the machine's processor count unless
+    /// [`procs`](Syncopt::procs) overrode it) and simulates the optimized
+    /// program on `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns frontend, lowering, or simulation errors.
+    pub fn run(&self, config: &MachineConfig) -> Result<RunResult, SyncoptError> {
+        let procs = self.procs.unwrap_or(config.procs);
+        let mut compiled = self.compile_for(Some(procs))?;
+        let mut trace = None;
+        let sim = compiled.report.timings.time("simulate", || {
+            if self.trace >= TraceLevel::Events {
+                syncopt_machine::simulate_traced(&compiled.optimized.cfg, config, EVENT_TRACE_CAP)
+                    .map(|(sim, t)| {
+                        trace = Some(t);
+                        sim
+                    })
+            } else {
+                syncopt_machine::simulate(&compiled.optimized.cfg, config)
+            }
+        })?;
+        compiled.report.meta.machine = Some(config.name.clone());
+        compiled.report.sim = Some(SimReport::from_sim(&sim));
+        Ok(RunResult {
+            compiled,
+            sim,
+            trace,
+        })
+    }
+
+    /// The paper's §5.2 **two-version compilation**: barrier alignment is
+    /// undecidable in general, so the compiler emits an *optimistic*
+    /// version (barriers assumed aligned, full optimization) guarded by a
+    /// runtime check, plus a *conservative* version (no barrier
+    /// information). The optimistic version runs; if the dynamic
+    /// barrier-sequence check fails (or the optimistic run faults), the
+    /// conservative version's result is used and
+    /// [`TwoVersionResult::fallback`] says why.
+    ///
+    /// # Errors
+    ///
+    /// Returns frontend/lowering errors, or simulation errors from the
+    /// conservative version (the optimistic version's runtime faults
+    /// trigger the fallback instead of failing).
+    pub fn run_two_version(
+        &self,
+        config: &MachineConfig,
+    ) -> Result<TwoVersionResult, SyncoptError> {
+        let program = syncopt_frontend::prepare_program(self.src)?;
+        let source_cfg = syncopt_ir::lower::lower_main(&program)?;
+        let procs = self.procs.unwrap_or(config.procs);
+
+        // Optimistic: assume barriers align; the simulator double-checks.
+        let optimistic = syncopt_core::analyze_with(
+            &source_cfg,
+            &syncopt_core::SyncOptions {
+                barrier_policy: syncopt_core::BarrierPolicy::AssumeAligned,
+                procs: Some(procs),
+            },
+        );
+        let opt_cfg = syncopt_codegen::optimize(&source_cfg, &optimistic, self.level, self.delay);
+        let fallback = match syncopt_machine::simulate(&opt_cfg.cfg, config) {
+            Ok(sim) if sim.barriers_aligned => {
+                return Ok(TwoVersionResult {
+                    sim,
+                    used: VersionUsed::Optimized,
+                    fallback: None,
+                });
+            }
+            Ok(sim) => FallbackReason::MisalignedBarriers {
+                divergent_proc: divergent_proc(&sim.barrier_seqs),
+            },
+            Err(e) => FallbackReason::SimFailed(e),
+        };
+
+        // Conservative: no barrier information at all.
+        let conservative = syncopt_core::analyze_with(
+            &source_cfg,
+            &syncopt_core::SyncOptions {
+                barrier_policy: syncopt_core::BarrierPolicy::Disabled,
+                procs: Some(procs),
+            },
+        );
+        let cons_cfg =
+            syncopt_codegen::optimize(&source_cfg, &conservative, self.level, self.delay);
+        let sim = syncopt_machine::simulate(&cons_cfg.cfg, config)?;
+        Ok(TwoVersionResult {
+            sim,
+            used: VersionUsed::Conservative,
+            fallback: Some(fallback),
+        })
+    }
+
+    /// Runs the program twice on `config` — once at [`OptLevel::Blocking`]
+    /// and once at the builder's configured level — and pairs the two
+    /// [`PipelineReport`]s, the shape of the paper's Figure 12 bars.
+    ///
+    /// # Errors
+    ///
+    /// Returns frontend, lowering, or simulation errors from either run.
+    pub fn profile(&self, config: &MachineConfig) -> Result<ProfileReport, SyncoptError> {
+        let blocking = self.clone().level(OptLevel::Blocking).run(config)?;
+        let optimized = self.run(config)?;
+        Ok(ProfileReport {
+            blocking: blocking.report().clone(),
+            optimized: optimized.report().clone(),
+        })
+    }
+}
+
+/// The first processor whose barrier-site sequence diverges from
+/// processor 0's (0 when they all agree — callers only ask after a
+/// misalignment was detected).
+fn divergent_proc(seqs: &[Vec<syncopt_ir::ids::AccessId>]) -> u32 {
+    seqs.iter()
+        .position(|s| s != &seqs[0])
+        .map_or(0, |p| p as u32)
+}
+
+/// The output of [`Syncopt::compile`]: the source CFG, the analysis, the
+/// optimized target CFG, and the compile-side pipeline report.
 #[derive(Debug, Clone)]
 pub struct Compiled {
     /// The lowered (blocking-access) source CFG.
@@ -107,55 +386,29 @@ pub struct Compiled {
     pub analysis: Analysis,
     /// The optimized program.
     pub optimized: Optimized,
+    /// What every stage did (no simulation section yet).
+    pub report: PipelineReport,
 }
 
-/// Parses, checks, lowers, analyzes (for `procs` processors), and
-/// optimizes a `minisplit` program.
-///
-/// # Errors
-///
-/// Returns frontend or lowering errors.
-pub fn compile(
-    src: &str,
-    procs: u32,
-    level: OptLevel,
-    choice: DelayChoice,
-) -> Result<Compiled, SyncoptError> {
-    let program = syncopt_frontend::prepare_program(src)?;
-    let source_cfg = syncopt_ir::lower::lower_main(&program)?;
-    let analysis = syncopt_core::analyze_for(&source_cfg, procs);
-    let optimized = syncopt_codegen::optimize(&source_cfg, &analysis, level, choice);
-    Ok(Compiled {
-        source_cfg,
-        analysis,
-        optimized,
-    })
-}
-
-/// The output of [`run`]: compilation artifacts plus the simulation result.
+/// The output of [`Syncopt::run`]: compilation artifacts plus the
+/// simulation result.
 #[derive(Debug, Clone)]
 pub struct RunResult {
-    /// Compilation artifacts.
+    /// Compilation artifacts; `compiled.report` includes the simulation
+    /// section.
     pub compiled: Compiled,
     /// The simulated execution.
     pub sim: SimResult,
+    /// The simulator event trace, when the builder asked for
+    /// [`TraceLevel::Events`].
+    pub trace: Option<Trace>,
 }
 
-/// [`compile`]s for `config.procs` processors and simulates the optimized
-/// program on `config`.
-///
-/// # Errors
-///
-/// Returns frontend, lowering, or simulation errors.
-pub fn run(
-    src: &str,
-    config: &MachineConfig,
-    level: OptLevel,
-    choice: DelayChoice,
-) -> Result<RunResult, SyncoptError> {
-    let compiled = compile(src, config.procs, level, choice)?;
-    let sim = syncopt_machine::simulate(&compiled.optimized.cfg, config)?;
-    Ok(RunResult { compiled, sim })
+impl RunResult {
+    /// The full pipeline report (compile stages + simulation).
+    pub fn report(&self) -> &PipelineReport {
+        &self.compiled.report
+    }
 }
 
 /// Which code version a two-version execution ended up using.
@@ -164,9 +417,36 @@ pub enum VersionUsed {
     /// The barrier-optimistic optimized version ran to completion and the
     /// runtime check confirmed barrier alignment.
     Optimized,
-    /// The runtime check failed (or the optimistic run deadlocked on a
-    /// barrier) and the conservative version was used instead.
+    /// The runtime check failed (or the optimistic run faulted) and the
+    /// conservative version was used instead.
     Conservative,
+}
+
+/// Why a two-version execution fell back to the conservative version.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FallbackReason {
+    /// The optimistic simulation aborted with a runtime fault (typically
+    /// a barrier deadlock from the misalignment itself).
+    SimFailed(SimError),
+    /// The optimistic run completed, but the dynamic barrier-sequence
+    /// check found processors disagreeing on which barriers they passed.
+    MisalignedBarriers {
+        /// The first processor whose barrier sequence diverges from
+        /// processor 0's.
+        divergent_proc: u32,
+    },
+}
+
+impl fmt::Display for FallbackReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FallbackReason::SimFailed(e) => write!(f, "optimistic run failed: {}", e.message()),
+            FallbackReason::MisalignedBarriers { divergent_proc } => write!(
+                f,
+                "barrier sequences misaligned (processor {divergent_proc} diverges from processor 0)"
+            ),
+        }
+    }
 }
 
 /// The result of a two-version execution.
@@ -176,62 +456,75 @@ pub struct TwoVersionResult {
     pub sim: SimResult,
     /// Which version produced it.
     pub used: VersionUsed,
+    /// Why the fallback fired (`None` when the optimized version was
+    /// used).
+    pub fallback: Option<FallbackReason>,
 }
 
-/// The paper's §5.2 **two-version compilation**: barrier alignment is
-/// undecidable in general, so the compiler emits an *optimistic* version
-/// (barriers assumed aligned, full optimization) guarded by a runtime
-/// check, plus a *conservative* version (no barrier information). The
-/// optimistic version runs; if the dynamic barrier-sequence check fails,
-/// the conservative version's result is used.
+// ---- deprecated free-function API (pre-builder) ------------------------
+
+/// Parses, checks, lowers, analyzes (for `procs` processors), and
+/// optimizes a `minisplit` program.
+///
+/// # Errors
+///
+/// Returns frontend or lowering errors.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the `Syncopt` builder: \
+    `Syncopt::new(src).procs(procs).level(level).delay(choice).compile()`"
+)]
+pub fn compile(
+    src: &str,
+    procs: u32,
+    level: OptLevel,
+    choice: DelayChoice,
+) -> Result<Compiled, SyncoptError> {
+    Syncopt::new(src)
+        .procs(procs)
+        .level(level)
+        .delay(choice)
+        .compile()
+}
+
+/// Compiles for `config.procs` processors and simulates the optimized
+/// program on `config`.
+///
+/// # Errors
+///
+/// Returns frontend, lowering, or simulation errors.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the `Syncopt` builder: \
+    `Syncopt::new(src).level(level).delay(choice).run(config)`"
+)]
+pub fn run(
+    src: &str,
+    config: &MachineConfig,
+    level: OptLevel,
+    choice: DelayChoice,
+) -> Result<RunResult, SyncoptError> {
+    Syncopt::new(src).level(level).delay(choice).run(config)
+}
+
+/// The paper's §5.2 two-version compilation (see
+/// [`Syncopt::run_two_version`]).
 ///
 /// # Errors
 ///
 /// Returns frontend/lowering errors, or simulation errors from the
-/// conservative version (the optimistic version's runtime faults trigger
-/// the fallback instead of failing).
+/// conservative version.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the `Syncopt` builder: \
+    `Syncopt::new(src).level(level).run_two_version(config)`"
+)]
 pub fn run_two_version(
     src: &str,
     config: &MachineConfig,
     level: OptLevel,
 ) -> Result<TwoVersionResult, SyncoptError> {
-    let program = syncopt_frontend::prepare_program(src)?;
-    let source_cfg = syncopt_ir::lower::lower_main(&program)?;
-
-    // Optimistic: assume barriers align; the simulator double-checks.
-    let optimistic = syncopt_core::analyze_with(
-        &source_cfg,
-        &syncopt_core::SyncOptions {
-            barrier_policy: syncopt_core::BarrierPolicy::AssumeAligned,
-            procs: Some(config.procs),
-        },
-    );
-    let opt_cfg =
-        syncopt_codegen::optimize(&source_cfg, &optimistic, level, DelayChoice::SyncRefined);
-    if let Ok(sim) = syncopt_machine::simulate(&opt_cfg.cfg, config) {
-        if sim.barriers_aligned {
-            return Ok(TwoVersionResult {
-                sim,
-                used: VersionUsed::Optimized,
-            });
-        }
-    }
-
-    // Conservative: no barrier information at all.
-    let conservative = syncopt_core::analyze_with(
-        &source_cfg,
-        &syncopt_core::SyncOptions {
-            barrier_policy: syncopt_core::BarrierPolicy::Disabled,
-            procs: Some(config.procs),
-        },
-    );
-    let cons_cfg =
-        syncopt_codegen::optimize(&source_cfg, &conservative, level, DelayChoice::SyncRefined);
-    let sim = syncopt_machine::simulate(&cons_cfg.cfg, config)?;
-    Ok(TwoVersionResult {
-        sim,
-        used: VersionUsed::Conservative,
-    })
+    Syncopt::new(src).level(level).run_two_version(config)
 }
 
 #[cfg(test)]
@@ -257,39 +550,109 @@ mod tests {
             OptLevel::OneWay,
             OptLevel::Full,
         ] {
-            let c = compile(SRC, 4, level, DelayChoice::SyncRefined).unwrap();
+            let c = Syncopt::new(SRC).procs(4).level(level).compile().unwrap();
             c.optimized.cfg.validate().unwrap();
             assert_eq!(c.optimized.level, level);
+            assert!(c.report.sim.is_none());
+            assert_eq!(c.report.meta.level, level);
         }
     }
 
     #[test]
     fn run_executes_and_optimization_preserves_memory() {
         let config = MachineConfig::cm5(4);
-        let base = run(SRC, &config, OptLevel::Blocking, DelayChoice::SyncRefined).unwrap();
-        let opt = run(SRC, &config, OptLevel::Full, DelayChoice::SyncRefined).unwrap();
+        let base = Syncopt::new(SRC)
+            .level(OptLevel::Blocking)
+            .run(&config)
+            .unwrap();
+        let opt = Syncopt::new(SRC).run(&config).unwrap();
         assert_eq!(base.sim.memory, opt.sim.memory);
         assert!(opt.sim.exec_cycles <= base.sim.exec_cycles);
+        // The default level is Full.
+        assert_eq!(opt.compiled.optimized.level, OptLevel::Full);
     }
 
     #[test]
-    fn frontend_errors_propagate() {
-        let err = compile(
-            "fn main() { x = 1; }",
-            2,
-            OptLevel::Full,
-            DelayChoice::SyncRefined,
-        )
-        .unwrap_err();
+    fn run_report_covers_all_four_stages() {
+        let config = MachineConfig::cm5(4);
+        let r = Syncopt::new(SRC).run(&config).unwrap();
+        let report = r.report();
+        assert_eq!(report.meta.procs, 4);
+        assert_eq!(report.meta.machine.as_deref(), Some("CM-5"));
+        // Frontend: all phases recorded (zeros with tracing off).
+        let phases: Vec<&str> = report.timings.iter().map(|(k, _)| k).collect();
+        assert_eq!(
+            phases,
+            vec!["parse", "typeck", "inline", "lower", "analyze", "optimize", "simulate"]
+        );
+        // Analysis counters present.
+        assert!(report.counters.get("conflict.pairs") > 0);
+        // Codegen did something at Full.
+        assert!(report.codegen.gets_split > 0);
+        // Simulation section with conserved per-proc accounting.
+        let sim = report.sim.as_ref().unwrap();
+        assert_eq!(sim.exec_cycles, r.sim.exec_cycles);
+        for p in &sim.metrics.per_proc {
+            assert_eq!(p.accounted(), sim.exec_cycles);
+        }
+    }
+
+    #[test]
+    fn trace_levels_gate_timings_and_events() {
+        let config = MachineConfig::cm5(2);
+        let off = Syncopt::new(SRC).run(&config).unwrap();
+        assert!(!off.report().timings.enabled());
+        assert!(off.trace.is_none());
+        let phases = Syncopt::new(SRC)
+            .trace(TraceLevel::Phases)
+            .run(&config)
+            .unwrap();
+        assert!(phases.report().timings.enabled());
+        assert!(phases.trace.is_none());
+        let events = Syncopt::new(SRC)
+            .trace(TraceLevel::Events)
+            .run(&config)
+            .unwrap();
+        assert!(events.trace.is_some());
+        assert!(!events.trace.unwrap().events().is_empty());
+    }
+
+    #[test]
+    fn profile_pairs_blocking_with_optimized() {
+        let config = MachineConfig::cm5(4);
+        let p = Syncopt::new(SRC)
+            .level(OptLevel::OneWay)
+            .profile(&config)
+            .unwrap();
+        assert_eq!(p.blocking.meta.level, OptLevel::Blocking);
+        assert_eq!(p.optimized.meta.level, OptLevel::OneWay);
+        assert!(p.speedup_x100() >= 100, "optimization never slows: {p:?}");
+        let json = p.to_json();
+        assert!(json.get("comparison").is_some());
+    }
+
+    #[test]
+    fn frontend_errors_propagate_with_spans() {
+        let err = Syncopt::new("fn main() { x = 1; }")
+            .procs(2)
+            .compile()
+            .unwrap_err();
         assert!(matches!(err, SyncoptError::Frontend(_)), "{err}");
         assert!(err.to_string().contains("unknown variable"));
+        let d = err.to_diagnostic();
+        assert_eq!(d.code, "E003");
+        assert!(d.span.end > d.span.start);
     }
 
     #[test]
     fn two_version_uses_optimized_when_barriers_align() {
-        let r = run_two_version(SRC, &MachineConfig::cm5(4), OptLevel::OneWay).unwrap();
+        let r = Syncopt::new(SRC)
+            .level(OptLevel::OneWay)
+            .run_two_version(&MachineConfig::cm5(4))
+            .unwrap();
         assert_eq!(r.used, VersionUsed::Optimized);
         assert!(r.sim.barriers_aligned);
+        assert!(r.fallback.is_none());
     }
 
     #[test]
@@ -313,19 +676,52 @@ mod tests {
                 }
             }
         "#;
-        let r = run_two_version(src, &MachineConfig::cm5(2), OptLevel::OneWay).unwrap();
+        let r = Syncopt::new(src)
+            .level(OptLevel::OneWay)
+            .run_two_version(&MachineConfig::cm5(2))
+            .unwrap();
         assert_eq!(r.used, VersionUsed::Conservative);
+        match r.fallback {
+            Some(FallbackReason::MisalignedBarriers { divergent_proc }) => {
+                assert_eq!(divergent_proc, 1);
+            }
+            other => panic!("expected misaligned-barriers reason, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn two_version_propagates_when_both_versions_fail() {
+        // Unequal barrier COUNTS deadlock every version — the conservative
+        // run's error surfaces (its failure is not maskable by fallback).
+        let src = r#"
+            shared int X;
+            fn main() {
+                if (MYPROC == 0) { X = 1; barrier; }
+                int v; v = X; work(v);
+            }
+        "#;
+        let err = Syncopt::new(src)
+            .level(OptLevel::OneWay)
+            .run_two_version(&MachineConfig::cm5(2))
+            .unwrap_err();
+        assert!(matches!(err, SyncoptError::Sim(_)), "{err}");
+    }
+
+    #[test]
+    fn fallback_reasons_render() {
+        let f = FallbackReason::SimFailed(SimError::new("deadlock"));
+        assert!(f.to_string().contains("optimistic run failed"), "{f}");
+        let m = FallbackReason::MisalignedBarriers { divergent_proc: 3 };
+        assert!(m.to_string().contains("processor 3"), "{m}");
     }
 
     #[test]
     fn sim_errors_propagate() {
-        let err = run(
-            "shared int A[2]; fn main() { A[5] = 1; }",
-            &MachineConfig::cm5(2),
-            OptLevel::Blocking,
-            DelayChoice::SyncRefined,
-        )
-        .unwrap_err();
+        let err = Syncopt::new("shared int A[2]; fn main() { A[5] = 1; }")
+            .level(OptLevel::Blocking)
+            .run(&MachineConfig::cm5(2))
+            .unwrap_err();
         assert!(matches!(err, SyncoptError::Sim(_)), "{err}");
+        assert_eq!(err.to_diagnostic().code, "E006");
     }
 }

@@ -1,0 +1,676 @@
+//! The structured pipeline observability report.
+//!
+//! Every stage of the pipeline measures itself — frontend phase timings,
+//! analysis work counters, optimizer action counts, simulator cycle
+//! accounting — and the facade assembles the pieces into one
+//! [`PipelineReport`]. The report has two renderings:
+//!
+//! * [`PipelineReport::to_json`] — a stable machine format built on the
+//!   std-only JSON emitter in `syncopt-core` (schema
+//!   `syncopt.pipeline_report.v1`). All values are integers; the only
+//!   nondeterministic ones are the `_us` phase timings, which consumers
+//!   that diff reports zero out.
+//! * [`PipelineReport::render_table`] — a human-readable table.
+//!
+//! [`ProfileReport`] pairs two reports — the blocking baseline and an
+//! optimized run of the same program — the shape of the paper's Figure 12
+//! comparison, emitted by `syncoptc profile`.
+
+use syncopt_codegen::{DelayChoice, OptLevel, OptStats};
+use syncopt_core::diag::json::Value;
+use syncopt_core::{AnalysisStats, Counters, PhaseTimings};
+use syncopt_machine::sim::{NetStats, SimResult, StallStats};
+use syncopt_machine::{LatencyHistogram, MachineConfig, SimMetrics};
+
+/// Identification of what was compiled and how.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReportMeta {
+    /// Processor count the program was analyzed (and possibly run) for.
+    pub procs: u32,
+    /// Optimization level applied.
+    pub level: OptLevel,
+    /// Delay set that constrained the motion passes.
+    pub delay: DelayChoice,
+    /// Machine preset name, when the program was simulated.
+    pub machine: Option<String>,
+}
+
+/// The simulation section of a [`PipelineReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimReport {
+    /// Execution time in cycles.
+    pub exec_cycles: u64,
+    /// Whether the runtime barrier-sequence check passed.
+    pub barriers_aligned: bool,
+    /// Message counters.
+    pub net: NetStats,
+    /// Global stall accounting.
+    pub stalls: StallStats,
+    /// Per-processor cycle accounting, latency histogram, barrier epochs.
+    pub metrics: SimMetrics,
+}
+
+impl SimReport {
+    /// Extracts the report section from a simulation result.
+    pub fn from_sim(sim: &SimResult) -> Self {
+        SimReport {
+            exec_cycles: sim.exec_cycles,
+            barriers_aligned: sim.barriers_aligned,
+            net: sim.net,
+            stalls: sim.stalls,
+            metrics: sim.metrics.clone(),
+        }
+    }
+}
+
+/// Everything the pipeline measured while compiling (and optionally
+/// running) one program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineReport {
+    /// What was compiled and how.
+    pub meta: ReportMeta,
+    /// Wall-clock phase timings (parse → simulate), zeros unless tracing
+    /// was enabled.
+    pub timings: PhaseTimings,
+    /// Analysis summary (delay-set sizes etc.).
+    pub analysis: AnalysisStats,
+    /// Work counters from every analysis stage (`conflict.*`, `cycle.*`,
+    /// `sync.*`, `delay.*`).
+    pub counters: Counters,
+    /// What the optimizer did.
+    pub codegen: OptStats,
+    /// The simulation section; `None` for compile-only reports.
+    pub sim: Option<SimReport>,
+}
+
+/// The stable schema identifier embedded in every JSON report.
+pub const REPORT_SCHEMA: &str = "syncopt.pipeline_report.v1";
+
+/// The lowercase label of an optimization level, as used in JSON reports
+/// and on the `syncoptc` command line.
+pub fn level_label(level: OptLevel) -> &'static str {
+    match level {
+        OptLevel::Blocking => "blocking",
+        OptLevel::Pipelined => "pipelined",
+        OptLevel::OneWay => "oneway",
+        OptLevel::Full => "full",
+    }
+}
+
+/// The lowercase label of a delay-set choice.
+pub fn delay_label(delay: DelayChoice) -> &'static str {
+    match delay {
+        DelayChoice::ShashaSnir => "shasha-snir",
+        DelayChoice::SyncRefined => "sync-refined",
+    }
+}
+
+impl PipelineReport {
+    /// The report as a JSON object with a stable key order. All values
+    /// are integers/strings; `timings` entries carry a `_us` suffix and
+    /// are the only nondeterministic fields.
+    pub fn to_json(&self) -> Value {
+        let mut fields = vec![
+            ("schema".to_string(), Value::Str(REPORT_SCHEMA.to_string())),
+            ("meta".to_string(), self.meta_json()),
+            ("timings".to_string(), self.timings.to_json()),
+            ("analysis".to_string(), self.analysis_json()),
+            ("counters".to_string(), self.counters.to_json()),
+            ("codegen".to_string(), optstats_json(&self.codegen)),
+        ];
+        if let Some(sim) = &self.sim {
+            fields.push(("sim".to_string(), sim_json(sim)));
+        }
+        Value::Obj(fields)
+    }
+
+    fn meta_json(&self) -> Value {
+        Value::Obj(vec![
+            ("procs".to_string(), Value::Int(i64::from(self.meta.procs))),
+            (
+                "level".to_string(),
+                Value::Str(level_label(self.meta.level).to_string()),
+            ),
+            (
+                "delay".to_string(),
+                Value::Str(delay_label(self.meta.delay).to_string()),
+            ),
+            (
+                "machine".to_string(),
+                match &self.meta.machine {
+                    Some(m) => Value::Str(m.clone()),
+                    None => Value::Null,
+                },
+            ),
+        ])
+    }
+
+    fn analysis_json(&self) -> Value {
+        let a = &self.analysis;
+        Value::Obj(vec![
+            ("accesses".to_string(), Value::Int(a.accesses as i64)),
+            (
+                "conflict_pairs".to_string(),
+                Value::Int(a.conflict_pairs as i64),
+            ),
+            ("delay_ss".to_string(), Value::Int(a.delay_ss as i64)),
+            ("delay_sync".to_string(), Value::Int(a.delay_sync as i64)),
+            (
+                "precedence_pairs".to_string(),
+                Value::Int(a.precedence_pairs as i64),
+            ),
+            (
+                "aligned_barriers".to_string(),
+                Value::Int(a.aligned_barriers as i64),
+            ),
+        ])
+    }
+
+    /// Renders the report as a human-readable table.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "pipeline report: level {}, delay {}, {} procs{}\n",
+            level_label(self.meta.level),
+            delay_label(self.meta.delay),
+            self.meta.procs,
+            match &self.meta.machine {
+                Some(m) => format!(", machine {m}"),
+                None => String::new(),
+            }
+        ));
+        if self.timings.enabled() {
+            out.push_str("  timings (us):");
+            for (name, us) in self.timings.iter() {
+                out.push_str(&format!(" {name} {us}"));
+            }
+            out.push('\n');
+        }
+        let a = &self.analysis;
+        out.push_str(&format!(
+            "  analysis: {} accesses, {} conflict pairs, delay D_SS {} -> refined {} ({} dropped)\n",
+            a.accesses,
+            a.conflict_pairs,
+            a.delay_ss,
+            a.delay_sync,
+            a.delay_ss.saturating_sub(a.delay_sync),
+        ));
+        for (key, val) in self.counters.iter() {
+            out.push_str(&format!("    {key:<34} {val}\n"));
+        }
+        let c = &self.codegen;
+        out.push_str(&format!(
+            "  codegen: {} gets / {} puts split, {} sync moves, {} init moves, \
+             {} puts->stores, {} gets eliminated, {} puts eliminated\n",
+            c.gets_split,
+            c.puts_split,
+            c.sync_moves,
+            c.init_moves,
+            c.puts_to_stores,
+            c.gets_eliminated,
+            c.puts_eliminated,
+        ));
+        if let Some(sim) = &self.sim {
+            render_sim_table(&mut out, sim);
+        }
+        out
+    }
+}
+
+fn optstats_json(s: &OptStats) -> Value {
+    Value::Obj(vec![
+        ("gets_split".to_string(), Value::Int(s.gets_split as i64)),
+        ("puts_split".to_string(), Value::Int(s.puts_split as i64)),
+        ("sync_moves".to_string(), Value::Int(s.sync_moves as i64)),
+        (
+            "syncs_merged".to_string(),
+            Value::Int(s.syncs_merged as i64),
+        ),
+        ("init_moves".to_string(), Value::Int(s.init_moves as i64)),
+        (
+            "puts_to_stores".to_string(),
+            Value::Int(s.puts_to_stores as i64),
+        ),
+        (
+            "gets_eliminated".to_string(),
+            Value::Int(s.gets_eliminated as i64),
+        ),
+        (
+            "puts_eliminated".to_string(),
+            Value::Int(s.puts_eliminated as i64),
+        ),
+        (
+            "dead_locals_removed".to_string(),
+            Value::Int(s.dead_locals_removed as i64),
+        ),
+        (
+            "dead_gets_removed".to_string(),
+            Value::Int(s.dead_gets_removed as i64),
+        ),
+        (
+            "exprs_folded".to_string(),
+            Value::Int(s.exprs_folded as i64),
+        ),
+    ])
+}
+
+fn net_json(n: &NetStats) -> Value {
+    Value::Obj(vec![
+        (
+            "get_requests".to_string(),
+            Value::Int(n.get_requests as i64),
+        ),
+        ("get_replies".to_string(), Value::Int(n.get_replies as i64)),
+        (
+            "put_requests".to_string(),
+            Value::Int(n.put_requests as i64),
+        ),
+        ("put_acks".to_string(), Value::Int(n.put_acks as i64)),
+        (
+            "store_requests".to_string(),
+            Value::Int(n.store_requests as i64),
+        ),
+        (
+            "post_messages".to_string(),
+            Value::Int(n.post_messages as i64),
+        ),
+        (
+            "wait_messages".to_string(),
+            Value::Int(n.wait_messages as i64),
+        ),
+        (
+            "lock_messages".to_string(),
+            Value::Int(n.lock_messages as i64),
+        ),
+        ("barriers".to_string(), Value::Int(n.barriers as i64)),
+        (
+            "total_messages".to_string(),
+            Value::Int(n.total_messages() as i64),
+        ),
+    ])
+}
+
+fn stalls_json(s: &StallStats) -> Value {
+    Value::Obj(vec![
+        ("sync".to_string(), Value::Int(s.sync as i64)),
+        ("barrier".to_string(), Value::Int(s.barrier as i64)),
+        ("wait".to_string(), Value::Int(s.wait as i64)),
+        ("lock".to_string(), Value::Int(s.lock as i64)),
+        ("blocking".to_string(), Value::Int(s.blocking as i64)),
+    ])
+}
+
+fn latency_json(h: &LatencyHistogram) -> Value {
+    let buckets = h
+        .buckets
+        .iter()
+        .enumerate()
+        .map(|(i, &count)| {
+            Value::Obj(vec![
+                (
+                    "le".to_string(),
+                    Value::Str(LatencyHistogram::bucket_label(i)),
+                ),
+                ("count".to_string(), Value::Int(count as i64)),
+            ])
+        })
+        .collect();
+    Value::Obj(vec![
+        ("count".to_string(), Value::Int(h.count as i64)),
+        ("min".to_string(), Value::Int(h.min as i64)),
+        ("mean".to_string(), Value::Int(h.mean() as i64)),
+        ("max".to_string(), Value::Int(h.max as i64)),
+        ("buckets".to_string(), Value::Arr(buckets)),
+    ])
+}
+
+fn sim_json(sim: &SimReport) -> Value {
+    let per_proc = sim
+        .metrics
+        .per_proc
+        .iter()
+        .enumerate()
+        .map(|(pi, p)| {
+            Value::Obj(vec![
+                ("proc".to_string(), Value::Int(pi as i64)),
+                ("busy".to_string(), Value::Int(p.busy as i64)),
+                ("sync".to_string(), Value::Int(p.sync as i64)),
+                ("barrier".to_string(), Value::Int(p.barrier as i64)),
+                ("wait".to_string(), Value::Int(p.wait as i64)),
+                ("lock".to_string(), Value::Int(p.lock as i64)),
+                (
+                    "network_wait".to_string(),
+                    Value::Int(p.network_wait as i64),
+                ),
+                ("idle".to_string(), Value::Int(p.idle as i64)),
+                ("msgs_sent".to_string(), Value::Int(p.msgs_sent as i64)),
+                (
+                    "msgs_handled".to_string(),
+                    Value::Int(p.msgs_handled as i64),
+                ),
+            ])
+        })
+        .collect();
+    let epochs = sim
+        .metrics
+        .barrier_epochs
+        .iter()
+        .map(|e| {
+            Value::Obj(vec![
+                (
+                    "first_arrival".to_string(),
+                    Value::Int(e.first_arrival as i64),
+                ),
+                (
+                    "last_arrival".to_string(),
+                    Value::Int(e.last_arrival as i64),
+                ),
+                ("release".to_string(), Value::Int(e.release as i64)),
+            ])
+        })
+        .collect();
+    Value::Obj(vec![
+        (
+            "exec_cycles".to_string(),
+            Value::Int(sim.exec_cycles as i64),
+        ),
+        (
+            "barriers_aligned".to_string(),
+            Value::Bool(sim.barriers_aligned),
+        ),
+        ("net".to_string(), net_json(&sim.net)),
+        ("stalls".to_string(), stalls_json(&sim.stalls)),
+        ("per_proc".to_string(), Value::Arr(per_proc)),
+        ("latency".to_string(), latency_json(&sim.metrics.latency)),
+        ("barrier_epochs".to_string(), Value::Arr(epochs)),
+    ])
+}
+
+fn render_sim_table(out: &mut String, sim: &SimReport) {
+    out.push_str(&format!(
+        "  simulation: {} cycles, {} messages, barriers {}\n",
+        sim.exec_cycles,
+        sim.net.total_messages(),
+        if sim.barriers_aligned {
+            "aligned"
+        } else {
+            "MISALIGNED"
+        }
+    ));
+    out.push_str(&format!(
+        "    stalls: sync {} barrier {} wait {} lock {} blocking {}\n",
+        sim.stalls.sync, sim.stalls.barrier, sim.stalls.wait, sim.stalls.lock, sim.stalls.blocking
+    ));
+    out.push_str(
+        "    proc       busy       sync    barrier       wait       lock    net-wait       idle\n",
+    );
+    for (pi, p) in sim.metrics.per_proc.iter().enumerate() {
+        out.push_str(&format!(
+            "    {pi:>4} {:>10} {:>10} {:>10} {:>10} {:>10} {:>11} {:>10}\n",
+            p.busy, p.sync, p.barrier, p.wait, p.lock, p.network_wait, p.idle
+        ));
+    }
+    let h = &sim.metrics.latency;
+    if h.count > 0 {
+        out.push_str(&format!(
+            "    remote latency: {} samples, min {} / mean {} / max {} cycles\n",
+            h.count,
+            h.min,
+            h.mean(),
+            h.max
+        ));
+        for (i, &count) in h.buckets.iter().enumerate() {
+            if count > 0 {
+                out.push_str(&format!(
+                    "      {:<8} {count}\n",
+                    LatencyHistogram::bucket_label(i)
+                ));
+            }
+        }
+    }
+    if !sim.metrics.barrier_epochs.is_empty() {
+        out.push_str("    barrier epochs (first arrival / last arrival / release):\n");
+        for (i, e) in sim.metrics.barrier_epochs.iter().enumerate() {
+            out.push_str(&format!(
+                "      #{i}: {} / {} / {} (skew {})\n",
+                e.first_arrival,
+                e.last_arrival,
+                e.release,
+                e.skew()
+            ));
+        }
+    }
+}
+
+/// A blocking-baseline vs optimized comparison of one program on one
+/// machine — the shape of the paper's Figure 12 bars, as emitted by
+/// `syncoptc profile`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileReport {
+    /// The `OptLevel::Blocking` reference run.
+    pub blocking: PipelineReport,
+    /// The optimized run.
+    pub optimized: PipelineReport,
+}
+
+impl ProfileReport {
+    /// Speedup of the optimized run over the blocking baseline, times 100
+    /// (integer so JSON reports stay float-free). 100 means no change.
+    pub fn speedup_x100(&self) -> u64 {
+        let base = self.blocking.sim.as_ref().map_or(0, |s| s.exec_cycles);
+        let opt = self.optimized.sim.as_ref().map_or(0, |s| s.exec_cycles);
+        (base * 100).checked_div(opt).unwrap_or(100)
+    }
+
+    /// The profile as a JSON object (`syncopt.profile_report.v1`).
+    pub fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            (
+                "schema".to_string(),
+                Value::Str("syncopt.profile_report.v1".to_string()),
+            ),
+            ("blocking".to_string(), self.blocking.to_json()),
+            ("optimized".to_string(), self.optimized.to_json()),
+            (
+                "comparison".to_string(),
+                Value::Obj(vec![
+                    (
+                        "speedup_x100".to_string(),
+                        Value::Int(self.speedup_x100() as i64),
+                    ),
+                    (
+                        "cycles_saved".to_string(),
+                        Value::Int(
+                            self.blocking
+                                .sim
+                                .as_ref()
+                                .map_or(0, |s| s.exec_cycles as i64)
+                                - self
+                                    .optimized
+                                    .sim
+                                    .as_ref()
+                                    .map_or(0, |s| s.exec_cycles as i64),
+                        ),
+                    ),
+                    (
+                        "messages_delta".to_string(),
+                        Value::Int(
+                            self.optimized
+                                .sim
+                                .as_ref()
+                                .map_or(0, |s| s.net.total_messages() as i64)
+                                - self
+                                    .blocking
+                                    .sim
+                                    .as_ref()
+                                    .map_or(0, |s| s.net.total_messages() as i64),
+                        ),
+                    ),
+                ]),
+            ),
+        ])
+    }
+
+    /// Renders both runs side by side with a comparison footer.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let b = self.blocking.sim.as_ref();
+        let o = self.optimized.sim.as_ref();
+        out.push_str(&format!(
+            "profile: blocking vs {} ({} procs{})\n",
+            level_label(self.optimized.meta.level),
+            self.optimized.meta.procs,
+            match &self.optimized.meta.machine {
+                Some(m) => format!(", machine {m}"),
+                None => String::new(),
+            }
+        ));
+        let row = |label: &str, bv: u64, ov: u64| format!("  {label:<22} {bv:>12} {ov:>12}\n");
+        out.push_str(&format!(
+            "  {:<22} {:>12} {:>12}\n",
+            "", "blocking", "optimized"
+        ));
+        out.push_str(&row(
+            "exec cycles",
+            b.map_or(0, |s| s.exec_cycles),
+            o.map_or(0, |s| s.exec_cycles),
+        ));
+        out.push_str(&row(
+            "messages",
+            b.map_or(0, |s| s.net.total_messages()),
+            o.map_or(0, |s| s.net.total_messages()),
+        ));
+        out.push_str(&row(
+            "one-way stores",
+            b.map_or(0, |s| s.net.store_requests),
+            o.map_or(0, |s| s.net.store_requests),
+        ));
+        out.push_str(&row(
+            "blocking-stall cycles",
+            b.map_or(0, |s| s.stalls.blocking),
+            o.map_or(0, |s| s.stalls.blocking),
+        ));
+        out.push_str(&row(
+            "sync-stall cycles",
+            b.map_or(0, |s| s.stalls.sync),
+            o.map_or(0, |s| s.stalls.sync),
+        ));
+        out.push_str(&row(
+            "barrier-stall cycles",
+            b.map_or(0, |s| s.stalls.barrier),
+            o.map_or(0, |s| s.stalls.barrier),
+        ));
+        out.push_str(&row(
+            "delay pairs",
+            self.blocking.analysis.delay_sync as u64,
+            self.optimized.analysis.delay_sync as u64,
+        ));
+        let s = self.speedup_x100();
+        out.push_str(&format!("  speedup: {}.{:02}x\n", s / 100, s % 100));
+        out.push_str("\n--- blocking ---\n");
+        out.push_str(&self.blocking.render_table());
+        out.push_str("\n--- optimized ---\n");
+        out.push_str(&self.optimized.render_table());
+        out
+    }
+}
+
+/// Builds the metadata section for a report.
+pub(crate) fn meta_for(
+    procs: u32,
+    level: OptLevel,
+    delay: DelayChoice,
+    machine: Option<&MachineConfig>,
+) -> ReportMeta {
+    ReportMeta {
+        procs,
+        level,
+        delay,
+        machine: machine.map(|m| m.name.clone()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empty_report(level: OptLevel, exec: Option<u64>) -> PipelineReport {
+        PipelineReport {
+            meta: ReportMeta {
+                procs: 4,
+                level,
+                delay: DelayChoice::SyncRefined,
+                machine: Some("CM-5".to_string()),
+            },
+            timings: PhaseTimings::new(false),
+            analysis: AnalysisStats {
+                accesses: 2,
+                conflict_pairs: 1,
+                delay_ss: 1,
+                delay_sync: 0,
+                precedence_pairs: 0,
+                aligned_barriers: 0,
+            },
+            counters: Counters::new(),
+            codegen: OptStats::default(),
+            sim: exec.map(|e| SimReport {
+                exec_cycles: e,
+                barriers_aligned: true,
+                net: NetStats::default(),
+                stalls: StallStats::default(),
+                metrics: SimMetrics::default(),
+            }),
+        }
+    }
+
+    #[test]
+    fn json_has_stable_top_level_schema() {
+        let r = empty_report(OptLevel::Full, Some(100));
+        let j = r.to_json();
+        assert_eq!(j.get("schema").unwrap().as_str(), Some(REPORT_SCHEMA));
+        assert_eq!(
+            j.get("meta").unwrap().get("level").unwrap().as_str(),
+            Some("full")
+        );
+        assert!(j.get("sim").is_some());
+        // Compile-only reports omit the sim section.
+        let c = empty_report(OptLevel::Full, None);
+        assert!(c.to_json().get("sim").is_none());
+    }
+
+    #[test]
+    fn speedup_is_ratio_times_100() {
+        let p = ProfileReport {
+            blocking: empty_report(OptLevel::Blocking, Some(300)),
+            optimized: empty_report(OptLevel::Full, Some(200)),
+        };
+        assert_eq!(p.speedup_x100(), 150);
+        let j = p.to_json();
+        let cmp = j.get("comparison").unwrap();
+        assert_eq!(cmp.get("speedup_x100").unwrap().as_int(), Some(150));
+        assert_eq!(cmp.get("cycles_saved").unwrap().as_int(), Some(100));
+    }
+
+    #[test]
+    fn tables_render_without_panicking() {
+        let p = ProfileReport {
+            blocking: empty_report(OptLevel::Blocking, Some(300)),
+            optimized: empty_report(OptLevel::Full, Some(200)),
+        };
+        let t = p.render_table();
+        assert!(t.contains("speedup: 1.50x"), "{t}");
+        assert!(t.contains("exec cycles"), "{t}");
+        let single = empty_report(OptLevel::Full, Some(10)).render_table();
+        assert!(single.contains("pipeline report"), "{single}");
+    }
+
+    #[test]
+    fn labels_cover_all_variants() {
+        assert_eq!(level_label(OptLevel::Blocking), "blocking");
+        assert_eq!(level_label(OptLevel::Pipelined), "pipelined");
+        assert_eq!(level_label(OptLevel::OneWay), "oneway");
+        assert_eq!(level_label(OptLevel::Full), "full");
+        assert_eq!(delay_label(DelayChoice::ShashaSnir), "shasha-snir");
+        assert_eq!(delay_label(DelayChoice::SyncRefined), "sync-refined");
+    }
+}

@@ -6,7 +6,7 @@
 
 use syncopt::kernels::{cholesky, KernelParams};
 use syncopt::machine::MachineConfig;
-use syncopt::{run, DelayChoice, OptLevel, SyncoptError};
+use syncopt::{DelayChoice, OptLevel, Syncopt, SyncoptError};
 
 fn main() -> Result<(), SyncoptError> {
     let procs = 16;
@@ -28,7 +28,10 @@ fn main() -> Result<(), SyncoptError> {
     ];
     let mut first = None;
     for (name, level, choice) in configs {
-        let r = run(&kernel.source, &config, level, choice)?;
+        let r = Syncopt::new(&kernel.source)
+            .level(level)
+            .delay(choice)
+            .run(&config)?;
         let base = *first.get_or_insert(r.sim.exec_cycles);
         println!(
             "{name:>20}: {:>9} cycles  (norm {:.3})  msgs {:>5}  sync-stall {:>8}",

@@ -9,7 +9,7 @@
 //! Run with: `cargo run --example codegen_walkthrough`
 
 use syncopt::ir::print::cfg_to_string;
-use syncopt::{compile, DelayChoice, OptLevel, SyncoptError};
+use syncopt::{OptLevel, Syncopt, SyncoptError};
 
 const SRC: &str = r#"
     shared double A[64]; shared double B[64];
@@ -30,11 +30,17 @@ const SRC: &str = r#"
 "#;
 
 fn main() -> Result<(), SyncoptError> {
-    let blocking = compile(SRC, 8, OptLevel::Blocking, DelayChoice::SyncRefined)?;
+    let blocking = Syncopt::new(SRC)
+        .procs(8)
+        .level(OptLevel::Blocking)
+        .compile()?;
     println!("==== source CFG (blocking accesses) ====\n");
     println!("{}", cfg_to_string(&blocking.source_cfg));
 
-    let optimized = compile(SRC, 8, OptLevel::OneWay, DelayChoice::SyncRefined)?;
+    let optimized = Syncopt::new(SRC)
+        .procs(8)
+        .level(OptLevel::OneWay)
+        .compile()?;
     println!("==== optimized CFG (split-phase, one-way) ====\n");
     println!("{}", cfg_to_string(&optimized.optimized.cfg));
 
@@ -45,8 +51,8 @@ fn main() -> Result<(), SyncoptError> {
 
     // And the payoff, measured:
     let config = syncopt::machine::MachineConfig::cm5(8);
-    let base = syncopt::run(SRC, &config, OptLevel::Blocking, DelayChoice::SyncRefined)?;
-    let fast = syncopt::run(SRC, &config, OptLevel::OneWay, DelayChoice::SyncRefined)?;
+    let base = Syncopt::new(SRC).level(OptLevel::Blocking).run(&config)?;
+    let fast = Syncopt::new(SRC).level(OptLevel::OneWay).run(&config)?;
     println!(
         "\nblocking: {} cycles   optimized: {} cycles   ({:.1}% faster)",
         base.sim.exec_cycles,

@@ -8,7 +8,7 @@
 //! Run with: `cargo run --example quickstart`
 
 use syncopt::machine::MachineConfig;
-use syncopt::{compile, run, DelayChoice, OptLevel, SyncoptError};
+use syncopt::{OptLevel, Syncopt, SyncoptError};
 
 const SRC: &str = r#"
     shared int Data; shared int Flag;
@@ -26,7 +26,8 @@ const SRC: &str = r#"
 
 fn main() -> Result<(), SyncoptError> {
     // 1. Compile: parse → type check → lower → analyze → optimize.
-    let compiled = compile(SRC, 2, OptLevel::Pipelined, DelayChoice::SyncRefined)?;
+    let pipeline = Syncopt::new(SRC).procs(2).level(OptLevel::Pipelined);
+    let compiled = pipeline.compile()?;
     let stats = compiled.analysis.stats();
     println!("access sites:        {}", stats.accesses);
     println!("conflicting pairs:   {}", stats.conflict_pairs);
@@ -47,13 +48,8 @@ fn main() -> Result<(), SyncoptError> {
         println!("  {} must complete before {}", name(iu), name(iv));
     }
 
-    // 2. Run on a 2-processor CM-5.
-    let result = run(
-        SRC,
-        &MachineConfig::cm5(2),
-        OptLevel::Pipelined,
-        DelayChoice::SyncRefined,
-    )?;
+    // 2. Run on a 2-processor CM-5 (same configured pipeline).
+    let result = pipeline.run(&MachineConfig::cm5(2))?;
     println!();
     println!("execution:           {} cycles", result.sim.exec_cycles);
     println!("messages on wire:    {}", result.sim.net.total_messages());

@@ -9,7 +9,7 @@
 //! Run with: `cargo run --example two_version`
 
 use syncopt::machine::MachineConfig;
-use syncopt::{run, run_two_version, DelayChoice, OptLevel, SyncoptError, VersionUsed};
+use syncopt::{DelayChoice, OptLevel, Syncopt, SyncoptError, VersionUsed};
 
 const ALIGNED: &str = r#"
     shared double G[64];
@@ -58,19 +58,19 @@ const MISALIGNED: &str = r#"
 fn main() -> Result<(), SyncoptError> {
     let config = MachineConfig::cm5(8);
 
-    let r = run_two_version(ALIGNED, &config, OptLevel::OneWay)?;
+    let r = Syncopt::new(ALIGNED)
+        .level(OptLevel::OneWay)
+        .run_two_version(&config)?;
     println!("aligned stencil:");
     println!("  version used:   {:?}", r.used);
     println!("  execution:      {} cycles", r.sim.exec_cycles);
     assert_eq!(r.used, VersionUsed::Optimized);
 
     // What did optimism buy? Compare with a barrier-blind compilation.
-    let blind = run(
-        ALIGNED,
-        &config,
-        OptLevel::Pipelined,
-        DelayChoice::ShashaSnir,
-    )?;
+    let blind = Syncopt::new(ALIGNED)
+        .level(OptLevel::Pipelined)
+        .delay(DelayChoice::ShashaSnir)
+        .run(&config)?;
     println!(
         "  vs Shasha-Snir: {} cycles ({:.1}% saved)\n",
         blind.sim.exec_cycles,
@@ -79,11 +79,15 @@ fn main() -> Result<(), SyncoptError> {
     );
 
     let config2 = MachineConfig::cm5(2);
-    let r = run_two_version(MISALIGNED, &config2, OptLevel::OneWay)?;
+    let r = Syncopt::new(MISALIGNED)
+        .level(OptLevel::OneWay)
+        .run_two_version(&config2)?;
     println!("misaligned branches:");
     println!("  version used:   {:?}", r.used);
     println!("  execution:      {} cycles", r.sim.exec_cycles);
     assert_eq!(r.used, VersionUsed::Conservative);
-    println!("  (the runtime check caught the divergent barrier sequences)");
+    if let Some(reason) = &r.fallback {
+        println!("  fallback cause: {reason}");
+    }
     Ok(())
 }

@@ -193,6 +193,88 @@ fn check_reports_sync_warnings_with_spans() {
 }
 
 #[test]
+fn profile_compares_blocking_and_optimized() {
+    let (ok, stdout, stderr) = syncoptc(&[
+        "profile",
+        "programs/figure1.ms",
+        "--procs",
+        "4",
+        "--level",
+        "full",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("profile: blocking vs full"), "{stdout}");
+    assert!(stdout.contains("speedup:"), "{stdout}");
+    assert!(stdout.contains("--- blocking ---"), "{stdout}");
+    assert!(stdout.contains("--- optimized ---"), "{stdout}");
+}
+
+#[test]
+fn profile_json_round_trips() {
+    use syncopt::core::diag::json::Value;
+
+    let (ok, stdout, stderr) = syncoptc(&["profile", "programs/stencil.ms", "--format", "json"]);
+    assert!(ok, "{stderr}");
+    let v = Value::parse(stdout.trim()).expect("stdout should be valid JSON");
+    assert_eq!(
+        v.get("schema").and_then(Value::as_str),
+        Some("syncopt.profile_report.v1")
+    );
+    assert!(v.get("blocking").is_some() && v.get("optimized").is_some());
+    assert!(v
+        .get("comparison")
+        .and_then(|c| c.get("speedup_x100"))
+        .is_some());
+    // Canonical emission: parsing and re-emitting is a fixpoint.
+    assert_eq!(v.to_string(), stdout.trim());
+}
+
+#[test]
+fn run_emit_report_writes_pipeline_report() {
+    use syncopt::core::diag::json::Value;
+
+    let path = std::env::temp_dir().join("syncoptc_cli_test_report.json");
+    let (ok, _, stderr) = syncoptc(&[
+        "run",
+        "programs/postwait.ms",
+        "--procs",
+        "2",
+        "--emit-report",
+        path.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stderr}");
+    let text = std::fs::read_to_string(&path).expect("report file written");
+    let v = Value::parse(text.trim()).expect("report should be valid JSON");
+    assert_eq!(
+        v.get("schema").and_then(Value::as_str),
+        Some("syncopt.pipeline_report.v1")
+    );
+    assert!(
+        v.get("sim").and_then(|s| s.get("exec_cycles")).is_some(),
+        "{text}"
+    );
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn run_format_json_emits_report_on_stdout() {
+    use syncopt::core::diag::json::Value;
+
+    let (ok, stdout, stderr) = syncoptc(&["run", "programs/figure1.ms", "--format", "json"]);
+    assert!(ok, "{stderr}");
+    let v = Value::parse(stdout.trim()).expect("stdout should be valid JSON");
+    assert_eq!(
+        v.get("schema").and_then(Value::as_str),
+        Some("syncopt.pipeline_report.v1")
+    );
+    assert!(v
+        .get("sim")
+        .and_then(|s| s.get("per_proc"))
+        .and_then(Value::as_arr)
+        .is_some_and(|a| a.len() == 4));
+}
+
+#[test]
 fn bad_usage_fails_with_message() {
     let (ok, _, stderr) = syncoptc(&["frobnicate", "programs/figure1.ms"]);
     assert!(!ok);

@@ -3,8 +3,17 @@
 //! ordering or the Figure 13 scaling separation, these fail.
 
 use syncopt::machine::MachineConfig;
-use syncopt::{run, DelayChoice, OptLevel};
+use syncopt::{DelayChoice, OptLevel, RunResult, Syncopt, SyncoptError};
 use syncopt_kernels::{all_kernels, epithel, KernelParams};
+
+fn run(
+    src: &str,
+    config: &MachineConfig,
+    level: OptLevel,
+    choice: DelayChoice,
+) -> Result<RunResult, SyncoptError> {
+    Syncopt::new(src).level(level).delay(choice).run(config)
+}
 
 fn cycles(src: &str, config: &MachineConfig, level: OptLevel, choice: DelayChoice) -> u64 {
     run(src, config, level, choice)
@@ -96,13 +105,11 @@ fn figure13_scaling_separation_holds() {
 #[test]
 fn delay_sets_shrink_on_every_kernel() {
     for kernel in all_kernels(16) {
-        let compiled = syncopt::compile(
-            &kernel.source,
-            16,
-            OptLevel::Blocking,
-            DelayChoice::SyncRefined,
-        )
-        .unwrap();
+        let compiled = Syncopt::new(&kernel.source)
+            .procs(16)
+            .level(OptLevel::Blocking)
+            .compile()
+            .unwrap();
         let s = compiled.analysis.stats();
         assert!(
             s.delay_sync < s.delay_ss,

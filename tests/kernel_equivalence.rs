@@ -3,8 +3,17 @@
 //! the barrier-alignment runtime check, and never slow the program down.
 
 use syncopt::machine::MachineConfig;
-use syncopt::{run, DelayChoice, OptLevel};
+use syncopt::{DelayChoice, OptLevel, RunResult, Syncopt, SyncoptError};
 use syncopt_kernels::{all_kernels, KernelParams};
+
+fn run(
+    src: &str,
+    config: &MachineConfig,
+    level: OptLevel,
+    choice: DelayChoice,
+) -> Result<RunResult, SyncoptError> {
+    Syncopt::new(src).level(level).delay(choice).run(config)
+}
 
 fn small_kernels(procs: u32) -> Vec<syncopt_kernels::Kernel> {
     let p = KernelParams {

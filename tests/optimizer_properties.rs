@@ -15,7 +15,29 @@
 
 use proptest::prelude::*;
 use syncopt::machine::MachineConfig;
-use syncopt::{compile, run, DelayChoice, OptLevel};
+use syncopt::{Compiled, DelayChoice, OptLevel, RunResult, Syncopt, SyncoptError};
+
+fn compile(
+    src: &str,
+    procs: u32,
+    level: OptLevel,
+    choice: DelayChoice,
+) -> Result<Compiled, SyncoptError> {
+    Syncopt::new(src)
+        .procs(procs)
+        .level(level)
+        .delay(choice)
+        .compile()
+}
+
+fn run(
+    src: &str,
+    config: &MachineConfig,
+    level: OptLevel,
+    choice: DelayChoice,
+) -> Result<RunResult, SyncoptError> {
+    Syncopt::new(src).level(level).delay(choice).run(config)
+}
 
 /// One abstract statement of a generated program body.
 #[derive(Debug, Clone)]

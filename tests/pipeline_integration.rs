@@ -2,7 +2,29 @@
 //! → codegen → simulation, across optimization levels and machine models.
 
 use syncopt::machine::MachineConfig;
-use syncopt::{compile, run, DelayChoice, OptLevel};
+use syncopt::{Compiled, DelayChoice, OptLevel, RunResult, Syncopt, SyncoptError};
+
+fn compile(
+    src: &str,
+    procs: u32,
+    level: OptLevel,
+    choice: DelayChoice,
+) -> Result<Compiled, SyncoptError> {
+    Syncopt::new(src)
+        .procs(procs)
+        .level(level)
+        .delay(choice)
+        .compile()
+}
+
+fn run(
+    src: &str,
+    config: &MachineConfig,
+    level: OptLevel,
+    choice: DelayChoice,
+) -> Result<RunResult, SyncoptError> {
+    Syncopt::new(src).level(level).delay(choice).run(config)
+}
 
 const LEVELS: [OptLevel; 4] = [
     OptLevel::Blocking,

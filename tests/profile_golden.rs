@@ -1,0 +1,197 @@
+//! Golden tests pinning the `syncoptc profile --format json` schema
+//! (`syncopt.profile_report.v1`, embedding two
+//! `syncopt.pipeline_report.v1` documents).
+//!
+//! The reports are fully deterministic except for the wall-clock `_us`
+//! phase timings, which are scrubbed to 0 before comparison. Each
+//! `programs/NAME.ms` under test has a golden file
+//! `tests/golden/NAME.profile.json`; regenerate after an intentional
+//! schema change with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test profile_golden
+//! ```
+
+use std::path::PathBuf;
+use std::process::Command;
+use syncopt::core::diag::json::Value;
+
+const PROGRAMS: &[&str] = &["figure1", "stencil"];
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap()
+}
+
+fn profile_json(root: &PathBuf, stem: &str) -> Value {
+    let rel = format!("programs/{stem}.ms");
+    let out = Command::new(env!("CARGO_BIN_EXE_syncoptc"))
+        .args([
+            "profile", &rel, "--procs", "4", "--level", "full", "--format", "json",
+        ])
+        .current_dir(root)
+        .output()
+        .expect("binary should run");
+    assert!(
+        out.status.success(),
+        "{stem}: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    Value::parse(stdout.trim()).expect("stdout should be valid JSON")
+}
+
+/// Zeroes every `*_us` field (the only nondeterministic values in a
+/// report) so transcripts diff cleanly across machines.
+fn scrub_timings(v: &mut Value) {
+    match v {
+        Value::Obj(fields) => {
+            for (key, val) in fields {
+                if key.ends_with("_us") {
+                    *val = Value::Int(0);
+                } else {
+                    scrub_timings(val);
+                }
+            }
+        }
+        Value::Arr(items) => items.iter_mut().for_each(scrub_timings),
+        _ => {}
+    }
+}
+
+#[test]
+fn profile_json_matches_golden() {
+    let root = repo_root();
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let mut failures = Vec::new();
+    for stem in PROGRAMS {
+        let mut v = profile_json(&root, stem);
+        scrub_timings(&mut v);
+        let transcript = format!("{v}\n");
+        let golden_path = root.join(format!("tests/golden/{stem}.profile.json"));
+        if update {
+            std::fs::write(&golden_path, &transcript).unwrap();
+            continue;
+        }
+        let golden = std::fs::read_to_string(&golden_path).unwrap_or_else(|e| {
+            panic!("missing golden {golden_path:?} ({e}); run with UPDATE_GOLDEN=1")
+        });
+        if transcript != golden {
+            failures.push(format!(
+                "{stem}: profile JSON diverged from {golden_path:?}\n\
+                 --- golden ---\n{golden}\n--- actual ---\n{transcript}"
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
+
+#[test]
+fn profile_report_covers_all_four_stages() {
+    let root = repo_root();
+    let v = profile_json(&root, "figure1");
+    assert_eq!(
+        v.get("schema").and_then(Value::as_str),
+        Some("syncopt.profile_report.v1")
+    );
+    for side in ["blocking", "optimized"] {
+        let report = v.get(side).unwrap_or_else(|| panic!("missing {side}"));
+        assert_eq!(
+            report.get("schema").and_then(Value::as_str),
+            Some("syncopt.pipeline_report.v1"),
+            "{side}"
+        );
+        // Frontend: every phase timed (zeros with tracing off).
+        let timings = report.get("timings").expect("timings");
+        for phase in [
+            "parse_us",
+            "typeck_us",
+            "lower_us",
+            "analyze_us",
+            "optimize_us",
+            "simulate_us",
+        ] {
+            assert!(timings.get(phase).is_some(), "{side}: missing {phase}");
+        }
+        // Analysis: summary stats and work counters.
+        assert!(report
+            .get("analysis")
+            .and_then(|a| a.get("delay_ss"))
+            .is_some());
+        assert!(report
+            .get("counters")
+            .and_then(|c| c.get("conflict.pairs"))
+            .and_then(Value::as_int)
+            .is_some_and(|n| n > 0));
+        // Codegen: optimizer action counts.
+        assert!(report
+            .get("codegen")
+            .and_then(|c| c.get("gets_split"))
+            .is_some());
+        // Machine: simulation section present for a `run`.
+        assert!(report
+            .get("sim")
+            .and_then(|s| s.get("exec_cycles"))
+            .is_some());
+    }
+}
+
+#[test]
+fn per_proc_cycles_sum_exactly_to_exec_cycles() {
+    let root = repo_root();
+    for stem in PROGRAMS {
+        let v = profile_json(&root, stem);
+        for side in ["blocking", "optimized"] {
+            let sim = v.get(side).and_then(|r| r.get("sim")).expect("sim section");
+            let exec = sim.get("exec_cycles").and_then(Value::as_int).unwrap();
+            let per_proc = sim.get("per_proc").and_then(Value::as_arr).unwrap();
+            assert_eq!(per_proc.len(), 4, "{stem}/{side}");
+            for p in per_proc {
+                let f = |k: &str| p.get(k).and_then(Value::as_int).unwrap();
+                let accounted = f("busy")
+                    + f("sync")
+                    + f("barrier")
+                    + f("wait")
+                    + f("lock")
+                    + f("network_wait")
+                    + f("idle");
+                assert_eq!(
+                    accounted,
+                    exec,
+                    "{stem}/{side} proc {}: cycle accounting must conserve",
+                    f("proc")
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn profile_comparison_reports_speedup() {
+    let root = repo_root();
+    let v = profile_json(&root, "figure1");
+    let cmp = v.get("comparison").expect("comparison");
+    let speedup = cmp.get("speedup_x100").and_then(Value::as_int).unwrap();
+    assert!(
+        speedup >= 100,
+        "optimization never slows figure1: {speedup}"
+    );
+    let blocking_cycles = v
+        .get("blocking")
+        .and_then(|r| r.get("sim"))
+        .and_then(|s| s.get("exec_cycles"))
+        .and_then(Value::as_int)
+        .unwrap();
+    let optimized_cycles = v
+        .get("optimized")
+        .and_then(|r| r.get("sim"))
+        .and_then(|s| s.get("exec_cycles"))
+        .and_then(Value::as_int)
+        .unwrap();
+    assert_eq!(
+        cmp.get("cycles_saved").and_then(Value::as_int).unwrap(),
+        blocking_cycles - optimized_cycles
+    );
+}
