@@ -47,6 +47,7 @@ fn main() {
             &SyncOptions {
                 barrier_policy: BarrierPolicy::Static,
                 procs: Some(procs),
+                ..SyncOptions::default()
             },
         );
         let analysis_nobarrier = analyze_with(
@@ -54,6 +55,7 @@ fn main() {
             &SyncOptions {
                 barrier_policy: BarrierPolicy::Disabled,
                 procs: Some(procs),
+                ..SyncOptions::default()
             },
         );
 

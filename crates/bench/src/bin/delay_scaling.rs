@@ -1,0 +1,68 @@
+//! Delay-set analysis scaling trajectory (std-only, no criterion).
+//!
+//! Runs the synthetic scaling grid from `syncopt_kernels::scaling` through
+//! the full analysis and reports the deterministic work counters plus
+//! coarse wall-time buckets — the data behind the committed
+//! `BENCH_delay_scaling.json` (schema `syncopt.bench_report.v1`, see
+//! docs/PERFORMANCE.md). Same engine as `syncoptc bench`.
+//!
+//! ```text
+//! delay_scaling [--smoke] [--threads T] [--json] [--out PATH] [--check BASELINE]
+//! ```
+
+use std::process::ExitCode;
+use syncopt::bench::{run_bench, TOLERANCE_PCT};
+use syncopt::core::diag::json;
+
+fn main() -> ExitCode {
+    match real_main() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("delay_scaling: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn real_main() -> Result<(), String> {
+    let mut smoke = false;
+    let mut threads = 1usize;
+    let mut as_json = false;
+    let mut out: Option<String> = None;
+    let mut baseline: Option<String> = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--smoke" => smoke = true,
+            "--json" => as_json = true,
+            "--threads" => {
+                threads = argv
+                    .next()
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?;
+            }
+            "--out" => out = Some(argv.next().ok_or("--out needs a path")?),
+            "--check" => baseline = Some(argv.next().ok_or("--check needs a path")?),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    let report = run_bench(smoke, threads).map_err(|e| e.to_string())?;
+    if let Some(path) = &out {
+        std::fs::write(path, format!("{}\n", report.to_json()))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    if as_json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render_table());
+    }
+    if let Some(path) = &baseline {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let value = json::Value::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        report.check_against(&value).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("work counters within {TOLERANCE_PCT}% of {path}");
+    }
+    Ok(())
+}

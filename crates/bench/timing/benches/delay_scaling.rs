@@ -1,0 +1,40 @@
+//! Criterion bench: full-pipeline analysis cost over the synthetic
+//! scaling trajectory (the wall-clock companion to the counter-based
+//! `delay_scaling` report binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use syncopt_core::{analyze_with, SyncOptions};
+use syncopt_frontend::prepare_program;
+use syncopt_ir::lower::lower_main;
+use syncopt_kernels::scaling::{generate, ScalingIdiom, ScalingParams};
+
+fn bench_delay_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("delay_scaling");
+    for (idiom, procs) in [(ScalingIdiom::Stencil, 16), (ScalingIdiom::Flag, 4)] {
+        for unroll in [8, 32, 128] {
+            let p = ScalingParams {
+                idiom,
+                unroll,
+                procs,
+            };
+            let kernel = generate(&p);
+            let cfg = lower_main(&prepare_program(&kernel.source).expect("parse")).expect("lower");
+            for threads in [1usize, 4] {
+                let opts = SyncOptions {
+                    procs: Some(procs),
+                    threads,
+                    ..SyncOptions::default()
+                };
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{}_t{threads}", p.id()), cfg.accesses.len()),
+                    &cfg,
+                    |b, cfg| b.iter(|| analyze_with(cfg, &opts)),
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_delay_scaling);
+criterion_main!(benches);

@@ -117,6 +117,12 @@ impl ConflictSet {
     pub fn num_directed_edges(&self) -> usize {
         self.directed.count_ones()
     }
+
+    /// The raw bitset row of `a`'s directed successors, for word-parallel
+    /// consumers (the back-path oracle).
+    pub fn succ_row_words(&self, a: AccessId) -> &[u64] {
+        self.directed.row_words(a.index())
+    }
 }
 
 /// Do two access *sites* conflict (executed by different processors)?

@@ -19,13 +19,33 @@
 //! (testing simple paths is NP-hard in general). This yields a sufficient,
 //! possibly slightly larger delay set — the standard practical compromise,
 //! and exact for the two-processor patterns the paper's figures exercise.
+//!
+//! # Throughput (see docs/PERFORMANCE.md)
+//!
+//! The oracle is built for scaled inputs (unrolled kernels, large machine
+//! sizes):
+//!
+//! * mirror-copy reachability is a Tarjan SCC condensation plus a
+//!   word-parallel row-OR closure in reverse topological order
+//!   ([`syncopt_ir::order::reachability_counted`]), not per-start BFS;
+//! * candidate pairs with no conflict fan-out at `v` or fan-in at `u` are
+//!   pruned before touching the oracle — a back-path must leave `v` and
+//!   re-enter `u` through conflict edges, so such pairs can never be
+//!   delays regardless of removals (removals only shrink the graph);
+//! * `has_back_path` works on bitsets held in a reusable
+//!   [`BackPathScratch`]: conflict successor/predecessor rows intersected
+//!   word-parallel against the removal set, with a blocked-node BFS kept
+//!   only as the fallback for queries whose removal set actually cuts the
+//!   cached reachability;
+//! * the candidate loop shards deterministically over row ranges and runs
+//!   on `std::thread::scope` threads when [`DelayOptions::threads`] > 1.
 
 use crate::conflict::ConflictSet;
 use crate::delay::DelaySet;
 use syncopt_ir::access::AccessKind;
 use syncopt_ir::cfg::Cfg;
 use syncopt_ir::ids::AccessId;
-use syncopt_ir::order::{BitMatrix, ProgramOrder};
+use syncopt_ir::order::{reachability_counted, BitMatrix, BitSet, ProgramOrder};
 
 /// Options controlling one delay-set computation.
 #[derive(Default)]
@@ -33,24 +53,53 @@ pub struct DelayOptions<'a> {
     /// Restrict candidates to pairs where at least one side is a
     /// synchronization access (used to compute `D1` in §5.1 step 2).
     pub only_sync_pairs: bool,
-    /// Per-candidate node removal: given the candidate `(u, v)`, returns
+    /// Per-candidate node removal: given the candidate `(u, v)`, marks
     /// access sites that cannot appear on a back-path and must be excluded
-    /// from the mirror copy (§5.1 step 6 refinement, §5.3 lock rule).
+    /// from the mirror copy (§5.1 step 6 refinement, §5.3 lock rule) in
+    /// the provided scratch bitset (cleared before each call).
     #[allow(clippy::type_complexity)]
-    pub removals: Option<Box<dyn Fn(AccessId, AccessId) -> Vec<AccessId> + 'a>>,
+    pub removals: Option<Box<dyn Fn(AccessId, AccessId, &mut BitSet) + Sync + 'a>>,
+    /// Worker threads for the candidate loop (0 and 1 both mean serial).
+    /// Results are bit-identical for every thread count: shards cover
+    /// disjoint `u`-ranges and merge in fixed order.
+    pub threads: usize,
 }
 
-/// The mirror-copy graph plus cached reachability.
+/// The mirror-copy graph plus cached reachability and conflict fan-in/out
+/// bitsets.
 pub struct BackPathOracle<'a> {
-    cfg: &'a Cfg,
     conflicts: &'a ConflictSet,
-    #[allow(dead_code)]
-    po: &'a ProgramOrder,
-    /// Adjacency inside the mirror copy: program-order ∪ conflict edges.
+    n: usize,
+    /// Adjacency inside the mirror copy: program-order ∪ conflict edges
+    /// (used only by the blocked-node BFS fallback).
     mirror_adj: Vec<Vec<usize>>,
     /// Cached reachability over the full mirror copy (no removals):
     /// `reach.get(x, y)` iff `y'` reachable from `x'` via ≥ 1 edge.
     reach: BitMatrix,
+    /// Row `a` = directed conflict predecessors of `a` (transpose of the
+    /// conflict relation; successors come straight from `conflicts`).
+    conf_pred: BitMatrix,
+    /// Accesses with ≥ 1 directed conflict successor / predecessor — the
+    /// candidate-pruning oracle.
+    has_succ: BitSet,
+    has_pred: BitSet,
+    /// Work done while building (SCCs found, closure words ORed).
+    build_stats: syncopt_ir::order::ReachStats,
+}
+
+/// Reusable per-worker scratch for [`BackPathOracle::query`] — all
+/// allocations happen once, none in the per-candidate hot loop.
+pub struct BackPathScratch {
+    /// The removal set for the next query; cleared and refilled by the
+    /// driver before each call.
+    pub removed: BitSet,
+    starts: BitSet,
+    ends: BitSet,
+    seen: BitSet,
+    queue: Vec<usize>,
+    /// Queries that fell back to the blocked-node BFS (removals cut the
+    /// cached reachability).
+    pub bfs_fallbacks: u64,
 }
 
 impl<'a> BackPathOracle<'a> {
@@ -59,7 +108,6 @@ impl<'a> BackPathOracle<'a> {
     pub fn new(cfg: &'a Cfg, conflicts: &'a ConflictSet, po: &'a ProgramOrder) -> Self {
         let n = cfg.accesses.len();
         let mut mirror_adj: Vec<Vec<usize>> = vec![Vec::new(); n];
-        let mut edges = Vec::new();
         for (x, adj) in mirror_adj.iter_mut().enumerate() {
             let xa = AccessId::from_index(x);
             for y in 0..n {
@@ -68,97 +116,134 @@ impl<'a> BackPathOracle<'a> {
                 let c_edge = conflicts.edge(xa, ya);
                 if p_edge || c_edge {
                     adj.push(y);
-                    edges.push((x, y));
                 }
             }
         }
-        let reach = syncopt_ir::order::reachability(n, &edges);
+        // The adjacency feeds reachability directly — no parallel edge
+        // list is materialized.
+        let (reach, build_stats) = reachability_counted(&mirror_adj);
+        let mut conf_pred = BitMatrix::new(n);
+        let mut has_succ = BitSet::new(n);
+        let mut has_pred = BitSet::new(n);
+        for a in 0..n {
+            let row = conflicts.succ_row_words(AccessId::from_index(a));
+            if row.iter().any(|&w| w != 0) {
+                has_succ.insert(a);
+            }
+            let mut tmp = BitSet::new(n);
+            tmp.union_words(row);
+            for b in tmp.iter_ones() {
+                conf_pred.set(b, a);
+                has_pred.insert(b);
+            }
+        }
         BackPathOracle {
-            cfg,
             conflicts,
-            po,
+            n,
             mirror_adj,
             reach,
+            conf_pred,
+            has_succ,
+            has_pred,
+            build_stats,
         }
     }
 
-    /// Whether a back-path from `v` to `u` exists, excluding `removed`
-    /// accesses from the mirror copy.
-    pub fn has_back_path(&self, u: AccessId, v: AccessId, removed: &[AccessId]) -> bool {
-        let starts: Vec<AccessId> = self
-            .conflicts
-            .succs(v)
-            .into_iter()
-            .filter(|x| !removed.contains(x))
-            .collect();
-        if starts.is_empty() {
+    /// A scratch sized for this oracle; one per worker thread.
+    pub fn scratch(&self) -> BackPathScratch {
+        BackPathScratch {
+            removed: BitSet::new(self.n),
+            starts: BitSet::new(self.n),
+            ends: BitSet::new(self.n),
+            seen: BitSet::new(self.n),
+            queue: Vec::new(),
+            bfs_fallbacks: 0,
+        }
+    }
+
+    /// Whether `v` has at least one directed conflict successor (a
+    /// back-path's first hop).
+    pub fn has_conflict_succ(&self, v: AccessId) -> bool {
+        self.has_succ.contains(v.index())
+    }
+
+    /// Whether `u` has at least one directed conflict predecessor (a
+    /// back-path's last hop).
+    pub fn has_conflict_pred(&self, u: AccessId) -> bool {
+        self.has_pred.contains(u.index())
+    }
+
+    /// Work counters from building the mirror-copy closure.
+    pub fn build_stats(&self) -> syncopt_ir::order::ReachStats {
+        self.build_stats
+    }
+
+    /// Whether a back-path from `v` to `u` exists, excluding the accesses
+    /// in `scratch.removed` from the mirror copy.
+    pub fn query(&self, u: AccessId, v: AccessId, scratch: &mut BackPathScratch) -> bool {
+        // starts = conflict succs of v, minus removed.
+        scratch
+            .starts
+            .assign_and_not(self.conflicts.succ_row_words(v), &scratch.removed);
+        if scratch.starts.is_empty() {
             return false;
         }
-        let ends: Vec<AccessId> = self
-            .conflicts
-            .preds(u)
-            .into_iter()
-            .filter(|y| !removed.contains(y))
-            .collect();
-        if ends.is_empty() {
+        // ends = conflict preds of u, minus removed.
+        scratch
+            .ends
+            .assign_and_not(self.conf_pred.row_words(u.index()), &scratch.removed);
+        if scratch.ends.is_empty() {
             return false;
         }
         // Direct two-conflict-edge path through a single remote access.
-        for &x in &starts {
-            if ends.contains(&x) {
-                return true;
-            }
+        if scratch.starts.intersects(&scratch.ends) {
+            return true;
         }
-        if removed.is_empty() {
-            // Use cached full reachability.
-            return starts
-                .iter()
-                .any(|x| ends.iter().any(|y| self.reach.get(x.index(), y.index())));
+        // Word-parallel reachability: ∃ x ∈ starts with reach(x) ∩ ends.
+        let reachable = scratch
+            .starts
+            .iter_ones()
+            .any(|x| scratch.ends.intersects_words(self.reach.row_words(x)));
+        if scratch.removed.is_empty() || !reachable {
+            // No removals: the cached closure is exact. With removals, a
+            // path absent from the *unrestricted* graph cannot appear in
+            // the restricted one.
+            return reachable;
         }
-        // Quick refutation: if even the unrestricted graph has no path,
-        // the restricted one cannot.
-        if !starts
-            .iter()
-            .any(|x| ends.iter().any(|y| self.reach.get(x.index(), y.index())))
-        {
-            return false;
-        }
-        // BFS avoiding removed nodes.
-        let n = self.cfg.accesses.len();
-        let mut blocked = vec![false; n];
-        for r in removed {
-            blocked[r.index()] = true;
-        }
-        let mut seen = vec![false; n];
-        let mut queue: Vec<usize> = Vec::new();
-        for x in &starts {
-            if !seen[x.index()] {
-                seen[x.index()] = true;
-                queue.push(x.index());
-            }
+        // Removals might cut every cached path: BFS avoiding removed
+        // nodes.
+        scratch.bfs_fallbacks += 1;
+        scratch.seen.clear();
+        scratch.queue.clear();
+        for x in scratch.starts.iter_ones() {
+            scratch.seen.insert(x);
+            scratch.queue.push(x);
         }
         let mut qi = 0;
-        let end_set: Vec<bool> = {
-            let mut s = vec![false; n];
-            for y in &ends {
-                s[y.index()] = true;
-            }
-            s
-        };
-        while qi < queue.len() {
-            let node = queue[qi];
+        while qi < scratch.queue.len() {
+            let node = scratch.queue[qi];
             qi += 1;
-            if end_set[node] {
+            if scratch.ends.contains(node) {
                 return true;
             }
             for &next in &self.mirror_adj[node] {
-                if !seen[next] && !blocked[next] {
-                    seen[next] = true;
-                    queue.push(next);
+                if !scratch.seen.contains(next) && !scratch.removed.contains(next) {
+                    scratch.seen.insert(next);
+                    scratch.queue.push(next);
                 }
             }
         }
         false
+    }
+
+    /// Convenience wrapper over [`BackPathOracle::query`] with a removal
+    /// slice (tests and one-off callers; the driver uses the scratch form).
+    pub fn has_back_path(&self, u: AccessId, v: AccessId, removed: &[AccessId]) -> bool {
+        let mut scratch = self.scratch();
+        for r in removed {
+            scratch.removed.insert(r.index());
+        }
+        self.query(u, v, &mut scratch)
     }
 }
 
@@ -170,13 +255,41 @@ pub struct DelayQueryStats {
     pub candidates: u64,
     /// Candidates skipped by the `only_sync_pairs` restriction.
     pub sync_skipped: u64,
+    /// Candidates pruned because `v` has no conflict successor or `u` has
+    /// no conflict predecessor (no possible back-path; the oracle is
+    /// never consulted).
+    pub pruned_candidates: u64,
     /// Back-path oracle queries issued.
     pub backpath_queries: u64,
+    /// Queries that fell back to the blocked-node BFS.
+    pub bfs_fallbacks: u64,
     /// Mirror-copy nodes excluded across all removal callbacks (§5.1
     /// step 6 / §5.3 lock rule).
     pub removed_nodes: u64,
     /// Queries that found a back-path (delay edges kept).
     pub delays_found: u64,
+    /// Oracles built (mirror-copy closures computed).
+    pub oracle_builds: u64,
+    /// SCCs found while condensing the mirror copy.
+    pub sccs: u64,
+    /// `u64` words ORed during the mirror-copy closure.
+    pub closure_word_ors: u64,
+}
+
+impl DelayQueryStats {
+    /// Sums `other` into `self` (shard merge; all fields are additive).
+    pub fn accumulate(&mut self, other: &DelayQueryStats) {
+        self.candidates += other.candidates;
+        self.sync_skipped += other.sync_skipped;
+        self.pruned_candidates += other.pruned_candidates;
+        self.backpath_queries += other.backpath_queries;
+        self.bfs_fallbacks += other.bfs_fallbacks;
+        self.removed_nodes += other.removed_nodes;
+        self.delays_found += other.delays_found;
+        self.oracle_builds += other.oracle_builds;
+        self.sccs += other.sccs;
+        self.closure_word_ors += other.closure_word_ors;
+    }
 }
 
 /// Computes a delay set by back-path detection over `P ∪ C`.
@@ -195,6 +308,11 @@ pub fn compute_delay_set(
 
 /// [`compute_delay_set`], additionally reporting how much work the
 /// back-path search performed.
+///
+/// With `opts.threads > 1` the candidate rows are split into contiguous
+/// shards processed by scoped worker threads; shard results merge in fixed
+/// shard order, so the delay set and every counter are bit-identical to a
+/// serial run.
 pub fn compute_delay_set_counted(
     cfg: &Cfg,
     conflicts: &ConflictSet,
@@ -203,35 +321,85 @@ pub fn compute_delay_set_counted(
 ) -> (DelaySet, DelayQueryStats) {
     let n = cfg.accesses.len();
     let oracle = BackPathOracle::new(cfg, conflicts, po);
-    let mut out = DelaySet::new(n);
-    let mut stats = DelayQueryStats::default();
     let is_sync: Vec<bool> = cfg
         .accesses
         .iter()
         .map(|(_, info)| info.kind.is_sync())
         .collect();
-    for u in cfg.accesses.ids() {
-        for v in cfg.accesses.ids() {
-            if !po.access_precedes(cfg, u, v) {
-                continue;
-            }
-            stats.candidates += 1;
-            if opts.only_sync_pairs && !is_sync[u.index()] && !is_sync[v.index()] {
-                stats.sync_skipped += 1;
-                continue;
-            }
-            let removed = match &opts.removals {
-                Some(f) => f(u, v),
-                None => Vec::new(),
-            };
-            stats.removed_nodes += removed.len() as u64;
-            stats.backpath_queries += 1;
-            if oracle.has_back_path(u, v, &removed) {
-                stats.delays_found += 1;
-                out.insert(u, v);
+
+    // One shard: candidate rows `u ∈ range`, its own scratch and outputs.
+    let run_shard = |lo: usize, hi: usize| -> (DelaySet, DelayQueryStats) {
+        let mut scratch = oracle.scratch();
+        let mut out = DelaySet::new(n);
+        let mut stats = DelayQueryStats::default();
+        for ui in lo..hi {
+            let u = AccessId::from_index(ui);
+            let u_has_pred = oracle.has_conflict_pred(u);
+            for vi in 0..n {
+                let v = AccessId::from_index(vi);
+                if !po.access_precedes(cfg, u, v) {
+                    continue;
+                }
+                stats.candidates += 1;
+                if opts.only_sync_pairs && !is_sync[ui] && !is_sync[vi] {
+                    stats.sync_skipped += 1;
+                    continue;
+                }
+                // Pruning: every back-path leaves v and re-enters u over
+                // conflict edges; removals only shrink those sets, so a
+                // pair failing here can never be a delay.
+                if !u_has_pred || !oracle.has_conflict_succ(v) {
+                    stats.pruned_candidates += 1;
+                    continue;
+                }
+                scratch.removed.clear();
+                if let Some(f) = &opts.removals {
+                    f(u, v, &mut scratch.removed);
+                }
+                stats.removed_nodes += scratch.removed.count_ones() as u64;
+                stats.backpath_queries += 1;
+                if oracle.query(u, v, &mut scratch) {
+                    stats.delays_found += 1;
+                    out.insert(u, v);
+                }
             }
         }
-    }
+        stats.bfs_fallbacks = scratch.bfs_fallbacks;
+        (out, stats)
+    };
+
+    let threads = opts.threads.clamp(1, n.max(1));
+    let (out, mut stats) = if threads <= 1 {
+        run_shard(0, n)
+    } else {
+        let chunk = n.div_ceil(threads);
+        let shards = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let lo = t * chunk;
+                    let hi = ((t + 1) * chunk).min(n);
+                    let run = &run_shard;
+                    s.spawn(move || run(lo, hi))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("delay-set shard panicked"))
+                .collect::<Vec<_>>()
+        });
+        // Merge in fixed shard order: shards cover disjoint u-rows, so
+        // the union is identical for any thread count.
+        let mut out = DelaySet::new(n);
+        let mut stats = DelayQueryStats::default();
+        for (shard_out, shard_stats) in &shards {
+            out.union_with(shard_out);
+            stats.accumulate(shard_stats);
+        }
+        (out, stats)
+    };
+    stats.oracle_builds += 1;
+    stats.sccs += oracle.build_stats().sccs;
+    stats.closure_word_ors += oracle.build_stats().closure_word_ors;
     (out, stats)
 }
 
@@ -255,6 +423,125 @@ pub fn is_data_access(cfg: &Cfg, a: AccessId) -> bool {
         cfg.accesses.info(a).kind,
         AccessKind::Read | AccessKind::Write
     )
+}
+
+/// The naive reference oracle — a direct transcription of the original
+/// per-query BFS implementation, retained for differential testing only.
+#[cfg(test)]
+pub(crate) mod naive {
+    use super::*;
+
+    /// Naive options: same knobs, `Vec`-based removals.
+    #[derive(Default)]
+    pub struct NaiveOptions<'a> {
+        pub only_sync_pairs: bool,
+        #[allow(clippy::type_complexity)]
+        pub removals: Option<Box<dyn Fn(AccessId, AccessId) -> Vec<AccessId> + 'a>>,
+    }
+
+    /// Per-query BFS over the mirror copy, `Vec::contains` scans and all.
+    fn has_back_path_naive(
+        cfg: &Cfg,
+        conflicts: &ConflictSet,
+        mirror_adj: &[Vec<usize>],
+        u: AccessId,
+        v: AccessId,
+        removed: &[AccessId],
+    ) -> bool {
+        let starts: Vec<AccessId> = conflicts
+            .succs(v)
+            .into_iter()
+            .filter(|x| !removed.contains(x))
+            .collect();
+        if starts.is_empty() {
+            return false;
+        }
+        let ends: Vec<AccessId> = conflicts
+            .preds(u)
+            .into_iter()
+            .filter(|y| !removed.contains(y))
+            .collect();
+        if ends.is_empty() {
+            return false;
+        }
+        for &x in &starts {
+            if ends.contains(&x) {
+                return true;
+            }
+        }
+        let n = cfg.accesses.len();
+        let mut blocked = vec![false; n];
+        for r in removed {
+            blocked[r.index()] = true;
+        }
+        let mut seen = vec![false; n];
+        let mut queue: Vec<usize> = Vec::new();
+        for x in &starts {
+            seen[x.index()] = true;
+            queue.push(x.index());
+        }
+        let mut qi = 0;
+        while qi < queue.len() {
+            let node = queue[qi];
+            qi += 1;
+            if ends.iter().any(|y| y.index() == node) {
+                return true;
+            }
+            for &next in &mirror_adj[node] {
+                if !seen[next] && !blocked[next] {
+                    seen[next] = true;
+                    queue.push(next);
+                }
+            }
+        }
+        false
+    }
+
+    /// The original all-pairs driver: no pruning, no caching, no threads.
+    pub fn compute_delay_set_naive(
+        cfg: &Cfg,
+        conflicts: &ConflictSet,
+        po: &ProgramOrder,
+        opts: &NaiveOptions<'_>,
+    ) -> DelaySet {
+        let n = cfg.accesses.len();
+        let mut mirror_adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (x, adj) in mirror_adj.iter_mut().enumerate() {
+            let xa = AccessId::from_index(x);
+            for y in 0..n {
+                let ya = AccessId::from_index(y);
+                let p_edge = x != y && po.access_precedes(cfg, xa, ya);
+                let c_edge = conflicts.edge(xa, ya);
+                if p_edge || c_edge {
+                    adj.push(y);
+                }
+            }
+        }
+        let mut out = DelaySet::new(n);
+        let is_sync: Vec<bool> = cfg
+            .accesses
+            .iter()
+            .map(|(_, info)| info.kind.is_sync())
+            .collect();
+        for u in cfg.accesses.ids() {
+            for v in cfg.accesses.ids() {
+                if !po.access_precedes(cfg, u, v) {
+                    continue;
+                }
+                if opts.only_sync_pairs && !is_sync[u.index()] && !is_sync[v.index()] {
+                    continue;
+                }
+                let removed = match &opts.removals {
+                    Some(f) => f(u, v),
+                    None => Vec::new(),
+                };
+                if has_back_path_naive(cfg, conflicts, &mirror_adj, u, v, &removed) {
+                    out.insert(u, v);
+                }
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -410,7 +697,7 @@ mod tests {
             &po,
             &DelayOptions {
                 only_sync_pairs: true,
-                removals: None,
+                ..DelayOptions::default()
             },
         );
         let is_sync = |x: AccessId| cfg.accesses.info(x).kind.is_sync();
@@ -447,7 +734,12 @@ mod tests {
             &po,
             &DelayOptions {
                 only_sync_pairs: false,
-                removals: Some(Box::new(move |_u, _v| reads.clone())),
+                removals: Some(Box::new(move |_u, _v, out| {
+                    for r in &reads {
+                        out.insert(r.index());
+                    }
+                })),
+                threads: 0,
             },
         );
         let writes: Vec<AccessId> = all
@@ -456,5 +748,76 @@ mod tests {
             .filter(|&x| cfg.accesses.info(x).kind == AccessKind::Write)
             .collect();
         assert!(!d.contains(writes[0], writes[1]));
+    }
+
+    #[test]
+    fn pruning_skips_conflict_free_candidates_without_changing_results() {
+        // Owner-computed array accesses have no conflicts; the interleaved
+        // scalar pair does. Pruned candidates must not change the answer.
+        let src = r#"
+            shared int A[64]; shared int X;
+            fn main() {
+                int v;
+                A[MYPROC] = 1;
+                v = A[MYPROC];
+                X = v;
+                A[MYPROC] = 2;
+                v = X;
+            }
+        "#;
+        let cfg = lower_main(&prepare_program(src).unwrap()).unwrap();
+        let conflicts = ConflictSet::build(&cfg);
+        let po = ProgramOrder::compute(&cfg);
+        let (d, stats) = compute_delay_set_counted(&cfg, &conflicts, &po, &DelayOptions::default());
+        assert!(stats.pruned_candidates > 0, "{stats:?}");
+        assert_eq!(
+            stats.candidates,
+            stats.pruned_candidates + stats.backpath_queries + stats.sync_skipped
+        );
+        let reference =
+            naive::compute_delay_set_naive(&cfg, &conflicts, &po, &naive::NaiveOptions::default());
+        assert_eq!(d.pairs(), reference.pairs());
+    }
+
+    #[test]
+    fn threaded_driver_is_bit_deterministic() {
+        let src = r#"
+            shared int X; shared int Y; shared int Z; flag F;
+            fn main() {
+                int v;
+                if (MYPROC == 0) { X = 1; Y = 2; post F; }
+                else { wait F; v = Y; Z = v; v = X; v = Z; }
+            }
+        "#;
+        let cfg = lower_main(&prepare_program(src).unwrap()).unwrap();
+        let conflicts = ConflictSet::build(&cfg);
+        let po = ProgramOrder::compute(&cfg);
+        let (serial, serial_stats) =
+            compute_delay_set_counted(&cfg, &conflicts, &po, &DelayOptions::default());
+        for threads in 2..=4 {
+            let (threaded, threaded_stats) = compute_delay_set_counted(
+                &cfg,
+                &conflicts,
+                &po,
+                &DelayOptions {
+                    threads,
+                    ..DelayOptions::default()
+                },
+            );
+            assert_eq!(serial.pairs(), threaded.pairs(), "threads={threads}");
+            assert_eq!(serial_stats, threaded_stats, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn oracle_stats_report_sccs_and_closure_work() {
+        let src = "shared int X; fn main() { int v; X = 1; v = X; }";
+        let cfg = lower_main(&prepare_program(src).unwrap()).unwrap();
+        let conflicts = ConflictSet::build(&cfg);
+        let po = ProgramOrder::compute(&cfg);
+        let (_, stats) = compute_delay_set_counted(&cfg, &conflicts, &po, &DelayOptions::default());
+        assert_eq!(stats.oracle_builds, 1);
+        assert!(stats.sccs >= 1);
+        assert!(stats.closure_word_ors > 0);
     }
 }

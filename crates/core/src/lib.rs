@@ -43,6 +43,8 @@ pub mod conflict;
 pub mod cycle;
 pub mod delay;
 pub mod diag;
+#[cfg(test)]
+mod difftest;
 pub mod guards;
 pub mod locks;
 pub mod obs;
@@ -137,10 +139,22 @@ pub fn analyze_with(cfg: &Cfg, opts: &SyncOptions) -> Analysis {
         conflicts.num_directed_edges() as u64,
     );
     let po = syncopt_ir::order::ProgramOrder::compute(cfg);
-    let (delay_ss, ss_stats) =
-        cycle::compute_delay_set_counted(cfg, &conflicts, &po, &cycle::DelayOptions::default());
+    let (delay_ss, ss_stats) = cycle::compute_delay_set_counted(
+        cfg,
+        &conflicts,
+        &po,
+        &cycle::DelayOptions {
+            threads: opts.threads,
+            ..cycle::DelayOptions::default()
+        },
+    );
     metrics.set("cycle.candidate_pairs", ss_stats.candidates);
+    metrics.set("cycle.pruned_candidates", ss_stats.pruned_candidates);
     metrics.set("cycle.backpath_queries", ss_stats.backpath_queries);
+    metrics.set("cycle.bfs_fallbacks", ss_stats.bfs_fallbacks);
+    metrics.set("cycle.oracle_builds", ss_stats.oracle_builds);
+    metrics.set("cycle.sccs", ss_stats.sccs);
+    metrics.set("cycle.closure_word_ors", ss_stats.closure_word_ors);
     let sync = analyze_sync(cfg, opts);
     metrics.merge(&sync.counters);
     metrics.set("delay.ss_pairs", delay_ss.len() as u64);
@@ -199,14 +213,14 @@ mod tests {
             &cfg,
             &SyncOptions {
                 barrier_policy: BarrierPolicy::Static,
-                procs: None,
+                ..SyncOptions::default()
             },
         );
         let optimistic = analyze_with(
             &cfg,
             &SyncOptions {
                 barrier_policy: BarrierPolicy::AssumeAligned,
-                procs: None,
+                ..SyncOptions::default()
             },
         );
         assert_eq!(conservative.stats().aligned_barriers, 0);

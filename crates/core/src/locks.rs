@@ -64,6 +64,25 @@ impl LockGuards {
         }
         out
     }
+
+    /// [`LockGuards::removable_for_pair`] as a bitset fill — the
+    /// allocation-free form the hot delay-set loop uses. Inserts `a` and
+    /// `b` too when they share a lock; callers mask the pair out once at
+    /// the end of their removal set.
+    pub fn mark_removable_for_pair(
+        &self,
+        a: AccessId,
+        b: AccessId,
+        out: &mut syncopt_ir::order::BitSet,
+    ) {
+        for (_, accs) in self.guarded.iter() {
+            if accs.contains(&a) && accs.contains(&b) {
+                for &x in accs {
+                    out.insert(x.index());
+                }
+            }
+        }
+    }
 }
 
 /// Computes the must-hold lock set at entry of every block.
@@ -201,7 +220,7 @@ mod tests {
             &po,
             &DelayOptions {
                 only_sync_pairs: true,
-                removals: None,
+                ..DelayOptions::default()
             },
         );
         let dom = Dominators::compute(&cfg);

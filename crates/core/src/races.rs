@@ -203,7 +203,7 @@ pub fn classify_races(
             cfg,
             &SyncOptions {
                 barrier_policy: BarrierPolicy::Disabled,
-                procs: opts.procs,
+                ..*opts
             },
         )
         .precedence

@@ -33,7 +33,7 @@ use syncopt_ir::access::AccessKind;
 use syncopt_ir::cfg::Cfg;
 use syncopt_ir::dom::Dominators;
 use syncopt_ir::ids::AccessId;
-use syncopt_ir::order::{BitMatrix, ProgramOrder};
+use syncopt_ir::order::{BitMatrix, BitSet, ProgramOrder};
 
 /// The precedence relation `R`: `(a1, a2) ∈ R` means synchronization
 /// guarantees `a1`'s instances complete before `a2`'s instances initiate
@@ -90,6 +90,27 @@ impl Precedence {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// The raw successor row of `a` (`{w : (a, w) ∈ R}`) as bitset words,
+    /// for word-parallel consumers (the step-6 removal callback).
+    pub fn row_words(&self, a: AccessId) -> &[u64] {
+        self.m.row_words(a.index())
+    }
+
+    /// The transposed relation: `(a, b)` present iff `(b, a) ∈ R`. Row `v`
+    /// of the transpose is `{w : (w, v) ∈ R}` — the predecessor set the
+    /// step-6 removal callback ORs in one pass.
+    pub fn transpose(&self) -> Precedence {
+        let mut t = Precedence::new(self.n);
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if self.m.get(i, j) {
+                    t.m.set(j, i);
+                }
+            }
+        }
+        t
+    }
 }
 
 /// Options for [`analyze_sync`].
@@ -100,6 +121,9 @@ pub struct SyncOptions {
     /// Known processor count, if the program is compiled for a fixed
     /// machine size (enables modular subscript disambiguation).
     pub procs: Option<u32>,
+    /// Worker threads for the delay-set candidate loops (0 and 1 both
+    /// mean serial; results are bit-identical for every value).
+    pub threads: usize,
 }
 
 /// Everything the synchronization analysis produces.
@@ -139,10 +163,12 @@ pub fn analyze_sync(cfg: &Cfg, opts: &SyncOptions) -> SyncAnalysis {
         &DelayOptions {
             only_sync_pairs: true,
             removals: None,
+            threads: opts.threads,
         },
     );
     counters.set("sync.d1_pairs", d1.len() as u64);
     counters.set("sync.d1_backpath_queries", d1_stats.backpath_queries);
+    counters.set("sync.d1_pruned_candidates", d1_stats.pruned_candidates);
 
     // Step 3: seed R.
     let mut r = Precedence::new(cfg.accesses.len());
@@ -179,29 +205,21 @@ pub fn analyze_sync(cfg: &Cfg, opts: &SyncOptions) -> SyncAnalysis {
     // Lock guards (§5.3).
     let guards = compute_lock_guards(cfg, &dom, &d1);
 
-    // Step 6: final delay set with per-pair removals.
+    // Step 6: final delay set with per-pair removals, assembled
+    // word-parallel: successors of u in R, predecessors of v in R
+    // (transposed row), and same-lock accesses — with u and v themselves
+    // masked back out.
     let r_for_removal = r.clone();
+    let r_transposed = r.transpose();
     let guards_for_removal = guards.clone();
-    let n = cfg.accesses.len();
-    let removals = move |u: AccessId, v: AccessId| -> Vec<AccessId> {
-        let mut out = Vec::new();
-        for i in 0..n {
-            let w = AccessId::from_index(i);
-            if w == u || w == v {
-                continue;
-            }
-            // w always after u, or always before v: cannot lie on a
-            // back-path (whose accesses run after v and before u).
-            if r_for_removal.contains(u, w) || r_for_removal.contains(w, v) {
-                out.push(w);
-            }
-        }
-        for w in guards_for_removal.removable_for_pair(u, v) {
-            if w != u && w != v && !out.contains(&w) {
-                out.push(w);
-            }
-        }
-        out
+    let removals = move |u: AccessId, v: AccessId, out: &mut BitSet| {
+        // w always after u, or always before v: cannot lie on a
+        // back-path (whose accesses run after v and before u).
+        out.union_words(r_for_removal.row_words(u));
+        out.union_words(r_transposed.row_words(v));
+        guards_for_removal.mark_removable_for_pair(u, v, out);
+        out.remove(u.index());
+        out.remove(v.index());
     };
     let (mut delay, step6_stats) = compute_delay_set_counted(
         cfg,
@@ -210,13 +228,28 @@ pub fn analyze_sync(cfg: &Cfg, opts: &SyncOptions) -> SyncAnalysis {
         &DelayOptions {
             only_sync_pairs: false,
             removals: Some(Box::new(removals)),
+            threads: opts.threads,
         },
     );
     delay.union_with(&d1);
     counters.set("sync.candidate_pairs", step6_stats.candidates);
+    counters.set("sync.pruned_candidates", step6_stats.pruned_candidates);
     counters.set("sync.backpath_queries", step6_stats.backpath_queries);
+    counters.set(
+        "sync.bfs_fallbacks",
+        d1_stats.bfs_fallbacks + step6_stats.bfs_fallbacks,
+    );
     counters.set("sync.removed_backpath_nodes", step6_stats.removed_nodes);
     counters.set("sync.refined_pairs", delay.len() as u64);
+    counters.set(
+        "sync.oracle_builds",
+        d1_stats.oracle_builds + step6_stats.oracle_builds,
+    );
+    counters.set("sync.oracle_sccs", d1_stats.sccs + step6_stats.sccs);
+    counters.set(
+        "sync.closure_word_ors",
+        d1_stats.closure_word_ors + step6_stats.closure_word_ors,
+    );
 
     SyncAnalysis {
         d1,

@@ -84,6 +84,160 @@ impl BitMatrix {
     pub fn count_ones(&self) -> usize {
         self.bits.iter().map(|w| w.count_ones() as usize).sum()
     }
+
+    /// The raw words of `row`, for word-parallel set operations.
+    pub fn row_words(&self, row: usize) -> &[u64] {
+        assert!(row < self.n);
+        &self.bits[row * self.words_per_row..(row + 1) * self.words_per_row]
+    }
+
+    /// `row |= words` for a raw word slice; returns whether `row` changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range or `words` has the wrong length.
+    pub fn or_row_words(&mut self, row: usize, words: &[u64]) -> bool {
+        assert!(row < self.n);
+        assert_eq!(words.len(), self.words_per_row);
+        let off = row * self.words_per_row;
+        let mut changed = false;
+        for (w, &src) in words.iter().enumerate() {
+            let dst = &mut self.bits[off + w];
+            let new = *dst | src;
+            changed |= new != *dst;
+            *dst = new;
+        }
+        changed
+    }
+}
+
+/// A dense bitset over `0..n`, the word-parallel replacement for the
+/// `Vec<AccessId>` + `contains` scans the back-path oracle used to carry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    n: usize,
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// An empty set over the universe `0..n`.
+    pub fn new(n: usize) -> Self {
+        BitSet {
+            n,
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    /// The universe size.
+    pub fn universe(&self) -> usize {
+        self.n
+    }
+
+    /// Inserts `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn insert(&mut self, i: usize) {
+        assert!(i < self.n);
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Removes `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn remove(&mut self, i: usize) {
+        assert!(i < self.n);
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    /// Whether `i` is present.
+    pub fn contains(&self, i: usize) -> bool {
+        i < self.n && self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Removes every element.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Whether the set has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of elements.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `self |= words` (word-parallel union with a raw row).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a word-length mismatch.
+    pub fn union_words(&mut self, words: &[u64]) {
+        assert_eq!(self.words.len(), words.len());
+        for (d, s) in self.words.iter_mut().zip(words) {
+            *d |= s;
+        }
+    }
+
+    /// `self = words & !mask`, word-parallel.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a word-length mismatch.
+    pub fn assign_and_not(&mut self, words: &[u64], mask: &BitSet) {
+        assert_eq!(self.words.len(), words.len());
+        assert_eq!(self.words.len(), mask.words.len());
+        for (d, (s, m)) in self.words.iter_mut().zip(words.iter().zip(&mask.words)) {
+            *d = s & !m;
+        }
+    }
+
+    /// Whether `self ∩ other` is non-empty.
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// Whether `self` and the raw row `words` share an element.
+    pub fn intersects_words(&self, words: &[u64]) -> bool {
+        self.words.iter().zip(words).any(|(a, b)| a & b != 0)
+    }
+
+    /// The raw words, for word-parallel consumers.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Iterates the elements in increasing order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+}
+
+/// Work performed by one [`reachability_counted`] closure computation —
+/// deterministic counters for the observability report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReachStats {
+    /// Strongly connected components found by the Tarjan condensation.
+    pub sccs: u64,
+    /// `u64` words ORed while propagating closure rows.
+    pub closure_word_ors: u64,
 }
 
 /// Computes the transitive closure of `edges` over `n` nodes:
@@ -94,30 +248,140 @@ pub fn reachability(n: usize, edges: &[(usize, usize)]) -> BitMatrix {
     for &(a, b) in edges {
         adj[a].push(b);
     }
+    reachability_counted(&adj).0
+}
+
+/// [`reachability`] over a prebuilt adjacency list, additionally reporting
+/// work counters.
+///
+/// The closure is computed by Tarjan SCC condensation: components are
+/// emitted in reverse topological order, so each component's closure row
+/// is the word-parallel OR of its successor components' (already final)
+/// rows plus the successors' member bits — no per-start BFS. All members
+/// of one component share a single physical row computation; members of a
+/// cyclic component (size > 1, or a self-loop) reach each other and
+/// themselves.
+pub fn reachability_counted(adj: &[Vec<usize>]) -> (BitMatrix, ReachStats) {
+    let n = adj.len();
     let mut m = BitMatrix::new(n);
-    // BFS from each node (kernel-sized graphs; O(n·e) is fine).
-    let mut stack = Vec::new();
-    let mut on = vec![false; n];
-    for start in 0..n {
-        on.iter_mut().for_each(|b| *b = false);
-        stack.clear();
-        for &s in &adj[start] {
-            if !on[s] {
-                on[s] = true;
-                stack.push(s);
+    let mut stats = ReachStats::default();
+    if n == 0 {
+        return (m, stats);
+    }
+    let (comp, members) = tarjan_sccs(adj);
+    let num_sccs = members.len();
+    stats.sccs = num_sccs as u64;
+    let words_per_row = n.div_ceil(64);
+
+    // `full.row(rep_of[c])` = closure row of component `c` *including*
+    // `c`'s own members — exactly what a predecessor component ORs in.
+    let mut full = BitMatrix::new(n);
+    let rep_of: Vec<usize> = members.iter().map(|mems| mems[0]).collect();
+    // Dedup marker so each successor component is ORed at most once per
+    // component, regardless of how many edges lead to it.
+    let mut last_seen = vec![usize::MAX; num_sccs];
+
+    // Tarjan emits components in reverse topological order: every
+    // successor component of `c` has an id < `c` and is already final.
+    for (c, mems) in members.iter().enumerate() {
+        let rep = rep_of[c];
+        let mut cyclic = mems.len() > 1;
+        for &u in mems {
+            for &v in &adj[u] {
+                let t = comp[v];
+                if t == c {
+                    cyclic = true;
+                } else if last_seen[t] != c {
+                    last_seen[t] = c;
+                    m.or_row_words(rep, full.row_words(rep_of[t]));
+                    stats.closure_word_ors += words_per_row as u64;
+                }
             }
         }
-        while let Some(node) = stack.pop() {
-            m.set(start, node);
-            for &s in &adj[node] {
-                if !on[s] {
-                    on[s] = true;
-                    stack.push(s);
+        if cyclic {
+            for &u in mems {
+                m.set(rep, u);
+            }
+        }
+        // All members share the component row: propagate it.
+        for &u in mems.iter().skip(1) {
+            m.or_row(u, rep);
+            stats.closure_word_ors += words_per_row as u64;
+        }
+        // full(c) = closure(c) | members(c).
+        full.or_row_words(rep, m.row_words(rep));
+        for &u in mems {
+            full.set(rep, u);
+        }
+        stats.closure_word_ors += words_per_row as u64;
+    }
+    (m, stats)
+}
+
+/// Iterative Tarjan: returns `(comp, members)` where `comp[v]` is the
+/// component id of `v` and `members[c]` lists component `c`'s nodes.
+/// Components are numbered in emission order, which is **reverse
+/// topological** over the condensation DAG.
+fn tarjan_sccs(adj: &[Vec<usize>]) -> (Vec<usize>, Vec<Vec<usize>>) {
+    let n = adj.len();
+    const UNSEEN: usize = usize::MAX;
+    let mut index = vec![UNSEEN; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut comp = vec![UNSEEN; n];
+    let mut members: Vec<Vec<usize>> = Vec::new();
+    let mut next_index = 0usize;
+    // Explicit call stack of (node, next-edge-offset) — the mirror graph
+    // of a heavily unrolled program is deep enough to overflow recursion.
+    let mut call: Vec<(usize, usize)> = Vec::new();
+    for root in 0..n {
+        if index[root] != UNSEEN {
+            continue;
+        }
+        call.push((root, 0));
+        while let Some(&(v, ei)) = call.last() {
+            if ei == 0 {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if ei < adj[v].len() {
+                call.last_mut().unwrap().1 += 1;
+                let w = adj[v][ei];
+                if index[w] == UNSEEN {
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                call.pop();
+                if let Some(&(p, _)) = call.last() {
+                    low[p] = low[p].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let c = members.len();
+                    let mut mems = Vec::new();
+                    loop {
+                        let w = stack.pop().unwrap();
+                        on_stack[w] = false;
+                        comp[w] = c;
+                        mems.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    // Deterministic member order (smallest node first) so
+                    // the representative choice is stable.
+                    mems.sort_unstable();
+                    members.push(mems);
                 }
             }
         }
     }
-    m
+    (comp, members)
 }
 
 /// Program-order information for a CFG.
@@ -208,6 +472,135 @@ mod tests {
         let m = reachability(2, &[(0, 1), (1, 0)]);
         assert!(m.get(0, 0));
         assert!(m.get(1, 1));
+    }
+
+    #[test]
+    fn reachability_self_loop_only() {
+        let m = reachability(3, &[(1, 1)]);
+        assert!(m.get(1, 1));
+        assert!(!m.get(0, 0));
+        assert!(!m.get(2, 2));
+        assert_eq!(m.count_ones(), 1);
+    }
+
+    #[test]
+    fn reachability_condensation_chains_through_sccs() {
+        // 0↔1 → 2 → 3↔4, plus 2→2 self-loop.
+        let edges = [(0, 1), (1, 0), (1, 2), (2, 2), (2, 3), (3, 4), (4, 3)];
+        let m = reachability(5, &edges);
+        for a in 0..2 {
+            for b in 0..5 {
+                assert!(m.get(a, b), "{a}->{b}");
+            }
+        }
+        assert!(m.get(2, 2) && m.get(2, 3) && m.get(2, 4));
+        assert!(!m.get(2, 0) && !m.get(2, 1));
+        assert!(m.get(3, 3) && m.get(3, 4) && m.get(4, 4) && m.get(4, 3));
+        assert!(!m.get(3, 2));
+    }
+
+    #[test]
+    fn reachability_counted_reports_work() {
+        let adj = vec![vec![1], vec![2], vec![]];
+        let (m, stats) = reachability_counted(&adj);
+        assert!(m.get(0, 2));
+        assert_eq!(stats.sccs, 3);
+        assert!(stats.closure_word_ors > 0);
+    }
+
+    /// Naive per-start BFS closure — the pre-SCC reference.
+    fn reachability_naive(n: usize, edges: &[(usize, usize)]) -> BitMatrix {
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(a, b) in edges {
+            adj[a].push(b);
+        }
+        let mut m = BitMatrix::new(n);
+        let mut stack = Vec::new();
+        let mut on = vec![false; n];
+        for start in 0..n {
+            on.iter_mut().for_each(|b| *b = false);
+            stack.clear();
+            for &s in &adj[start] {
+                if !on[s] {
+                    on[s] = true;
+                    stack.push(s);
+                }
+            }
+            while let Some(node) = stack.pop() {
+                m.set(start, node);
+                for &s in &adj[node] {
+                    if !on[s] {
+                        on[s] = true;
+                        stack.push(s);
+                    }
+                }
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn scc_closure_matches_naive_bfs_on_random_graphs() {
+        // SplitMix64-seeded random digraphs across densities.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        };
+        for trial in 0..200 {
+            let n = 1 + (next() % 70) as usize;
+            let density = 1 + next() % 4;
+            let nedges = (n as u64 * density) as usize;
+            let edges: Vec<(usize, usize)> = (0..nedges)
+                .map(|_| ((next() % n as u64) as usize, (next() % n as u64) as usize))
+                .collect();
+            let fast = reachability(n, &edges);
+            let naive = reachability_naive(n, &edges);
+            assert_eq!(fast, naive, "trial {trial}: n={n} edges={edges:?}");
+        }
+    }
+
+    #[test]
+    fn bitset_basics() {
+        let mut s = BitSet::new(130);
+        assert!(s.is_empty());
+        s.insert(0);
+        s.insert(65);
+        s.insert(129);
+        assert!(s.contains(65) && !s.contains(64));
+        assert!(!s.contains(1000), "out-of-range contains is false");
+        assert_eq!(s.count_ones(), 3);
+        assert_eq!(s.iter_ones().collect::<Vec<_>>(), vec![0, 65, 129]);
+        let mut t = BitSet::new(130);
+        t.insert(65);
+        assert!(s.intersects(&t));
+        s.remove(65);
+        assert!(!s.intersects(&t));
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn bitset_word_ops() {
+        let mut m = BitMatrix::new(70);
+        m.set(1, 3);
+        m.set(1, 68);
+        let mut s = BitSet::new(70);
+        s.union_words(m.row_words(1));
+        assert_eq!(s.iter_ones().collect::<Vec<_>>(), vec![3, 68]);
+        assert!(s.intersects_words(m.row_words(1)));
+        let mut mask = BitSet::new(70);
+        mask.insert(3);
+        let mut d = BitSet::new(70);
+        d.assign_and_not(m.row_words(1), &mask);
+        assert_eq!(d.iter_ones().collect::<Vec<_>>(), vec![68]);
+        let mut other = BitMatrix::new(70);
+        assert!(other.or_row_words(0, m.row_words(1)));
+        assert!(!other.or_row_words(0, m.row_words(1)), "idempotent");
+        assert!(other.get(0, 68));
     }
 
     #[test]

@@ -26,6 +26,7 @@ pub mod em3d;
 pub mod epithel;
 pub mod health;
 pub mod ocean;
+pub mod scaling;
 
 /// A generated kernel program.
 #[derive(Debug, Clone)]

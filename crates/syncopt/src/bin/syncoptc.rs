@@ -15,6 +15,11 @@
 //!     static race/synchronization check; exit 1 if errors are found
 //! syncoptc check --kernels [--procs N] [--format json]
 //!     check every built-in evaluation kernel, with per-kernel statistics
+//! syncoptc bench [--smoke] [--threads T] [--out PATH] [--check BASELINE]
+//!     run the delay-set scaling trajectory and emit the work-counter
+//!     report (schema syncopt.bench_report.v1); `--check` compares the
+//!     fresh counters against a committed baseline and exits 1 on a >20%
+//!     regression
 //!
 //! `opt --dot` emits Graphviz instead of text; `run --trace` appends the
 //! first 200 trace events; `run --emit-report <path>` writes the pipeline
@@ -53,6 +58,10 @@ struct Args {
     kernels: bool,
     format: Format,
     emit_report: Option<String>,
+    threads: usize,
+    smoke: bool,
+    out: Option<String>,
+    check_baseline: Option<String>,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -83,6 +92,10 @@ fn parse_args() -> Result<Args, String> {
         kernels: false,
         format: Format::Human,
         emit_report: None,
+        threads: 1,
+        smoke: false,
+        out: None,
+        check_baseline: None,
     };
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -127,10 +140,25 @@ fn parse_args() -> Result<Args, String> {
             "--emit-report" => {
                 args.emit_report = Some(argv.next().ok_or("--emit-report needs a path")?);
             }
+            "--threads" => {
+                args.threads = argv
+                    .next()
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?;
+            }
+            "--smoke" => args.smoke = true,
+            "--out" => {
+                args.out = Some(argv.next().ok_or("--out needs a path")?);
+            }
+            "--check" => {
+                args.check_baseline = Some(argv.next().ok_or("--check needs a baseline path")?);
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
-    if args.file.is_empty() && !(args.command == "check" && args.kernels) {
+    if args.file.is_empty() && !(args.command == "check" && args.kernels) && args.command != "bench"
+    {
         return Err("missing input file".to_string());
     }
     Ok(args)
@@ -171,8 +199,13 @@ fn main() -> ExitCode {
 
 fn real_main() -> Result<(), String> {
     let args = parse_args().map_err(|e| {
-        format!("{e}\nrun with: syncoptc <analyze|opt|run|profile|litmus|check> <file> [flags]")
+        format!(
+            "{e}\nrun with: syncoptc <analyze|opt|run|profile|litmus|check|bench> <file> [flags]"
+        )
     })?;
+    if args.command == "bench" {
+        return cmd_bench(&args);
+    }
     if args.command == "check" && args.kernels {
         return cmd_check_kernels(&args);
     }
@@ -185,6 +218,7 @@ fn real_main() -> Result<(), String> {
         "profile" => cmd_profile(&src, &args),
         "litmus" => cmd_litmus(&src, &args),
         "check" => cmd_check(&src, &args),
+        "bench" => unreachable!("handled before the file read"),
         other => Err(format!("unknown command `{other}`")),
     }
 }
@@ -192,6 +226,7 @@ fn real_main() -> Result<(), String> {
 fn cmd_analyze(src: &str, args: &Args) -> Result<(), String> {
     let c = Syncopt::new(src)
         .procs(args.procs)
+        .threads(args.threads)
         .level(OptLevel::Blocking)
         .delay(args.delay)
         .compile()
@@ -230,6 +265,7 @@ fn cmd_analyze(src: &str, args: &Args) -> Result<(), String> {
 fn cmd_opt(src: &str, args: &Args) -> Result<(), String> {
     let c = Syncopt::new(src)
         .procs(args.procs)
+        .threads(args.threads)
         .level(args.level)
         .delay(args.delay)
         .compile()
@@ -252,6 +288,7 @@ fn cmd_run(src: &str, args: &Args) -> Result<(), String> {
     let config = machine_config(&args.machine, args.procs)?;
     let r = Syncopt::new(src)
         .procs(args.procs)
+        .threads(args.threads)
         .level(args.level)
         .delay(args.delay)
         .trace(if args.trace {
@@ -317,6 +354,7 @@ fn cmd_profile(src: &str, args: &Args) -> Result<(), String> {
     let config = machine_config(&args.machine, args.procs)?;
     let p = Syncopt::new(src)
         .procs(args.procs)
+        .threads(args.threads)
         .level(args.level)
         .delay(args.delay)
         .profile(&config)
@@ -331,6 +369,7 @@ fn cmd_profile(src: &str, args: &Args) -> Result<(), String> {
 fn cmd_litmus(src: &str, args: &Args) -> Result<(), String> {
     let c = Syncopt::new(src)
         .procs(args.procs)
+        .threads(args.threads)
         .level(OptLevel::Blocking)
         .delay(args.delay)
         .compile()
@@ -428,6 +467,7 @@ fn check_summary_json(outcome: &CheckOutcome) -> json::Value {
 fn cmd_check(src: &str, args: &Args) -> Result<(), String> {
     let c = Syncopt::new(src)
         .procs(args.procs)
+        .threads(args.threads)
         .level(OptLevel::Blocking)
         .delay(args.delay)
         .compile()
@@ -469,6 +509,34 @@ fn cmd_check(src: &str, args: &Args) -> Result<(), String> {
     }
     if outcome.errors() > 0 {
         return Err(format!("check failed: {} error(s)", outcome.errors()));
+    }
+    Ok(())
+}
+
+fn cmd_bench(args: &Args) -> Result<(), String> {
+    let report = syncopt::bench::run_bench(args.smoke, args.threads)
+        .map_err(|e| format!("bench program failed to compile: {e}"))?;
+    if let Some(path) = &args.out {
+        std::fs::write(path, format!("{}\n", report.to_json()))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("bench report written to {path}");
+    }
+    match args.format {
+        Format::Json => println!("{}", report.to_json()),
+        Format::Human => print!("{}", report.render_table()),
+    }
+    if let Some(baseline_path) = &args.check_baseline {
+        let text = std::fs::read_to_string(baseline_path)
+            .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
+        let baseline = json::Value::parse(&text)
+            .map_err(|e| format!("baseline {baseline_path} is not valid JSON: {e}"))?;
+        report
+            .check_against(&baseline)
+            .map_err(|e| format!("{baseline_path}: {e}"))?;
+        eprintln!(
+            "work counters within {}% of {baseline_path}",
+            syncopt::bench::TOLERANCE_PCT
+        );
     }
     Ok(())
 }

@@ -38,6 +38,7 @@
 //! # Ok::<(), syncopt::SyncoptError>(())
 //! ```
 
+pub mod bench;
 pub mod report;
 
 pub use report::{PipelineReport, ProfileReport, ReportMeta, SimReport};
@@ -171,6 +172,7 @@ pub struct Syncopt<'a> {
     level: OptLevel,
     delay: DelayChoice,
     trace: TraceLevel,
+    threads: usize,
 }
 
 impl<'a> Syncopt<'a> {
@@ -182,6 +184,7 @@ impl<'a> Syncopt<'a> {
             level: OptLevel::Full,
             delay: DelayChoice::SyncRefined,
             trace: TraceLevel::Off,
+            threads: 1,
         }
     }
 
@@ -216,6 +219,14 @@ impl<'a> Syncopt<'a> {
         self
     }
 
+    /// Sets the worker-thread count for the delay-set candidate loops
+    /// (default 1 = serial; results are bit-identical for every value).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// Parses, checks, lowers, analyzes, and optimizes the program.
     ///
     /// # Errors
@@ -233,9 +244,15 @@ impl<'a> Syncopt<'a> {
             syncopt_frontend::inline::inline_program(&program)
         })?;
         let source_cfg = timings.time("lower", || syncopt_ir::lower::lower_main(&program))?;
-        let analysis = timings.time("analyze", || match procs {
-            Some(p) => syncopt_core::analyze_for(&source_cfg, p),
-            None => syncopt_core::analyze(&source_cfg),
+        let analysis = timings.time("analyze", || {
+            syncopt_core::analyze_with(
+                &source_cfg,
+                &syncopt_core::SyncOptions {
+                    procs,
+                    threads: self.threads,
+                    ..syncopt_core::SyncOptions::default()
+                },
+            )
         });
         let optimized = timings.time("optimize", || {
             syncopt_codegen::optimize(&source_cfg, &analysis, self.level, self.delay)
@@ -315,6 +332,7 @@ impl<'a> Syncopt<'a> {
             &syncopt_core::SyncOptions {
                 barrier_policy: syncopt_core::BarrierPolicy::AssumeAligned,
                 procs: Some(procs),
+                threads: self.threads,
             },
         );
         let opt_cfg = syncopt_codegen::optimize(&source_cfg, &optimistic, self.level, self.delay);
@@ -338,6 +356,7 @@ impl<'a> Syncopt<'a> {
             &syncopt_core::SyncOptions {
                 barrier_policy: syncopt_core::BarrierPolicy::Disabled,
                 procs: Some(procs),
+                threads: self.threads,
             },
         );
         let cons_cfg =

@@ -195,6 +195,24 @@ impl PipelineReport {
             a.delay_sync,
             a.delay_ss.saturating_sub(a.delay_sync),
         ));
+        if self.counters.get("cycle.oracle_builds") > 0 {
+            out.push_str(&format!(
+                "  oracle: {} builds, {} SCCs, {} closure word-ORs; \
+                 pruned {} of {} candidates ({} queried, {} BFS fallbacks)\n",
+                self.counters.get("cycle.oracle_builds") + self.counters.get("sync.oracle_builds"),
+                self.counters.get("cycle.sccs") + self.counters.get("sync.oracle_sccs"),
+                self.counters.get("cycle.closure_word_ors")
+                    + self.counters.get("sync.closure_word_ors"),
+                self.counters.get("cycle.pruned_candidates")
+                    + self.counters.get("sync.pruned_candidates"),
+                self.counters.get("cycle.candidate_pairs")
+                    + self.counters.get("sync.candidate_pairs"),
+                self.counters.get("cycle.backpath_queries")
+                    + self.counters.get("sync.backpath_queries")
+                    + self.counters.get("sync.d1_backpath_queries"),
+                self.counters.get("cycle.bfs_fallbacks") + self.counters.get("sync.bfs_fallbacks"),
+            ));
+        }
         for (key, val) in self.counters.iter() {
             out.push_str(&format!("    {key:<34} {val}\n"));
         }
