@@ -13,8 +13,8 @@
 //! motion freedom.
 
 use syncopt_bench::row;
-use syncopt_core::{analyze_with, BarrierPolicy, SyncOptions};
 use syncopt_codegen::{optimize, DelayChoice, OptLevel};
+use syncopt_core::{analyze_with, BarrierPolicy, SyncOptions};
 use syncopt_frontend::prepare_program;
 use syncopt_ir::lower::lower_main;
 use syncopt_kernels::all_kernels;
@@ -60,11 +60,36 @@ fn main() {
         );
 
         let rows: Vec<(&str, &syncopt_core::Analysis, OptLevel, DelayChoice)> = vec![
-            ("D_SS only", &analysis_full, OptLevel::Pipelined, DelayChoice::ShashaSnir),
-            ("+sync analysis", &analysis_full, OptLevel::Pipelined, DelayChoice::SyncRefined),
-            ("  -barrier info", &analysis_nobarrier, OptLevel::Pipelined, DelayChoice::SyncRefined),
-            ("+one-way", &analysis_full, OptLevel::OneWay, DelayChoice::SyncRefined),
-            ("+elimination", &analysis_full, OptLevel::Full, DelayChoice::SyncRefined),
+            (
+                "D_SS only",
+                &analysis_full,
+                OptLevel::Pipelined,
+                DelayChoice::ShashaSnir,
+            ),
+            (
+                "+sync analysis",
+                &analysis_full,
+                OptLevel::Pipelined,
+                DelayChoice::SyncRefined,
+            ),
+            (
+                "  -barrier info",
+                &analysis_nobarrier,
+                OptLevel::Pipelined,
+                DelayChoice::SyncRefined,
+            ),
+            (
+                "+one-way",
+                &analysis_full,
+                OptLevel::OneWay,
+                DelayChoice::SyncRefined,
+            ),
+            (
+                "+elimination",
+                &analysis_full,
+                OptLevel::Full,
+                DelayChoice::SyncRefined,
+            ),
         ];
 
         let mut base = None;

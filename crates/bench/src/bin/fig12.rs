@@ -6,13 +6,22 @@
 //!
 //! Also prints the message-count breakdown per configuration, quantifying
 //! the acknowledgement traffic that one-way conversion eliminates (§2).
+//!
+//! ```text
+//! fig12 [--procs N] [--preset full|smoke] [--threads T]
+//! ```
+//!
+//! Kernels fan out across `--threads` workers with a fixed-order merge,
+//! so the report is identical at any thread count.
 
-use syncopt_bench::{bar, row, run_kernel, FIGURE12_LEVELS};
+use syncopt_bench::sweep::{self, run_ordered};
+use syncopt_bench::{bar, row, run_kernel_lean, FIGURE12_LEVELS};
 use syncopt_kernels::all_kernels;
 use syncopt_machine::MachineConfig;
 
 fn main() {
-    let procs = 64;
+    let opts = sweep::parse_args("fig12");
+    let procs = opts.procs_or(64, 8);
     let config = MachineConfig::cm5(procs);
     println!(
         "Figure 12: normalized execution time, {} processors, {}",
@@ -37,15 +46,17 @@ fn main() {
         )
     );
 
-    for kernel in all_kernels(procs) {
+    let kernels = all_kernels(procs);
+    let blocks = run_ordered(&kernels, opts.threads, |kernel| {
+        let mut block = String::new();
         let mut base = None;
         for (name, level, choice) in FIGURE12_LEVELS {
-            let r = run_kernel(&kernel, &config, level, choice)
+            let r = run_kernel_lean(kernel, &config, level, choice)
                 .unwrap_or_else(|e| panic!("{} at {name}: {e}", kernel.name));
             let base_cycles = *base.get_or_insert(r.exec_cycles);
             let norm = r.exec_cycles as f64 / base_cycles as f64;
-            println!(
-                "{}  |{}",
+            block.push_str(&format!(
+                "{}  |{}\n",
                 row(
                     &[
                         kernel.name.into(),
@@ -59,8 +70,12 @@ fn main() {
                     &widths
                 ),
                 bar(norm, 40)
-            );
+            ));
         }
+        block
+    });
+    for block in blocks {
+        print!("{block}");
         println!();
     }
     println!("norm < 1.0 means faster than the Shasha-Snir-only baseline.");

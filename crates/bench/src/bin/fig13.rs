@@ -5,8 +5,16 @@
 //! Strong scaling: the total problem size is fixed, so per-processor
 //! compute shrinks as `P` grows while the transpose's communication volume
 //! grows — the optimized versions scale visibly better, as in the paper.
+//!
+//! ```text
+//! fig13 [--procs CAP] [--preset full|smoke] [--threads T]
+//! ```
+//!
+//! Processor counts fan out across `--threads` workers with a fixed-order
+//! merge, so the report is identical at any thread count.
 
-use syncopt_bench::{row, run_kernel, FIGURE12_LEVELS};
+use syncopt_bench::sweep::{self, run_ordered};
+use syncopt_bench::{row, run_kernel_lean, FIGURE12_LEVELS};
 use syncopt_kernels::{epithel, KernelParams};
 use syncopt_machine::MachineConfig;
 
@@ -23,7 +31,8 @@ fn params(procs: u32) -> KernelParams {
 }
 
 fn main() {
-    let proc_counts = [1u32, 2, 4, 8, 16, 24, 32, 36];
+    let opts = sweep::parse_args("fig13");
+    let proc_counts = opts.filter_counts(&[1u32, 2, 4, 8, 16, 24, 32, 36], 3);
     println!("Figure 13: Epithel speedup vs processors (CM-5)\n");
     let widths = [6, 14, 14, 14, 12, 12, 12];
     println!(
@@ -41,16 +50,19 @@ fn main() {
             &widths
         )
     );
-    let mut baseline1: Option<[u64; 3]> = None;
-    for procs in proc_counts {
+    let points = run_ordered(&proc_counts, opts.threads, |&procs| {
         let kernel = epithel::generate(&params(procs));
         let config = MachineConfig::cm5(procs);
         let mut cycles = [0u64; 3];
         for (i, (name, level, choice)) in FIGURE12_LEVELS.iter().enumerate() {
-            let r = run_kernel(&kernel, &config, *level, *choice)
+            let r = run_kernel_lean(&kernel, &config, *level, *choice)
                 .unwrap_or_else(|e| panic!("{procs} procs at {name}: {e}"));
             cycles[i] = r.exec_cycles;
         }
+        (procs, cycles)
+    });
+    let mut baseline1: Option<[u64; 3]> = None;
+    for (procs, cycles) in points {
         let base = *baseline1.get_or_insert(cycles);
         println!(
             "{}",

@@ -108,7 +108,10 @@ fn main() {
     }
 }
 
-fn verdict(weak: &std::collections::BTreeSet<Vec<i64>>, sc: &std::collections::BTreeSet<Vec<i64>>) -> &'static str {
+fn verdict(
+    weak: &std::collections::BTreeSet<Vec<i64>>,
+    sc: &std::collections::BTreeSet<Vec<i64>>,
+) -> &'static str {
     if weak.is_subset(sc) {
         "[SC preserved]"
     } else {

@@ -5,14 +5,23 @@
 //! Runs every kernel on all three Table 1 machines at both ends of the
 //! optimization spectrum and reports the relative improvement, plus the
 //! latency each machine can hide per split-phase operation.
+//!
+//! ```text
+//! machines [--procs N] [--preset full|smoke] [--threads T]
+//! ```
+//!
+//! Kernel × machine pairs fan out across `--threads` workers with a
+//! fixed-order merge, so the report is identical at any thread count.
 
-use syncopt_bench::{row, run_kernel};
+use syncopt_bench::sweep::{self, run_ordered};
+use syncopt_bench::{row, run_kernel_lean};
 use syncopt_codegen::{DelayChoice, OptLevel};
 use syncopt_kernels::all_kernels;
 use syncopt_machine::MachineConfig;
 
 fn main() {
-    let procs = 16;
+    let opts = sweep::parse_args("machines");
+    let procs = opts.procs_or(16, 4);
     println!("Optimization payoff per machine ({procs} processors)\n");
     let widths = [10, 8, 12, 12, 9, 13];
     println!(
@@ -29,37 +38,37 @@ fn main() {
             &widths
         )
     );
+    let mut specs = Vec::new();
     for kernel in all_kernels(procs) {
         for config in MachineConfig::table1(procs) {
-            let unopt = run_kernel(
-                &kernel,
-                &config,
-                OptLevel::Pipelined,
-                DelayChoice::ShashaSnir,
-            )
-            .unwrap_or_else(|e| panic!("{} on {}: {e}", kernel.name, config.name));
-            let opt = run_kernel(&kernel, &config, OptLevel::OneWay, DelayChoice::SyncRefined)
-                .unwrap();
-            let gain = 100.0 * (unopt.exec_cycles - opt.exec_cycles) as f64
-                / unopt.exec_cycles as f64;
-            let ratio =
-                config.network_latency as f64 * 2.0 / config.send_overhead.max(1) as f64;
-            println!(
-                "{}",
-                row(
-                    &[
-                        kernel.name.into(),
-                        config.name.clone(),
-                        unopt.exec_cycles.to_string(),
-                        opt.exec_cycles.to_string(),
-                        format!("{gain:.1}%"),
-                        format!("{ratio:.1}"),
-                    ],
-                    &widths
-                )
-            );
+            specs.push((kernel.clone(), config));
         }
-        println!();
+    }
+    let machines_per_kernel = MachineConfig::table1(procs).len();
+    let lines = run_ordered(&specs, opts.threads, |(kernel, config)| {
+        let unopt = run_kernel_lean(kernel, config, OptLevel::Pipelined, DelayChoice::ShashaSnir)
+            .unwrap_or_else(|e| panic!("{} on {}: {e}", kernel.name, config.name));
+        let opt =
+            run_kernel_lean(kernel, config, OptLevel::OneWay, DelayChoice::SyncRefined).unwrap();
+        let gain = 100.0 * (unopt.exec_cycles - opt.exec_cycles) as f64 / unopt.exec_cycles as f64;
+        let ratio = config.network_latency as f64 * 2.0 / config.send_overhead.max(1) as f64;
+        row(
+            &[
+                kernel.name.into(),
+                config.name.clone(),
+                unopt.exec_cycles.to_string(),
+                opt.exec_cycles.to_string(),
+                format!("{gain:.1}%"),
+                format!("{ratio:.1}"),
+            ],
+            &widths,
+        )
+    });
+    for (i, line) in lines.iter().enumerate() {
+        println!("{line}");
+        if (i + 1) % machines_per_kernel == 0 {
+            println!();
+        }
     }
     println!("lat/startup = round-trip network latency / send overhead: the");
     println!("larger it is, the more latency one overlapped operation hides.");

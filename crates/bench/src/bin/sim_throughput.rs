@@ -1,24 +1,27 @@
-//! Delay-set analysis scaling trajectory (std-only, no criterion).
+//! Simulator-throughput sweep (std-only, no criterion).
 //!
-//! Runs the synthetic scaling grid from `syncopt_kernels::scaling` through
-//! the full analysis and reports the deterministic work counters plus
-//! coarse wall-time buckets — the data behind the committed
-//! `BENCH_delay_scaling.json` (schema `syncopt.bench_report.v1`, see
-//! docs/PERFORMANCE.md). Same engine as `syncoptc bench`.
+//! Runs the five evaluation kernels (bench problem sizes) through the
+//! compile-and-simulate pipeline with both event-queue engines and
+//! reports the deterministic simulator work counters plus coarse
+//! wall-time buckets — the data behind the committed
+//! `BENCH_sim_throughput.json` (schema `syncopt.bench_report.v1`, suite
+//! `sim_throughput`, see docs/PERFORMANCE.md). Same engine as
+//! `syncoptc bench --suite sim`.
 //!
 //! ```text
-//! delay_scaling [--smoke] [--threads T] [--json] [--out PATH] [--check BASELINE]
+//! sim_throughput [--smoke] [--threads T] [--json] [--out PATH] [--check BASELINE]
 //! ```
 
 use std::process::ExitCode;
-use syncopt::bench::{run_bench, TOLERANCE_PCT};
+use syncopt::bench::TOLERANCE_PCT;
 use syncopt::core::diag::json;
+use syncopt::simbench::run_sim_bench;
 
 fn main() -> ExitCode {
     match real_main() {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
-            eprintln!("delay_scaling: {msg}");
+            eprintln!("sim_throughput: {msg}");
             ExitCode::FAILURE
         }
     }
@@ -47,7 +50,7 @@ fn real_main() -> Result<(), String> {
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
-    let report = run_bench(smoke, threads).map_err(|e| e.to_string())?;
+    let report = run_sim_bench(smoke, threads).map_err(|e| e.to_string())?;
     if let Some(path) = &out {
         std::fs::write(path, format!("{}\n", report.to_json()))
             .map_err(|e| format!("cannot write {path}: {e}"))?;

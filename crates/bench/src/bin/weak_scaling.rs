@@ -3,13 +3,22 @@
 //! scaling is *flat* execution time. The transpose's all-to-all traffic
 //! still grows with `P`, which is exactly what pipelining and one-way
 //! conversion absorb.
+//!
+//! ```text
+//! weak_scaling [--procs CAP] [--preset full|smoke] [--threads T]
+//! ```
+//!
+//! Processor counts fan out across `--threads` workers with a fixed-order
+//! merge, so the report is identical at any thread count.
 
-use syncopt_bench::{row, run_kernel, FIGURE12_LEVELS};
+use syncopt_bench::sweep::{self, run_ordered};
+use syncopt_bench::{row, run_kernel_lean, FIGURE12_LEVELS};
 use syncopt_kernels::{epithel, KernelParams};
 use syncopt_machine::MachineConfig;
 
 fn main() {
-    let proc_counts = [2u32, 4, 8, 16, 32];
+    let opts = sweep::parse_args("weak_scaling");
+    let proc_counts = opts.filter_counts(&[2u32, 4, 8, 16, 32], 2);
     println!("Weak scaling: Epithel, constant work per processor (CM-5)\n");
     let widths = [6, 14, 14, 14, 14];
     println!(
@@ -25,7 +34,7 @@ fn main() {
             &widths
         )
     );
-    for procs in proc_counts {
+    let points = run_ordered(&proc_counts, opts.threads, |&procs| {
         let kernel = epithel::generate(&KernelParams {
             procs,
             elements_per_proc: 16,
@@ -35,10 +44,13 @@ fn main() {
         let config = MachineConfig::cm5(procs);
         let mut cycles = [0u64; 3];
         for (i, (name, level, choice)) in FIGURE12_LEVELS.iter().enumerate() {
-            cycles[i] = run_kernel(&kernel, &config, *level, *choice)
+            cycles[i] = run_kernel_lean(&kernel, &config, *level, *choice)
                 .unwrap_or_else(|e| panic!("{procs} procs at {name}: {e}"))
                 .exec_cycles;
         }
+        (procs, cycles)
+    });
+    for (procs, cycles) in points {
         println!(
             "{}",
             row(

@@ -6,9 +6,11 @@
 //! (see DESIGN.md's experiment index): `table1`, `fig12`, `fig13`,
 //! `litmus`, `delay_sizes`.
 
+pub mod sweep;
+
 use syncopt::{DelayChoice, OptLevel, Syncopt, SyncoptError};
 use syncopt_kernels::Kernel;
-use syncopt_machine::{MachineConfig, SimResult};
+use syncopt_machine::{EngineKind, MachineConfig, SimOutputs, SimResult};
 
 /// The three Figure 12 configurations, in the paper's bar order.
 pub const FIGURE12_LEVELS: [(&str, OptLevel, DelayChoice); 3] = [
@@ -42,6 +44,42 @@ pub fn run_kernel(
         .delay(choice)
         .run(config)?
         .sim)
+}
+
+/// Like [`run_kernel`], but skips extraction of the final memory image
+/// and barrier sequences ([`SimOutputs::lean`]) — the figure harnesses
+/// only read cycle and message counts, so sweeping hundreds of
+/// configurations does not pay for outputs nobody formats.
+///
+/// # Errors
+///
+/// Propagates pipeline errors.
+///
+/// # Panics
+///
+/// Panics if the kernel was generated for a different processor count than
+/// `config.procs`.
+pub fn run_kernel_lean(
+    kernel: &Kernel,
+    config: &MachineConfig,
+    level: OptLevel,
+    choice: DelayChoice,
+) -> Result<SimResult, SyncoptError> {
+    assert_eq!(
+        kernel.procs, config.procs,
+        "kernel generated for a different machine size"
+    );
+    let compiled = Syncopt::new(&kernel.source)
+        .procs(config.procs)
+        .level(level)
+        .delay(choice)
+        .compile()?;
+    Ok(syncopt_machine::simulate_configured(
+        &compiled.optimized.cfg,
+        config,
+        EngineKind::Calendar,
+        SimOutputs::lean(),
+    )?)
 }
 
 /// Renders a row of fixed-width right-aligned columns.
@@ -105,6 +143,22 @@ mod tests {
             );
             // Memory must be identical between levels.
             assert_eq!(unopt.memory, oneway.memory, "{}", kernel.name);
+        }
+    }
+
+    #[test]
+    fn lean_runner_matches_full_runner_timing() {
+        let config = MachineConfig::cm5(4);
+        for kernel in all_kernels(4) {
+            let full = run_kernel(&kernel, &config, OptLevel::OneWay, DelayChoice::SyncRefined)
+                .unwrap_or_else(|e| panic!("{}: {e}", kernel.name));
+            let lean =
+                run_kernel_lean(&kernel, &config, OptLevel::OneWay, DelayChoice::SyncRefined)
+                    .unwrap_or_else(|e| panic!("{}: {e}", kernel.name));
+            assert_eq!(full.exec_cycles, lean.exec_cycles, "{}", kernel.name);
+            assert_eq!(full.net, lean.net, "{}", kernel.name);
+            assert!(!full.memory.is_empty(), "{}", kernel.name);
+            assert!(lean.memory.is_empty(), "{}", kernel.name);
         }
     }
 

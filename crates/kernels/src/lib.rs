@@ -63,18 +63,38 @@ impl KernelParams {
             work_per_element: 150,
         }
     }
+
+    /// A smaller configuration for simulator-throughput sweeps: the same
+    /// communication and synchronization mix as [`evaluation`], at a
+    /// fraction of the event count, so a multi-config bench run stays
+    /// fast enough for CI.
+    ///
+    /// [`evaluation`]: KernelParams::evaluation
+    pub fn bench(procs: u32) -> Self {
+        KernelParams {
+            procs,
+            elements_per_proc: 4,
+            steps: 4,
+            work_per_element: 60,
+        }
+    }
+}
+
+/// All five kernels generated with one shared parameter set — the entry
+/// point sweep drivers use to pin a non-default problem size.
+pub fn kernels_with(params: &KernelParams) -> Vec<Kernel> {
+    vec![
+        ocean::generate(params),
+        em3d::generate(params),
+        epithel::generate(params),
+        cholesky::generate(params),
+        health::generate(params),
+    ]
 }
 
 /// All five kernels at the default evaluation size for `procs` processors.
 pub fn all_kernels(procs: u32) -> Vec<Kernel> {
-    let p = KernelParams::evaluation(procs);
-    vec![
-        ocean::generate(&p),
-        em3d::generate(&p),
-        epithel::generate(&p),
-        cholesky::generate(&p),
-        health::generate(&p),
-    ]
+    kernels_with(&KernelParams::evaluation(procs))
 }
 
 #[cfg(test)]
@@ -100,6 +120,16 @@ mod tests {
     fn kernel_names_match_figure12() {
         let names: Vec<&str> = all_kernels(4).iter().map(|k| k.name).collect();
         assert_eq!(names, ["Ocean", "EM3D", "Epithel", "Cholesky", "Health"]);
+    }
+
+    #[test]
+    fn bench_params_parse_on_every_kernel() {
+        for procs in [1, 4, 16] {
+            for kernel in kernels_with(&KernelParams::bench(procs)) {
+                prepare_program(&kernel.source)
+                    .unwrap_or_else(|e| panic!("{} bench at {procs} procs: {e}", kernel.name));
+            }
+        }
     }
 
     #[test]

@@ -43,7 +43,10 @@ pub mod value;
 
 pub use config::MachineConfig;
 pub use memory::{Location, SharedMemory};
-pub use metrics::{BarrierEpoch, LatencyHistogram, ProcCycles, SimMetrics};
-pub use sim::{simulate, simulate_traced, NetStats, SimResult, StallStats};
+pub use metrics::{BarrierEpoch, LatencyHistogram, ProcCycles, SimMetrics, SimWork};
+pub use sim::{
+    simulate, simulate_configured, simulate_traced, EngineKind, NetStats, SimOutputs, SimResult,
+    StallStats,
+};
 pub use trace::{Trace, TraceEvent, TraceKind};
 pub use value::{SimError, Value};

@@ -4,9 +4,14 @@
 //! arrays use the Split-C block layout (element `i` of an `L`-element array
 //! on `P` processors lives on processor `i / ceil(L / P)`). Flags and locks
 //! also have home processors (their operations are messages to the home).
+//!
+//! Storage is **dense**: every shared data variable and every flag gets a
+//! contiguous slice of one flat slot vector, with per-variable base
+//! offsets indexed by the dense [`VarId`]s the IR guarantees. The whole
+//! image is sized once at construction; the simulator's cycle loop then
+//! performs zero hashing and zero allocation to touch memory.
 
 use crate::value::{SimError, Value};
-use std::collections::HashMap;
 use syncopt_ir::ids::VarId;
 use syncopt_ir::vars::{VarKind, VarTable};
 
@@ -19,18 +24,35 @@ pub struct Location {
     pub index: u64,
 }
 
+/// Sentinel base offset for variables without storage of that class.
+const NO_SLOT: u32 = u32::MAX;
+
 /// The machine's shared memory plus synchronization-object state.
 #[derive(Debug, Clone)]
 pub struct SharedMemory {
     procs: u32,
-    scalars: HashMap<VarId, Value>,
-    arrays: HashMap<VarId, Vec<Value>>,
-    flags: HashMap<VarId, Vec<bool>>,
-    home_cache: HashMap<VarId, HomeInfo>,
+    /// Home placement per variable (dense by `VarId`).
+    home: Vec<HomeInfo>,
+    /// Base offset of each data variable into `data` (`NO_SLOT` when the
+    /// variable has no shared data storage).
+    data_base: Vec<u32>,
+    /// Element count of each data variable.
+    data_len: Vec<u32>,
+    /// All shared data slots, zero-initialized, in `VarId` order.
+    data: Vec<Value>,
+    /// Base offset of each flag variable into `flags` (`NO_SLOT` when the
+    /// variable is not a flag).
+    flag_base: Vec<u32>,
+    /// Element count of each flag variable.
+    flag_len: Vec<u32>,
+    /// All flag slots, in `VarId` order.
+    flags: Vec<bool>,
 }
 
 #[derive(Debug, Clone, Copy)]
 enum HomeInfo {
+    /// Not a shared object (locals have no home).
+    NotShared,
     /// Fixed home processor (scalars, scalar flags, locks).
     Fixed(u32),
     /// Block-distributed: `home = index / block_size`.
@@ -40,43 +62,50 @@ enum HomeInfo {
 impl SharedMemory {
     /// Builds the memory image for a program's variables, zero-initialized.
     pub fn new(procs: u32, vars: &VarTable) -> Self {
-        let mut scalars = HashMap::new();
-        let mut arrays = HashMap::new();
-        let mut flags = HashMap::new();
-        let mut home_cache = HashMap::new();
+        let n = vars.len();
+        let mut home = vec![HomeInfo::NotShared; n];
+        let mut data_base = vec![NO_SLOT; n];
+        let mut data_len = vec![0u32; n];
+        let mut flag_base = vec![NO_SLOT; n];
+        let mut flag_len = vec![0u32; n];
+        let mut data = Vec::new();
+        let mut flags = Vec::new();
         let mut rr = 0u32;
         for (id, info) in vars.iter() {
+            let i = id.index();
             match info.kind {
                 VarKind::SharedScalar => {
-                    scalars.insert(id, Value::zero(info.ty));
-                    home_cache.insert(id, HomeInfo::Fixed(rr % procs));
+                    data_base[i] = u32::try_from(data.len()).expect("data image too large");
+                    data_len[i] = 1;
+                    data.push(Value::zero(info.ty));
+                    home[i] = HomeInfo::Fixed(rr % procs);
                     rr += 1;
                 }
                 VarKind::SharedArray { len } => {
-                    arrays.insert(id, vec![Value::zero(info.ty); len as usize]);
-                    home_cache.insert(
-                        id,
-                        HomeInfo::Blocked {
-                            block: len.div_ceil(procs as u64).max(1),
-                        },
-                    );
+                    data_base[i] = u32::try_from(data.len()).expect("data image too large");
+                    data_len[i] = u32::try_from(len).expect("array too large");
+                    data.extend(std::iter::repeat_n(Value::zero(info.ty), len as usize));
+                    home[i] = HomeInfo::Blocked {
+                        block: len.div_ceil(procs as u64).max(1),
+                    };
                 }
                 VarKind::Flag => {
-                    flags.insert(id, vec![false]);
-                    home_cache.insert(id, HomeInfo::Fixed(rr % procs));
+                    flag_base[i] = u32::try_from(flags.len()).expect("flag image too large");
+                    flag_len[i] = 1;
+                    flags.push(false);
+                    home[i] = HomeInfo::Fixed(rr % procs);
                     rr += 1;
                 }
                 VarKind::FlagArray { len } => {
-                    flags.insert(id, vec![false; len as usize]);
-                    home_cache.insert(
-                        id,
-                        HomeInfo::Blocked {
-                            block: len.div_ceil(procs as u64).max(1),
-                        },
-                    );
+                    flag_base[i] = u32::try_from(flags.len()).expect("flag image too large");
+                    flag_len[i] = u32::try_from(len).expect("flag array too large");
+                    flags.extend(std::iter::repeat_n(false, len as usize));
+                    home[i] = HomeInfo::Blocked {
+                        block: len.div_ceil(procs as u64).max(1),
+                    };
                 }
                 VarKind::Lock => {
-                    home_cache.insert(id, HomeInfo::Fixed(rr % procs));
+                    home[i] = HomeInfo::Fixed(rr % procs);
                     rr += 1;
                 }
                 VarKind::Local | VarKind::LocalArray { .. } => {}
@@ -84,10 +113,13 @@ impl SharedMemory {
         }
         SharedMemory {
             procs,
-            scalars,
-            arrays,
+            home,
+            data_base,
+            data_len,
+            data,
+            flag_base,
+            flag_len,
             flags,
-            home_cache,
         }
     }
 
@@ -97,10 +129,45 @@ impl SharedMemory {
     ///
     /// Panics if `var` is not a shared object.
     pub fn home(&self, loc: Location) -> u32 {
-        match self.home_cache[&loc.var] {
+        match self.home[loc.var.index()] {
+            HomeInfo::NotShared => panic!("{} is not a shared object", loc.var),
             HomeInfo::Fixed(p) => p,
             HomeInfo::Blocked { block } => ((loc.index / block) as u32).min(self.procs - 1),
         }
+    }
+
+    /// Resolves a data location to its flat slot index.
+    #[inline]
+    fn data_slot(&self, loc: Location) -> Option<usize> {
+        let i = loc.var.index();
+        let base = *self.data_base.get(i)?;
+        if base == NO_SLOT || loc.index >= u64::from(self.data_len[i]) {
+            return None;
+        }
+        Some(base as usize + loc.index as usize)
+    }
+
+    /// Resolves a flag location to its flat slot index.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown flags or out-of-bounds indices.
+    pub fn flag_slot(&self, loc: Location) -> Result<usize, SimError> {
+        let i = loc.var.index();
+        match self.flag_base.get(i) {
+            Some(&base) if base != NO_SLOT && loc.index < u64::from(self.flag_len[i]) => {
+                Ok(base as usize + loc.index as usize)
+            }
+            _ => Err(SimError::new(format!(
+                "unknown flag {}[{}]",
+                loc.var, loc.index
+            ))),
+        }
+    }
+
+    /// Total flag slots across all flag variables (for dense waiter lists).
+    pub fn num_flag_slots(&self) -> usize {
+        self.flags.len()
     }
 
     /// Reads a shared data location.
@@ -109,19 +176,12 @@ impl SharedMemory {
     ///
     /// Fails on unknown variables or out-of-bounds indices.
     pub fn load(&self, loc: Location) -> Result<Value, SimError> {
-        if let Some(v) = self.scalars.get(&loc.var) {
-            return Ok(*v);
-        }
-        self.arrays
-            .get(&loc.var)
-            .and_then(|a| a.get(loc.index as usize))
-            .copied()
-            .ok_or_else(|| {
-                SimError::new(format!(
-                    "shared load out of bounds: {}[{}]",
-                    loc.var, loc.index
-                ))
-            })
+        self.data_slot(loc).map(|s| self.data[s]).ok_or_else(|| {
+            SimError::new(format!(
+                "shared load out of bounds: {}[{}]",
+                loc.var, loc.index
+            ))
+        })
     }
 
     /// Writes a shared data location.
@@ -130,22 +190,16 @@ impl SharedMemory {
     ///
     /// Fails on unknown variables or out-of-bounds indices.
     pub fn store(&mut self, loc: Location, value: Value) -> Result<(), SimError> {
-        if let Some(v) = self.scalars.get_mut(&loc.var) {
-            *v = value;
-            return Ok(());
+        match self.data_slot(loc) {
+            Some(s) => {
+                self.data[s] = value;
+                Ok(())
+            }
+            None => Err(SimError::new(format!(
+                "shared store out of bounds: {}[{}]",
+                loc.var, loc.index
+            ))),
         }
-        let slot = self
-            .arrays
-            .get_mut(&loc.var)
-            .and_then(|a| a.get_mut(loc.index as usize))
-            .ok_or_else(|| {
-                SimError::new(format!(
-                    "shared store out of bounds: {}[{}]",
-                    loc.var, loc.index
-                ))
-            })?;
-        *slot = value;
-        Ok(())
     }
 
     /// Reads a flag.
@@ -154,11 +208,7 @@ impl SharedMemory {
     ///
     /// Fails on unknown flags or out-of-bounds indices.
     pub fn flag(&self, loc: Location) -> Result<bool, SimError> {
-        self.flags
-            .get(&loc.var)
-            .and_then(|f| f.get(loc.index as usize))
-            .copied()
-            .ok_or_else(|| SimError::new(format!("unknown flag {}[{}]", loc.var, loc.index)))
+        Ok(self.flags[self.flag_slot(loc)?])
     }
 
     /// Sets a flag (posts the event).
@@ -167,25 +217,25 @@ impl SharedMemory {
     ///
     /// Fails on unknown flags or out-of-bounds indices.
     pub fn set_flag(&mut self, loc: Location) -> Result<(), SimError> {
-        let slot = self
-            .flags
-            .get_mut(&loc.var)
-            .and_then(|f| f.get_mut(loc.index as usize))
-            .ok_or_else(|| SimError::new(format!("unknown flag {}[{}]", loc.var, loc.index)))?;
-        *slot = true;
+        let s = self.flag_slot(loc)?;
+        self.flags[s] = true;
         Ok(())
     }
 
     /// Snapshot of all shared data (for end-state equivalence checks).
+    /// Already in `VarId` order — a linear walk, no sorting.
     pub fn snapshot(&self) -> Vec<(VarId, Vec<Value>)> {
-        let mut out: Vec<(VarId, Vec<Value>)> = Vec::new();
-        for (&v, &val) in &self.scalars {
-            out.push((v, vec![val]));
+        let mut out = Vec::new();
+        for (i, &base) in self.data_base.iter().enumerate() {
+            if base == NO_SLOT {
+                continue;
+            }
+            let len = self.data_len[i] as usize;
+            out.push((
+                VarId::from_index(i),
+                self.data[base as usize..base as usize + len].to_vec(),
+            ));
         }
-        for (&v, arr) in &self.arrays {
-            out.push((v, arr.clone()));
-        }
-        out.sort_by_key(|(v, _)| *v);
         out
     }
 }
@@ -271,6 +321,20 @@ mod tests {
     }
 
     #[test]
+    fn flag_slots_are_dense_and_stable() {
+        let (t, _, _, f, l) = vars();
+        let m = SharedMemory::new(4, &t);
+        assert_eq!(m.num_flag_slots(), 4);
+        for i in 0..4 {
+            assert_eq!(
+                m.flag_slot(Location { var: f, index: i }).unwrap(),
+                i as usize
+            );
+        }
+        assert!(m.flag_slot(Location { var: l, index: 0 }).is_err());
+    }
+
+    #[test]
     fn snapshot_is_deterministic() {
         let (t, x, _, _, _) = vars();
         let mut m = SharedMemory::new(2, &t);
@@ -280,5 +344,8 @@ mod tests {
         let s2 = m.snapshot();
         assert_eq!(s1, s2);
         assert_eq!(s1.len(), 2, "scalar + array");
+        // VarId-sorted, scalar expands to a one-element image.
+        assert_eq!(s1[0], (x, vec![Value::Int(3)]));
+        assert!(s1[0].0 < s1[1].0);
     }
 }

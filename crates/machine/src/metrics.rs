@@ -144,6 +144,46 @@ impl BarrierEpoch {
     }
 }
 
+/// All-integer work counters for the simulator engine itself: how much
+/// machinery the event queue and state tables moved to produce the
+/// result. These are the `sim_throughput` benchmark's regression-gate
+/// signal — exact, deterministic, and independent of host load.
+///
+/// The dense-state invariant the counters witness: `hash_lookups` is the
+/// number of hash-map probes performed inside the cycle loop, and with
+/// the flat `Vec`-indexed state tables it is **always zero**.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimWork {
+    /// Events pushed into the queue (arena allocations + free-list reuses).
+    pub events_scheduled: u64,
+    /// Events popped and dispatched.
+    pub events_dequeued: u64,
+    /// Calendar-wheel bucket slots inspected while seeking the next
+    /// nonempty bucket (the wheel's analogue of heap sift work).
+    pub bucket_rotations: u64,
+    /// Events that missed the wheel window and went through the
+    /// binary-heap overflow rung (scheduled far in the future).
+    pub overflow_promotions: u64,
+    /// Event-arena slots recycled from the free list (allocation-free
+    /// steady state shows up as `arena_reuses` approaching
+    /// `events_scheduled`).
+    pub arena_reuses: u64,
+    /// Waiter-list entries scanned when a `post` wakes blocked `wait`ers.
+    pub waiter_scans: u64,
+    /// Hash-table probes in the cycle loop. Zero by construction for the
+    /// calendar engine; the reference heap engine reports its historical
+    /// per-event map traffic here.
+    pub hash_lookups: u64,
+}
+
+impl SimWork {
+    /// Events dequeued per 1000 simulated cycles — the throughput-shape
+    /// proxy the bench report derives (integer, deterministic).
+    pub fn events_per_1k_cycles(&self, exec_cycles: u64) -> u64 {
+        self.events_dequeued * 1000 / exec_cycles.max(1)
+    }
+}
+
 /// Everything the simulator measured beyond the headline result.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SimMetrics {
@@ -153,6 +193,8 @@ pub struct SimMetrics {
     pub latency: LatencyHistogram,
     /// Barrier episodes in completion order.
     pub barrier_epochs: Vec<BarrierEpoch>,
+    /// Engine work counters (event queue, state tables).
+    pub work: SimWork,
 }
 
 #[cfg(test)]

@@ -2,7 +2,7 @@
 //!
 //! Every processor runs the SPMD program (the same CFG); all shared-memory
 //! and synchronization effects are serialized through a timestamped event
-//! heap, so results are deterministic and independent of host scheduling.
+//! queue, so results are deterministic and independent of host scheduling.
 //!
 //! Cost model (see [`crate::config::MachineConfig`]):
 //!
@@ -19,14 +19,27 @@
 //! The simulator also performs the paper's §5.2 **runtime barrier check**:
 //! it records each processor's sequence of barrier sites and reports
 //! whether they lined up.
+//!
+//! # Engine
+//!
+//! The hot path is allocation- and hash-free: processor counters, lock
+//! tables, flag-waiter lists, and shared memory are flat `Vec`s indexed by
+//! the dense integer ids the IR guarantees, sized once from the program
+//! header. Pending events live in a **calendar queue** — a bucketed time
+//! wheel with a binary-heap overflow rung and a free-list event arena
+//! ([`EngineKind::Calendar`]). The original `BinaryHeap`-of-tuples engine
+//! is retained as [`EngineKind::ReferenceHeap`] so differential tests can
+//! prove the two are observationally identical; both dispatch events in
+//! strictly increasing `(time, seq)` order, where `seq` is the global
+//! push order, so the tie-break is exactly the historical one.
 
 use crate::config::MachineConfig;
 use crate::memory::{Location, SharedMemory};
-use crate::metrics::{BarrierEpoch, ProcCycles, SimMetrics};
+use crate::metrics::{BarrierEpoch, ProcCycles, SimMetrics, SimWork};
 use crate::trace::{Trace, TraceKind};
 use crate::value::{eval, ProcEnv, SimError, Value};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 use syncopt_ir::cfg::{Cfg, CtrId, Instr, Terminator};
 use syncopt_ir::expr::SharedRef;
 use syncopt_ir::ids::{AccessId, BlockId, VarId};
@@ -94,7 +107,8 @@ pub struct SimResult {
     pub net: NetStats,
     /// Stall cycle accounting.
     pub stalls: StallStats,
-    /// Final shared-memory image (sorted by variable).
+    /// Final shared-memory image (in variable-id order). Empty when the
+    /// run was configured with [`SimOutputs::memory`] off.
     pub memory: Vec<(VarId, Vec<Value>)>,
     /// Whether all processors executed the same barrier-site sequence
     /// (`true` when the check is disabled or there are no barriers).
@@ -103,8 +117,67 @@ pub struct SimResult {
     /// and the barrier epoch timeline.
     pub metrics: SimMetrics,
     /// Each processor's sequence of barrier sites, for diagnosing a
-    /// misaligned-barrier fallback (the §5.2 runtime check).
+    /// misaligned-barrier fallback (the §5.2 runtime check). Empty when
+    /// the run was configured with [`SimOutputs::barrier_seqs`] off.
     pub barrier_seqs: Vec<Vec<AccessId>>,
+}
+
+/// Which event-queue implementation drives the simulation.
+///
+/// Both dispatch in identical `(time, seq)` order, so every observable
+/// output except the [`SimWork`] engine counters is bit-identical; the
+/// differential suite in the `syncopt` crate relies on that.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Bucketed time-wheel/calendar queue with a binary-heap overflow rung
+    /// and a free-list event arena (the production engine).
+    #[default]
+    Calendar,
+    /// The historical `BinaryHeap<(time, seq, idx)>` plus grow-only side
+    /// event storage, kept as the differential-testing reference. Its
+    /// [`SimWork::hash_lookups`] reports the hash-map traffic the
+    /// pre-dense simulator paid per run.
+    ReferenceHeap,
+}
+
+/// Which result components to extract when the run completes.
+///
+/// Building `SimResult.memory` (a full snapshot of shared memory) and
+/// `barrier_seqs` (per-processor clones) is pure overhead for harnesses
+/// that only read cycle counts — throughput benches, sweep drivers,
+/// exhaustive explorers. Both default to **on**, preserving `simulate`'s
+/// historical behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimOutputs {
+    /// Extract the final shared-memory image.
+    pub memory: bool,
+    /// Extract per-processor barrier-site sequences. (The alignment
+    /// *check* always runs; only the copies are skipped.)
+    pub barrier_seqs: bool,
+}
+
+impl SimOutputs {
+    /// Everything extracted (the `simulate` default).
+    pub fn full() -> Self {
+        SimOutputs {
+            memory: true,
+            barrier_seqs: true,
+        }
+    }
+
+    /// Timing-only: skip final-state extraction entirely.
+    pub fn lean() -> Self {
+        SimOutputs {
+            memory: false,
+            barrier_seqs: false,
+        }
+    }
+}
+
+impl Default for SimOutputs {
+    fn default() -> Self {
+        Self::full()
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -178,6 +251,260 @@ enum Event {
     Deliver { to: u32, del: Delivery },
 }
 
+// ---- the event queue ----------------------------------------------------
+
+/// Wheel width: one bucket per cycle over a `[cursor, cursor + WHEEL_SIZE)`
+/// window. Covers every Table 1 one-hop cost; only far-future schedules
+/// (long `work`, barrier releases) take the overflow rung.
+const WHEEL_SIZE: u64 = 1024;
+const WHEEL_MASK: u64 = WHEEL_SIZE - 1;
+/// Null link in the event arena.
+const NIL: u32 = u32::MAX;
+
+struct ArenaSlot {
+    time: u64,
+    seq: u64,
+    /// Next slot in the bucket chain, or next free slot when recycled.
+    next: u32,
+    event: Event,
+}
+
+/// Bucketed calendar queue.
+///
+/// Invariants that make dispatch order exactly `(time, seq)`:
+///
+/// * every live wheel event has `time ∈ [cursor, cursor + WHEEL_SIZE)`, so
+///   a bucket holds at most one *distinct* timestamp at a time;
+/// * bucket chains are appended at the tail and `seq` is assigned
+///   monotonically at push, so each chain is seq-ascending;
+/// * events at or past `cursor + WHEEL_SIZE` go to the binary-heap
+///   overflow rung, which is itself `(time, seq)`-ordered; a batch at
+///   time `t` merges the bucket chain with the overflow stream by `seq`.
+///
+/// Overflow events are never promoted into future buckets — promotion
+/// would append a low-seq event behind higher-seq residents and break the
+/// tie-break. The merge at drain time sidesteps that entirely.
+struct CalendarQueue {
+    /// `(head, tail)` arena links per bucket; `NIL` when empty.
+    buckets: Vec<(u32, u32)>,
+    /// Start of the wheel window == the current batch time.
+    cursor: u64,
+    /// Live events resident in wheel buckets.
+    wheel_live: u64,
+    /// Far-future rung, `(time, seq, slot)`.
+    overflow: BinaryHeap<Reverse<(u64, u64, u32)>>,
+    arena: Vec<ArenaSlot>,
+    free_head: u32,
+    next_seq: u64,
+}
+
+impl CalendarQueue {
+    fn new() -> Self {
+        CalendarQueue {
+            buckets: vec![(NIL, NIL); WHEEL_SIZE as usize],
+            cursor: 0,
+            wheel_live: 0,
+            overflow: BinaryHeap::new(),
+            arena: Vec::new(),
+            free_head: NIL,
+            next_seq: 0,
+        }
+    }
+
+    fn alloc(&mut self, time: u64, seq: u64, event: Event, work: &mut SimWork) -> u32 {
+        if self.free_head != NIL {
+            let s = self.free_head;
+            self.free_head = self.arena[s as usize].next;
+            self.arena[s as usize] = ArenaSlot {
+                time,
+                seq,
+                next: NIL,
+                event,
+            };
+            work.arena_reuses += 1;
+            s
+        } else {
+            self.arena.push(ArenaSlot {
+                time,
+                seq,
+                next: NIL,
+                event,
+            });
+            u32::try_from(self.arena.len() - 1).expect("event arena too large")
+        }
+    }
+
+    fn free(&mut self, slot: u32) -> Event {
+        let event = std::mem::replace(&mut self.arena[slot as usize].event, Event::Run(0));
+        self.arena[slot as usize].next = self.free_head;
+        self.free_head = slot;
+        event
+    }
+
+    fn push(&mut self, time: u64, event: Event, work: &mut SimWork) {
+        debug_assert!(time >= self.cursor, "event scheduled in the past");
+        work.events_scheduled += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if time >= self.cursor + WHEEL_SIZE {
+            work.overflow_promotions += 1;
+            let slot = self.alloc(time, seq, event, work);
+            self.overflow.push(Reverse((time, seq, slot)));
+        } else {
+            let slot = self.alloc(time, seq, event, work);
+            let b = (time & WHEEL_MASK) as usize;
+            let (head, tail) = self.buckets[b];
+            if head == NIL {
+                self.buckets[b] = (slot, slot);
+            } else {
+                debug_assert_eq!(self.arena[tail as usize].time, time);
+                self.arena[tail as usize].next = slot;
+                self.buckets[b].1 = slot;
+            }
+            self.wheel_live += 1;
+        }
+    }
+
+    /// Earliest pending timestamp; advances `cursor` (and with it the
+    /// wheel window) to it. Scanned empty slots are the wheel's analogue
+    /// of heap sift work and are counted as `bucket_rotations`.
+    fn next_time(&mut self, work: &mut SimWork) -> Option<u64> {
+        let t_over = self.overflow.peek().map(|Reverse((t, _, _))| *t);
+        if self.wheel_live == 0 {
+            let t = t_over?;
+            self.cursor = t;
+            return Some(t);
+        }
+        let mut t = self.cursor;
+        loop {
+            work.bucket_rotations += 1;
+            if self.buckets[(t & WHEEL_MASK) as usize].0 != NIL {
+                break;
+            }
+            t += 1;
+            debug_assert!(t < self.cursor + WHEEL_SIZE, "live wheel event not found");
+        }
+        let t = match t_over {
+            Some(o) if o < t => o,
+            _ => t,
+        };
+        self.cursor = t;
+        Some(t)
+    }
+
+    /// Pops the next event of the batch at time `t` in seq order, merging
+    /// the bucket chain with same-time overflow arrivals. Same-cycle
+    /// pushes made while the batch drains land back in the bucket (their
+    /// seq is larger than anything live) and are picked up before the
+    /// batch ends.
+    fn pop_at(&mut self, t: u64, work: &mut SimWork) -> Option<Event> {
+        debug_assert_eq!(t, self.cursor);
+        let b = (t & WHEEL_MASK) as usize;
+        let head = self.buckets[b].0;
+        let bucket_seq = (head != NIL).then(|| {
+            debug_assert_eq!(self.arena[head as usize].time, t);
+            self.arena[head as usize].seq
+        });
+        let over_seq = match self.overflow.peek() {
+            Some(Reverse((ot, oseq, _))) if *ot == t => Some(*oseq),
+            _ => None,
+        };
+        let from_bucket = match (bucket_seq, over_seq) {
+            (None, None) => return None,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (Some(bs), Some(os)) => bs < os,
+        };
+        work.events_dequeued += 1;
+        if from_bucket {
+            let next = self.arena[head as usize].next;
+            self.buckets[b].0 = next;
+            if next == NIL {
+                self.buckets[b].1 = NIL;
+            }
+            self.wheel_live -= 1;
+            Some(self.free(head))
+        } else {
+            let Reverse((_, _, slot)) = self.overflow.pop().expect("peeked");
+            Some(self.free(slot))
+        }
+    }
+}
+
+/// The historical engine: a binary heap of `(time, seq, idx)` tuples with
+/// grow-only side event storage, exactly as shipped before the calendar
+/// queue. Kept for differential testing.
+struct HeapQueue {
+    heap: BinaryHeap<Reverse<(u64, u64, usize)>>,
+    events: Vec<Event>,
+}
+
+impl HeapQueue {
+    fn new() -> Self {
+        HeapQueue {
+            heap: BinaryHeap::new(),
+            events: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, time: u64, event: Event, work: &mut SimWork) {
+        work.events_scheduled += 1;
+        let seq = self.events.len() as u64;
+        self.events.push(event);
+        self.heap.push(Reverse((time, seq, self.events.len() - 1)));
+    }
+
+    fn next_time(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse((t, _, _))| *t)
+    }
+
+    fn pop_at(&mut self, t: u64, work: &mut SimWork) -> Option<Event> {
+        match self.heap.peek() {
+            Some(Reverse((pt, _, _))) if *pt == t => {
+                let Reverse((_, _, idx)) = self.heap.pop().expect("peeked");
+                work.events_dequeued += 1;
+                Some(self.events[idx].clone())
+            }
+            _ => None,
+        }
+    }
+}
+
+enum EventQueue {
+    Calendar(CalendarQueue),
+    Heap(HeapQueue),
+}
+
+impl EventQueue {
+    fn new(kind: EngineKind) -> Self {
+        match kind {
+            EngineKind::Calendar => EventQueue::Calendar(CalendarQueue::new()),
+            EngineKind::ReferenceHeap => EventQueue::Heap(HeapQueue::new()),
+        }
+    }
+
+    fn push(&mut self, time: u64, event: Event, work: &mut SimWork) {
+        match self {
+            EventQueue::Calendar(q) => q.push(time, event, work),
+            EventQueue::Heap(q) => q.push(time, event, work),
+        }
+    }
+
+    fn next_time(&mut self, work: &mut SimWork) -> Option<u64> {
+        match self {
+            EventQueue::Calendar(q) => q.next_time(work),
+            EventQueue::Heap(q) => q.next_time(),
+        }
+    }
+
+    fn pop_at(&mut self, t: u64, work: &mut SimWork) -> Option<Event> {
+        match self {
+            EventQueue::Calendar(q) => q.pop_at(t, work),
+            EventQueue::Heap(q) => q.pop_at(t, work),
+        }
+    }
+}
+
 #[derive(Debug, Clone, PartialEq)]
 enum Status {
     Ready,
@@ -197,7 +524,8 @@ struct ProcState {
     steal: u64,
     steps: u64,
     status: Status,
-    ctrs: HashMap<CtrId, u64>,
+    /// Outstanding split-phase operations per counter, dense by `CtrId`.
+    ctrs: Vec<u64>,
     barrier_seq: Vec<AccessId>,
     finished_at: Option<u64>,
 }
@@ -215,7 +543,26 @@ struct LockState {
 /// division by zero), deadlock, or when a processor exceeds
 /// `config.max_steps`.
 pub fn simulate(cfg: &Cfg, config: &MachineConfig) -> Result<SimResult, SimError> {
-    Simulator::new(cfg, config).run().map(|(r, _)| r)
+    Simulator::new(cfg, config, EngineKind::Calendar, SimOutputs::full())
+        .run()
+        .map(|(r, _)| r)
+}
+
+/// [`simulate`] with an explicit event engine and output selection; the
+/// entry point for differential tests and timing-only harnesses.
+///
+/// # Errors
+///
+/// Same failure modes as [`simulate`].
+pub fn simulate_configured(
+    cfg: &Cfg,
+    config: &MachineConfig,
+    engine: EngineKind,
+    outputs: SimOutputs,
+) -> Result<SimResult, SimError> {
+    Simulator::new(cfg, config, engine, outputs)
+        .run()
+        .map(|(r, _)| r)
 }
 
 /// [`simulate`], additionally returning an execution trace (bounded to
@@ -229,7 +576,7 @@ pub fn simulate_traced(
     config: &MachineConfig,
     trace_cap: usize,
 ) -> Result<(SimResult, Trace), SimError> {
-    let mut sim = Simulator::new(cfg, config);
+    let mut sim = Simulator::new(cfg, config, EngineKind::Calendar, SimOutputs::full());
     sim.trace = Some(Trace::with_capacity(trace_cap));
     sim.run().map(|(r, t)| (r, t.unwrap_or_default()))
 }
@@ -237,12 +584,15 @@ pub fn simulate_traced(
 struct Simulator<'a> {
     cfg: &'a Cfg,
     config: &'a MachineConfig,
+    engine: EngineKind,
+    outputs: SimOutputs,
     procs: Vec<ProcState>,
     memory: SharedMemory,
-    heap: BinaryHeap<Reverse<(u64, u64, usize)>>,
-    events: Vec<Event>,
-    locks: HashMap<VarId, LockState>,
-    waiters: HashMap<Location, Vec<u32>>,
+    queue: EventQueue,
+    /// Lock state, dense by `VarId` (non-lock slots stay untouched).
+    locks: Vec<LockState>,
+    /// Blocked waiters per flag slot, dense by `SharedMemory::flag_slot`.
+    waiters: Vec<Vec<u32>>,
     handler_free: Vec<u64>,
     next_inject: Vec<u64>,
     // Barrier rendezvous state.
@@ -250,6 +600,11 @@ struct Simulator<'a> {
     // Arrival times of stores still in flight.
     stores_in_flight: u64,
     barrier_release_pending: bool,
+    /// Accesses that the pre-dense simulator served from hash maps
+    /// (memory images, home cache, counters, locks, waiters). Reported as
+    /// `SimWork::hash_lookups` by the reference engine; the dense tables
+    /// make the calendar engine's count zero by construction.
+    legacy_probes: u64,
     net: NetStats,
     stalls: StallStats,
     metrics: SimMetrics,
@@ -257,9 +612,15 @@ struct Simulator<'a> {
 }
 
 impl<'a> Simulator<'a> {
-    fn new(cfg: &'a Cfg, config: &'a MachineConfig) -> Self {
+    fn new(
+        cfg: &'a Cfg,
+        config: &'a MachineConfig,
+        engine: EngineKind,
+        outputs: SimOutputs,
+    ) -> Self {
         let p = config.procs;
         assert!(p >= 1, "need at least one processor");
+        let num_ctrs = cfg.num_ctrs as usize;
         let procs = (0..p)
             .map(|i| ProcState {
                 env: ProcEnv::new(i, p, &cfg.vars),
@@ -269,25 +630,35 @@ impl<'a> Simulator<'a> {
                 steal: 0,
                 steps: 0,
                 status: Status::Ready,
-                ctrs: HashMap::new(),
+                ctrs: vec![0; num_ctrs],
                 barrier_seq: Vec::new(),
                 finished_at: None,
             })
             .collect();
+        let memory = SharedMemory::new(p, &cfg.vars);
+        let locks = (0..cfg.vars.len())
+            .map(|_| LockState {
+                held: false,
+                queue: VecDeque::new(),
+            })
+            .collect();
+        let waiters = vec![Vec::new(); memory.num_flag_slots()];
         Simulator {
             cfg,
             config,
+            engine,
+            outputs,
             procs,
-            memory: SharedMemory::new(p, &cfg.vars),
-            heap: BinaryHeap::new(),
-            events: Vec::new(),
-            locks: HashMap::new(),
-            waiters: HashMap::new(),
+            memory,
+            queue: EventQueue::new(engine),
+            locks,
+            waiters,
             handler_free: vec![0; p as usize],
             next_inject: vec![0; p as usize],
             barrier_arrivals: vec![None; p as usize],
             stores_in_flight: 0,
             barrier_release_pending: false,
+            legacy_probes: 0,
             net: NetStats::default(),
             stalls: StallStats::default(),
             metrics: SimMetrics {
@@ -305,30 +676,39 @@ impl<'a> Simulator<'a> {
     }
 
     fn push(&mut self, time: u64, event: Event) {
-        let seq = self.events.len() as u64;
-        self.events.push(event);
-        self.heap.push(Reverse((time, seq, self.events.len() - 1)));
+        self.queue.push(time, event, &mut self.metrics.work);
+    }
+
+    /// Home lookup; the pre-dense memory resolved this through a
+    /// per-variable hash cache.
+    fn home_of(&mut self, loc: Location) -> u32 {
+        self.legacy_probes += 1;
+        self.memory.home(loc)
     }
 
     fn run(mut self) -> Result<(SimResult, Option<Trace>), SimError> {
         for p in 0..self.config.procs {
             self.push(0, Event::Run(p));
         }
-        while let Some(Reverse((time, _, idx))) = self.heap.pop() {
-            let event = self.events[idx].clone();
-            match event {
-                Event::Run(p) => {
-                    let pi = p as usize;
-                    if self.procs[pi].status == Status::Finished {
-                        continue;
+        // Batched drain: take the earliest pending timestamp, then pop
+        // every event at that time (including same-cycle pushes made while
+        // draining) in seq order before advancing.
+        while let Some(time) = self.queue.next_time(&mut self.metrics.work) {
+            while let Some(event) = self.queue.pop_at(time, &mut self.metrics.work) {
+                match event {
+                    Event::Run(p) => {
+                        let pi = p as usize;
+                        if self.procs[pi].status == Status::Finished {
+                            continue;
+                        }
+                        let slack = time.saturating_sub(self.procs[pi].time);
+                        self.procs[pi].time += slack;
+                        self.metrics.per_proc[pi].busy += slack;
+                        self.run_proc(p)?;
                     }
-                    let slack = time.saturating_sub(self.procs[pi].time);
-                    self.procs[pi].time += slack;
-                    self.metrics.per_proc[pi].busy += slack;
-                    self.run_proc(p)?;
+                    Event::Arrive { home, msg } => self.handle_arrive(time, home, msg)?,
+                    Event::Deliver { to, del } => self.handle_deliver(time, to, del)?,
                 }
-                Event::Arrive { home, msg } => self.handle_arrive(time, home, msg)?,
-                Event::Deliver { to, del } => self.handle_deliver(time, to, del)?,
             }
         }
         // Everything drained: all processors must have finished.
@@ -357,14 +737,27 @@ impl<'a> Simulator<'a> {
         for (pi, finish) in proc_cycles.iter().enumerate() {
             self.metrics.per_proc[pi].idle = exec_cycles - finish;
         }
-        let barrier_seqs = self.procs.iter().map(|p| p.barrier_seq.clone()).collect();
+        self.metrics.work.hash_lookups = match self.engine {
+            EngineKind::Calendar => 0,
+            EngineKind::ReferenceHeap => self.legacy_probes,
+        };
+        let memory = if self.outputs.memory {
+            self.memory.snapshot()
+        } else {
+            Vec::new()
+        };
+        let barrier_seqs = if self.outputs.barrier_seqs {
+            self.procs.iter().map(|p| p.barrier_seq.clone()).collect()
+        } else {
+            Vec::new()
+        };
         Ok((
             SimResult {
                 exec_cycles,
                 proc_cycles,
                 net: self.net,
                 stalls: self.stalls,
-                memory: self.memory.snapshot(),
+                memory,
                 barriers_aligned,
                 metrics: self.metrics,
                 barrier_seqs,
@@ -476,7 +869,7 @@ impl<'a> Simulator<'a> {
             }
             Instr::GetShared { dst, src, .. } => {
                 let loc = self.resolve(p, src)?;
-                let home = self.memory.home(loc);
+                let home = self.home_of(loc);
                 let t = if home == p {
                     self.local_touch(pi)
                 } else {
@@ -503,7 +896,7 @@ impl<'a> Simulator<'a> {
             Instr::PutShared { dst, src, .. } => {
                 let loc = self.resolve(p, dst)?;
                 let val = eval(src, &self.procs[pi].env)?;
-                let home = self.memory.home(loc);
+                let home = self.home_of(loc);
                 let t = if home == p {
                     self.local_touch(pi)
                 } else {
@@ -529,8 +922,9 @@ impl<'a> Simulator<'a> {
             }
             Instr::GetInit { dst, src, ctr, .. } => {
                 let loc = self.resolve(p, src)?;
-                let home = self.memory.home(loc);
-                *self.procs[pi].ctrs.entry(*ctr).or_insert(0) += 1;
+                let home = self.home_of(loc);
+                self.legacy_probes += 1;
+                self.procs[pi].ctrs[ctr.0 as usize] += 1;
                 let t = if home == p {
                     self.local_touch(pi)
                 } else {
@@ -556,8 +950,9 @@ impl<'a> Simulator<'a> {
             Instr::PutInit { dst, src, ctr, .. } => {
                 let loc = self.resolve(p, dst)?;
                 let val = eval(src, &self.procs[pi].env)?;
-                let home = self.memory.home(loc);
-                *self.procs[pi].ctrs.entry(*ctr).or_insert(0) += 1;
+                let home = self.home_of(loc);
+                self.legacy_probes += 1;
+                self.procs[pi].ctrs[ctr.0 as usize] += 1;
                 let t = if home == p {
                     self.local_touch(pi)
                 } else {
@@ -583,7 +978,7 @@ impl<'a> Simulator<'a> {
             Instr::StoreInit { dst, src, .. } => {
                 let loc = self.resolve(p, dst)?;
                 let val = eval(src, &self.procs[pi].env)?;
-                let home = self.memory.home(loc);
+                let home = self.home_of(loc);
                 let t = if home == p {
                     self.local_touch(pi)
                 } else {
@@ -609,7 +1004,8 @@ impl<'a> Simulator<'a> {
             Instr::SyncCtr { ctr } => {
                 self.procs[pi].time += self.config.local_op_cycles;
                 self.metrics.per_proc[pi].busy += self.config.local_op_cycles;
-                if self.procs[pi].ctrs.get(ctr).copied().unwrap_or(0) == 0 {
+                self.legacy_probes += 1;
+                if self.procs[pi].ctrs[ctr.0 as usize] == 0 {
                     Ok(true)
                 } else {
                     self.procs[pi].status = Status::BlockedSync(*ctr, self.procs[pi].time);
@@ -618,7 +1014,7 @@ impl<'a> Simulator<'a> {
             }
             Instr::Post { flag, index, .. } => {
                 let loc = self.resolve_flag(p, *flag, index.as_ref())?;
-                let home = self.memory.home(loc);
+                let home = self.home_of(loc);
                 let t = if home == p {
                     self.local_touch(pi)
                 } else {
@@ -636,7 +1032,7 @@ impl<'a> Simulator<'a> {
             }
             Instr::Wait { flag, index, .. } => {
                 let loc = self.resolve_flag(p, *flag, index.as_ref())?;
-                let home = self.memory.home(loc);
+                let home = self.home_of(loc);
                 let t = if home == p {
                     self.local_touch(pi)
                 } else {
@@ -658,7 +1054,7 @@ impl<'a> Simulator<'a> {
                     var: *lock,
                     index: 0,
                 };
-                let home = self.memory.home(loc);
+                let home = self.home_of(loc);
                 let t = if home == p {
                     self.local_touch(pi)
                 } else {
@@ -683,7 +1079,7 @@ impl<'a> Simulator<'a> {
                     var: *lock,
                     index: 0,
                 };
-                let home = self.memory.home(loc);
+                let home = self.home_of(loc);
                 let t = if home == p {
                     self.local_touch(pi)
                 } else {
@@ -785,6 +1181,7 @@ impl<'a> Simulator<'a> {
                 issued,
             } => {
                 self.trace(done, home, TraceKind::Service { what: "get" });
+                self.legacy_probes += 1;
                 let val = self.memory.load(loc)?;
                 let (deliver, recv) = if local {
                     (done, 0)
@@ -821,6 +1218,7 @@ impl<'a> Simulator<'a> {
                 issued,
             } => {
                 self.trace(done, home, TraceKind::Service { what: "put" });
+                self.legacy_probes += 1;
                 self.memory.store(loc, val)?;
                 let (deliver, recv) = if local {
                     (done, 0)
@@ -846,6 +1244,7 @@ impl<'a> Simulator<'a> {
                 loc, val, issued, ..
             } => {
                 self.trace(done, home, TraceKind::Service { what: "store" });
+                self.legacy_probes += 1;
                 self.memory.store(loc, val)?;
                 // A store has no reply: its latency ends when the home
                 // applies it.
@@ -860,31 +1259,34 @@ impl<'a> Simulator<'a> {
             }
             Msg::Post { loc, .. } => {
                 self.trace(done, home, TraceKind::Service { what: "post" });
+                self.legacy_probes += 2;
                 self.memory.set_flag(loc)?;
-                if let Some(waiters) = self.waiters.remove(&loc) {
-                    for w in waiters {
-                        let (deliver, recv) = if w == home {
-                            (done, 0)
-                        } else {
-                            self.net.wait_messages += 1;
-                            (
-                                done + self.config.network_latency,
-                                self.config.recv_overhead,
-                            )
-                        };
-                        self.procs[w as usize].steal += recv;
-                        self.push(
-                            deliver,
-                            Event::Deliver {
-                                to: w,
-                                del: Delivery::FlagSet,
-                            },
-                        );
-                    }
+                let slot = self.memory.flag_slot(loc)?;
+                let waiters = std::mem::take(&mut self.waiters[slot]);
+                self.metrics.work.waiter_scans += waiters.len() as u64;
+                for w in waiters {
+                    let (deliver, recv) = if w == home {
+                        (done, 0)
+                    } else {
+                        self.net.wait_messages += 1;
+                        (
+                            done + self.config.network_latency,
+                            self.config.recv_overhead,
+                        )
+                    };
+                    self.procs[w as usize].steal += recv;
+                    self.push(
+                        deliver,
+                        Event::Deliver {
+                            to: w,
+                            del: Delivery::FlagSet,
+                        },
+                    );
                 }
             }
             Msg::WaitCheck { from, loc } => {
                 self.trace(done, home, TraceKind::Service { what: "wait" });
+                self.legacy_probes += 1;
                 if self.memory.flag(loc)? {
                     let (deliver, recv) = if from == home {
                         (done, 0)
@@ -904,15 +1306,16 @@ impl<'a> Simulator<'a> {
                         },
                     );
                 } else {
-                    self.waiters.entry(loc).or_default().push(from);
+                    self.legacy_probes += 1;
+                    let slot = self.memory.flag_slot(loc)?;
+                    self.waiters[slot].push(from);
+                    self.metrics.work.waiter_scans += 1;
                 }
             }
             Msg::LockReq { from, lock } => {
                 self.trace(done, home, TraceKind::Service { what: "lock" });
-                let state = self.locks.entry(lock).or_insert(LockState {
-                    held: false,
-                    queue: VecDeque::new(),
-                });
+                self.legacy_probes += 1;
+                let state = &mut self.locks[lock.index()];
                 if state.held {
                     state.queue.push_back(from);
                 } else {
@@ -938,10 +1341,8 @@ impl<'a> Simulator<'a> {
             }
             Msg::Unlock { lock, .. } => {
                 self.trace(done, home, TraceKind::Service { what: "unlock" });
-                let state = self.locks.entry(lock).or_insert(LockState {
-                    held: false,
-                    queue: VecDeque::new(),
-                });
+                self.legacy_probes += 1;
+                let state = &mut self.locks[lock.index()];
                 if let Some(next) = state.queue.pop_front() {
                     // Hand over directly to the next waiter.
                     let (deliver, recv) = if next == home {
@@ -1033,7 +1434,8 @@ impl<'a> Simulator<'a> {
     /// A split-phase operation on counter `c` completed at `time`.
     fn ctr_completed(&mut self, p: u32, c: CtrId, time: u64) {
         let pi = p as usize;
-        let n = self.procs[pi].ctrs.get_mut(&c).expect("known counter");
+        self.legacy_probes += 1;
+        let n = &mut self.procs[pi].ctrs[c.0 as usize];
         *n -= 1;
         if *n == 0 {
             if let Status::BlockedSync(bc, since) = self.procs[pi].status {
@@ -1166,6 +1568,34 @@ mod tests {
             .map(|(_, vals)| vals[idx])
             .unwrap()
     }
+
+    /// Asserts two runs agree on every observable except the engine work
+    /// counters (which legitimately differ between queue implementations).
+    fn assert_observationally_equal(a: &SimResult, b: &SimResult) {
+        assert_eq!(a.exec_cycles, b.exec_cycles);
+        assert_eq!(a.proc_cycles, b.proc_cycles);
+        assert_eq!(a.net, b.net);
+        assert_eq!(a.stalls, b.stalls);
+        assert_eq!(a.memory, b.memory);
+        assert_eq!(a.barriers_aligned, b.barriers_aligned);
+        assert_eq!(a.barrier_seqs, b.barrier_seqs);
+        assert_eq!(a.metrics.per_proc, b.metrics.per_proc);
+        assert_eq!(a.metrics.latency, b.metrics.latency);
+        assert_eq!(a.metrics.barrier_epochs, b.metrics.barrier_epochs);
+    }
+
+    const MIXED_SRC: &str = r#"
+        shared int A[16]; shared int X; flag F; lock l;
+        fn main() {
+            work(MYPROC * 57);
+            A[MYPROC] = MYPROC;
+            barrier;
+            int v; v = A[(MYPROC + 1) % PROCS];
+            if (MYPROC == 0) { post F; } else { wait F; }
+            lock l; X = X + v; unlock l;
+            barrier;
+        }
+    "#;
 
     #[test]
     fn empty_program_finishes_immediately() {
@@ -1519,19 +1949,7 @@ mod tests {
     fn cycle_accounting_conserves_on_mixed_workload() {
         // Exercises every blocking cause at once: blocking remote reads,
         // barriers, flags, locks, and uneven work.
-        let src = r#"
-            shared int A[16]; shared int X; flag F; lock l;
-            fn main() {
-                work(MYPROC * 57);
-                A[MYPROC] = MYPROC;
-                barrier;
-                int v; v = A[(MYPROC + 1) % PROCS];
-                if (MYPROC == 0) { post F; } else { wait F; }
-                lock l; X = X + v; unlock l;
-                barrier;
-            }
-        "#;
-        let r = sim(src, 8);
+        let r = sim(MIXED_SRC, 8);
         // `sim` already asserts conservation; spot-check the categories
         // that this workload must populate.
         let total: u64 = r.metrics.per_proc.iter().map(|p| p.barrier).sum();
@@ -1638,5 +2056,140 @@ mod tests {
         config.max_steps = 10_000;
         let err = simulate(&cfg, &config).unwrap_err();
         assert!(err.message().contains("max_steps"));
+    }
+
+    // ---- engine differential and work-counter tests ---------------------
+
+    #[test]
+    fn calendar_and_reference_heap_agree_bit_for_bit() {
+        let cfg = lower_main(&prepare_program(MIXED_SRC).unwrap()).unwrap();
+        for procs in [2, 8] {
+            let config = MachineConfig::cm5(procs);
+            let cal = simulate_configured(&cfg, &config, EngineKind::Calendar, SimOutputs::full())
+                .unwrap();
+            let heap =
+                simulate_configured(&cfg, &config, EngineKind::ReferenceHeap, SimOutputs::full())
+                    .unwrap();
+            assert_observationally_equal(&cal, &heap);
+            // Identical dispatch order means identical event traffic.
+            assert_eq!(
+                cal.metrics.work.events_scheduled,
+                heap.metrics.work.events_scheduled
+            );
+            assert_eq!(
+                cal.metrics.work.events_dequeued,
+                heap.metrics.work.events_dequeued
+            );
+        }
+    }
+
+    #[test]
+    fn calendar_cycle_loop_does_no_hashing() {
+        let r = sim(MIXED_SRC, 8);
+        assert_eq!(r.metrics.work.hash_lookups, 0);
+        assert!(r.metrics.work.events_dequeued > 0);
+        // The reference engine reports the historical hash traffic the
+        // dense tables eliminated.
+        let cfg = lower_main(&prepare_program(MIXED_SRC).unwrap()).unwrap();
+        let heap = simulate_configured(
+            &cfg,
+            &MachineConfig::cm5(8),
+            EngineKind::ReferenceHeap,
+            SimOutputs::full(),
+        )
+        .unwrap();
+        assert!(heap.metrics.work.hash_lookups > 0);
+        assert!(heap.metrics.work.hash_lookups >= heap.metrics.work.events_dequeued / 2);
+    }
+
+    #[test]
+    fn overflow_rung_preserves_order() {
+        // Work deltas far beyond the wheel window force the overflow rung.
+        let src = r#"
+            shared int A[4]; flag F;
+            fn main() {
+                work(MYPROC * 100000);
+                A[MYPROC] = MYPROC;
+                barrier;
+                if (MYPROC == 0) { post F; } else { wait F; }
+                work(50000);
+                barrier;
+            }
+        "#;
+        let cfg = lower_main(&prepare_program(src).unwrap()).unwrap();
+        let config = MachineConfig::cm5(4);
+        let cal =
+            simulate_configured(&cfg, &config, EngineKind::Calendar, SimOutputs::full()).unwrap();
+        let heap =
+            simulate_configured(&cfg, &config, EngineKind::ReferenceHeap, SimOutputs::full())
+                .unwrap();
+        assert!(
+            cal.metrics.work.overflow_promotions > 0,
+            "100k-cycle jumps must route through the overflow rung"
+        );
+        assert_observationally_equal(&cal, &heap);
+    }
+
+    #[test]
+    fn arena_recycles_event_slots() {
+        // A loop of remote traffic drains and refills the queue: steady
+        // state must reuse freed slots instead of growing the arena.
+        let src = r#"
+            shared int X;
+            fn main() {
+                int i; int v;
+                if (MYPROC == 1) {
+                    for (i = 0; i < 50; i = i + 1) { v = X; }
+                }
+            }
+        "#;
+        let r = sim(src, 2);
+        let w = r.metrics.work;
+        assert!(
+            w.arena_reuses > w.events_scheduled / 2,
+            "steady state should recycle: {} reuses of {} scheduled",
+            w.arena_reuses,
+            w.events_scheduled
+        );
+    }
+
+    #[test]
+    fn waiter_scans_count_wakeups() {
+        // Three waiters block on one flag before the post lands.
+        let src = r#"
+            flag F;
+            fn main() {
+                if (MYPROC == 0) { work(100000); post F; } else { wait F; }
+            }
+        "#;
+        let r = sim(src, 4);
+        assert!(
+            r.metrics.work.waiter_scans >= 3,
+            "three blocked waiters must be scanned: {}",
+            r.metrics.work.waiter_scans
+        );
+    }
+
+    #[test]
+    fn lean_outputs_skip_extraction_but_not_timing() {
+        let cfg = lower_main(&prepare_program(MIXED_SRC).unwrap()).unwrap();
+        let config = MachineConfig::cm5(4);
+        let full =
+            simulate_configured(&cfg, &config, EngineKind::Calendar, SimOutputs::full()).unwrap();
+        let lean =
+            simulate_configured(&cfg, &config, EngineKind::Calendar, SimOutputs::lean()).unwrap();
+        assert!(lean.memory.is_empty());
+        assert!(lean.barrier_seqs.is_empty());
+        assert!(!full.memory.is_empty());
+        assert_eq!(full.exec_cycles, lean.exec_cycles);
+        assert_eq!(full.proc_cycles, lean.proc_cycles);
+        assert_eq!(full.net, lean.net);
+        assert_eq!(full.barriers_aligned, lean.barriers_aligned);
+    }
+
+    #[test]
+    fn default_entry_points_use_full_outputs() {
+        assert_eq!(SimOutputs::default(), SimOutputs::full());
+        assert_eq!(EngineKind::default(), EngineKind::Calendar);
     }
 }

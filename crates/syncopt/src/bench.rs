@@ -205,51 +205,73 @@ impl BenchReport {
     /// Returns a message naming every regressed `(config, counter)` pair,
     /// or a schema error if `baseline` is not a bench report.
     pub fn check_against(&self, baseline: &Value) -> Result<(), String> {
-        if baseline.get("schema").and_then(Value::as_str) != Some(BENCH_SCHEMA) {
-            return Err(format!("baseline is not a {BENCH_SCHEMA} report"));
-        }
-        let empty = Vec::new();
-        let base_configs = match baseline.get("configs") {
-            Some(Value::Arr(items)) => items,
-            _ => &empty,
+        let pairs: Vec<(&str, &Counters)> = self
+            .configs
+            .iter()
+            .map(|c| (c.id.as_str(), &c.counters))
+            .collect();
+        gate_counters_against(&pairs, baseline, &GATED_COUNTERS)
+    }
+}
+
+/// The counter-regression gate shared by every bench suite: joins the
+/// current configs with a baseline report by config id and fails when any
+/// gated counter grew by more than [`TOLERANCE_PCT`]%. Wall-clock buckets
+/// never appear in `gated`, so host noise cannot trip the gate.
+///
+/// # Errors
+///
+/// Returns a message naming every regressed `(config, counter)` pair, a
+/// schema error if `baseline` is not a [`BENCH_SCHEMA`] report, or an
+/// error when the baseline shares no config ids with the current run.
+pub fn gate_counters_against(
+    current: &[(&str, &Counters)],
+    baseline: &Value,
+    gated: &[&str],
+) -> Result<(), String> {
+    if baseline.get("schema").and_then(Value::as_str) != Some(BENCH_SCHEMA) {
+        return Err(format!("baseline is not a {BENCH_SCHEMA} report"));
+    }
+    let empty = Vec::new();
+    let base_configs = match baseline.get("configs") {
+        Some(Value::Arr(items)) => items,
+        _ => &empty,
+    };
+    let mut failures = Vec::new();
+    let mut compared = 0usize;
+    for (id, counters) in current {
+        let Some(base) = base_configs
+            .iter()
+            .find(|b| b.get("id").and_then(Value::as_str) == Some(id))
+        else {
+            continue;
         };
-        let mut failures = Vec::new();
-        let mut compared = 0usize;
-        for current in &self.configs {
-            let Some(base) = base_configs
-                .iter()
-                .find(|b| b.get("id").and_then(Value::as_str) == Some(current.id.as_str()))
-            else {
-                continue;
-            };
-            let Some(base_counters) = base.get("counters") else {
-                continue;
-            };
-            compared += 1;
-            for key in GATED_COUNTERS {
-                let old = base_counters.get(key).and_then(Value::as_int).unwrap_or(0);
-                let old = u64::try_from(old).unwrap_or(0);
-                let new = current.counters.get(key);
-                // new > old * 1.2, in integer math.
-                if new * 100 > old * (100 + TOLERANCE_PCT) {
-                    failures.push(format!(
-                        "{}: {key} regressed {old} -> {new} (>{}%)",
-                        current.id, TOLERANCE_PCT
-                    ));
-                }
+        let Some(base_counters) = base.get("counters") else {
+            continue;
+        };
+        compared += 1;
+        for key in gated {
+            let old = base_counters.get(key).and_then(Value::as_int).unwrap_or(0);
+            let old = u64::try_from(old).unwrap_or(0);
+            let new = counters.get(key);
+            // new > old * 1.2, in integer math.
+            if new * 100 > old * (100 + TOLERANCE_PCT) {
+                failures.push(format!(
+                    "{id}: {key} regressed {old} -> {new} (>{TOLERANCE_PCT}%)"
+                ));
             }
         }
-        if compared == 0 {
-            return Err("baseline shares no config ids with this run".to_string());
-        }
-        if failures.is_empty() {
-            Ok(())
-        } else {
-            Err(format!(
-                "work-counter regression against baseline:\n  {}",
-                failures.join("\n  ")
-            ))
-        }
+    }
+    if compared == 0 {
+        return Err("baseline shares no config ids with this run".to_string());
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "work-counter regression against baseline:\n  {}",
+            failures.join("\n  ")
+        ))
     }
 }
 

@@ -15,11 +15,14 @@
 //!     static race/synchronization check; exit 1 if errors are found
 //! syncoptc check --kernels [--procs N] [--format json]
 //!     check every built-in evaluation kernel, with per-kernel statistics
-//! syncoptc bench [--smoke] [--threads T] [--out PATH] [--check BASELINE]
-//!     run the delay-set scaling trajectory and emit the work-counter
-//!     report (schema syncopt.bench_report.v1); `--check` compares the
-//!     fresh counters against a committed baseline and exits 1 on a >20%
-//!     regression
+//! syncoptc bench [--suite S] [--smoke] [--threads T] [--out PATH] [--check BASELINE]
+//!     run a benchmark suite and emit its work-counter report (schema
+//!     syncopt.bench_report.v1). S ∈ delay|sim (default delay): `delay`
+//!     runs the delay-set analysis scaling trajectory, `sim` the
+//!     simulator-throughput sweep over the evaluation kernels. `--check`
+//!     compares the fresh counters against a committed baseline and exits
+//!     1 on a >20% regression; `--threads` fans independent configs
+//!     across workers without changing any counter
 //!
 //! `opt --dot` emits Graphviz instead of text; `run --trace` appends the
 //! first 200 trace events; `run --emit-report <path>` writes the pipeline
@@ -60,6 +63,7 @@ struct Args {
     emit_report: Option<String>,
     threads: usize,
     smoke: bool,
+    suite: String,
     out: Option<String>,
     check_baseline: Option<String>,
 }
@@ -94,6 +98,7 @@ fn parse_args() -> Result<Args, String> {
         emit_report: None,
         threads: 1,
         smoke: false,
+        suite: "delay".to_string(),
         out: None,
         check_baseline: None,
     };
@@ -148,6 +153,9 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("bad --threads: {e}"))?;
             }
             "--smoke" => args.smoke = true,
+            "--suite" => {
+                args.suite = argv.next().ok_or("--suite needs a value (delay|sim)")?;
+            }
             "--out" => {
                 args.out = Some(argv.next().ok_or("--out needs a path")?);
             }
@@ -514,25 +522,43 @@ fn cmd_check(src: &str, args: &Args) -> Result<(), String> {
 }
 
 fn cmd_bench(args: &Args) -> Result<(), String> {
-    let report = syncopt::bench::run_bench(args.smoke, args.threads)
-        .map_err(|e| format!("bench program failed to compile: {e}"))?;
+    type Checker = Box<dyn Fn(&json::Value) -> Result<(), String>>;
+    let (report_json, table, check): (json::Value, String, Checker) = match args.suite.as_str() {
+        "delay" => {
+            let report = syncopt::bench::run_bench(args.smoke, args.threads)
+                .map_err(|e| format!("bench program failed to compile: {e}"))?;
+            (
+                report.to_json(),
+                report.render_table(),
+                Box::new(move |b| report.check_against(b)),
+            )
+        }
+        "sim" => {
+            let report = syncopt::simbench::run_sim_bench(args.smoke, args.threads)
+                .map_err(|e| format!("sim bench failed: {e}"))?;
+            (
+                report.to_json(),
+                report.render_table(),
+                Box::new(move |b| report.check_against(b)),
+            )
+        }
+        other => return Err(format!("unknown bench suite `{other}` (delay|sim)")),
+    };
     if let Some(path) = &args.out {
-        std::fs::write(path, format!("{}\n", report.to_json()))
+        std::fs::write(path, format!("{report_json}\n"))
             .map_err(|e| format!("cannot write {path}: {e}"))?;
         eprintln!("bench report written to {path}");
     }
     match args.format {
-        Format::Json => println!("{}", report.to_json()),
-        Format::Human => print!("{}", report.render_table()),
+        Format::Json => println!("{report_json}"),
+        Format::Human => print!("{table}"),
     }
     if let Some(baseline_path) = &args.check_baseline {
         let text = std::fs::read_to_string(baseline_path)
             .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
         let baseline = json::Value::parse(&text)
             .map_err(|e| format!("baseline {baseline_path} is not valid JSON: {e}"))?;
-        report
-            .check_against(&baseline)
-            .map_err(|e| format!("{baseline_path}: {e}"))?;
+        check(&baseline).map_err(|e| format!("{baseline_path}: {e}"))?;
         eprintln!(
             "work counters within {}% of {baseline_path}",
             syncopt::bench::TOLERANCE_PCT

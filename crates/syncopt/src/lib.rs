@@ -40,6 +40,7 @@
 
 pub mod bench;
 pub mod report;
+pub mod simbench;
 
 pub use report::{PipelineReport, ProfileReport, ReportMeta, SimReport};
 pub use syncopt_codegen::{DelayChoice, OptLevel, OptStats, Optimized};

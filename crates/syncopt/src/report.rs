@@ -20,7 +20,7 @@ use syncopt_codegen::{DelayChoice, OptLevel, OptStats};
 use syncopt_core::diag::json::Value;
 use syncopt_core::{AnalysisStats, Counters, PhaseTimings};
 use syncopt_machine::sim::{NetStats, SimResult, StallStats};
-use syncopt_machine::{LatencyHistogram, MachineConfig, SimMetrics};
+use syncopt_machine::{LatencyHistogram, MachineConfig, SimMetrics, SimWork};
 
 /// Identification of what was compiled and how.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -342,6 +342,43 @@ fn latency_json(h: &LatencyHistogram) -> Value {
     ])
 }
 
+fn work_json(w: &SimWork, exec_cycles: u64) -> Value {
+    Value::Obj(vec![
+        (
+            "events_scheduled".to_string(),
+            Value::Int(w.events_scheduled as i64),
+        ),
+        (
+            "events_dequeued".to_string(),
+            Value::Int(w.events_dequeued as i64),
+        ),
+        (
+            "bucket_rotations".to_string(),
+            Value::Int(w.bucket_rotations as i64),
+        ),
+        (
+            "overflow_promotions".to_string(),
+            Value::Int(w.overflow_promotions as i64),
+        ),
+        (
+            "arena_reuses".to_string(),
+            Value::Int(w.arena_reuses as i64),
+        ),
+        (
+            "waiter_scans".to_string(),
+            Value::Int(w.waiter_scans as i64),
+        ),
+        (
+            "hash_lookups".to_string(),
+            Value::Int(w.hash_lookups as i64),
+        ),
+        (
+            "events_per_1k_cycles".to_string(),
+            Value::Int(w.events_per_1k_cycles(exec_cycles) as i64),
+        ),
+    ])
+}
+
 fn sim_json(sim: &SimReport) -> Value {
     let per_proc = sim
         .metrics
@@ -401,6 +438,10 @@ fn sim_json(sim: &SimReport) -> Value {
         ("per_proc".to_string(), Value::Arr(per_proc)),
         ("latency".to_string(), latency_json(&sim.metrics.latency)),
         ("barrier_epochs".to_string(), Value::Arr(epochs)),
+        (
+            "work".to_string(),
+            work_json(&sim.metrics.work, sim.exec_cycles),
+        ),
     ])
 }
 
@@ -426,6 +467,22 @@ fn render_sim_table(out: &mut String, sim: &SimReport) {
         out.push_str(&format!(
             "    {pi:>4} {:>10} {:>10} {:>10} {:>10} {:>10} {:>11} {:>10}\n",
             p.busy, p.sync, p.barrier, p.wait, p.lock, p.network_wait, p.idle
+        ));
+    }
+    let w = &sim.metrics.work;
+    if w.events_dequeued > 0 {
+        out.push_str(&format!(
+            "    engine: {} events scheduled / {} dequeued ({} per 1k cycles), \
+             {} bucket rotations, {} overflow promotions, {} arena reuses, \
+             {} waiter scans, {} hash lookups\n",
+            w.events_scheduled,
+            w.events_dequeued,
+            w.events_per_1k_cycles(sim.exec_cycles),
+            w.bucket_rotations,
+            w.overflow_promotions,
+            w.arena_reuses,
+            w.waiter_scans,
+            w.hash_lookups,
         ));
     }
     let h = &sim.metrics.latency;
@@ -651,6 +708,10 @@ mod tests {
             Some("full")
         );
         assert!(j.get("sim").is_some());
+        // The engine work counters ride along in every sim section.
+        let work = j.get("sim").unwrap().get("work").unwrap();
+        assert_eq!(work.get("hash_lookups").unwrap().as_int(), Some(0));
+        assert!(work.get("events_per_1k_cycles").is_some());
         // Compile-only reports omit the sim section.
         let c = empty_report(OptLevel::Full, None);
         assert!(c.to_json().get("sim").is_none());

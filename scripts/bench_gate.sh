@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# Shared CI regression gate for the work-counter benchmark suites.
+#
+# Usage: scripts/bench_gate.sh SYNCOPTC_BIN
+#
+# Re-runs the smoke subset of every suite through `syncoptc bench` and
+# compares the fresh all-integer work counters against the committed
+# baselines (BENCH_delay_scaling.json, BENCH_sim_throughput.json).
+# A counter more than 20% above its baseline fails the gate; wall-clock
+# buckets are never compared. See docs/PERFORMANCE.md for the schema and
+# the refresh commands.
+set -eu
+
+BIN="${1:-./target/release/syncoptc}"
+
+if [ ! -x "$BIN" ]; then
+    echo "bench_gate: $BIN not found or not executable (build with: cargo build --release)" >&2
+    exit 2
+fi
+
+echo "== delay_scaling gate =="
+"$BIN" bench --suite delay --smoke --check BENCH_delay_scaling.json
+
+echo "== sim_throughput gate =="
+"$BIN" bench --suite sim --smoke --check BENCH_sim_throughput.json
+
+echo "bench_gate: all suites within tolerance"

@@ -1,0 +1,152 @@
+//! Differential suite for the simulator's event-queue engines.
+//!
+//! The calendar-queue engine ([`EngineKind::Calendar`]) is a performance
+//! rewrite of the original binary-heap simulator, which is kept compiled
+//! as [`EngineKind::ReferenceHeap`]. Both dispatch events in identical
+//! `(time, seq)` order, so **every observable output must be
+//! bit-identical** — execution time, per-processor cycle accounting,
+//! message counts, stall breakdown, the final memory image, and the
+//! barrier-site sequences. This suite proves that over the five
+//! evaluation kernels × three optimization levels × three machine sizes,
+//! and checks the cycle-conservation invariant (per-processor accounted
+//! cycles sum exactly to the execution time) on every run of both
+//! engines.
+
+use syncopt::machine::{simulate_configured, EngineKind, MachineConfig, SimOutputs, SimResult};
+use syncopt::{DelayChoice, OptLevel, Syncopt};
+use syncopt_kernels::{kernels_with, KernelParams};
+
+/// The Figure 12 optimization ladder (duplicated from the bench crate,
+/// which depends on this one).
+const LEVELS: [(&str, OptLevel, DelayChoice); 3] = [
+    ("unoptimized", OptLevel::Pipelined, DelayChoice::ShashaSnir),
+    ("pipelined", OptLevel::Pipelined, DelayChoice::SyncRefined),
+    ("one-way", OptLevel::OneWay, DelayChoice::SyncRefined),
+];
+
+const PROC_COUNTS: [u32; 3] = [1, 4, 16];
+
+fn run_engine(
+    source: &str,
+    procs: u32,
+    level: OptLevel,
+    delay: DelayChoice,
+    engine: EngineKind,
+) -> SimResult {
+    let compiled = Syncopt::new(source)
+        .procs(procs)
+        .level(level)
+        .delay(delay)
+        .compile()
+        .expect("kernel compiles");
+    simulate_configured(
+        &compiled.optimized.cfg,
+        &MachineConfig::cm5(procs),
+        engine,
+        SimOutputs::full(),
+    )
+    .expect("kernel simulates")
+}
+
+fn assert_identical(a: &SimResult, b: &SimResult, what: &str) {
+    assert_eq!(a.exec_cycles, b.exec_cycles, "{what}: exec_cycles");
+    assert_eq!(a.proc_cycles, b.proc_cycles, "{what}: proc_cycles");
+    assert_eq!(a.net, b.net, "{what}: net");
+    assert_eq!(a.stalls, b.stalls, "{what}: stalls");
+    assert_eq!(a.memory, b.memory, "{what}: memory");
+    assert_eq!(a.barriers_aligned, b.barriers_aligned, "{what}: aligned");
+    assert_eq!(a.barrier_seqs, b.barrier_seqs, "{what}: barrier_seqs");
+    assert_eq!(a.metrics.per_proc, b.metrics.per_proc, "{what}: per_proc");
+    assert_eq!(
+        a.metrics.barrier_epochs, b.metrics.barrier_epochs,
+        "{what}: barrier_epochs"
+    );
+    assert_eq!(a.metrics.latency, b.metrics.latency, "{what}: latency");
+}
+
+fn assert_cycles_conserve(r: &SimResult, what: &str) {
+    assert_eq!(r.metrics.per_proc.len(), r.proc_cycles.len(), "{what}");
+    for (proc, p) in r.metrics.per_proc.iter().enumerate() {
+        let accounted = p.busy + p.sync + p.barrier + p.wait + p.lock + p.network_wait + p.idle;
+        assert_eq!(
+            accounted, r.exec_cycles,
+            "{what} proc {proc}: cycle accounting must conserve"
+        );
+    }
+}
+
+#[test]
+fn engines_agree_bit_for_bit_across_kernels_levels_and_sizes() {
+    for procs in PROC_COUNTS {
+        for kernel in kernels_with(&KernelParams::bench(procs)) {
+            for (label, level, delay) in LEVELS {
+                let what = format!("{} {label} p{procs}", kernel.name);
+                let calendar =
+                    run_engine(&kernel.source, procs, level, delay, EngineKind::Calendar);
+                let reference = run_engine(
+                    &kernel.source,
+                    procs,
+                    level,
+                    delay,
+                    EngineKind::ReferenceHeap,
+                );
+                assert_identical(&calendar, &reference, &what);
+                assert_cycles_conserve(&calendar, &what);
+                assert_cycles_conserve(&reference, &what);
+                // The dense-state engine must never hash in the cycle
+                // loop; the reference engine always did.
+                assert_eq!(calendar.metrics.work.hash_lookups, 0, "{what}");
+                assert!(reference.metrics.work.hash_lookups > 0, "{what}");
+                // Same schedule ⇒ same event volume.
+                assert_eq!(
+                    calendar.metrics.work.events_dequeued, reference.metrics.work.events_dequeued,
+                    "{what}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn lean_outputs_change_nothing_but_the_extractions() {
+    for kernel in kernels_with(&KernelParams::bench(4)) {
+        let compiled = Syncopt::new(&kernel.source)
+            .procs(4)
+            .level(OptLevel::OneWay)
+            .compile()
+            .expect("kernel compiles");
+        let config = MachineConfig::cm5(4);
+        let full = simulate_configured(
+            &compiled.optimized.cfg,
+            &config,
+            EngineKind::Calendar,
+            SimOutputs::full(),
+        )
+        .unwrap();
+        let lean = simulate_configured(
+            &compiled.optimized.cfg,
+            &config,
+            EngineKind::Calendar,
+            SimOutputs::lean(),
+        )
+        .unwrap();
+        assert_eq!(full.exec_cycles, lean.exec_cycles, "{}", kernel.name);
+        assert_eq!(full.net, lean.net, "{}", kernel.name);
+        assert_eq!(full.stalls, lean.stalls, "{}", kernel.name);
+        assert!(!full.memory.is_empty(), "{}", kernel.name);
+        assert!(lean.memory.is_empty(), "{}", kernel.name);
+        assert!(lean.barrier_seqs.is_empty(), "{}", kernel.name);
+    }
+}
+
+#[test]
+fn parallel_sweep_reports_are_thread_count_invariant() {
+    let serial = syncopt::simbench::run_sim_bench(true, 1).expect("sim bench runs");
+    let threaded = syncopt::simbench::run_sim_bench(true, 4).expect("sim bench runs");
+    assert_eq!(serial.configs.len(), threaded.configs.len());
+    for (a, b) in serial.configs.iter().zip(threaded.configs.iter()) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.exec_cycles, b.exec_cycles, "{}", a.id);
+        assert_eq!(a.counters, b.counters, "{}", a.id);
+    }
+}
