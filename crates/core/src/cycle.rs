@@ -245,6 +245,55 @@ impl<'a> BackPathOracle<'a> {
         }
         self.query(u, v, &mut scratch)
     }
+
+    /// One concrete back-path from `v` to `u` avoiding `removed`: the
+    /// interior (mirror-copy) access chain `[x, …, y]` with conflict edges
+    /// `v → x` and `y → u`, or `None` when no back-path exists.
+    ///
+    /// The chain is a shortest path and deterministic — BFS visits nodes
+    /// in ascending id order — so it can serve as a pinned, replayable
+    /// provenance witness (`syncoptc explain`).
+    pub fn witness(&self, u: AccessId, v: AccessId, removed: &[AccessId]) -> Option<Vec<AccessId>> {
+        let mut blocked = vec![false; self.n];
+        for r in removed {
+            blocked[r.index()] = true;
+        }
+        let is_end = |x: usize| self.conf_pred.get(u.index(), x);
+        let mut parent: Vec<usize> = vec![usize::MAX; self.n];
+        let mut seen = vec![false; self.n];
+        let mut queue: Vec<usize> = Vec::new();
+        let mut succ_of_v = BitSet::new(self.n);
+        succ_of_v.union_words(self.conflicts.succ_row_words(v));
+        for x in succ_of_v.iter_ones() {
+            if !blocked[x] {
+                seen[x] = true;
+                queue.push(x);
+            }
+        }
+        let mut qi = 0;
+        while qi < queue.len() {
+            let node = queue[qi];
+            qi += 1;
+            if is_end(node) {
+                let mut chain = vec![AccessId::from_index(node)];
+                let mut cur = node;
+                while parent[cur] != usize::MAX {
+                    cur = parent[cur];
+                    chain.push(AccessId::from_index(cur));
+                }
+                chain.reverse();
+                return Some(chain);
+            }
+            for &next in &self.mirror_adj[node] {
+                if !seen[next] && !blocked[next] {
+                    seen[next] = true;
+                    parent[next] = node;
+                    queue.push(next);
+                }
+            }
+        }
+        None
+    }
 }
 
 /// What one [`compute_delay_set_counted`] run did — the raw material of

@@ -45,6 +45,7 @@ pub mod delay;
 pub mod diag;
 #[cfg(test)]
 mod difftest;
+pub mod explain;
 pub mod guards;
 pub mod locks;
 pub mod obs;
@@ -57,6 +58,9 @@ pub use conflict::ConflictSet;
 pub use cycle::shasha_snir;
 pub use delay::DelaySet;
 pub use diag::{sort_diagnostics, Diagnostic, Severity};
+pub use explain::{
+    explain, DropReason, DroppedPair, ExplainReport, KeptPair, SyncFact, EXPLAIN_SCHEMA,
+};
 pub use obs::{Counters, PhaseTimings};
 pub use races::{detect_races, race_diagnostics, Confidence, RaceAnalysis, RaceReport};
 pub use sync::{analyze_sync, Precedence, SyncAnalysis, SyncOptions};

@@ -265,7 +265,7 @@ pub fn analyze_sync(cfg: &Cfg, opts: &SyncOptions) -> SyncAnalysis {
 /// Matching post→wait precedence edges (step 3). A wait gets an edge only
 /// when exactly one post site can release it — with several candidate
 /// producers we cannot tell at compile time which instance will run first.
-fn post_wait_edges(cfg: &Cfg) -> Vec<(AccessId, AccessId)> {
+pub(crate) fn post_wait_edges(cfg: &Cfg) -> Vec<(AccessId, AccessId)> {
     let posts: Vec<(AccessId, &syncopt_ir::access::AccessInfo)> = cfg
         .accesses
         .iter()

@@ -48,5 +48,7 @@ pub use sim::{
     simulate, simulate_configured, simulate_traced, EngineKind, NetStats, SimOutputs, SimResult,
     StallStats,
 };
-pub use trace::{Trace, TraceEvent, TraceKind};
+pub use trace::{
+    BarrierSpan, FlowKind, FlowSpan, LockSpan, StateKind, StateSpan, Trace, TraceEvent, TraceKind,
+};
 pub use value::{SimError, Value};

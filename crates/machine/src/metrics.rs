@@ -116,6 +116,17 @@ impl LatencyHistogram {
             format!(">={}", Self::BOUNDS[Self::BOUNDS.len() - 1])
         }
     }
+
+    /// The cycle range bucket `i` counts, as `"[64, 128)"` (the last
+    /// bucket is `"[16384, inf)"`).
+    pub fn bucket_range(i: usize) -> String {
+        let lo = if i == 0 { 0 } else { Self::BOUNDS[i - 1] };
+        if i < Self::BOUNDS.len() {
+            format!("[{lo}, {})", Self::BOUNDS[i])
+        } else {
+            format!("[{lo}, inf)")
+        }
+    }
 }
 
 impl Default for LatencyHistogram {
@@ -234,6 +245,9 @@ mod tests {
         assert_eq!(*h.buckets.last().unwrap(), 1, "20000 overflows");
         assert_eq!(LatencyHistogram::bucket_label(0), "<64");
         assert_eq!(LatencyHistogram::bucket_label(9), ">=16384");
+        assert_eq!(LatencyHistogram::bucket_range(0), "[0, 64)");
+        assert_eq!(LatencyHistogram::bucket_range(1), "[64, 128)");
+        assert_eq!(LatencyHistogram::bucket_range(9), "[16384, inf)");
     }
 
     #[test]

@@ -36,7 +36,7 @@
 use crate::config::MachineConfig;
 use crate::memory::{Location, SharedMemory};
 use crate::metrics::{BarrierEpoch, ProcCycles, SimMetrics, SimWork};
-use crate::trace::{Trace, TraceKind};
+use crate::trace::{FlowKind, StateKind, Trace, TraceKind};
 use crate::value::{eval, ProcEnv, SimError, Value};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -241,7 +241,11 @@ enum Delivery {
         issued: Option<u64>,
     },
     FlagSet,
-    LockGrant,
+    LockGrant {
+        /// Which lock was granted, so the trace can attribute the hold
+        /// interval when the unlock is serviced.
+        lock: VarId,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -533,6 +537,9 @@ struct ProcState {
 struct LockState {
     held: bool,
     queue: VecDeque<u32>,
+    /// Grant-delivery time of the current holder; maintained only while
+    /// tracing, for lock-hold spans.
+    acquired_at: u64,
 }
 
 /// Runs `cfg` on the machine described by `config`.
@@ -640,6 +647,7 @@ impl<'a> Simulator<'a> {
             .map(|_| LockState {
                 held: false,
                 queue: VecDeque::new(),
+                acquired_at: 0,
             })
             .collect();
         let waiters = vec![Vec::new(); memory.num_flag_slots()];
@@ -675,6 +683,24 @@ impl<'a> Simulator<'a> {
         }
     }
 
+    /// Records that processor `pi` spent `[start, end)` in `state`
+    /// (no-op when tracing is off).
+    fn trace_state(&mut self, pi: usize, state: StateKind, start: u64, end: u64) {
+        if let Some(t) = &mut self.trace {
+            t.record_state(pi as u32, state, start, end);
+        }
+    }
+
+    /// Advances processor `pi`'s clock by `delta` busy cycles: the one
+    /// attribution path for execution, injection, and stolen handler time,
+    /// so the cycle counter and the traced busy spans cannot diverge.
+    fn charge_busy(&mut self, pi: usize, delta: u64) {
+        let start = self.procs[pi].time;
+        self.procs[pi].time += delta;
+        self.metrics.per_proc[pi].busy += delta;
+        self.trace_state(pi, StateKind::Busy, start, start + delta);
+    }
+
     fn push(&mut self, time: u64, event: Event) {
         self.queue.push(time, event, &mut self.metrics.work);
     }
@@ -702,8 +728,7 @@ impl<'a> Simulator<'a> {
                             continue;
                         }
                         let slack = time.saturating_sub(self.procs[pi].time);
-                        self.procs[pi].time += slack;
-                        self.metrics.per_proc[pi].busy += slack;
+                        self.charge_busy(pi, slack);
                         self.run_proc(p)?;
                     }
                     Event::Arrive { home, msg } => self.handle_arrive(time, home, msg)?,
@@ -736,6 +761,9 @@ impl<'a> Simulator<'a> {
         // was done; with that, every simulated cycle is accounted for.
         for (pi, finish) in proc_cycles.iter().enumerate() {
             self.metrics.per_proc[pi].idle = exec_cycles - finish;
+            if let Some(t) = &mut self.trace {
+                t.record_state(pi as u32, StateKind::Idle, *finish, exec_cycles);
+            }
         }
         self.metrics.work.hash_lookups = match self.engine {
             EngineKind::Calendar => 0,
@@ -780,8 +808,7 @@ impl<'a> Simulator<'a> {
         let pi = p as usize;
         // Consume stolen cycles (message handling charged to this CPU).
         let steal = std::mem::take(&mut self.procs[pi].steal);
-        self.procs[pi].time += steal;
-        self.metrics.per_proc[pi].busy += steal;
+        self.charge_busy(pi, steal);
         self.procs[pi].status = Status::Ready;
         loop {
             self.procs[pi].steps += 1;
@@ -806,8 +833,7 @@ impl<'a> Simulator<'a> {
                         then_bb,
                         else_bb,
                     } => {
-                        self.procs[pi].time += self.config.local_op_cycles;
-                        self.metrics.per_proc[pi].busy += self.config.local_op_cycles;
+                        self.charge_busy(pi, self.config.local_op_cycles);
                         let taken = eval(&cond, &self.procs[pi].env)?.as_bool()?;
                         self.procs[pi].block = if taken { then_bb } else { else_bb };
                         self.procs[pi].instr = 0;
@@ -842,8 +868,7 @@ impl<'a> Simulator<'a> {
             Instr::AssignLocal { dst, value } => {
                 let v = eval(value, &self.procs[pi].env)?;
                 self.procs[pi].env.store(*dst, v)?;
-                self.procs[pi].time += self.config.local_op_cycles;
-                self.metrics.per_proc[pi].busy += self.config.local_op_cycles;
+                self.charge_busy(pi, self.config.local_op_cycles);
                 Ok(true)
             }
             Instr::AssignLocalElem {
@@ -854,8 +879,7 @@ impl<'a> Simulator<'a> {
                 let idx = eval(index, &self.procs[pi].env)?.as_int()?;
                 let v = eval(value, &self.procs[pi].env)?;
                 self.procs[pi].env.store_elem(*array, idx, v)?;
-                self.procs[pi].time += self.config.local_op_cycles;
-                self.metrics.per_proc[pi].busy += self.config.local_op_cycles;
+                self.charge_busy(pi, self.config.local_op_cycles);
                 Ok(true)
             }
             Instr::Work { cost } => {
@@ -863,8 +887,7 @@ impl<'a> Simulator<'a> {
                 if c < 0 {
                     return Err(SimError::new("negative work cost"));
                 }
-                self.procs[pi].time += c as u64;
-                self.metrics.per_proc[pi].busy += c as u64;
+                self.charge_busy(pi, c as u64);
                 Ok(true)
             }
             Instr::GetShared { dst, src, .. } => {
@@ -1002,8 +1025,7 @@ impl<'a> Simulator<'a> {
                 Ok(true)
             }
             Instr::SyncCtr { ctr } => {
-                self.procs[pi].time += self.config.local_op_cycles;
-                self.metrics.per_proc[pi].busy += self.config.local_op_cycles;
+                self.charge_busy(pi, self.config.local_op_cycles);
                 self.legacy_probes += 1;
                 if self.procs[pi].ctrs[ctr.0 as usize] == 0 {
                     Ok(true)
@@ -1133,6 +1155,9 @@ impl<'a> Simulator<'a> {
             .unwrap_or(0);
         let release = max_arrival.max(base) + self.config.barrier_cycles;
         self.trace(release, 0, TraceKind::BarrierRelease);
+        if let Some(t) = &mut self.trace {
+            t.record_barrier(min_arrival, max_arrival, release);
+        }
         self.net.barriers += 1;
         self.metrics.barrier_epochs.push(BarrierEpoch {
             first_arrival: min_arrival,
@@ -1142,8 +1167,10 @@ impl<'a> Simulator<'a> {
         for pi in 0..self.procs.len() {
             let (_, arrive) = self.barrier_arrivals[pi].take().expect("arrived");
             self.stalls.barrier += release - arrive;
-            self.metrics.per_proc[pi].barrier += release - self.procs[pi].time;
+            let start = self.procs[pi].time;
+            self.metrics.per_proc[pi].barrier += release - start;
             self.procs[pi].time = release;
+            self.trace_state(pi, StateKind::Barrier, start, release);
             self.push(release, Event::Run(pi as u32));
         }
         Ok(())
@@ -1192,6 +1219,9 @@ impl<'a> Simulator<'a> {
                         self.config.recv_overhead,
                     )
                 };
+                if let (Some(t), Some(iss)) = (&mut self.trace, issued) {
+                    t.record_flow(FlowKind::Get, from, home, iss, done, Some(deliver));
+                }
                 if ctr.is_some() {
                     // Split-phase replies interrupt the issuing CPU.
                     self.procs[from as usize].steal += recv;
@@ -1229,6 +1259,9 @@ impl<'a> Simulator<'a> {
                         self.config.ack_cycles,
                     )
                 };
+                if let (Some(t), Some(iss)) = (&mut self.trace, issued) {
+                    t.record_flow(FlowKind::Put, from, home, iss, done, Some(deliver));
+                }
                 if ctr.is_some() {
                     self.procs[from as usize].steal += recv;
                 }
@@ -1241,7 +1274,10 @@ impl<'a> Simulator<'a> {
                 );
             }
             Msg::Store {
-                loc, val, issued, ..
+                from,
+                loc,
+                val,
+                issued,
             } => {
                 self.trace(done, home, TraceKind::Service { what: "store" });
                 self.legacy_probes += 1;
@@ -1250,6 +1286,9 @@ impl<'a> Simulator<'a> {
                 // applies it.
                 if let Some(iss) = issued {
                     self.metrics.latency.record(done.saturating_sub(iss));
+                    if let Some(t) = &mut self.trace {
+                        t.record_flow(FlowKind::Store, from, home, iss, done, None);
+                    }
                 }
                 self.stores_in_flight -= 1;
                 if self.stores_in_flight == 0 && self.barrier_release_pending {
@@ -1334,14 +1373,18 @@ impl<'a> Simulator<'a> {
                         deliver,
                         Event::Deliver {
                             to: from,
-                            del: Delivery::LockGrant,
+                            del: Delivery::LockGrant { lock },
                         },
                     );
                 }
             }
-            Msg::Unlock { lock, .. } => {
+            Msg::Unlock { from, lock } => {
                 self.trace(done, home, TraceKind::Service { what: "unlock" });
                 self.legacy_probes += 1;
+                if let Some(t) = &mut self.trace {
+                    let acquired = self.locks[lock.index()].acquired_at;
+                    t.record_lock(from, lock.index() as u32, acquired, done);
+                }
                 let state = &mut self.locks[lock.index()];
                 if let Some(next) = state.queue.pop_front() {
                     // Hand over directly to the next waiter.
@@ -1359,7 +1402,7 @@ impl<'a> Simulator<'a> {
                         deliver,
                         Event::Deliver {
                             to: next,
-                            del: Delivery::LockGrant,
+                            del: Delivery::LockGrant { lock },
                         },
                     );
                 } else {
@@ -1417,14 +1460,21 @@ impl<'a> Simulator<'a> {
                     self.stalls.wait += time.saturating_sub(since);
                     let advanced = self.resume(to, time);
                     self.metrics.per_proc[pi].wait += advanced;
+                    let end = self.procs[pi].time;
+                    self.trace_state(pi, StateKind::Wait, end - advanced, end);
                 }
             }
-            Delivery::LockGrant => {
+            Delivery::LockGrant { lock } => {
                 self.trace(time, to, TraceKind::Deliver { what: "grant" });
+                if self.trace.is_some() {
+                    self.locks[lock.index()].acquired_at = time;
+                }
                 if let Status::BlockedLock(since) = self.procs[pi].status {
                     self.stalls.lock += time.saturating_sub(since);
                     let advanced = self.resume(to, time);
                     self.metrics.per_proc[pi].lock += advanced;
+                    let end = self.procs[pi].time;
+                    self.trace_state(pi, StateKind::Lock, end - advanced, end);
                 }
             }
         }
@@ -1443,6 +1493,8 @@ impl<'a> Simulator<'a> {
                     self.stalls.sync += time.saturating_sub(since);
                     let advanced = self.resume(p, time);
                     self.metrics.per_proc[pi].sync += advanced;
+                    let end = self.procs[pi].time;
+                    self.trace_state(pi, StateKind::Sync, end - advanced, end);
                 }
             }
         }
@@ -1450,8 +1502,7 @@ impl<'a> Simulator<'a> {
 
     /// Charges a local memory touch and returns its completion time.
     fn local_touch(&mut self, pi: usize) -> u64 {
-        self.procs[pi].time += self.config.local_access_cycles;
-        self.metrics.per_proc[pi].busy += self.config.local_access_cycles;
+        self.charge_busy(pi, self.config.local_access_cycles);
         self.procs[pi].time
     }
 
@@ -1461,8 +1512,7 @@ impl<'a> Simulator<'a> {
     /// the CPU is occupied with communication, not blocked on a peer.
     fn remote_send(&mut self, pi: usize) -> u64 {
         let gap = self.next_inject[pi].saturating_sub(self.procs[pi].time);
-        self.procs[pi].time += gap + self.config.send_overhead;
-        self.metrics.per_proc[pi].busy += gap + self.config.send_overhead;
+        self.charge_busy(pi, gap + self.config.send_overhead);
         self.metrics.per_proc[pi].msgs_sent += 1;
         self.next_inject[pi] = self.procs[pi].time + self.config.injection_gap_cycles;
         self.procs[pi].time + self.config.network_latency
@@ -1484,10 +1534,14 @@ impl<'a> Simulator<'a> {
     /// as network wait, the inline receive cost (`recv`) as busy.
     fn resume_blocking(&mut self, p: u32, time: u64, recv: u64) {
         let pi = p as usize;
+        let start = self.procs[pi].time;
         let advanced = self.resume(p, time + recv);
         let busy_part = advanced.min(recv);
         self.metrics.per_proc[pi].busy += busy_part;
         self.metrics.per_proc[pi].network_wait += advanced - busy_part;
+        let split = start + (advanced - busy_part);
+        self.trace_state(pi, StateKind::NetworkWait, start, split);
+        self.trace_state(pi, StateKind::Busy, split, start + advanced);
     }
 
     // ---- helpers ---------------------------------------------------------
@@ -1888,6 +1942,111 @@ mod tests {
                 .count()
                 == 4
         );
+    }
+
+    #[test]
+    fn state_spans_reproduce_cycle_accounting_exactly() {
+        use crate::trace::StateKind;
+        let cfg = lower_main(&prepare_program(MIXED_SRC).unwrap()).unwrap();
+        let config = MachineConfig::cm5(8);
+        let (r, trace) = crate::sim::simulate_traced(&cfg, &config, 1_000_000).unwrap();
+        assert!(!trace.truncated());
+        for (pi, pc) in r.metrics.per_proc.iter().enumerate() {
+            let p = pi as u32;
+            assert_eq!(
+                trace.state_cycles(p, StateKind::Busy),
+                pc.busy,
+                "busy p{pi}"
+            );
+            assert_eq!(
+                trace.state_cycles(p, StateKind::Sync),
+                pc.sync,
+                "sync p{pi}"
+            );
+            assert_eq!(
+                trace.state_cycles(p, StateKind::Barrier),
+                pc.barrier,
+                "barrier p{pi}"
+            );
+            assert_eq!(
+                trace.state_cycles(p, StateKind::Wait),
+                pc.wait,
+                "wait p{pi}"
+            );
+            assert_eq!(
+                trace.state_cycles(p, StateKind::Lock),
+                pc.lock,
+                "lock p{pi}"
+            );
+            assert_eq!(
+                trace.state_cycles(p, StateKind::NetworkWait),
+                pc.network_wait,
+                "network_wait p{pi}"
+            );
+            assert_eq!(
+                trace.state_cycles(p, StateKind::Idle),
+                pc.idle,
+                "idle p{pi}"
+            );
+            // Per-processor spans tile [0, exec_cycles) without overlap.
+            let mut spans: Vec<_> = trace.state_spans().iter().filter(|s| s.proc == p).collect();
+            spans.sort_by_key(|s| s.start);
+            let mut cursor = 0;
+            for s in &spans {
+                assert!(s.start >= cursor, "overlap at p{pi} cycle {}", s.start);
+                cursor = s.end;
+            }
+            let covered: u64 = spans.iter().map(|s| s.cycles()).sum();
+            assert_eq!(covered, r.exec_cycles, "p{pi} spans must tile the run");
+        }
+    }
+
+    #[test]
+    fn flow_and_lock_spans_track_message_lives() {
+        let cfg = lower_main(&prepare_program(MIXED_SRC).unwrap()).unwrap();
+        let config = MachineConfig::cm5(4);
+        let (r, trace) = crate::sim::simulate_traced(&cfg, &config, 1_000_000).unwrap();
+        // One flow per remote request with a reply for gets/puts.
+        use crate::trace::FlowKind;
+        let gets = trace
+            .flow_spans()
+            .iter()
+            .filter(|f| f.kind == FlowKind::Get)
+            .count() as u64;
+        let puts = trace
+            .flow_spans()
+            .iter()
+            .filter(|f| f.kind == FlowKind::Put)
+            .count() as u64;
+        assert_eq!(gets, r.net.get_requests);
+        assert_eq!(puts, r.net.put_requests);
+        for f in trace.flow_spans() {
+            assert!(f.issued <= f.service, "flow {}: service before issue", f.id);
+            if let Some(d) = f.delivered {
+                assert!(f.service <= d, "flow {}: delivery before service", f.id);
+            } else {
+                assert_eq!(f.kind, FlowKind::Store, "only stores lack replies");
+            }
+        }
+        // Ids are the insertion order.
+        for (i, f) in trace.flow_spans().iter().enumerate() {
+            assert_eq!(f.id, i as u64);
+        }
+        // Every processor holds the lock exactly once, holds ordered.
+        assert_eq!(trace.lock_spans().len(), 4);
+        for w in trace.lock_spans().windows(2) {
+            assert!(
+                w[0].released <= w[1].acquired,
+                "lock holds must not overlap"
+            );
+        }
+        // Barrier spans mirror the metrics epochs.
+        assert_eq!(trace.barrier_spans().len(), r.metrics.barrier_epochs.len());
+        for (s, e) in trace.barrier_spans().iter().zip(&r.metrics.barrier_epochs) {
+            assert_eq!(s.first_arrival, e.first_arrival);
+            assert_eq!(s.last_arrival, e.last_arrival);
+            assert_eq!(s.release, e.release);
+        }
     }
 
     #[test]

@@ -2,6 +2,22 @@
 //! communication and synchronization events, for debugging optimized
 //! programs and for teaching (the `codegen_walkthrough` example uses it to
 //! show overlap visually).
+//!
+//! Two layers share one [`Trace`] buffer:
+//!
+//! * the original **flat event list** ([`TraceEvent`]) — services,
+//!   deliveries, barrier releases, finishes — still printed by
+//!   `syncoptc run --trace`;
+//! * the **structured timeline** — per-processor [`StateSpan`]s whose
+//!   durations reproduce the `sim.per_proc` cycle accounting exactly,
+//!   [`FlowSpan`]s linking each remote get/put/store initiation to its
+//!   home service and reply delivery, [`LockSpan`]s covering lock-hold
+//!   intervals, and [`BarrierSpan`]s covering barrier episodes — the
+//!   data model behind the Chrome Trace Event export
+//!   (`syncoptc trace`).
+//!
+//! Everything is recorded only when tracing is enabled (the simulator
+//! holds an `Option<Trace>`), so `TraceLevel::Off` pays nothing.
 
 use std::fmt;
 
@@ -37,6 +53,347 @@ pub enum TraceKind {
     Finished,
 }
 
+/// What a processor was doing over a [`StateSpan`] — one variant per
+/// `ProcCycles` accounting category, so span durations and the per-proc
+/// counters are two views of the same attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StateKind {
+    /// Executing instructions, injecting messages, stolen handler cycles.
+    Busy,
+    /// Blocked on a `sync_ctr` with outstanding split-phase operations.
+    Sync,
+    /// Blocked at a barrier rendezvous.
+    Barrier,
+    /// Blocked in `wait` for a flag.
+    Wait,
+    /// Blocked for a lock grant.
+    Lock,
+    /// Blocked for the round trip of a blocking remote access.
+    NetworkWait,
+    /// Finished while other processors were still running.
+    Idle,
+}
+
+impl StateKind {
+    /// The lowercase label used in the per-proc accounting and the trace
+    /// export (`busy`, `sync`, `barrier`, `wait`, `lock`, `network_wait`,
+    /// `idle`).
+    pub fn label(self) -> &'static str {
+        match self {
+            StateKind::Busy => "busy",
+            StateKind::Sync => "sync",
+            StateKind::Barrier => "barrier",
+            StateKind::Wait => "wait",
+            StateKind::Lock => "lock",
+            StateKind::NetworkWait => "network_wait",
+            StateKind::Idle => "idle",
+        }
+    }
+}
+
+/// A half-open interval `[start, end)` during which `proc` was in one
+/// accounting state. Adjacent same-state spans are coalesced on record,
+/// so for each processor the spans of one state sum exactly to that
+/// state's `ProcCycles` counter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateSpan {
+    /// The processor.
+    pub proc: u32,
+    /// What it was doing.
+    pub state: StateKind,
+    /// First cycle of the interval.
+    pub start: u64,
+    /// One past the last cycle of the interval.
+    pub end: u64,
+}
+
+impl StateSpan {
+    /// The interval length in cycles.
+    pub fn cycles(&self) -> u64 {
+        self.end - self.start
+    }
+}
+
+/// The split-phase operation class of a [`FlowSpan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowKind {
+    /// A remote read: request → home service → data reply.
+    Get,
+    /// A remote write: request → home service → acknowledgment.
+    Put,
+    /// An unacknowledged one-way store: request → home service.
+    Store,
+}
+
+impl FlowKind {
+    /// The lowercase label (`get`, `put`, `store`).
+    pub fn label(self) -> &'static str {
+        match self {
+            FlowKind::Get => "get",
+            FlowKind::Put => "put",
+            FlowKind::Store => "store",
+        }
+    }
+}
+
+/// The life of one remote split-phase message: initiated on `from` at
+/// `issued`, serviced at the home memory at `service`, and (for gets and
+/// puts) its reply delivered back to `from` at `delivered`. One-way
+/// stores have no reply: `delivered` is `None`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowSpan {
+    /// Stable id in initiation-service order (deterministic across runs).
+    pub id: u64,
+    /// Operation class.
+    pub kind: FlowKind,
+    /// The issuing processor.
+    pub from: u32,
+    /// The home processor that serviced the request.
+    pub home: u32,
+    /// Cycle the request was injected on `from`.
+    pub issued: u64,
+    /// Cycle the home memory finished servicing the request.
+    pub service: u64,
+    /// Cycle the reply arrived back at `from` (`None` for stores).
+    pub delivered: Option<u64>,
+}
+
+/// The interval during which a processor held a lock, from grant
+/// delivery to the home servicing its unlock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockSpan {
+    /// The holding processor.
+    pub proc: u32,
+    /// Dense index of the lock variable.
+    pub lock: u32,
+    /// Cycle the grant was delivered.
+    pub acquired: u64,
+    /// Cycle the unlock was serviced at the home.
+    pub released: u64,
+}
+
+/// One barrier episode, mirroring `BarrierEpoch` in the metrics layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BarrierSpan {
+    /// Cycle the first processor arrived.
+    pub first_arrival: u64,
+    /// Cycle the last processor arrived.
+    pub last_arrival: u64,
+    /// Cycle every processor was released.
+    pub release: u64,
+}
+
+/// A bounded trace buffer (keeps the first `cap` events and the first
+/// `cap` spans of each structured kind; everything past the cap is
+/// counted, and [`Trace::truncated`] reports that the buffer clipped).
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    cap: usize,
+    dropped: u64,
+    state_spans: Vec<StateSpan>,
+    flow_spans: Vec<FlowSpan>,
+    lock_spans: Vec<LockSpan>,
+    barrier_spans: Vec<BarrierSpan>,
+    spans_dropped: u64,
+    next_flow_id: u64,
+    /// Per-processor index of the last recorded state span, for
+    /// coalescing adjacent same-state intervals.
+    last_state: Vec<usize>,
+}
+
+const NO_SPAN: usize = usize::MAX;
+
+impl Trace {
+    /// A trace keeping at most `cap` events (and `cap` spans per
+    /// structured kind).
+    pub fn with_capacity(cap: usize) -> Self {
+        Trace {
+            events: Vec::new(),
+            cap,
+            dropped: 0,
+            state_spans: Vec::new(),
+            flow_spans: Vec::new(),
+            lock_spans: Vec::new(),
+            barrier_spans: Vec::new(),
+            spans_dropped: 0,
+            next_flow_id: 0,
+            last_state: Vec::new(),
+        }
+    }
+
+    /// Records an event (dropped silently past the cap, counted).
+    pub fn record(&mut self, time: u64, proc: u32, kind: TraceKind) {
+        if self.events.len() < self.cap {
+            self.events.push(TraceEvent { time, proc, kind });
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Records that `proc` spent `[start, end)` in `state`. Zero-length
+    /// intervals are ignored; an interval starting where the processor's
+    /// previous same-state interval ended extends it in place, so span
+    /// durations stay in exact correspondence with the cycle counters
+    /// without one span per instruction.
+    pub fn record_state(&mut self, proc: u32, state: StateKind, start: u64, end: u64) {
+        if end <= start {
+            return;
+        }
+        let pi = proc as usize;
+        if pi >= self.last_state.len() {
+            self.last_state.resize(pi + 1, NO_SPAN);
+        }
+        let last = self.last_state[pi];
+        if last != NO_SPAN {
+            let span = &mut self.state_spans[last];
+            if span.state == state && span.end == start {
+                span.end = end;
+                return;
+            }
+        }
+        if self.state_spans.len() < self.cap {
+            self.last_state[pi] = self.state_spans.len();
+            self.state_spans.push(StateSpan {
+                proc,
+                state,
+                start,
+                end,
+            });
+        } else {
+            self.spans_dropped += 1;
+        }
+    }
+
+    /// Records the life of one remote split-phase message and returns its
+    /// stable id. Ids keep counting past the cap so they stay
+    /// deterministic regardless of the buffer size.
+    pub fn record_flow(
+        &mut self,
+        kind: FlowKind,
+        from: u32,
+        home: u32,
+        issued: u64,
+        service: u64,
+        delivered: Option<u64>,
+    ) -> u64 {
+        let id = self.next_flow_id;
+        self.next_flow_id += 1;
+        if self.flow_spans.len() < self.cap {
+            self.flow_spans.push(FlowSpan {
+                id,
+                kind,
+                from,
+                home,
+                issued,
+                service,
+                delivered,
+            });
+        } else {
+            self.spans_dropped += 1;
+        }
+        id
+    }
+
+    /// Records a lock-hold interval.
+    pub fn record_lock(&mut self, proc: u32, lock: u32, acquired: u64, released: u64) {
+        if self.lock_spans.len() < self.cap {
+            self.lock_spans.push(LockSpan {
+                proc,
+                lock,
+                acquired,
+                released,
+            });
+        } else {
+            self.spans_dropped += 1;
+        }
+    }
+
+    /// Records a barrier episode.
+    pub fn record_barrier(&mut self, first_arrival: u64, last_arrival: u64, release: u64) {
+        if self.barrier_spans.len() < self.cap {
+            self.barrier_spans.push(BarrierSpan {
+                first_arrival,
+                last_arrival,
+                release,
+            });
+        } else {
+            self.spans_dropped += 1;
+        }
+    }
+
+    /// The recorded events, sorted by time (stable on ties).
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut out = self.events.clone();
+        out.sort_by_key(|e| e.time);
+        out
+    }
+
+    /// The per-processor state timeline, in recording order (per
+    /// processor this is increasing start time).
+    pub fn state_spans(&self) -> &[StateSpan] {
+        &self.state_spans
+    }
+
+    /// The message-flow spans, in home-service order.
+    pub fn flow_spans(&self) -> &[FlowSpan] {
+        &self.flow_spans
+    }
+
+    /// The lock-hold spans, in release order.
+    pub fn lock_spans(&self) -> &[LockSpan] {
+        &self.lock_spans
+    }
+
+    /// The barrier episodes, in release order.
+    pub fn barrier_spans(&self) -> &[BarrierSpan] {
+        &self.barrier_spans
+    }
+
+    /// Total cycles `proc` spent in `state` according to the recorded
+    /// spans — the quantity that must equal the `ProcCycles` counter.
+    pub fn state_cycles(&self, proc: u32, state: StateKind) -> u64 {
+        self.state_spans
+            .iter()
+            .filter(|s| s.proc == proc && s.state == state)
+            .map(StateSpan::cycles)
+            .sum()
+    }
+
+    /// Events dropped because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Structured spans dropped because the buffer was full.
+    pub fn spans_dropped(&self) -> u64 {
+        self.spans_dropped
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Whether anything (event or span) was clipped by the cap.
+    pub fn truncated(&self) -> bool {
+        self.dropped > 0 || self.spans_dropped > 0
+    }
+
+    /// Renders the whole trace, one event per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in self.events() {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        if self.dropped > 0 {
+            out.push_str(&format!("... ({} events dropped)\n", self.dropped));
+        }
+        out
+    }
+}
+
 impl fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.kind {
@@ -53,59 +410,6 @@ impl fmt::Display for TraceEvent {
                 write!(f, "[{:>8}] p{:<3} finished", self.time, self.proc)
             }
         }
-    }
-}
-
-/// A bounded trace buffer (keeps the first `cap` events).
-#[derive(Debug, Clone, Default)]
-pub struct Trace {
-    events: Vec<TraceEvent>,
-    cap: usize,
-    dropped: u64,
-}
-
-impl Trace {
-    /// A trace keeping at most `cap` events.
-    pub fn with_capacity(cap: usize) -> Self {
-        Trace {
-            events: Vec::new(),
-            cap,
-            dropped: 0,
-        }
-    }
-
-    /// Records an event (dropped silently past the cap, counted).
-    pub fn record(&mut self, time: u64, proc: u32, kind: TraceKind) {
-        if self.events.len() < self.cap {
-            self.events.push(TraceEvent { time, proc, kind });
-        } else {
-            self.dropped += 1;
-        }
-    }
-
-    /// The recorded events, sorted by time (stable on ties).
-    pub fn events(&self) -> Vec<TraceEvent> {
-        let mut out = self.events.clone();
-        out.sort_by_key(|e| e.time);
-        out
-    }
-
-    /// Events dropped because the buffer was full.
-    pub fn dropped(&self) -> u64 {
-        self.dropped
-    }
-
-    /// Renders the whole trace, one event per line.
-    pub fn render(&self) -> String {
-        let mut out = String::new();
-        for e in self.events() {
-            out.push_str(&e.to_string());
-            out.push('\n');
-        }
-        if self.dropped > 0 {
-            out.push_str(&format!("... ({} events dropped)\n", self.dropped));
-        }
-        out
     }
 }
 
@@ -132,6 +436,7 @@ mod tests {
         assert_eq!(t.events().len(), 1);
         assert_eq!(t.dropped(), 1);
         assert!(t.render().contains("dropped"));
+        assert!(t.truncated());
     }
 
     #[test]
@@ -146,5 +451,66 @@ mod tests {
             s.contains("42") && s.contains("p3") && s.contains("data"),
             "{s}"
         );
+    }
+
+    #[test]
+    fn state_spans_coalesce_adjacent_same_state() {
+        let mut t = Trace::with_capacity(100);
+        t.record_state(0, StateKind::Busy, 0, 5);
+        t.record_state(0, StateKind::Busy, 5, 9);
+        t.record_state(1, StateKind::Busy, 0, 3); // other proc: no merge
+        t.record_state(0, StateKind::Wait, 9, 12);
+        t.record_state(0, StateKind::Busy, 12, 13); // gap in state: new span
+        assert_eq!(t.state_spans().len(), 4);
+        assert_eq!(t.state_spans()[0].end, 9);
+        assert_eq!(t.state_cycles(0, StateKind::Busy), 10);
+        assert_eq!(t.state_cycles(0, StateKind::Wait), 3);
+        assert_eq!(t.state_cycles(1, StateKind::Busy), 3);
+    }
+
+    #[test]
+    fn zero_length_state_spans_are_ignored() {
+        let mut t = Trace::with_capacity(100);
+        t.record_state(0, StateKind::Busy, 4, 4);
+        assert!(t.state_spans().is_empty());
+        assert!(!t.truncated());
+    }
+
+    #[test]
+    fn flow_ids_stay_deterministic_past_cap() {
+        let mut t = Trace::with_capacity(1);
+        let a = t.record_flow(FlowKind::Get, 0, 1, 0, 10, Some(15));
+        let b = t.record_flow(FlowKind::Store, 1, 0, 2, 12, None);
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(t.flow_spans().len(), 1);
+        assert_eq!(t.spans_dropped(), 1);
+        assert!(t.truncated());
+    }
+
+    #[test]
+    fn lock_and_barrier_spans_record() {
+        let mut t = Trace::with_capacity(8);
+        t.record_lock(2, 0, 10, 40);
+        t.record_barrier(5, 9, 20);
+        assert_eq!(t.lock_spans()[0].released, 40);
+        assert_eq!(t.barrier_spans()[0].release, 20);
+    }
+
+    #[test]
+    fn state_labels_match_accounting_fields() {
+        for (k, label) in [
+            (StateKind::Busy, "busy"),
+            (StateKind::Sync, "sync"),
+            (StateKind::Barrier, "barrier"),
+            (StateKind::Wait, "wait"),
+            (StateKind::Lock, "lock"),
+            (StateKind::NetworkWait, "network_wait"),
+            (StateKind::Idle, "idle"),
+        ] {
+            assert_eq!(k.label(), label);
+        }
+        assert_eq!(FlowKind::Get.label(), "get");
+        assert_eq!(FlowKind::Put.label(), "put");
+        assert_eq!(FlowKind::Store.label(), "store");
     }
 }

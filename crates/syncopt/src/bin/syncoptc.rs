@@ -7,6 +7,14 @@
 //!     optimize and (with --dump) print the target CFG
 //! syncoptc run <file> [--procs N] [--machine M] [--level L] [--delay D]
 //!     simulate and report cycles, messages, stalls, final memory
+//! syncoptc trace <file> [--procs N] [--machine M] [--level L] [--delay D]
+//!          [--trace-limit N] [--out PATH]
+//!     simulate with the structured timeline on and emit Chrome Trace
+//!     Event Format JSON (schema syncopt.trace.v1) for Perfetto /
+//!     chrome://tracing; verifies the span/counter accounting invariant
+//! syncoptc explain <file> [--procs N] [--pair a b] [--format json]
+//!     report why each delay pair was kept (back-path witness) or
+//!     dropped (the sync fact that removed it), with source spans
 //! syncoptc profile <file> [--procs N] [--machine M] [--level L] [--delay D]
 //!     run blocking vs optimized and compare (the paper's Figure 12 shape)
 //! syncoptc litmus <file> [--procs N]
@@ -66,6 +74,8 @@ struct Args {
     suite: String,
     out: Option<String>,
     check_baseline: Option<String>,
+    trace_limit: Option<usize>,
+    pair: Option<(u32, u32)>,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -101,6 +111,8 @@ fn parse_args() -> Result<Args, String> {
         suite: "delay".to_string(),
         out: None,
         check_baseline: None,
+        trace_limit: None,
+        pair: None,
     };
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -162,6 +174,28 @@ fn parse_args() -> Result<Args, String> {
             "--check" => {
                 args.check_baseline = Some(argv.next().ok_or("--check needs a baseline path")?);
             }
+            "--trace-limit" => {
+                args.trace_limit = Some(
+                    argv.next()
+                        .ok_or("--trace-limit needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad --trace-limit: {e}"))?,
+                );
+            }
+            "--pair" => {
+                let a = argv
+                    .next()
+                    .ok_or("--pair needs two access ids (e.g. --pair 3 7)")?;
+                let b = argv
+                    .next()
+                    .ok_or("--pair needs two access ids (e.g. --pair 3 7)")?;
+                let parse = |s: &str| {
+                    s.trim_start_matches('a')
+                        .parse::<u32>()
+                        .map_err(|e| format!("bad --pair access id `{s}`: {e}"))
+                };
+                args.pair = Some((parse(&a)?, parse(&b)?));
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -208,7 +242,7 @@ fn main() -> ExitCode {
 fn real_main() -> Result<(), String> {
     let args = parse_args().map_err(|e| {
         format!(
-            "{e}\nrun with: syncoptc <analyze|opt|run|profile|litmus|check|bench> <file> [flags]"
+            "{e}\nrun with: syncoptc <analyze|opt|run|trace|explain|profile|litmus|check|bench> <file> [flags]"
         )
     })?;
     if args.command == "bench" {
@@ -223,6 +257,8 @@ fn real_main() -> Result<(), String> {
         "analyze" => cmd_analyze(&src, &args),
         "opt" => cmd_opt(&src, &args),
         "run" => cmd_run(&src, &args),
+        "trace" => cmd_trace(&src, &args),
+        "explain" => cmd_explain(&src, &args),
         "profile" => cmd_profile(&src, &args),
         "litmus" => cmd_litmus(&src, &args),
         "check" => cmd_check(&src, &args),
@@ -304,6 +340,7 @@ fn cmd_run(src: &str, args: &Args) -> Result<(), String> {
         } else {
             TraceLevel::Off
         })
+        .trace_limit(args.trace_limit.unwrap_or(syncopt::DEFAULT_TRACE_LIMIT))
         .run(&config)
         .map_err(|e| render_err(src, &args.file, &e))?;
     if let Some(path) = &args.emit_report {
@@ -354,6 +391,87 @@ fn cmd_run(src: &str, args: &Args) -> Result<(), String> {
             let ellipsis = if vals.len() > 16 { ", ..." } else { "" };
             println!("  {name} = [{}{}]", shown.join(", "), ellipsis);
         }
+    }
+    Ok(())
+}
+
+fn cmd_trace(src: &str, args: &Args) -> Result<(), String> {
+    let config = machine_config(&args.machine, args.procs)?;
+    let r = Syncopt::new(src)
+        .procs(args.procs)
+        .threads(args.threads)
+        .level(args.level)
+        .delay(args.delay)
+        .trace(TraceLevel::Events)
+        .trace_limit(args.trace_limit.unwrap_or(syncopt::DEFAULT_TRACE_LIMIT))
+        .run(&config)
+        .map_err(|e| render_err(src, &args.file, &e))?;
+    let trace = r.trace.as_ref().expect("Events tracing always captures");
+    // The exported timeline must reproduce the cycle accounting exactly;
+    // a mismatch is an instrumentation bug, not a user error.
+    if !trace.truncated() {
+        syncopt::verify_span_accounting(trace, &r.sim)
+            .map_err(|e| format!("trace/accounting invariant violated: {e}"))?;
+    }
+    let json = syncopt::chrome_trace(trace, &r.sim, &r.compiled.optimized.cfg);
+    match &args.out {
+        Some(path) => {
+            std::fs::write(path, format!("{json}\n"))
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!(
+                "trace written to {path} ({} events{}); open in https://ui.perfetto.dev or chrome://tracing",
+                json.get("traceEvents").and_then(json::Value::as_arr).map_or(0, |a| a.len()),
+                if trace.truncated() { ", TRUNCATED" } else { "" },
+            );
+        }
+        None => println!("{json}"),
+    }
+    Ok(())
+}
+
+fn cmd_explain(src: &str, args: &Args) -> Result<(), String> {
+    let c = Syncopt::new(src)
+        .procs(args.procs)
+        .threads(args.threads)
+        .level(OptLevel::Blocking)
+        .delay(args.delay)
+        .compile()
+        .map_err(|e| render_err(src, &args.file, &e))?;
+    // Must match the options `compile` analyzed with, so the recomputed
+    // seed facts line up with the precedence relation being explained.
+    let opts = SyncOptions {
+        procs: Some(args.procs),
+        threads: args.threads,
+        ..SyncOptions::default()
+    };
+    let mut report = syncopt::core::explain(&c.source_cfg, &c.analysis, &opts);
+    if let Some((a, b)) = args.pair {
+        report
+            .kept
+            .retain(|k| (k.u.index(), k.v.index()) == (a as usize, b as usize));
+        report
+            .dropped
+            .retain(|d| (d.u.index(), d.v.index()) == (a as usize, b as usize));
+        if report.kept.is_empty() && report.dropped.is_empty() {
+            return Err(format!(
+                "pair (a{a}, a{b}) is not in D_SS — nothing to explain \
+                 (run `syncoptc explain` without --pair to list all pairs)"
+            ));
+        }
+    }
+    if args.format == Format::Json {
+        println!("{}", report.to_json(&c.source_cfg, src));
+        return Ok(());
+    }
+    println!(
+        "delay-set provenance: {} kept, {} dropped (|D_SS| = {})",
+        report.kept.len(),
+        report.dropped.len(),
+        report.kept.len() + report.dropped.len()
+    );
+    println!();
+    for d in report.to_diagnostics(&c.source_cfg) {
+        print!("{}", d.render(src, &args.file));
     }
     Ok(())
 }

@@ -41,11 +41,13 @@
 pub mod bench;
 pub mod report;
 pub mod simbench;
+pub mod trace_export;
 
 pub use report::{PipelineReport, ProfileReport, ReportMeta, SimReport};
 pub use syncopt_codegen::{DelayChoice, OptLevel, OptStats, Optimized};
 pub use syncopt_core::{Analysis, AnalysisStats, DelaySet};
 pub use syncopt_machine::{MachineConfig, SimResult};
+pub use trace_export::{chrome_trace, verify_span_accounting, TRACE_SCHEMA};
 
 /// Optimization stage (split-phase codegen and communication passes).
 pub use syncopt_codegen as codegen;
@@ -135,13 +137,15 @@ pub enum TraceLevel {
     Off,
     /// Measure wall-clock phase timings (parse → simulate).
     Phases,
-    /// Phase timings plus a bounded simulator event trace on
-    /// [`RunResult::trace`].
+    /// Phase timings plus a bounded simulator event trace and structured
+    /// timeline (state/flow/lock/barrier spans) on [`RunResult::trace`].
     Events,
 }
 
-/// Upper bound on captured simulator events at [`TraceLevel::Events`].
-const EVENT_TRACE_CAP: usize = 100_000;
+/// Default upper bound on captured simulator events and timeline spans at
+/// [`TraceLevel::Events`]; override with
+/// [`Syncopt::trace_limit`](Syncopt::trace_limit).
+pub const DEFAULT_TRACE_LIMIT: usize = 100_000;
 
 /// The pipeline builder: configure once, then [`compile`](Syncopt::compile),
 /// [`run`](Syncopt::run), [`run_two_version`](Syncopt::run_two_version), or
@@ -173,6 +177,7 @@ pub struct Syncopt<'a> {
     level: OptLevel,
     delay: DelayChoice,
     trace: TraceLevel,
+    trace_limit: usize,
     threads: usize,
 }
 
@@ -185,6 +190,7 @@ impl<'a> Syncopt<'a> {
             level: OptLevel::Full,
             delay: DelayChoice::SyncRefined,
             trace: TraceLevel::Off,
+            trace_limit: DEFAULT_TRACE_LIMIT,
             threads: 1,
         }
     }
@@ -217,6 +223,16 @@ impl<'a> Syncopt<'a> {
     #[must_use]
     pub fn trace(mut self, trace: TraceLevel) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Caps captured simulator events and timeline spans at
+    /// [`TraceLevel::Events`] (default [`DEFAULT_TRACE_LIMIT`]). When the
+    /// cap is hit the trace and report carry `truncated: true` rather
+    /// than silently looking like a short run.
+    #[must_use]
+    pub fn trace_limit(mut self, limit: usize) -> Self {
+        self.trace_limit = limit;
         self
     }
 
@@ -287,7 +303,7 @@ impl<'a> Syncopt<'a> {
         let mut trace = None;
         let sim = compiled.report.timings.time("simulate", || {
             if self.trace >= TraceLevel::Events {
-                syncopt_machine::simulate_traced(&compiled.optimized.cfg, config, EVENT_TRACE_CAP)
+                syncopt_machine::simulate_traced(&compiled.optimized.cfg, config, self.trace_limit)
                     .map(|(sim, t)| {
                         trace = Some(t);
                         sim
@@ -297,7 +313,9 @@ impl<'a> Syncopt<'a> {
             }
         })?;
         compiled.report.meta.machine = Some(config.name.clone());
-        compiled.report.sim = Some(SimReport::from_sim(&sim));
+        let mut sim_report = SimReport::from_sim(&sim);
+        sim_report.trace_truncated = trace.as_ref().map(Trace::truncated);
+        compiled.report.sim = Some(sim_report);
         Ok(RunResult {
             compiled,
             sim,

@@ -48,6 +48,10 @@ pub struct SimReport {
     pub stalls: StallStats,
     /// Per-processor cycle accounting, latency histogram, barrier epochs.
     pub metrics: SimMetrics,
+    /// Whether the event trace hit its cap (`None` when the run was not
+    /// traced); `Some(true)` means the trace is incomplete, not the run
+    /// short.
+    pub trace_truncated: Option<bool>,
 }
 
 impl SimReport {
@@ -59,6 +63,7 @@ impl SimReport {
             net: sim.net,
             stalls: sim.stalls,
             metrics: sim.metrics.clone(),
+            trace_truncated: None,
         }
     }
 }
@@ -424,7 +429,7 @@ fn sim_json(sim: &SimReport) -> Value {
             ])
         })
         .collect();
-    Value::Obj(vec![
+    let mut fields = vec![
         (
             "exec_cycles".to_string(),
             Value::Int(sim.exec_cycles as i64),
@@ -442,7 +447,11 @@ fn sim_json(sim: &SimReport) -> Value {
             "work".to_string(),
             work_json(&sim.metrics.work, sim.exec_cycles),
         ),
-    ])
+    ];
+    if let Some(truncated) = sim.trace_truncated {
+        fields.push(("trace_truncated".to_string(), Value::Bool(truncated)));
+    }
+    Value::Obj(fields)
 }
 
 fn render_sim_table(out: &mut String, sim: &SimReport) {
@@ -456,6 +465,9 @@ fn render_sim_table(out: &mut String, sim: &SimReport) {
             "MISALIGNED"
         }
     ));
+    if sim.trace_truncated == Some(true) {
+        out.push_str("    trace: TRUNCATED (cap hit; raise --trace-limit)\n");
+    }
     out.push_str(&format!(
         "    stalls: sync {} barrier {} wait {} lock {} blocking {}\n",
         sim.stalls.sync, sim.stalls.barrier, sim.stalls.wait, sim.stalls.lock, sim.stalls.blocking
@@ -494,13 +506,12 @@ fn render_sim_table(out: &mut String, sim: &SimReport) {
             h.mean(),
             h.max
         ));
+        out.push_str("      cycles            count\n");
         for (i, &count) in h.buckets.iter().enumerate() {
-            if count > 0 {
-                out.push_str(&format!(
-                    "      {:<8} {count}\n",
-                    LatencyHistogram::bucket_label(i)
-                ));
-            }
+            out.push_str(&format!(
+                "      {:<14} {count:>8}\n",
+                LatencyHistogram::bucket_range(i)
+            ));
         }
     }
     if !sim.metrics.barrier_epochs.is_empty() {
@@ -694,6 +705,7 @@ mod tests {
                 net: NetStats::default(),
                 stalls: StallStats::default(),
                 metrics: SimMetrics::default(),
+                trace_truncated: None,
             }),
         }
     }

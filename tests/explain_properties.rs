@@ -1,0 +1,139 @@
+//! Property tests for delay-set provenance (`syncopt::core::explain`).
+//!
+//! The contract: every pair of `D_SS` is accounted for — kept pairs carry
+//! a replayable back-path witness, dropped pairs carry exactly one
+//! concrete removal reason — and the partition sizes reconcile with the
+//! analysis counters. Checked over the bundled example programs and all
+//! five evaluation kernels.
+
+use std::path::PathBuf;
+use syncopt::core::explain::{explain, validate_witness, DropReason};
+use syncopt::core::SyncOptions;
+use syncopt::core::{analyze_with, Analysis};
+use syncopt::ir::cfg::Cfg;
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap()
+}
+
+fn analyzed(src: &str, procs: u32) -> (Cfg, Analysis, SyncOptions) {
+    let program = syncopt::frontend::prepare_program(src).unwrap();
+    let cfg = syncopt::ir::lower::lower_main(&program).unwrap();
+    let opts = SyncOptions {
+        procs: Some(procs),
+        ..SyncOptions::default()
+    };
+    let analysis = analyze_with(&cfg, &opts);
+    (cfg, analysis, opts)
+}
+
+fn check_provenance(name: &str, src: &str, procs: u32) -> (usize, usize) {
+    let (cfg, analysis, opts) = analyzed(src, procs);
+    let report = explain(&cfg, &analysis, &opts);
+
+    // Partition: kept ∪ dropped = D_SS, sizes reconcile with counters.
+    assert_eq!(report.kept.len(), analysis.delay_sync.len(), "{name}");
+    assert_eq!(
+        report.kept.len() + report.dropped.len(),
+        analysis.delay_ss.len(),
+        "{name}"
+    );
+    assert_eq!(
+        report.dropped.len() as u64,
+        analysis.metrics.get("delay.pairs_dropped"),
+        "{name}: dropped pairs must match the delay.pairs_dropped counter"
+    );
+
+    // Every kept pair: a witness chain v → … → u that replays on the
+    // graph it was found on.
+    for k in &report.kept {
+        assert_eq!(k.witness.first(), Some(&k.v), "{name} ({}, {})", k.u, k.v);
+        assert_eq!(k.witness.last(), Some(&k.u), "{name} ({}, {})", k.u, k.v);
+        let conflicts = if k.via_d1 {
+            &analysis.conflicts
+        } else {
+            &analysis.sync.oriented
+        };
+        assert!(
+            validate_witness(&cfg, conflicts, &k.witness),
+            "{name}: kept ({}, {}) witness {:?} does not replay",
+            k.u,
+            k.v,
+            k.witness
+        );
+    }
+
+    // Every dropped pair: exactly one reason, and never the fallback.
+    for d in &report.dropped {
+        assert_ne!(
+            d.reason,
+            DropReason::Unexplained,
+            "{name}: dropped ({}, {}) has no concrete removal reason",
+            d.u,
+            d.v
+        );
+        assert!(
+            !analysis.delay_sync.contains(d.u, d.v),
+            "{name}: ({}, {}) reported dropped but still in the refined set",
+            d.u,
+            d.v
+        );
+    }
+    (report.kept.len(), report.dropped.len())
+}
+
+#[test]
+fn example_programs_are_fully_classified() {
+    let root = repo_root();
+    for stem in [
+        "figure1",
+        "figure1_racy",
+        "postwait",
+        "stencil",
+        "allreduce",
+    ] {
+        let src = std::fs::read_to_string(root.join(format!("programs/{stem}.ms"))).unwrap();
+        check_provenance(stem, &src, 4);
+    }
+}
+
+#[test]
+fn evaluation_kernels_are_fully_classified() {
+    for kernel in syncopt::kernels::all_kernels(8) {
+        check_provenance(kernel.name, &kernel.source, kernel.procs);
+    }
+}
+
+#[test]
+fn every_kernel_has_kept_and_dropped_pairs_to_explain() {
+    // The paper's refinement matters on all five kernels: each must show
+    // at least one delay that synchronization removed and at least one
+    // that survives with a witness.
+    for kernel in syncopt::kernels::all_kernels(8) {
+        let (kept, dropped) = check_provenance(kernel.name, &kernel.source, kernel.procs);
+        assert!(kept > 0, "{}: no kept pair to witness", kernel.name);
+        assert!(dropped > 0, "{}: no dropped pair to explain", kernel.name);
+    }
+}
+
+#[test]
+fn explain_json_is_deterministic_across_runs() {
+    let root = repo_root();
+    let src = std::fs::read_to_string(root.join("programs/postwait.ms")).unwrap();
+    let (cfg, analysis, opts) = analyzed(&src, 4);
+    let a = explain(&cfg, &analysis, &opts)
+        .to_json(&cfg, &src)
+        .to_string();
+    let b = explain(&cfg, &analysis, &opts)
+        .to_json(&cfg, &src)
+        .to_string();
+    assert_eq!(a, b);
+    let parsed = syncopt::core::diag::json::Value::parse(&a).unwrap();
+    assert_eq!(
+        parsed.get("schema").and_then(|s| s.as_str()),
+        Some("syncopt.explain.v1")
+    );
+}

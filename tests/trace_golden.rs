@@ -1,0 +1,146 @@
+//! Golden test pinning the Chrome Trace Event Format export
+//! (`syncopt.trace.v1`) of `syncoptc trace`.
+//!
+//! Traces carry no wall-clock data — timestamps are simulated cycles — so
+//! the export is byte-for-byte deterministic and the golden file needs no
+//! scrubbing. Regenerate after an intentional schema change with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test trace_golden
+//! ```
+
+use std::path::PathBuf;
+use std::process::Command;
+use syncopt::core::diag::json::Value;
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap()
+}
+
+fn trace_json(root: &PathBuf, stem: &str, extra: &[&str]) -> String {
+    let rel = format!("programs/{stem}.ms");
+    let mut argv = vec!["trace", rel.as_str(), "--procs", "4"];
+    argv.extend_from_slice(extra);
+    let out = Command::new(env!("CARGO_BIN_EXE_syncoptc"))
+        .args(&argv)
+        .current_dir(root)
+        .output()
+        .expect("binary should run");
+    assert!(
+        out.status.success(),
+        "{stem}: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("trace output is UTF-8")
+}
+
+#[test]
+fn figure1_trace_matches_golden() {
+    let root = repo_root();
+    let transcript = trace_json(&root, "figure1", &[]);
+    let golden_path = root.join("tests/golden/figure1.trace.json");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&golden_path, &transcript).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&golden_path).unwrap_or_else(|e| {
+        panic!("missing golden {golden_path:?} ({e}); run with UPDATE_GOLDEN=1")
+    });
+    assert_eq!(
+        transcript, golden,
+        "figure1 Chrome trace diverged from {golden_path:?}"
+    );
+}
+
+#[test]
+fn trace_export_is_deterministic() {
+    let root = repo_root();
+    let a = trace_json(&root, "stencil", &[]);
+    let b = trace_json(&root, "stencil", &[]);
+    assert_eq!(a, b, "two identical runs must export identical traces");
+}
+
+#[test]
+fn trace_has_state_slices_and_async_flows() {
+    let root = repo_root();
+    let v = Value::parse(trace_json(&root, "figure1", &[]).trim()).expect("valid JSON");
+    assert_eq!(
+        v.get("schema").and_then(Value::as_str),
+        Some("syncopt.trace.v1")
+    );
+    assert_eq!(v.get("truncated"), Some(&Value::Bool(false)));
+    let events = v
+        .get("traceEvents")
+        .and_then(Value::as_arr)
+        .expect("traceEvents array");
+    let ph = |e: &Value| e.get("ph").and_then(Value::as_str).unwrap().to_string();
+    let cat = |e: &Value| {
+        e.get("cat")
+            .and_then(Value::as_str)
+            .unwrap_or_default()
+            .to_string()
+    };
+    // Per-processor state slices covering the whole run.
+    let slices = events
+        .iter()
+        .filter(|e| ph(e) == "X" && cat(e) == "state")
+        .count();
+    assert!(slices > 0, "no state slices");
+    // Message-flow async spans come in begin/instant/end triples sharing
+    // an id.
+    let flow_b = events
+        .iter()
+        .filter(|e| ph(e) == "b" && cat(e) == "flow")
+        .count();
+    let flow_e = events
+        .iter()
+        .filter(|e| ph(e) == "e" && cat(e) == "flow")
+        .count();
+    assert!(flow_b > 0, "figure1 moves data: flows expected");
+    assert_eq!(flow_b, flow_e, "every flow must close");
+    // Thread-name metadata for all 4 procs plus the barrier track.
+    let meta = events.iter().filter(|e| ph(e) == "M").count();
+    assert_eq!(meta, 5);
+}
+
+#[test]
+fn trace_limit_flag_truncates_and_flags_it() {
+    let root = repo_root();
+    let v = Value::parse(trace_json(&root, "stencil", &["--trace-limit", "8"]).trim())
+        .expect("valid JSON");
+    assert_eq!(v.get("truncated"), Some(&Value::Bool(true)));
+    assert!(
+        v.get("dropped_events")
+            .and_then(Value::as_int)
+            .is_some_and(|n| n > 0),
+        "cap of 8 must drop events on stencil"
+    );
+}
+
+#[test]
+fn state_spans_sum_to_per_proc_accounting() {
+    // Library-level restatement of the invariant `syncoptc trace` enforces:
+    // for every processor and state, span cycles equal the simulator's
+    // cycle accounting exactly.
+    use syncopt::{Syncopt, TraceLevel};
+    for (stem, procs) in [
+        ("figure1", 4),
+        ("stencil", 4),
+        ("postwait", 2),
+        ("allreduce", 8),
+    ] {
+        let path = repo_root().join(format!("programs/{stem}.ms"));
+        let src = std::fs::read_to_string(&path).unwrap();
+        let r = Syncopt::new(&src)
+            .procs(procs)
+            .trace(TraceLevel::Events)
+            .run(&syncopt::MachineConfig::cm5(procs))
+            .unwrap();
+        let trace = r.trace.as_ref().unwrap();
+        assert!(!trace.truncated(), "{stem}: raise the default cap");
+        syncopt::verify_span_accounting(trace, &r.sim).unwrap_or_else(|e| panic!("{stem}: {e}"));
+    }
+}
