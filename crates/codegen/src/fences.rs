@@ -130,6 +130,38 @@ pub fn plan_fences(cfg: &Cfg, delay: &DelaySet) -> FencePlan {
     }
 }
 
+/// The fence-site export the lint engine's coverage verifier consumes:
+/// the delay pairs still live on a (possibly optimized) CFG, and the
+/// fences planned for exactly those pairs.
+#[derive(Debug, Clone)]
+pub struct FenceSites {
+    /// Delay pairs whose endpoints are both still present in the CFG.
+    pub delay: DelaySet,
+    /// The plan computed for those pairs.
+    pub plan: FencePlan,
+}
+
+/// Restricts `delay` to pairs whose endpoints survive in `cfg` — the
+/// elimination passes of the higher optimization levels remove accesses,
+/// leaving their recorded positions stale — and plans fences for the
+/// remainder. The result is what `syncoptc lint`'s fence-coverage
+/// verifier checks per optimization level.
+///
+/// # Panics
+///
+/// Panics if `delay` was computed for a different access table.
+pub fn export_fence_sites(cfg: &Cfg, delay: &DelaySet) -> FenceSites {
+    assert_eq!(delay.num_accesses(), cfg.accesses.len());
+    let mut live = DelaySet::new(delay.num_accesses());
+    for (u, v) in delay.pairs() {
+        if cfg.instr_for_access(u).is_some() && cfg.instr_for_access(v).is_some() {
+            live.insert(u, v);
+        }
+    }
+    let plan = plan_fences(cfg, &live);
+    FenceSites { delay: live, plan }
+}
+
 /// Checks that `plan` covers every pair of `delay` (test helper and
 /// debug-assertion for harnesses): each pair must be separated by an
 /// explicit fence or an implicit one on the straight-line region checked
@@ -236,6 +268,34 @@ mod tests {
         let (_, pss) = plan(src, false);
         // Far fewer fences than delay pairs.
         assert!(pss.len() < pss.covered_by_fence, "{pss:?}");
+    }
+
+    #[test]
+    fn export_fence_sites_filters_dead_accesses_and_still_covers() {
+        use crate::{optimize, DelayChoice, OptLevel};
+        for kernel in syncopt_kernels::all_kernels(4) {
+            let cfg = lower_main(&prepare_program(&kernel.source).unwrap()).unwrap();
+            let a = analyze_for(&cfg, 4);
+            for level in [
+                OptLevel::Blocking,
+                OptLevel::Pipelined,
+                OptLevel::OneWay,
+                OptLevel::Full,
+            ] {
+                let opt = optimize(&cfg, &a, level, DelayChoice::SyncRefined);
+                let sites = export_fence_sites(&opt.cfg, &a.delay_sync);
+                assert!(
+                    sites.delay.len() <= a.delay_sync.len(),
+                    "{}: live pairs cannot grow",
+                    kernel.name
+                );
+                assert!(
+                    plan_covers(&opt.cfg, &sites.delay, &sites.plan),
+                    "{}@{level:?}: plan must cover the live pairs",
+                    kernel.name
+                );
+            }
+        }
     }
 
     #[test]

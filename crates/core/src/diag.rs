@@ -258,6 +258,34 @@ pub fn sort_diagnostics(diags: &mut [Diagnostic]) {
     });
 }
 
+/// Every stable diagnostic code any workspace component can emit, in
+/// family order. The CLI validates `--deny`/`--allow` arguments against
+/// this list, and the drift test asserts each entry is documented in
+/// `docs/DIAGNOSTICS.md`.
+pub const KNOWN_CODES: &[&str] = &[
+    // Frontend / pipeline errors.
+    "E001", "E002", "E003", "E004", "E005", "E006", // Races.
+    "R001", "R002", // Synchronization shape warnings.
+    "W001", "W002", "W003", // Provenance notes.
+    "P001", "P002", // Lint engine: deadlock, redundancy, fence coverage.
+    "D001", "D002", "D003", "L001", "L002", "F001", "F002",
+];
+
+/// Applies per-code severity overrides from the CLI: codes in `deny` are
+/// forced to [`Severity::Error`], codes in `allow` are demoted to
+/// [`Severity::Note`]. `deny` wins when a code appears in both lists.
+/// Callers apply this *before* any blanket `--strict` promotion, so an
+/// allowed code stays a note even under strict mode.
+pub fn apply_severity_overrides(diags: &mut [Diagnostic], deny: &[String], allow: &[String]) {
+    for d in diags.iter_mut() {
+        if deny.iter().any(|c| c == d.code) {
+            d.severity = Severity::Error;
+        } else if allow.iter().any(|c| c == d.code) {
+            d.severity = Severity::Note;
+        }
+    }
+}
+
 pub mod json {
     //! A minimal JSON value: hand-rolled emitter **and** parser, std-only.
     //!

@@ -76,7 +76,7 @@ impl SyncFact {
         }
     }
 
-    fn pair(&self) -> (AccessId, AccessId) {
+    pub(crate) fn pair(&self) -> (AccessId, AccessId) {
         match *self {
             SyncFact::PostWait { post, wait } => (post, wait),
             SyncFact::AlignedBarrier { before, after } => (before, after),
@@ -282,8 +282,10 @@ pub fn explain(cfg: &Cfg, analysis: &Analysis, opts: &SyncOptions) -> ExplainRep
 }
 
 /// Walks the canonical witness `v → chain → u` and returns the first
-/// synchronization fact that breaks it under refinement.
-fn first_break(
+/// synchronization fact that breaks it under refinement. Shared with the
+/// redundancy pass of [`crate::lint`], which replays the walk against an
+/// analysis computed with one synchronization site excluded.
+pub(crate) fn first_break(
     cfg: &Cfg,
     po: &ProgramOrder,
     analysis: &Analysis,
@@ -611,7 +613,7 @@ impl ExplainReport {
     }
 }
 
-fn fact_desc(fact: &SyncFact) -> String {
+pub(crate) fn fact_desc(fact: &SyncFact) -> String {
     match fact {
         SyncFact::PostWait { post, wait } => format!("post→wait edge {post} → {wait}"),
         SyncFact::AlignedBarrier { before, after } if before == after => {

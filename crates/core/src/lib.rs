@@ -40,6 +40,7 @@
 pub mod affine;
 pub mod barrier;
 pub mod conflict;
+pub mod corpus;
 pub mod cycle;
 pub mod delay;
 pub mod diag;
@@ -47,6 +48,7 @@ pub mod diag;
 mod difftest;
 pub mod explain;
 pub mod guards;
+pub mod lint;
 pub mod locks;
 pub mod obs;
 pub mod races;
@@ -57,10 +59,11 @@ pub use barrier::BarrierPolicy;
 pub use conflict::ConflictSet;
 pub use cycle::shasha_snir;
 pub use delay::DelaySet;
-pub use diag::{sort_diagnostics, Diagnostic, Severity};
+pub use diag::{apply_severity_overrides, sort_diagnostics, Diagnostic, Severity, KNOWN_CODES};
 pub use explain::{
     explain, DropReason, DroppedPair, ExplainReport, KeptPair, SyncFact, EXPLAIN_SCHEMA,
 };
+pub use lint::{run_lints, FenceCheck, LintInput, LintReport, LINT_SCHEMA};
 pub use obs::{Counters, PhaseTimings};
 pub use races::{detect_races, race_diagnostics, Confidence, RaceAnalysis, RaceReport};
 pub use sync::{analyze_sync, Precedence, SyncAnalysis, SyncOptions};

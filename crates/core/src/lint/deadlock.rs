@@ -1,0 +1,513 @@
+//! Static deadlock detection (`D001`–`D003`).
+//!
+//! - `D001`: lock-order cycles. A forward may-hold dataflow computes, for
+//!   every acquire site, which locks may already be held; the resulting
+//!   held→acquired edges form the lock-order graph, and any cycle means
+//!   two processors can interleave their critical sections into a
+//!   circular wait (or one processor can re-acquire a held lock).
+//! - `D002`: barrier divergence. A branch whose condition depends on
+//!   `MYPROC` (or shared data) can evaluate differently across
+//!   processors; if exactly one of its arms must cross a barrier before
+//!   the join, the processors that take the other arm never arrive.
+//! - `D003`: post/wait divergence. A wait with matching posts, all of
+//!   which it dominates, can never be released: the first processor to
+//!   reach the wait blocks before *any* processor can execute a post.
+
+use super::LintInput;
+use crate::affine::may_match_any_proc;
+use crate::barrier::{proc_dependent_locals, tainted_branches};
+use crate::diag::{Diagnostic, Severity};
+use std::collections::{BTreeMap, BTreeSet};
+use syncopt_ir::access::AccessKind;
+use syncopt_ir::cfg::{Cfg, Instr};
+use syncopt_ir::dom::Dominators;
+use syncopt_ir::ids::{AccessId, BlockId, VarId};
+
+pub(super) fn run(input: &LintInput<'_>, out: &mut Vec<Diagnostic>) {
+    lock_cycles(input.cfg, out);
+    barrier_divergence(input.cfg, out);
+    post_wait_divergence(input.cfg, out);
+}
+
+/// `D001`: cycles in the lock-order graph.
+fn lock_cycles(cfg: &Cfg, out: &mut Vec<Diagnostic>) {
+    // Forward may-hold dataflow: union over predecessors, transfer
+    // through acquire/release instructions.
+    let n = cfg.num_blocks();
+    let mut held_in: Vec<BTreeSet<VarId>> = vec![BTreeSet::new(); n];
+    let rpo = cfg.reverse_postorder();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in &rpo {
+            let mut cur = held_in[b.index()].clone();
+            for instr in &cfg.block(b).instrs {
+                match instr {
+                    Instr::LockAcq { lock, .. } => {
+                        cur.insert(*lock);
+                    }
+                    Instr::LockRel { lock, .. } => {
+                        cur.remove(lock);
+                    }
+                    _ => {}
+                }
+            }
+            for s in cfg.successors(b) {
+                for &l in &cur {
+                    if held_in[s.index()].insert(l) {
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+
+    // Lock-order edges held → acquired, each with its earliest witness
+    // acquire site.
+    let mut edges: BTreeMap<(VarId, VarId), AccessId> = BTreeMap::new();
+    for b in cfg.block_ids() {
+        let mut cur = held_in[b.index()].clone();
+        for instr in &cfg.block(b).instrs {
+            match instr {
+                Instr::LockAcq { access, lock } => {
+                    for &h in &cur {
+                        edges.entry((h, *lock)).or_insert(*access);
+                    }
+                    cur.insert(*lock);
+                }
+                Instr::LockRel { lock, .. } => {
+                    cur.remove(lock);
+                }
+                _ => {}
+            }
+        }
+    }
+    if edges.is_empty() {
+        return;
+    }
+
+    let locks: BTreeSet<VarId> = edges.keys().flat_map(|&(a, b)| [a, b]).collect();
+    let mut reported: BTreeSet<VarId> = BTreeSet::new();
+    for &start in &locks {
+        if reported.contains(&start) {
+            continue;
+        }
+        let Some(cycle) = shortest_cycle(start, &edges) else {
+            continue;
+        };
+        reported.extend(cycle.iter().copied());
+        let name = |l: VarId| cfg.vars.info(l).name.clone();
+        let rendered: Vec<String> = cycle
+            .iter()
+            .chain(std::iter::once(&cycle[0]))
+            .map(|&l| format!("`{}`", name(l)))
+            .collect();
+        let message = if cycle.len() == 1 {
+            format!(
+                "potential deadlock: lock `{}` may be re-acquired while already held",
+                name(cycle[0])
+            )
+        } else {
+            format!(
+                "potential deadlock: lock-order cycle {}",
+                rendered.join(" → ")
+            )
+        };
+        let anchor = edges[&(cycle[0], cycle[if cycle.len() == 1 { 0 } else { 1 }])];
+        let mut d = Diagnostic::new(
+            "D001",
+            Severity::Warning,
+            message,
+            cfg.accesses.info(anchor).span,
+        );
+        for (i, &from) in cycle.iter().enumerate() {
+            let to = cycle[(i + 1) % cycle.len()];
+            let site = edges[&(from, to)];
+            d = d.with_note(
+                format!(
+                    "lock `{}` acquired here while `{}` is held",
+                    name(to),
+                    name(from)
+                ),
+                Some(cfg.accesses.info(site).span),
+            );
+        }
+        d = d.with_note(
+            "two processors interleaving these acquisitions wait on each other forever",
+            None,
+        );
+        out.push(d);
+    }
+}
+
+/// Shortest cycle through `start` in the lock-order graph, as the node
+/// sequence `[start, …]` (a self-loop yields `[start]`).
+fn shortest_cycle(start: VarId, edges: &BTreeMap<(VarId, VarId), AccessId>) -> Option<Vec<VarId>> {
+    // BFS from each successor of `start` back to `start`; BTreeMap
+    // iteration keeps expansion order deterministic.
+    if edges.contains_key(&(start, start)) {
+        return Some(vec![start]);
+    }
+    let succs = |l: VarId| edges.keys().filter(move |(a, _)| *a == l).map(|&(_, b)| b);
+    let mut parent: BTreeMap<VarId, VarId> = BTreeMap::new();
+    let mut queue: std::collections::VecDeque<VarId> = succs(start).collect();
+    for s in queue.iter() {
+        parent.entry(*s).or_insert(start);
+    }
+    while let Some(l) = queue.pop_front() {
+        if l == start {
+            // Reconstruct start → … → start.
+            let mut path = vec![];
+            let mut cur = *parent.get(&start).expect("reached via parent");
+            while cur != start {
+                path.push(cur);
+                cur = parent[&cur];
+            }
+            path.push(start);
+            path.reverse();
+            return Some(path);
+        }
+        for s in succs(l) {
+            // `start` has no seeded parent entry, so reaching it back
+            // here records the closing hop exactly once.
+            if let std::collections::btree_map::Entry::Vacant(e) = parent.entry(s) {
+                e.insert(l);
+                queue.push_back(s);
+            }
+        }
+    }
+    None
+}
+
+/// `D002`: a processor-dependent branch where exactly one arm must cross
+/// a barrier before the join.
+fn barrier_divergence(cfg: &Cfg, out: &mut Vec<Diagnostic>) {
+    let barrier_block: Vec<bool> = cfg
+        .block_ids()
+        .map(|b| {
+            cfg.block(b)
+                .instrs
+                .iter()
+                .any(|i| matches!(i, Instr::Barrier { .. }))
+        })
+        .collect();
+    if !barrier_block.iter().any(|&x| x) {
+        return;
+    }
+    let tainted = proc_dependent_locals(cfg);
+    let mut branches = tainted_branches(cfg, &tainted);
+    branches.sort_by_key(|b| b.index());
+    if branches.is_empty() {
+        return;
+    }
+    let pdom = Dominators::compute_post(cfg);
+    let avoid = |b: BlockId| barrier_block[b.index()];
+    let mut flagged: BTreeSet<AccessId> = BTreeSet::new();
+    for t in branches {
+        // The join is the branch block's immediate postdominator; past
+        // it both arms execute the same code again.
+        let Some(join) = pdom.idom(t) else { continue };
+        let succs = cfg.successors(t);
+        if succs.len() != 2 || succs[0] == succs[1] {
+            continue;
+        }
+        let bypass: Vec<Option<Vec<BlockId>>> = succs
+            .iter()
+            .map(|&s| cfg.block_path_avoiding(s, join, &avoid))
+            .collect();
+        let (must_arm, free_path) = match (&bypass[0], &bypass[1]) {
+            (None, Some(p)) => (succs[0], p),
+            (Some(p), None) => (succs[1], p),
+            _ => continue, // both arms cross, or neither does: aligned
+        };
+        // Barriers in the diverging region: reachable from the trapped
+        // arm without entering the join.
+        let region = region_barriers(cfg, must_arm, join);
+        let Some((&first, rest)) = region.split_first() else {
+            continue;
+        };
+        if !flagged.insert(first) {
+            continue;
+        }
+        let path_text = free_path
+            .iter()
+            .map(|b| b.to_string())
+            .collect::<Vec<_>>()
+            .join(" → ");
+        let mut d = Diagnostic::new(
+            "D002",
+            Severity::Warning,
+            "barrier may deadlock: a processor-dependent branch lets some processors bypass it"
+                .to_string(),
+            cfg.accesses.info(first).span,
+        )
+        .with_note(
+            format!(
+                "the branch at {t} depends on MYPROC or shared data, so processors can disagree \
+                 on which arm to take"
+            ),
+            None,
+        )
+        .with_note(
+            format!("bypassing arm rejoins at {join} without crossing any barrier: {path_text}"),
+            None,
+        );
+        for &b in rest {
+            d = d.with_note(
+                "another barrier in the same diverging region",
+                Some(cfg.accesses.info(b).span),
+            );
+        }
+        out.push(d);
+    }
+}
+
+/// Barrier sites reachable from `from` without entering `join`, in
+/// deterministic BFS order.
+fn region_barriers(cfg: &Cfg, from: BlockId, join: BlockId) -> Vec<AccessId> {
+    let mut out = Vec::new();
+    let mut visited = vec![false; cfg.num_blocks()];
+    let mut queue = std::collections::VecDeque::new();
+    if from != join {
+        visited[from.index()] = true;
+        queue.push_back(from);
+    }
+    while let Some(b) = queue.pop_front() {
+        for instr in &cfg.block(b).instrs {
+            if let Instr::Barrier { access } = instr {
+                out.push(*access);
+            }
+        }
+        for s in cfg.successors(b) {
+            if s != join && !visited[s.index()] {
+                visited[s.index()] = true;
+                queue.push_back(s);
+            }
+        }
+    }
+    out
+}
+
+/// `D003`: a wait that dominates every post that could release it.
+fn post_wait_divergence(cfg: &Cfg, out: &mut Vec<Diagnostic>) {
+    let dom = Dominators::compute(cfg);
+    let posts: Vec<(AccessId, &syncopt_ir::access::AccessInfo)> = cfg
+        .accesses
+        .iter()
+        .filter(|(_, i)| i.kind == AccessKind::Post)
+        .collect();
+    for (_w, wi) in cfg.accesses.iter() {
+        if wi.kind != AccessKind::Wait {
+            continue;
+        }
+        let matching: Vec<(AccessId, &syncopt_ir::access::AccessInfo)> = posts
+            .iter()
+            .filter(|(_, pi)| {
+                pi.var == wi.var && may_match_any_proc(pi.index.as_ref(), wi.index.as_ref())
+            })
+            .copied()
+            .collect();
+        // Zero matches is W001's territory (wait blocks forever).
+        if matching.is_empty() {
+            continue;
+        }
+        if !matching
+            .iter()
+            .all(|(_, pi)| dom.pos_dominates(wi.pos, pi.pos))
+        {
+            continue;
+        }
+        let var = wi
+            .var
+            .map(|v| cfg.vars.info(v).name.clone())
+            .unwrap_or_else(|| "?".into());
+        let mut d = Diagnostic::new(
+            "D003",
+            Severity::Error,
+            format!(
+                "deadlock: this `wait {var}` can never be released — every matching `post` is \
+                 reachable only after it"
+            ),
+            wi.span,
+        )
+        .with_note(
+            "the first processor to arrive blocks here before any processor can post",
+            None,
+        );
+        for (p, pi) in &matching {
+            d = d.with_note(format!("matching post site {p}"), Some(pi.span));
+        }
+        out.push(d);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests::{codes_of, lint_source};
+
+    #[test]
+    fn opposite_lock_orders_trigger_d001() {
+        let report = lint_source(
+            "shared int X; shared int Y; lock a; lock b;
+             fn main() {
+                 if (MYPROC == 0) { lock a; lock b; X = 1; unlock b; unlock a; }
+                 else { lock b; lock a; Y = 1; unlock a; unlock b; }
+             }",
+        );
+        assert!(
+            codes_of(&report).contains(&"D001"),
+            "{:?}",
+            codes_of(&report)
+        );
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "D001")
+            .unwrap();
+        assert!(d.message.contains("lock-order cycle"), "{}", d.message);
+        assert!(
+            d.notes.iter().any(|n| n.message.contains("acquired here")),
+            "{:?}",
+            d.notes
+        );
+    }
+
+    #[test]
+    fn nested_same_order_locks_are_clean() {
+        let report = lint_source(
+            "shared int X; lock a; lock b;
+             fn main() { lock a; lock b; X = 1; unlock b; unlock a; }",
+        );
+        assert!(
+            !codes_of(&report).contains(&"D001"),
+            "{:?}",
+            codes_of(&report)
+        );
+    }
+
+    #[test]
+    fn reacquired_lock_triggers_self_cycle() {
+        let report = lint_source(
+            "shared int X; lock a;
+             fn main() { lock a; lock a; X = 1; unlock a; unlock a; }",
+        );
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "D001")
+            .unwrap();
+        assert!(d.message.contains("re-acquired"), "{}", d.message);
+    }
+
+    #[test]
+    fn one_sided_barrier_triggers_d002() {
+        let report = lint_source(
+            "shared int X;
+             fn main() { if (MYPROC == 0) { X = 1; barrier; } }",
+        );
+        assert!(
+            codes_of(&report).contains(&"D002"),
+            "{:?}",
+            codes_of(&report)
+        );
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "D002")
+            .unwrap();
+        assert!(
+            d.notes
+                .iter()
+                .any(|n| n.message.contains("without crossing")),
+            "{:?}",
+            d.notes
+        );
+    }
+
+    #[test]
+    fn barrier_on_both_arms_is_clean() {
+        let report = lint_source(
+            "shared int X;
+             fn main() {
+                 if (MYPROC == 0) { X = 1; barrier; } else { barrier; }
+             }",
+        );
+        assert!(
+            !codes_of(&report).contains(&"D002"),
+            "{:?}",
+            codes_of(&report)
+        );
+    }
+
+    #[test]
+    fn uniform_branch_with_barrier_is_clean() {
+        let report = lint_source(
+            "shared int X;
+             fn main() { int i;
+                 for (i = 0; i < 2; i = i + 1) { X = 1; barrier; }
+             }",
+        );
+        assert!(
+            !codes_of(&report).contains(&"D002"),
+            "{:?}",
+            codes_of(&report)
+        );
+    }
+
+    #[test]
+    fn wait_before_its_only_post_triggers_d003() {
+        let report = lint_source("flag F; fn main() { wait F; post F; }");
+        assert!(
+            codes_of(&report).contains(&"D003"),
+            "{:?}",
+            codes_of(&report)
+        );
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "D003")
+            .unwrap();
+        assert!(
+            d.notes
+                .iter()
+                .any(|n| n.message.contains("matching post site")),
+            "{:?}",
+            d.notes
+        );
+    }
+
+    #[test]
+    fn post_then_wait_is_clean() {
+        let report = lint_source("flag F; fn main() { post F; wait F; }");
+        assert!(
+            !codes_of(&report).contains(&"D003"),
+            "{:?}",
+            codes_of(&report)
+        );
+    }
+
+    #[test]
+    fn cross_branch_post_wait_is_clean() {
+        let report = lint_source(
+            "shared int X; flag F;
+             fn main() { int v;
+                 if (MYPROC == 0) { X = 1; post F; } else { wait F; v = X; } }",
+        );
+        assert!(
+            !codes_of(&report).contains(&"D003"),
+            "{:?}",
+            codes_of(&report)
+        );
+    }
+
+    #[test]
+    fn unmatched_wait_is_not_d003() {
+        // Zero matching posts is W001's territory.
+        let report = lint_source("flag F; fn main() { wait F; }");
+        assert!(
+            !codes_of(&report).contains(&"D003"),
+            "{:?}",
+            codes_of(&report)
+        );
+    }
+}

@@ -148,8 +148,38 @@ pub struct SyncAnalysis {
     pub counters: Counters,
 }
 
+/// Synchronization sites the analysis must pretend are absent.
+///
+/// The redundancy probe of the lint engine ([`crate::lint`]) re-runs the
+/// §5 pipeline with one site's seed edges withheld and compares the
+/// outcome against the full analysis: excluded waits lose their
+/// post→wait precedence edges, excluded barriers drop out of the
+/// aligned set before the episode edges are built. Seeds only shrink,
+/// so the excluded run is conservative: its precedence relation is a
+/// subset of the full one, and its delay set a superset.
+#[derive(Debug, Clone, Default)]
+pub struct SyncExclusion {
+    /// Barrier sites removed from the aligned set before step 3.
+    pub barriers: Vec<AccessId>,
+    /// Wait sites whose post→wait seed edges are withheld.
+    pub waits: Vec<AccessId>,
+}
+
+impl SyncExclusion {
+    /// Whether nothing is excluded (the plain analysis).
+    pub fn is_empty(&self) -> bool {
+        self.barriers.is_empty() && self.waits.is_empty()
+    }
+}
+
 /// Runs the full §5 analysis.
 pub fn analyze_sync(cfg: &Cfg, opts: &SyncOptions) -> SyncAnalysis {
+    analyze_sync_excluding(cfg, opts, &SyncExclusion::default())
+}
+
+/// Runs the full §5 analysis with the sites in `excl` withheld from the
+/// precedence seeds (see [`SyncExclusion`]).
+pub fn analyze_sync_excluding(cfg: &Cfg, opts: &SyncOptions, excl: &SyncExclusion) -> SyncAnalysis {
     let po = ProgramOrder::compute(cfg);
     let dom = Dominators::compute(cfg);
     let conflicts = ConflictSet::build_bounded(cfg, opts.procs);
@@ -172,12 +202,18 @@ pub fn analyze_sync(cfg: &Cfg, opts: &SyncOptions) -> SyncAnalysis {
 
     // Step 3: seed R.
     let mut r = Precedence::new(cfg.accesses.len());
-    let pw = post_wait_edges(cfg);
+    let pw: Vec<(AccessId, AccessId)> = post_wait_edges(cfg)
+        .into_iter()
+        .filter(|(_, w)| !excl.waits.contains(w))
+        .collect();
     counters.set("sync.post_wait_edges", pw.len() as u64);
     for (p, w) in pw {
         r.insert(p, w);
     }
-    let aligned = aligned_barriers(cfg, opts.barrier_policy);
+    let aligned: Vec<AccessId> = aligned_barriers(cfg, opts.barrier_policy)
+        .into_iter()
+        .filter(|b| !excl.barriers.contains(b))
+        .collect();
     counters.set("sync.aligned_barriers", aligned.len() as u64);
     let be = barrier_precedence_edges(cfg, &po, &aligned);
     counters.set("sync.barrier_edges", be.len() as u64);

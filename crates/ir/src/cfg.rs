@@ -437,6 +437,59 @@ impl Cfg {
         Ok(())
     }
 
+    /// Shortest block path from `from` to `to` in which every block
+    /// except the final `to` satisfies `!avoid` (the destination is
+    /// exempt so callers can ask "can I *reach* `to` without crossing
+    /// a flagged block first?").
+    ///
+    /// The search is a breadth-first walk expanding successors in
+    /// terminator order, so the returned path is deterministic. Both
+    /// endpoints are included; `from == to` yields the singleton path.
+    /// Returns `None` when every route is blocked.
+    pub fn block_path_avoiding(
+        &self,
+        from: BlockId,
+        to: BlockId,
+        avoid: &dyn Fn(BlockId) -> bool,
+    ) -> Option<Vec<BlockId>> {
+        if from == to {
+            return Some(vec![from]);
+        }
+        if avoid(from) {
+            return None;
+        }
+        let mut parent: Vec<Option<BlockId>> = vec![None; self.blocks.len()];
+        let mut visited = vec![false; self.blocks.len()];
+        visited[from.index()] = true;
+        let mut queue = std::collections::VecDeque::from([from]);
+        while let Some(block) = queue.pop_front() {
+            for succ in self.successors(block) {
+                if visited[succ.index()] {
+                    continue;
+                }
+                visited[succ.index()] = true;
+                parent[succ.index()] = Some(block);
+                if succ == to {
+                    let mut path = vec![to];
+                    let mut cur = block;
+                    loop {
+                        path.push(cur);
+                        if cur == from {
+                            break;
+                        }
+                        cur = parent[cur.index()].expect("parent chain reaches `from`");
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                if !avoid(succ) {
+                    queue.push_back(succ);
+                }
+            }
+        }
+        None
+    }
+
     /// Adds an access record and returns its id (used by lowering).
     pub fn add_access(&mut self, info: AccessInfo) -> AccessId {
         self.accesses.push(info)
@@ -509,6 +562,55 @@ mod tests {
         let mut cfg = diamond();
         cfg.block_mut(BlockId(1)).term = Terminator::Goto(BlockId(99));
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn block_path_avoiding_picks_unblocked_branch() {
+        let cfg = diamond();
+        // Both arms open: BFS takes the first (then) arm.
+        let none = |_: BlockId| false;
+        assert_eq!(
+            cfg.block_path_avoiding(BlockId(0), BlockId(3), &none),
+            Some(vec![BlockId(0), BlockId(1), BlockId(3)])
+        );
+        // Blocking bb1 forces the else arm.
+        let no_bb1 = |b: BlockId| b == BlockId(1);
+        assert_eq!(
+            cfg.block_path_avoiding(BlockId(0), BlockId(3), &no_bb1),
+            Some(vec![BlockId(0), BlockId(2), BlockId(3)])
+        );
+        // Blocking both arms leaves no route.
+        let no_arms = |b: BlockId| b == BlockId(1) || b == BlockId(2);
+        assert_eq!(
+            cfg.block_path_avoiding(BlockId(0), BlockId(3), &no_arms),
+            None
+        );
+    }
+
+    #[test]
+    fn block_path_avoiding_exempts_endpoints_correctly() {
+        let cfg = diamond();
+        // The destination is exempt from `avoid`...
+        let no_exit = |b: BlockId| b == BlockId(3);
+        assert!(cfg
+            .block_path_avoiding(BlockId(0), BlockId(3), &no_exit)
+            .is_some());
+        // ...but the source is not.
+        let no_entry = |b: BlockId| b == BlockId(0);
+        assert_eq!(
+            cfg.block_path_avoiding(BlockId(0), BlockId(3), &no_entry),
+            None
+        );
+        // from == to is the singleton path even when avoided.
+        assert_eq!(
+            cfg.block_path_avoiding(BlockId(3), BlockId(3), &no_exit),
+            Some(vec![BlockId(3)])
+        );
+        // No route against the edges.
+        assert_eq!(
+            cfg.block_path_avoiding(BlockId(3), BlockId(0), &|_| false),
+            None
+        );
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub mod epithel;
 pub mod health;
 pub mod ocean;
 pub mod scaling;
+pub mod seeded;
 
 /// A generated kernel program.
 #[derive(Debug, Clone)]

@@ -1,0 +1,119 @@
+//! Seeded example programs for the lint engine: each triggers exactly
+//! one lint family, with a hand-written explanation of the defect.
+//!
+//! These are the lint analog of the litmus tests — tiny `minisplit`
+//! programs whose interesting property is the *bug* (or redundancy)
+//! they contain, used by `syncoptc lint --seeded <name>`, the
+//! integration tests, and the smoke script.
+
+/// A seeded lint example.
+#[derive(Debug, Clone, Copy)]
+pub struct SeededExample {
+    /// Stable name (the `--seeded` argument).
+    pub name: &'static str,
+    /// The diagnostic code the program is seeded to trigger.
+    pub code: &'static str,
+    /// `minisplit` source text.
+    pub source: &'static str,
+    /// What is wrong with the program, in one sentence.
+    pub description: &'static str,
+}
+
+/// The seeded examples, one per lint family.
+pub fn seeded_examples() -> &'static [SeededExample] {
+    &[
+        SeededExample {
+            name: "lock-cycle",
+            code: "D001",
+            source: "shared int X; shared int Y; lock a; lock b;
+fn main() {
+    int v;
+    if (MYPROC == 0) {
+        lock a; lock b; X = 1; unlock b; unlock a;
+    } else {
+        lock b; lock a; v = X; unlock a; unlock b;
+    }
+}
+",
+            description: "two branches acquire locks `a` and `b` in opposite \
+                          order, so two processors can each hold one lock and \
+                          wait forever for the other",
+        },
+        SeededExample {
+            name: "barrier-divergence",
+            code: "D002",
+            source: "shared int X;
+fn main() {
+    int v;
+    if (MYPROC == 0) {
+        X = 1;
+        barrier;
+    } else {
+        v = X;
+    }
+}
+",
+            description: "only processor 0 reaches the barrier; every other \
+                          processor takes the barrier-free arm, so processor 0 \
+                          waits forever",
+        },
+        SeededExample {
+            name: "postwait-deadlock",
+            code: "D003",
+            source: "flag F;
+fn main() {
+    wait F;
+    post F;
+}
+",
+            description: "every processor waits on `F` before any processor \
+                          reaches the only `post F`, so nobody ever posts",
+        },
+        SeededExample {
+            name: "redundant-barrier",
+            code: "L001",
+            source: "shared int A[64];
+fn main() {
+    int v;
+    A[MYPROC] = MYPROC;
+    barrier;
+    barrier;
+    v = A[MYPROC + 1];
+}
+",
+            description: "two back-to-back barriers each provide orderings the \
+                          other already implies; either one could be removed",
+        },
+    ]
+}
+
+/// Looks up a seeded example by name.
+pub fn seeded_example(name: &str) -> Option<&'static SeededExample> {
+    seeded_examples().iter().find(|e| e.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syncopt_frontend::prepare_program;
+
+    #[test]
+    fn seeded_examples_pass_the_frontend() {
+        for ex in seeded_examples() {
+            prepare_program(ex.source)
+                .unwrap_or_else(|e| panic!("{} failed frontend: {e}", ex.name));
+        }
+    }
+
+    #[test]
+    fn seeded_names_are_unique_and_lookup_works() {
+        let examples = seeded_examples();
+        for ex in examples {
+            assert_eq!(seeded_example(ex.name).unwrap().code, ex.code);
+        }
+        let mut names: Vec<_> = examples.iter().map(|e| e.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), examples.len());
+    }
+}

@@ -21,8 +21,20 @@
 //!     enumerate weak vs sequentially consistent outcomes
 //! syncoptc check <file> [--procs N] [--strict] [--format json]
 //!     static race/synchronization check; exit 1 if errors are found
+//!     (`--strict` also runs the full lint suite and promotes warnings)
 //! syncoptc check --kernels [--procs N] [--format json]
 //!     check every built-in evaluation kernel, with per-kernel statistics
+//! syncoptc lint <file> [--procs N] [--strict] [--format json]
+//!     synchronization lint suite (schema syncopt.lint.v1): static
+//!     deadlock detection (D001–D003), redundant-synchronization
+//!     analysis (L001/L002), and fence-coverage verification of the
+//!     codegen output at every optimization level (F001/F002); exit 1
+//!     if errors are found
+//! syncoptc lint --kernels [--procs N] [--format json]
+//!     lint every built-in evaluation kernel
+//! syncoptc lint --seeded <name> [--format json]
+//!     lint a built-in seeded example (lock-cycle | barrier-divergence |
+//!     postwait-deadlock | redundant-barrier)
 //! syncoptc bench [--suite S] [--smoke] [--threads T] [--out PATH] [--check BASELINE]
 //!     run a benchmark suite and emit its work-counter report (schema
 //!     syncopt.bench_report.v1). S ∈ delay|sim (default delay): `delay`
@@ -35,6 +47,9 @@
 //! `opt --dot` emits Graphviz instead of text; `run --trace` appends the
 //! first 200 trace events; `run --emit-report <path>` writes the pipeline
 //! report JSON to a file; `check --strict` promotes warnings to errors.
+//! `check` and `lint` accept `--deny CODE` (force a diagnostic code to
+//! error) and `--allow CODE` (demote it to a note); `--allow` wins over
+//! `--strict` promotion.
 //! `run` and `profile` honor `--format json` (machine-readable report on
 //! stdout); `profile` also accepts `--format table` for the side-by-side
 //! comparison (the default).
@@ -76,6 +91,9 @@ struct Args {
     check_baseline: Option<String>,
     trace_limit: Option<usize>,
     pair: Option<(u32, u32)>,
+    deny: Vec<String>,
+    allow: Vec<String>,
+    seeded: Option<String>,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -113,6 +131,9 @@ fn parse_args() -> Result<Args, String> {
         check_baseline: None,
         trace_limit: None,
         pair: None,
+        deny: Vec::new(),
+        allow: Vec::new(),
+        seeded: None,
     };
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -182,6 +203,19 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("bad --trace-limit: {e}"))?,
                 );
             }
+            "--deny" => {
+                args.deny.push(known_code(
+                    argv.next().ok_or("--deny needs a diagnostic code")?,
+                )?);
+            }
+            "--allow" => {
+                args.allow.push(known_code(
+                    argv.next().ok_or("--allow needs a diagnostic code")?,
+                )?);
+            }
+            "--seeded" => {
+                args.seeded = Some(argv.next().ok_or("--seeded needs an example name")?);
+            }
             "--pair" => {
                 let a = argv
                     .next()
@@ -199,11 +233,25 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
-    if args.file.is_empty() && !(args.command == "check" && args.kernels) && args.command != "bench"
-    {
+    let file_optional = (args.command == "check" && args.kernels)
+        || (args.command == "lint" && (args.kernels || args.seeded.is_some()))
+        || args.command == "bench";
+    if args.file.is_empty() && !file_optional {
         return Err("missing input file".to_string());
     }
     Ok(args)
+}
+
+/// Validates a `--deny`/`--allow` argument against the known code list.
+fn known_code(code: String) -> Result<String, String> {
+    if syncopt::core::KNOWN_CODES.contains(&code.as_str()) {
+        Ok(code)
+    } else {
+        Err(format!(
+            "unknown diagnostic code `{code}` (known: {})",
+            syncopt::core::KNOWN_CODES.join(", ")
+        ))
+    }
 }
 
 fn machine_config(name: &str, procs: u32) -> Result<MachineConfig, String> {
@@ -242,7 +290,7 @@ fn main() -> ExitCode {
 fn real_main() -> Result<(), String> {
     let args = parse_args().map_err(|e| {
         format!(
-            "{e}\nrun with: syncoptc <analyze|opt|run|trace|explain|profile|litmus|check|bench> <file> [flags]"
+            "{e}\nrun with: syncoptc <analyze|opt|run|trace|explain|profile|litmus|check|lint|bench> <file> [flags]"
         )
     })?;
     if args.command == "bench" {
@@ -250,6 +298,9 @@ fn real_main() -> Result<(), String> {
     }
     if args.command == "check" && args.kernels {
         return cmd_check_kernels(&args);
+    }
+    if args.command == "lint" {
+        return cmd_lint(&args);
     }
     let src = std::fs::read_to_string(&args.file)
         .map_err(|e| format!("cannot read {}: {e}", args.file))?;
@@ -262,7 +313,7 @@ fn real_main() -> Result<(), String> {
         "profile" => cmd_profile(&src, &args),
         "litmus" => cmd_litmus(&src, &args),
         "check" => cmd_check(&src, &args),
-        "bench" => unreachable!("handled before the file read"),
+        "lint" | "bench" => unreachable!("handled before the file read"),
         other => Err(format!("unknown command `{other}`")),
     }
 }
@@ -530,11 +581,14 @@ impl CheckOutcome {
 }
 
 /// Runs the race detector and the synchronization warnings over `cfg`,
-/// merging both into one sorted diagnostic list. `--strict` promotes
-/// warnings to errors.
+/// merging both into one sorted diagnostic list. `--strict` additionally
+/// runs the full lint suite and promotes warnings to errors; `--deny` /
+/// `--allow` override per-code severities first (so `--allow` wins over
+/// the strict promotion).
 fn run_check(cfg: &Cfg, args: &Args) -> CheckOutcome {
     let opts = SyncOptions {
         procs: Some(args.procs),
+        threads: args.threads,
         ..SyncOptions::default()
     };
     let races = detect_races(cfg, &opts);
@@ -543,14 +597,167 @@ fn run_check(cfg: &Cfg, args: &Args) -> CheckOutcome {
         diags.push(w.to_diagnostic(cfg));
     }
     if args.strict {
-        for d in &mut diags {
+        diags.extend(syncopt::lint::lint_cfg(cfg, &opts).diagnostics);
+    }
+    finalize_diagnostics(&mut diags, args);
+    CheckOutcome { races, diags }
+}
+
+/// Applies `--deny`/`--allow` severity overrides, then the `--strict`
+/// warning→error promotion, then the canonical sort.
+fn finalize_diagnostics(diags: &mut [Diagnostic], args: &Args) {
+    syncopt::core::apply_severity_overrides(diags, &args.deny, &args.allow);
+    if args.strict {
+        for d in diags.iter_mut() {
             if d.severity == Severity::Warning {
                 d.severity = Severity::Error;
             }
         }
     }
-    sort_diagnostics(&mut diags);
-    CheckOutcome { races, diags }
+    sort_diagnostics(diags);
+}
+
+fn cmd_lint(args: &Args) -> Result<(), String> {
+    if args.kernels {
+        return cmd_lint_kernels(args);
+    }
+    let (src, display) = match &args.seeded {
+        Some(name) => match syncopt::kernels::seeded::seeded_example(name) {
+            Some(ex) => (ex.source.to_string(), format!("seeded:{name}")),
+            None => {
+                let names: Vec<&str> = syncopt::kernels::seeded::seeded_examples()
+                    .iter()
+                    .map(|e| e.name)
+                    .collect();
+                return Err(format!(
+                    "unknown seeded example `{name}` (available: {})",
+                    names.join(", ")
+                ));
+            }
+        },
+        None => (
+            std::fs::read_to_string(&args.file)
+                .map_err(|e| format!("cannot read {}: {e}", args.file))?,
+            args.file.clone(),
+        ),
+    };
+    let c = Syncopt::new(&src)
+        .procs(args.procs)
+        .threads(args.threads)
+        .level(OptLevel::Blocking)
+        .delay(args.delay)
+        .compile()
+        .map_err(|e| render_err(&src, &display, &e))?;
+    let opts = SyncOptions {
+        procs: Some(args.procs),
+        threads: args.threads,
+        ..SyncOptions::default()
+    };
+    let mut report = syncopt::lint::lint_with_analysis(&c.source_cfg, &c.analysis, &opts);
+    finalize_diagnostics(&mut report.diagnostics, args);
+    match args.format {
+        Format::Json => println!("{}", report.to_json(&src, &display, args.procs)),
+        Format::Human => {
+            for d in &report.diagnostics {
+                println!("{}", d.render(&src, &display));
+            }
+            for p in &report.passes {
+                println!(
+                    "pass {:<15} [{}]: {} finding(s)",
+                    p.name,
+                    p.codes.join(", "),
+                    p.findings
+                );
+            }
+            for f in &report.fence_levels {
+                println!(
+                    "fences @ {:<9}: {} live delay pair(s), {} fence(s), all covered",
+                    f.label, f.delay_pairs, f.fences
+                );
+            }
+            println!(
+                "{} error(s), {} warning(s), {} note(s)",
+                report.errors(),
+                report.count(Severity::Warning),
+                report.count(Severity::Note)
+            );
+        }
+    }
+    if report.errors() > 0 {
+        return Err(format!("lint failed: {} error(s)", report.errors()));
+    }
+    Ok(())
+}
+
+fn cmd_lint_kernels(args: &Args) -> Result<(), String> {
+    use syncopt::frontend::prepare_program;
+    use syncopt::ir::lower::lower_main;
+
+    let opts = SyncOptions {
+        procs: Some(args.procs),
+        threads: args.threads,
+        ..SyncOptions::default()
+    };
+    let mut failed = 0usize;
+    let mut rows = Vec::new();
+    for kernel in syncopt::kernels::all_kernels(args.procs) {
+        let cfg = lower_main(&prepare_program(&kernel.source).map_err(|e| {
+            syncopt::core::diag::frontend_diagnostic(&e).render(&kernel.source, kernel.name)
+        })?)
+        .map_err(|e| format!("{}: {e}", kernel.name))?;
+        let mut report = syncopt::lint::lint_cfg(&cfg, &opts);
+        finalize_diagnostics(&mut report.diagnostics, args);
+        failed += usize::from(report.errors() > 0);
+        rows.push((kernel.name, kernel.source.clone(), report));
+    }
+    match args.format {
+        Format::Json => {
+            let kernels = rows
+                .iter()
+                .map(|(name, source, report)| report.to_json(source, name, args.procs))
+                .collect();
+            let wrapper = json::Value::Obj(vec![
+                (
+                    "schema".to_string(),
+                    json::Value::Str(syncopt::core::LINT_SCHEMA.to_string()),
+                ),
+                ("procs".to_string(), json::Value::Int(i64::from(args.procs))),
+                ("kernels".to_string(), json::Value::Arr(kernels)),
+            ]);
+            println!("{wrapper}");
+        }
+        Format::Human => {
+            println!(
+                "{:<10} {:>7} {:>6} {:>6} {:>6}  fences(blocking→full)",
+                "kernel", "errors", "warns", "notes", "D/L/F"
+            );
+            for (name, _, report) in &rows {
+                let dlf = report
+                    .passes
+                    .iter()
+                    .map(|p| p.findings.to_string())
+                    .collect::<Vec<_>>();
+                let fences = report
+                    .fence_levels
+                    .iter()
+                    .map(|f| f.fences.to_string())
+                    .collect::<Vec<_>>();
+                println!(
+                    "{:<10} {:>7} {:>6} {:>6} {:>6}  {}",
+                    name,
+                    report.errors(),
+                    report.count(Severity::Warning),
+                    report.count(Severity::Note),
+                    dlf.join("/"),
+                    fences.join("→")
+                );
+            }
+        }
+    }
+    if failed > 0 {
+        return Err(format!("lint failed: {failed} kernel(s) with errors"));
+    }
+    Ok(())
 }
 
 fn check_summary_json(outcome: &CheckOutcome) -> json::Value {

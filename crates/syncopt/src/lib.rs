@@ -39,6 +39,7 @@
 //! ```
 
 pub mod bench;
+pub mod lint;
 pub mod report;
 pub mod simbench;
 pub mod trace_export;

@@ -1,0 +1,79 @@
+#!/usr/bin/env sh
+# CI smoke test for the synchronization lint engine.
+#
+# Usage: scripts/lint_smoke.sh SYNCOPTC_BIN
+#
+# Exercises `syncoptc lint` end to end:
+#   - a seeded deadlocking program (postwait-deadlock) must FAIL with a
+#     rendered D003 error;
+#   - every built-in kernel must lint with zero error-severity findings
+#     (in particular zero F001 missing-fence errors at every
+#     optimization level);
+#   - JSON output must parse and carry the `syncopt.lint.v1` schema
+#     marker;
+#   - `--allow`/`--deny` severity overrides must flip the exit code.
+# See docs/DIAGNOSTICS.md#linting for the code families and schema.
+set -eu
+
+BIN="${1:-./target/release/syncoptc}"
+
+if [ ! -x "$BIN" ]; then
+    echo "lint_smoke: $BIN not found or not executable (build with: cargo build --release)" >&2
+    exit 2
+fi
+
+TMPDIR_SMOKE="$(mktemp -d)"
+trap 'rm -rf "$TMPDIR_SMOKE"' EXIT
+
+# Minimal structural JSON check without external tools: python3 when
+# available, otherwise a brace-balance sanity pass.
+json_parses() {
+    if command -v python3 >/dev/null 2>&1; then
+        python3 -c 'import json,sys; json.load(open(sys.argv[1]))' "$1"
+    else
+        head -c 1 "$1" | grep -q '{' && tail -c 2 "$1" | grep -q '}'
+    fi
+}
+
+require() {
+    if ! grep -q "$2" "$1"; then
+        echo "lint_smoke: $1 is missing $2" >&2
+        exit 1
+    fi
+}
+
+echo "== lint --seeded postwait-deadlock (must fail) =="
+out="$TMPDIR_SMOKE/deadlock.txt"
+if "$BIN" lint --seeded postwait-deadlock > "$out" 2>&1; then
+    echo "lint_smoke: seeded deadlock unexpectedly passed" >&2
+    exit 1
+fi
+require "$out" 'error\[D003\]'
+
+echo "== lint --seeded postwait-deadlock --allow D003 (must pass) =="
+"$BIN" lint --seeded postwait-deadlock --allow D003 > /dev/null
+
+echo "== lint --seeded lock-cycle --deny D001 (must fail) =="
+if "$BIN" lint --seeded lock-cycle --deny D001 > /dev/null 2>&1; then
+    echo "lint_smoke: --deny D001 unexpectedly passed" >&2
+    exit 1
+fi
+
+echo "== lint --kernels (must pass, zero F001) =="
+kernels="$TMPDIR_SMOKE/kernels.json"
+"$BIN" lint --kernels --format json > "$kernels"
+json_parses "$kernels" || { echo "lint_smoke: $kernels is not valid JSON" >&2; exit 1; }
+require "$kernels" '"schema":"syncopt.lint.v1"'
+if grep -q '"code":"F001"' "$kernels"; then
+    echo "lint_smoke: kernels reported a missing fence (F001)" >&2
+    exit 1
+fi
+
+echo "== lint programs/figure1.ms --format json =="
+file_report="$TMPDIR_SMOKE/figure1.json"
+"$BIN" lint programs/figure1.ms --format json > "$file_report"
+json_parses "$file_report" || { echo "lint_smoke: $file_report is not valid JSON" >&2; exit 1; }
+require "$file_report" '"schema":"syncopt.lint.v1"'
+require "$file_report" '"fence_levels"'
+
+echo "lint_smoke: seeded deadlock caught, kernels clean, JSON schema valid"

@@ -1,0 +1,90 @@
+//! Drift test: every diagnostic code emitted anywhere in the workspace
+//! must be registered in `syncopt::core::KNOWN_CODES` and documented
+//! with a `### CODE` heading in `docs/DIAGNOSTICS.md`.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap()
+}
+
+/// Extracts word-bounded diagnostic-code tokens (`E001`, `W003`,
+/// `D001`, ...) from `text`.
+fn code_tokens(text: &str) -> BTreeSet<String> {
+    let bytes = text.as_bytes();
+    let mut out = BTreeSet::new();
+    let is_word = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    for (i, &b) in bytes.iter().enumerate() {
+        if !matches!(b, b'E' | b'W' | b'R' | b'P' | b'D' | b'L' | b'F') {
+            continue;
+        }
+        if i > 0 && is_word(bytes[i - 1]) {
+            continue;
+        }
+        if i + 4 > bytes.len() || !bytes[i + 1..i + 4].iter().all(u8::is_ascii_digit) {
+            continue;
+        }
+        if i + 4 < bytes.len() && is_word(bytes[i + 4]) {
+            continue;
+        }
+        out.insert(text[i..i + 4].to_string());
+    }
+    out
+}
+
+fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in std::fs::read_dir(dir).unwrap() {
+        let path = entry.unwrap().path();
+        if path.is_dir() {
+            // `target/` never appears under crates/*/src or tests/.
+            rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn every_emitted_code_is_known_and_documented() {
+    let root = repo_root();
+    let mut files = Vec::new();
+    rs_files(&root.join("crates"), &mut files);
+    rs_files(&root.join("tests"), &mut files);
+    assert!(files.len() > 20, "source scan found too few files");
+
+    let mut emitted = BTreeSet::new();
+    for f in &files {
+        // Skip build artifacts if a stray target/ dir exists in a crate.
+        if f.components().any(|c| c.as_os_str() == "target") {
+            continue;
+        }
+        emitted.extend(code_tokens(&std::fs::read_to_string(f).unwrap()));
+    }
+    assert!(
+        emitted.contains("R001") && emitted.contains("F001"),
+        "scan looks broken: {emitted:?}"
+    );
+
+    let docs = std::fs::read_to_string(root.join("docs/DIAGNOSTICS.md")).unwrap();
+    for code in &emitted {
+        assert!(
+            syncopt::core::KNOWN_CODES.contains(&code.as_str()),
+            "{code} is emitted but missing from syncopt::core::KNOWN_CODES"
+        );
+        assert!(
+            docs.contains(&format!("### {code}")),
+            "{code} is emitted but has no `### {code}` entry in docs/DIAGNOSTICS.md"
+        );
+    }
+    // And the registry itself carries no dead codes.
+    for code in syncopt::core::KNOWN_CODES {
+        assert!(
+            emitted.contains(*code),
+            "{code} is in KNOWN_CODES but never appears in the sources"
+        );
+    }
+}
