@@ -39,6 +39,7 @@
 
 pub mod affine;
 pub mod barrier;
+pub mod cache;
 pub mod conflict;
 pub mod corpus;
 pub mod cycle;
@@ -56,6 +57,7 @@ pub mod sync;
 pub mod warnings;
 
 pub use barrier::BarrierPolicy;
+pub use cache::{ArtifactCache, CacheStats};
 pub use conflict::ConflictSet;
 pub use cycle::shasha_snir;
 pub use delay::DelaySet;

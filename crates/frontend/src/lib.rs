@@ -42,6 +42,7 @@
 
 pub mod ast;
 pub mod error;
+pub mod fingerprint;
 pub mod inline;
 pub mod lexer;
 pub mod parser;
@@ -54,6 +55,7 @@ pub use ast::{
     BinOp, Decl, Expr, ExprKind, Function, LValue, Param, Program, Stmt, StmtKind, Type, UnOp,
 };
 pub use error::{FrontendError, FrontendErrorKind};
+pub use fingerprint::Fingerprint;
 pub use span::Span;
 
 /// Parses `minisplit` source text into an AST without type checking.

@@ -33,48 +33,83 @@ enum Binding {
 /// misused names, type mismatches, bad call arity, or use of a
 /// synchronization object as data.
 pub fn check(program: &Program) -> Result<(), FrontendError> {
-    let mut globals: HashMap<&str, Binding> = HashMap::new();
-    for decl in &program.decls {
-        let binding = match decl {
-            Decl::SharedScalar { ty, .. } => Binding::SharedScalar(*ty),
-            Decl::SharedArray { ty, .. } => Binding::SharedArray(*ty),
-            Decl::Flag { .. } => Binding::Flag,
-            Decl::FlagArray { .. } => Binding::FlagArray,
-            Decl::Lock { .. } => Binding::Lock,
-        };
-        if globals.insert(decl.name(), binding).is_some() {
-            return Err(FrontendError::ty(
-                decl.span(),
-                format!("duplicate global declaration of `{}`", decl.name()),
-            ));
-        }
-    }
-
-    let mut seen_fns: HashMap<&str, Span> = HashMap::new();
+    let ctx = ProgramContext::build(program)?;
     for func in &program.functions {
-        if seen_fns.insert(&func.name, func.span).is_some() {
-            return Err(FrontendError::ty(
-                func.span,
-                format!("duplicate function `{}`", func.name),
-            ));
-        }
-        if globals.contains_key(func.name.as_str()) {
-            return Err(FrontendError::ty(
-                func.span,
-                format!("function `{}` shadows a global declaration", func.name),
-            ));
-        }
-    }
-
-    for func in &program.functions {
-        Checker {
-            program,
-            globals: &globals,
-            locals: HashMap::new(),
-        }
-        .check_function(func)?;
+        ctx.check_function(func)?;
     }
     Ok(())
+}
+
+/// The program-level facts a single function's type checking depends on:
+/// the global declaration table plus every function signature. Building
+/// the context performs the program-level checks (duplicate declarations,
+/// duplicate or shadowing functions); individual functions can then be
+/// checked — and cached — independently via
+/// [`check_function`](ProgramContext::check_function). This is the
+/// per-function hook the incremental session API keys its `fncheck`
+/// artifacts on: a context fingerprint plus a function fingerprint
+/// identify a check result exactly.
+pub struct ProgramContext<'a> {
+    program: &'a Program,
+    globals: HashMap<&'a str, Binding>,
+}
+
+impl<'a> ProgramContext<'a> {
+    /// Builds the context, performing all program-level checks.
+    ///
+    /// # Errors
+    ///
+    /// Returns duplicate-declaration, duplicate-function, or
+    /// global-shadowing errors.
+    pub fn build(program: &'a Program) -> Result<Self, FrontendError> {
+        let mut globals: HashMap<&str, Binding> = HashMap::new();
+        for decl in &program.decls {
+            let binding = match decl {
+                Decl::SharedScalar { ty, .. } => Binding::SharedScalar(*ty),
+                Decl::SharedArray { ty, .. } => Binding::SharedArray(*ty),
+                Decl::Flag { .. } => Binding::Flag,
+                Decl::FlagArray { .. } => Binding::FlagArray,
+                Decl::Lock { .. } => Binding::Lock,
+            };
+            if globals.insert(decl.name(), binding).is_some() {
+                return Err(FrontendError::ty(
+                    decl.span(),
+                    format!("duplicate global declaration of `{}`", decl.name()),
+                ));
+            }
+        }
+
+        let mut seen_fns: HashMap<&str, Span> = HashMap::new();
+        for func in &program.functions {
+            if seen_fns.insert(&func.name, func.span).is_some() {
+                return Err(FrontendError::ty(
+                    func.span,
+                    format!("duplicate function `{}`", func.name),
+                ));
+            }
+            if globals.contains_key(func.name.as_str()) {
+                return Err(FrontendError::ty(
+                    func.span,
+                    format!("function `{}` shadows a global declaration", func.name),
+                ));
+            }
+        }
+        Ok(ProgramContext { program, globals })
+    }
+
+    /// Type checks one function against this context.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first type error in the function body.
+    pub fn check_function(&self, func: &Function) -> Result<(), FrontendError> {
+        Checker {
+            program: self.program,
+            globals: &self.globals,
+            locals: HashMap::new(),
+        }
+        .check_function(func)
+    }
 }
 
 struct Checker<'a> {

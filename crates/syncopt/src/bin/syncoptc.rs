@@ -43,6 +43,10 @@
 //!     compares the fresh counters against a committed baseline and exits
 //!     1 on a >20% regression; `--threads` fans independent configs
 //!     across workers without changing any counter
+//! syncoptc ping|stats|shutdown [--socket PATH]
+//!     control a running syncoptd: liveness probe, cumulative cache
+//!     statistics (schema syncopt.rpc.v1), clean shutdown
+//! ```
 //!
 //! `opt --dot` emits Graphviz instead of text; `run --trace` appends the
 //! first 200 trace events; `run --emit-report <path>` writes the pipeline
@@ -52,8 +56,19 @@
 //! `--strict` promotion.
 //! `run` and `profile` honor `--format json` (machine-readable report on
 //! stdout); `profile` also accepts `--format table` for the side-by-side
-//! comparison (the default).
+//! comparison (the default). With `--format json` every command emits
+//! exactly one schema-versioned JSON document on stdout; diagnostics and
+//! notes go to stderr.
 //!
+//! Every command except `bench` also accepts `--daemon [--socket PATH]`,
+//! which sends the query to a running `syncoptd` (speaking
+//! syncopt.rpc.v1) instead of analyzing in-process. The daemon keeps a
+//! content-addressed artifact cache across requests, so repeated queries
+//! are answered without recomputing, with byte-identical output. File
+//! artifacts (`--emit-report`, `trace --out`) are returned over the
+//! protocol and written locally by the client.
+//!
+//! ```text
 //! L ∈ blocking|pipelined|oneway|full      (default pipelined)
 //! D ∈ ss|sync                             (default sync)
 //! M ∈ cm5|t3d|dash                        (default cm5)
@@ -61,14 +76,10 @@
 //! ```
 
 use std::process::ExitCode;
-use syncopt::core::diag::{json, sort_diagnostics, Diagnostic, Severity};
-use syncopt::core::races::{detect_races, race_diagnostics, RaceAnalysis};
-use syncopt::core::warnings::sync_warnings;
-use syncopt::core::{DelaySet, SyncOptions};
-use syncopt::ir::cfg::Cfg;
-use syncopt::machine::litmus::{sc_outcomes, weak_outcomes};
-use syncopt::machine::MachineConfig;
-use syncopt::{DelayChoice, OptLevel, Syncopt, TraceLevel};
+use syncopt::commands::{execute, parse_delay, parse_level, CmdOut, Format, Query};
+use syncopt::core::diag::json;
+use syncopt::session::AnalysisSession;
+use syncopt::{DelayChoice, OptLevel};
 
 struct Args {
     command: String,
@@ -94,12 +105,8 @@ struct Args {
     deny: Vec<String>,
     allow: Vec<String>,
     seeded: Option<String>,
-}
-
-#[derive(Clone, Copy, PartialEq, Eq)]
-enum Format {
-    Human,
-    Json,
+    daemon: bool,
+    socket: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -134,6 +141,8 @@ fn parse_args() -> Result<Args, String> {
         deny: Vec::new(),
         allow: Vec::new(),
         seeded: None,
+        daemon: false,
+        socket: None,
     };
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -145,20 +154,14 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("bad --procs: {e}"))?;
             }
             "--level" => {
-                args.level = match argv.next().ok_or("--level needs a value")?.as_str() {
-                    "blocking" => OptLevel::Blocking,
-                    "pipelined" => OptLevel::Pipelined,
-                    "oneway" => OptLevel::OneWay,
-                    "full" => OptLevel::Full,
-                    other => return Err(format!("unknown level `{other}`")),
-                };
+                let label = argv.next().ok_or("--level needs a value")?;
+                args.level =
+                    parse_level(&label).ok_or_else(|| format!("unknown level `{label}`"))?;
             }
             "--delay" => {
-                args.delay = match argv.next().ok_or("--delay needs a value")?.as_str() {
-                    "ss" => DelayChoice::ShashaSnir,
-                    "sync" => DelayChoice::SyncRefined,
-                    other => return Err(format!("unknown delay choice `{other}`")),
-                };
+                let label = argv.next().ok_or("--delay needs a value")?;
+                args.delay =
+                    parse_delay(&label).ok_or_else(|| format!("unknown delay choice `{label}`"))?;
             }
             "--machine" => {
                 args.machine = argv.next().ok_or("--machine needs a value")?;
@@ -169,11 +172,9 @@ fn parse_args() -> Result<Args, String> {
             "--strict" => args.strict = true,
             "--kernels" => args.kernels = true,
             "--format" => {
-                args.format = match argv.next().ok_or("--format needs a value")?.as_str() {
-                    "human" | "table" => Format::Human,
-                    "json" => Format::Json,
-                    other => return Err(format!("unknown format `{other}`")),
-                };
+                let label = argv.next().ok_or("--format needs a value")?;
+                args.format =
+                    Format::parse(&label).ok_or_else(|| format!("unknown format `{label}`"))?;
             }
             "--emit-report" => {
                 args.emit_report = Some(argv.next().ok_or("--emit-report needs a path")?);
@@ -230,12 +231,19 @@ fn parse_args() -> Result<Args, String> {
                 };
                 args.pair = Some((parse(&a)?, parse(&b)?));
             }
+            "--daemon" => args.daemon = true,
+            "--socket" => {
+                args.socket = Some(argv.next().ok_or("--socket needs a path")?);
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
     let file_optional = (args.command == "check" && args.kernels)
         || (args.command == "lint" && (args.kernels || args.seeded.is_some()))
-        || args.command == "bench";
+        || matches!(
+            args.command.as_str(),
+            "bench" | "ping" | "stats" | "shutdown"
+        );
     if args.file.is_empty() && !file_optional {
         return Err("missing input file".to_string());
     }
@@ -252,15 +260,6 @@ fn known_code(code: String) -> Result<String, String> {
             syncopt::core::KNOWN_CODES.join(", ")
         ))
     }
-}
-
-fn machine_config(name: &str, procs: u32) -> Result<MachineConfig, String> {
-    Ok(match name {
-        "cm5" => MachineConfig::cm5(procs),
-        "t3d" => MachineConfig::t3d(procs),
-        "dash" => MachineConfig::dash(procs),
-        other => return Err(format!("unknown machine `{other}`")),
-    })
 }
 
 fn main() -> ExitCode {
@@ -294,556 +293,136 @@ fn real_main() -> Result<(), String> {
         )
     })?;
     if args.command == "bench" {
+        if args.daemon {
+            return Err(
+                "`bench` measures this machine and does not route through the daemon".to_string(),
+            );
+        }
         return cmd_bench(&args);
     }
-    if args.command == "check" && args.kernels {
-        return cmd_check_kernels(&args);
+    if matches!(args.command.as_str(), "ping" | "stats" | "shutdown") {
+        return cmd_daemon_control(&args);
     }
-    if args.command == "lint" {
-        return cmd_lint(&args);
-    }
-    let src = std::fs::read_to_string(&args.file)
-        .map_err(|e| format!("cannot read {}: {e}", args.file))?;
-    match args.command.as_str() {
-        "analyze" => cmd_analyze(&src, &args),
-        "opt" => cmd_opt(&src, &args),
-        "run" => cmd_run(&src, &args),
-        "trace" => cmd_trace(&src, &args),
-        "explain" => cmd_explain(&src, &args),
-        "profile" => cmd_profile(&src, &args),
-        "litmus" => cmd_litmus(&src, &args),
-        "check" => cmd_check(&src, &args),
-        "lint" | "bench" => unreachable!("handled before the file read"),
-        other => Err(format!("unknown command `{other}`")),
-    }
-}
-
-fn cmd_analyze(src: &str, args: &Args) -> Result<(), String> {
-    let c = Syncopt::new(src)
-        .procs(args.procs)
-        .threads(args.threads)
-        .level(OptLevel::Blocking)
-        .delay(args.delay)
-        .compile()
-        .map_err(|e| render_err(src, &args.file, &e))?;
-    let s = c.analysis.stats();
-    println!("access sites:          {}", s.accesses);
-    println!("conflicting pairs:     {}", s.conflict_pairs);
-    println!("|D_SS| (Shasha-Snir):  {}", s.delay_ss);
-    println!("|D|    (refined):      {}", s.delay_sync);
-    println!("|R|    (precedence):   {}", s.precedence_pairs);
-    println!("aligned barriers:      {}", s.aligned_barriers);
-    println!();
-    println!("refined delay pairs:");
-    for (u, v) in c.analysis.delay_sync.pairs() {
-        let d = |a: syncopt::ir::ids::AccessId| {
-            let i = c.source_cfg.accesses.info(a);
-            let var = i
-                .var
-                .map(|v| c.source_cfg.vars.info(v).name.clone())
-                .unwrap_or_default();
-            let (line, col) = i.span.line_col(src);
-            format!("{a} {:?} {var} @{line}:{col}", i.kind)
-        };
-        println!("  {}  →  {}", d(u), d(v));
-    }
-    let warnings = syncopt::core::sync_warnings(&c.source_cfg);
-    if !warnings.is_empty() {
-        println!();
-        for w in warnings {
-            println!("warning: {w}");
-        }
-    }
-    Ok(())
-}
-
-fn cmd_opt(src: &str, args: &Args) -> Result<(), String> {
-    let c = Syncopt::new(src)
-        .procs(args.procs)
-        .threads(args.threads)
-        .level(args.level)
-        .delay(args.delay)
-        .compile()
-        .map_err(|e| render_err(src, &args.file, &e))?;
-    if args.dot {
-        println!(
-            "{}",
-            syncopt::ir::print::cfg_to_dot(&c.optimized.cfg, &args.file)
-        );
-        return Ok(());
-    }
-    println!("{:#?}", c.optimized.stats);
-    if args.dump {
-        println!("\n{}", syncopt::ir::print::cfg_to_string(&c.optimized.cfg));
-    }
-    Ok(())
-}
-
-fn cmd_run(src: &str, args: &Args) -> Result<(), String> {
-    let config = machine_config(&args.machine, args.procs)?;
-    let r = Syncopt::new(src)
-        .procs(args.procs)
-        .threads(args.threads)
-        .level(args.level)
-        .delay(args.delay)
-        .trace(if args.trace {
-            TraceLevel::Events
-        } else {
-            TraceLevel::Off
-        })
-        .trace_limit(args.trace_limit.unwrap_or(syncopt::DEFAULT_TRACE_LIMIT))
-        .run(&config)
-        .map_err(|e| render_err(src, &args.file, &e))?;
-    if let Some(path) = &args.emit_report {
-        std::fs::write(path, format!("{}\n", r.report().to_json()))
-            .map_err(|e| format!("cannot write {path}: {e}"))?;
-        eprintln!("pipeline report written to {path}");
-    }
-    if args.format == Format::Json {
-        println!("{}", r.report().to_json());
-        return Ok(());
-    }
-    if let Some(trace) = &r.trace {
-        println!("--- trace (first 200 events) ---");
-        for e in trace.events().iter().take(200) {
-            println!("{e}");
-        }
-        println!("--------------------------------");
-    }
-    println!("machine:            {} × {}", config.procs, config.name);
-    println!("execution:          {} cycles", r.sim.exec_cycles);
-    println!("messages:           {}", r.sim.net.total_messages());
-    println!(
-        "  gets/replies:     {}/{}",
-        r.sim.net.get_requests, r.sim.net.get_replies
-    );
-    println!(
-        "  puts/acks:        {}/{}",
-        r.sim.net.put_requests, r.sim.net.put_acks
-    );
-    println!("  stores:           {}", r.sim.net.store_requests);
-    println!("  barriers:         {}", r.sim.net.barriers);
-    println!(
-        "stalls (cycles):    sync {} | barrier {} | wait {} | lock {} | blocking {}",
-        r.sim.stalls.sync,
-        r.sim.stalls.barrier,
-        r.sim.stalls.wait,
-        r.sim.stalls.lock,
-        r.sim.stalls.blocking
-    );
-    println!("barriers aligned:   {}", r.sim.barriers_aligned);
-    println!("final shared memory:");
-    for (var, vals) in &r.sim.memory {
-        let name = &r.compiled.source_cfg.vars.info(*var).name;
-        if vals.len() == 1 {
-            println!("  {name} = {}", vals[0]);
-        } else {
-            let shown: Vec<String> = vals.iter().take(16).map(|v| v.to_string()).collect();
-            let ellipsis = if vals.len() > 16 { ", ..." } else { "" };
-            println!("  {name} = [{}{}]", shown.join(", "), ellipsis);
-        }
-    }
-    Ok(())
-}
-
-fn cmd_trace(src: &str, args: &Args) -> Result<(), String> {
-    let config = machine_config(&args.machine, args.procs)?;
-    let r = Syncopt::new(src)
-        .procs(args.procs)
-        .threads(args.threads)
-        .level(args.level)
-        .delay(args.delay)
-        .trace(TraceLevel::Events)
-        .trace_limit(args.trace_limit.unwrap_or(syncopt::DEFAULT_TRACE_LIMIT))
-        .run(&config)
-        .map_err(|e| render_err(src, &args.file, &e))?;
-    let trace = r.trace.as_ref().expect("Events tracing always captures");
-    // The exported timeline must reproduce the cycle accounting exactly;
-    // a mismatch is an instrumentation bug, not a user error.
-    if !trace.truncated() {
-        syncopt::verify_span_accounting(trace, &r.sim)
-            .map_err(|e| format!("trace/accounting invariant violated: {e}"))?;
-    }
-    let json = syncopt::chrome_trace(trace, &r.sim, &r.compiled.optimized.cfg);
-    match &args.out {
-        Some(path) => {
-            std::fs::write(path, format!("{json}\n"))
-                .map_err(|e| format!("cannot write {path}: {e}"))?;
-            eprintln!(
-                "trace written to {path} ({} events{}); open in https://ui.perfetto.dev or chrome://tracing",
-                json.get("traceEvents").and_then(json::Value::as_arr).map_or(0, |a| a.len()),
-                if trace.truncated() { ", TRUNCATED" } else { "" },
-            );
-        }
-        None => println!("{json}"),
-    }
-    Ok(())
-}
-
-fn cmd_explain(src: &str, args: &Args) -> Result<(), String> {
-    let c = Syncopt::new(src)
-        .procs(args.procs)
-        .threads(args.threads)
-        .level(OptLevel::Blocking)
-        .delay(args.delay)
-        .compile()
-        .map_err(|e| render_err(src, &args.file, &e))?;
-    // Must match the options `compile` analyzed with, so the recomputed
-    // seed facts line up with the precedence relation being explained.
-    let opts = SyncOptions {
-        procs: Some(args.procs),
-        threads: args.threads,
-        ..SyncOptions::default()
-    };
-    let mut report = syncopt::core::explain(&c.source_cfg, &c.analysis, &opts);
-    if let Some((a, b)) = args.pair {
-        report
-            .kept
-            .retain(|k| (k.u.index(), k.v.index()) == (a as usize, b as usize));
-        report
-            .dropped
-            .retain(|d| (d.u.index(), d.v.index()) == (a as usize, b as usize));
-        if report.kept.is_empty() && report.dropped.is_empty() {
-            return Err(format!(
-                "pair (a{a}, a{b}) is not in D_SS — nothing to explain \
-                 (run `syncoptc explain` without --pair to list all pairs)"
-            ));
-        }
-    }
-    if args.format == Format::Json {
-        println!("{}", report.to_json(&c.source_cfg, src));
-        return Ok(());
-    }
-    println!(
-        "delay-set provenance: {} kept, {} dropped (|D_SS| = {})",
-        report.kept.len(),
-        report.dropped.len(),
-        report.kept.len() + report.dropped.len()
-    );
-    println!();
-    for d in report.to_diagnostics(&c.source_cfg) {
-        print!("{}", d.render(src, &args.file));
-    }
-    Ok(())
-}
-
-fn cmd_profile(src: &str, args: &Args) -> Result<(), String> {
-    let config = machine_config(&args.machine, args.procs)?;
-    let p = Syncopt::new(src)
-        .procs(args.procs)
-        .threads(args.threads)
-        .level(args.level)
-        .delay(args.delay)
-        .profile(&config)
-        .map_err(|e| render_err(src, &args.file, &e))?;
-    match args.format {
-        Format::Json => println!("{}", p.to_json()),
-        Format::Human => print!("{}", p.render_table()),
-    }
-    Ok(())
-}
-
-fn cmd_litmus(src: &str, args: &Args) -> Result<(), String> {
-    let c = Syncopt::new(src)
-        .procs(args.procs)
-        .threads(args.threads)
-        .level(OptLevel::Blocking)
-        .delay(args.delay)
-        .compile()
-        .map_err(|e| render_err(src, &args.file, &e))?;
-    let cfg = &c.source_cfg;
-    let sc = sc_outcomes(cfg, args.procs).map_err(|e| e.to_string())?;
-    let none = weak_outcomes(cfg, &DelaySet::new(cfg.accesses.len()), args.procs)
-        .map_err(|e| e.to_string())?;
-    let refined =
-        weak_outcomes(cfg, &c.analysis.delay_sync, args.procs).map_err(|e| e.to_string())?;
-    println!("SC outcomes:                 {sc:?}");
-    println!("weak outcomes, no delays:    {none:?}");
-    println!("weak outcomes, refined D:    {refined:?}");
-    println!("refined D preserves SC:      {}", refined.is_subset(&sc));
-    Ok(())
-}
-
-/// Everything `check` computes for one program.
-struct CheckOutcome {
-    races: RaceAnalysis,
-    diags: Vec<Diagnostic>,
-}
-
-impl CheckOutcome {
-    fn errors(&self) -> usize {
-        self.count(Severity::Error)
-    }
-
-    fn count(&self, s: Severity) -> usize {
-        self.diags.iter().filter(|d| d.severity == s).count()
-    }
-}
-
-/// Runs the race detector and the synchronization warnings over `cfg`,
-/// merging both into one sorted diagnostic list. `--strict` additionally
-/// runs the full lint suite and promotes warnings to errors; `--deny` /
-/// `--allow` override per-code severities first (so `--allow` wins over
-/// the strict promotion).
-fn run_check(cfg: &Cfg, args: &Args) -> CheckOutcome {
-    let opts = SyncOptions {
-        procs: Some(args.procs),
-        threads: args.threads,
-        ..SyncOptions::default()
-    };
-    let races = detect_races(cfg, &opts);
-    let mut diags = race_diagnostics(cfg, &races);
-    for w in sync_warnings(cfg) {
-        diags.push(w.to_diagnostic(cfg));
-    }
-    if args.strict {
-        diags.extend(syncopt::lint::lint_cfg(cfg, &opts).diagnostics);
-    }
-    finalize_diagnostics(&mut diags, args);
-    CheckOutcome { races, diags }
-}
-
-/// Applies `--deny`/`--allow` severity overrides, then the `--strict`
-/// warning→error promotion, then the canonical sort.
-fn finalize_diagnostics(diags: &mut [Diagnostic], args: &Args) {
-    syncopt::core::apply_severity_overrides(diags, &args.deny, &args.allow);
-    if args.strict {
-        for d in diags.iter_mut() {
-            if d.severity == Severity::Warning {
-                d.severity = Severity::Error;
-            }
-        }
-    }
-    sort_diagnostics(diags);
-}
-
-fn cmd_lint(args: &Args) -> Result<(), String> {
-    if args.kernels {
-        return cmd_lint_kernels(args);
-    }
-    let (src, display) = match &args.seeded {
-        Some(name) => match syncopt::kernels::seeded::seeded_example(name) {
-            Some(ex) => (ex.source.to_string(), format!("seeded:{name}")),
-            None => {
-                let names: Vec<&str> = syncopt::kernels::seeded::seeded_examples()
-                    .iter()
-                    .map(|e| e.name)
-                    .collect();
-                return Err(format!(
-                    "unknown seeded example `{name}` (available: {})",
-                    names.join(", ")
-                ));
-            }
-        },
-        None => (
+    // Read the input locally even in daemon mode: the source travels in
+    // the query, so the daemon never needs access to the client's files.
+    let needs_file = !(args.kernels || args.seeded.is_some());
+    let source = if needs_file {
+        Some(
             std::fs::read_to_string(&args.file)
                 .map_err(|e| format!("cannot read {}: {e}", args.file))?,
-            args.file.clone(),
-        ),
+        )
+    } else {
+        None
     };
-    let c = Syncopt::new(&src)
-        .procs(args.procs)
-        .threads(args.threads)
-        .level(OptLevel::Blocking)
-        .delay(args.delay)
-        .compile()
-        .map_err(|e| render_err(&src, &display, &e))?;
-    let opts = SyncOptions {
-        procs: Some(args.procs),
+    let query = Query {
+        command: args.command.clone(),
+        file: args.file.clone(),
+        source,
+        procs: args.procs,
+        level: args.level,
+        delay: args.delay,
+        machine: args.machine.clone(),
+        dump: args.dump,
+        dot: args.dot,
+        trace: args.trace,
+        strict: args.strict,
+        kernels: args.kernels,
+        format: args.format,
+        emit_report: args.emit_report.clone(),
         threads: args.threads,
-        ..SyncOptions::default()
+        out: args.out.clone(),
+        trace_limit: args.trace_limit,
+        pair: args.pair,
+        deny: args.deny.clone(),
+        allow: args.allow.clone(),
+        seeded: args.seeded.clone(),
     };
-    let mut report = syncopt::lint::lint_with_analysis(&c.source_cfg, &c.analysis, &opts);
-    finalize_diagnostics(&mut report.diagnostics, args);
-    match args.format {
-        Format::Json => println!("{}", report.to_json(&src, &display, args.procs)),
-        Format::Human => {
-            for d in &report.diagnostics {
-                println!("{}", d.render(&src, &display));
-            }
-            for p in &report.passes {
-                println!(
-                    "pass {:<15} [{}]: {} finding(s)",
-                    p.name,
-                    p.codes.join(", "),
-                    p.findings
-                );
-            }
-            for f in &report.fence_levels {
-                println!(
-                    "fences @ {:<9}: {} live delay pair(s), {} fence(s), all covered",
-                    f.label, f.delay_pairs, f.fences
-                );
-            }
-            println!(
-                "{} error(s), {} warning(s), {} note(s)",
-                report.errors(),
-                report.count(Severity::Warning),
-                report.count(Severity::Note)
-            );
-        }
-    }
-    if report.errors() > 0 {
-        return Err(format!("lint failed: {} error(s)", report.errors()));
-    }
-    Ok(())
-}
-
-fn cmd_lint_kernels(args: &Args) -> Result<(), String> {
-    use syncopt::frontend::prepare_program;
-    use syncopt::ir::lower::lower_main;
-
-    let opts = SyncOptions {
-        procs: Some(args.procs),
-        threads: args.threads,
-        ..SyncOptions::default()
+    let out = if args.daemon {
+        daemon_query(&args, &query)?
+    } else {
+        execute(&mut AnalysisSession::new(), &query)
     };
-    let mut failed = 0usize;
-    let mut rows = Vec::new();
-    for kernel in syncopt::kernels::all_kernels(args.procs) {
-        let cfg = lower_main(&prepare_program(&kernel.source).map_err(|e| {
-            syncopt::core::diag::frontend_diagnostic(&e).render(&kernel.source, kernel.name)
-        })?)
-        .map_err(|e| format!("{}: {e}", kernel.name))?;
-        let mut report = syncopt::lint::lint_cfg(&cfg, &opts);
-        finalize_diagnostics(&mut report.diagnostics, args);
-        failed += usize::from(report.errors() > 0);
-        rows.push((kernel.name, kernel.source.clone(), report));
+    emit(out)
+}
+
+/// Prints a command result exactly as the engine produced it: the file
+/// artifact first (matching the pre-daemon flag order), then stdout
+/// verbatim, then the failure (if any) via the exit-1 path.
+fn emit(out: CmdOut) -> Result<(), String> {
+    if let Some(file) = out.file {
+        std::fs::write(&file.path, &file.content)
+            .map_err(|e| format!("cannot write {}: {e}", file.path))?;
+        eprintln!("{}", file.note);
     }
-    match args.format {
-        Format::Json => {
-            let kernels = rows
-                .iter()
-                .map(|(name, source, report)| report.to_json(source, name, args.procs))
-                .collect();
-            let wrapper = json::Value::Obj(vec![
-                (
-                    "schema".to_string(),
-                    json::Value::Str(syncopt::core::LINT_SCHEMA.to_string()),
-                ),
-                ("procs".to_string(), json::Value::Int(i64::from(args.procs))),
-                ("kernels".to_string(), json::Value::Arr(kernels)),
-            ]);
-            println!("{wrapper}");
+    print!("{}", out.stdout);
+    match out.failure {
+        Some(msg) => Err(msg),
+        None => Ok(()),
+    }
+}
+
+#[cfg(unix)]
+fn socket_path(args: &Args) -> std::path::PathBuf {
+    args.socket
+        .as_ref()
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(syncopt::daemon::default_socket_path)
+}
+
+#[cfg(unix)]
+fn connect(args: &Args) -> Result<syncopt::client::DaemonClient, String> {
+    let path = socket_path(args);
+    syncopt::client::DaemonClient::connect(&path).map_err(|e| {
+        format!(
+            "cannot connect to syncoptd at {}: {e} (start it with `syncoptd --socket {}`)",
+            path.display(),
+            path.display()
+        )
+    })
+}
+
+#[cfg(unix)]
+fn daemon_query(args: &Args, query: &Query) -> Result<CmdOut, String> {
+    let (out, _cache) = connect(args)?.query(query)?;
+    Ok(out)
+}
+
+#[cfg(unix)]
+fn cmd_daemon_control(args: &Args) -> Result<(), String> {
+    let mut client = connect(args)?;
+    match args.command.as_str() {
+        "ping" => {
+            client.ping()?;
+            println!("pong");
         }
-        Format::Human => {
-            println!(
-                "{:<10} {:>7} {:>6} {:>6} {:>6}  fences(blocking→full)",
-                "kernel", "errors", "warns", "notes", "D/L/F"
-            );
-            for (name, _, report) in &rows {
-                let dlf = report
-                    .passes
-                    .iter()
-                    .map(|p| p.findings.to_string())
-                    .collect::<Vec<_>>();
-                let fences = report
-                    .fence_levels
-                    .iter()
-                    .map(|f| f.fences.to_string())
-                    .collect::<Vec<_>>();
-                println!(
-                    "{:<10} {:>7} {:>6} {:>6} {:>6}  {}",
-                    name,
-                    report.errors(),
-                    report.count(Severity::Warning),
-                    report.count(Severity::Note),
-                    dlf.join("/"),
-                    fences.join("→")
-                );
+        "stats" => {
+            let stats = client.stats()?;
+            let mut doc = vec![(
+                "schema".to_string(),
+                json::Value::Str(syncopt::rpc::RPC_SCHEMA.to_string()),
+            )];
+            if let json::Value::Obj(fields) = stats {
+                doc.extend(fields);
             }
+            println!("{}", json::Value::Obj(doc));
         }
-    }
-    if failed > 0 {
-        return Err(format!("lint failed: {failed} kernel(s) with errors"));
+        "shutdown" => {
+            client.shutdown()?;
+            eprintln!("syncoptd stopped");
+        }
+        _ => unreachable!("guarded by the caller"),
     }
     Ok(())
 }
 
-fn check_summary_json(outcome: &CheckOutcome) -> json::Value {
-    json::Value::Obj(vec![
-        (
-            "errors".to_string(),
-            json::Value::Int(outcome.errors() as i64),
-        ),
-        (
-            "warnings".to_string(),
-            json::Value::Int(outcome.count(Severity::Warning) as i64),
-        ),
-        (
-            "notes".to_string(),
-            json::Value::Int(outcome.count(Severity::Note) as i64),
-        ),
-        (
-            "conflicting_pairs".to_string(),
-            json::Value::Int((outcome.races.races.len() + outcome.races.ordered.len()) as i64),
-        ),
-        (
-            "ordered".to_string(),
-            json::Value::Int(outcome.races.ordered.len() as i64),
-        ),
-        (
-            "races".to_string(),
-            json::Value::Int(outcome.races.races.len() as i64),
-        ),
-        (
-            "proven_races".to_string(),
-            json::Value::Int(outcome.races.proven() as i64),
-        ),
-        (
-            "race_free".to_string(),
-            json::Value::Bool(outcome.races.race_free()),
-        ),
-    ])
+#[cfg(not(unix))]
+fn daemon_query(_args: &Args, _query: &Query) -> Result<CmdOut, String> {
+    Err("--daemon requires Unix domain sockets".to_string())
 }
 
-fn cmd_check(src: &str, args: &Args) -> Result<(), String> {
-    let c = Syncopt::new(src)
-        .procs(args.procs)
-        .threads(args.threads)
-        .level(OptLevel::Blocking)
-        .delay(args.delay)
-        .compile()
-        .map_err(|e| render_err(src, &args.file, &e))?;
-    let outcome = run_check(&c.source_cfg, args);
-    match args.format {
-        Format::Json => {
-            let report = json::Value::Obj(vec![
-                ("file".to_string(), json::Value::Str(args.file.clone())),
-                ("procs".to_string(), json::Value::Int(i64::from(args.procs))),
-                ("summary".to_string(), check_summary_json(&outcome)),
-                (
-                    "diagnostics".to_string(),
-                    json::Value::Arr(outcome.diags.iter().map(|d| d.to_json(src)).collect()),
-                ),
-            ]);
-            println!("{report}");
-        }
-        Format::Human => {
-            for d in &outcome.diags {
-                println!("{}", d.render(src, &args.file));
-            }
-            let r = &outcome.races;
-            println!(
-                "{}: {} conflicting data pair(s): {} ordered, {} potentially racy ({} proven)",
-                args.file,
-                r.races.len() + r.ordered.len(),
-                r.ordered.len(),
-                r.races.len(),
-                r.proven()
-            );
-            println!(
-                "{} error(s), {} warning(s), {} note(s)",
-                outcome.errors(),
-                outcome.count(Severity::Warning),
-                outcome.count(Severity::Note)
-            );
-        }
-    }
-    if outcome.errors() > 0 {
-        return Err(format!("check failed: {} error(s)", outcome.errors()));
-    }
-    Ok(())
+#[cfg(not(unix))]
+fn cmd_daemon_control(_args: &Args) -> Result<(), String> {
+    Err("daemon control requires Unix domain sockets".to_string())
 }
 
 fn cmd_bench(args: &Args) -> Result<(), String> {
@@ -890,82 +469,4 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
         );
     }
     Ok(())
-}
-
-fn cmd_check_kernels(args: &Args) -> Result<(), String> {
-    use syncopt::frontend::prepare_program;
-    use syncopt::ir::lower::lower_main;
-
-    let mut failed = 0usize;
-    let mut rows = Vec::new();
-    for kernel in syncopt::kernels::all_kernels(args.procs) {
-        let cfg = lower_main(&prepare_program(&kernel.source).map_err(|e| {
-            syncopt::core::diag::frontend_diagnostic(&e).render(&kernel.source, kernel.name)
-        })?)
-        .map_err(|e| format!("{}: {e}", kernel.name))?;
-        let outcome = run_check(&cfg, args);
-        failed += usize::from(outcome.errors() > 0);
-        rows.push((kernel.name, outcome));
-    }
-    match args.format {
-        Format::Json => {
-            let kernels = rows
-                .iter()
-                .map(|(name, outcome)| {
-                    json::Value::Obj(vec![
-                        ("name".to_string(), json::Value::Str((*name).to_string())),
-                        ("summary".to_string(), check_summary_json(outcome)),
-                    ])
-                })
-                .collect();
-            let report = json::Value::Obj(vec![
-                ("procs".to_string(), json::Value::Int(i64::from(args.procs))),
-                ("kernels".to_string(), json::Value::Arr(kernels)),
-            ]);
-            println!("{report}");
-        }
-        Format::Human => {
-            println!(
-                "{:<10} {:>9} {:>8} {:>6} {:>7} {:>6} {:>6}",
-                "kernel", "conflicts", "ordered", "races", "proven", "warns", "notes"
-            );
-            for (name, outcome) in &rows {
-                let r = &outcome.races;
-                println!(
-                    "{:<10} {:>9} {:>8} {:>6} {:>7} {:>6} {:>6}",
-                    name,
-                    r.races.len() + r.ordered.len(),
-                    r.ordered.len(),
-                    r.races.len(),
-                    r.proven(),
-                    outcome.count(Severity::Warning),
-                    outcome.count(Severity::Note)
-                );
-            }
-            let racy: Vec<&str> = rows
-                .iter()
-                .filter(|(_, o)| !o.races.race_free())
-                .map(|(n, _)| *n)
-                .collect();
-            if racy.is_empty() {
-                println!("all {} kernel(s) race-free", rows.len());
-            } else {
-                println!("race reports in: {}", racy.join(", "));
-            }
-        }
-    }
-    if failed > 0 {
-        return Err(format!("check failed: {failed} kernel(s) with errors"));
-    }
-    Ok(())
-}
-
-/// Renders a pipeline error for the terminal: frontend and lowering errors
-/// get the rustc-style snippet (code, span, caret line); simulation errors
-/// have no source span and stay one-line.
-fn render_err(src: &str, file: &str, e: &syncopt::SyncoptError) -> String {
-    match e {
-        syncopt::SyncoptError::Sim(_) => e.to_string(),
-        spanned => spanned.to_diagnostic().render(src, file),
-    }
 }

@@ -1,0 +1,70 @@
+//! `syncoptd` — the long-running syncopt analysis daemon.
+//!
+//! ```text
+//! syncoptd [--socket PATH] [--cache-capacity N]
+//! ```
+//!
+//! Binds a Unix domain socket (default: `syncoptd.sock` in the system
+//! temp directory) and serves `syncopt.rpc.v1` requests until a client
+//! sends `shutdown`. All clients share one analysis session, so repeated
+//! queries over the same sources are answered from the content-addressed
+//! artifact cache. Run queries against it with `syncoptc <cmd> --daemon
+//! [--socket PATH]`; see `docs/API.md` for the wire protocol.
+
+#[cfg(unix)]
+fn main() -> std::process::ExitCode {
+    use std::process::ExitCode;
+    use syncopt::daemon::{default_socket_path, Daemon};
+    use syncopt::session::AnalysisSession;
+
+    let mut socket = default_socket_path();
+    let mut capacity = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--socket" => match argv.next() {
+                Some(path) => socket = path.into(),
+                None => return usage("--socket needs a path"),
+            },
+            "--cache-capacity" => match argv.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) => capacity = Some(n),
+                _ => return usage("--cache-capacity needs a positive integer"),
+            },
+            other => return usage(&format!("unknown flag `{other}`")),
+        }
+    }
+    let session = match capacity {
+        Some(n) => AnalysisSession::with_capacity(n),
+        None => AnalysisSession::new(),
+    };
+    let daemon = match Daemon::bind_with_session(&socket, session) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("syncoptd: cannot bind {}: {e}", socket.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("syncoptd: serving on {}", socket.display());
+    match daemon.run() {
+        Ok(()) => {
+            eprintln!("syncoptd: shut down");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("syncoptd: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(unix)]
+fn usage(msg: &str) -> std::process::ExitCode {
+    eprintln!("syncoptd: {msg}\nrun with: syncoptd [--socket PATH] [--cache-capacity N]");
+    std::process::ExitCode::FAILURE
+}
+
+#[cfg(not(unix))]
+fn main() -> std::process::ExitCode {
+    eprintln!("syncoptd: the daemon requires Unix domain sockets");
+    std::process::ExitCode::FAILURE
+}

@@ -1,0 +1,123 @@
+//! Client side of the `syncopt.rpc.v1` protocol.
+//!
+//! [`DaemonClient`] wraps one Unix-socket connection to a running
+//! `syncoptd` and exposes typed calls for the four protocol operations.
+//! `syncoptc --daemon` is a thin shell around this: it builds the same
+//! [`Query`] it would execute directly, sends it
+//! here instead, and prints the returned [`CmdOut`] — which is why the
+//! two modes are byte-identical.
+
+use crate::commands::{CmdOut, Query};
+use crate::rpc::{
+    decode_response, encode_request, Reply, ReplyBody, Request, RequestBody, RpcError,
+};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use syncopt_core::cache::CacheStats;
+use syncopt_core::diag::json::Value;
+
+/// One connection to a running `syncoptd`.
+pub struct DaemonClient {
+    reader: BufReader<UnixStream>,
+    writer: UnixStream,
+    next_id: i64,
+}
+
+impl DaemonClient {
+    /// Connects to the daemon socket at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connection failure (most commonly: no daemon is
+    /// running there).
+    pub fn connect(path: &Path) -> std::io::Result<DaemonClient> {
+        let stream = UnixStream::connect(path)?;
+        let writer = stream.try_clone()?;
+        Ok(DaemonClient {
+            reader: BufReader::new(stream),
+            writer,
+            next_id: 1,
+        })
+    }
+
+    fn call(&mut self, body: RequestBody) -> Result<Reply, String> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let request = encode_request(&Request { id, body });
+        writeln!(self.writer, "{request}")
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| format!("cannot send request: {e}"))?;
+        let mut line = String::new();
+        let n = self
+            .reader
+            .read_line(&mut line)
+            .map_err(|e| format!("cannot read response: {e}"))?;
+        if n == 0 {
+            return Err("daemon closed the connection".to_string());
+        }
+        let reply = decode_response(line.trim_end()).map_err(|RpcError { code, message }| {
+            format!("malformed response ({code}): {message}")
+        })?;
+        if reply.id != id {
+            return Err(format!(
+                "response id {} does not match request id {id}",
+                reply.id
+            ));
+        }
+        if let ReplyBody::Error(RpcError { code, message }) = &reply.body {
+            return Err(format!("daemon rejected request ({code}): {message}"));
+        }
+        Ok(reply)
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// I/O or protocol failure, as a displayable message.
+    pub fn ping(&mut self) -> Result<(), String> {
+        match self.call(RequestBody::Ping)?.body {
+            ReplyBody::Pong => Ok(()),
+            other => Err(format!("unexpected reply to ping: {other:?}")),
+        }
+    }
+
+    /// Fetches the server's cumulative cache statistics.
+    ///
+    /// # Errors
+    ///
+    /// I/O or protocol failure, as a displayable message.
+    pub fn stats(&mut self) -> Result<Value, String> {
+        match self.call(RequestBody::Stats)?.body {
+            ReplyBody::Stats(v) => Ok(v),
+            other => Err(format!("unexpected reply to stats: {other:?}")),
+        }
+    }
+
+    /// Runs one query on the daemon, returning its result and the
+    /// per-request cache delta.
+    ///
+    /// # Errors
+    ///
+    /// I/O or protocol failure, as a displayable message. A *command*
+    /// failure is not an error here — it comes back inside [`CmdOut`].
+    pub fn query(&mut self, q: &Query) -> Result<(CmdOut, CacheStats), String> {
+        match self.call(RequestBody::Query(q.clone()))?.body {
+            ReplyBody::Query(out, cache) => Ok((out, cache)),
+            other => Err(format!("unexpected reply to query: {other:?}")),
+        }
+    }
+
+    /// Asks the daemon to exit.
+    ///
+    /// # Errors
+    ///
+    /// I/O or protocol failure, as a displayable message.
+    pub fn shutdown(&mut self) -> Result<(), String> {
+        match self.call(RequestBody::Shutdown)?.body {
+            ReplyBody::Shutdown => Ok(()),
+            other => Err(format!("unexpected reply to shutdown: {other:?}")),
+        }
+    }
+}

@@ -1,0 +1,1098 @@
+//! The shared command engine behind `syncoptc` and `syncoptd`.
+//!
+//! Every user-facing subcommand (`analyze`, `opt`, `run`, `trace`,
+//! `explain`, `profile`, `litmus`, `check`, `lint`) is a pure function
+//! from a [`Query`] to a [`CmdOut`]: the exact bytes for stdout, an
+//! optional file artifact (written by the *caller*, so a daemon never
+//! touches the client's filesystem), and an optional failure message for
+//! stderr + exit code 1. The CLI running a query directly and the daemon
+//! serving it over `syncopt.rpc.v1` both dispatch through [`execute`],
+//! which is what makes daemon-mode output byte-identical to direct-mode
+//! output.
+//!
+//! With `--format json` every command emits exactly one schema-versioned
+//! JSON document on stdout; diagnostics and progress notes go to stderr.
+
+use crate::report::level_label;
+use crate::session::{AnalysisSession, SessionOptions};
+use crate::{DelayChoice, OptLevel, SyncoptError, TraceLevel, DEFAULT_TRACE_LIMIT};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use syncopt_core::diag::{json, sort_diagnostics, Diagnostic, Severity};
+use syncopt_core::races::{race_diagnostics, RaceAnalysis};
+use syncopt_core::LINT_SCHEMA;
+use syncopt_machine::litmus::{sc_outcomes, weak_outcomes, Outcome};
+use syncopt_machine::MachineConfig;
+
+/// Schema identifier of the `check` JSON document.
+pub const CHECK_SCHEMA: &str = "syncopt.check.v1";
+/// Schema identifier of the `analyze` JSON document.
+pub const ANALYSIS_SCHEMA: &str = "syncopt.analysis.v1";
+/// Schema identifier of the `opt` JSON document.
+pub const OPT_SCHEMA: &str = "syncopt.opt.v1";
+/// Schema identifier of the `litmus` JSON document.
+pub const LITMUS_SCHEMA: &str = "syncopt.litmus.v1";
+
+/// Output format of a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Format {
+    /// Human-readable text/tables.
+    #[default]
+    Human,
+    /// One schema-versioned JSON document on stdout.
+    Json,
+}
+
+impl Format {
+    /// The stable wire label (`human` / `json`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Format::Human => "human",
+            Format::Json => "json",
+        }
+    }
+
+    /// Parses a wire/CLI label.
+    pub fn parse(s: &str) -> Option<Format> {
+        match s {
+            "human" | "table" => Some(Format::Human),
+            "json" => Some(Format::Json),
+            _ => None,
+        }
+    }
+}
+
+/// Parses an optimization-level label (`blocking`, `pipelined`,
+/// `oneway`, `full`) — the inverse of [`level_label`].
+pub fn parse_level(s: &str) -> Option<OptLevel> {
+    match s {
+        "blocking" => Some(OptLevel::Blocking),
+        "pipelined" => Some(OptLevel::Pipelined),
+        "oneway" => Some(OptLevel::OneWay),
+        "full" => Some(OptLevel::Full),
+        _ => None,
+    }
+}
+
+/// Parses a delay-set choice label (`ss`, `sync`).
+pub fn parse_delay(s: &str) -> Option<DelayChoice> {
+    match s {
+        "ss" => Some(DelayChoice::ShashaSnir),
+        "sync" => Some(DelayChoice::SyncRefined),
+        _ => None,
+    }
+}
+
+/// The short CLI/wire label of a delay-set choice (`ss`, `sync`) — the
+/// inverse of [`parse_delay`]. (JSON *reports* use the longer
+/// [`crate::report::delay_label`] spellings.)
+pub fn delay_cli_label(delay: DelayChoice) -> &'static str {
+    match delay {
+        DelayChoice::ShashaSnir => "ss",
+        DelayChoice::SyncRefined => "sync",
+    }
+}
+
+/// One command request: which subcommand to run, over what source, with
+/// which pipeline knobs. This is the unit the daemon protocol serializes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Query {
+    /// Subcommand: `analyze`, `opt`, `run`, `trace`, `explain`,
+    /// `profile`, `litmus`, `check`, or `lint`.
+    pub command: String,
+    /// Display name for diagnostics (usually the input path).
+    pub file: String,
+    /// The program text. `None` for kernel/seeded queries, which carry
+    /// their own sources.
+    pub source: Option<String>,
+    /// Processor count to analyze/simulate for.
+    pub procs: u32,
+    /// Optimization level.
+    pub level: OptLevel,
+    /// Delay-set choice.
+    pub delay: DelayChoice,
+    /// Machine preset name (`cm5`, `t3d`, `dash`).
+    pub machine: String,
+    /// `opt --dump`: print the optimized CFG.
+    pub dump: bool,
+    /// `opt --dot`: emit Graphviz.
+    pub dot: bool,
+    /// `run --trace`: capture and print the first events.
+    pub trace: bool,
+    /// `check`/`lint --strict`: promote warnings to errors.
+    pub strict: bool,
+    /// `check`/`lint --kernels`: run over every built-in kernel.
+    pub kernels: bool,
+    /// Output format.
+    pub format: Format,
+    /// `run --emit-report PATH`: also produce the pipeline-report JSON
+    /// as a file artifact.
+    pub emit_report: Option<String>,
+    /// Worker threads for analysis loops (results identical for any
+    /// value).
+    pub threads: usize,
+    /// `trace --out PATH`: produce the Chrome-trace JSON as a file
+    /// artifact.
+    pub out: Option<String>,
+    /// Trace event cap.
+    pub trace_limit: Option<usize>,
+    /// `explain --pair a b`: restrict to one access pair.
+    pub pair: Option<(u32, u32)>,
+    /// Diagnostic codes forced to error.
+    pub deny: Vec<String>,
+    /// Diagnostic codes demoted to note.
+    pub allow: Vec<String>,
+    /// `lint --seeded NAME`: a built-in seeded example.
+    pub seeded: Option<String>,
+}
+
+impl Default for Query {
+    fn default() -> Self {
+        Query {
+            command: String::new(),
+            file: String::new(),
+            source: None,
+            procs: 4,
+            level: OptLevel::Pipelined,
+            delay: DelayChoice::SyncRefined,
+            machine: "cm5".to_string(),
+            dump: false,
+            dot: false,
+            trace: false,
+            strict: false,
+            kernels: false,
+            format: Format::Human,
+            emit_report: None,
+            threads: 1,
+            out: None,
+            trace_limit: None,
+            pair: None,
+            deny: Vec::new(),
+            allow: Vec::new(),
+            seeded: None,
+        }
+    }
+}
+
+/// A file artifact a query produced. The caller — the CLI process, never
+/// the daemon — writes `content` to `path` and prints `note` to stderr.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileOutput {
+    /// Destination path (as given by the user).
+    pub path: String,
+    /// File contents.
+    pub content: String,
+    /// Progress note for stderr.
+    pub note: String,
+}
+
+/// The complete, deterministic result of one query.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CmdOut {
+    /// Exact bytes for stdout.
+    pub stdout: String,
+    /// Optional file artifact (e.g. `run --emit-report`, `trace --out`).
+    pub file: Option<FileOutput>,
+    /// Failure message for stderr; its presence means exit code 1.
+    pub failure: Option<String>,
+}
+
+impl CmdOut {
+    fn ok(stdout: String) -> CmdOut {
+        CmdOut {
+            stdout,
+            file: None,
+            failure: None,
+        }
+    }
+
+    fn fail(msg: String) -> CmdOut {
+        CmdOut {
+            stdout: String::new(),
+            file: None,
+            failure: Some(msg),
+        }
+    }
+}
+
+/// Runs one query against a session. Every artifact the query needs is
+/// served from — or inserted into — the session's content-addressed
+/// cache, so repeated queries over unchanged sources reuse prior work
+/// while producing byte-identical output.
+pub fn execute(session: &mut AnalysisSession, q: &Query) -> CmdOut {
+    match q.command.as_str() {
+        "analyze" => with_source(q, |src| cmd_analyze(session, src, q)),
+        "opt" => with_source(q, |src| cmd_opt(session, src, q)),
+        "run" => with_source(q, |src| cmd_run(session, src, q)),
+        "trace" => with_source(q, |src| cmd_trace(session, src, q)),
+        "explain" => with_source(q, |src| cmd_explain(session, src, q)),
+        "profile" => with_source(q, |src| cmd_profile(session, src, q)),
+        "litmus" => with_source(q, |src| cmd_litmus(session, src, q)),
+        "check" if q.kernels => cmd_check_kernels(session, q),
+        "check" => with_source(q, |src| cmd_check(session, src, q)),
+        "lint" if q.kernels => cmd_lint_kernels(session, q),
+        "lint" => cmd_lint(session, q),
+        other => CmdOut::fail(format!("unknown command `{other}`")),
+    }
+}
+
+fn with_source(q: &Query, f: impl FnOnce(&str) -> CmdOut) -> CmdOut {
+    match &q.source {
+        Some(src) => f(src),
+        None => CmdOut::fail(format!("command `{}` needs a source file", q.command)),
+    }
+}
+
+fn session_options(q: &Query, level: OptLevel) -> SessionOptions {
+    SessionOptions {
+        procs: Some(q.procs),
+        level,
+        delay: q.delay,
+        trace: TraceLevel::Off,
+        trace_limit: q.trace_limit.unwrap_or(DEFAULT_TRACE_LIMIT),
+        threads: q.threads,
+    }
+}
+
+fn machine_config(name: &str, procs: u32) -> Result<MachineConfig, String> {
+    Ok(match name {
+        "cm5" => MachineConfig::cm5(procs),
+        "t3d" => MachineConfig::t3d(procs),
+        "dash" => MachineConfig::dash(procs),
+        other => return Err(format!("unknown machine `{other}`")),
+    })
+}
+
+/// Renders a pipeline error for the terminal: frontend and lowering errors
+/// get the rustc-style snippet (code, span, caret line); simulation errors
+/// have no source span and stay one-line.
+pub fn render_err(src: &str, file: &str, e: &SyncoptError) -> String {
+    match e {
+        SyncoptError::Sim(_) => e.to_string(),
+        spanned => spanned.to_diagnostic().render(src, file),
+    }
+}
+
+fn cmd_analyze(session: &mut AnalysisSession, src: &str, q: &Query) -> CmdOut {
+    let c = match session.compile(src, &session_options(q, OptLevel::Blocking)) {
+        Ok(c) => c,
+        Err(e) => return CmdOut::fail(render_err(src, &q.file, &e)),
+    };
+    let s = c.analysis.stats();
+    let warnings = syncopt_core::sync_warnings(&c.source_cfg);
+    if q.format == Format::Json {
+        let pairs = c
+            .analysis
+            .delay_sync
+            .pairs()
+            .into_iter()
+            .map(|(u, v)| {
+                json::Value::Obj(vec![
+                    ("u".to_string(), json::Value::Int(u.index() as i64)),
+                    ("v".to_string(), json::Value::Int(v.index() as i64)),
+                ])
+            })
+            .collect();
+        let warning_values = warnings
+            .iter()
+            .map(|w| json::Value::Str(w.to_string()))
+            .collect();
+        let doc = json::Value::Obj(vec![
+            (
+                "schema".to_string(),
+                json::Value::Str(ANALYSIS_SCHEMA.to_string()),
+            ),
+            ("file".to_string(), json::Value::Str(q.file.clone())),
+            ("procs".to_string(), json::Value::Int(i64::from(q.procs))),
+            (
+                "summary".to_string(),
+                json::Value::Obj(vec![
+                    ("accesses".to_string(), json::Value::Int(s.accesses as i64)),
+                    (
+                        "conflict_pairs".to_string(),
+                        json::Value::Int(s.conflict_pairs as i64),
+                    ),
+                    ("delay_ss".to_string(), json::Value::Int(s.delay_ss as i64)),
+                    (
+                        "delay_sync".to_string(),
+                        json::Value::Int(s.delay_sync as i64),
+                    ),
+                    (
+                        "precedence_pairs".to_string(),
+                        json::Value::Int(s.precedence_pairs as i64),
+                    ),
+                    (
+                        "aligned_barriers".to_string(),
+                        json::Value::Int(s.aligned_barriers as i64),
+                    ),
+                ]),
+            ),
+            ("delay_pairs".to_string(), json::Value::Arr(pairs)),
+            ("warnings".to_string(), json::Value::Arr(warning_values)),
+        ]);
+        return CmdOut::ok(format!("{doc}\n"));
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "access sites:          {}", s.accesses);
+    let _ = writeln!(out, "conflicting pairs:     {}", s.conflict_pairs);
+    let _ = writeln!(out, "|D_SS| (Shasha-Snir):  {}", s.delay_ss);
+    let _ = writeln!(out, "|D|    (refined):      {}", s.delay_sync);
+    let _ = writeln!(out, "|R|    (precedence):   {}", s.precedence_pairs);
+    let _ = writeln!(out, "aligned barriers:      {}", s.aligned_barriers);
+    out.push('\n');
+    let _ = writeln!(out, "refined delay pairs:");
+    for (u, v) in c.analysis.delay_sync.pairs() {
+        let d = |a: syncopt_ir::ids::AccessId| {
+            let i = c.source_cfg.accesses.info(a);
+            let var = i
+                .var
+                .map(|v| c.source_cfg.vars.info(v).name.clone())
+                .unwrap_or_default();
+            let (line, col) = i.span.line_col(src);
+            format!("{a} {:?} {var} @{line}:{col}", i.kind)
+        };
+        let _ = writeln!(out, "  {}  →  {}", d(u), d(v));
+    }
+    if !warnings.is_empty() {
+        out.push('\n');
+        for w in warnings {
+            let _ = writeln!(out, "warning: {w}");
+        }
+    }
+    CmdOut::ok(out)
+}
+
+fn cmd_opt(session: &mut AnalysisSession, src: &str, q: &Query) -> CmdOut {
+    let c = match session.compile(src, &session_options(q, q.level)) {
+        Ok(c) => c,
+        Err(e) => return CmdOut::fail(render_err(src, &q.file, &e)),
+    };
+    if q.format == Format::Json {
+        let st = &c.optimized.stats;
+        let mut fields = vec![
+            (
+                "schema".to_string(),
+                json::Value::Str(OPT_SCHEMA.to_string()),
+            ),
+            ("file".to_string(), json::Value::Str(q.file.clone())),
+            ("procs".to_string(), json::Value::Int(i64::from(q.procs))),
+            (
+                "level".to_string(),
+                json::Value::Str(level_label(q.level).to_string()),
+            ),
+            (
+                "delay".to_string(),
+                json::Value::Str(crate::report::delay_label(q.delay).to_string()),
+            ),
+            ("stats".to_string(), crate::report::optstats_json(st)),
+        ];
+        if q.dump {
+            fields.push((
+                "cfg".to_string(),
+                json::Value::Str(syncopt_ir::print::cfg_to_string(&c.optimized.cfg)),
+            ));
+        }
+        if q.dot {
+            fields.push((
+                "dot".to_string(),
+                json::Value::Str(syncopt_ir::print::cfg_to_dot(&c.optimized.cfg, &q.file)),
+            ));
+        }
+        return CmdOut::ok(format!("{}\n", json::Value::Obj(fields)));
+    }
+    if q.dot {
+        return CmdOut::ok(format!(
+            "{}\n",
+            syncopt_ir::print::cfg_to_dot(&c.optimized.cfg, &q.file)
+        ));
+    }
+    let mut out = format!("{:#?}\n", c.optimized.stats);
+    if q.dump {
+        let _ = writeln!(
+            out,
+            "\n{}",
+            syncopt_ir::print::cfg_to_string(&c.optimized.cfg)
+        );
+    }
+    CmdOut::ok(out)
+}
+
+fn cmd_run(session: &mut AnalysisSession, src: &str, q: &Query) -> CmdOut {
+    let config = match machine_config(&q.machine, q.procs) {
+        Ok(c) => c,
+        Err(e) => return CmdOut::fail(e),
+    };
+    let mut opts = session_options(q, q.level);
+    if q.trace {
+        opts.trace = TraceLevel::Events;
+    }
+    let r = match session.run(src, &opts, &config) {
+        Ok(r) => r,
+        Err(e) => return CmdOut::fail(render_err(src, &q.file, &e)),
+    };
+    let file = q.emit_report.as_ref().map(|path| FileOutput {
+        path: path.clone(),
+        content: format!("{}\n", r.report().to_json()),
+        note: format!("pipeline report written to {path}"),
+    });
+    if q.format == Format::Json {
+        return CmdOut {
+            stdout: format!("{}\n", r.report().to_json()),
+            file,
+            failure: None,
+        };
+    }
+    let mut out = String::new();
+    if let Some(trace) = &r.trace {
+        let _ = writeln!(out, "--- trace (first 200 events) ---");
+        for e in trace.events().iter().take(200) {
+            let _ = writeln!(out, "{e}");
+        }
+        let _ = writeln!(out, "--------------------------------");
+    }
+    let _ = writeln!(
+        out,
+        "machine:            {} × {}",
+        config.procs, config.name
+    );
+    let _ = writeln!(out, "execution:          {} cycles", r.sim.exec_cycles);
+    let _ = writeln!(out, "messages:           {}", r.sim.net.total_messages());
+    let _ = writeln!(
+        out,
+        "  gets/replies:     {}/{}",
+        r.sim.net.get_requests, r.sim.net.get_replies
+    );
+    let _ = writeln!(
+        out,
+        "  puts/acks:        {}/{}",
+        r.sim.net.put_requests, r.sim.net.put_acks
+    );
+    let _ = writeln!(out, "  stores:           {}", r.sim.net.store_requests);
+    let _ = writeln!(out, "  barriers:         {}", r.sim.net.barriers);
+    let _ = writeln!(
+        out,
+        "stalls (cycles):    sync {} | barrier {} | wait {} | lock {} | blocking {}",
+        r.sim.stalls.sync,
+        r.sim.stalls.barrier,
+        r.sim.stalls.wait,
+        r.sim.stalls.lock,
+        r.sim.stalls.blocking
+    );
+    let _ = writeln!(out, "barriers aligned:   {}", r.sim.barriers_aligned);
+    let _ = writeln!(out, "final shared memory:");
+    for (var, vals) in &r.sim.memory {
+        let name = &r.compiled.source_cfg.vars.info(*var).name;
+        if vals.len() == 1 {
+            let _ = writeln!(out, "  {name} = {}", vals[0]);
+        } else {
+            let shown: Vec<String> = vals.iter().take(16).map(|v| v.to_string()).collect();
+            let ellipsis = if vals.len() > 16 { ", ..." } else { "" };
+            let _ = writeln!(out, "  {name} = [{}{}]", shown.join(", "), ellipsis);
+        }
+    }
+    CmdOut {
+        stdout: out,
+        file,
+        failure: None,
+    }
+}
+
+fn cmd_trace(session: &mut AnalysisSession, src: &str, q: &Query) -> CmdOut {
+    let config = match machine_config(&q.machine, q.procs) {
+        Ok(c) => c,
+        Err(e) => return CmdOut::fail(e),
+    };
+    let mut opts = session_options(q, q.level);
+    opts.trace = TraceLevel::Events;
+    let r = match session.run(src, &opts, &config) {
+        Ok(r) => r,
+        Err(e) => return CmdOut::fail(render_err(src, &q.file, &e)),
+    };
+    let trace = r.trace.as_ref().expect("Events tracing always captures");
+    // The exported timeline must reproduce the cycle accounting exactly;
+    // a mismatch is an instrumentation bug, not a user error.
+    if !trace.truncated() {
+        if let Err(e) = crate::verify_span_accounting(trace, &r.sim) {
+            return CmdOut::fail(format!("trace/accounting invariant violated: {e}"));
+        }
+    }
+    let json = crate::chrome_trace(trace, &r.sim, &r.compiled.optimized.cfg);
+    match &q.out {
+        Some(path) => CmdOut {
+            stdout: String::new(),
+            file: Some(FileOutput {
+                path: path.clone(),
+                content: format!("{json}\n"),
+                note: format!(
+                    "trace written to {path} ({} events{}); open in https://ui.perfetto.dev or chrome://tracing",
+                    json.get("traceEvents").and_then(json::Value::as_arr).map_or(0, |a| a.len()),
+                    if trace.truncated() { ", TRUNCATED" } else { "" },
+                ),
+            }),
+            failure: None,
+        },
+        None => CmdOut::ok(format!("{json}\n")),
+    }
+}
+
+fn cmd_explain(session: &mut AnalysisSession, src: &str, q: &Query) -> CmdOut {
+    let c = match session.compile(src, &session_options(q, OptLevel::Blocking)) {
+        Ok(c) => c,
+        Err(e) => return CmdOut::fail(render_err(src, &q.file, &e)),
+    };
+    let report = match session.explain(src, &session_options(q, OptLevel::Blocking)) {
+        Ok(r) => r,
+        Err(e) => return CmdOut::fail(render_err(src, &q.file, &e)),
+    };
+    let mut report = (*report).clone();
+    if let Some((a, b)) = q.pair {
+        report
+            .kept
+            .retain(|k| (k.u.index(), k.v.index()) == (a as usize, b as usize));
+        report
+            .dropped
+            .retain(|d| (d.u.index(), d.v.index()) == (a as usize, b as usize));
+        if report.kept.is_empty() && report.dropped.is_empty() {
+            return CmdOut::fail(format!(
+                "pair (a{a}, a{b}) is not in D_SS — nothing to explain \
+                 (run `syncoptc explain` without --pair to list all pairs)"
+            ));
+        }
+    }
+    if q.format == Format::Json {
+        return CmdOut::ok(format!("{}\n", report.to_json(&c.source_cfg, src)));
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "delay-set provenance: {} kept, {} dropped (|D_SS| = {})",
+        report.kept.len(),
+        report.dropped.len(),
+        report.kept.len() + report.dropped.len()
+    );
+    out.push('\n');
+    for d in report.to_diagnostics(&c.source_cfg) {
+        let _ = write!(out, "{}", d.render(src, &q.file));
+    }
+    CmdOut::ok(out)
+}
+
+fn cmd_profile(session: &mut AnalysisSession, src: &str, q: &Query) -> CmdOut {
+    let config = match machine_config(&q.machine, q.procs) {
+        Ok(c) => c,
+        Err(e) => return CmdOut::fail(e),
+    };
+    let p = match session.profile(src, &session_options(q, q.level), &config) {
+        Ok(p) => p,
+        Err(e) => return CmdOut::fail(render_err(src, &q.file, &e)),
+    };
+    match q.format {
+        Format::Json => CmdOut::ok(format!("{}\n", p.to_json())),
+        Format::Human => CmdOut::ok(p.render_table()),
+    }
+}
+
+fn cmd_litmus(session: &mut AnalysisSession, src: &str, q: &Query) -> CmdOut {
+    let c = match session.compile(src, &session_options(q, OptLevel::Blocking)) {
+        Ok(c) => c,
+        Err(e) => return CmdOut::fail(render_err(src, &q.file, &e)),
+    };
+    let cfg = &c.source_cfg;
+    let sc = match sc_outcomes(cfg, q.procs) {
+        Ok(s) => s,
+        Err(e) => return CmdOut::fail(e.to_string()),
+    };
+    let none = match weak_outcomes(
+        cfg,
+        &syncopt_core::DelaySet::new(cfg.accesses.len()),
+        q.procs,
+    ) {
+        Ok(s) => s,
+        Err(e) => return CmdOut::fail(e.to_string()),
+    };
+    let refined = match weak_outcomes(cfg, &c.analysis.delay_sync, q.procs) {
+        Ok(s) => s,
+        Err(e) => return CmdOut::fail(e.to_string()),
+    };
+    if q.format == Format::Json {
+        let arr = |set: &std::collections::BTreeSet<Outcome>| {
+            json::Value::Arr(
+                set.iter()
+                    .map(|o| json::Value::Arr(o.iter().map(|&v| json::Value::Int(v)).collect()))
+                    .collect(),
+            )
+        };
+        let doc = json::Value::Obj(vec![
+            (
+                "schema".to_string(),
+                json::Value::Str(LITMUS_SCHEMA.to_string()),
+            ),
+            ("file".to_string(), json::Value::Str(q.file.clone())),
+            ("procs".to_string(), json::Value::Int(i64::from(q.procs))),
+            ("sc".to_string(), arr(&sc)),
+            ("weak_no_delays".to_string(), arr(&none)),
+            ("weak_refined".to_string(), arr(&refined)),
+            (
+                "refined_preserves_sc".to_string(),
+                json::Value::Bool(refined.is_subset(&sc)),
+            ),
+        ]);
+        return CmdOut::ok(format!("{doc}\n"));
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "SC outcomes:                 {sc:?}");
+    let _ = writeln!(out, "weak outcomes, no delays:    {none:?}");
+    let _ = writeln!(out, "weak outcomes, refined D:    {refined:?}");
+    let _ = writeln!(
+        out,
+        "refined D preserves SC:      {}",
+        refined.is_subset(&sc)
+    );
+    CmdOut::ok(out)
+}
+
+/// Everything `check` computes for one program.
+struct CheckOutcome {
+    races: Arc<RaceAnalysis>,
+    diags: Vec<Diagnostic>,
+}
+
+impl CheckOutcome {
+    fn errors(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    fn count(&self, s: Severity) -> usize {
+        self.diags.iter().filter(|d| d.severity == s).count()
+    }
+}
+
+/// Runs the race detector and the synchronization warnings over `src`,
+/// merging both into one sorted diagnostic list. `--strict` additionally
+/// runs the full lint suite and promotes warnings to errors; `--deny` /
+/// `--allow` override per-code severities first (so `--allow` wins over
+/// the strict promotion).
+fn run_check(
+    session: &mut AnalysisSession,
+    src: &str,
+    cfg: &syncopt_ir::cfg::Cfg,
+    q: &Query,
+) -> Result<CheckOutcome, SyncoptError> {
+    let races = session.races(src, &session_options(q, OptLevel::Blocking))?;
+    let mut diags = race_diagnostics(cfg, &races);
+    for w in syncopt_core::sync_warnings(cfg) {
+        diags.push(w.to_diagnostic(cfg));
+    }
+    if q.strict {
+        let lint = session.lint(src, &session_options(q, OptLevel::Blocking))?;
+        diags.extend(lint.diagnostics.iter().cloned());
+    }
+    finalize_diagnostics(&mut diags, q);
+    Ok(CheckOutcome { races, diags })
+}
+
+/// `run_check` without a session, for kernel sources that live outside
+/// the query (the per-kernel artifacts still cache via `session`).
+fn run_check_direct(
+    session: &mut AnalysisSession,
+    src: &str,
+    q: &Query,
+) -> Result<CheckOutcome, SyncoptError> {
+    let compiled = session.compile(src, &session_options(q, OptLevel::Blocking))?;
+    run_check(session, src, &compiled.source_cfg, q)
+}
+
+/// Applies `--deny`/`--allow` severity overrides, then the `--strict`
+/// warning→error promotion, then the canonical sort.
+fn finalize_diagnostics(diags: &mut [Diagnostic], q: &Query) {
+    syncopt_core::apply_severity_overrides(diags, &q.deny, &q.allow);
+    if q.strict {
+        for d in diags.iter_mut() {
+            if d.severity == Severity::Warning {
+                d.severity = Severity::Error;
+            }
+        }
+    }
+    sort_diagnostics(diags);
+}
+
+fn check_summary_json(outcome: &CheckOutcome) -> json::Value {
+    json::Value::Obj(vec![
+        (
+            "errors".to_string(),
+            json::Value::Int(outcome.errors() as i64),
+        ),
+        (
+            "warnings".to_string(),
+            json::Value::Int(outcome.count(Severity::Warning) as i64),
+        ),
+        (
+            "notes".to_string(),
+            json::Value::Int(outcome.count(Severity::Note) as i64),
+        ),
+        (
+            "conflicting_pairs".to_string(),
+            json::Value::Int((outcome.races.races.len() + outcome.races.ordered.len()) as i64),
+        ),
+        (
+            "ordered".to_string(),
+            json::Value::Int(outcome.races.ordered.len() as i64),
+        ),
+        (
+            "races".to_string(),
+            json::Value::Int(outcome.races.races.len() as i64),
+        ),
+        (
+            "proven_races".to_string(),
+            json::Value::Int(outcome.races.proven() as i64),
+        ),
+        (
+            "race_free".to_string(),
+            json::Value::Bool(outcome.races.race_free()),
+        ),
+    ])
+}
+
+fn cmd_check(session: &mut AnalysisSession, src: &str, q: &Query) -> CmdOut {
+    let c = match session.compile(src, &session_options(q, OptLevel::Blocking)) {
+        Ok(c) => c,
+        Err(e) => return CmdOut::fail(render_err(src, &q.file, &e)),
+    };
+    let outcome = match run_check(session, src, &c.source_cfg, q) {
+        Ok(o) => o,
+        Err(e) => return CmdOut::fail(render_err(src, &q.file, &e)),
+    };
+    let mut out = String::new();
+    match q.format {
+        Format::Json => {
+            let report = json::Value::Obj(vec![
+                (
+                    "schema".to_string(),
+                    json::Value::Str(CHECK_SCHEMA.to_string()),
+                ),
+                ("file".to_string(), json::Value::Str(q.file.clone())),
+                ("procs".to_string(), json::Value::Int(i64::from(q.procs))),
+                ("summary".to_string(), check_summary_json(&outcome)),
+                (
+                    "diagnostics".to_string(),
+                    json::Value::Arr(outcome.diags.iter().map(|d| d.to_json(src)).collect()),
+                ),
+            ]);
+            let _ = writeln!(out, "{report}");
+        }
+        Format::Human => {
+            for d in &outcome.diags {
+                let _ = writeln!(out, "{}", d.render(src, &q.file));
+            }
+            let r = &outcome.races;
+            let _ = writeln!(
+                out,
+                "{}: {} conflicting data pair(s): {} ordered, {} potentially racy ({} proven)",
+                q.file,
+                r.races.len() + r.ordered.len(),
+                r.ordered.len(),
+                r.races.len(),
+                r.proven()
+            );
+            let _ = writeln!(
+                out,
+                "{} error(s), {} warning(s), {} note(s)",
+                outcome.errors(),
+                outcome.count(Severity::Warning),
+                outcome.count(Severity::Note)
+            );
+        }
+    }
+    let failure =
+        (outcome.errors() > 0).then(|| format!("check failed: {} error(s)", outcome.errors()));
+    CmdOut {
+        stdout: out,
+        file: None,
+        failure,
+    }
+}
+
+fn cmd_check_kernels(session: &mut AnalysisSession, q: &Query) -> CmdOut {
+    let mut failed = 0usize;
+    let mut rows = Vec::new();
+    for kernel in syncopt_kernels::all_kernels(q.procs) {
+        let outcome = match run_check_direct(session, &kernel.source, q) {
+            Ok(o) => o,
+            Err(e) => {
+                return CmdOut::fail(render_err(&kernel.source, kernel.name, &e));
+            }
+        };
+        failed += usize::from(outcome.errors() > 0);
+        rows.push((kernel.name, outcome));
+    }
+    let mut out = String::new();
+    match q.format {
+        Format::Json => {
+            let kernels = rows
+                .iter()
+                .map(|(name, outcome)| {
+                    json::Value::Obj(vec![
+                        ("name".to_string(), json::Value::Str((*name).to_string())),
+                        ("summary".to_string(), check_summary_json(outcome)),
+                    ])
+                })
+                .collect();
+            let report = json::Value::Obj(vec![
+                (
+                    "schema".to_string(),
+                    json::Value::Str(CHECK_SCHEMA.to_string()),
+                ),
+                ("procs".to_string(), json::Value::Int(i64::from(q.procs))),
+                ("kernels".to_string(), json::Value::Arr(kernels)),
+            ]);
+            let _ = writeln!(out, "{report}");
+        }
+        Format::Human => {
+            let _ = writeln!(
+                out,
+                "{:<10} {:>9} {:>8} {:>6} {:>7} {:>6} {:>6}",
+                "kernel", "conflicts", "ordered", "races", "proven", "warns", "notes"
+            );
+            for (name, outcome) in &rows {
+                let r = &outcome.races;
+                let _ = writeln!(
+                    out,
+                    "{:<10} {:>9} {:>8} {:>6} {:>7} {:>6} {:>6}",
+                    name,
+                    r.races.len() + r.ordered.len(),
+                    r.ordered.len(),
+                    r.races.len(),
+                    r.proven(),
+                    outcome.count(Severity::Warning),
+                    outcome.count(Severity::Note)
+                );
+            }
+            let racy: Vec<&str> = rows
+                .iter()
+                .filter(|(_, o)| !o.races.race_free())
+                .map(|(n, _)| *n)
+                .collect();
+            if racy.is_empty() {
+                let _ = writeln!(out, "all {} kernel(s) race-free", rows.len());
+            } else {
+                let _ = writeln!(out, "race reports in: {}", racy.join(", "));
+            }
+        }
+    }
+    let failure = (failed > 0).then(|| format!("check failed: {failed} kernel(s) with errors"));
+    CmdOut {
+        stdout: out,
+        file: None,
+        failure,
+    }
+}
+
+fn cmd_lint(session: &mut AnalysisSession, q: &Query) -> CmdOut {
+    let (src, display) = match &q.seeded {
+        Some(name) => match syncopt_kernels::seeded::seeded_example(name) {
+            Some(ex) => (ex.source.to_string(), format!("seeded:{name}")),
+            None => {
+                let names: Vec<&str> = syncopt_kernels::seeded::seeded_examples()
+                    .iter()
+                    .map(|e| e.name)
+                    .collect();
+                return CmdOut::fail(format!(
+                    "unknown seeded example `{name}` (available: {})",
+                    names.join(", ")
+                ));
+            }
+        },
+        None => match &q.source {
+            Some(src) => (src.clone(), q.file.clone()),
+            None => return CmdOut::fail("command `lint` needs a source file".to_string()),
+        },
+    };
+    let report = match session.lint(&src, &session_options(q, OptLevel::Blocking)) {
+        Ok(r) => r,
+        Err(e) => return CmdOut::fail(render_err(&src, &display, &e)),
+    };
+    let mut report = (*report).clone();
+    finalize_diagnostics(&mut report.diagnostics, q);
+    let mut out = String::new();
+    match q.format {
+        Format::Json => {
+            let _ = writeln!(out, "{}", report.to_json(&src, &display, q.procs));
+        }
+        Format::Human => {
+            for d in &report.diagnostics {
+                let _ = writeln!(out, "{}", d.render(&src, &display));
+            }
+            for p in &report.passes {
+                let _ = writeln!(
+                    out,
+                    "pass {:<15} [{}]: {} finding(s)",
+                    p.name,
+                    p.codes.join(", "),
+                    p.findings
+                );
+            }
+            for f in &report.fence_levels {
+                let _ = writeln!(
+                    out,
+                    "fences @ {:<9}: {} live delay pair(s), {} fence(s), all covered",
+                    f.label, f.delay_pairs, f.fences
+                );
+            }
+            let _ = writeln!(
+                out,
+                "{} error(s), {} warning(s), {} note(s)",
+                report.errors(),
+                report.count(Severity::Warning),
+                report.count(Severity::Note)
+            );
+        }
+    }
+    let failure =
+        (report.errors() > 0).then(|| format!("lint failed: {} error(s)", report.errors()));
+    CmdOut {
+        stdout: out,
+        file: None,
+        failure,
+    }
+}
+
+fn cmd_lint_kernels(session: &mut AnalysisSession, q: &Query) -> CmdOut {
+    let mut failed = 0usize;
+    let mut rows = Vec::new();
+    for kernel in syncopt_kernels::all_kernels(q.procs) {
+        let report = match session.lint(&kernel.source, &session_options(q, OptLevel::Blocking)) {
+            Ok(r) => r,
+            Err(e) => return CmdOut::fail(render_err(&kernel.source, kernel.name, &e)),
+        };
+        let mut report = (*report).clone();
+        finalize_diagnostics(&mut report.diagnostics, q);
+        failed += usize::from(report.errors() > 0);
+        rows.push((kernel.name, kernel.source.clone(), report));
+    }
+    let mut out = String::new();
+    match q.format {
+        Format::Json => {
+            let kernels = rows
+                .iter()
+                .map(|(name, source, report)| report.to_json(source, name, q.procs))
+                .collect();
+            let wrapper = json::Value::Obj(vec![
+                (
+                    "schema".to_string(),
+                    json::Value::Str(LINT_SCHEMA.to_string()),
+                ),
+                ("procs".to_string(), json::Value::Int(i64::from(q.procs))),
+                ("kernels".to_string(), json::Value::Arr(kernels)),
+            ]);
+            let _ = writeln!(out, "{wrapper}");
+        }
+        Format::Human => {
+            let _ = writeln!(
+                out,
+                "{:<10} {:>7} {:>6} {:>6} {:>6}  fences(blocking→full)",
+                "kernel", "errors", "warns", "notes", "D/L/F"
+            );
+            for (name, _, report) in &rows {
+                let dlf = report
+                    .passes
+                    .iter()
+                    .map(|p| p.findings.to_string())
+                    .collect::<Vec<_>>();
+                let fences = report
+                    .fence_levels
+                    .iter()
+                    .map(|f| f.fences.to_string())
+                    .collect::<Vec<_>>();
+                let _ = writeln!(
+                    out,
+                    "{:<10} {:>7} {:>6} {:>6} {:>6}  {}",
+                    name,
+                    report.errors(),
+                    report.count(Severity::Warning),
+                    report.count(Severity::Note),
+                    dlf.join("/"),
+                    fences.join("→")
+                );
+            }
+        }
+    }
+    let failure = (failed > 0).then(|| format!("lint failed: {failed} kernel(s) with errors"));
+    CmdOut {
+        stdout: out,
+        file: None,
+        failure,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "shared int A[8]; fn main() { A[MYPROC] = 1; barrier; }";
+
+    fn query(command: &str, format: Format) -> Query {
+        Query {
+            command: command.to_string(),
+            file: "test.ms".to_string(),
+            source: Some(SRC.to_string()),
+            format,
+            ..Query::default()
+        }
+    }
+
+    #[test]
+    fn every_json_command_emits_one_schema_versioned_document() {
+        let mut session = AnalysisSession::new();
+        for command in [
+            "analyze", "opt", "run", "explain", "profile", "litmus", "check", "lint",
+        ] {
+            let out = execute(&mut session, &query(command, Format::Json));
+            assert!(out.failure.is_none(), "{command}: {:?}", out.failure);
+            let doc = json::Value::parse(&out.stdout)
+                .unwrap_or_else(|e| panic!("{command}: invalid JSON: {e}"));
+            let schema = doc.get("schema").and_then(json::Value::as_str);
+            assert!(
+                schema.is_some_and(|s| s.starts_with("syncopt.")),
+                "{command}: missing schema in {doc}"
+            );
+            // Exactly one document: the whole stdout is that document.
+            assert_eq!(out.stdout, format!("{doc}\n"), "{command}");
+        }
+    }
+
+    #[test]
+    fn repeated_queries_are_byte_identical() {
+        let mut session = AnalysisSession::new();
+        for command in ["check", "explain", "lint", "profile"] {
+            let cold = execute(&mut session, &query(command, Format::Human));
+            let warm = execute(&mut session, &query(command, Format::Human));
+            assert_eq!(cold, warm, "{command}");
+        }
+    }
+
+    #[test]
+    fn kernels_queries_run_without_source() {
+        let mut session = AnalysisSession::new();
+        for command in ["check", "lint"] {
+            let q = Query {
+                command: command.to_string(),
+                kernels: true,
+                source: None,
+                format: Format::Json,
+                ..Query::default()
+            };
+            let out = execute(&mut session, &q);
+            assert!(out.failure.is_none(), "{command}: {:?}", out.failure);
+            let doc = json::Value::parse(&out.stdout).unwrap();
+            assert!(doc.get("kernels").is_some(), "{command}");
+        }
+    }
+
+    #[test]
+    fn unknown_command_fails_cleanly() {
+        let mut session = AnalysisSession::new();
+        let out = execute(&mut session, &query("frobnicate", Format::Human));
+        assert!(out.failure.unwrap().contains("unknown command"));
+        assert!(out.stdout.is_empty());
+    }
+}

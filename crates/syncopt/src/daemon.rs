@@ -1,0 +1,331 @@
+//! `syncoptd` — a long-running analysis service over a Unix socket.
+//!
+//! The daemon owns one [`AnalysisSession`] and serves `syncopt.rpc.v1`
+//! requests (see [`crate::rpc`]) from any number of concurrent clients:
+//! each accepted connection gets its own thread, reads newline-delimited
+//! requests, and writes one response line per request, in order. All
+//! queries share the session's content-addressed artifact cache, so a
+//! client re-checking a program another client already analyzed is served
+//! from cache — the per-request `cache` delta in each response shows
+//! exactly how much work was reused.
+//!
+//! The daemon never touches the client's filesystem: file-producing
+//! queries (`run --emit-report`, `trace --out`) return the artifact in
+//! the response and the client writes it locally.
+
+use crate::commands::execute;
+use crate::rpc::{
+    decode_request, error_response, ping_response, query_response, shutdown_response,
+    stats_response, Request, RequestBody, RpcError,
+};
+use crate::session::AnalysisSession;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The default socket path: `syncoptd.sock` in the system temp directory.
+pub fn default_socket_path() -> PathBuf {
+    std::env::temp_dir().join("syncoptd.sock")
+}
+
+struct State {
+    session: Mutex<AnalysisSession>,
+    shutdown: AtomicBool,
+    socket_path: PathBuf,
+}
+
+/// A bound, not-yet-running daemon.
+pub struct Daemon {
+    listener: UnixListener,
+    state: Arc<State>,
+}
+
+impl Daemon {
+    /// Binds the service socket at `path` with a fresh session.
+    ///
+    /// A leftover socket file from a dead daemon is detected (nothing
+    /// accepts connections on it) and replaced; a *live* daemon on the
+    /// same path is reported as an error.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket creation failures, and refuses the path if
+    /// another daemon is already serving it.
+    pub fn bind(path: &Path) -> std::io::Result<Daemon> {
+        Daemon::bind_with_session(path, AnalysisSession::new())
+    }
+
+    /// [`bind`](Daemon::bind) with a caller-configured session (e.g. a
+    /// custom cache capacity).
+    ///
+    /// # Errors
+    ///
+    /// See [`bind`](Daemon::bind).
+    pub fn bind_with_session(path: &Path, session: AnalysisSession) -> std::io::Result<Daemon> {
+        let listener = match UnixListener::bind(path) {
+            Ok(listener) => listener,
+            Err(e) if e.kind() == std::io::ErrorKind::AddrInUse => {
+                if UnixStream::connect(path).is_ok() {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::AddrInUse,
+                        format!("a daemon is already serving {}", path.display()),
+                    ));
+                }
+                // Stale socket file from an unclean exit: reclaim it.
+                std::fs::remove_file(path)?;
+                UnixListener::bind(path)?
+            }
+            Err(e) => return Err(e),
+        };
+        Ok(Daemon {
+            listener,
+            state: Arc::new(State {
+                session: Mutex::new(session),
+                shutdown: AtomicBool::new(false),
+                socket_path: path.to_path_buf(),
+            }),
+        })
+    }
+
+    /// The path the daemon is serving on.
+    pub fn socket_path(&self) -> &Path {
+        &self.state.socket_path
+    }
+
+    /// Serves connections until a client sends `shutdown`. Removes the
+    /// socket file on the way out.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `accept` failures; per-connection I/O errors only end
+    /// that connection.
+    pub fn run(self) -> std::io::Result<()> {
+        for conn in self.listener.incoming() {
+            if self.state.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match conn {
+                Ok(stream) => {
+                    let state = Arc::clone(&self.state);
+                    std::thread::spawn(move || serve_connection(stream, &state));
+                }
+                Err(e) => {
+                    let _ = std::fs::remove_file(&self.state.socket_path);
+                    return Err(e);
+                }
+            }
+        }
+        let _ = std::fs::remove_file(&self.state.socket_path);
+        Ok(())
+    }
+}
+
+/// Reads request lines from one client until EOF or shutdown, answering
+/// each in order.
+fn serve_connection(stream: UnixStream, state: &State) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = match line {
+            Ok(line) => line,
+            Err(_) => return,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, shutdown) = handle_line(&line, state);
+        if writeln!(writer, "{response}")
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            return;
+        }
+        if shutdown {
+            state.shutdown.store(true, Ordering::SeqCst);
+            // Wake the accept loop so `run` can observe the flag.
+            let _ = UnixStream::connect(&state.socket_path);
+            return;
+        }
+    }
+}
+
+/// Answers one request line. Returns the response document and whether
+/// the server should shut down after sending it.
+fn handle_line(line: &str, state: &State) -> (syncopt_core::diag::json::Value, bool) {
+    let req = match decode_request(line) {
+        Ok(req) => req,
+        // Echo the id when the envelope carried one; a request too broken
+        // to carry an id gets id 0.
+        Err(e) => return (error_response(crate::rpc::request_id(line), &e), false),
+    };
+    let Request { id, body } = req;
+    match body {
+        RequestBody::Ping => (ping_response(id), false),
+        RequestBody::Stats => {
+            let session = state.session.lock().unwrap_or_else(|e| e.into_inner());
+            (
+                stats_response(
+                    id,
+                    session.cache_stats(),
+                    session.cached_artifacts(),
+                    session.cache_capacity(),
+                    session.kind_counters(),
+                ),
+                false,
+            )
+        }
+        RequestBody::Shutdown => (shutdown_response(id), true),
+        RequestBody::Query(q) => {
+            if q.command == "bench" {
+                let e = RpcError::unsupported(
+                    "`bench` measures this machine and does not route through the daemon",
+                );
+                return (error_response(id, &e), false);
+            }
+            // One session serves all clients; the lock makes each query
+            // atomic with respect to the cache, and per-request stats are
+            // deltas over the executed query only.
+            let mut session = state.session.lock().unwrap_or_else(|e| e.into_inner());
+            let before = session.cache_stats();
+            let out = execute(&mut session, &q);
+            let delta = session.cache_stats().since(before);
+            (query_response(id, &out, delta), false)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::DaemonClient;
+    use crate::commands::{CmdOut, Format, Query};
+
+    fn test_socket(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("syncoptd-test-{}-{name}.sock", std::process::id()))
+    }
+
+    fn spawn(name: &str) -> (PathBuf, std::thread::JoinHandle<std::io::Result<()>>) {
+        let path = test_socket(name);
+        let _ = std::fs::remove_file(&path);
+        let daemon = Daemon::bind(&path).expect("bind");
+        let handle = std::thread::spawn(move || daemon.run());
+        (path, handle)
+    }
+
+    fn check_query() -> Query {
+        Query {
+            command: "check".to_string(),
+            file: "unit.ms".to_string(),
+            source: Some("shared int A[8]; fn main() { A[MYPROC] = 1; barrier; }".to_string()),
+            format: Format::Json,
+            ..Query::default()
+        }
+    }
+
+    #[test]
+    fn ping_query_stats_shutdown() {
+        let (path, handle) = spawn("basic");
+        let mut client = DaemonClient::connect(&path).expect("connect");
+        client.ping().expect("ping");
+
+        let (out, cache) = client.query(&check_query()).expect("query");
+        assert!(out.failure.is_none());
+        assert!(out.stdout.contains("syncopt.check.v1"));
+        assert!(cache.misses > 0, "cold query must build artifacts");
+
+        // Same query again: served from the shared cache.
+        let (warm, cache) = client.query(&check_query()).expect("warm query");
+        assert_eq!(warm, out, "daemon answers must be deterministic");
+        assert_eq!(cache.misses, 0, "warm query must be all hits");
+        assert!(cache.hits > 0);
+
+        let stats = client.stats().expect("stats");
+        assert!(stats.get("cache").is_some());
+
+        client.shutdown().expect("shutdown");
+        handle.join().unwrap().expect("daemon exits cleanly");
+        assert!(!path.exists(), "socket file removed on shutdown");
+    }
+
+    #[test]
+    fn daemon_matches_direct_execution() {
+        let (path, handle) = spawn("direct");
+        let mut client = DaemonClient::connect(&path).expect("connect");
+        for command in ["check", "explain", "lint", "profile"] {
+            let q = Query {
+                command: command.to_string(),
+                ..check_query()
+            };
+            let mut session = AnalysisSession::new();
+            let direct: CmdOut = execute(&mut session, &q);
+            let (remote, _) = client.query(&q).expect(command);
+            assert_eq!(remote, direct, "{command}: daemon must match direct mode");
+        }
+        client.shutdown().expect("shutdown");
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn bench_is_rejected() {
+        let (path, handle) = spawn("bench");
+        let mut client = DaemonClient::connect(&path).expect("connect");
+        let err = client
+            .query(&Query {
+                command: "bench".to_string(),
+                ..Query::default()
+            })
+            .unwrap_err();
+        assert!(err.contains("bench"), "got: {err}");
+        client.shutdown().expect("shutdown");
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn malformed_requests_get_protocol_errors() {
+        let (path, handle) = spawn("malformed");
+        let stream = UnixStream::connect(&path).expect("connect");
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+
+        writeln!(writer, "this is not json").unwrap();
+        std::io::BufRead::read_line(&mut reader, &mut line).unwrap();
+        assert!(line.contains("bad-request"), "got: {line}");
+
+        line.clear();
+        writeln!(
+            writer,
+            r#"{{"schema":"syncopt.rpc.v1","id":5,"op":"warp"}}"#
+        )
+        .unwrap();
+        std::io::BufRead::read_line(&mut reader, &mut line).unwrap();
+        assert!(line.contains("unsupported"), "got: {line}");
+        assert!(line.contains("\"id\":5"), "id echoed: {line}");
+
+        drop(writer);
+        drop(reader);
+        let mut client = DaemonClient::connect(&path).expect("connect");
+        client.shutdown().expect("shutdown");
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn stale_socket_file_is_reclaimed() {
+        let path = test_socket("stale");
+        let _ = std::fs::remove_file(&path);
+        // A socket file nobody listens on.
+        drop(UnixListener::bind(&path).expect("first bind"));
+        assert!(path.exists());
+        let daemon = Daemon::bind(&path).expect("reclaims stale socket");
+        let handle = std::thread::spawn(move || daemon.run());
+        let mut client = DaemonClient::connect(&path).expect("connect");
+        client.ping().expect("ping");
+        client.shutdown().expect("shutdown");
+        handle.join().unwrap().unwrap();
+    }
+}

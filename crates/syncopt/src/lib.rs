@@ -39,14 +39,22 @@
 //! ```
 
 pub mod bench;
+#[cfg(unix)]
+pub mod client;
+pub mod commands;
+#[cfg(unix)]
+pub mod daemon;
 pub mod lint;
 pub mod report;
+pub mod rpc;
+pub mod session;
 pub mod simbench;
 pub mod trace_export;
 
 pub use report::{PipelineReport, ProfileReport, ReportMeta, SimReport};
+pub use session::{AnalysisSession, SessionOptions};
 pub use syncopt_codegen::{DelayChoice, OptLevel, OptStats, Optimized};
-pub use syncopt_core::{Analysis, AnalysisStats, DelaySet};
+pub use syncopt_core::{Analysis, AnalysisStats, CacheStats, DelaySet};
 pub use syncopt_machine::{MachineConfig, SimResult};
 pub use trace_export::{chrome_trace, verify_span_accounting, TRACE_SCHEMA};
 
@@ -65,7 +73,6 @@ pub use syncopt_machine as machine;
 
 use std::error::Error;
 use std::fmt;
-use syncopt_core::PhaseTimings;
 use syncopt_ir::cfg::Cfg;
 use syncopt_machine::{SimError, Trace};
 
@@ -251,44 +258,21 @@ impl<'a> Syncopt<'a> {
     ///
     /// Returns frontend or lowering errors.
     pub fn compile(&self) -> Result<Compiled, SyncoptError> {
-        self.compile_for(self.procs)
+        AnalysisSession::new().compile(self.src, &self.session_options())
     }
 
-    fn compile_for(&self, procs: Option<u32>) -> Result<Compiled, SyncoptError> {
-        let mut timings = PhaseTimings::new(self.trace >= TraceLevel::Phases);
-        let program = timings.time("parse", || syncopt_frontend::parse_program(self.src))?;
-        timings.time("typeck", || syncopt_frontend::typeck::check(&program))?;
-        let program = timings.time("inline", || {
-            syncopt_frontend::inline::inline_program(&program)
-        })?;
-        let source_cfg = timings.time("lower", || syncopt_ir::lower::lower_main(&program))?;
-        let analysis = timings.time("analyze", || {
-            syncopt_core::analyze_with(
-                &source_cfg,
-                &syncopt_core::SyncOptions {
-                    procs,
-                    threads: self.threads,
-                    ..syncopt_core::SyncOptions::default()
-                },
-            )
-        });
-        let optimized = timings.time("optimize", || {
-            syncopt_codegen::optimize(&source_cfg, &analysis, self.level, self.delay)
-        });
-        let report = PipelineReport {
-            meta: report::meta_for(procs.unwrap_or(0), self.level, self.delay, None),
-            timings,
-            analysis: analysis.stats(),
-            counters: analysis.metrics.clone(),
-            codegen: optimized.stats,
-            sim: None,
-        };
-        Ok(Compiled {
-            source_cfg,
-            analysis,
-            optimized,
-            report,
-        })
+    /// The builder's knobs as per-request session options (a one-shot
+    /// builder run is exactly one request against a fresh
+    /// [`AnalysisSession`]).
+    fn session_options(&self) -> SessionOptions {
+        SessionOptions {
+            procs: self.procs,
+            level: self.level,
+            delay: self.delay,
+            trace: self.trace,
+            trace_limit: self.trace_limit,
+            threads: self.threads,
+        }
     }
 
     /// Compiles (analyzing for the machine's processor count unless
@@ -299,29 +283,7 @@ impl<'a> Syncopt<'a> {
     ///
     /// Returns frontend, lowering, or simulation errors.
     pub fn run(&self, config: &MachineConfig) -> Result<RunResult, SyncoptError> {
-        let procs = self.procs.unwrap_or(config.procs);
-        let mut compiled = self.compile_for(Some(procs))?;
-        let mut trace = None;
-        let sim = compiled.report.timings.time("simulate", || {
-            if self.trace >= TraceLevel::Events {
-                syncopt_machine::simulate_traced(&compiled.optimized.cfg, config, self.trace_limit)
-                    .map(|(sim, t)| {
-                        trace = Some(t);
-                        sim
-                    })
-            } else {
-                syncopt_machine::simulate(&compiled.optimized.cfg, config)
-            }
-        })?;
-        compiled.report.meta.machine = Some(config.name.clone());
-        let mut sim_report = SimReport::from_sim(&sim);
-        sim_report.trace_truncated = trace.as_ref().map(Trace::truncated);
-        compiled.report.sim = Some(sim_report);
-        Ok(RunResult {
-            compiled,
-            sim,
-            trace,
-        })
+        AnalysisSession::new().run(self.src, &self.session_options(), config)
     }
 
     /// The paper's §5.2 **two-version compilation**: barrier alignment is
@@ -397,12 +359,7 @@ impl<'a> Syncopt<'a> {
     ///
     /// Returns frontend, lowering, or simulation errors from either run.
     pub fn profile(&self, config: &MachineConfig) -> Result<ProfileReport, SyncoptError> {
-        let blocking = self.clone().level(OptLevel::Blocking).run(config)?;
-        let optimized = self.run(config)?;
-        Ok(ProfileReport {
-            blocking: blocking.report().clone(),
-            optimized: optimized.report().clone(),
-        })
+        AnalysisSession::new().profile(self.src, &self.session_options(), config)
     }
 }
 
@@ -498,72 +455,6 @@ pub struct TwoVersionResult {
     /// Why the fallback fired (`None` when the optimized version was
     /// used).
     pub fallback: Option<FallbackReason>,
-}
-
-// ---- deprecated free-function API (pre-builder) ------------------------
-
-/// Parses, checks, lowers, analyzes (for `procs` processors), and
-/// optimizes a `minisplit` program.
-///
-/// # Errors
-///
-/// Returns frontend or lowering errors.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the `Syncopt` builder: \
-    `Syncopt::new(src).procs(procs).level(level).delay(choice).compile()`"
-)]
-pub fn compile(
-    src: &str,
-    procs: u32,
-    level: OptLevel,
-    choice: DelayChoice,
-) -> Result<Compiled, SyncoptError> {
-    Syncopt::new(src)
-        .procs(procs)
-        .level(level)
-        .delay(choice)
-        .compile()
-}
-
-/// Compiles for `config.procs` processors and simulates the optimized
-/// program on `config`.
-///
-/// # Errors
-///
-/// Returns frontend, lowering, or simulation errors.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the `Syncopt` builder: \
-    `Syncopt::new(src).level(level).delay(choice).run(config)`"
-)]
-pub fn run(
-    src: &str,
-    config: &MachineConfig,
-    level: OptLevel,
-    choice: DelayChoice,
-) -> Result<RunResult, SyncoptError> {
-    Syncopt::new(src).level(level).delay(choice).run(config)
-}
-
-/// The paper's §5.2 two-version compilation (see
-/// [`Syncopt::run_two_version`]).
-///
-/// # Errors
-///
-/// Returns frontend/lowering errors, or simulation errors from the
-/// conservative version.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the `Syncopt` builder: \
-    `Syncopt::new(src).level(level).run_two_version(config)`"
-)]
-pub fn run_two_version(
-    src: &str,
-    config: &MachineConfig,
-    level: OptLevel,
-) -> Result<TwoVersionResult, SyncoptError> {
-    Syncopt::new(src).level(level).run_two_version(config)
 }
 
 #[cfg(test)]

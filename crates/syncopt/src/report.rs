@@ -18,7 +18,7 @@
 
 use syncopt_codegen::{DelayChoice, OptLevel, OptStats};
 use syncopt_core::diag::json::Value;
-use syncopt_core::{AnalysisStats, Counters, PhaseTimings};
+use syncopt_core::{AnalysisStats, CacheStats, Counters, PhaseTimings};
 use syncopt_machine::sim::{NetStats, SimResult, StallStats};
 use syncopt_machine::{LatencyHistogram, MachineConfig, SimMetrics, SimWork};
 
@@ -84,6 +84,12 @@ pub struct PipelineReport {
     pub counters: Counters,
     /// What the optimizer did.
     pub codegen: OptStats,
+    /// Artifact-cache counters for the request that produced this report
+    /// (hits prove incremental reuse). `None` — and absent from the JSON
+    /// — unless explicitly attached via
+    /// [`AnalysisSession::annotate_report`](crate::AnalysisSession::annotate_report),
+    /// so cold and warm runs of the same query stay byte-identical.
+    pub cache: Option<CacheStats>,
     /// The simulation section; `None` for compile-only reports.
     pub sim: Option<SimReport>,
 }
@@ -123,6 +129,9 @@ impl PipelineReport {
             ("counters".to_string(), self.counters.to_json()),
             ("codegen".to_string(), optstats_json(&self.codegen)),
         ];
+        if let Some(cache) = &self.cache {
+            fields.push(("cache".to_string(), cache_json(cache)));
+        }
         if let Some(sim) = &self.sim {
             fields.push(("sim".to_string(), sim_json(sim)));
         }
@@ -233,6 +242,12 @@ impl PipelineReport {
             c.gets_eliminated,
             c.puts_eliminated,
         ));
+        if let Some(cache) = &self.cache {
+            out.push_str(&format!(
+                "  cache: {} hit(s), {} miss(es), {} eviction(s)\n",
+                cache.hits, cache.misses, cache.evictions
+            ));
+        }
         if let Some(sim) = &self.sim {
             render_sim_table(&mut out, sim);
         }
@@ -240,7 +255,15 @@ impl PipelineReport {
     }
 }
 
-fn optstats_json(s: &OptStats) -> Value {
+fn cache_json(c: &CacheStats) -> Value {
+    Value::Obj(vec![
+        ("hits".to_string(), Value::Int(c.hits as i64)),
+        ("misses".to_string(), Value::Int(c.misses as i64)),
+        ("evictions".to_string(), Value::Int(c.evictions as i64)),
+    ])
+}
+
+pub(crate) fn optstats_json(s: &OptStats) -> Value {
     Value::Obj(vec![
         ("gets_split".to_string(), Value::Int(s.gets_split as i64)),
         ("puts_split".to_string(), Value::Int(s.puts_split as i64)),
@@ -699,6 +722,7 @@ mod tests {
             },
             counters: Counters::new(),
             codegen: OptStats::default(),
+            cache: None,
             sim: exec.map(|e| SimReport {
                 exec_cycles: e,
                 barriers_aligned: true,

@@ -1,0 +1,655 @@
+//! The `syncopt.rpc.v1` wire protocol.
+//!
+//! `syncoptd` and `syncoptc --daemon` speak newline-delimited JSON over a
+//! Unix domain socket: each request is one JSON object on one line, and
+//! each response is one JSON object on one line, in request order per
+//! connection. The `syncopt_core::diag::json` emitter escapes every control character, so a
+//! document never spans lines and the framing is unambiguous.
+//!
+//! Every envelope carries `"schema": "syncopt.rpc.v1"` and the client's
+//! `id`, which the server echoes back. Four operations exist:
+//!
+//! * `ping` — liveness probe; the response carries `"pong": true`.
+//! * `stats` — cumulative cache statistics of the server's
+//!   [`AnalysisSession`](crate::AnalysisSession): totals, artifact count,
+//!   capacity, and the per-kind `cache.<kind>.*` counters.
+//! * `query` — run one [`Query`] through the shared command engine
+//!   ([`crate::commands::execute`]); the response carries the exact
+//!   stdout bytes, the optional failure message, the optional file
+//!   artifact (which the *client* writes — the daemon never touches the
+//!   filesystem), and the per-request cache delta.
+//! * `shutdown` — ask the server to stop accepting connections and exit.
+//!
+//! A malformed or unsupported request yields `"ok": false` with an
+//! `error` object (`code` ∈ `bad-request` | `unsupported`); a query that
+//! *ran* but failed (lint errors, bad source, …) is still `"ok": true`
+//! with a non-null `failure`, mirroring the CLI's stdout/stderr/exit-code
+//! split. The full schema is documented in `docs/API.md`.
+
+use crate::commands::{
+    delay_cli_label, parse_delay, parse_level, CmdOut, FileOutput, Format, Query,
+};
+use crate::report::level_label;
+use syncopt_core::cache::CacheStats;
+use syncopt_core::diag::json::Value;
+use syncopt_core::obs::Counters;
+
+/// Protocol identifier carried by every request and response.
+pub const RPC_SCHEMA: &str = "syncopt.rpc.v1";
+
+/// A protocol-level failure (never a *command* failure).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RpcError {
+    /// `bad-request` (malformed envelope) or `unsupported` (wrong
+    /// schema / unknown op).
+    pub code: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl RpcError {
+    /// A malformed-envelope error.
+    pub fn bad_request(message: impl Into<String>) -> RpcError {
+        RpcError {
+            code: "bad-request",
+            message: message.into(),
+        }
+    }
+
+    /// A wrong-schema / unknown-op error.
+    pub fn unsupported(message: impl Into<String>) -> RpcError {
+        RpcError {
+            code: "unsupported",
+            message: message.into(),
+        }
+    }
+}
+
+/// What a request asks the server to do.
+///
+/// `Query` dominates the size of this enum; a request is decoded once and
+/// consumed immediately, so the indirection of boxing it buys nothing.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestBody {
+    /// Liveness probe.
+    Ping,
+    /// Cumulative session cache statistics.
+    Stats,
+    /// Run one command query.
+    Query(Query),
+    /// Stop the server.
+    Shutdown,
+}
+
+/// One decoded request envelope.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: i64,
+    /// The operation.
+    pub body: RequestBody,
+}
+
+fn field(fields: &mut Vec<(String, Value)>, key: &str, value: Value) {
+    fields.push((key.to_string(), value));
+}
+
+fn envelope(id: i64) -> Vec<(String, Value)> {
+    vec![
+        ("schema".to_string(), Value::Str(RPC_SCHEMA.to_string())),
+        ("id".to_string(), Value::Int(id)),
+    ]
+}
+
+/// Encodes a query for the wire.
+pub fn encode_query(q: &Query) -> Value {
+    let mut f = Vec::new();
+    field(&mut f, "command", Value::Str(q.command.clone()));
+    field(&mut f, "file", Value::Str(q.file.clone()));
+    if let Some(source) = &q.source {
+        field(&mut f, "source", Value::Str(source.clone()));
+    }
+    field(&mut f, "procs", Value::Int(i64::from(q.procs)));
+    field(
+        &mut f,
+        "level",
+        Value::Str(level_label(q.level).to_string()),
+    );
+    field(
+        &mut f,
+        "delay",
+        Value::Str(delay_cli_label(q.delay).to_string()),
+    );
+    field(&mut f, "machine", Value::Str(q.machine.clone()));
+    field(&mut f, "dump", Value::Bool(q.dump));
+    field(&mut f, "dot", Value::Bool(q.dot));
+    field(&mut f, "trace", Value::Bool(q.trace));
+    field(&mut f, "strict", Value::Bool(q.strict));
+    field(&mut f, "kernels", Value::Bool(q.kernels));
+    field(&mut f, "format", Value::Str(q.format.label().to_string()));
+    if let Some(path) = &q.emit_report {
+        field(&mut f, "emit_report", Value::Str(path.clone()));
+    }
+    field(&mut f, "threads", Value::Int(q.threads as i64));
+    if let Some(path) = &q.out {
+        field(&mut f, "out", Value::Str(path.clone()));
+    }
+    if let Some(limit) = q.trace_limit {
+        field(&mut f, "trace_limit", Value::Int(limit as i64));
+    }
+    if let Some((a, b)) = q.pair {
+        field(
+            &mut f,
+            "pair",
+            Value::Arr(vec![Value::Int(i64::from(a)), Value::Int(i64::from(b))]),
+        );
+    }
+    if !q.deny.is_empty() {
+        field(
+            &mut f,
+            "deny",
+            Value::Arr(q.deny.iter().map(|c| Value::Str(c.clone())).collect()),
+        );
+    }
+    if !q.allow.is_empty() {
+        field(
+            &mut f,
+            "allow",
+            Value::Arr(q.allow.iter().map(|c| Value::Str(c.clone())).collect()),
+        );
+    }
+    if let Some(name) = &q.seeded {
+        field(&mut f, "seeded", Value::Str(name.clone()));
+    }
+    Value::Obj(f)
+}
+
+fn expect_str(v: &Value, key: &str) -> Result<String, RpcError> {
+    v.as_str()
+        .map(str::to_string)
+        .ok_or_else(|| RpcError::bad_request(format!("`{key}` must be a string")))
+}
+
+fn expect_bool(v: &Value, key: &str) -> Result<bool, RpcError> {
+    match v {
+        Value::Bool(b) => Ok(*b),
+        _ => Err(RpcError::bad_request(format!("`{key}` must be a boolean"))),
+    }
+}
+
+fn expect_int(v: &Value, key: &str) -> Result<i64, RpcError> {
+    v.as_int()
+        .ok_or_else(|| RpcError::bad_request(format!("`{key}` must be an integer")))
+}
+
+fn expect_codes(v: &Value, key: &str) -> Result<Vec<String>, RpcError> {
+    let items = v
+        .as_arr()
+        .ok_or_else(|| RpcError::bad_request(format!("`{key}` must be an array")))?;
+    items.iter().map(|i| expect_str(i, key)).collect()
+}
+
+/// Decodes a query object. Missing fields take the [`Query::default`]
+/// values; unknown fields are rejected so typos surface instead of being
+/// silently ignored.
+pub fn decode_query(v: &Value) -> Result<Query, RpcError> {
+    let fields = match v {
+        Value::Obj(fields) => fields,
+        _ => return Err(RpcError::bad_request("`query` must be an object")),
+    };
+    let mut q = Query::default();
+    for (key, value) in fields {
+        match key.as_str() {
+            "command" => q.command = expect_str(value, key)?,
+            "file" => q.file = expect_str(value, key)?,
+            "source" => q.source = Some(expect_str(value, key)?),
+            "procs" => {
+                q.procs = u32::try_from(expect_int(value, key)?)
+                    .map_err(|_| RpcError::bad_request("`procs` out of range"))?;
+            }
+            "level" => {
+                let label = expect_str(value, key)?;
+                q.level = parse_level(&label)
+                    .ok_or_else(|| RpcError::bad_request(format!("unknown level `{label}`")))?;
+            }
+            "delay" => {
+                let label = expect_str(value, key)?;
+                q.delay = parse_delay(&label).ok_or_else(|| {
+                    RpcError::bad_request(format!("unknown delay choice `{label}`"))
+                })?;
+            }
+            "machine" => q.machine = expect_str(value, key)?,
+            "dump" => q.dump = expect_bool(value, key)?,
+            "dot" => q.dot = expect_bool(value, key)?,
+            "trace" => q.trace = expect_bool(value, key)?,
+            "strict" => q.strict = expect_bool(value, key)?,
+            "kernels" => q.kernels = expect_bool(value, key)?,
+            "format" => {
+                let label = expect_str(value, key)?;
+                q.format = Format::parse(&label)
+                    .ok_or_else(|| RpcError::bad_request(format!("unknown format `{label}`")))?;
+            }
+            "emit_report" => q.emit_report = Some(expect_str(value, key)?),
+            "threads" => {
+                q.threads = usize::try_from(expect_int(value, key)?)
+                    .map_err(|_| RpcError::bad_request("`threads` out of range"))?;
+            }
+            "out" => q.out = Some(expect_str(value, key)?),
+            "trace_limit" => {
+                q.trace_limit = Some(
+                    usize::try_from(expect_int(value, key)?)
+                        .map_err(|_| RpcError::bad_request("`trace_limit` out of range"))?,
+                );
+            }
+            "pair" => {
+                let items = value
+                    .as_arr()
+                    .ok_or_else(|| RpcError::bad_request("`pair` must be an array of two ids"))?;
+                match items {
+                    [a, b] => {
+                        let id = |v: &Value| {
+                            expect_int(v, "pair").and_then(|n| {
+                                u32::try_from(n)
+                                    .map_err(|_| RpcError::bad_request("`pair` id out of range"))
+                            })
+                        };
+                        q.pair = Some((id(a)?, id(b)?));
+                    }
+                    _ => return Err(RpcError::bad_request("`pair` must be an array of two ids")),
+                }
+            }
+            "deny" => q.deny = expect_codes(value, key)?,
+            "allow" => q.allow = expect_codes(value, key)?,
+            "seeded" => q.seeded = Some(expect_str(value, key)?),
+            other => {
+                return Err(RpcError::bad_request(format!(
+                    "unknown query field `{other}`"
+                )))
+            }
+        }
+    }
+    if q.command.is_empty() {
+        return Err(RpcError::bad_request("`command` is required"));
+    }
+    Ok(q)
+}
+
+/// Encodes a request envelope (one line, no trailing newline).
+pub fn encode_request(req: &Request) -> Value {
+    let mut f = envelope(req.id);
+    match &req.body {
+        RequestBody::Ping => field(&mut f, "op", Value::Str("ping".to_string())),
+        RequestBody::Stats => field(&mut f, "op", Value::Str("stats".to_string())),
+        RequestBody::Shutdown => field(&mut f, "op", Value::Str("shutdown".to_string())),
+        RequestBody::Query(q) => {
+            field(&mut f, "op", Value::Str("query".to_string()));
+            field(&mut f, "query", encode_query(q));
+        }
+    }
+    Value::Obj(f)
+}
+
+/// Best-effort extraction of the correlation id from a request line, for
+/// error responses to requests that failed to decode. Returns 0 when the
+/// line is too broken to carry one.
+pub fn request_id(line: &str) -> i64 {
+    Value::parse(line)
+        .ok()
+        .and_then(|v| v.get("id").and_then(Value::as_int))
+        .unwrap_or(0)
+}
+
+/// Decodes one request line.
+///
+/// # Errors
+///
+/// [`RpcError`] with code `bad-request` for malformed JSON or envelopes,
+/// `unsupported` for a wrong schema or unknown op.
+pub fn decode_request(line: &str) -> Result<Request, RpcError> {
+    let v = Value::parse(line).map_err(|e| RpcError::bad_request(format!("invalid JSON: {e}")))?;
+    let schema = v
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or_else(|| RpcError::bad_request("missing `schema`"))?;
+    if schema != RPC_SCHEMA {
+        return Err(RpcError::unsupported(format!(
+            "unsupported schema `{schema}` (this server speaks {RPC_SCHEMA})"
+        )));
+    }
+    let id = v
+        .get("id")
+        .and_then(Value::as_int)
+        .ok_or_else(|| RpcError::bad_request("missing integer `id`"))?;
+    let op = v
+        .get("op")
+        .and_then(Value::as_str)
+        .ok_or_else(|| RpcError::bad_request("missing `op`"))?;
+    let body = match op {
+        "ping" => RequestBody::Ping,
+        "stats" => RequestBody::Stats,
+        "shutdown" => RequestBody::Shutdown,
+        "query" => {
+            let q = v
+                .get("query")
+                .ok_or_else(|| RpcError::bad_request("`query` op needs a `query` object"))?;
+            RequestBody::Query(decode_query(q)?)
+        }
+        other => return Err(RpcError::unsupported(format!("unknown op `{other}`"))),
+    };
+    Ok(Request { id, body })
+}
+
+fn cache_stats_json(stats: CacheStats) -> Value {
+    Value::Obj(vec![
+        ("hits".to_string(), Value::Int(stats.hits as i64)),
+        ("misses".to_string(), Value::Int(stats.misses as i64)),
+        ("evictions".to_string(), Value::Int(stats.evictions as i64)),
+    ])
+}
+
+/// Encodes a successful `ping` response.
+pub fn ping_response(id: i64) -> Value {
+    let mut f = envelope(id);
+    field(&mut f, "ok", Value::Bool(true));
+    field(&mut f, "pong", Value::Bool(true));
+    Value::Obj(f)
+}
+
+/// Encodes a successful `stats` response.
+pub fn stats_response(
+    id: i64,
+    stats: CacheStats,
+    artifacts: usize,
+    capacity: usize,
+    kinds: &Counters,
+) -> Value {
+    let mut f = envelope(id);
+    field(&mut f, "ok", Value::Bool(true));
+    field(&mut f, "cache", cache_stats_json(stats));
+    field(&mut f, "artifacts", Value::Int(artifacts as i64));
+    field(&mut f, "capacity", Value::Int(capacity as i64));
+    field(&mut f, "kinds", kinds.to_json());
+    Value::Obj(f)
+}
+
+/// Encodes a successful `shutdown` acknowledgement.
+pub fn shutdown_response(id: i64) -> Value {
+    let mut f = envelope(id);
+    field(&mut f, "ok", Value::Bool(true));
+    field(&mut f, "shutdown", Value::Bool(true));
+    Value::Obj(f)
+}
+
+/// Encodes a completed query: the command ran, and this is its result
+/// (which may be a command *failure* — that is not a protocol error).
+pub fn query_response(id: i64, out: &CmdOut, cache: CacheStats) -> Value {
+    let mut f = envelope(id);
+    field(&mut f, "ok", Value::Bool(true));
+    field(&mut f, "stdout", Value::Str(out.stdout.clone()));
+    match &out.failure {
+        Some(msg) => field(&mut f, "failure", Value::Str(msg.clone())),
+        None => field(&mut f, "failure", Value::Null),
+    }
+    if let Some(file) = &out.file {
+        field(
+            &mut f,
+            "file",
+            Value::Obj(vec![
+                ("path".to_string(), Value::Str(file.path.clone())),
+                ("content".to_string(), Value::Str(file.content.clone())),
+                ("note".to_string(), Value::Str(file.note.clone())),
+            ]),
+        );
+    }
+    field(&mut f, "cache", cache_stats_json(cache));
+    Value::Obj(f)
+}
+
+/// Encodes a protocol error.
+pub fn error_response(id: i64, err: &RpcError) -> Value {
+    let mut f = envelope(id);
+    field(&mut f, "ok", Value::Bool(false));
+    field(
+        &mut f,
+        "error",
+        Value::Obj(vec![
+            ("code".to_string(), Value::Str(err.code.to_string())),
+            ("message".to_string(), Value::Str(err.message.clone())),
+        ]),
+    );
+    Value::Obj(f)
+}
+
+/// A decoded response envelope, as seen by the client.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reply {
+    /// Echoed correlation id.
+    pub id: i64,
+    /// The payload.
+    pub body: ReplyBody,
+}
+
+/// Client-side view of a response payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplyBody {
+    /// `ping` acknowledgement.
+    Pong,
+    /// `stats` payload (the raw object, for display).
+    Stats(Value),
+    /// `shutdown` acknowledgement.
+    Shutdown,
+    /// A completed query with its per-request cache delta.
+    Query(CmdOut, CacheStats),
+    /// A protocol error.
+    Error(RpcError),
+}
+
+fn decode_cache_stats(v: &Value) -> Result<CacheStats, RpcError> {
+    let count = |key: &str| {
+        v.get(key)
+            .and_then(Value::as_int)
+            .and_then(|n| u64::try_from(n).ok())
+            .ok_or_else(|| RpcError::bad_request(format!("cache stats missing `{key}`")))
+    };
+    Ok(CacheStats {
+        hits: count("hits")?,
+        misses: count("misses")?,
+        evictions: count("evictions")?,
+    })
+}
+
+/// Decodes one response line.
+///
+/// # Errors
+///
+/// [`RpcError`] (code `bad-request`) if the line is not a well-formed
+/// `syncopt.rpc.v1` response. A server-reported error decodes
+/// successfully as [`ReplyBody::Error`].
+pub fn decode_response(line: &str) -> Result<Reply, RpcError> {
+    let v = Value::parse(line).map_err(|e| RpcError::bad_request(format!("invalid JSON: {e}")))?;
+    match v.get("schema").and_then(Value::as_str) {
+        Some(RPC_SCHEMA) => {}
+        Some(other) => {
+            return Err(RpcError::bad_request(format!(
+                "unsupported response schema `{other}`"
+            )))
+        }
+        None => return Err(RpcError::bad_request("missing `schema`")),
+    }
+    let id = v
+        .get("id")
+        .and_then(Value::as_int)
+        .ok_or_else(|| RpcError::bad_request("missing integer `id`"))?;
+    let ok = match v.get("ok") {
+        Some(Value::Bool(b)) => *b,
+        _ => return Err(RpcError::bad_request("missing boolean `ok`")),
+    };
+    if !ok {
+        let err = v
+            .get("error")
+            .ok_or_else(|| RpcError::bad_request("error response missing `error`"))?;
+        let code = match err.get("code").and_then(Value::as_str) {
+            Some("unsupported") => "unsupported",
+            _ => "bad-request",
+        };
+        let message = err
+            .get("message")
+            .and_then(Value::as_str)
+            .unwrap_or("unknown error")
+            .to_string();
+        return Ok(Reply {
+            id,
+            body: ReplyBody::Error(RpcError { code, message }),
+        });
+    }
+    let body = if v.get("pong").is_some() {
+        ReplyBody::Pong
+    } else if v.get("shutdown").is_some() {
+        ReplyBody::Shutdown
+    } else if let Some(stdout) = v.get("stdout") {
+        let stdout = expect_str(stdout, "stdout")?;
+        let failure = match v.get("failure") {
+            None | Some(Value::Null) => None,
+            Some(other) => Some(expect_str(other, "failure")?),
+        };
+        let file = match v.get("file") {
+            None => None,
+            Some(file) => Some(FileOutput {
+                path: file
+                    .get("path")
+                    .map(|p| expect_str(p, "file.path"))
+                    .transpose()?
+                    .ok_or_else(|| RpcError::bad_request("file artifact missing `path`"))?,
+                content: file
+                    .get("content")
+                    .map(|c| expect_str(c, "file.content"))
+                    .transpose()?
+                    .ok_or_else(|| RpcError::bad_request("file artifact missing `content`"))?,
+                note: file
+                    .get("note")
+                    .map(|n| expect_str(n, "file.note"))
+                    .transpose()?
+                    .ok_or_else(|| RpcError::bad_request("file artifact missing `note`"))?,
+            }),
+        };
+        let cache = v
+            .get("cache")
+            .map(decode_cache_stats)
+            .transpose()?
+            .unwrap_or_default();
+        ReplyBody::Query(
+            CmdOut {
+                stdout,
+                file,
+                failure,
+            },
+            cache,
+        )
+    } else if let Some(stats) = v.get("cache") {
+        ReplyBody::Stats(Value::Obj(vec![
+            ("cache".to_string(), stats.clone()),
+            (
+                "artifacts".to_string(),
+                v.get("artifacts").cloned().unwrap_or(Value::Int(0)),
+            ),
+            (
+                "capacity".to_string(),
+                v.get("capacity").cloned().unwrap_or(Value::Int(0)),
+            ),
+            (
+                "kinds".to_string(),
+                v.get("kinds").cloned().unwrap_or(Value::Obj(Vec::new())),
+            ),
+        ]))
+    } else {
+        return Err(RpcError::bad_request("unrecognized response payload"));
+    };
+    Ok(Reply { id, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_query() -> Query {
+        Query {
+            command: "check".to_string(),
+            file: "prog.ms".to_string(),
+            source: Some("shared int X; fn main() { X = 1; }".to_string()),
+            procs: 8,
+            strict: true,
+            format: Format::Json,
+            pair: Some((3, 7)),
+            deny: vec!["W001".to_string()],
+            trace_limit: Some(512),
+            ..Query::default()
+        }
+    }
+
+    #[test]
+    fn request_round_trips() {
+        let req = Request {
+            id: 42,
+            body: RequestBody::Query(sample_query()),
+        };
+        let line = encode_request(&req).to_string();
+        assert!(!line.contains('\n'), "framing requires one line");
+        let back = decode_request(&line).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn control_ops_round_trip() {
+        for body in [RequestBody::Ping, RequestBody::Stats, RequestBody::Shutdown] {
+            let req = Request { id: 7, body };
+            let back = decode_request(&encode_request(&req).to_string()).unwrap();
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn query_response_round_trips_with_failure_and_file() {
+        let out = CmdOut {
+            stdout: "line one\nline two\n".to_string(),
+            file: Some(FileOutput {
+                path: "report.json".to_string(),
+                content: "{}\n".to_string(),
+                note: "written".to_string(),
+            }),
+            failure: Some("check failed: 2 error(s)".to_string()),
+        };
+        let cache = CacheStats {
+            hits: 5,
+            misses: 1,
+            evictions: 0,
+        };
+        let line = query_response(9, &out, cache).to_string();
+        assert!(!line.contains('\n'));
+        let reply = decode_response(&line).unwrap();
+        assert_eq!(reply.id, 9);
+        assert_eq!(reply.body, ReplyBody::Query(out, cache));
+    }
+
+    #[test]
+    fn wrong_schema_is_unsupported() {
+        let line = r#"{"schema":"syncopt.rpc.v999","id":1,"op":"ping"}"#;
+        let err = decode_request(line).unwrap_err();
+        assert_eq!(err.code, "unsupported");
+    }
+
+    #[test]
+    fn unknown_query_field_is_rejected() {
+        let line = r#"{"schema":"syncopt.rpc.v1","id":1,"op":"query","query":{"command":"check","sourcefile":"x"}}"#;
+        let err = decode_request(line).unwrap_err();
+        assert_eq!(err.code, "bad-request");
+        assert!(err.message.contains("sourcefile"));
+    }
+
+    #[test]
+    fn error_response_round_trips() {
+        let err = RpcError::unsupported("unknown op `frobnicate`");
+        let reply = decode_response(&error_response(3, &err).to_string()).unwrap();
+        assert_eq!(reply.body, ReplyBody::Error(err));
+    }
+}

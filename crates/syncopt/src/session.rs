@@ -1,0 +1,609 @@
+//! The session-oriented analysis API: incremental, content-addressed
+//! pipeline runs.
+//!
+//! A [`Syncopt`](crate::Syncopt) builder is "one builder = one full run":
+//! every call re-parses, re-checks, re-analyzes, and re-optimizes from
+//! scratch. An [`AnalysisSession`] instead owns a content-addressed
+//! [`ArtifactCache`] and keys every expensive artifact by a stable
+//! [`Fingerprint`] of its inputs, so repeated queries — and queries over
+//! *edited* programs that share most of their content — only recompute
+//! what actually changed. This is the serving layer `syncoptd` exposes
+//! over `syncopt.rpc.v1`.
+//!
+//! # Cache-key derivation
+//!
+//! | kind       | keyed by                                            | stores |
+//! |------------|-----------------------------------------------------|--------|
+//! | `ast`      | raw source text                                     | parsed [`Program`] |
+//! | `fncheck`  | context fingerprint + canonical function text       | per-function type-check verdict |
+//! | `inlined`  | raw source text                                     | inlined [`Program`] |
+//! | `cfg`      | raw source text                                     | lowered source [`Cfg`] |
+//! | `analysis` | canonical (span-free) CFG text + procs              | [`Analysis`] |
+//! | `opt`      | raw source text + procs + level + delay             | [`Optimized`] |
+//! | `sim`      | canonical optimized-CFG text + machine config       | [`SimResult`] |
+//! | `races`    | raw source text + procs                             | [`RaceAnalysis`] |
+//! | `lint`     | raw source text + procs                             | [`LintReport`] |
+//! | `explain`  | raw source text + procs                             | [`ExplainReport`] |
+//!
+//! Span-bearing artifacts (`ast`, `cfg`, `opt`, `lint` diagnostics) key
+//! on the *raw* source so two texts that differ only in whitespace never
+//! share an artifact with stale spans. Span-free artifacts (`analysis`,
+//! `sim` — both identify accesses by dense [`AccessId`]s) key on the
+//! canonical printed CFG, so formatting-only edits reuse the two most
+//! expensive phases outright. Worker-thread counts are deliberately
+//! **not** part of any key: analysis results are bit-identical for every
+//! thread count.
+//!
+//! Caching never changes results, only the work needed to produce them:
+//! a warm query is byte-identical to a cold one.
+//!
+//! ```
+//! use syncopt::{AnalysisSession, SessionOptions};
+//!
+//! let src = "shared int A[8]; fn main() { A[MYPROC] = 1; barrier; }";
+//! let mut session = AnalysisSession::new();
+//! let opts = SessionOptions { procs: Some(8), ..SessionOptions::default() };
+//! let cold = session.compile(src, &opts)?;
+//! let warm = session.compile(src, &opts)?;
+//! assert_eq!(cold.report, warm.report);
+//! // The second compile did no parsing/analysis work at all.
+//! assert_eq!(session.last_request_stats().misses, 0);
+//! assert!(session.last_request_stats().hits > 0);
+//! # Ok::<(), syncopt::SyncoptError>(())
+//! ```
+//!
+//! [`AccessId`]: syncopt_ir::ids::AccessId
+//! [`Program`]: syncopt_frontend::Program
+//! [`SimResult`]: syncopt_machine::SimResult
+
+use crate::report::{delay_label, level_label, meta_for};
+use crate::{
+    Compiled, DelayChoice, OptLevel, PipelineReport, ProfileReport, RunResult, SimReport,
+    SyncoptError, TraceLevel, DEFAULT_TRACE_LIMIT,
+};
+use std::sync::Arc;
+use syncopt_codegen::Optimized;
+use syncopt_core::cache::{ArtifactCache, CacheStats};
+use syncopt_core::{
+    Analysis, Counters, ExplainReport, LintReport, PhaseTimings, RaceAnalysis, SyncOptions,
+};
+use syncopt_frontend::fingerprint::{context_fingerprint, Fingerprint};
+use syncopt_frontend::pretty::function_to_string;
+use syncopt_frontend::typeck::ProgramContext;
+use syncopt_frontend::Program;
+use syncopt_ir::cfg::Cfg;
+use syncopt_ir::print::cfg_to_string;
+use syncopt_machine::{MachineConfig, Trace};
+
+/// Per-request pipeline knobs, mirroring the [`Syncopt`](crate::Syncopt)
+/// builder's configuration.
+#[derive(Debug, Clone)]
+pub struct SessionOptions {
+    /// Analyze for a fixed machine size (`None` = unbounded; `run`
+    /// resolves it to the machine's processor count).
+    pub procs: Option<u32>,
+    /// Optimization level.
+    pub level: OptLevel,
+    /// Delay set constraining code motion.
+    pub delay: DelayChoice,
+    /// Observability level.
+    pub trace: TraceLevel,
+    /// Event-trace cap at [`TraceLevel::Events`].
+    pub trace_limit: usize,
+    /// Worker threads for the delay-set candidate loops (never part of a
+    /// cache key: results are bit-identical for every value).
+    pub threads: usize,
+}
+
+impl Default for SessionOptions {
+    fn default() -> Self {
+        SessionOptions {
+            procs: None,
+            level: OptLevel::Full,
+            delay: DelayChoice::SyncRefined,
+            trace: TraceLevel::Off,
+            trace_limit: DEFAULT_TRACE_LIMIT,
+            threads: 1,
+        }
+    }
+}
+
+impl SessionOptions {
+    fn sync_options(&self, procs: Option<u32>) -> SyncOptions {
+        SyncOptions {
+            procs,
+            threads: self.threads,
+            ..SyncOptions::default()
+        }
+    }
+}
+
+/// A long-lived analysis context: the same queries as the
+/// [`Syncopt`](crate::Syncopt) builder, backed by a content-addressed
+/// artifact cache shared across requests. See the [module
+/// docs](self) for the cache-key derivation.
+#[derive(Debug)]
+pub struct AnalysisSession {
+    cache: ArtifactCache,
+    request_base: CacheStats,
+}
+
+impl Default for AnalysisSession {
+    fn default() -> Self {
+        AnalysisSession::new()
+    }
+}
+
+impl AnalysisSession {
+    /// A session with the default cache capacity.
+    pub fn new() -> Self {
+        AnalysisSession {
+            cache: ArtifactCache::default(),
+            request_base: CacheStats::default(),
+        }
+    }
+
+    /// A session whose cache holds at most `capacity` artifacts.
+    pub fn with_capacity(capacity: usize) -> Self {
+        AnalysisSession {
+            cache: ArtifactCache::new(capacity),
+            request_base: CacheStats::default(),
+        }
+    }
+
+    /// Cumulative cache counters over the session's lifetime.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Cache counters for the most recent request only (how much of it
+    /// was served from cache).
+    pub fn last_request_stats(&self) -> CacheStats {
+        self.cache.stats().since(self.request_base)
+    }
+
+    /// Per-artifact-kind cache counters
+    /// (`cache.<kind>.hits|misses|evictions`).
+    pub fn kind_counters(&self) -> &Counters {
+        self.cache.kind_counters()
+    }
+
+    /// Number of artifacts currently cached.
+    pub fn cached_artifacts(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Maximum number of artifacts the cache will hold.
+    pub fn cache_capacity(&self) -> usize {
+        self.cache.capacity()
+    }
+
+    /// Copies the last request's cache counters into `report` so the
+    /// pipeline report proves how much work the request reused. Reports
+    /// omit the section by default: a warm run's *answer* stays
+    /// byte-identical to a cold run's.
+    pub fn annotate_report(&self, report: &mut PipelineReport) {
+        report.cache = Some(self.last_request_stats());
+    }
+
+    fn begin(&mut self) {
+        self.request_base = self.cache.stats();
+    }
+
+    /// Parses, checks, lowers, analyzes, and optimizes `src`, reusing
+    /// every cached artifact whose inputs are unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns frontend or lowering errors (never cached — errors are
+    /// re-diagnosed with fresh spans on every request).
+    pub fn compile(&mut self, src: &str, opts: &SessionOptions) -> Result<Compiled, SyncoptError> {
+        self.begin();
+        self.compile_inner(src, opts, opts.procs)
+    }
+
+    /// Compiles (analyzing for the machine's processor count unless
+    /// `opts.procs` overrides it) and simulates on `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns frontend, lowering, or simulation errors.
+    pub fn run(
+        &mut self,
+        src: &str,
+        opts: &SessionOptions,
+        config: &MachineConfig,
+    ) -> Result<RunResult, SyncoptError> {
+        self.begin();
+        self.run_inner(src, opts, config)
+    }
+
+    /// Runs `src` twice — once at [`OptLevel::Blocking`] and once at
+    /// `opts.level` — sharing the analysis between the two runs via the
+    /// cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns frontend, lowering, or simulation errors from either run.
+    pub fn profile(
+        &mut self,
+        src: &str,
+        opts: &SessionOptions,
+        config: &MachineConfig,
+    ) -> Result<ProfileReport, SyncoptError> {
+        self.begin();
+        let blocking_opts = SessionOptions {
+            level: OptLevel::Blocking,
+            ..opts.clone()
+        };
+        let blocking = self.run_inner(src, &blocking_opts, config)?;
+        let optimized = self.run_inner(src, opts, config)?;
+        Ok(ProfileReport {
+            blocking: blocking.report().clone(),
+            optimized: optimized.report().clone(),
+        })
+    }
+
+    /// The race detector's classification of every conflicting data pair
+    /// (cached per source text and processor count).
+    ///
+    /// # Errors
+    ///
+    /// Returns frontend or lowering errors.
+    pub fn races(
+        &mut self,
+        src: &str,
+        opts: &SessionOptions,
+    ) -> Result<Arc<RaceAnalysis>, SyncoptError> {
+        self.begin();
+        let key = src_fingerprint(src)
+            .push("races.v1")
+            .push(&procs_part(opts.procs));
+        if let Some(races) = self.cache.get::<RaceAnalysis>("races", key) {
+            return Ok(races);
+        }
+        let cfg = self.cfg_inner(src)?;
+        let races = Arc::new(syncopt_core::detect_races(
+            &cfg,
+            &opts.sync_options(opts.procs),
+        ));
+        self.cache.insert_arc("races", key, Arc::clone(&races));
+        Ok(races)
+    }
+
+    /// The full lint suite, including fence-coverage verification at
+    /// every optimization level (cached per source text and processor
+    /// count).
+    ///
+    /// # Errors
+    ///
+    /// Returns frontend or lowering errors.
+    pub fn lint(
+        &mut self,
+        src: &str,
+        opts: &SessionOptions,
+    ) -> Result<Arc<LintReport>, SyncoptError> {
+        self.begin();
+        let key = src_fingerprint(src)
+            .push("lint.v1")
+            .push(&procs_part(opts.procs));
+        if let Some(report) = self.cache.get::<LintReport>("lint", key) {
+            return Ok(report);
+        }
+        let cfg = self.cfg_inner(src)?;
+        let sync_opts = opts.sync_options(opts.procs);
+        let analysis = self.analysis_inner(&cfg, opts, opts.procs);
+        let report = Arc::new(crate::lint::lint_with_analysis(&cfg, &analysis, &sync_opts));
+        self.cache.insert_arc("lint", key, Arc::clone(&report));
+        Ok(report)
+    }
+
+    /// Delay-set provenance: why each `D_SS` pair was kept or dropped
+    /// (cached per source text and processor count).
+    ///
+    /// # Errors
+    ///
+    /// Returns frontend or lowering errors.
+    pub fn explain(
+        &mut self,
+        src: &str,
+        opts: &SessionOptions,
+    ) -> Result<Arc<ExplainReport>, SyncoptError> {
+        self.begin();
+        let key = src_fingerprint(src)
+            .push("explain.v1")
+            .push(&procs_part(opts.procs));
+        if let Some(report) = self.cache.get::<ExplainReport>("explain", key) {
+            return Ok(report);
+        }
+        let cfg = self.cfg_inner(src)?;
+        let sync_opts = opts.sync_options(opts.procs);
+        let analysis = self.analysis_inner(&cfg, opts, opts.procs);
+        let report = Arc::new(syncopt_core::explain(&cfg, &analysis, &sync_opts));
+        self.cache.insert_arc("explain", key, Arc::clone(&report));
+        Ok(report)
+    }
+
+    // ---- internal cached pipeline stages --------------------------------
+
+    fn run_inner(
+        &mut self,
+        src: &str,
+        opts: &SessionOptions,
+        config: &MachineConfig,
+    ) -> Result<RunResult, SyncoptError> {
+        let procs = opts.procs.unwrap_or(config.procs);
+        let mut compiled = self.compile_inner(src, opts, Some(procs))?;
+        let mut trace = None;
+        let cache = &mut self.cache;
+        let sim = compiled.report.timings.time("simulate", || {
+            if opts.trace >= TraceLevel::Events {
+                // Traces are request-scoped observability, not artifacts:
+                // always simulate fresh so the trace matches this run.
+                syncopt_machine::simulate_traced(&compiled.optimized.cfg, config, opts.trace_limit)
+                    .map(|(sim, t)| {
+                        trace = Some(t);
+                        sim
+                    })
+            } else {
+                let key = Fingerprint::of_parts(&[
+                    "sim.v1",
+                    &cfg_to_string(&compiled.optimized.cfg),
+                    &format!("{config:?}"),
+                ]);
+                cache
+                    .get_or_try("sim", key, || {
+                        syncopt_machine::simulate(&compiled.optimized.cfg, config)
+                    })
+                    .map(|sim| (*sim).clone())
+            }
+        })?;
+        compiled.report.meta.machine = Some(config.name.clone());
+        let mut sim_report = SimReport::from_sim(&sim);
+        sim_report.trace_truncated = trace.as_ref().map(Trace::truncated);
+        compiled.report.sim = Some(sim_report);
+        Ok(RunResult {
+            compiled,
+            sim,
+            trace,
+        })
+    }
+
+    fn compile_inner(
+        &mut self,
+        src: &str,
+        opts: &SessionOptions,
+        procs: Option<u32>,
+    ) -> Result<Compiled, SyncoptError> {
+        let mut timings = PhaseTimings::new(opts.trace >= TraceLevel::Phases);
+        let src_fp = src_fingerprint(src);
+        let cache = &mut self.cache;
+        let ast: Arc<Program> = timings.time("parse", || {
+            cache.get_or_try("ast", src_fp, || syncopt_frontend::parse_program(src))
+        })?;
+        timings.time("typeck", || check_cached(cache, &ast))?;
+        let inlined: Arc<Program> = timings.time("inline", || {
+            cache.get_or_try("inlined", src_fp, || {
+                syncopt_frontend::inline::inline_program(&ast)
+            })
+        })?;
+        let source_cfg: Arc<Cfg> = timings.time("lower", || {
+            cache.get_or_try("cfg", src_fp, || syncopt_ir::lower::lower_main(&inlined))
+        })?;
+        let analysis = timings.time("analyze", || {
+            analysis_cached(cache, &source_cfg, opts, procs)
+        });
+        let optimized: Arc<Optimized> = timings.time("optimize", || {
+            let key = src_fp
+                .push("opt.v1")
+                .push(&procs_part(procs))
+                .push(level_label(opts.level))
+                .push(delay_label(opts.delay));
+            cache.get_or("opt", key, || {
+                syncopt_codegen::optimize(&source_cfg, &analysis, opts.level, opts.delay)
+            })
+        });
+        let report = PipelineReport {
+            meta: meta_for(procs.unwrap_or(0), opts.level, opts.delay, None),
+            timings,
+            analysis: analysis.stats(),
+            counters: analysis.metrics.clone(),
+            codegen: optimized.stats,
+            cache: None,
+            sim: None,
+        };
+        Ok(Compiled {
+            source_cfg: (*source_cfg).clone(),
+            analysis: (*analysis).clone(),
+            optimized: (*optimized).clone(),
+            report,
+        })
+    }
+
+    /// The cached source CFG for `src` (the parse → typeck → inline →
+    /// lower prefix of the pipeline, without timings).
+    fn cfg_inner(&mut self, src: &str) -> Result<Arc<Cfg>, SyncoptError> {
+        let src_fp = src_fingerprint(src);
+        let cache = &mut self.cache;
+        let ast: Arc<Program> =
+            cache.get_or_try("ast", src_fp, || syncopt_frontend::parse_program(src))?;
+        check_cached(cache, &ast)?;
+        let inlined: Arc<Program> = cache.get_or_try("inlined", src_fp, || {
+            syncopt_frontend::inline::inline_program(&ast)
+        })?;
+        Ok(cache.get_or_try("cfg", src_fp, || syncopt_ir::lower::lower_main(&inlined))?)
+    }
+
+    fn analysis_inner(
+        &mut self,
+        cfg: &Arc<Cfg>,
+        opts: &SessionOptions,
+        procs: Option<u32>,
+    ) -> Arc<Analysis> {
+        analysis_cached(&mut self.cache, cfg, opts, procs)
+    }
+}
+
+/// Fingerprint of the raw source text (the key for every span-bearing
+/// artifact).
+fn src_fingerprint(src: &str) -> Fingerprint {
+    Fingerprint::of_parts(&["src.v1", src])
+}
+
+/// The processor-count component of option-dependent cache keys.
+fn procs_part(procs: Option<u32>) -> String {
+    procs.map_or_else(|| "any".to_string(), |p| p.to_string())
+}
+
+/// Type checks `program` with per-function caching: the program-level
+/// checks run every time (they are cheap and produce the first error in
+/// declaration order), while each function body's verdict is keyed by the
+/// context fingerprint plus the function's canonical text — so editing
+/// one function of an N-function program re-checks only that function.
+/// Only successes are cached; errors re-diagnose with fresh spans.
+fn check_cached(
+    cache: &mut ArtifactCache,
+    program: &Program,
+) -> Result<(), syncopt_frontend::FrontendError> {
+    let ctx = ProgramContext::build(program)?;
+    let ctx_fp = context_fingerprint(program);
+    for func in &program.functions {
+        let key = ctx_fp.push("fncheck.v1").push(&function_to_string(func));
+        if cache.get::<()>("fncheck", key).is_some() {
+            continue;
+        }
+        ctx.check_function(func)?;
+        cache.insert("fncheck", key, ());
+    }
+    Ok(())
+}
+
+/// The cached delay-set analysis for a source CFG. Keyed by the
+/// *canonical printed* CFG (span-free, like [`Analysis`] itself) plus the
+/// processor count, so formatting-only edits reuse the analysis.
+fn analysis_cached(
+    cache: &mut ArtifactCache,
+    cfg: &Arc<Cfg>,
+    opts: &SessionOptions,
+    procs: Option<u32>,
+) -> Arc<Analysis> {
+    let key = Fingerprint::of_parts(&["analysis.v1", &cfg_to_string(cfg), &procs_part(procs)]);
+    cache.get_or("analysis", key, || {
+        syncopt_core::analyze_with(cfg, &opts.sync_options(procs))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Syncopt;
+
+    const SRC: &str = r#"
+        shared int A[16]; flag F;
+        fn helper(int v) { work(v); }
+        fn main() {
+            A[MYPROC] = MYPROC * 2;
+            barrier;
+            int v; v = A[(MYPROC + 1) % PROCS];
+            if (MYPROC == 0) { post F; } else { wait F; }
+            helper(v);
+        }
+    "#;
+
+    fn opts(procs: u32) -> SessionOptions {
+        SessionOptions {
+            procs: Some(procs),
+            ..SessionOptions::default()
+        }
+    }
+
+    #[test]
+    fn warm_compile_is_identical_and_all_hits() {
+        let mut s = AnalysisSession::new();
+        let cold = s.compile(SRC, &opts(4)).unwrap();
+        assert!(s.last_request_stats().misses > 0);
+        let warm = s.compile(SRC, &opts(4)).unwrap();
+        assert_eq!(cold.report, warm.report);
+        assert_eq!(
+            syncopt_ir::print::cfg_to_string(&cold.optimized.cfg),
+            syncopt_ir::print::cfg_to_string(&warm.optimized.cfg)
+        );
+        let stats = s.last_request_stats();
+        assert_eq!(stats.misses, 0, "warm compile rebuilt something");
+        assert!(stats.hits > 0);
+    }
+
+    #[test]
+    fn session_matches_builder_exactly() {
+        let mut s = AnalysisSession::new();
+        let via_session = s.compile(SRC, &opts(4)).unwrap();
+        let via_builder = Syncopt::new(SRC).procs(4).compile().unwrap();
+        assert_eq!(via_session.report, via_builder.report);
+        assert_eq!(
+            via_session.analysis.delay_sync.pairs(),
+            via_builder.analysis.delay_sync.pairs()
+        );
+    }
+
+    #[test]
+    fn single_function_edit_reuses_unedited_function_checks() {
+        let mut s = AnalysisSession::new();
+        s.compile(SRC, &opts(4)).unwrap();
+        // Edit only `main`: `helper` keeps its fingerprint and its cached
+        // verdict, so typeck re-checks exactly one function.
+        let edited = SRC.replace("MYPROC * 2", "MYPROC * 3");
+        s.compile(&edited, &opts(4)).unwrap();
+        let kinds = s.kind_counters();
+        assert_eq!(kinds.get("cache.fncheck.hits"), 1, "{kinds:?}");
+        assert_eq!(kinds.get("cache.fncheck.misses"), 3, "{kinds:?}");
+    }
+
+    #[test]
+    fn whitespace_edit_reuses_analysis_and_sim() {
+        let mut s = AnalysisSession::new();
+        let config = MachineConfig::cm5(4);
+        let a = s.run(SRC, &opts(4), &config).unwrap();
+        let spaced = SRC.replace("barrier;", "barrier   ;");
+        let b = s.run(&spaced, &opts(4), &config).unwrap();
+        assert_eq!(a.sim.memory, b.sim.memory);
+        assert_eq!(a.sim.exec_cycles, b.sim.exec_cycles);
+        // The reformatted source re-parses and re-lowers (raw-text keys)
+        // but reuses the span-free analysis and simulation artifacts.
+        let kinds = s.kind_counters();
+        assert!(kinds.get("cache.analysis.hits") >= 1, "{kinds:?}");
+        assert!(kinds.get("cache.sim.hits") >= 1, "{kinds:?}");
+    }
+
+    #[test]
+    fn profile_shares_analysis_between_levels() {
+        let mut s = AnalysisSession::new();
+        let config = MachineConfig::cm5(4);
+        let p = s.profile(SRC, &opts(4), &config).unwrap();
+        assert_eq!(p.blocking.meta.level, OptLevel::Blocking);
+        // One analysis miss, one hit: blocking and optimized share it.
+        assert_eq!(s.kind_counters().get("cache.analysis.misses"), 1);
+        assert!(s.kind_counters().get("cache.analysis.hits") >= 1);
+    }
+
+    #[test]
+    fn annotate_report_adds_cache_section() {
+        let mut s = AnalysisSession::new();
+        let mut c = s.compile(SRC, &opts(4)).unwrap();
+        assert!(c.report.cache.is_none());
+        s.annotate_report(&mut c.report);
+        let cache = c.report.cache.unwrap();
+        assert!(cache.misses > 0);
+        let json = c.report.to_json();
+        assert!(json.get("cache").is_some());
+    }
+
+    #[test]
+    fn errors_are_not_cached_and_rediagnose() {
+        let mut s = AnalysisSession::new();
+        let bad = "fn main() { x = 1; }";
+        let e1 = s.compile(bad, &opts(2)).unwrap_err();
+        let e2 = s.compile(bad, &opts(2)).unwrap_err();
+        assert_eq!(e1.to_string(), e2.to_string());
+        assert!(e1.to_string().contains("unknown variable"));
+    }
+}

@@ -1,0 +1,102 @@
+#!/usr/bin/env sh
+# CI smoke test for the syncoptd analysis daemon.
+#
+# Usage: scripts/daemon_smoke.sh SYNCOPTC_BIN [SYNCOPTD_BIN]
+#
+# Starts a daemon on a private socket, routes check / explain / lint
+# through `syncoptc --daemon`, and diffs every byte of stdout against
+# direct (in-process) mode — the two must be identical. Also verifies
+# ping/stats control ops, that a repeated daemon query is served from the
+# artifact cache (stats hits grow, misses do not), and that `shutdown`
+# stops the daemon cleanly and removes the socket file.
+# See docs/API.md for the syncopt.rpc.v1 protocol.
+set -eu
+
+BIN="${1:-./target/release/syncoptc}"
+DBIN="${2:-$(dirname "$BIN")/syncoptd}"
+
+for b in "$BIN" "$DBIN"; do
+    if [ ! -x "$b" ]; then
+        echo "daemon_smoke: $b not found or not executable (build with: cargo build --release)" >&2
+        exit 2
+    fi
+done
+
+TMPDIR_SMOKE="$(mktemp -d)"
+SOCK="$TMPDIR_SMOKE/syncoptd.sock"
+DAEMON_PID=""
+cleanup() {
+    [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null || true
+    rm -rf "$TMPDIR_SMOKE"
+}
+trap cleanup EXIT
+
+echo "== start syncoptd =="
+"$DBIN" --socket "$SOCK" 2> "$TMPDIR_SMOKE/daemon.log" &
+DAEMON_PID=$!
+
+# Wait for the socket to accept connections.
+tries=0
+until "$BIN" ping --socket "$SOCK" > /dev/null 2>&1; do
+    tries=$((tries + 1))
+    if [ "$tries" -ge 50 ]; then
+        echo "daemon_smoke: daemon did not come up" >&2
+        cat "$TMPDIR_SMOKE/daemon.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+echo "== direct vs daemon byte-identity (check / explain / lint) =="
+for cmd in check explain lint; do
+    for fmt in human json; do
+        direct="$TMPDIR_SMOKE/direct-$cmd-$fmt.out"
+        daemon="$TMPDIR_SMOKE/daemon-$cmd-$fmt.out"
+        # figure1.ms is the paper's racy example: `check` exits 1 in both
+        # modes. The exit codes must agree, and so must every stdout byte.
+        set +e
+        "$BIN" "$cmd" programs/figure1.ms --format "$fmt" > "$direct" 2>/dev/null
+        direct_rc=$?
+        "$BIN" "$cmd" programs/figure1.ms --format "$fmt" --daemon --socket "$SOCK" > "$daemon" 2>/dev/null
+        daemon_rc=$?
+        set -e
+        if [ "$direct_rc" -ne "$daemon_rc" ]; then
+            echo "daemon_smoke: $cmd --format $fmt exit codes differ (direct $direct_rc, daemon $daemon_rc)" >&2
+            exit 1
+        fi
+        if ! cmp -s "$direct" "$daemon"; then
+            echo "daemon_smoke: $cmd --format $fmt output differs between direct and daemon mode" >&2
+            diff "$direct" "$daemon" >&2 || true
+            exit 1
+        fi
+    done
+done
+
+echo "== cache reuse across requests =="
+stats1="$TMPDIR_SMOKE/stats1.json"
+"$BIN" stats --socket "$SOCK" > "$stats1"
+grep -q '"schema":"syncopt.rpc.v1"' "$stats1" || {
+    echo "daemon_smoke: stats missing rpc schema marker" >&2
+    exit 1
+}
+# Repeat a query: the daemon must answer it from cache (misses stay put).
+misses_before=$(sed 's/.*"misses":\([0-9]*\).*/\1/' "$stats1")
+"$BIN" check programs/figure1.ms --format json --daemon --socket "$SOCK" > /dev/null 2>&1 || true
+stats2="$TMPDIR_SMOKE/stats2.json"
+"$BIN" stats --socket "$SOCK" > "$stats2"
+misses_after=$(sed 's/.*"misses":\([0-9]*\).*/\1/' "$stats2")
+if [ "$misses_before" != "$misses_after" ]; then
+    echo "daemon_smoke: repeated check rebuilt artifacts (misses $misses_before -> $misses_after)" >&2
+    exit 1
+fi
+
+echo "== clean shutdown =="
+"$BIN" shutdown --socket "$SOCK" 2>/dev/null
+wait "$DAEMON_PID"
+DAEMON_PID=""
+if [ -e "$SOCK" ]; then
+    echo "daemon_smoke: socket file survived shutdown" >&2
+    exit 1
+fi
+
+echo "daemon_smoke: daemon output byte-identical, cache reused, clean shutdown"

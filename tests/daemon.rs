@@ -1,0 +1,155 @@
+//! Integration tests for `syncoptd`: daemon-mode answers must be
+//! byte-identical to direct-mode execution, and one daemon must serve
+//! many concurrent clients without interleaving or corrupting responses.
+
+#![cfg(unix)]
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use syncopt::client::DaemonClient;
+use syncopt::commands::{execute, CmdOut, Format, Query};
+use syncopt::core::corpus::corpus_program;
+use syncopt::daemon::Daemon;
+use syncopt::kernels::all_kernels;
+use syncopt::session::AnalysisSession;
+
+fn test_socket(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("syncoptd-it-{}-{name}.sock", std::process::id()))
+}
+
+fn start(name: &str) -> (PathBuf, std::thread::JoinHandle<std::io::Result<()>>) {
+    let path = test_socket(name);
+    let _ = std::fs::remove_file(&path);
+    let daemon = Daemon::bind(&path).expect("bind daemon socket");
+    let handle = std::thread::spawn(move || daemon.run());
+    (path, handle)
+}
+
+fn stop(path: &Path, handle: std::thread::JoinHandle<std::io::Result<()>>) {
+    DaemonClient::connect(path)
+        .expect("connect for shutdown")
+        .shutdown()
+        .expect("shutdown");
+    handle.join().unwrap().expect("daemon exits cleanly");
+}
+
+fn query(command: &str, name: &str, source: &str, format: Format) -> Query {
+    Query {
+        command: command.to_string(),
+        file: name.to_string(),
+        source: Some(source.to_string()),
+        format,
+        ..Query::default()
+    }
+}
+
+#[test]
+fn daemon_output_is_byte_identical_to_direct_mode_on_all_kernels() {
+    let (path, handle) = start("kernels");
+    let mut client = DaemonClient::connect(&path).expect("connect");
+    for kernel in all_kernels(4) {
+        for command in ["check", "explain", "lint", "profile"] {
+            for format in [Format::Human, Format::Json] {
+                let q = query(command, kernel.name, &kernel.source, format);
+                let direct = execute(&mut AnalysisSession::new(), &q);
+                let (remote, _) = client.query(&q).expect(command);
+                assert_eq!(
+                    remote, direct,
+                    "{command} {} must be byte-identical over the daemon",
+                    kernel.name
+                );
+            }
+        }
+    }
+    stop(&path, handle);
+}
+
+#[test]
+fn daemon_cache_warms_across_clients() {
+    let (path, handle) = start("warm");
+    let kernel = &all_kernels(4)[0];
+    let q = query("check", kernel.name, &kernel.source, Format::Json);
+
+    let (first, cold) = DaemonClient::connect(&path)
+        .expect("client 1")
+        .query(&q)
+        .expect("cold query");
+    assert!(cold.misses > 0, "first client builds the artifacts");
+
+    // A *different* connection benefits from the shared session cache.
+    let (second, warm) = DaemonClient::connect(&path)
+        .expect("client 2")
+        .query(&q)
+        .expect("warm query");
+    assert_eq!(second, first, "cache reuse must not change the bytes");
+    assert_eq!(warm.misses, 0, "second client is served from cache");
+    assert!(warm.hits > 0);
+    stop(&path, handle);
+}
+
+/// N parallel clients hammer one daemon with a mixed workload; every
+/// response must match the direct-mode result for *that* request — no
+/// interleaved, truncated, or cross-wired payloads.
+#[test]
+fn parallel_clients_get_deterministic_uncorrupted_responses() {
+    const CLIENTS: usize = 8;
+    const ROUNDS: usize = 5;
+
+    // Mixed workload: distinct corpus programs + one shared kernel, over
+    // several commands, so requests contend on the session lock while
+    // carrying different payloads.
+    let kernel = Arc::new(all_kernels(4)[0].clone());
+    let workload: Arc<Vec<(Query, CmdOut)>> = Arc::new(
+        (0..CLIENTS)
+            .flat_map(|client| {
+                let kernel = Arc::clone(&kernel);
+                (0..ROUNDS).map(move |round| {
+                    let (command, format) = match round % 3 {
+                        0 => ("check", Format::Json),
+                        1 => ("lint", Format::Human),
+                        _ => ("explain", Format::Json),
+                    };
+                    if round % 2 == 0 {
+                        let seed = (client * ROUNDS + round) as u64;
+                        query(
+                            command,
+                            &format!("corpus-{seed}.ms"),
+                            &corpus_program(seed),
+                            format,
+                        )
+                    } else {
+                        query(command, kernel.name, &kernel.source, format)
+                    }
+                })
+            })
+            .map(|q| {
+                let expected = execute(&mut AnalysisSession::new(), &q);
+                (q, expected)
+            })
+            .collect(),
+    );
+
+    let (path, handle) = start("parallel");
+    let threads: Vec<_> = (0..CLIENTS)
+        .map(|client| {
+            let path = path.clone();
+            let workload = Arc::clone(&workload);
+            std::thread::spawn(move || {
+                let mut conn = DaemonClient::connect(&path).expect("connect");
+                for round in 0..ROUNDS {
+                    let (q, expected) = &workload[client * ROUNDS + round];
+                    let (got, _) = conn.query(q).expect("query");
+                    assert_eq!(
+                        &got, expected,
+                        "client {client} round {round} ({}) got a wrong or corrupted response",
+                        q.command
+                    );
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("client thread must not panic");
+    }
+    stop(&path, handle);
+}

@@ -1,0 +1,174 @@
+//! Differential tests for the session API's content-addressed cache:
+//! cached and incremental analysis must be **byte-identical** to a cold
+//! full run — over the five evaluation kernels, the 220-program seeded
+//! corpus, and after single-function edits — while the cache counters
+//! prove that warm runs actually reused artifacts instead of rebuilding
+//! them.
+
+use syncopt::commands::{execute, CmdOut, Format, Query};
+use syncopt::core::corpus::{corpus_program, CORPUS_SEEDS};
+use syncopt::kernels::all_kernels;
+use syncopt::session::{AnalysisSession, SessionOptions};
+
+const COMMANDS: [&str; 4] = ["check", "explain", "lint", "profile"];
+
+fn query(command: &str, name: &str, source: &str, format: Format) -> Query {
+    Query {
+        command: command.to_string(),
+        file: name.to_string(),
+        source: Some(source.to_string()),
+        format,
+        ..Query::default()
+    }
+}
+
+/// Runs `q` on a fresh session: the ground-truth cold result.
+fn cold(q: &Query) -> CmdOut {
+    execute(&mut AnalysisSession::new(), q)
+}
+
+#[test]
+fn kernels_warm_session_matches_cold_runs_byte_for_byte() {
+    let kernels = all_kernels(4);
+    assert_eq!(kernels.len(), 5, "the paper's five evaluation kernels");
+    let mut session = AnalysisSession::new();
+    for format in [Format::Human, Format::Json] {
+        for kernel in &kernels {
+            for command in COMMANDS {
+                let q = query(command, kernel.name, &kernel.source, format);
+                let reference = cold(&q);
+                // First warm-session run: may build, must match bytes.
+                assert_eq!(
+                    execute(&mut session, &q),
+                    reference,
+                    "{command} {} (first warm run)",
+                    kernel.name
+                );
+                // Second run: answered from cache, still identical.
+                let before = session.cache_stats();
+                assert_eq!(
+                    execute(&mut session, &q),
+                    reference,
+                    "{command} {} (cached run)",
+                    kernel.name
+                );
+                let delta = session.cache_stats().since(before);
+                assert_eq!(
+                    delta.misses, 0,
+                    "{command} {}: repeat query must be all cache hits, got {delta:?}",
+                    kernel.name
+                );
+                assert!(
+                    delta.hits > 0,
+                    "{command} {}: expected cache use",
+                    kernel.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn corpus_cached_check_matches_cold_runs() {
+    let mut session = AnalysisSession::new();
+    for seed in 0..CORPUS_SEEDS {
+        let src = corpus_program(seed);
+        let name = format!("corpus-{seed}.ms");
+        let q = query("check", &name, &src, Format::Json);
+        let reference = cold(&q);
+        assert_eq!(execute(&mut session, &q), reference, "seed {seed} warm");
+        // Every seventh program also goes through the full lint suite.
+        if seed % 7 == 0 {
+            let lint = query("lint", &name, &src, Format::Json);
+            assert_eq!(
+                execute(&mut session, &lint),
+                cold(&lint),
+                "seed {seed} lint"
+            );
+        }
+    }
+    // Replaying a prefix of the corpus is pure cache service.
+    for seed in 0..10 {
+        let src = corpus_program(seed);
+        let q = query("check", &format!("corpus-{seed}.ms"), &src, Format::Json);
+        let before = session.cache_stats();
+        let warm = execute(&mut session, &q);
+        assert_eq!(warm, cold(&q), "seed {seed} replay");
+        assert_eq!(
+            session.cache_stats().since(before).misses,
+            0,
+            "seed {seed}: replay must not rebuild anything"
+        );
+    }
+    assert!(
+        session.cache_stats().hits > 0,
+        "the corpus sweep must exercise the cache"
+    );
+}
+
+const TWO_FN_V1: &str = "shared int X; shared int Y;\n\
+     fn helper() { Y = 2; barrier; }\n\
+     fn main() { X = 1; helper(); }\n";
+
+// Only `main` changes; `helper` is untouched.
+const TWO_FN_V2: &str = "shared int X; shared int Y;\n\
+     fn helper() { Y = 2; barrier; }\n\
+     fn main() { X = 7; helper(); }\n";
+
+#[test]
+fn single_function_edit_matches_cold_and_reuses_unedited_checks() {
+    let mut session = AnalysisSession::new();
+    for command in COMMANDS {
+        let v1 = query(command, "edit.ms", TWO_FN_V1, Format::Json);
+        assert_eq!(execute(&mut session, &v1), cold(&v1), "{command} v1");
+    }
+    let fncheck_hits_before = session.kind_counters().get("cache.fncheck.hits");
+    for command in COMMANDS {
+        let v2 = query(command, "edit.ms", TWO_FN_V2, Format::Json);
+        assert_eq!(
+            execute(&mut session, &v2),
+            cold(&v2),
+            "{command} after single-function edit"
+        );
+    }
+    // The edited program's first compile re-checked only `main`; the
+    // verdict for the unedited `helper` was served from cache.
+    assert!(
+        session.kind_counters().get("cache.fncheck.hits") > fncheck_hits_before,
+        "unedited function's check verdict must be reused across the edit"
+    );
+}
+
+#[test]
+fn annotated_report_proves_warm_rerun_does_less_work() {
+    let opts = SessionOptions::default();
+    let config = syncopt::MachineConfig::cm5(4);
+    let kernel = &all_kernels(4)[0];
+    let mut session = AnalysisSession::new();
+
+    let mut cold_run = session.run(&kernel.source, &opts, &config).unwrap();
+    session.annotate_report(&mut cold_run.compiled.report);
+    let cold_stats = cold_run.compiled.report.cache.unwrap();
+    assert!(cold_stats.misses > 0, "cold run builds artifacts");
+
+    let mut warm_run = session.run(&kernel.source, &opts, &config).unwrap();
+    session.annotate_report(&mut warm_run.compiled.report);
+    let warm_stats = warm_run.compiled.report.cache.unwrap();
+    assert_eq!(warm_stats.misses, 0, "warm rerun rebuilds nothing");
+    assert!(warm_stats.hits > 0, "warm rerun is served from cache");
+    assert!(
+        warm_stats.lookups() <= cold_stats.lookups(),
+        "warm rerun must not do more lookups than the cold run"
+    );
+
+    // The annotation is opt-in: JSON reports stay identical to the
+    // pre-session format unless the caller asks for the cache section.
+    let plain = session.run(&kernel.source, &opts, &config).unwrap();
+    assert!(plain.compiled.report.cache.is_none());
+    assert!(!plain
+        .compiled
+        .report
+        .to_json()
+        .to_string()
+        .contains("\"cache\""));
+}
