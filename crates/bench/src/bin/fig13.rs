@@ -1,20 +1,23 @@
 //! Regenerates **Figure 13** of the paper: speedup curves for the
 //! Epithelial application kernel with varying degrees of optimization, as
-//! the processor count grows (the paper plots 0–40 processors on a CM-5).
+//! the processor count grows (the paper plots 0–40 processors on a CM-5;
+//! we extend the axis to 64 to show the curves flattening).
 //!
 //! Strong scaling: the total problem size is fixed, so per-processor
 //! compute shrinks as `P` grows while the transpose's communication volume
 //! grows — the optimized versions scale visibly better, as in the paper.
 //!
 //! ```text
-//! fig13 [--procs CAP] [--preset full|smoke] [--threads T]
+//! fig13 [--procs CAP] [--preset full|smoke] [--threads T] [--sim-shards S]
 //! ```
 //!
 //! Processor counts fan out across `--threads` workers with a fixed-order
-//! merge, so the report is identical at any thread count.
+//! merge, and `--sim-shards S` runs each simulation on the sharded
+//! conservative engine — both are bit-identity-preserving, so the report
+//! is the same at any thread or shard count.
 
 use syncopt_bench::sweep::{self, run_ordered};
-use syncopt_bench::{row, run_kernel_lean, FIGURE12_LEVELS};
+use syncopt_bench::{row, run_kernel_lean_sharded, FIGURE12_LEVELS};
 use syncopt_kernels::{epithel, KernelParams};
 use syncopt_machine::MachineConfig;
 
@@ -32,7 +35,9 @@ fn params(procs: u32) -> KernelParams {
 
 fn main() {
     let opts = sweep::parse_args("fig13");
-    let proc_counts = opts.filter_counts(&[1u32, 2, 4, 8, 16, 24, 32, 36], 3);
+    // Every count divides TOTAL_ELEMS; 48 and 64 extend past the paper's
+    // 40-processor axis.
+    let proc_counts = opts.filter_counts(&[1u32, 2, 4, 8, 16, 24, 32, 36, 48, 64], 3);
     println!("Figure 13: Epithel speedup vs processors (CM-5)\n");
     let widths = [6, 14, 14, 14, 12, 12, 12];
     println!(
@@ -55,7 +60,7 @@ fn main() {
         let config = MachineConfig::cm5(procs);
         let mut cycles = [0u64; 3];
         for (i, (name, level, choice)) in FIGURE12_LEVELS.iter().enumerate() {
-            let r = run_kernel_lean(&kernel, &config, *level, *choice)
+            let r = run_kernel_lean_sharded(&kernel, &config, *level, *choice, opts.sim_shards)
                 .unwrap_or_else(|e| panic!("{procs} procs at {name}: {e}"));
             cycles[i] = r.exec_cycles;
         }

@@ -38,6 +38,9 @@ pub struct SweepOptions {
     pub preset: Preset,
     /// Worker threads for the sweep (1 = in-place sequential).
     pub threads: usize,
+    /// Simulation shards per run (1 = the sequential calendar engine,
+    /// >1 = the conservative sharded engine; bit-identical either way).
+    pub sim_shards: usize,
 }
 
 impl SweepOptions {
@@ -66,16 +69,18 @@ impl SweepOptions {
     }
 }
 
-/// Parses `--procs N`, `--preset full|smoke`, and `--threads T` from the
-/// process arguments. Prints a usage line naming `bin` and exits with
-/// status 2 on anything it does not recognize, so each harness keeps a
-/// strict flag set.
+/// Parses `--procs N`, `--preset full|smoke`, `--threads T`, and
+/// `--sim-shards S` from the process arguments. Prints a usage line
+/// naming `bin` and exits with status 2 on anything it does not
+/// recognize, so each harness keeps a strict flag set.
 pub fn parse_args(bin: &str) -> SweepOptions {
     match try_parse(std::env::args().skip(1)) {
         Ok(opts) => opts,
         Err(msg) => {
             eprintln!("{bin}: {msg}");
-            eprintln!("usage: {bin} [--procs N] [--preset full|smoke] [--threads T]");
+            eprintln!(
+                "usage: {bin} [--procs N] [--preset full|smoke] [--threads T] [--sim-shards S]"
+            );
             std::process::exit(2);
         }
     }
@@ -84,6 +89,7 @@ pub fn parse_args(bin: &str) -> SweepOptions {
 fn try_parse(mut argv: impl Iterator<Item = String>) -> Result<SweepOptions, String> {
     let mut opts = SweepOptions {
         threads: 1,
+        sim_shards: 1,
         ..SweepOptions::default()
     };
     while let Some(flag) = argv.next() {
@@ -109,6 +115,13 @@ fn try_parse(mut argv: impl Iterator<Item = String>) -> Result<SweepOptions, Str
                     .ok_or("--threads needs a value")?
                     .parse()
                     .map_err(|e| format!("bad --threads: {e}"))?;
+            }
+            "--sim-shards" => {
+                opts.sim_shards = argv
+                    .next()
+                    .ok_or("--sim-shards needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --sim-shards: {e}"))?;
             }
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -170,16 +183,21 @@ mod tests {
     #[test]
     fn parse_accepts_the_shared_flags() {
         let opts = try_parse(
-            ["--procs", "8", "--preset", "smoke", "--threads", "3"]
-                .map(str::to_string)
-                .into_iter(),
+            [
+                "--procs", "8", "--preset", "smoke", "--threads", "3", "--sim-shards", "4",
+            ]
+            .map(str::to_string)
+            .into_iter(),
         )
         .unwrap();
         assert_eq!(opts.procs, Some(8));
         assert_eq!(opts.preset, Preset::Smoke);
         assert_eq!(opts.threads, 3);
+        assert_eq!(opts.sim_shards, 4);
         assert!(try_parse(["--bogus".to_string()].into_iter()).is_err());
         assert!(try_parse(["--preset".to_string(), "tiny".to_string()].into_iter()).is_err());
+        assert!(try_parse(["--sim-shards".to_string()].into_iter()).is_err());
+        assert_eq!(try_parse(std::iter::empty()).unwrap().sim_shards, 1);
     }
 
     #[test]

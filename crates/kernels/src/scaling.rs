@@ -137,6 +137,13 @@ fn generate_flag(params: &ScalingParams, u: u64) -> Kernel {
 /// The full benchmark grid, smallest first. The last entry of each idiom
 /// is the "largest generated input" the work-reduction acceptance
 /// criterion is judged on.
+///
+/// Two axes per the sharded-simulation milestone: the original *unroll*
+/// axis grows the access count at a fixed 16-processor machine, and the
+/// *machine-width* axis holds the unroll at 16 while the processor count
+/// grows to the sharded engine's design sizes (64/256/1024) — the
+/// analysis is per-program-text, so these points prove the delay-set
+/// work stays flat as the simulated machine widens.
 pub fn trajectory() -> Vec<ScalingParams> {
     let mut out = Vec::new();
     for unroll in [4, 8, 16, 32, 64, 128] {
@@ -144,6 +151,13 @@ pub fn trajectory() -> Vec<ScalingParams> {
             idiom: ScalingIdiom::Stencil,
             unroll,
             procs: 16,
+        });
+    }
+    for procs in [64, 256, 1024] {
+        out.push(ScalingParams {
+            idiom: ScalingIdiom::Stencil,
+            unroll: 16,
+            procs,
         });
     }
     for unroll in [4, 8, 16, 32, 64] {
@@ -204,6 +218,7 @@ mod tests {
     fn config_ids_are_stable_and_unique() {
         let ids: Vec<String> = trajectory().iter().map(ScalingParams::id).collect();
         assert!(ids.contains(&"stencil_u128_p16".to_string()));
+        assert!(ids.contains(&"stencil_u16_p1024".to_string()));
         assert!(ids.contains(&"flag_u64_p4".to_string()));
         let mut dedup = ids.clone();
         dedup.sort();

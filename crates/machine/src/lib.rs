@@ -37,6 +37,7 @@ pub mod config;
 pub mod litmus;
 pub mod memory;
 pub mod metrics;
+pub mod shard;
 pub mod sim;
 pub mod trace;
 pub mod value;
@@ -44,6 +45,7 @@ pub mod value;
 pub use config::MachineConfig;
 pub use memory::{Location, SharedMemory};
 pub use metrics::{BarrierEpoch, LatencyHistogram, ProcCycles, SimMetrics, SimWork};
+pub use shard::simulate_sharded;
 pub use sim::{
     simulate, simulate_configured, simulate_traced, EngineKind, NetStats, SimOutputs, SimResult,
     StallStats,

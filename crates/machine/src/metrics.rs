@@ -185,6 +185,17 @@ pub struct SimWork {
     /// calendar engine; the reference heap engine reports its historical
     /// per-event map traffic here.
     pub hash_lookups: u64,
+    /// Synchronization-horizon windows advanced by the sharded engine
+    /// (zero for the sequential engines).
+    pub shard_horizon_advances: u64,
+    /// Events routed through a shard-pair mailbox instead of a local
+    /// wheel (cross-shard arrivals, deliveries, and barrier traffic).
+    pub shard_cross_messages: u64,
+    /// Non-empty mailbox batches drained at horizon boundaries.
+    pub shard_mailbox_drains: u64,
+    /// Windows in which a shard had no event to dispatch (conservative
+    /// lookahead idling — the parallel engine's waiting-on-peers signal).
+    pub shard_idle_windows: u64,
 }
 
 impl SimWork {

@@ -1,0 +1,1027 @@
+//! Conservative parallel (sharded) simulation engine.
+//!
+//! One simulation run is partitioned across host threads: simulated
+//! processors are split into contiguous blocks, one block per **shard**,
+//! and each shard advances its own event heap independently up to a
+//! shared **synchronization horizon**. The horizon is the conservative
+//! Chandy–Misra lookahead the Table 1 machine parameters guarantee:
+//! every cross-shard interaction is carried by a message that takes at
+//! least `network_latency` cycles, and every barrier release lands at
+//! least `barrier_cycles` after its trigger, so a window of width
+//! `min(network_latency, barrier_cycles)` can be simulated in parallel
+//! with no shard ever seeing an event "from the past".
+//!
+//! Between windows the round **leader** drains per-shard-pair mailboxes
+//! (cross-shard arrivals, replies, and acks routed while the window ran),
+//! resolves completed barrier episodes, and picks the next window from
+//! the global minimum pending timestamp.
+//!
+//! # Determinism: bit-identical to the sequential engines
+//!
+//! The sequential engines dispatch in `(time, seq)` order where `seq` is
+//! global push order. A parallel run cannot reproduce a global push
+//! counter, but it can reproduce the *order* it induces: every event is
+//! keyed by the dispatch **position** of the event that pushed it plus
+//! its local push index (`Key`). At equal timestamps, comparing keys
+//! lexicographically through parent positions reproduces exactly the
+//! sequential seq order (children are pushed in index order, and events
+//! dispatched earlier push their children earlier). Each shard pops in
+//! `(time, key)` order, so its dispatch sequence is the restriction of
+//! the sequential dispatch sequence to the events it owns — and since
+//! all shared state is partitioned by owner (processor state with the
+//! owning shard, memory/flag/lock/handler state with the home's shard),
+//! every observable except the [`SimWork`] engine counters is
+//! bit-identical at any shard count. The three global couplings that do
+//! not fit the partition are handled explicitly:
+//!
+//! * **split-phase receive steals** are scheduled by the *issuing* shard
+//!   as local `Event::Credit`s keyed adjacent to the request's arrival
+//!   (see `sim.rs`), or deferred into the wake-up delivery when the
+//!   target is blocked;
+//! * **barrier rendezvous and store quiescence** are resolved by the
+//!   round leader from position-ordered arrival/store logs, recovering
+//!   the exact sequential release time and re-injecting the release
+//!   `Run`s with the keys the sequential engine would have assigned;
+//! * **errors** are picked as the minimum dispatch position across
+//!   shards, which is exactly the first error the sequential engine
+//!   reports.
+
+use crate::config::MachineConfig;
+use crate::memory::Location;
+use crate::metrics::{BarrierEpoch, LatencyHistogram, ProcCycles, SimMetrics, SimWork};
+use crate::sim::{
+    EngineKind, Event, NetStats, SimOutputs, SimResult, Simulator, StallStats, Status,
+};
+use crate::value::SimError;
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+use std::sync::{Arc, Barrier, Mutex};
+use syncopt_ir::cfg::Cfg;
+use syncopt_ir::ids::AccessId;
+
+/// A dispatch position: the timestamp of an event plus its tie-breaking
+/// key. Total order over all events of a run.
+#[derive(Debug)]
+pub(crate) struct Pos {
+    time: u64,
+    key: Key,
+}
+
+/// The sequential engine's `seq` tie-break, reconstructed structurally: a
+/// child's key is its parent's dispatch position plus the index of the
+/// push within that dispatch. Seed `Run`s (pushed before the loop) have
+/// no parent and are ordered by processor id, exactly like their
+/// historical seqs `0..P`.
+#[derive(Debug, Clone)]
+pub(crate) struct Key {
+    parent: Option<Arc<Pos>>,
+    idx: u32,
+}
+
+impl Ord for Key {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (&self.parent, &other.parent) {
+            (None, None) => self.idx.cmp(&other.idx),
+            (None, Some(_)) => Ordering::Less,
+            (Some(_), None) => Ordering::Greater,
+            (Some(a), Some(b)) => {
+                if Arc::ptr_eq(a, b) {
+                    self.idx.cmp(&other.idx)
+                } else {
+                    // Distinct parents: the parents' dispatch order decides
+                    // (push order follows dispatch order); idx only breaks
+                    // the tie when the positions compare equal, which means
+                    // they are the same position reached through different
+                    // allocations.
+                    a.as_ref()
+                        .cmp(b.as_ref())
+                        .then_with(|| self.idx.cmp(&other.idx))
+                }
+            }
+        }
+    }
+}
+
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq for Key {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Key {}
+
+impl Ord for Pos {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.time
+            .cmp(&other.time)
+            .then_with(|| self.key.cmp(&other.key))
+    }
+}
+
+impl PartialOrd for Pos {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq for Pos {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Pos {}
+
+/// A keyed event in a shard heap or mailbox.
+#[derive(Debug)]
+pub(crate) struct ShardEvent {
+    time: u64,
+    key: Key,
+    event: Event,
+}
+
+impl Ord for ShardEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.time
+            .cmp(&other.time)
+            .then_with(|| self.key.cmp(&other.key))
+    }
+}
+
+impl PartialOrd for ShardEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq for ShardEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for ShardEvent {}
+
+/// One processor's barrier arrival, logged for the round leader.
+#[derive(Debug)]
+struct BarrierArrival {
+    proc: u32,
+    arrive: u64,
+    /// Dispatch position of the arriving `Run` — the leader's rendezvous
+    /// point is the maximum of these.
+    pos: Arc<Pos>,
+    /// The push index the arriving dispatch had reached, so release
+    /// `Run`s can be keyed exactly where the sequential engine pushes
+    /// them (as the next children of the triggering dispatch).
+    push_base: u32,
+}
+
+/// A store entering (+1) or leaving (-1) flight, in dispatch order.
+#[derive(Debug)]
+struct StoreDelta {
+    pos: Arc<Pos>,
+    delta: i64,
+    /// Handler completion time of a drain (0 for inits); a drain-triggered
+    /// barrier releases at `max(last_arrival, done) + barrier_cycles`.
+    done: u64,
+}
+
+/// Per-shard engine state attached to a [`Simulator`]: the local event
+/// heap, outgoing mailboxes, the current dispatch position (for keying
+/// pushes), and the episode logs the round leader consumes.
+#[derive(Debug)]
+pub(crate) struct ShardCtx {
+    id: u32,
+    shard_of: Arc<Vec<u32>>,
+    heap: BinaryHeap<Reverse<ShardEvent>>,
+    /// Outgoing events per destination shard, drained by the leader at
+    /// every horizon boundary (the mailbox-per-pair structure).
+    outboxes: Vec<Vec<ShardEvent>>,
+    cur_parent: Arc<Pos>,
+    push_idx: u32,
+    barrier_log: Vec<BarrierArrival>,
+    store_log: Vec<StoreDelta>,
+    cross_messages: u64,
+    idle_windows: u64,
+    error: Option<(Arc<Pos>, SimError)>,
+}
+
+impl ShardCtx {
+    fn new(id: u32, shards: usize, shard_of: Arc<Vec<u32>>) -> Self {
+        ShardCtx {
+            id,
+            shard_of,
+            heap: BinaryHeap::new(),
+            outboxes: (0..shards).map(|_| Vec::new()).collect(),
+            cur_parent: Arc::new(Pos {
+                time: 0,
+                key: Key {
+                    parent: None,
+                    idx: u32::MAX,
+                },
+            }),
+            push_idx: 0,
+            barrier_log: Vec::new(),
+            store_log: Vec::new(),
+            cross_messages: 0,
+            idle_windows: 0,
+            error: None,
+        }
+    }
+
+    /// Whether processor `p` belongs to this shard.
+    pub(crate) fn owns(&self, p: u32) -> bool {
+        self.shard_of[p as usize] == self.id
+    }
+
+    fn dest(&self, event: &Event) -> u32 {
+        match event {
+            Event::Run(p) => *p,
+            Event::Arrive { home, .. } => *home,
+            Event::Deliver { to, .. } => *to,
+            Event::Credit { to, .. } => *to,
+        }
+    }
+
+    /// Keys a pushed event as the next child of the current dispatch and
+    /// routes it: own shard straight to the heap, otherwise into the
+    /// destination's mailbox for the next horizon drain.
+    pub(crate) fn route(&mut self, time: u64, event: Event, work: &mut SimWork) {
+        work.events_scheduled += 1;
+        let key = Key {
+            parent: Some(Arc::clone(&self.cur_parent)),
+            idx: self.push_idx,
+        };
+        self.push_idx += 1;
+        let d = self.shard_of[self.dest(&event) as usize];
+        let ev = ShardEvent { time, key, event };
+        if d == self.id {
+            self.heap.push(Reverse(ev));
+        } else {
+            self.cross_messages += 1;
+            self.outboxes[d as usize].push(ev);
+        }
+    }
+
+    pub(crate) fn log_barrier_arrival(&mut self, proc: u32, arrive: u64) {
+        self.barrier_log.push(BarrierArrival {
+            proc,
+            arrive,
+            pos: Arc::clone(&self.cur_parent),
+            push_base: self.push_idx,
+        });
+    }
+
+    pub(crate) fn log_store_init(&mut self) {
+        self.store_log.push(StoreDelta {
+            pos: Arc::clone(&self.cur_parent),
+            delta: 1,
+            done: 0,
+        });
+    }
+
+    pub(crate) fn log_store_drain(&mut self, done: u64) {
+        self.store_log.push(StoreDelta {
+            pos: Arc::clone(&self.cur_parent),
+            delta: -1,
+            done,
+        });
+    }
+}
+
+/// Shared round control: the current window's exclusive end and the stop
+/// flag, written by the leader between barrier generations.
+struct Ctrl {
+    window_end: u64,
+    done: bool,
+}
+
+/// Round-leader state: accumulated episode logs, resolved epochs, the
+/// shard-level counters, and the first error (by dispatch position).
+struct LeaderState {
+    arrivals: Vec<BarrierArrival>,
+    /// Store flight deltas, globally sorted by dispatch position. Each
+    /// window's batch is strictly later than everything pending, so
+    /// sort-and-append keeps the whole vector ordered.
+    deltas: Vec<StoreDelta>,
+    episodes: Vec<BarrierEpoch>,
+    horizon_advances: u64,
+    mailbox_drains: u64,
+    /// Next flat key rank (see [`flatten_keys`]); starts above the
+    /// processor count so ranks never collide with seed ids at time 0.
+    next_rank: u32,
+    error: Option<SimError>,
+}
+
+/// Runs `cfg` on the machine described by `config`, sharding the
+/// simulated processors across `shards` host threads (clamped to
+/// `[1, procs]`). The result is bit-identical to [`crate::simulate`] for
+/// every observable except the [`SimWork`] engine counters, at any shard
+/// count — the differential suites assert exactly that.
+///
+/// # Errors
+///
+/// Same failure modes as [`crate::simulate`], reporting the identical
+/// first error (runtime faults, deadlock, `max_steps`).
+pub fn simulate_sharded(
+    cfg: &Cfg,
+    config: &MachineConfig,
+    shards: usize,
+    outputs: SimOutputs,
+) -> Result<SimResult, SimError> {
+    let procs = config.procs;
+    let s = shards.max(1).min(procs.max(1) as usize);
+    // The conservative lookahead: every cross-shard event lands at least
+    // `network_latency` ahead of its creation, every barrier release at
+    // least `barrier_cycles` ahead of its trigger.
+    let horizon = config.network_latency.min(config.barrier_cycles).max(1);
+    let block = (procs as usize).div_ceil(s);
+    let shard_of: Arc<Vec<u32>> = Arc::new(
+        (0..procs as usize)
+            .map(|i| ((i / block).min(s - 1)) as u32)
+            .collect(),
+    );
+
+    let mut sims: Vec<Mutex<Simulator>> = (0..s)
+        .map(|id| {
+            let mut sim = Simulator::new(cfg, config, EngineKind::Calendar, outputs);
+            sim.shard = Some(Box::new(ShardCtx::new(
+                id as u32,
+                s,
+                Arc::clone(&shard_of),
+            )));
+            Mutex::new(sim)
+        })
+        .collect();
+    // Seed one Run per processor, keyed by processor id like the
+    // sequential engine's seqs 0..P.
+    for p in 0..procs {
+        let sim = sims[shard_of[p as usize] as usize]
+            .get_mut()
+            .expect("fresh mutex");
+        sim.metrics.work.events_scheduled += 1;
+        let sh = sim.shard.as_mut().expect("shard ctx");
+        sh.heap.push(Reverse(ShardEvent {
+            time: 0,
+            key: Key {
+                parent: None,
+                idx: p,
+            },
+            event: Event::Run(p),
+        }));
+    }
+
+    let ctrl = Mutex::new(Ctrl {
+        window_end: horizon,
+        done: false,
+    });
+    let leader = Mutex::new(LeaderState {
+        arrivals: Vec::new(),
+        deltas: Vec::new(),
+        episodes: Vec::new(),
+        horizon_advances: 1,
+        mailbox_drains: 0,
+        next_rank: procs,
+        error: None,
+    });
+    let gate = Barrier::new(s);
+
+    std::thread::scope(|scope| {
+        for sid in 0..s {
+            let sims = &sims;
+            let ctrl = &ctrl;
+            let leader = &leader;
+            let gate = &gate;
+            let shard_of = &shard_of;
+            scope.spawn(move || loop {
+                let window_end = {
+                    let c = ctrl.lock().expect("ctrl");
+                    if c.done {
+                        break;
+                    }
+                    c.window_end
+                };
+                process_window(&sims[sid], window_end);
+                if gate.wait().is_leader() {
+                    let mut st = leader.lock().expect("leader state");
+                    let mut c = ctrl.lock().expect("ctrl");
+                    leader_step(sims, shard_of, config, horizon, &mut st, &mut c);
+                }
+                gate.wait();
+            });
+        }
+    });
+
+    let mut sims: Vec<Simulator> = sims
+        .into_iter()
+        .map(|m| m.into_inner().expect("worker panicked"))
+        .collect();
+    let st = leader.into_inner().expect("leader state");
+    if let Some(e) = st.error {
+        return Err(e);
+    }
+    Ok(merge(&mut sims, &shard_of, config, outputs, st))
+}
+
+/// Drains one shard's events inside the window `[.., window_end)` in
+/// `(time, key)` order.
+fn process_window(m: &Mutex<Simulator>, window_end: u64) {
+    let mut sim = m.lock().expect("shard sim");
+    let mut processed = 0u64;
+    loop {
+        let (time, event, pos) = {
+            let sh = sim.shard.as_mut().expect("shard ctx");
+            match sh.heap.peek() {
+                Some(Reverse(ev)) if ev.time < window_end => {}
+                _ => break,
+            }
+            let Reverse(ev) = sh.heap.pop().expect("peeked");
+            let pos = Arc::new(Pos {
+                time: ev.time,
+                key: ev.key,
+            });
+            sh.cur_parent = Arc::clone(&pos);
+            sh.push_idx = 0;
+            (ev.time, ev.event, pos)
+        };
+        sim.metrics.work.events_dequeued += 1;
+        if let Err(e) = sim.dispatch(time, event) {
+            sim.shard.as_mut().expect("shard ctx").error = Some((pos, e));
+            break;
+        }
+        processed += 1;
+    }
+    if processed == 0 {
+        // Conservative lookahead idling: the window held nothing for us.
+        sim.shard.as_mut().expect("shard ctx").idle_windows += 1;
+    }
+}
+
+/// The between-windows reduction: drain mailboxes and logs, surface the
+/// first error, resolve a completed barrier episode, and open the next
+/// window (or stop).
+fn leader_step(
+    sims: &[Mutex<Simulator>],
+    shard_of: &[u32],
+    config: &MachineConfig,
+    horizon: u64,
+    st: &mut LeaderState,
+    ctrl: &mut Ctrl,
+) {
+    let s = sims.len();
+    // Pass 1: collect outbox batches, episode logs, and errors.
+    let mut moved: Vec<Vec<ShardEvent>> = (0..s).map(|_| Vec::new()).collect();
+    let mut new_deltas: Vec<StoreDelta> = Vec::new();
+    let mut errors: Vec<(Arc<Pos>, SimError)> = Vec::new();
+    for m in sims {
+        let mut sim = m.lock().expect("shard sim");
+        let sh = sim.shard.as_mut().expect("shard ctx");
+        for (batch, out) in sh.outboxes.iter_mut().zip(moved.iter_mut()) {
+            if !batch.is_empty() {
+                st.mailbox_drains += 1;
+                out.append(batch);
+            }
+        }
+        st.arrivals.append(&mut sh.barrier_log);
+        new_deltas.append(&mut sh.store_log);
+        if let Some(e) = sh.error.take() {
+            errors.push(e);
+        }
+    }
+    // The minimum error position is exactly the sequential engine's first
+    // error: everything dispatched before it is identical in both runs.
+    if let Some((_, e)) = errors.into_iter().min_by(|a, b| a.0.cmp(&b.0)) {
+        st.error = Some(e);
+        ctrl.done = true;
+        return;
+    }
+    new_deltas.sort_by(|a, b| a.pos.cmp(&b.pos));
+    st.deltas.extend(new_deltas);
+    // Pass 2: distribute cross-shard events into destination heaps.
+    for (d, batch) in moved.into_iter().enumerate() {
+        if batch.is_empty() {
+            continue;
+        }
+        let mut sim = sims[d].lock().expect("shard sim");
+        let sh = sim.shard.as_mut().expect("shard ctx");
+        for ev in batch {
+            sh.heap.push(Reverse(ev));
+        }
+    }
+    // Pass 3: resolve a completed barrier episode, if any.
+    try_release(sims, shard_of, config, st);
+    // Pass 4: flatten the live key structure so comparisons stay O(1).
+    flatten_keys(sims, st);
+    // Pass 5: open the next horizon window, or terminate.
+    let mut t_min: Option<u64> = None;
+    for m in sims {
+        let sim = m.lock().expect("shard sim");
+        if let Some(Reverse(ev)) = sim.shard.as_ref().expect("shard ctx").heap.peek() {
+            t_min = Some(t_min.map_or(ev.time, |t| t.min(ev.time)));
+        }
+    }
+    match t_min {
+        Some(t) => {
+            st.horizon_advances += 1;
+            ctrl.window_end = t + horizon;
+        }
+        None => {
+            // Event space exhausted: every processor must have finished,
+            // otherwise this is the same deadlock the sequential engine
+            // reports (same processors, same statuses).
+            let mut statuses: Vec<Status> = Vec::with_capacity(shard_of.len());
+            for (pi, &o) in shard_of.iter().enumerate() {
+                let sim = sims[o as usize].lock().expect("shard sim");
+                statuses.push(sim.procs[pi].status.clone());
+            }
+            let unfinished: Vec<usize> = statuses
+                .iter()
+                .enumerate()
+                .filter(|(_, st)| **st != Status::Finished)
+                .map(|(i, _)| i)
+                .collect();
+            if !unfinished.is_empty() {
+                st.error = Some(SimError::new(format!(
+                    "deadlock: processors {unfinished:?} blocked ({:?})",
+                    statuses[unfinished[0]]
+                )));
+            }
+            ctrl.done = true;
+        }
+    }
+}
+
+/// Rewrites this window's parent positions as depth-1 `(time, rank)`
+/// positions, so key comparisons never walk a chain older than one
+/// window.
+///
+/// Structural keys compare parents recursively, and the recursion only
+/// stops early where ancestor times differ or an `Arc` is shared. In
+/// lockstep SPMD programs (every processor running the identical cycle
+/// schedule — Epithel's transpose phases are the worst case) events from
+/// different processors tie on *every* ancestor time and share no
+/// ancestry, so one comparison walks all the way to the seeds: O(causal
+/// depth), which grows with simulated time and turns the heap quadratic.
+///
+/// The flattening is incremental and preserves the order exactly. A
+/// position is *flat* when its own key has no parent (seed dispatches
+/// are born flat). Each round, the positions minted by the finished
+/// window — direct parents of pending events, plus logged barrier
+/// arrivals and store deltas, which `try_release` later turns into
+/// parents of release `Run`s — are sorted by the old structural order
+/// (cheap: chains are at most one window deep) and re-keyed as `(time,
+/// (None, rank))` from a monotonically growing counter. Parent-vs-parent
+/// comparisons are unchanged: dispatch times decide across windows
+/// (window time ranges are disjoint), and within a window the rank
+/// reproduces the structural tie-break. The counter starts above the
+/// processor count so flat ranks can never collide with the seeds' id
+/// keys at time 0. Positions that compare equal through different
+/// allocations share one flat position, so sibling `idx` tie-breaks keep
+/// their meaning.
+fn flatten_keys(sims: &[Mutex<Simulator>], st: &mut LeaderState) {
+    #[derive(Clone, Copy)]
+    enum Slot {
+        /// `heaps[shard][item]`'s parent.
+        Parent(usize, usize),
+        Arrival(usize),
+        Delta(usize),
+    }
+    let is_flat = |p: &Arc<Pos>| p.key.parent.is_none();
+    // Drain the heaps into vectors so parents can be rewritten in place.
+    let mut heaps: Vec<Vec<ShardEvent>> = Vec::with_capacity(sims.len());
+    for m in sims {
+        let mut sim = m.lock().expect("shard sim");
+        let sh = sim.shard.as_mut().expect("shard ctx");
+        heaps.push(
+            std::mem::take(&mut sh.heap)
+                .into_vec()
+                .into_iter()
+                .map(|Reverse(ev)| ev)
+                .collect(),
+        );
+    }
+    // Only this window's positions are non-flat; everything older was
+    // flattened by an earlier round.
+    let mut slots: Vec<Slot> = Vec::new();
+    for (s, evs) in heaps.iter().enumerate() {
+        for (i, ev) in evs.iter().enumerate() {
+            if ev.key.parent.as_ref().is_some_and(|p| !is_flat(p)) {
+                slots.push(Slot::Parent(s, i));
+            }
+        }
+    }
+    for (i, a) in st.arrivals.iter().enumerate() {
+        if !is_flat(&a.pos) {
+            slots.push(Slot::Arrival(i));
+        }
+    }
+    for (i, d) in st.deltas.iter().enumerate() {
+        if !is_flat(&d.pos) {
+            slots.push(Slot::Delta(i));
+        }
+    }
+    // Record, per sorted slot, the old time and whether the position
+    // coincides with its predecessor (same allocation or equal content),
+    // releasing the read borrow before rewriting.
+    let mut times: Vec<u64> = Vec::with_capacity(slots.len());
+    let mut same_as_prev: Vec<bool> = Vec::with_capacity(slots.len());
+    {
+        let pos_of = |slot: &Slot| -> &Arc<Pos> {
+            match *slot {
+                Slot::Parent(s, i) => heaps[s][i].key.parent.as_ref().expect("filtered above"),
+                Slot::Arrival(i) => &st.arrivals[i].pos,
+                Slot::Delta(i) => &st.deltas[i].pos,
+            }
+        };
+        slots.sort_by(|a, b| pos_of(a).as_ref().cmp(pos_of(b).as_ref()));
+        let mut prev: Option<&Arc<Pos>> = None;
+        for slot in &slots {
+            let p = pos_of(slot);
+            same_as_prev.push(prev.is_some_and(|q| {
+                Arc::ptr_eq(p, q) || q.as_ref().cmp(p.as_ref()) == Ordering::Equal
+            }));
+            times.push(p.time);
+            prev = Some(p);
+        }
+    }
+    let mut flat: Option<Arc<Pos>> = None;
+    for (k, slot) in slots.iter().enumerate() {
+        if flat.is_none() || !same_as_prev[k] {
+            let idx = st.next_rank;
+            st.next_rank = st.next_rank.checked_add(1).expect("rank space exhausted");
+            flat = Some(Arc::new(Pos {
+                time: times[k],
+                key: Key { parent: None, idx },
+            }));
+        }
+        let p = Arc::clone(flat.as_ref().expect("just set"));
+        match *slot {
+            Slot::Parent(s, i) => heaps[s][i].key.parent = Some(p),
+            Slot::Arrival(i) => st.arrivals[i].pos = p,
+            Slot::Delta(i) => st.deltas[i].pos = p,
+        }
+    }
+    for (m, evs) in sims.iter().zip(heaps) {
+        let mut sim = m.lock().expect("shard sim");
+        let sh = sim.shard.as_mut().expect("shard ctx");
+        sh.heap = evs.into_iter().map(Reverse).collect();
+    }
+}
+
+/// Resolves the in-flight barrier episode once all processors have
+/// arrived and the pre-barrier stores have drained, reproducing the
+/// sequential release time, stall attribution, and release-event keys.
+fn try_release(
+    sims: &[Mutex<Simulator>],
+    shard_of: &[u32],
+    config: &MachineConfig,
+    st: &mut LeaderState,
+) {
+    let procs = shard_of.len();
+    if st.arrivals.len() < procs {
+        return;
+    }
+    debug_assert_eq!(st.arrivals.len(), procs, "one arrival per processor");
+    let max_arrival = st.arrivals.iter().map(|a| a.arrive).max().expect("nonempty");
+    let min_arrival = st.arrivals.iter().map(|a| a.arrive).min().expect("nonempty");
+    // The rendezvous point: the last arrival in dispatch order (the one
+    // whose dispatch would have run `release_barrier` sequentially).
+    let trig = st
+        .arrivals
+        .iter()
+        .max_by(|a, b| a.pos.cmp(&b.pos))
+        .expect("nonempty");
+    let arr_pos = Arc::clone(&trig.pos);
+    let trig_base = trig.push_base;
+    // Net stores in flight at the rendezvous: all +1s precede it in
+    // dispatch order (their processors were running; they are blocked
+    // now), so the prefix sum up to `arr_pos` is the sequential counter.
+    let mut inflight: i64 = 0;
+    let mut cut = 0usize;
+    for d in st.deltas.iter() {
+        if d.pos.as_ref().cmp(arr_pos.as_ref()) == Ordering::Greater {
+            break;
+        }
+        inflight += d.delta;
+        cut += 1;
+    }
+    let (release, trigger_pos, base) = if inflight == 0 {
+        (max_arrival + config.barrier_cycles, arr_pos, trig_base)
+    } else {
+        // Stores still in flight at the rendezvous: walk the remaining
+        // drains in dispatch order to the zero crossing — the drain whose
+        // dispatch runs `release_barrier(done)` sequentially (pushing the
+        // release Runs as its first children, hence base 0).
+        let mut found = None;
+        for (i, d) in st.deltas.iter().enumerate().skip(cut) {
+            inflight += d.delta;
+            if inflight == 0 {
+                found = Some(i);
+                break;
+            }
+        }
+        let Some(i) = found else {
+            return; // drains still crossing; resolve in a later round
+        };
+        let d = &st.deltas[i];
+        cut = i + 1;
+        (
+            max_arrival.max(d.done) + config.barrier_cycles,
+            Arc::clone(&d.pos),
+            0,
+        )
+    };
+    st.deltas.drain(..cut);
+    st.episodes.push(BarrierEpoch {
+        first_arrival: min_arrival,
+        last_arrival: max_arrival,
+        release,
+    });
+    let mut arrive_of = vec![0u64; procs];
+    for a in &st.arrivals {
+        arrive_of[a.proc as usize] = a.arrive;
+    }
+    st.arrivals.clear();
+    for (sid, m) in sims.iter().enumerate() {
+        let mut sim = m.lock().expect("shard sim");
+        for pi in 0..procs {
+            if shard_of[pi] as usize != sid {
+                continue;
+            }
+            sim.stalls.barrier += release - arrive_of[pi];
+            let start = sim.procs[pi].time;
+            sim.metrics.per_proc[pi].barrier += release - start;
+            sim.procs[pi].time = release;
+            sim.metrics.work.events_scheduled += 1;
+            let key = Key {
+                parent: Some(Arc::clone(&trigger_pos)),
+                idx: base + pi as u32,
+            };
+            sim.shard.as_mut().expect("shard ctx").heap.push(Reverse(ShardEvent {
+                time: release,
+                key,
+                event: Event::Run(pi as u32),
+            }));
+        }
+    }
+}
+
+/// Assembles the final [`SimResult`] from the per-shard simulators:
+/// per-processor state from owners, memory by home, counters by sum.
+fn merge(
+    sims: &mut [Simulator],
+    shard_of: &[u32],
+    config: &MachineConfig,
+    outputs: SimOutputs,
+    st: LeaderState,
+) -> SimResult {
+    let procs = shard_of.len();
+    let mut proc_cycles = vec![0u64; procs];
+    let mut per_proc = vec![ProcCycles::default(); procs];
+    let mut seqs: Vec<Vec<AccessId>> = Vec::with_capacity(procs);
+    for pi in 0..procs {
+        let o = shard_of[pi] as usize;
+        proc_cycles[pi] = sims[o].procs[pi]
+            .finished_at
+            .expect("finished proc has finish time");
+        per_proc[pi] = sims[o].metrics.per_proc[pi];
+        seqs.push(std::mem::take(&mut sims[o].procs[pi].barrier_seq));
+    }
+    let exec_cycles = proc_cycles.iter().copied().max().unwrap_or(0);
+    for (pi, finish) in proc_cycles.iter().enumerate() {
+        per_proc[pi].idle = exec_cycles - finish;
+    }
+    let barriers_aligned =
+        !config.check_barrier_alignment || seqs.iter().all(|sq| sq == &seqs[0]);
+
+    let mut net = NetStats::default();
+    let mut stalls = StallStats::default();
+    let mut work = SimWork::default();
+    let mut latency = LatencyHistogram::new();
+    for sim in sims.iter() {
+        let n = &sim.net;
+        net.get_requests += n.get_requests;
+        net.get_replies += n.get_replies;
+        net.put_requests += n.put_requests;
+        net.put_acks += n.put_acks;
+        net.store_requests += n.store_requests;
+        net.post_messages += n.post_messages;
+        net.wait_messages += n.wait_messages;
+        net.lock_messages += n.lock_messages;
+        net.barriers += n.barriers;
+        let sl = &sim.stalls;
+        stalls.sync += sl.sync;
+        stalls.barrier += sl.barrier;
+        stalls.wait += sl.wait;
+        stalls.lock += sl.lock;
+        stalls.blocking += sl.blocking;
+        let w = &sim.metrics.work;
+        work.events_scheduled += w.events_scheduled;
+        work.events_dequeued += w.events_dequeued;
+        work.bucket_rotations += w.bucket_rotations;
+        work.overflow_promotions += w.overflow_promotions;
+        work.arena_reuses += w.arena_reuses;
+        work.waiter_scans += w.waiter_scans;
+        let l = &sim.metrics.latency;
+        if l.count > 0 {
+            latency.min = if latency.count == 0 {
+                l.min
+            } else {
+                latency.min.min(l.min)
+            };
+            latency.max = latency.max.max(l.max);
+            latency.count += l.count;
+            latency.total += l.total;
+            for (b, lb) in latency.buckets.iter_mut().zip(l.buckets.iter()) {
+                *b += lb;
+            }
+        }
+        let sh = sim.shard.as_ref().expect("shard ctx");
+        work.shard_cross_messages += sh.cross_messages;
+        work.shard_idle_windows += sh.idle_windows;
+    }
+    net.barriers += st.episodes.len() as u64;
+    work.shard_horizon_advances = st.horizon_advances;
+    work.shard_mailbox_drains = st.mailbox_drains;
+    work.hash_lookups = 0;
+
+    let memory = if outputs.memory {
+        // Every shard has the identical layout; each location's value is
+        // authoritative at its home's shard.
+        let snaps: Vec<_> = sims.iter().map(|s| s.memory.snapshot()).collect();
+        let mut merged = snaps[0].clone();
+        for (vi, (var, vals)) in merged.iter_mut().enumerate() {
+            for (idx, v) in vals.iter_mut().enumerate() {
+                let home = sims[0].memory.home(Location {
+                    var: *var,
+                    index: idx as u64,
+                });
+                *v = snaps[shard_of[home as usize] as usize][vi].1[idx];
+            }
+        }
+        merged
+    } else {
+        Vec::new()
+    };
+    let barrier_seqs = if outputs.barrier_seqs { seqs } else { Vec::new() };
+
+    SimResult {
+        exec_cycles,
+        proc_cycles,
+        net,
+        stalls,
+        memory,
+        barriers_aligned,
+        metrics: SimMetrics {
+            per_proc,
+            latency,
+            barrier_epochs: st.episodes,
+            work,
+        },
+        barrier_seqs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::simulate;
+    use syncopt_frontend::prepare_program;
+    use syncopt_ir::lower::lower_main;
+
+    const MIXED_SRC: &str = r#"
+        shared int A[16]; shared int X; flag F; lock l;
+        fn main() {
+            work(MYPROC * 57);
+            A[MYPROC] = MYPROC;
+            barrier;
+            int v; v = A[(MYPROC + 1) % PROCS];
+            if (MYPROC == 0) { post F; } else { wait F; }
+            lock l; X = X + v; unlock l;
+            barrier;
+        }
+    "#;
+
+    fn assert_matches_sequential(src: &str, procs: u32, shards: usize) {
+        let cfg = lower_main(&prepare_program(src).unwrap()).unwrap();
+        let config = MachineConfig::cm5(procs);
+        let seq = simulate(&cfg, &config).unwrap();
+        let par = simulate_sharded(&cfg, &config, shards, SimOutputs::full()).unwrap();
+        assert_eq!(seq.exec_cycles, par.exec_cycles, "s={shards}");
+        assert_eq!(seq.proc_cycles, par.proc_cycles, "s={shards}");
+        assert_eq!(seq.net, par.net, "s={shards}");
+        assert_eq!(seq.stalls, par.stalls, "s={shards}");
+        assert_eq!(seq.memory, par.memory, "s={shards}");
+        assert_eq!(seq.barriers_aligned, par.barriers_aligned);
+        assert_eq!(seq.barrier_seqs, par.barrier_seqs);
+        assert_eq!(seq.metrics.per_proc, par.metrics.per_proc, "s={shards}");
+        assert_eq!(seq.metrics.latency, par.metrics.latency, "s={shards}");
+        assert_eq!(seq.metrics.barrier_epochs, par.metrics.barrier_epochs);
+    }
+
+    #[test]
+    fn sharded_matches_sequential_on_mixed_workload() {
+        for shards in [1, 2, 3, 4, 8] {
+            assert_matches_sequential(MIXED_SRC, 8, shards);
+        }
+    }
+
+    #[test]
+    fn sharded_matches_sequential_on_store_heavy_barrier() {
+        // One-way stores force the store-quiescence (drain-triggered)
+        // release path through the leader's delta walk.
+        let src = r#"
+            shared int A[32];
+            fn main() {
+                A[(MYPROC + 5) % PROCS] = MYPROC;
+                barrier;
+                int v; v = A[MYPROC];
+                work(v * 10);
+                barrier;
+            }
+        "#;
+        let cfg = lower_main(&prepare_program(src).unwrap()).unwrap();
+        let analysis = syncopt_core::analyze_for(&cfg, 8);
+        let opt = syncopt_codegen::optimize(
+            &cfg,
+            &analysis,
+            syncopt_codegen::OptLevel::OneWay,
+            syncopt_codegen::DelayChoice::SyncRefined,
+        );
+        let config = MachineConfig::cm5(8);
+        let seq = simulate(&opt.cfg, &config).unwrap();
+        for shards in [2, 4, 8] {
+            let par = simulate_sharded(&opt.cfg, &config, shards, SimOutputs::full()).unwrap();
+            assert_eq!(seq.exec_cycles, par.exec_cycles, "s={shards}");
+            assert_eq!(seq.memory, par.memory, "s={shards}");
+            assert_eq!(seq.metrics.per_proc, par.metrics.per_proc, "s={shards}");
+            assert_eq!(seq.metrics.barrier_epochs, par.metrics.barrier_epochs);
+        }
+    }
+
+    #[test]
+    fn sharded_matches_on_all_table1_machines() {
+        let cfg = lower_main(&prepare_program(MIXED_SRC).unwrap()).unwrap();
+        for config in MachineConfig::table1(8) {
+            let seq = simulate(&cfg, &config).unwrap();
+            let par = simulate_sharded(&cfg, &config, 4, SimOutputs::full()).unwrap();
+            assert_eq!(seq.exec_cycles, par.exec_cycles, "{}", config.name);
+            assert_eq!(seq.memory, par.memory, "{}", config.name);
+            assert_eq!(seq.stalls, par.stalls, "{}", config.name);
+        }
+    }
+
+    #[test]
+    fn sharded_counts_parallel_machinery() {
+        let cfg = lower_main(&prepare_program(MIXED_SRC).unwrap()).unwrap();
+        let config = MachineConfig::cm5(8);
+        let par = simulate_sharded(&cfg, &config, 4, SimOutputs::lean()).unwrap();
+        let w = &par.metrics.work;
+        assert!(w.shard_horizon_advances > 0, "windows must advance");
+        assert!(w.shard_cross_messages > 0, "remote traffic must cross shards");
+        assert!(w.shard_mailbox_drains > 0, "mailboxes must drain");
+        assert_eq!(w.hash_lookups, 0);
+        // Sequential runs report no shard machinery at all.
+        let seq = simulate(&cfg, &config).unwrap();
+        assert_eq!(seq.metrics.work.shard_horizon_advances, 0);
+        assert_eq!(seq.metrics.work.shard_cross_messages, 0);
+    }
+
+    #[test]
+    fn sharded_deadlock_matches_sequential_report() {
+        let src = "fn main() { if (MYPROC == 0) { barrier; } }";
+        let cfg = lower_main(&prepare_program(src).unwrap()).unwrap();
+        let config = MachineConfig::cm5(2);
+        let seq = simulate(&cfg, &config).unwrap_err();
+        let par = simulate_sharded(&cfg, &config, 2, SimOutputs::full()).unwrap_err();
+        assert_eq!(seq.message(), par.message());
+    }
+
+    #[test]
+    fn sharded_runtime_fault_matches_sequential_report() {
+        let src = "shared int A[4]; fn main() { A[7 + MYPROC] = 1; }";
+        let cfg = lower_main(&prepare_program(src).unwrap()).unwrap();
+        let config = MachineConfig::cm5(4);
+        let seq = simulate(&cfg, &config).unwrap_err();
+        let par = simulate_sharded(&cfg, &config, 2, SimOutputs::full()).unwrap_err();
+        assert_eq!(seq.message(), par.message());
+    }
+
+    #[test]
+    fn empty_program_and_shard_clamping() {
+        let cfg = lower_main(&prepare_program("fn main() { }").unwrap()).unwrap();
+        let config = MachineConfig::cm5(2);
+        // More shards than processors (and zero shards) clamp cleanly.
+        for shards in [0, 1, 2, 16] {
+            let r = simulate_sharded(&cfg, &config, shards, SimOutputs::full()).unwrap();
+            assert_eq!(r.exec_cycles, 0);
+            assert_eq!(r.proc_cycles, vec![0; 2]);
+        }
+    }
+}

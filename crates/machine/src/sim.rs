@@ -181,7 +181,7 @@ impl Default for SimOutputs {
 }
 
 #[derive(Debug, Clone)]
-enum Msg {
+pub(crate) enum Msg {
     Get {
         from: u32,
         loc: Location,
@@ -223,7 +223,7 @@ enum Msg {
 }
 
 #[derive(Debug, Clone)]
-enum Delivery {
+pub(crate) enum Delivery {
     GetReply {
         dst: VarId,
         val: Value,
@@ -240,19 +240,35 @@ enum Delivery {
         /// Injection time of the originating request (`None` for local).
         issued: Option<u64>,
     },
-    FlagSet,
+    FlagSet {
+        /// Receive cost to steal from the woken processor at delivery.
+        /// Zero in the sequential engines (the steal is written directly
+        /// at the home); the sharded engine defers the steal of a
+        /// non-owned waker target into the delivery, which is equivalent
+        /// because a blocked processor has no pending `Run` to observe
+        /// the difference.
+        credit: u64,
+    },
     LockGrant {
         /// Which lock was granted, so the trace can attribute the hold
         /// interval when the unlock is serviced.
         lock: VarId,
+        /// Deferred receive-cost steal; see [`Delivery::FlagSet`].
+        credit: u64,
     },
 }
 
 #[derive(Debug, Clone)]
-enum Event {
+pub(crate) enum Event {
     Run(u32),
     Arrive { home: u32, msg: Msg },
     Deliver { to: u32, del: Delivery },
+    /// Sharded engine only: apply a deferred split-phase receive steal to
+    /// a processor's CPU. Scheduled by the *issuing* shard at the
+    /// request's arrival time, keyed immediately after the request, so it
+    /// lands at exactly the global dispatch position where the sequential
+    /// engine writes the steal at the remote home.
+    Credit { to: u32, amount: u64 },
 }
 
 // ---- the event queue ----------------------------------------------------
@@ -510,7 +526,7 @@ impl EventQueue {
 }
 
 #[derive(Debug, Clone, PartialEq)]
-enum Status {
+pub(crate) enum Status {
     Ready,
     BlockedSync(CtrId, u64),
     BlockedReply(u64),
@@ -520,18 +536,18 @@ enum Status {
     Finished,
 }
 
-struct ProcState {
+pub(crate) struct ProcState {
     env: ProcEnv,
     block: BlockId,
     instr: usize,
-    time: u64,
+    pub(crate) time: u64,
     steal: u64,
     steps: u64,
-    status: Status,
+    pub(crate) status: Status,
     /// Outstanding split-phase operations per counter, dense by `CtrId`.
     ctrs: Vec<u64>,
-    barrier_seq: Vec<AccessId>,
-    finished_at: Option<u64>,
+    pub(crate) barrier_seq: Vec<AccessId>,
+    pub(crate) finished_at: Option<u64>,
 }
 
 struct LockState {
@@ -588,13 +604,13 @@ pub fn simulate_traced(
     sim.run().map(|(r, t)| (r, t.unwrap_or_default()))
 }
 
-struct Simulator<'a> {
+pub(crate) struct Simulator<'a> {
     cfg: &'a Cfg,
-    config: &'a MachineConfig,
+    pub(crate) config: &'a MachineConfig,
     engine: EngineKind,
-    outputs: SimOutputs,
-    procs: Vec<ProcState>,
-    memory: SharedMemory,
+    pub(crate) outputs: SimOutputs,
+    pub(crate) procs: Vec<ProcState>,
+    pub(crate) memory: SharedMemory,
     queue: EventQueue,
     /// Lock state, dense by `VarId` (non-lock slots stay untouched).
     locks: Vec<LockState>,
@@ -612,14 +628,17 @@ struct Simulator<'a> {
     /// `SimWork::hash_lookups` by the reference engine; the dense tables
     /// make the calendar engine's count zero by construction.
     legacy_probes: u64,
-    net: NetStats,
-    stalls: StallStats,
-    metrics: SimMetrics,
+    pub(crate) net: NetStats,
+    pub(crate) stalls: StallStats,
+    pub(crate) metrics: SimMetrics,
     trace: Option<Trace>,
+    /// Sharded-engine context: event routing, dispatch-position keys, and
+    /// barrier/store episode logs. `None` for the sequential engines.
+    pub(crate) shard: Option<Box<crate::shard::ShardCtx>>,
 }
 
 impl<'a> Simulator<'a> {
-    fn new(
+    pub(crate) fn new(
         cfg: &'a Cfg,
         config: &'a MachineConfig,
         engine: EngineKind,
@@ -674,6 +693,28 @@ impl<'a> Simulator<'a> {
                 ..SimMetrics::default()
             },
             trace: None,
+            shard: None,
+        }
+    }
+
+    /// Whether processor `p`'s private state (env, clock, steal, status)
+    /// belongs to this simulator instance. Always true for the sequential
+    /// engines; the sharded engine partitions processors across instances.
+    fn shard_owns(&self, p: u32) -> bool {
+        self.shard.as_ref().map_or(true, |s| s.owns(p))
+    }
+
+    /// Split-phase receive steal for a wake-up delivery to `to`: written
+    /// directly when `to` is owned (the sequential path), otherwise
+    /// returned so it can ride in the delivery and be applied at the
+    /// target shard. Equivalent because the target is blocked with no
+    /// pending `Run` until that very delivery arrives.
+    fn deferred_credit(&mut self, to: u32, recv: u64) -> u64 {
+        if self.shard_owns(to) {
+            self.procs[to as usize].steal += recv;
+            0
+        } else {
+            recv
         }
     }
 
@@ -702,7 +743,11 @@ impl<'a> Simulator<'a> {
     }
 
     fn push(&mut self, time: u64, event: Event) {
-        self.queue.push(time, event, &mut self.metrics.work);
+        if let Some(sh) = &mut self.shard {
+            sh.route(time, event, &mut self.metrics.work);
+        } else {
+            self.queue.push(time, event, &mut self.metrics.work);
+        }
     }
 
     /// Home lookup; the pre-dense memory resolved this through a
@@ -721,19 +766,7 @@ impl<'a> Simulator<'a> {
         // draining) in seq order before advancing.
         while let Some(time) = self.queue.next_time(&mut self.metrics.work) {
             while let Some(event) = self.queue.pop_at(time, &mut self.metrics.work) {
-                match event {
-                    Event::Run(p) => {
-                        let pi = p as usize;
-                        if self.procs[pi].status == Status::Finished {
-                            continue;
-                        }
-                        let slack = time.saturating_sub(self.procs[pi].time);
-                        self.charge_busy(pi, slack);
-                        self.run_proc(p)?;
-                    }
-                    Event::Arrive { home, msg } => self.handle_arrive(time, home, msg)?,
-                    Event::Deliver { to, del } => self.handle_deliver(time, to, del)?,
-                }
+                self.dispatch(time, event)?;
             }
         }
         // Everything drained: all processors must have finished.
@@ -800,6 +833,28 @@ impl<'a> Simulator<'a> {
         }
         let first = &self.procs[0].barrier_seq;
         self.procs.iter().all(|p| &p.barrier_seq == first)
+    }
+
+    /// Dispatches one popped event: the shared interpreter core for the
+    /// sequential drain loop and the sharded engine's window workers.
+    pub(crate) fn dispatch(&mut self, time: u64, event: Event) -> Result<(), SimError> {
+        match event {
+            Event::Run(p) => {
+                let pi = p as usize;
+                if self.procs[pi].status == Status::Finished {
+                    return Ok(());
+                }
+                let slack = time.saturating_sub(self.procs[pi].time);
+                self.charge_busy(pi, slack);
+                self.run_proc(p)
+            }
+            Event::Arrive { home, msg } => self.handle_arrive(time, home, msg),
+            Event::Deliver { to, del } => self.handle_deliver(time, to, del),
+            Event::Credit { to, amount } => {
+                self.procs[to as usize].steal += amount;
+                Ok(())
+            }
+        }
     }
 
     // ---- the per-processor interpreter ---------------------------------
@@ -968,6 +1023,19 @@ impl<'a> Simulator<'a> {
                         },
                     },
                 );
+                if !self.shard_owns(home) {
+                    // The reply's receive steal, scheduled locally and
+                    // keyed adjacent to the request's arrival — the exact
+                    // global position where the sequential engine writes
+                    // it at the home.
+                    self.push(
+                        t,
+                        Event::Credit {
+                            to: p,
+                            amount: self.config.recv_overhead,
+                        },
+                    );
+                }
                 Ok(true)
             }
             Instr::PutInit { dst, src, ctr, .. } => {
@@ -996,6 +1064,16 @@ impl<'a> Simulator<'a> {
                         },
                     },
                 );
+                if !self.shard_owns(home) {
+                    // Ack steal; see the split-phase get above.
+                    self.push(
+                        t,
+                        Event::Credit {
+                            to: p,
+                            amount: self.config.ack_cycles,
+                        },
+                    );
+                }
                 Ok(true)
             }
             Instr::StoreInit { dst, src, .. } => {
@@ -1009,7 +1087,11 @@ impl<'a> Simulator<'a> {
                     self.remote_send(pi)
                 };
                 let issued = (home != p).then(|| self.procs[pi].time);
-                self.stores_in_flight += 1;
+                if let Some(sh) = &mut self.shard {
+                    sh.log_store_init();
+                } else {
+                    self.stores_in_flight += 1;
+                }
                 self.push(
                     t,
                     Event::Arrive {
@@ -1123,8 +1205,15 @@ impl<'a> Simulator<'a> {
             Instr::Barrier { access } => {
                 self.procs[pi].barrier_seq.push(*access);
                 let arrive = self.procs[pi].time;
-                self.barrier_arrivals[pi] = Some((*access, arrive));
                 self.procs[pi].status = Status::BlockedBarrier(arrive);
+                if let Some(sh) = &mut self.shard {
+                    // Sharded: the rendezvous is global, so arrivals are
+                    // logged and resolved by the round leader at the next
+                    // horizon boundary.
+                    sh.log_barrier_arrival(p, arrive);
+                    return Ok(false);
+                }
+                self.barrier_arrivals[pi] = Some((*access, arrive));
                 if self.barrier_arrivals.iter().all(|a| a.is_some()) {
                     // One-way stores must drain before the barrier
                     // completes (the completion rule for stores); if any
@@ -1222,8 +1311,10 @@ impl<'a> Simulator<'a> {
                 if let (Some(t), Some(iss)) = (&mut self.trace, issued) {
                     t.record_flow(FlowKind::Get, from, home, iss, done, Some(deliver));
                 }
-                if ctr.is_some() {
-                    // Split-phase replies interrupt the issuing CPU.
+                if ctr.is_some() && self.shard_owns(from) {
+                    // Split-phase replies interrupt the issuing CPU. A
+                    // non-owned issuer already scheduled this steal as a
+                    // local Credit event at issue time.
                     self.procs[from as usize].steal += recv;
                 }
                 self.push(
@@ -1262,7 +1353,7 @@ impl<'a> Simulator<'a> {
                 if let (Some(t), Some(iss)) = (&mut self.trace, issued) {
                     t.record_flow(FlowKind::Put, from, home, iss, done, Some(deliver));
                 }
-                if ctr.is_some() {
+                if ctr.is_some() && self.shard_owns(from) {
                     self.procs[from as usize].steal += recv;
                 }
                 self.push(
@@ -1290,10 +1381,14 @@ impl<'a> Simulator<'a> {
                         t.record_flow(FlowKind::Store, from, home, iss, done, None);
                     }
                 }
-                self.stores_in_flight -= 1;
-                if self.stores_in_flight == 0 && self.barrier_release_pending {
-                    self.barrier_release_pending = false;
-                    self.release_barrier(done)?;
+                if let Some(sh) = &mut self.shard {
+                    sh.log_store_drain(done);
+                } else {
+                    self.stores_in_flight -= 1;
+                    if self.stores_in_flight == 0 && self.barrier_release_pending {
+                        self.barrier_release_pending = false;
+                        self.release_barrier(done)?;
+                    }
                 }
             }
             Msg::Post { loc, .. } => {
@@ -1313,12 +1408,12 @@ impl<'a> Simulator<'a> {
                             self.config.recv_overhead,
                         )
                     };
-                    self.procs[w as usize].steal += recv;
+                    let credit = self.deferred_credit(w, recv);
                     self.push(
                         deliver,
                         Event::Deliver {
                             to: w,
-                            del: Delivery::FlagSet,
+                            del: Delivery::FlagSet { credit },
                         },
                     );
                 }
@@ -1336,12 +1431,12 @@ impl<'a> Simulator<'a> {
                             self.config.recv_overhead,
                         )
                     };
-                    self.procs[from as usize].steal += recv;
+                    let credit = self.deferred_credit(from, recv);
                     self.push(
                         deliver,
                         Event::Deliver {
                             to: from,
-                            del: Delivery::FlagSet,
+                            del: Delivery::FlagSet { credit },
                         },
                     );
                 } else {
@@ -1368,12 +1463,12 @@ impl<'a> Simulator<'a> {
                             self.config.recv_overhead,
                         )
                     };
-                    self.procs[from as usize].steal += recv;
+                    let credit = self.deferred_credit(from, recv);
                     self.push(
                         deliver,
                         Event::Deliver {
                             to: from,
-                            del: Delivery::LockGrant { lock },
+                            del: Delivery::LockGrant { lock, credit },
                         },
                     );
                 }
@@ -1397,12 +1492,12 @@ impl<'a> Simulator<'a> {
                             self.config.recv_overhead,
                         )
                     };
-                    self.procs[next as usize].steal += recv;
+                    let credit = self.deferred_credit(next, recv);
                     self.push(
                         deliver,
                         Event::Deliver {
                             to: next,
-                            del: Delivery::LockGrant { lock },
+                            del: Delivery::LockGrant { lock, credit },
                         },
                     );
                 } else {
@@ -1454,8 +1549,9 @@ impl<'a> Simulator<'a> {
                     }
                 }
             }
-            Delivery::FlagSet => {
+            Delivery::FlagSet { credit } => {
                 self.trace(time, to, TraceKind::Deliver { what: "flag" });
+                self.procs[pi].steal += credit;
                 if let Status::BlockedWait(since) = self.procs[pi].status {
                     self.stalls.wait += time.saturating_sub(since);
                     let advanced = self.resume(to, time);
@@ -1464,8 +1560,9 @@ impl<'a> Simulator<'a> {
                     self.trace_state(pi, StateKind::Wait, end - advanced, end);
                 }
             }
-            Delivery::LockGrant { lock } => {
+            Delivery::LockGrant { lock, credit } => {
                 self.trace(time, to, TraceKind::Deliver { what: "grant" });
+                self.procs[pi].steal += credit;
                 if self.trace.is_some() {
                     self.locks[lock.index()].acquired_at = time;
                 }

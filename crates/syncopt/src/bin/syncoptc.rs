@@ -6,7 +6,10 @@
 //! syncoptc opt <file> [--procs N] [--level L] [--delay D] [--dump]
 //!     optimize and (with --dump) print the target CFG
 //! syncoptc run <file> [--procs N] [--machine M] [--level L] [--delay D]
-//!     simulate and report cycles, messages, stalls, final memory
+//!          [--sim-shards S]
+//!     simulate and report cycles, messages, stalls, final memory;
+//!     --sim-shards > 1 runs the conservative parallel engine, which is
+//!     bit-identical to the sequential reference at any shard count
 //! syncoptc trace <file> [--procs N] [--machine M] [--level L] [--delay D]
 //!          [--trace-limit N] [--out PATH]
 //!     simulate with the structured timeline on and emit Chrome Trace
@@ -37,9 +40,11 @@
 //!     postwait-deadlock | redundant-barrier)
 //! syncoptc bench [--suite S] [--smoke] [--threads T] [--out PATH] [--check BASELINE]
 //!     run a benchmark suite and emit its work-counter report (schema
-//!     syncopt.bench_report.v1). S ∈ delay|sim (default delay): `delay`
-//!     runs the delay-set analysis scaling trajectory, `sim` the
-//!     simulator-throughput sweep over the evaluation kernels. `--check`
+//!     syncopt.bench_report.v1). S ∈ delay|sim|sim_parallel (default
+//!     delay): `delay` runs the delay-set analysis scaling trajectory,
+//!     `sim` the simulator-throughput sweep over the evaluation kernels,
+//!     `sim_parallel` the sharded-engine sweep at 64/256/1024 simulated
+//!     processors and 1/2/4/8 shards. `--check`
 //!     compares the fresh counters against a committed baseline and exits
 //!     1 on a >20% regression; `--threads` fans independent configs
 //!     across workers without changing any counter
@@ -96,6 +101,7 @@ struct Args {
     format: Format,
     emit_report: Option<String>,
     threads: usize,
+    sim_shards: usize,
     smoke: bool,
     suite: String,
     out: Option<String>,
@@ -132,6 +138,7 @@ fn parse_args() -> Result<Args, String> {
         format: Format::Human,
         emit_report: None,
         threads: 1,
+        sim_shards: 1,
         smoke: false,
         suite: "delay".to_string(),
         out: None,
@@ -186,9 +193,18 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad --threads: {e}"))?;
             }
+            "--sim-shards" => {
+                args.sim_shards = argv
+                    .next()
+                    .ok_or("--sim-shards needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --sim-shards: {e}"))?;
+            }
             "--smoke" => args.smoke = true,
             "--suite" => {
-                args.suite = argv.next().ok_or("--suite needs a value (delay|sim)")?;
+                args.suite = argv
+                    .next()
+                    .ok_or("--suite needs a value (delay|sim|sim_parallel)")?;
             }
             "--out" => {
                 args.out = Some(argv.next().ok_or("--out needs a path")?);
@@ -330,6 +346,7 @@ fn real_main() -> Result<(), String> {
         format: args.format,
         emit_report: args.emit_report.clone(),
         threads: args.threads,
+        sim_shards: args.sim_shards,
         out: args.out.clone(),
         trace_limit: args.trace_limit,
         pair: args.pair,
@@ -446,7 +463,20 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
                 Box::new(move |b| report.check_against(b)),
             )
         }
-        other => return Err(format!("unknown bench suite `{other}` (delay|sim)")),
+        "sim_parallel" => {
+            let report = syncopt::parbench::run_par_bench(args.smoke, args.threads)
+                .map_err(|e| format!("parallel sim bench failed: {e}"))?;
+            (
+                report.to_json(),
+                report.render_table(),
+                Box::new(move |b| report.check_against(b)),
+            )
+        }
+        other => {
+            return Err(format!(
+                "unknown bench suite `{other}` (delay|sim|sim_parallel)"
+            ))
+        }
     };
     if let Some(path) = &args.out {
         std::fs::write(path, format!("{report_json}\n"))

@@ -131,6 +131,10 @@ pub struct Query {
     /// Worker threads for analysis loops (results identical for any
     /// value).
     pub threads: usize,
+    /// `run --sim-shards N`: simulation shards for the conservative
+    /// parallel engine (observable results identical for any value;
+    /// rejected by `trace` above 1).
+    pub sim_shards: usize,
     /// `trace --out PATH`: produce the Chrome-trace JSON as a file
     /// artifact.
     pub out: Option<String>,
@@ -164,6 +168,7 @@ impl Default for Query {
             format: Format::Human,
             emit_report: None,
             threads: 1,
+            sim_shards: 1,
             out: None,
             trace_limit: None,
             pair: None,
@@ -251,6 +256,7 @@ fn session_options(q: &Query, level: OptLevel) -> SessionOptions {
         trace: TraceLevel::Off,
         trace_limit: q.trace_limit.unwrap_or(DEFAULT_TRACE_LIMIT),
         threads: q.threads,
+        sim_shards: q.sim_shards,
     }
 }
 
@@ -498,6 +504,15 @@ fn cmd_run(session: &mut AnalysisSession, src: &str, q: &Query) -> CmdOut {
 }
 
 fn cmd_trace(session: &mut AnalysisSession, src: &str, q: &Query) -> CmdOut {
+    if q.sim_shards > 1 {
+        return CmdOut::fail(format!(
+            "trace requires the sequential engine: event traces interleave \
+             all processors in one global timeline, which the sharded engine \
+             does not record (got --sim-shards {}; rerun with --sim-shards 1 \
+             or drop the flag)",
+            q.sim_shards
+        ));
+    }
     let config = match machine_config(&q.machine, q.procs) {
         Ok(c) => c,
         Err(e) => return CmdOut::fail(e),

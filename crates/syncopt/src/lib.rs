@@ -45,6 +45,7 @@ pub mod commands;
 #[cfg(unix)]
 pub mod daemon;
 pub mod lint;
+pub mod parbench;
 pub mod report;
 pub mod rpc;
 pub mod session;
@@ -187,6 +188,7 @@ pub struct Syncopt<'a> {
     trace: TraceLevel,
     trace_limit: usize,
     threads: usize,
+    sim_shards: usize,
 }
 
 impl<'a> Syncopt<'a> {
@@ -200,6 +202,7 @@ impl<'a> Syncopt<'a> {
             trace: TraceLevel::Off,
             trace_limit: DEFAULT_TRACE_LIMIT,
             threads: 1,
+            sim_shards: 1,
         }
     }
 
@@ -252,6 +255,18 @@ impl<'a> Syncopt<'a> {
         self
     }
 
+    /// Sets the simulation shard count for [`run`](Syncopt::run) (default
+    /// 1 = sequential calendar engine). Values above 1 execute the
+    /// simulation on the conservative parallel engine
+    /// ([`machine::simulate_sharded`]), which is bit-identical to the
+    /// sequential reference at every shard count. Incompatible with
+    /// [`TraceLevel::Events`].
+    #[must_use]
+    pub fn sim_shards(mut self, shards: usize) -> Self {
+        self.sim_shards = shards;
+        self
+    }
+
     /// Parses, checks, lowers, analyzes, and optimizes the program.
     ///
     /// # Errors
@@ -272,6 +287,7 @@ impl<'a> Syncopt<'a> {
             trace: self.trace,
             trace_limit: self.trace_limit,
             threads: self.threads,
+            sim_shards: self.sim_shards,
         }
     }
 
@@ -559,6 +575,16 @@ mod tests {
         assert!(p.speedup_x100() >= 100, "optimization never slows: {p:?}");
         let json = p.to_json();
         assert!(json.get("comparison").is_some());
+    }
+
+    #[test]
+    fn builder_sim_shards_matches_sequential_run() {
+        let config = MachineConfig::cm5(4);
+        let seq = Syncopt::new(SRC).run(&config).unwrap();
+        let par = Syncopt::new(SRC).sim_shards(4).run(&config).unwrap();
+        assert_eq!(seq.sim.exec_cycles, par.sim.exec_cycles);
+        assert_eq!(seq.sim.memory, par.sim.memory);
+        assert_eq!(seq.sim.metrics.per_proc, par.sim.metrics.per_proc);
     }
 
     #[test]

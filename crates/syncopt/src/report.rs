@@ -401,6 +401,22 @@ fn work_json(w: &SimWork, exec_cycles: u64) -> Value {
             Value::Int(w.hash_lookups as i64),
         ),
         (
+            "shard_horizon_advances".to_string(),
+            Value::Int(w.shard_horizon_advances as i64),
+        ),
+        (
+            "shard_cross_messages".to_string(),
+            Value::Int(w.shard_cross_messages as i64),
+        ),
+        (
+            "shard_mailbox_drains".to_string(),
+            Value::Int(w.shard_mailbox_drains as i64),
+        ),
+        (
+            "shard_idle_windows".to_string(),
+            Value::Int(w.shard_idle_windows as i64),
+        ),
+        (
             "events_per_1k_cycles".to_string(),
             Value::Int(w.events_per_1k_cycles(exec_cycles) as i64),
         ),
@@ -519,6 +535,16 @@ fn render_sim_table(out: &mut String, sim: &SimReport) {
             w.waiter_scans,
             w.hash_lookups,
         ));
+        if w.shard_horizon_advances > 0 {
+            out.push_str(&format!(
+                "    sharding: {} horizon advances, {} cross-shard messages, \
+                 {} mailbox drains, {} idle windows\n",
+                w.shard_horizon_advances,
+                w.shard_cross_messages,
+                w.shard_mailbox_drains,
+                w.shard_idle_windows,
+            ));
+        }
     }
     let h = &sim.metrics.latency;
     if h.count > 0 {

@@ -132,6 +132,7 @@ pub fn encode_query(q: &Query) -> Value {
         field(&mut f, "emit_report", Value::Str(path.clone()));
     }
     field(&mut f, "threads", Value::Int(q.threads as i64));
+    field(&mut f, "sim_shards", Value::Int(q.sim_shards as i64));
     if let Some(path) = &q.out {
         field(&mut f, "out", Value::Str(path.clone()));
     }
@@ -234,6 +235,10 @@ pub fn decode_query(v: &Value) -> Result<Query, RpcError> {
             "threads" => {
                 q.threads = usize::try_from(expect_int(value, key)?)
                     .map_err(|_| RpcError::bad_request("`threads` out of range"))?;
+            }
+            "sim_shards" => {
+                q.sim_shards = usize::try_from(expect_int(value, key)?)
+                    .map_err(|_| RpcError::bad_request("`sim_shards` out of range"))?;
             }
             "out" => q.out = Some(expect_str(value, key)?),
             "trace_limit" => {
@@ -583,6 +588,7 @@ mod tests {
             pair: Some((3, 7)),
             deny: vec!["W001".to_string()],
             trace_limit: Some(512),
+            sim_shards: 4,
             ..Query::default()
         }
     }

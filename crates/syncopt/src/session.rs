@@ -30,9 +30,12 @@
 //! share an artifact with stale spans. Span-free artifacts (`analysis`,
 //! `sim` — both identify accesses by dense [`AccessId`]s) key on the
 //! canonical printed CFG, so formatting-only edits reuse the two most
-//! expensive phases outright. Worker-thread counts are deliberately
-//! **not** part of any key: analysis results are bit-identical for every
-//! thread count.
+//! expensive phases outright. Worker-thread counts and simulation shard
+//! counts are deliberately **not** part of any key: analysis results are
+//! bit-identical for every thread count, and the sharded simulation
+//! engine is bit-identical to the sequential reference for every shard
+//! count — so a `sim` artifact computed at one shard count legitimately
+//! serves every other.
 //!
 //! Caching never changes results, only the work needed to produce them:
 //! a warm query is byte-identical to a cold one.
@@ -93,6 +96,12 @@ pub struct SessionOptions {
     /// Worker threads for the delay-set candidate loops (never part of a
     /// cache key: results are bit-identical for every value).
     pub threads: usize,
+    /// Simulation shards for `run`: values above 1 execute the simulation
+    /// on the conservative parallel engine
+    /// ([`syncopt_machine::simulate_sharded`]). Never part of a cache key:
+    /// the sharded engine is bit-identical to the sequential reference at
+    /// every shard count, exactly like `threads`.
+    pub sim_shards: usize,
 }
 
 impl Default for SessionOptions {
@@ -104,6 +113,7 @@ impl Default for SessionOptions {
             trace: TraceLevel::Off,
             trace_limit: DEFAULT_TRACE_LIMIT,
             threads: 1,
+            sim_shards: 1,
         }
     }
 }
@@ -338,6 +348,12 @@ impl AnalysisSession {
         let cache = &mut self.cache;
         let sim = compiled.report.timings.time("simulate", || {
             if opts.trace >= TraceLevel::Events {
+                if opts.sim_shards > 1 {
+                    return Err(syncopt_machine::SimError::new(
+                        "event tracing requires the sequential engine; \
+                         rerun with sim_shards = 1 (--sim-shards 1)",
+                    ));
+                }
                 // Traces are request-scoped observability, not artifacts:
                 // always simulate fresh so the trace matches this run.
                 syncopt_machine::simulate_traced(&compiled.optimized.cfg, config, opts.trace_limit)
@@ -345,6 +361,25 @@ impl AnalysisSession {
                         trace = Some(t);
                         sim
                     })
+            } else if opts.sim_shards > 1 {
+                // The parallel engine is bit-identical to the sequential
+                // one, so it shares the `sim` cache key: an artifact
+                // computed by either engine serves both.
+                let key = Fingerprint::of_parts(&[
+                    "sim.v1",
+                    &cfg_to_string(&compiled.optimized.cfg),
+                    &format!("{config:?}"),
+                ]);
+                cache
+                    .get_or_try("sim", key, || {
+                        syncopt_machine::simulate_sharded(
+                            &compiled.optimized.cfg,
+                            config,
+                            opts.sim_shards,
+                            syncopt_machine::SimOutputs::full(),
+                        )
+                    })
+                    .map(|sim| (*sim).clone())
             } else {
                 let key = Fingerprint::of_parts(&[
                     "sim.v1",
@@ -595,6 +630,41 @@ mod tests {
         assert!(cache.misses > 0);
         let json = c.report.to_json();
         assert!(json.get("cache").is_some());
+    }
+
+    #[test]
+    fn sharded_run_matches_sequential_observables() {
+        let config = MachineConfig::cm5(4);
+        // Separate sessions so the second run cannot just replay the
+        // first's cached artifact.
+        let seq = AnalysisSession::new().run(SRC, &opts(4), &config).unwrap();
+        let sharded_opts = SessionOptions {
+            sim_shards: 4,
+            ..opts(4)
+        };
+        let par = AnalysisSession::new()
+            .run(SRC, &sharded_opts, &config)
+            .unwrap();
+        assert_eq!(seq.sim.exec_cycles, par.sim.exec_cycles);
+        assert_eq!(seq.sim.memory, par.sim.memory);
+        assert_eq!(seq.sim.metrics.per_proc, par.sim.metrics.per_proc);
+        assert!(par.sim.metrics.work.shard_horizon_advances > 0);
+    }
+
+    #[test]
+    fn event_tracing_rejects_sharded_runs() {
+        let mut s = AnalysisSession::new();
+        let config = MachineConfig::cm5(4);
+        let o = SessionOptions {
+            sim_shards: 2,
+            trace: TraceLevel::Events,
+            ..opts(4)
+        };
+        let err = s.run(SRC, &o, &config).unwrap_err();
+        assert!(
+            err.to_string().contains("sequential engine"),
+            "unexpected diagnostic: {err}"
+        );
     }
 
     #[test]

@@ -5,7 +5,8 @@
 #
 # Re-runs the smoke subset of every suite through `syncoptc bench` and
 # compares the fresh all-integer work counters against the committed
-# baselines (BENCH_delay_scaling.json, BENCH_sim_throughput.json).
+# baselines (BENCH_delay_scaling.json, BENCH_sim_throughput.json,
+# BENCH_sim_parallel.json).
 # A counter more than 20% above its baseline fails the gate; wall-clock
 # buckets are never compared. See docs/PERFORMANCE.md for the schema and
 # the refresh commands.
@@ -23,5 +24,8 @@ echo "== delay_scaling gate =="
 
 echo "== sim_throughput gate =="
 "$BIN" bench --suite sim --smoke --check BENCH_sim_throughput.json
+
+echo "== sim_parallel gate =="
+"$BIN" bench --suite sim_parallel --smoke --check BENCH_sim_parallel.json
 
 echo "bench_gate: all suites within tolerance"

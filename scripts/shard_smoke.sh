@@ -1,0 +1,47 @@
+#!/usr/bin/env sh
+# CI smoke slice for the sharded conservative simulation engine.
+#
+# Usage: scripts/shard_smoke.sh SYNCOPTC_BIN
+#
+# Runs one small kernel through `syncoptc run` at --sim-shards 1 and
+# --sim-shards 4 and byte-compares the full JSON pipeline reports after
+# stripping the `sim.work` engine-counter object — the only surface the
+# bit-identity contract excludes (the sharded engine schedules horizon
+# control events and never rotates calendar buckets, so its work
+# counters legitimately differ). Everything else — exec_cycles, network
+# totals, stall breakdown, per-processor accounting, barrier epochs,
+# latency histograms — must match byte for byte. A shard-determinism
+# regression therefore fails here in seconds, without waiting for the
+# full difftest matrix in tests/sim_difftest.rs.
+set -eu
+
+BIN="${1:-./target/release/syncoptc}"
+
+if [ ! -x "$BIN" ]; then
+    echo "shard_smoke: $BIN not found or not executable (build with: cargo build --release)" >&2
+    exit 2
+fi
+
+TMPDIR_SMOKE="$(mktemp -d)"
+trap 'rm -rf "$TMPDIR_SMOKE"' EXIT
+
+# Drop the engine-counter object; everything else is contract surface.
+strip_work() {
+    sed -E 's/"work":\{[^}]*\}//g' "$1" > "$2"
+}
+
+for prog in stencil figure1; do
+    src="programs/$prog.ms"
+    echo "== shard byte-compare $src =="
+    "$BIN" run "$src" --procs 8 --format json > "$TMPDIR_SMOKE/$prog.s1.json"
+    "$BIN" run "$src" --procs 8 --sim-shards 4 --format json > "$TMPDIR_SMOKE/$prog.s4.json"
+    strip_work "$TMPDIR_SMOKE/$prog.s1.json" "$TMPDIR_SMOKE/$prog.s1.stripped"
+    strip_work "$TMPDIR_SMOKE/$prog.s4.json" "$TMPDIR_SMOKE/$prog.s4.stripped"
+    if ! cmp -s "$TMPDIR_SMOKE/$prog.s1.stripped" "$TMPDIR_SMOKE/$prog.s4.stripped"; then
+        echo "shard_smoke: $src diverges between --sim-shards 1 and 4:" >&2
+        diff "$TMPDIR_SMOKE/$prog.s1.stripped" "$TMPDIR_SMOKE/$prog.s4.stripped" >&2 || true
+        exit 1
+    fi
+done
+
+echo "shard_smoke: sharded runs byte-identical outside engine counters"

@@ -100,6 +100,41 @@ fn run_trace_prints_events() {
 }
 
 #[test]
+fn trace_rejects_sharded_engine() {
+    let (ok, _, stderr) = syncoptc(&[
+        "trace",
+        "programs/postwait.ms",
+        "--procs",
+        "2",
+        "--sim-shards",
+        "4",
+    ]);
+    assert!(!ok, "trace must reject --sim-shards > 1");
+    assert!(
+        stderr.contains("trace requires the sequential engine"),
+        "{stderr}"
+    );
+    assert!(stderr.contains("--sim-shards 4"), "{stderr}");
+}
+
+#[test]
+fn run_accepts_sharded_engine_and_matches_sequential() {
+    let (ok, sequential, stderr) =
+        syncoptc(&["run", "programs/postwait.ms", "--procs", "2"]);
+    assert!(ok, "{stderr}");
+    let (ok, sharded, stderr) = syncoptc(&[
+        "run",
+        "programs/postwait.ms",
+        "--procs",
+        "2",
+        "--sim-shards",
+        "2",
+    ]);
+    assert!(ok, "{stderr}");
+    assert_eq!(sequential, sharded, "sharded run output must be identical");
+}
+
+#[test]
 fn analyze_warns_on_orphaned_wait() {
     // Write a temp file with a deadlocking wait.
     let dir = std::env::temp_dir();

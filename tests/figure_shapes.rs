@@ -2,7 +2,9 @@
 //! tests: if a change to the analysis or optimizer breaks the Figure 12
 //! ordering or the Figure 13 scaling separation, these fail.
 
-use syncopt::machine::MachineConfig;
+use syncopt::machine::{
+    simulate_configured, simulate_sharded, EngineKind, MachineConfig, SimOutputs,
+};
 use syncopt::{DelayChoice, OptLevel, RunResult, Syncopt, SyncoptError};
 use syncopt_kernels::{all_kernels, epithel, KernelParams};
 
@@ -99,6 +101,50 @@ fn figure13_scaling_separation_holds() {
         (oneway32 as f64) < 0.8 * oneway16 as f64,
         "optimized should keep scaling: T(16)={oneway16}, T(32)={oneway32}"
     );
+}
+
+/// Figure 13 is engine-independent: re-deriving its largest point on the
+/// sharded conservative engine gives bit-identical cycle counts, so the
+/// figure harnesses are free to run `--sim-shards N` for wall-clock and
+/// every separation assertion above transfers unchanged.
+#[test]
+fn figure13_points_survive_the_sharded_engine() {
+    let procs = 32u32;
+    let kernel = epithel::generate(&KernelParams {
+        procs,
+        elements_per_proc: 1152 / procs,
+        steps: 2,
+        work_per_element: 5,
+    });
+    let config = MachineConfig::cm5(procs);
+    for (level, choice) in [
+        (OptLevel::Pipelined, DelayChoice::ShashaSnir),
+        (OptLevel::OneWay, DelayChoice::SyncRefined),
+    ] {
+        let compiled = Syncopt::new(&kernel.source)
+            .procs(procs)
+            .level(level)
+            .delay(choice)
+            .compile()
+            .expect("kernel compiles");
+        let sequential = simulate_configured(
+            &compiled.optimized.cfg,
+            &config,
+            EngineKind::Calendar,
+            SimOutputs::lean(),
+        )
+        .expect("sequential run");
+        for shards in [2, 4] {
+            let sharded =
+                simulate_sharded(&compiled.optimized.cfg, &config, shards, SimOutputs::lean())
+                    .expect("sharded run");
+            assert_eq!(
+                sequential.exec_cycles, sharded.exec_cycles,
+                "{level:?} s{shards}: exec_cycles"
+            );
+            assert_eq!(sequential.net, sharded.net, "{level:?} s{shards}: net");
+        }
+    }
 }
 
 /// Delay-set reduction: the central claim, on every kernel.

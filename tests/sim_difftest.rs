@@ -12,7 +12,9 @@
 //! cycles sum exactly to the execution time) on every run of both
 //! engines.
 
-use syncopt::machine::{simulate_configured, EngineKind, MachineConfig, SimOutputs, SimResult};
+use syncopt::machine::{
+    simulate_configured, simulate_sharded, EngineKind, MachineConfig, SimOutputs, SimResult,
+};
 use syncopt::{DelayChoice, OptLevel, Syncopt};
 use syncopt_kernels::{kernels_with, KernelParams};
 
@@ -136,6 +138,67 @@ fn lean_outputs_change_nothing_but_the_extractions() {
         assert!(!full.memory.is_empty(), "{}", kernel.name);
         assert!(lean.memory.is_empty(), "{}", kernel.name);
         assert!(lean.barrier_seqs.is_empty(), "{}", kernel.name);
+    }
+}
+
+/// Machine sizes for the sharded-engine matrix. The two large sizes run
+/// with trimmed kernel parameters (see [`shard_params`]) so the debug
+/// build stays test-sized while still exercising the multi-window,
+/// multi-mailbox regime the small sizes cannot reach.
+const SHARD_PROC_COUNTS: [u32; 4] = [4, 16, 64, 256];
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Kernel sizing for the sharded matrix: the standard bench shape below
+/// 64 processors, and a trimmed shape above — event volume on the
+/// lockstep kernels grows quadratically with the machine size, and the
+/// matrix multiplies every run by four shard counts.
+fn shard_params(procs: u32) -> KernelParams {
+    if procs >= 64 {
+        KernelParams {
+            procs,
+            elements_per_proc: 2,
+            steps: 2,
+            work_per_element: 40,
+        }
+    } else {
+        KernelParams::bench(procs)
+    }
+}
+
+/// The tentpole guarantee: the sharded conservative-lookahead engine is
+/// bit-identical to the calendar engine at every shard count, across
+/// kernels, optimization levels, and machine sizes up to 256 simulated
+/// processors — and every sharded run conserves cycles per processor.
+#[test]
+fn sharded_engine_is_bit_identical_to_calendar_at_every_shard_count() {
+    for procs in SHARD_PROC_COUNTS {
+        let config = MachineConfig::cm5(procs);
+        for kernel in kernels_with(&shard_params(procs)) {
+            for (label, level, delay) in LEVELS {
+                let compiled = Syncopt::new(&kernel.source)
+                    .procs(procs)
+                    .level(level)
+                    .delay(delay)
+                    .compile()
+                    .expect("kernel compiles");
+                let calendar = simulate_configured(
+                    &compiled.optimized.cfg,
+                    &config,
+                    EngineKind::Calendar,
+                    SimOutputs::full(),
+                )
+                .expect("calendar engine runs");
+                for shards in SHARD_COUNTS {
+                    let what = format!("{} {label} p{procs} s{shards}", kernel.name);
+                    let sharded =
+                        simulate_sharded(&compiled.optimized.cfg, &config, shards, SimOutputs::full())
+                            .expect("sharded engine runs");
+                    assert_identical(&calendar, &sharded, &what);
+                    assert_cycles_conserve(&sharded, &what);
+                }
+            }
+        }
     }
 }
 
