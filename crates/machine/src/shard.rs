@@ -1,20 +1,27 @@
 //! Conservative parallel (sharded) simulation engine.
 //!
 //! One simulation run is partitioned across host threads: simulated
-//! processors are split into contiguous blocks, one block per **shard**,
-//! and each shard advances its own event heap independently up to a
-//! shared **synchronization horizon**. The horizon is the conservative
-//! Chandy–Misra lookahead the Table 1 machine parameters guarantee:
-//! every cross-shard interaction is carried by a message that takes at
-//! least `network_latency` cycles, and every barrier release lands at
-//! least `barrier_cycles` after its trigger, so a window of width
-//! `min(network_latency, barrier_cycles)` can be simulated in parallel
-//! with no shard ever seeing an event "from the past".
+//! processors are split across **shards** by a [`ShardPartition`]
+//! strategy, and each shard advances its own event heap independently up
+//! to a shared **synchronization horizon**. The horizon is the
+//! conservative Chandy–Misra lookahead the Table 1 machine parameters
+//! guarantee: every cross-shard interaction is carried by a message that
+//! takes at least `network_latency` cycles, and every barrier release
+//! lands at least `barrier_cycles` after its trigger, so a window of
+//! width `min(network_latency, barrier_cycles)` can be simulated in
+//! parallel with no shard ever seeing an event "from the past".
 //!
-//! Between windows the round **leader** drains per-shard-pair mailboxes
-//! (cross-shard arrivals, replies, and acks routed while the window ran),
-//! resolves completed barrier episodes, and picks the next window from
-//! the global minimum pending timestamp.
+//! Between windows a round **leader** (the last thread to arrive at the
+//! gate) runs the only remaining serial section: it merges the dispatch
+//! positions the window minted into flat ranks, resolves completed
+//! barrier episodes, and picks the next window from the global minimum
+//! pending timestamp. Everything else that used to be serial is done by
+//! the shards themselves at the start of the next round: each shard
+//! drains its own inbound mailboxes, rewrites its own event keys to the
+//! flat positions the leader published, and injects its own processors'
+//! barrier releases from the leader's release plan. The
+//! `sim.shard_leader_merge_steps` vs `sim.shard_parallel_*` counters
+//! witness the split.
 //!
 //! # Determinism: bit-identical to the sequential engines
 //!
@@ -31,8 +38,9 @@
 //! all shared state is partitioned by owner (processor state with the
 //! owning shard, memory/flag/lock/handler state with the home's shard),
 //! every observable except the [`SimWork`] engine counters is
-//! bit-identical at any shard count. The three global couplings that do
-//! not fit the partition are handled explicitly:
+//! bit-identical at any shard count *and any partition strategy*. The
+//! three global couplings that do not fit the partition are handled
+//! explicitly:
 //!
 //! * **split-phase receive steals** are scheduled by the *issuing* shard
 //!   as local `Event::Credit`s keyed adjacent to the request's arrival
@@ -40,24 +48,91 @@
 //!   target is blocked;
 //! * **barrier rendezvous and store quiescence** are resolved by the
 //!   round leader from position-ordered arrival/store logs, recovering
-//!   the exact sequential release time and re-injecting the release
-//!   `Run`s with the keys the sequential engine would have assigned;
+//!   the exact sequential release time; the release `Run`s are injected
+//!   by their owning shards from the leader's plan, with the keys the
+//!   sequential engine would have assigned;
 //! * **errors** are picked as the minimum dispatch position across
 //!   shards, which is exactly the first error the sequential engine
 //!   reports.
 
 use crate::config::MachineConfig;
-use crate::memory::Location;
-use crate::metrics::{BarrierEpoch, LatencyHistogram, ProcCycles, SimMetrics, SimWork};
+use crate::memory::{Location, SharedMemory};
+use crate::metrics::{
+    BarrierEpoch, LatencyHistogram, ProcCycles, ShardStats, SimMetrics, SimWork,
+};
 use crate::sim::{
     EngineKind, Event, NetStats, SimOutputs, SimResult, Simulator, StallStats, Status,
 };
 use crate::value::SimError;
 use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
-use std::sync::{Arc, Barrier, Mutex};
+use std::sync::{Arc, Barrier, Mutex, OnceLock};
+use syncopt_frontend::ast::{BinOp, UnOp};
+use syncopt_ir::access::AccessKind;
 use syncopt_ir::cfg::Cfg;
+use syncopt_ir::expr::Expr;
 use syncopt_ir::ids::AccessId;
+
+/// How simulated processors are assigned to shards. Results are
+/// bit-identical under every strategy (the assignment only moves engine
+/// work around); what changes is the per-shard load balance, visible in
+/// [`ShardStats`] and the `sim_parallel` bench's imbalance metric.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum ShardPartition {
+    /// Contiguous blocks of processor ids (`ceil(P/S)` per shard). Keeps
+    /// Split-C block-layout array traffic shard-local, but concentrates
+    /// the round-robin scalar/flag/lock homes — which all land on
+    /// low-numbered processors — onto shard 0.
+    #[default]
+    Block,
+    /// Round-robin by processor id (`p % S`). Spreads the round-robin
+    /// scalar homes evenly at the cost of cutting block-layout arrays
+    /// across shards.
+    Cyclic,
+    /// Traffic-aware: a static communication-matrix pre-pass evaluates
+    /// every shared access site's home under the program's memory layout
+    /// and greedily assigns the heaviest processors first, balancing
+    /// per-shard event load while preferring shards the processor
+    /// already communicates with. Falls back to [`Block`] when the
+    /// program has no resolvable shared traffic.
+    ///
+    /// [`Block`]: ShardPartition::Block
+    Profiled,
+}
+
+impl ShardPartition {
+    /// All strategies, for sweeps and tests.
+    pub const ALL: [ShardPartition; 3] = [
+        ShardPartition::Block,
+        ShardPartition::Cyclic,
+        ShardPartition::Profiled,
+    ];
+
+    /// The lowercase label used on the command line and in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ShardPartition::Block => "block",
+            ShardPartition::Cyclic => "cyclic",
+            ShardPartition::Profiled => "profiled",
+        }
+    }
+
+    /// Parses a command-line label.
+    pub fn from_label(s: &str) -> Option<Self> {
+        match s {
+            "block" => Some(ShardPartition::Block),
+            "cyclic" => Some(ShardPartition::Cyclic),
+            "profiled" => Some(ShardPartition::Profiled),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ShardPartition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
 
 /// A dispatch position: the timestamp of an event plus its tie-breaking
 /// key. Total order over all events of a run.
@@ -65,6 +140,27 @@ use syncopt_ir::ids::AccessId;
 pub(crate) struct Pos {
     time: u64,
     key: Key,
+    /// The depth-1 twin the leader's key merge assigns (see
+    /// [`merge_and_flatten`]); read by the owning shards when they
+    /// rewrite their keys in the next round's parallel phase. Not part
+    /// of the order.
+    flat: OnceLock<Arc<Pos>>,
+}
+
+impl Pos {
+    fn new(time: u64, key: Key) -> Self {
+        Pos {
+            time,
+            key,
+            flat: OnceLock::new(),
+        }
+    }
+
+    /// Whether this position is already depth-1 (seeds and leader-minted
+    /// twins are born flat).
+    fn is_flat(&self) -> bool {
+        self.key.parent.is_none()
+    }
 }
 
 /// The sequential engine's `seq` tie-break, reconstructed structurally: a
@@ -194,21 +290,42 @@ struct StoreDelta {
 
 /// Per-shard engine state attached to a [`Simulator`]: the local event
 /// heap, outgoing mailboxes, the current dispatch position (for keying
-/// pushes), and the episode logs the round leader consumes.
+/// pushes), the positions this shard minted (for the leader's key
+/// merge), and the episode logs the round leader consumes.
 #[derive(Debug)]
 pub(crate) struct ShardCtx {
     id: u32,
     shard_of: Arc<Vec<u32>>,
     heap: BinaryHeap<Reverse<ShardEvent>>,
-    /// Outgoing events per destination shard, drained by the leader at
-    /// every horizon boundary (the mailbox-per-pair structure).
+    /// Outgoing events per destination shard, accumulated during the
+    /// window and published to the mailbox grid at its end (the
+    /// mailbox-per-pair structure).
     outboxes: Vec<Vec<ShardEvent>>,
     cur_parent: Arc<Pos>,
     push_idx: u32,
+    /// Whether `cur_parent` has been recorded in `minted` (set on its
+    /// first use as a parent or log position).
+    parent_live: bool,
+    /// Non-flat positions this shard's window dispatched and referenced,
+    /// in dispatch order — sorted by construction, so the leader's merge
+    /// is a k-way merge of sorted runs.
+    minted: Vec<Arc<Pos>>,
     barrier_log: Vec<BarrierArrival>,
     store_log: Vec<StoreDelta>,
+    /// Minimum timestamp across everything published to the grid this
+    /// window (`u64::MAX` when nothing crossed).
+    out_min: u64,
+    /// Minimum pending timestamp in the local heap after the window.
+    heap_min: Option<u64>,
     cross_messages: u64,
     idle_windows: u64,
+    /// Non-empty mailbox batches this shard published (sender side of
+    /// `sim.shard_mailbox_drains`).
+    published_batches: u64,
+    /// Cross-shard events drained from inbound mailboxes (parallel phase).
+    drained_events: u64,
+    /// Keys rewritten to flat positions (parallel phase).
+    flattened_parents: u64,
     error: Option<(Arc<Pos>, SimError)>,
 }
 
@@ -219,18 +336,25 @@ impl ShardCtx {
             shard_of,
             heap: BinaryHeap::new(),
             outboxes: (0..shards).map(|_| Vec::new()).collect(),
-            cur_parent: Arc::new(Pos {
-                time: 0,
-                key: Key {
+            cur_parent: Arc::new(Pos::new(
+                0,
+                Key {
                     parent: None,
                     idx: u32::MAX,
                 },
-            }),
+            )),
             push_idx: 0,
+            parent_live: false,
+            minted: Vec::new(),
             barrier_log: Vec::new(),
             store_log: Vec::new(),
+            out_min: u64::MAX,
+            heap_min: None,
             cross_messages: 0,
             idle_windows: 0,
+            published_batches: 0,
+            drained_events: 0,
+            flattened_parents: 0,
             error: None,
         }
     }
@@ -249,11 +373,23 @@ impl ShardCtx {
         }
     }
 
+    /// Records the current dispatch position for the leader's key merge
+    /// on its first use. Seed positions are born flat and need no rank.
+    fn mint_parent(&mut self) {
+        if !self.parent_live {
+            self.parent_live = true;
+            if !self.cur_parent.is_flat() {
+                self.minted.push(Arc::clone(&self.cur_parent));
+            }
+        }
+    }
+
     /// Keys a pushed event as the next child of the current dispatch and
     /// routes it: own shard straight to the heap, otherwise into the
     /// destination's mailbox for the next horizon drain.
     pub(crate) fn route(&mut self, time: u64, event: Event, work: &mut SimWork) {
         work.events_scheduled += 1;
+        self.mint_parent();
         let key = Key {
             parent: Some(Arc::clone(&self.cur_parent)),
             idx: self.push_idx,
@@ -265,11 +401,13 @@ impl ShardCtx {
             self.heap.push(Reverse(ev));
         } else {
             self.cross_messages += 1;
+            self.out_min = self.out_min.min(time);
             self.outboxes[d as usize].push(ev);
         }
     }
 
     pub(crate) fn log_barrier_arrival(&mut self, proc: u32, arrive: u64) {
+        self.mint_parent();
         self.barrier_log.push(BarrierArrival {
             proc,
             arrive,
@@ -279,6 +417,7 @@ impl ShardCtx {
     }
 
     pub(crate) fn log_store_init(&mut self) {
+        self.mint_parent();
         self.store_log.push(StoreDelta {
             pos: Arc::clone(&self.cur_parent),
             delta: 1,
@@ -287,6 +426,7 @@ impl ShardCtx {
     }
 
     pub(crate) fn log_store_drain(&mut self, done: u64) {
+        self.mint_parent();
         self.store_log.push(StoreDelta {
             pos: Arc::clone(&self.cur_parent),
             delta: -1,
@@ -295,15 +435,31 @@ impl ShardCtx {
     }
 }
 
-/// Shared round control: the current window's exclusive end and the stop
-/// flag, written by the leader between barrier generations.
+/// The leader's plan for a resolved barrier episode: each shard injects
+/// the release `Run`s for its own processors at the start of the next
+/// round, with the keys the sequential engine would have assigned.
+struct ReleasePlan {
+    release: u64,
+    /// The triggering dispatch position (already flat).
+    trigger: Arc<Pos>,
+    /// First child index for the release `Run`s.
+    base: u32,
+    /// Per-processor arrival times, for stall attribution.
+    arrive_of: Vec<u64>,
+}
+
+/// Shared round control, written by the leader between barrier
+/// generations: the next window's exclusive end, the stop flag, and the
+/// release plan (if a barrier episode resolved) every shard applies for
+/// its own processors at the start of the round.
 struct Ctrl {
     window_end: u64,
     done: bool,
+    plan: Option<Arc<ReleasePlan>>,
 }
 
 /// Round-leader state: accumulated episode logs, resolved epochs, the
-/// shard-level counters, and the first error (by dispatch position).
+/// flat-rank counter, and the first error (by dispatch position).
 struct LeaderState {
     arrivals: Vec<BarrierArrival>,
     /// Store flight deltas, globally sorted by dispatch position. Each
@@ -312,18 +468,21 @@ struct LeaderState {
     deltas: Vec<StoreDelta>,
     episodes: Vec<BarrierEpoch>,
     horizon_advances: u64,
-    mailbox_drains: u64,
-    /// Next flat key rank (see [`flatten_keys`]); starts above the
+    /// Next flat key rank (see [`merge_and_flatten`]); starts above the
     /// processor count so ranks never collide with seed ids at time 0.
     next_rank: u32,
+    /// Positions rank-assigned by the leader's merge — the serial work.
+    merge_steps: u64,
     error: Option<SimError>,
 }
 
 /// Runs `cfg` on the machine described by `config`, sharding the
 /// simulated processors across `shards` host threads (clamped to
-/// `[1, procs]`). The result is bit-identical to [`crate::simulate`] for
-/// every observable except the [`SimWork`] engine counters, at any shard
-/// count — the differential suites assert exactly that.
+/// `[1, procs]`) using the default [`ShardPartition::Block`] assignment.
+/// The result is bit-identical to [`crate::simulate`] for every
+/// observable except the [`SimWork`] engine counters and the per-shard
+/// [`ShardStats`], at any shard count — the differential suites assert
+/// exactly that.
 ///
 /// # Errors
 ///
@@ -335,18 +494,31 @@ pub fn simulate_sharded(
     shards: usize,
     outputs: SimOutputs,
 ) -> Result<SimResult, SimError> {
+    simulate_sharded_with(cfg, config, shards, ShardPartition::Block, outputs)
+}
+
+/// [`simulate_sharded`] with an explicit processor-to-shard
+/// [`ShardPartition`] strategy. Bit-identical to the sequential engines
+/// under every strategy; only the engine counters and per-shard load
+/// distribution differ.
+///
+/// # Errors
+///
+/// Same failure modes as [`crate::simulate`].
+pub fn simulate_sharded_with(
+    cfg: &Cfg,
+    config: &MachineConfig,
+    shards: usize,
+    partition: ShardPartition,
+    outputs: SimOutputs,
+) -> Result<SimResult, SimError> {
     let procs = config.procs;
     let s = shards.max(1).min(procs.max(1) as usize);
     // The conservative lookahead: every cross-shard event lands at least
     // `network_latency` ahead of its creation, every barrier release at
     // least `barrier_cycles` ahead of its trigger.
     let horizon = config.network_latency.min(config.barrier_cycles).max(1);
-    let block = (procs as usize).div_ceil(s);
-    let shard_of: Arc<Vec<u32>> = Arc::new(
-        (0..procs as usize)
-            .map(|i| ((i / block).min(s - 1)) as u32)
-            .collect(),
-    );
+    let shard_of: Arc<Vec<u32>> = Arc::new(partition_map(cfg, procs, s, partition));
 
     let mut sims: Vec<Mutex<Simulator>> = (0..s)
         .map(|id| {
@@ -380,17 +552,29 @@ pub fn simulate_sharded(
     let ctrl = Mutex::new(Ctrl {
         window_end: horizon,
         done: false,
+        plan: None,
     });
     let leader = Mutex::new(LeaderState {
         arrivals: Vec::new(),
         deltas: Vec::new(),
         episodes: Vec::new(),
         horizon_advances: 1,
-        mailbox_drains: 0,
         next_rank: procs,
+        merge_steps: 0,
         error: None,
     });
     let gate = Barrier::new(s);
+    // The shard-pair mailbox grid, `grid[parity][from * s + to]`: senders
+    // publish their outboxes at the end of a window, receivers drain what
+    // was published *last* round at the start of the next. The grid is
+    // double-buffered by round parity because no barrier separates one
+    // shard's drain phase from another's publish phase within a round —
+    // each round writes one buffer and reads the other, so a fast
+    // publisher can never feed a slow drainer early.
+    let grid: [Vec<Mutex<Vec<ShardEvent>>>; 2] = [
+        (0..s * s).map(|_| Mutex::new(Vec::new())).collect(),
+        (0..s * s).map(|_| Mutex::new(Vec::new())).collect(),
+    ];
 
     std::thread::scope(|scope| {
         for sid in 0..s {
@@ -398,22 +582,35 @@ pub fn simulate_sharded(
             let ctrl = &ctrl;
             let leader = &leader;
             let gate = &gate;
+            let grid = &grid;
             let shard_of = &shard_of;
-            scope.spawn(move || loop {
-                let window_end = {
-                    let c = ctrl.lock().expect("ctrl");
-                    if c.done {
-                        break;
+            scope.spawn(move || {
+                let mut round: usize = 0;
+                loop {
+                    let (window_end, plan) = {
+                        let c = ctrl.lock().expect("ctrl");
+                        if c.done {
+                            break;
+                        }
+                        (c.window_end, c.plan.clone())
+                    };
+                    worker_round(
+                        &sims[sid],
+                        sid,
+                        s,
+                        &grid[(round + 1) & 1],
+                        &grid[round & 1],
+                        plan.as_deref(),
+                        window_end,
+                    );
+                    round += 1;
+                    if gate.wait().is_leader() {
+                        let mut st = leader.lock().expect("leader state");
+                        let mut c = ctrl.lock().expect("ctrl");
+                        leader_step(sims, shard_of, config, horizon, &mut st, &mut c);
                     }
-                    c.window_end
-                };
-                process_window(&sims[sid], window_end);
-                if gate.wait().is_leader() {
-                    let mut st = leader.lock().expect("leader state");
-                    let mut c = ctrl.lock().expect("ctrl");
-                    leader_step(sims, shard_of, config, horizon, &mut st, &mut c);
+                    gate.wait();
                 }
-                gate.wait();
             });
         }
     });
@@ -429,10 +626,262 @@ pub fn simulate_sharded(
     Ok(merge(&mut sims, &shard_of, config, outputs, st))
 }
 
-/// Drains one shard's events inside the window `[.., window_end)` in
-/// `(time, key)` order.
-fn process_window(m: &Mutex<Simulator>, window_end: u64) {
+/// Builds the processor-to-shard assignment for a strategy. Every value
+/// is in `0..shards`; the map is deterministic (pure integer arithmetic
+/// over the program's static structure).
+fn partition_map(cfg: &Cfg, procs: u32, shards: usize, partition: ShardPartition) -> Vec<u32> {
+    match partition {
+        ShardPartition::Block => block_map(procs, shards),
+        ShardPartition::Cyclic => (0..procs).map(|p| p % shards as u32).collect(),
+        ShardPartition::Profiled => profiled_map(cfg, procs, shards),
+    }
+}
+
+fn block_map(procs: u32, shards: usize) -> Vec<u32> {
+    let block = (procs as usize).div_ceil(shards);
+    (0..procs as usize)
+        .map(|i| ((i / block).min(shards - 1)) as u32)
+        .collect()
+}
+
+/// Number of sample points used when an access index depends on one
+/// unresolved local (typically a loop variable): the variable is sampled
+/// across `0..PROCS` at this many evenly spaced points.
+const INDEX_SAMPLES: u64 = 8;
+
+/// The traffic-aware partition: a static communication-matrix pre-pass.
+///
+/// For every shared access site and every processor `p`, the access's
+/// index expression is const-evaluated with `MYPROC = p` (sampling one
+/// unresolved local across `0..PROCS`, which captures loop-driven
+/// patterns like Epithel's transpose scatter) and resolved to a home
+/// processor under the program's actual memory layout
+/// ([`SharedMemory::home`]). That yields a per-processor event-load
+/// estimate (messages sent plus messages handled at owned homes) and a
+/// processor-pair traffic matrix. Processors are then assigned greedily,
+/// heaviest first, to the least-loaded shard — preferring, among shards
+/// of similar load, the one the processor already talks to most.
+fn profiled_map(cfg: &Cfg, procs: u32, shards: usize) -> Vec<u32> {
+    let p = procs as usize;
+    if p == 0 || shards <= 1 {
+        return block_map(procs, shards);
+    }
+    let mem = SharedMemory::new(procs, &cfg.vars);
+    // traffic[issuer * p + home]: estimated messages from issuer to home.
+    let mut traffic = vec![0u64; p * p];
+    // Load that never crosses processors (local homes, unresolvable sites).
+    let mut local = vec![0u64; p];
+    for (_, a) in cfg.accesses.iter() {
+        if a.kind == AccessKind::Barrier {
+            continue; // global rendezvous, no home
+        }
+        let Some(var) = a.var else { continue };
+        for me in 0..p {
+            let samples = index_samples(a.index.as_ref(), me as i64, procs as i64);
+            if samples.is_empty() {
+                local[me] += INDEX_SAMPLES;
+                continue;
+            }
+            for (index, w) in samples {
+                let home = mem.home(Location { var, index }) as usize;
+                if home == me {
+                    local[me] += w;
+                } else {
+                    traffic[me * p + home] += w;
+                }
+            }
+        }
+    }
+    let mut load: Vec<u64> = vec![0; p];
+    for me in 0..p {
+        let sent: u64 = traffic[me * p..(me + 1) * p].iter().sum();
+        let handled: u64 = (0..p).map(|q| traffic[q * p + me]).sum();
+        load[me] = local[me] + sent + handled;
+    }
+    let total: u64 = load.iter().sum();
+    if total == 0 {
+        return block_map(procs, shards);
+    }
+    // Greedy weighted assignment, heaviest processor first. Loads are
+    // compared in coarse quanta so that among near-equally-loaded shards
+    // the one with the most existing traffic to `me` wins (fewer
+    // cross-shard edges); remaining ties go to the emptier, then
+    // lower-numbered shard — fully deterministic.
+    let quantum = (total / (shards as u64 * 64)).max(1);
+    let mut order: Vec<usize> = (0..p).collect();
+    order.sort_by_key(|&me| (Reverse(load[me]), me));
+    let mut assign = vec![0u32; p];
+    let mut shard_load = vec![0u64; shards];
+    let mut members: Vec<Vec<usize>> = (0..shards).map(|_| Vec::new()).collect();
+    for me in order {
+        let best = (0..shards)
+            .min_by_key(|&sh| {
+                let affinity: u64 = members[sh]
+                    .iter()
+                    .map(|&q| traffic[me * p + q] + traffic[q * p + me])
+                    .sum();
+                (
+                    (shard_load[sh] + load[me]) / quantum,
+                    Reverse(affinity),
+                    members[sh].len(),
+                    sh,
+                )
+            })
+            .expect("at least one shard");
+        assign[me] = best as u32;
+        shard_load[best] += load[me];
+        members[best].push(me);
+    }
+    assign
+}
+
+/// Const-evaluates an access index for one processor, returning `(index,
+/// weight)` samples. A fully resolvable expression yields one sample of
+/// weight [`INDEX_SAMPLES`]; an expression with exactly one unresolved
+/// local is sampled across `0..PROCS` with weight 1 per distinct point;
+/// anything else yields no samples (the caller counts the site as local
+/// load).
+fn index_samples(index: Option<&Expr>, me: i64, procs: i64) -> Vec<(u64, u64)> {
+    let Some(expr) = index else {
+        return vec![(0, INDEX_SAMPLES)]; // scalar / lock / scalar flag
+    };
+    let unknown = expr.vars_used();
+    match unknown.len() {
+        0 => eval_index(expr, me, procs, None)
+            .map(|i| vec![(i, INDEX_SAMPLES)])
+            .unwrap_or_default(),
+        1 => {
+            let var = unknown[0];
+            let mut out: Vec<(u64, u64)> = Vec::new();
+            for k in 0..INDEX_SAMPLES {
+                let v = (k as i64) * procs / INDEX_SAMPLES as i64;
+                if let Some(i) = eval_index(expr, me, procs, Some((var, v))) {
+                    if !out.iter().any(|(j, _)| *j == i) {
+                        out.push((i, 1));
+                    }
+                }
+            }
+            out
+        }
+        _ => Vec::new(),
+    }
+}
+
+fn eval_index(
+    expr: &Expr,
+    me: i64,
+    procs: i64,
+    binding: Option<(syncopt_ir::ids::VarId, i64)>,
+) -> Option<u64> {
+    let v = eval_int(expr, me, procs, binding)?;
+    u64::try_from(v).ok()
+}
+
+fn eval_int(
+    expr: &Expr,
+    me: i64,
+    procs: i64,
+    binding: Option<(syncopt_ir::ids::VarId, i64)>,
+) -> Option<i64> {
+    match expr {
+        Expr::Int(v) => Some(*v),
+        Expr::Float(_) | Expr::Bool(_) | Expr::LocalElem { .. } => None,
+        Expr::MyProc => Some(me),
+        Expr::Procs => Some(procs),
+        Expr::Local(v) => binding.and_then(|(b, val)| (b == *v).then_some(val)),
+        Expr::Unary { op, expr } => match op {
+            UnOp::Neg => eval_int(expr, me, procs, binding)?.checked_neg(),
+            UnOp::Not => None,
+        },
+        Expr::Binary { op, lhs, rhs } => {
+            let a = eval_int(lhs, me, procs, binding)?;
+            let b = eval_int(rhs, me, procs, binding)?;
+            match op {
+                BinOp::Add => a.checked_add(b),
+                BinOp::Sub => a.checked_sub(b),
+                BinOp::Mul => a.checked_mul(b),
+                BinOp::Div => a.checked_div(b),
+                BinOp::Rem => a.checked_rem(b),
+                _ => None, // comparisons / logic never form index arithmetic
+            }
+        }
+    }
+}
+
+/// One shard's full round, everything outside the leader's critical
+/// section: apply the published release plan for owned processors, drain
+/// inbound mailboxes, rewrite keys to the flat positions the leader
+/// minted, dispatch the window, then publish outboxes and minima for the
+/// next leader step.
+fn worker_round(
+    m: &Mutex<Simulator>,
+    sid: usize,
+    s: usize,
+    inbound_grid: &[Mutex<Vec<ShardEvent>>],
+    outbound_grid: &[Mutex<Vec<ShardEvent>>],
+    plan: Option<&ReleasePlan>,
+    window_end: u64,
+) {
     let mut sim = m.lock().expect("shard sim");
+    let sid32 = sid as u32;
+    // Phase 1: inject this shard's barrier releases from the leader's
+    // plan, reproducing the sequential stall attribution and event keys.
+    let mut injected: Vec<ShardEvent> = Vec::new();
+    if let Some(plan) = plan {
+        let shard_of = Arc::clone(&sim.shard.as_ref().expect("shard ctx").shard_of);
+        for (pi, &o) in shard_of.iter().enumerate() {
+            if o != sid32 {
+                continue;
+            }
+            sim.stalls.barrier += plan.release - plan.arrive_of[pi];
+            let start = sim.procs[pi].time;
+            sim.metrics.per_proc[pi].barrier += plan.release - start;
+            sim.procs[pi].time = plan.release;
+            sim.metrics.work.events_scheduled += 1;
+            injected.push(ShardEvent {
+                time: plan.release,
+                key: Key {
+                    parent: Some(Arc::clone(&plan.trigger)),
+                    idx: plan.base + pi as u32,
+                },
+                event: Event::Run(pi as u32),
+            });
+        }
+    }
+    // Phase 2: drain inbound mailboxes (events other shards routed to us
+    // last window) and rewrite every key minted last window to its flat
+    // twin, so comparisons never walk a chain older than one window.
+    {
+        let sh = sim.shard.as_mut().expect("shard ctx");
+        let mut evs: Vec<ShardEvent> = std::mem::take(&mut sh.heap)
+            .into_vec()
+            .into_iter()
+            .map(|Reverse(ev)| ev)
+            .collect();
+        for from in 0..s {
+            if from == sid {
+                continue;
+            }
+            let mut slot = inbound_grid[from * s + sid].lock().expect("mail slot");
+            if !slot.is_empty() {
+                sh.drained_events += slot.len() as u64;
+                evs.append(&mut slot);
+            }
+        }
+        for ev in &mut evs {
+            if let Some(parent) = &ev.key.parent {
+                if !parent.is_flat() {
+                    let flat = parent.flat.get().expect("leader flattened last window");
+                    ev.key.parent = Some(Arc::clone(flat));
+                    sh.flattened_parents += 1;
+                }
+            }
+        }
+        evs.extend(injected);
+        sh.heap = evs.into_iter().map(Reverse).collect();
+        sh.out_min = u64::MAX;
+    }
+    // Phase 3: dispatch the window in (time, key) order.
     let mut processed = 0u64;
     loop {
         let (time, event, pos) = {
@@ -442,12 +891,10 @@ fn process_window(m: &Mutex<Simulator>, window_end: u64) {
                 _ => break,
             }
             let Reverse(ev) = sh.heap.pop().expect("peeked");
-            let pos = Arc::new(Pos {
-                time: ev.time,
-                key: ev.key,
-            });
+            let pos = Arc::new(Pos::new(ev.time, ev.key));
             sh.cur_parent = Arc::clone(&pos);
             sh.push_idx = 0;
+            sh.parent_live = false;
             (ev.time, ev.event, pos)
         };
         sim.metrics.work.events_dequeued += 1;
@@ -457,15 +904,30 @@ fn process_window(m: &Mutex<Simulator>, window_end: u64) {
         }
         processed += 1;
     }
+    // Phase 4: publish outboxes to the grid and record the minima the
+    // leader needs for the next window.
+    let sh = sim.shard.as_mut().expect("shard ctx");
     if processed == 0 {
         // Conservative lookahead idling: the window held nothing for us.
-        sim.shard.as_mut().expect("shard ctx").idle_windows += 1;
+        sh.idle_windows += 1;
     }
+    for (d, batch) in sh.outboxes.iter_mut().enumerate() {
+        if !batch.is_empty() {
+            sh.published_batches += 1;
+            outbound_grid[sid * s + d]
+                .lock()
+                .expect("mail slot")
+                .append(batch);
+        }
+    }
+    sh.heap_min = sh.heap.peek().map(|Reverse(ev)| ev.time);
 }
 
-/// The between-windows reduction: drain mailboxes and logs, surface the
-/// first error, resolve a completed barrier episode, and open the next
-/// window (or stop).
+/// The leader's critical section, now reduced to what is irreducibly
+/// global: surface the first error, merge the window's minted positions
+/// into flat ranks, resolve a completed barrier episode into a plan, and
+/// open the next window (or stop). Mailbox movement, key rewriting, and
+/// release injection all happen in the shards' parallel phase.
 fn leader_step(
     sims: &[Mutex<Simulator>],
     shard_of: &[u32],
@@ -474,24 +936,29 @@ fn leader_step(
     st: &mut LeaderState,
     ctrl: &mut Ctrl,
 ) {
-    let s = sims.len();
-    // Pass 1: collect outbox batches, episode logs, and errors.
-    let mut moved: Vec<Vec<ShardEvent>> = (0..s).map(|_| Vec::new()).collect();
+    // Pass 1: collect minted runs, episode logs, errors, and minima.
+    let mut minted: Vec<Vec<Arc<Pos>>> = Vec::with_capacity(sims.len());
+    let mut new_arrivals: Vec<BarrierArrival> = Vec::new();
     let mut new_deltas: Vec<StoreDelta> = Vec::new();
     let mut errors: Vec<(Arc<Pos>, SimError)> = Vec::new();
+    let mut t_min: Option<u64> = None;
+    let fold = |t: u64, t_min: &mut Option<u64>| {
+        *t_min = Some(t_min.map_or(t, |m| m.min(t)));
+    };
     for m in sims {
         let mut sim = m.lock().expect("shard sim");
         let sh = sim.shard.as_mut().expect("shard ctx");
-        for (batch, out) in sh.outboxes.iter_mut().zip(moved.iter_mut()) {
-            if !batch.is_empty() {
-                st.mailbox_drains += 1;
-                out.append(batch);
-            }
-        }
-        st.arrivals.append(&mut sh.barrier_log);
+        minted.push(std::mem::take(&mut sh.minted));
+        new_arrivals.append(&mut sh.barrier_log);
         new_deltas.append(&mut sh.store_log);
         if let Some(e) = sh.error.take() {
             errors.push(e);
+        }
+        if let Some(t) = sh.heap_min {
+            fold(t, &mut t_min);
+        }
+        if sh.out_min != u64::MAX {
+            fold(sh.out_min, &mut t_min);
         }
     }
     // The minimum error position is exactly the sequential engine's first
@@ -499,33 +966,28 @@ fn leader_step(
     if let Some((_, e)) = errors.into_iter().min_by(|a, b| a.0.cmp(&b.0)) {
         st.error = Some(e);
         ctrl.done = true;
+        ctrl.plan = None;
         return;
+    }
+    // Pass 2: merge the minted runs into flat ranks (the serial work).
+    merge_and_flatten(minted, st);
+    // Pass 3: rewrite the new episode logs to flat positions and append.
+    for a in &mut new_arrivals {
+        a.pos = flat_of(&a.pos);
+    }
+    st.arrivals.append(&mut new_arrivals);
+    for d in &mut new_deltas {
+        d.pos = flat_of(&d.pos);
     }
     new_deltas.sort_by(|a, b| a.pos.cmp(&b.pos));
     st.deltas.extend(new_deltas);
-    // Pass 2: distribute cross-shard events into destination heaps.
-    for (d, batch) in moved.into_iter().enumerate() {
-        if batch.is_empty() {
-            continue;
-        }
-        let mut sim = sims[d].lock().expect("shard sim");
-        let sh = sim.shard.as_mut().expect("shard ctx");
-        for ev in batch {
-            sh.heap.push(Reverse(ev));
-        }
+    // Pass 4: resolve a completed barrier episode into a release plan.
+    let plan = try_release(shard_of.len(), config, st);
+    if let Some(p) = &plan {
+        fold(p.release, &mut t_min);
     }
-    // Pass 3: resolve a completed barrier episode, if any.
-    try_release(sims, shard_of, config, st);
-    // Pass 4: flatten the live key structure so comparisons stay O(1).
-    flatten_keys(sims, st);
+    ctrl.plan = plan.map(Arc::new);
     // Pass 5: open the next horizon window, or terminate.
-    let mut t_min: Option<u64> = None;
-    for m in sims {
-        let sim = m.lock().expect("shard sim");
-        if let Some(Reverse(ev)) = sim.shard.as_ref().expect("shard ctx").heap.peek() {
-            t_min = Some(t_min.map_or(ev.time, |t| t.min(ev.time)));
-        }
-    }
     match t_min {
         Some(t) => {
             st.horizon_advances += 1;
@@ -557,9 +1019,19 @@ fn leader_step(
     }
 }
 
-/// Rewrites this window's parent positions as depth-1 `(time, rank)`
-/// positions, so key comparisons never walk a chain older than one
-/// window.
+/// The flat twin of a position minted last window (identity for
+/// positions born flat).
+fn flat_of(p: &Arc<Pos>) -> Arc<Pos> {
+    if p.is_flat() {
+        Arc::clone(p)
+    } else {
+        Arc::clone(p.flat.get().expect("leader flattened"))
+    }
+}
+
+/// Assigns every position minted by the finished window a depth-1
+/// `(time, rank)` twin, so key comparisons never walk a chain older than
+/// one window.
 ///
 /// Structural keys compare parents recursively, and the recursion only
 /// stops early where ancestor times differ or an `Arc` is shared. In
@@ -569,123 +1041,78 @@ fn leader_step(
 /// ancestry, so one comparison walks all the way to the seeds: O(causal
 /// depth), which grows with simulated time and turns the heap quadratic.
 ///
-/// The flattening is incremental and preserves the order exactly. A
-/// position is *flat* when its own key has no parent (seed dispatches
-/// are born flat). Each round, the positions minted by the finished
-/// window — direct parents of pending events, plus logged barrier
-/// arrivals and store deltas, which `try_release` later turns into
-/// parents of release `Run`s — are sorted by the old structural order
-/// (cheap: chains are at most one window deep) and re-keyed as `(time,
-/// (None, rank))` from a monotonically growing counter. Parent-vs-parent
-/// comparisons are unchanged: dispatch times decide across windows
-/// (window time ranges are disjoint), and within a window the rank
-/// reproduces the structural tie-break. The counter starts above the
-/// processor count so flat ranks can never collide with the seeds' id
-/// keys at time 0. Positions that compare equal through different
-/// allocations share one flat position, so sibling `idx` tie-breaks keep
-/// their meaning.
-fn flatten_keys(sims: &[Mutex<Simulator>], st: &mut LeaderState) {
-    #[derive(Clone, Copy)]
-    enum Slot {
-        /// `heaps[shard][item]`'s parent.
-        Parent(usize, usize),
-        Arrival(usize),
-        Delta(usize),
-    }
-    let is_flat = |p: &Arc<Pos>| p.key.parent.is_none();
-    // Drain the heaps into vectors so parents can be rewritten in place.
-    let mut heaps: Vec<Vec<ShardEvent>> = Vec::with_capacity(sims.len());
-    for m in sims {
-        let mut sim = m.lock().expect("shard sim");
-        let sh = sim.shard.as_mut().expect("shard ctx");
-        heaps.push(
-            std::mem::take(&mut sh.heap)
-                .into_vec()
-                .into_iter()
-                .map(|Reverse(ev)| ev)
-                .collect(),
+/// Each shard dispatches in strictly increasing position order, so its
+/// minted list arrives sorted; the leader k-way-merges the lists by the
+/// structural order (cheap: chains are at most one window deep) and
+/// publishes a twin with a rank from a monotonically growing counter
+/// through each position's `flat` cell — the owning shards rewrite their
+/// own references in the next round's parallel phase.
+/// Parent-vs-parent comparisons are unchanged: dispatch times decide
+/// across windows (window time ranges are disjoint), and within a window
+/// the rank reproduces the structural tie-break. The counter starts
+/// above the processor count so flat ranks can never collide with the
+/// seeds' id keys at time 0. Positions that compare equal through
+/// different allocations share one twin, so sibling `idx` tie-breaks
+/// keep their meaning.
+fn merge_and_flatten(minted: Vec<Vec<Arc<Pos>>>, st: &mut LeaderState) {
+    for run in &minted {
+        debug_assert!(
+            run.windows(2).all(|w| w[0].cmp(&w[1]) == Ordering::Less),
+            "shard dispatch order must be sorted"
         );
     }
-    // Only this window's positions are non-flat; everything older was
-    // flattened by an earlier round.
-    let mut slots: Vec<Slot> = Vec::new();
-    for (s, evs) in heaps.iter().enumerate() {
-        for (i, ev) in evs.iter().enumerate() {
-            if ev.key.parent.as_ref().is_some_and(|p| !is_flat(p)) {
-                slots.push(Slot::Parent(s, i));
+    let mut heads = vec![0usize; minted.len()];
+    let mut prev: Option<Arc<Pos>> = None;
+    let mut twin: Option<Arc<Pos>> = None;
+    loop {
+        let mut best: Option<usize> = None;
+        for (sh, run) in minted.iter().enumerate() {
+            if heads[sh] >= run.len() {
+                continue;
             }
+            best = Some(match best {
+                None => sh,
+                Some(b) => {
+                    if run[heads[sh]].cmp(&minted[b][heads[b]]) == Ordering::Less {
+                        sh
+                    } else {
+                        b
+                    }
+                }
+            });
         }
-    }
-    for (i, a) in st.arrivals.iter().enumerate() {
-        if !is_flat(&a.pos) {
-            slots.push(Slot::Arrival(i));
-        }
-    }
-    for (i, d) in st.deltas.iter().enumerate() {
-        if !is_flat(&d.pos) {
-            slots.push(Slot::Delta(i));
-        }
-    }
-    // Record, per sorted slot, the old time and whether the position
-    // coincides with its predecessor (same allocation or equal content),
-    // releasing the read borrow before rewriting.
-    let mut times: Vec<u64> = Vec::with_capacity(slots.len());
-    let mut same_as_prev: Vec<bool> = Vec::with_capacity(slots.len());
-    {
-        let pos_of = |slot: &Slot| -> &Arc<Pos> {
-            match *slot {
-                Slot::Parent(s, i) => heaps[s][i].key.parent.as_ref().expect("filtered above"),
-                Slot::Arrival(i) => &st.arrivals[i].pos,
-                Slot::Delta(i) => &st.deltas[i].pos,
-            }
+        let Some(sh) = best else { break };
+        let pos = Arc::clone(&minted[sh][heads[sh]]);
+        heads[sh] += 1;
+        st.merge_steps += 1;
+        let fresh = match &prev {
+            Some(q) => q.cmp(&pos) != Ordering::Equal,
+            None => true,
         };
-        slots.sort_by(|a, b| pos_of(a).as_ref().cmp(pos_of(b).as_ref()));
-        let mut prev: Option<&Arc<Pos>> = None;
-        for slot in &slots {
-            let p = pos_of(slot);
-            same_as_prev.push(prev.is_some_and(|q| {
-                Arc::ptr_eq(p, q) || q.as_ref().cmp(p.as_ref()) == Ordering::Equal
-            }));
-            times.push(p.time);
-            prev = Some(p);
-        }
-    }
-    let mut flat: Option<Arc<Pos>> = None;
-    for (k, slot) in slots.iter().enumerate() {
-        if flat.is_none() || !same_as_prev[k] {
+        if fresh {
             let idx = st.next_rank;
             st.next_rank = st.next_rank.checked_add(1).expect("rank space exhausted");
-            flat = Some(Arc::new(Pos {
-                time: times[k],
-                key: Key { parent: None, idx },
-            }));
+            twin = Some(Arc::new(Pos::new(pos.time, Key { parent: None, idx })));
         }
-        let p = Arc::clone(flat.as_ref().expect("just set"));
-        match *slot {
-            Slot::Parent(s, i) => heaps[s][i].key.parent = Some(p),
-            Slot::Arrival(i) => st.arrivals[i].pos = p,
-            Slot::Delta(i) => st.deltas[i].pos = p,
-        }
-    }
-    for (m, evs) in sims.iter().zip(heaps) {
-        let mut sim = m.lock().expect("shard sim");
-        let sh = sim.shard.as_mut().expect("shard ctx");
-        sh.heap = evs.into_iter().map(Reverse).collect();
+        pos.flat
+            .set(Arc::clone(twin.as_ref().expect("just set")))
+            .expect("position minted once");
+        prev = Some(pos);
     }
 }
 
 /// Resolves the in-flight barrier episode once all processors have
 /// arrived and the pre-barrier stores have drained, reproducing the
-/// sequential release time, stall attribution, and release-event keys.
+/// sequential release time and the trigger the release-event keys hang
+/// off. The returned plan is applied by each shard for its own
+/// processors at the start of the next round.
 fn try_release(
-    sims: &[Mutex<Simulator>],
-    shard_of: &[u32],
+    procs: usize,
     config: &MachineConfig,
     st: &mut LeaderState,
-) {
-    let procs = shard_of.len();
+) -> Option<ReleasePlan> {
     if st.arrivals.len() < procs {
-        return;
+        return None;
     }
     debug_assert_eq!(st.arrivals.len(), procs, "one arrival per processor");
     let max_arrival = st.arrivals.iter().map(|a| a.arrive).max().expect("nonempty");
@@ -711,7 +1138,7 @@ fn try_release(
         inflight += d.delta;
         cut += 1;
     }
-    let (release, trigger_pos, base) = if inflight == 0 {
+    let (release, trigger, base) = if inflight == 0 {
         (max_arrival + config.barrier_cycles, arr_pos, trig_base)
     } else {
         // Stores still in flight at the rendezvous: walk the remaining
@@ -726,9 +1153,7 @@ fn try_release(
                 break;
             }
         }
-        let Some(i) = found else {
-            return; // drains still crossing; resolve in a later round
-        };
+        let i = found?; // drains still crossing; resolve in a later round
         let d = &st.deltas[i];
         cut = i + 1;
         (
@@ -748,32 +1173,17 @@ fn try_release(
         arrive_of[a.proc as usize] = a.arrive;
     }
     st.arrivals.clear();
-    for (sid, m) in sims.iter().enumerate() {
-        let mut sim = m.lock().expect("shard sim");
-        for pi in 0..procs {
-            if shard_of[pi] as usize != sid {
-                continue;
-            }
-            sim.stalls.barrier += release - arrive_of[pi];
-            let start = sim.procs[pi].time;
-            sim.metrics.per_proc[pi].barrier += release - start;
-            sim.procs[pi].time = release;
-            sim.metrics.work.events_scheduled += 1;
-            let key = Key {
-                parent: Some(Arc::clone(&trigger_pos)),
-                idx: base + pi as u32,
-            };
-            sim.shard.as_mut().expect("shard ctx").heap.push(Reverse(ShardEvent {
-                time: release,
-                key,
-                event: Event::Run(pi as u32),
-            }));
-        }
-    }
+    Some(ReleasePlan {
+        release,
+        trigger,
+        base,
+        arrive_of,
+    })
 }
 
 /// Assembles the final [`SimResult`] from the per-shard simulators:
-/// per-processor state from owners, memory by home, counters by sum.
+/// per-processor state from owners, memory by home, counters by sum,
+/// plus the per-shard breakdown.
 fn merge(
     sims: &mut [Simulator],
     shard_of: &[u32],
@@ -804,7 +1214,8 @@ fn merge(
     let mut stalls = StallStats::default();
     let mut work = SimWork::default();
     let mut latency = LatencyHistogram::new();
-    for sim in sims.iter() {
+    let mut shards: Vec<ShardStats> = Vec::with_capacity(sims.len());
+    for (sid, sim) in sims.iter().enumerate() {
         let n = &sim.net;
         net.get_requests += n.get_requests;
         net.get_replies += n.get_replies;
@@ -845,10 +1256,21 @@ fn merge(
         let sh = sim.shard.as_ref().expect("shard ctx");
         work.shard_cross_messages += sh.cross_messages;
         work.shard_idle_windows += sh.idle_windows;
+        work.shard_mailbox_drains += sh.published_batches;
+        work.shard_parallel_drains += sh.drained_events;
+        work.shard_parallel_flattens += sh.flattened_parents;
+        shards.push(ShardStats {
+            procs: shard_of.iter().filter(|&&o| o as usize == sid).count() as u32,
+            events: w.events_dequeued,
+            drained: sh.drained_events,
+            flattened: sh.flattened_parents,
+            cross_messages: sh.cross_messages,
+            idle_windows: sh.idle_windows,
+        });
     }
     net.barriers += st.episodes.len() as u64;
     work.shard_horizon_advances = st.horizon_advances;
-    work.shard_mailbox_drains = st.mailbox_drains;
+    work.shard_leader_merge_steps = st.merge_steps;
     work.hash_lookups = 0;
 
     let memory = if outputs.memory {
@@ -883,6 +1305,7 @@ fn merge(
             latency,
             barrier_epochs: st.episodes,
             work,
+            shards,
         },
         barrier_seqs,
     }
@@ -908,28 +1331,79 @@ mod tests {
         }
     "#;
 
-    fn assert_matches_sequential(src: &str, procs: u32, shards: usize) {
+    fn assert_matches_sequential(src: &str, procs: u32, shards: usize, part: ShardPartition) {
         let cfg = lower_main(&prepare_program(src).unwrap()).unwrap();
         let config = MachineConfig::cm5(procs);
         let seq = simulate(&cfg, &config).unwrap();
-        let par = simulate_sharded(&cfg, &config, shards, SimOutputs::full()).unwrap();
-        assert_eq!(seq.exec_cycles, par.exec_cycles, "s={shards}");
-        assert_eq!(seq.proc_cycles, par.proc_cycles, "s={shards}");
-        assert_eq!(seq.net, par.net, "s={shards}");
-        assert_eq!(seq.stalls, par.stalls, "s={shards}");
-        assert_eq!(seq.memory, par.memory, "s={shards}");
+        let par =
+            simulate_sharded_with(&cfg, &config, shards, part, SimOutputs::full()).unwrap();
+        assert_eq!(seq.exec_cycles, par.exec_cycles, "s={shards} {part}");
+        assert_eq!(seq.proc_cycles, par.proc_cycles, "s={shards} {part}");
+        assert_eq!(seq.net, par.net, "s={shards} {part}");
+        assert_eq!(seq.stalls, par.stalls, "s={shards} {part}");
+        assert_eq!(seq.memory, par.memory, "s={shards} {part}");
         assert_eq!(seq.barriers_aligned, par.barriers_aligned);
         assert_eq!(seq.barrier_seqs, par.barrier_seqs);
-        assert_eq!(seq.metrics.per_proc, par.metrics.per_proc, "s={shards}");
-        assert_eq!(seq.metrics.latency, par.metrics.latency, "s={shards}");
+        assert_eq!(seq.metrics.per_proc, par.metrics.per_proc, "s={shards} {part}");
+        assert_eq!(seq.metrics.latency, par.metrics.latency, "s={shards} {part}");
         assert_eq!(seq.metrics.barrier_epochs, par.metrics.barrier_epochs);
     }
 
     #[test]
     fn sharded_matches_sequential_on_mixed_workload() {
         for shards in [1, 2, 3, 4, 8] {
-            assert_matches_sequential(MIXED_SRC, 8, shards);
+            assert_matches_sequential(MIXED_SRC, 8, shards, ShardPartition::Block);
         }
+    }
+
+    #[test]
+    fn sharded_matches_sequential_under_all_partitions() {
+        for part in ShardPartition::ALL {
+            for shards in [2, 3, 4] {
+                assert_matches_sequential(MIXED_SRC, 8, shards, part);
+            }
+        }
+    }
+
+    #[test]
+    fn partition_maps_are_valid_and_deterministic() {
+        let cfg = lower_main(&prepare_program(MIXED_SRC).unwrap()).unwrap();
+        for part in ShardPartition::ALL {
+            for (procs, s) in [(8u32, 4usize), (13, 4), (16, 3), (4, 8)] {
+                let s = s.min(procs as usize);
+                let map = partition_map(&cfg, procs, s, part);
+                assert_eq!(map.len(), procs as usize, "{part} p{procs} s{s}");
+                assert!(map.iter().all(|&o| (o as usize) < s), "{part} p{procs} s{s}");
+                assert_eq!(map, partition_map(&cfg, procs, s, part), "{part} deterministic");
+            }
+        }
+        // Cyclic is round-robin; Block is contiguous.
+        assert_eq!(partition_map(&cfg, 4, 2, ShardPartition::Cyclic), [0, 1, 0, 1]);
+        assert_eq!(partition_map(&cfg, 4, 2, ShardPartition::Block), [0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn profiled_partition_spreads_hot_homes() {
+        // All scalar/flag/lock homes land on processors 0..3 (round-robin),
+        // and every processor hammers them: a block partition of 8 procs
+        // into 4 shards puts all four hot homes in shards 0-1, while the
+        // profiled partition must spread them across shards.
+        let src = r#"
+            shared int X; shared int Y; flag F; lock l;
+            fn main() {
+                lock l; X = X + 1; Y = Y + MYPROC; unlock l;
+                if (MYPROC == 0) { post F; } else { wait F; }
+                barrier;
+            }
+        "#;
+        let cfg = lower_main(&prepare_program(src).unwrap()).unwrap();
+        let map = partition_map(&cfg, 8, 4, ShardPartition::Profiled);
+        let hot_shards: std::collections::HashSet<u32> =
+            (0..4).map(|p| map[p as usize]).collect();
+        assert!(
+            hot_shards.len() > 2,
+            "hot homes 0..3 should spread across shards, got map {map:?}"
+        );
     }
 
     #[test]
@@ -956,12 +1430,16 @@ mod tests {
         );
         let config = MachineConfig::cm5(8);
         let seq = simulate(&opt.cfg, &config).unwrap();
-        for shards in [2, 4, 8] {
-            let par = simulate_sharded(&opt.cfg, &config, shards, SimOutputs::full()).unwrap();
-            assert_eq!(seq.exec_cycles, par.exec_cycles, "s={shards}");
-            assert_eq!(seq.memory, par.memory, "s={shards}");
-            assert_eq!(seq.metrics.per_proc, par.metrics.per_proc, "s={shards}");
-            assert_eq!(seq.metrics.barrier_epochs, par.metrics.barrier_epochs);
+        for part in ShardPartition::ALL {
+            for shards in [2, 4, 8] {
+                let par =
+                    simulate_sharded_with(&opt.cfg, &config, shards, part, SimOutputs::full())
+                        .unwrap();
+                assert_eq!(seq.exec_cycles, par.exec_cycles, "s={shards} {part}");
+                assert_eq!(seq.memory, par.memory, "s={shards} {part}");
+                assert_eq!(seq.metrics.per_proc, par.metrics.per_proc, "s={shards} {part}");
+                assert_eq!(seq.metrics.barrier_epochs, par.metrics.barrier_epochs);
+            }
         }
     }
 
@@ -986,11 +1464,28 @@ mod tests {
         assert!(w.shard_horizon_advances > 0, "windows must advance");
         assert!(w.shard_cross_messages > 0, "remote traffic must cross shards");
         assert!(w.shard_mailbox_drains > 0, "mailboxes must drain");
+        assert!(w.shard_leader_merge_steps > 0, "leader must rank positions");
+        assert_eq!(
+            w.shard_parallel_drains, w.shard_cross_messages,
+            "every cross message is drained by its owner exactly once"
+        );
         assert_eq!(w.hash_lookups, 0);
+        // The per-shard breakdown covers the whole run.
+        assert_eq!(par.metrics.shards.len(), 4);
+        assert_eq!(
+            par.metrics.shards.iter().map(|s| s.events).sum::<u64>(),
+            w.events_dequeued
+        );
+        assert_eq!(
+            par.metrics.shards.iter().map(|s| s.procs).sum::<u32>(),
+            8
+        );
+        assert!(par.metrics.shard_imbalance_permille().unwrap() >= 1000);
         // Sequential runs report no shard machinery at all.
         let seq = simulate(&cfg, &config).unwrap();
         assert_eq!(seq.metrics.work.shard_horizon_advances, 0);
         assert_eq!(seq.metrics.work.shard_cross_messages, 0);
+        assert!(seq.metrics.shards.is_empty());
     }
 
     #[test]
@@ -1023,5 +1518,40 @@ mod tests {
             assert_eq!(r.exec_cycles, 0);
             assert_eq!(r.proc_cycles, vec![0; 2]);
         }
+    }
+
+    #[test]
+    fn index_eval_resolves_spmd_patterns() {
+        use syncopt_ir::ids::VarId;
+        // MYPROC * 4 + 1 with MYPROC = 3 -> 13.
+        let e = Expr::Binary {
+            op: BinOp::Add,
+            lhs: Box::new(Expr::Binary {
+                op: BinOp::Mul,
+                lhs: Box::new(Expr::MyProc),
+                rhs: Box::new(Expr::Int(4)),
+            }),
+            rhs: Box::new(Expr::Int(1)),
+        };
+        assert_eq!(eval_index(&e, 3, 8, None), Some(13));
+        // An unknown local without a binding is unresolvable...
+        let q = VarId::from_index(0);
+        let loopy = Expr::Binary {
+            op: BinOp::Mul,
+            lhs: Box::new(Expr::Local(q)),
+            rhs: Box::new(Expr::Procs),
+        };
+        assert_eq!(eval_index(&loopy, 0, 8, None), None);
+        // ...but sampling spreads it across the processor range.
+        let samples = index_samples(Some(&loopy), 0, 8);
+        assert!(samples.len() > 1, "loop variable must be sampled: {samples:?}");
+        // Negative and dividing-by-zero indexes produce no samples.
+        assert_eq!(eval_index(&Expr::Int(-1), 0, 8, None), None);
+        let div0 = Expr::Binary {
+            op: BinOp::Div,
+            lhs: Box::new(Expr::Int(1)),
+            rhs: Box::new(Expr::Int(0)),
+        };
+        assert_eq!(eval_index(&div0, 0, 8, None), None);
     }
 }

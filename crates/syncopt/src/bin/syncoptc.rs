@@ -6,10 +6,13 @@
 //! syncoptc opt <file> [--procs N] [--level L] [--delay D] [--dump]
 //!     optimize and (with --dump) print the target CFG
 //! syncoptc run <file> [--procs N] [--machine M] [--level L] [--delay D]
-//!          [--sim-shards S]
+//!          [--sim-shards S] [--sim-partition P]
 //!     simulate and report cycles, messages, stalls, final memory;
 //!     --sim-shards > 1 runs the conservative parallel engine, which is
-//!     bit-identical to the sequential reference at any shard count
+//!     bit-identical to the sequential reference at any shard count;
+//!     --sim-partition picks the processor-to-shard assignment
+//!     (P ∈ block|cyclic|profiled, default block) — results are
+//!     bit-identical under every strategy, only load balance changes
 //! syncoptc trace <file> [--procs N] [--machine M] [--level L] [--delay D]
 //!          [--trace-limit N] [--out PATH]
 //!     simulate with the structured timeline on and emit Chrome Trace
@@ -84,7 +87,7 @@ use std::process::ExitCode;
 use syncopt::commands::{execute, parse_delay, parse_level, CmdOut, Format, Query};
 use syncopt::core::diag::json;
 use syncopt::session::AnalysisSession;
-use syncopt::{DelayChoice, OptLevel};
+use syncopt::{DelayChoice, OptLevel, ShardPartition};
 
 struct Args {
     command: String,
@@ -102,6 +105,7 @@ struct Args {
     emit_report: Option<String>,
     threads: usize,
     sim_shards: usize,
+    sim_partition: ShardPartition,
     smoke: bool,
     suite: String,
     out: Option<String>,
@@ -139,6 +143,7 @@ fn parse_args() -> Result<Args, String> {
         emit_report: None,
         threads: 1,
         sim_shards: 1,
+        sim_partition: ShardPartition::Block,
         smoke: false,
         suite: "delay".to_string(),
         out: None,
@@ -199,6 +204,14 @@ fn parse_args() -> Result<Args, String> {
                     .ok_or("--sim-shards needs a value")?
                     .parse()
                     .map_err(|e| format!("bad --sim-shards: {e}"))?;
+            }
+            "--sim-partition" => {
+                let label = argv
+                    .next()
+                    .ok_or("--sim-partition needs a value (block|cyclic|profiled)")?;
+                args.sim_partition = ShardPartition::from_label(&label).ok_or_else(|| {
+                    format!("unknown partition strategy `{label}` (block|cyclic|profiled)")
+                })?;
             }
             "--smoke" => args.smoke = true,
             "--suite" => {
@@ -347,6 +360,7 @@ fn real_main() -> Result<(), String> {
         emit_report: args.emit_report.clone(),
         threads: args.threads,
         sim_shards: args.sim_shards,
+        sim_partition: args.sim_partition,
         out: args.out.clone(),
         trace_limit: args.trace_limit,
         pair: args.pair,

@@ -22,7 +22,7 @@ use syncopt_core::diag::{json, sort_diagnostics, Diagnostic, Severity};
 use syncopt_core::races::{race_diagnostics, RaceAnalysis};
 use syncopt_core::LINT_SCHEMA;
 use syncopt_machine::litmus::{sc_outcomes, weak_outcomes, Outcome};
-use syncopt_machine::MachineConfig;
+use syncopt_machine::{MachineConfig, ShardPartition};
 
 /// Schema identifier of the `check` JSON document.
 pub const CHECK_SCHEMA: &str = "syncopt.check.v1";
@@ -135,6 +135,10 @@ pub struct Query {
     /// parallel engine (observable results identical for any value;
     /// rejected by `trace` above 1).
     pub sim_shards: usize,
+    /// `run --sim-partition STRAT`: processor-to-shard assignment for
+    /// the sharded engine (observable results identical for any
+    /// strategy; rejected by `trace` when not the default `block`).
+    pub sim_partition: ShardPartition,
     /// `trace --out PATH`: produce the Chrome-trace JSON as a file
     /// artifact.
     pub out: Option<String>,
@@ -169,6 +173,7 @@ impl Default for Query {
             emit_report: None,
             threads: 1,
             sim_shards: 1,
+            sim_partition: ShardPartition::Block,
             out: None,
             trace_limit: None,
             pair: None,
@@ -257,6 +262,7 @@ fn session_options(q: &Query, level: OptLevel) -> SessionOptions {
         trace_limit: q.trace_limit.unwrap_or(DEFAULT_TRACE_LIMIT),
         threads: q.threads,
         sim_shards: q.sim_shards,
+        sim_partition: q.sim_partition,
     }
 }
 
@@ -511,6 +517,15 @@ fn cmd_trace(session: &mut AnalysisSession, src: &str, q: &Query) -> CmdOut {
              does not record (got --sim-shards {}; rerun with --sim-shards 1 \
              or drop the flag)",
             q.sim_shards
+        ));
+    }
+    if q.sim_partition != ShardPartition::Block {
+        return CmdOut::fail(format!(
+            "trace requires the sequential engine: partition strategies only \
+             affect the sharded engine, which records no event trace (got \
+             --sim-partition {}; rerun with --sim-partition block or drop \
+             the flag)",
+            q.sim_partition.label()
         ));
     }
     let config = match machine_config(&q.machine, q.procs) {

@@ -56,7 +56,7 @@ pub use report::{PipelineReport, ProfileReport, ReportMeta, SimReport};
 pub use session::{AnalysisSession, SessionOptions};
 pub use syncopt_codegen::{DelayChoice, OptLevel, OptStats, Optimized};
 pub use syncopt_core::{Analysis, AnalysisStats, CacheStats, DelaySet};
-pub use syncopt_machine::{MachineConfig, SimResult};
+pub use syncopt_machine::{MachineConfig, ShardPartition, SimResult};
 pub use trace_export::{chrome_trace, verify_span_accounting, TRACE_SCHEMA};
 
 /// Optimization stage (split-phase codegen and communication passes).
@@ -189,6 +189,7 @@ pub struct Syncopt<'a> {
     trace_limit: usize,
     threads: usize,
     sim_shards: usize,
+    sim_partition: ShardPartition,
 }
 
 impl<'a> Syncopt<'a> {
@@ -203,6 +204,7 @@ impl<'a> Syncopt<'a> {
             trace_limit: DEFAULT_TRACE_LIMIT,
             threads: 1,
             sim_shards: 1,
+            sim_partition: ShardPartition::Block,
         }
     }
 
@@ -267,6 +269,16 @@ impl<'a> Syncopt<'a> {
         self
     }
 
+    /// Sets the processor-to-shard assignment strategy for sharded runs
+    /// (default [`ShardPartition::Block`]; inert at one shard). Results
+    /// are bit-identical under every strategy — only the per-shard load
+    /// balance changes. Incompatible with [`TraceLevel::Events`].
+    #[must_use]
+    pub fn sim_partition(mut self, partition: ShardPartition) -> Self {
+        self.sim_partition = partition;
+        self
+    }
+
     /// Parses, checks, lowers, analyzes, and optimizes the program.
     ///
     /// # Errors
@@ -288,6 +300,7 @@ impl<'a> Syncopt<'a> {
             trace_limit: self.trace_limit,
             threads: self.threads,
             sim_shards: self.sim_shards,
+            sim_partition: self.sim_partition,
         }
     }
 

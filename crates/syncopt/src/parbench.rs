@@ -5,8 +5,10 @@
 //! small machine sizes, this suite scales the five evaluation kernels to
 //! large simulated machines — 64, 256, and 1024 processors — and runs
 //! each through the sharded conservative engine
-//! ([`simulate_sharded`]) at 1, 2, 4,
-//! and 8 shards. Every sharded run is compared against the calendar
+//! ([`simulate_sharded_with`]) at 1, 2, 4,
+//! and 8 shards (Block partition), with a Profiled-partition rider at 4
+//! shards tracking the traffic-aware strategy's per-shard load balance.
+//! Every sharded run is compared against the calendar
 //! engine on the same compiled program: the two must agree on every
 //! simulation observable (execution time, per-processor cycle accounts,
 //! network traffic, stall breakdown) or the bench errors out, so a full
@@ -34,7 +36,8 @@ use syncopt_core::diag::json::Value;
 use syncopt_core::Counters;
 use syncopt_kernels::{kernels_with, KernelParams};
 use syncopt_machine::{
-    simulate_configured, simulate_sharded, EngineKind, MachineConfig, SimError, SimOutputs,
+    simulate_configured, simulate_sharded_with, EngineKind, MachineConfig, ShardPartition,
+    SimError, SimOutputs,
 };
 
 use crate::bench::{gate_counters_against, BENCH_SCHEMA};
@@ -72,6 +75,16 @@ impl ParSweepGroup {
     /// (`ocean_p64_s4`) — the baseline join key.
     pub fn id(&self, shards: usize) -> String {
         format!("{}_p{}_s{}", self.kernel.to_lowercase(), self.procs, shards)
+    }
+
+    /// Config id for a non-default partition strategy
+    /// (`ocean_p64_s4_profiled`); the default Block strategy keeps the
+    /// bare [`ParSweepGroup::id`] so old baselines keep joining.
+    pub fn partition_id(&self, shards: usize, partition: ShardPartition) -> String {
+        match partition {
+            ShardPartition::Block => self.id(shards),
+            other => format!("{}_{}", self.id(shards), other.label()),
+        }
     }
 }
 
@@ -120,12 +133,24 @@ pub struct ParBenchConfigResult {
     pub procs: u32,
     /// Shard count the run was partitioned across.
     pub shards: usize,
+    /// Processor-to-shard assignment strategy.
+    pub partition: ShardPartition,
     /// Simulated execution time in machine cycles (identical across
-    /// engines and shard counts by construction).
+    /// engines, shard counts, and partition strategies by construction).
     pub exec_cycles: u64,
     /// Sharded-engine simulation wall time, rounded up per
     /// [`wall_bucket_for`] (nondeterministic; excluded from the gate).
     pub wall_bucket_us: u64,
+    /// Raw sharded-engine wall time in microseconds (nondeterministic;
+    /// excluded from the gate, reported for speedup math).
+    pub wall_us: u64,
+    /// Self-relative wall-clock speedup over this group's single-shard
+    /// run, times 1000 (1000 = parity; nondeterministic; excluded from
+    /// the gate but sanity-checked on multi-core hosts).
+    pub speedup_milli: u64,
+    /// Per-shard event-load imbalance, max/mean × 1000 (1000 = perfectly
+    /// balanced; deterministic for a given partition strategy).
+    pub imbalance_permille: u64,
     /// `sim.*` counters from the sharded engine plus the calendar
     /// engine's event count (`cal.events_dequeued`) as the sequential
     /// reference column.
@@ -139,9 +164,18 @@ pub struct ParBenchReport {
     pub threads: usize,
     /// Whether this was the CI smoke subset.
     pub smoke: bool,
+    /// Host hardware parallelism at measurement time. Wall-clock speedup
+    /// claims are only meaningful when this is ≥ 2 — shard workers are
+    /// real OS threads, and a single core serializes them.
+    pub host_cpus: usize,
     /// Per-configuration results, in sweep order (independent of
     /// `threads`).
     pub configs: Vec<ParBenchConfigResult>,
+}
+
+/// Host hardware parallelism, as reported by the OS (1 when unknown).
+pub fn host_cpus() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 /// Runs the parallel-simulation sweep (or the CI smoke subset), fanning
@@ -186,6 +220,7 @@ pub fn run_par_bench(smoke: bool, threads: usize) -> Result<ParBenchReport, Sync
     Ok(ParBenchReport {
         threads: workers,
         smoke,
+        host_cpus: host_cpus(),
         configs,
     })
 }
@@ -209,23 +244,46 @@ fn run_group(group: &ParSweepGroup) -> Result<Vec<ParBenchConfigResult>, Syncopt
         SimOutputs::lean(),
     )?;
 
-    let mut out = Vec::with_capacity(group.shards.len());
-    for &shards in group.shards {
+    // Block partition at every shard count of the group, plus a Profiled
+    // rider at 4 shards (when the group includes it) to track how the
+    // traffic-aware strategy shifts per-shard load.
+    let mut runs: Vec<(usize, ShardPartition)> = group
+        .shards
+        .iter()
+        .map(|&s| (s, ShardPartition::Block))
+        .collect();
+    if group.shards.contains(&4) {
+        runs.push((4, ShardPartition::Profiled));
+    }
+
+    let mut out = Vec::with_capacity(runs.len());
+    let mut wall_s1 = None;
+    for (shards, partition) in runs {
+        let id = group.partition_id(shards, partition);
         let start = std::time::Instant::now();
-        let sharded = simulate_sharded(&compiled.optimized.cfg, &config, shards, SimOutputs::lean())?;
-        let wall_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let sharded = simulate_sharded_with(
+            &compiled.optimized.cfg,
+            &config,
+            shards,
+            partition,
+            SimOutputs::lean(),
+        )?;
+        let wall_us = u64::try_from(start.elapsed().as_micros())
+            .unwrap_or(u64::MAX)
+            .max(1);
         if sharded.exec_cycles != calendar.exec_cycles
             || sharded.proc_cycles != calendar.proc_cycles
             || sharded.net != calendar.net
             || sharded.stalls != calendar.stalls
         {
             return Err(SyncoptError::Sim(SimError::new(format!(
-                "sharded engine diverged on {}: {} cycles at {shards} shard(s) \
-                 vs calendar {}",
-                group.id(shards),
-                sharded.exec_cycles,
-                calendar.exec_cycles
+                "sharded engine diverged on {id}: {} cycles at {shards} \
+                 shard(s) vs calendar {}",
+                sharded.exec_cycles, calendar.exec_cycles
             ))));
+        }
+        if shards == 1 && partition == ShardPartition::Block {
+            wall_s1 = Some(wall_us);
         }
 
         let mut counters = Counters::default();
@@ -236,6 +294,9 @@ fn run_group(group: &ParSweepGroup) -> Result<Vec<ParBenchConfigResult>, Syncopt
         counters.set("sim.shard_cross_messages", w.shard_cross_messages);
         counters.set("sim.shard_mailbox_drains", w.shard_mailbox_drains);
         counters.set("sim.shard_idle_windows", w.shard_idle_windows);
+        counters.set("sim.shard_leader_merge_steps", w.shard_leader_merge_steps);
+        counters.set("sim.shard_parallel_drains", w.shard_parallel_drains);
+        counters.set("sim.shard_parallel_flattens", w.shard_parallel_flattens);
         counters.set(
             "sim.events_per_1k_cycles",
             w.events_per_1k_cycles(sharded.exec_cycles),
@@ -243,12 +304,16 @@ fn run_group(group: &ParSweepGroup) -> Result<Vec<ParBenchConfigResult>, Syncopt
         counters.set("cal.events_dequeued", calendar.metrics.work.events_dequeued);
 
         out.push(ParBenchConfigResult {
-            id: group.id(shards),
+            id,
             kernel: group.kernel,
             procs: group.procs,
             shards,
+            partition,
             exec_cycles: sharded.exec_cycles,
             wall_bucket_us: wall_bucket_for(group.procs, wall_us),
+            wall_us,
+            speedup_milli: wall_s1.map_or(0, |s1: u64| s1.saturating_mul(1000) / wall_us),
+            imbalance_permille: sharded.metrics.shard_imbalance_permille().unwrap_or(1000),
             counters,
         });
     }
@@ -268,10 +333,23 @@ impl ParBenchReport {
                     ("kernel".to_string(), Value::Str(c.kernel.to_string())),
                     ("procs".to_string(), Value::Int(i64::from(c.procs))),
                     ("shards".to_string(), Value::Int(c.shards as i64)),
+                    (
+                        "partition".to_string(),
+                        Value::Str(c.partition.label().to_string()),
+                    ),
                     ("exec_cycles".to_string(), Value::Int(c.exec_cycles as i64)),
                     (
                         "wall_bucket_us".to_string(),
                         Value::Int(c.wall_bucket_us as i64),
+                    ),
+                    ("wall_us".to_string(), Value::Int(c.wall_us as i64)),
+                    (
+                        "speedup_milli".to_string(),
+                        Value::Int(c.speedup_milli as i64),
+                    ),
+                    (
+                        "imbalance_permille".to_string(),
+                        Value::Int(c.imbalance_permille as i64),
                     ),
                     ("counters".to_string(), c.counters.to_json()),
                 ])
@@ -282,6 +360,7 @@ impl ParBenchReport {
             ("suite".to_string(), Value::Str("sim_parallel".to_string())),
             ("threads".to_string(), Value::Int(self.threads as i64)),
             ("smoke".to_string(), Value::Bool(self.smoke)),
+            ("host_cpus".to_string(), Value::Int(self.host_cpus as i64)),
             ("configs".to_string(), Value::Arr(configs)),
         ])
     }
@@ -290,18 +369,29 @@ impl ParBenchReport {
     pub fn render_table(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "parallel simulation sweep ({} configs, {} thread(s){})\n",
+            "parallel simulation sweep ({} configs, {} thread(s), {} host \
+             cpu(s){})\n",
             self.configs.len(),
             self.threads.max(1),
+            self.host_cpus,
             if self.smoke { ", smoke subset" } else { "" },
         ));
         out.push_str(&format!(
-            "{:<20} {:>12} {:>9} {:>9} {:>8} {:>8} {:>8} {:>9}\n",
-            "config", "cycles", "events", "x-shard", "drains", "windows", "idle", "wall(us)"
+            "{:<29} {:>12} {:>9} {:>9} {:>8} {:>8} {:>8} {:>7} {:>7} {:>9}\n",
+            "config",
+            "cycles",
+            "events",
+            "x-shard",
+            "drains",
+            "windows",
+            "idle",
+            "imbal",
+            "spdup",
+            "wall(us)"
         ));
         for c in &self.configs {
             out.push_str(&format!(
-                "{:<20} {:>12} {:>9} {:>9} {:>8} {:>8} {:>8} {:>8}≤\n",
+                "{:<29} {:>12} {:>9} {:>9} {:>8} {:>8} {:>8} {:>2}.{:03} {:>3}.{:03} {:>8}≤\n",
                 c.id,
                 c.exec_cycles,
                 c.counters.get("sim.events_dequeued"),
@@ -309,6 +399,10 @@ impl ParBenchReport {
                 c.counters.get("sim.shard_mailbox_drains"),
                 c.counters.get("sim.shard_horizon_advances"),
                 c.counters.get("sim.shard_idle_windows"),
+                c.imbalance_permille / 1000,
+                c.imbalance_permille % 1000,
+                c.speedup_milli / 1000,
+                c.speedup_milli % 1000,
                 c.wall_bucket_us,
             ));
         }
@@ -330,7 +424,47 @@ impl ParBenchReport {
             .iter()
             .map(|c| (c.id.as_str(), &c.counters))
             .collect();
-        gate_counters_against(&pairs, baseline, &GATED_PAR_COUNTERS)
+        gate_counters_against(&pairs, baseline, &GATED_PAR_COUNTERS)?;
+        self.check_speedup()
+    }
+
+    /// Sanity-checks this run's own wall-clock numbers: on a multi-core
+    /// host, the sharded engine must not be *slower* than its one-shard
+    /// self at the largest machine sizes (Block partition, 4 shards,
+    /// ≥ 256 simulated processors — the configurations with enough work
+    /// per window to amortize round overheads). On a single-core host the
+    /// check is skipped: shard workers are real OS threads and one core
+    /// serializes them, so wall parity is not expected there.
+    fn check_speedup(&self) -> Result<(), String> {
+        if self.host_cpus < 2 {
+            return Ok(());
+        }
+        let mut failures = Vec::new();
+        for c in &self.configs {
+            if c.partition == ShardPartition::Block
+                && c.shards == 4
+                && c.procs >= 256
+                && c.speedup_milli < 1000
+            {
+                failures.push(format!(
+                    "{}: wall speedup {}.{:03}x < 1.0x vs its one-shard run \
+                     (wall {} us)",
+                    c.id,
+                    c.speedup_milli / 1000,
+                    c.speedup_milli % 1000,
+                    c.wall_us
+                ));
+            }
+        }
+        if failures.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "sharded engine shows no wall-clock speedup on a {}-cpu host:\n  {}",
+                self.host_cpus,
+                failures.join("\n  ")
+            ))
+        }
     }
 }
 
@@ -345,13 +479,17 @@ mod tests {
     #[test]
     fn smoke_run_is_bit_identical_across_shard_counts() {
         let r = smoke_report();
-        assert_eq!(r.configs.len(), 2);
+        assert_eq!(r.configs.len(), 3);
         assert_eq!(r.configs[0].id, "ocean_p64_s1");
         assert_eq!(r.configs[1].id, "ocean_p64_s4");
+        assert_eq!(r.configs[2].id, "ocean_p64_s4_profiled");
+        assert!(r.host_cpus >= 1);
         // run_group already errored if any observable diverged from the
-        // calendar engine; cycles must also agree across shard counts.
+        // calendar engine; cycles must also agree across shard counts
+        // and partition strategies.
         assert!(r.configs[0].exec_cycles > 0);
         assert_eq!(r.configs[0].exec_cycles, r.configs[1].exec_cycles);
+        assert_eq!(r.configs[0].exec_cycles, r.configs[2].exec_cycles);
         let single = &r.configs[0].counters;
         let sharded = &r.configs[1].counters;
         assert_eq!(single.get("sim.shard_cross_messages"), 0);
@@ -359,7 +497,13 @@ mod tests {
         assert!(single.get("sim.shard_horizon_advances") > 0);
         assert!(sharded.get("sim.shard_cross_messages") > 0);
         assert!(sharded.get("sim.shard_mailbox_drains") > 0);
+        assert!(sharded.get("sim.shard_leader_merge_steps") > 0);
         assert!(sharded.get("cal.events_dequeued") > 0);
+        // The speedup baseline is the one-shard run: parity by definition.
+        assert_eq!(r.configs[0].speedup_milli, 1000);
+        assert_eq!(r.configs[0].imbalance_permille, 1000);
+        assert!(r.configs[1].imbalance_permille >= 1000);
+        assert!(r.configs[2].imbalance_permille >= 1000);
     }
 
     #[test]

@@ -417,10 +417,51 @@ fn work_json(w: &SimWork, exec_cycles: u64) -> Value {
             Value::Int(w.shard_idle_windows as i64),
         ),
         (
+            "shard_leader_merge_steps".to_string(),
+            Value::Int(w.shard_leader_merge_steps as i64),
+        ),
+        (
+            "shard_parallel_drains".to_string(),
+            Value::Int(w.shard_parallel_drains as i64),
+        ),
+        (
+            "shard_parallel_flattens".to_string(),
+            Value::Int(w.shard_parallel_flattens as i64),
+        ),
+        (
             "events_per_1k_cycles".to_string(),
             Value::Int(w.events_per_1k_cycles(exec_cycles) as i64),
         ),
     ])
+}
+
+/// One flat object per shard — deliberately nesting-free so text tooling
+/// can strip the whole `"shards":[...]` array with a bracket-free regex.
+fn shards_json(sim: &SimReport) -> Value {
+    let shards = sim
+        .metrics
+        .shards
+        .iter()
+        .enumerate()
+        .map(|(si, s)| {
+            Value::Obj(vec![
+                ("shard".to_string(), Value::Int(si as i64)),
+                ("procs".to_string(), Value::Int(i64::from(s.procs))),
+                ("events".to_string(), Value::Int(s.events as i64)),
+                ("drained".to_string(), Value::Int(s.drained as i64)),
+                ("flattened".to_string(), Value::Int(s.flattened as i64)),
+                (
+                    "cross_messages".to_string(),
+                    Value::Int(s.cross_messages as i64),
+                ),
+                (
+                    "idle_windows".to_string(),
+                    Value::Int(s.idle_windows as i64),
+                ),
+            ])
+        })
+        .collect();
+    Value::Arr(shards)
 }
 
 fn sim_json(sim: &SimReport) -> Value {
@@ -487,6 +528,15 @@ fn sim_json(sim: &SimReport) -> Value {
             work_json(&sim.metrics.work, sim.exec_cycles),
         ),
     ];
+    if !sim.metrics.shards.is_empty() {
+        fields.push(("shards".to_string(), shards_json(sim)));
+        if let Some(imbalance) = sim.metrics.shard_imbalance_permille() {
+            fields.push((
+                "shard_imbalance_permille".to_string(),
+                Value::Int(imbalance as i64),
+            ));
+        }
+    }
     if let Some(truncated) = sim.trace_truncated {
         fields.push(("trace_truncated".to_string(), Value::Bool(truncated)));
     }
@@ -543,6 +593,29 @@ fn render_sim_table(out: &mut String, sim: &SimReport) {
                 w.shard_cross_messages,
                 w.shard_mailbox_drains,
                 w.shard_idle_windows,
+            ));
+            out.push_str(&format!(
+                "    leader: {} merge steps; workers: {} parallel drains, \
+                 {} parallel flattens\n",
+                w.shard_leader_merge_steps, w.shard_parallel_drains, w.shard_parallel_flattens,
+            ));
+        }
+    }
+    if !sim.metrics.shards.is_empty() {
+        out.push_str(
+            "    shard     procs     events    drained  flattened      cross       idle\n",
+        );
+        for (si, s) in sim.metrics.shards.iter().enumerate() {
+            out.push_str(&format!(
+                "    {si:>5} {:>9} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+                s.procs, s.events, s.drained, s.flattened, s.cross_messages, s.idle_windows
+            ));
+        }
+        if let Some(imbalance) = sim.metrics.shard_imbalance_permille() {
+            out.push_str(&format!(
+                "    load imbalance (max/mean events): {}.{:03}x\n",
+                imbalance / 1000,
+                imbalance % 1000
             ));
         }
     }

@@ -33,6 +33,7 @@ use crate::report::level_label;
 use syncopt_core::cache::CacheStats;
 use syncopt_core::diag::json::Value;
 use syncopt_core::obs::Counters;
+use syncopt_machine::ShardPartition;
 
 /// Protocol identifier carried by every request and response.
 pub const RPC_SCHEMA: &str = "syncopt.rpc.v1";
@@ -133,6 +134,11 @@ pub fn encode_query(q: &Query) -> Value {
     }
     field(&mut f, "threads", Value::Int(q.threads as i64));
     field(&mut f, "sim_shards", Value::Int(q.sim_shards as i64));
+    field(
+        &mut f,
+        "sim_partition",
+        Value::Str(q.sim_partition.label().to_string()),
+    );
     if let Some(path) = &q.out {
         field(&mut f, "out", Value::Str(path.clone()));
     }
@@ -239,6 +245,12 @@ pub fn decode_query(v: &Value) -> Result<Query, RpcError> {
             "sim_shards" => {
                 q.sim_shards = usize::try_from(expect_int(value, key)?)
                     .map_err(|_| RpcError::bad_request("`sim_shards` out of range"))?;
+            }
+            "sim_partition" => {
+                let label = expect_str(value, key)?;
+                q.sim_partition = ShardPartition::from_label(&label).ok_or_else(|| {
+                    RpcError::bad_request(format!("unknown partition strategy `{label}`"))
+                })?;
             }
             "out" => q.out = Some(expect_str(value, key)?),
             "trace_limit" => {
@@ -589,6 +601,7 @@ mod tests {
             deny: vec!["W001".to_string()],
             trace_limit: Some(512),
             sim_shards: 4,
+            sim_partition: ShardPartition::Profiled,
             ..Query::default()
         }
     }

@@ -30,12 +30,13 @@
 //! share an artifact with stale spans. Span-free artifacts (`analysis`,
 //! `sim` — both identify accesses by dense [`AccessId`]s) key on the
 //! canonical printed CFG, so formatting-only edits reuse the two most
-//! expensive phases outright. Worker-thread counts and simulation shard
-//! counts are deliberately **not** part of any key: analysis results are
-//! bit-identical for every thread count, and the sharded simulation
-//! engine is bit-identical to the sequential reference for every shard
-//! count — so a `sim` artifact computed at one shard count legitimately
-//! serves every other.
+//! expensive phases outright. Worker-thread counts, simulation shard
+//! counts, and shard partition strategies are deliberately **not** part
+//! of any key: analysis results are bit-identical for every thread
+//! count, and the sharded simulation engine is bit-identical to the
+//! sequential reference for every shard count and partition — so a `sim`
+//! artifact computed under one configuration legitimately serves every
+//! other.
 //!
 //! Caching never changes results, only the work needed to produce them:
 //! a warm query is byte-identical to a cold one.
@@ -76,7 +77,7 @@ use syncopt_frontend::typeck::ProgramContext;
 use syncopt_frontend::Program;
 use syncopt_ir::cfg::Cfg;
 use syncopt_ir::print::cfg_to_string;
-use syncopt_machine::{MachineConfig, Trace};
+use syncopt_machine::{MachineConfig, ShardPartition, Trace};
 
 /// Per-request pipeline knobs, mirroring the [`Syncopt`](crate::Syncopt)
 /// builder's configuration.
@@ -102,6 +103,10 @@ pub struct SessionOptions {
     /// the sharded engine is bit-identical to the sequential reference at
     /// every shard count, exactly like `threads`.
     pub sim_shards: usize,
+    /// Processor-to-shard assignment strategy for sharded runs (inert at
+    /// `sim_shards = 1`). Never part of a cache key: results are
+    /// bit-identical under every strategy, exactly like `sim_shards`.
+    pub sim_partition: ShardPartition,
 }
 
 impl Default for SessionOptions {
@@ -114,6 +119,7 @@ impl Default for SessionOptions {
             trace_limit: DEFAULT_TRACE_LIMIT,
             threads: 1,
             sim_shards: 1,
+            sim_partition: ShardPartition::Block,
         }
     }
 }
@@ -354,6 +360,12 @@ impl AnalysisSession {
                          rerun with sim_shards = 1 (--sim-shards 1)",
                     ));
                 }
+                if opts.sim_partition != ShardPartition::Block {
+                    return Err(syncopt_machine::SimError::new(
+                        "event tracing requires the sequential engine; \
+                         rerun with the default partition (--sim-partition block)",
+                    ));
+                }
                 // Traces are request-scoped observability, not artifacts:
                 // always simulate fresh so the trace matches this run.
                 syncopt_machine::simulate_traced(&compiled.optimized.cfg, config, opts.trace_limit)
@@ -372,10 +384,11 @@ impl AnalysisSession {
                 ]);
                 cache
                     .get_or_try("sim", key, || {
-                        syncopt_machine::simulate_sharded(
+                        syncopt_machine::simulate_sharded_with(
                             &compiled.optimized.cfg,
                             config,
                             opts.sim_shards,
+                            opts.sim_partition,
                             syncopt_machine::SimOutputs::full(),
                         )
                     })

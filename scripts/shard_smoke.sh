@@ -4,11 +4,14 @@
 # Usage: scripts/shard_smoke.sh SYNCOPTC_BIN
 #
 # Runs one small kernel through `syncoptc run` at --sim-shards 1 and
-# --sim-shards 4 and byte-compares the full JSON pipeline reports after
-# stripping the `sim.work` engine-counter object — the only surface the
-# bit-identity contract excludes (the sharded engine schedules horizon
-# control events and never rotates calendar buckets, so its work
-# counters legitimately differ). Everything else — exec_cycles, network
+# --sim-shards 4, and at --sim-shards 4 under the block vs profiled
+# partition strategies, and byte-compares the full JSON pipeline reports
+# after stripping the `sim.work` engine-counter object plus the
+# per-shard `shards` breakdown and its imbalance summary — the only
+# surfaces the bit-identity contract excludes (the sharded engine
+# schedules horizon control events and never rotates calendar buckets,
+# and *where* each processor lives legitimately shifts per-shard load
+# and cross-shard traffic). Everything else — exec_cycles, network
 # totals, stall breakdown, per-processor accounting, barrier epochs,
 # latency histograms — must match byte for byte. A shard-determinism
 # regression therefore fails here in seconds, without waiting for the
@@ -25,9 +28,14 @@ fi
 TMPDIR_SMOKE="$(mktemp -d)"
 trap 'rm -rf "$TMPDIR_SMOKE"' EXIT
 
-# Drop the engine-counter object; everything else is contract surface.
+# Drop the engine-counter object and the per-shard breakdown (the
+# `shards` array holds flat objects only, so a bracket regex suffices);
+# everything else is contract surface.
 strip_work() {
-    sed -E 's/"work":\{[^}]*\}//g' "$1" > "$2"
+    sed -E -e 's/"work":\{[^}]*\}//g' \
+           -e 's/,"shards":\[[^]]*\]//g' \
+           -e 's/,"shard_imbalance_permille":[0-9]+//g' \
+           "$1" > "$2"
 }
 
 for prog in stencil figure1; do
@@ -43,5 +51,18 @@ for prog in stencil figure1; do
         exit 1
     fi
 done
+
+echo "== partition byte-compare programs/stencil.ms (block vs profiled, 4 shards) =="
+"$BIN" run programs/stencil.ms --procs 8 --sim-shards 4 --sim-partition block \
+    --format json > "$TMPDIR_SMOKE/stencil.block.json"
+"$BIN" run programs/stencil.ms --procs 8 --sim-shards 4 --sim-partition profiled \
+    --format json > "$TMPDIR_SMOKE/stencil.profiled.json"
+strip_work "$TMPDIR_SMOKE/stencil.block.json" "$TMPDIR_SMOKE/stencil.block.stripped"
+strip_work "$TMPDIR_SMOKE/stencil.profiled.json" "$TMPDIR_SMOKE/stencil.profiled.stripped"
+if ! cmp -s "$TMPDIR_SMOKE/stencil.block.stripped" "$TMPDIR_SMOKE/stencil.profiled.stripped"; then
+    echo "shard_smoke: stencil diverges between --sim-partition block and profiled:" >&2
+    diff "$TMPDIR_SMOKE/stencil.block.stripped" "$TMPDIR_SMOKE/stencil.profiled.stripped" >&2 || true
+    exit 1
+fi
 
 echo "shard_smoke: sharded runs byte-identical outside engine counters"

@@ -118,6 +118,60 @@ fn trace_rejects_sharded_engine() {
 }
 
 #[test]
+fn trace_rejects_non_default_partition() {
+    let (ok, _, stderr) = syncoptc(&[
+        "trace",
+        "programs/postwait.ms",
+        "--procs",
+        "2",
+        "--sim-partition",
+        "profiled",
+    ]);
+    assert!(!ok, "trace must reject --sim-partition != block");
+    assert!(
+        stderr.contains("trace requires the sequential engine"),
+        "{stderr}"
+    );
+    assert!(stderr.contains("--sim-partition profiled"), "{stderr}");
+}
+
+#[test]
+fn run_partition_strategies_match_sequential_output() {
+    let (ok, sequential, stderr) = syncoptc(&["run", "programs/stencil.ms", "--procs", "8"]);
+    assert!(ok, "{stderr}");
+    for partition in ["block", "cyclic", "profiled"] {
+        let (ok, sharded, stderr) = syncoptc(&[
+            "run",
+            "programs/stencil.ms",
+            "--procs",
+            "8",
+            "--sim-shards",
+            "4",
+            "--sim-partition",
+            partition,
+        ]);
+        assert!(ok, "{partition}: {stderr}");
+        assert_eq!(
+            sequential, sharded,
+            "{partition}: sharded run output must be identical"
+        );
+    }
+}
+
+#[test]
+fn run_rejects_unknown_partition_strategy() {
+    let (ok, _, stderr) = syncoptc(&[
+        "run",
+        "programs/stencil.ms",
+        "--sim-partition",
+        "striped",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown partition strategy"), "{stderr}");
+    assert!(stderr.contains("block|cyclic|profiled"), "{stderr}");
+}
+
+#[test]
 fn run_accepts_sharded_engine_and_matches_sequential() {
     let (ok, sequential, stderr) =
         syncoptc(&["run", "programs/postwait.ms", "--procs", "2"]);

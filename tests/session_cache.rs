@@ -140,6 +140,47 @@ fn single_function_edit_matches_cold_and_reuses_unedited_checks() {
 }
 
 #[test]
+fn partition_strategies_share_one_cache_entry() {
+    // The partition strategy (like the shard count) only changes *how*
+    // the sharded engine computes, never *what* it computes, so it is
+    // deliberately excluded from simulation cache keys: a run under any
+    // strategy is served from the artifact an earlier strategy built.
+    use syncopt::machine::ShardPartition;
+    let config = syncopt::MachineConfig::cm5(8);
+    let kernel = &all_kernels(8)[0];
+    let mut session = AnalysisSession::new();
+
+    let block = SessionOptions {
+        procs: Some(8),
+        sim_shards: 4,
+        sim_partition: ShardPartition::Block,
+        ..SessionOptions::default()
+    };
+    let reference = session.run(&kernel.source, &block, &config).unwrap();
+
+    for partition in [ShardPartition::Cyclic, ShardPartition::Profiled] {
+        let opts = SessionOptions {
+            sim_partition: partition,
+            ..block.clone()
+        };
+        let before = session.cache_stats();
+        let warm = session.run(&kernel.source, &opts, &config).unwrap();
+        let delta = session.cache_stats().since(before);
+        assert_eq!(
+            delta.misses, 0,
+            "{partition}: switching partition strategy must not rebuild anything"
+        );
+        assert!(delta.hits > 0, "{partition}: expected cache service");
+        assert_eq!(
+            warm.sim.exec_cycles, reference.sim.exec_cycles,
+            "{partition}: cached result must be the identical simulation"
+        );
+        assert_eq!(warm.sim.net, reference.sim.net, "{partition}");
+        assert_eq!(warm.sim.stalls, reference.sim.stalls, "{partition}");
+    }
+}
+
+#[test]
 fn annotated_report_proves_warm_rerun_does_less_work() {
     let opts = SessionOptions::default();
     let config = syncopt::MachineConfig::cm5(4);

@@ -13,7 +13,8 @@
 //! engines.
 
 use syncopt::machine::{
-    simulate_configured, simulate_sharded, EngineKind, MachineConfig, SimOutputs, SimResult,
+    simulate_configured, simulate_sharded, simulate_sharded_with, EngineKind, MachineConfig,
+    ShardPartition, SimOutputs, SimResult,
 };
 use syncopt::{DelayChoice, OptLevel, Syncopt};
 use syncopt_kernels::{kernels_with, KernelParams};
@@ -197,6 +198,55 @@ fn sharded_engine_is_bit_identical_to_calendar_at_every_shard_count() {
                     assert_identical(&calendar, &sharded, &what);
                     assert_cycles_conserve(&sharded, &what);
                 }
+            }
+        }
+    }
+}
+
+/// The partition axis: every strategy — contiguous Block, round-robin
+/// Cyclic, and the traffic-profiled greedy assignment — produces
+/// bit-identical observables on every kernel at 2, 4, and 8 shards, and
+/// conserves cycles per processor. Only *where* each simulated processor
+/// lives changes; the dispatch order (and thus every counter the user
+/// can see) does not.
+#[test]
+fn partition_strategies_are_bit_identical_to_calendar() {
+    let procs = 16;
+    let config = MachineConfig::cm5(procs);
+    for kernel in kernels_with(&shard_params(procs)) {
+        let compiled = Syncopt::new(&kernel.source)
+            .procs(procs)
+            .level(OptLevel::OneWay)
+            .delay(DelayChoice::SyncRefined)
+            .compile()
+            .expect("kernel compiles");
+        let calendar = simulate_configured(
+            &compiled.optimized.cfg,
+            &config,
+            EngineKind::Calendar,
+            SimOutputs::full(),
+        )
+        .expect("calendar engine runs");
+        for partition in ShardPartition::ALL {
+            for shards in [2usize, 4, 8] {
+                let what = format!("{} p{procs} s{shards} {partition}", kernel.name);
+                let sharded = simulate_sharded_with(
+                    &compiled.optimized.cfg,
+                    &config,
+                    shards,
+                    partition,
+                    SimOutputs::full(),
+                )
+                .expect("sharded engine runs");
+                assert_identical(&calendar, &sharded, &what);
+                assert_cycles_conserve(&sharded, &what);
+                // Per-shard event counts always sum to the global count,
+                // no matter how processors are distributed.
+                let shard_events: u64 = sharded.metrics.shards.iter().map(|s| s.events).sum();
+                assert_eq!(
+                    shard_events, sharded.metrics.work.events_dequeued,
+                    "{what}: shard event accounting"
+                );
             }
         }
     }
