@@ -263,7 +263,12 @@ impl SimMetrics {
         if self.shards.is_empty() || total == 0 {
             return None;
         }
-        let max = self.shards.iter().map(|s| s.events).max().expect("nonempty");
+        let max = self
+            .shards
+            .iter()
+            .map(|s| s.events)
+            .max()
+            .expect("nonempty");
         Some(max * 1000 * self.shards.len() as u64 / total)
     }
 }
@@ -315,13 +320,26 @@ mod tests {
         let mut m = SimMetrics::default();
         assert_eq!(m.shard_imbalance_permille(), None, "sequential run");
         m.shards = vec![
-            ShardStats { events: 300, ..Default::default() },
-            ShardStats { events: 100, ..Default::default() },
+            ShardStats {
+                events: 300,
+                ..Default::default()
+            },
+            ShardStats {
+                events: 100,
+                ..Default::default()
+            },
         ];
         // max 300, mean 200 -> 1500 permille.
         assert_eq!(m.shard_imbalance_permille(), Some(1500));
-        m.shards = vec![ShardStats { events: 42, ..Default::default() }];
-        assert_eq!(m.shard_imbalance_permille(), Some(1000), "one shard is balanced");
+        m.shards = vec![ShardStats {
+            events: 42,
+            ..Default::default()
+        }];
+        assert_eq!(
+            m.shard_imbalance_permille(),
+            Some(1000),
+            "one shard is balanced"
+        );
     }
 
     #[test]

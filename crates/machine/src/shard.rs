@@ -57,9 +57,7 @@
 
 use crate::config::MachineConfig;
 use crate::memory::{Location, SharedMemory};
-use crate::metrics::{
-    BarrierEpoch, LatencyHistogram, ProcCycles, ShardStats, SimMetrics, SimWork,
-};
+use crate::metrics::{BarrierEpoch, LatencyHistogram, ProcCycles, ShardStats, SimMetrics, SimWork};
 use crate::sim::{
     EngineKind, Event, NetStats, SimOutputs, SimResult, Simulator, StallStats, Status,
 };
@@ -523,11 +521,7 @@ pub fn simulate_sharded_with(
     let mut sims: Vec<Mutex<Simulator>> = (0..s)
         .map(|id| {
             let mut sim = Simulator::new(cfg, config, EngineKind::Calendar, outputs);
-            sim.shard = Some(Box::new(ShardCtx::new(
-                id as u32,
-                s,
-                Arc::clone(&shard_of),
-            )));
+            sim.shard = Some(Box::new(ShardCtx::new(id as u32, s, Arc::clone(&shard_of))));
             Mutex::new(sim)
         })
         .collect();
@@ -1106,17 +1100,23 @@ fn merge_and_flatten(minted: Vec<Vec<Arc<Pos>>>, st: &mut LeaderState) {
 /// sequential release time and the trigger the release-event keys hang
 /// off. The returned plan is applied by each shard for its own
 /// processors at the start of the next round.
-fn try_release(
-    procs: usize,
-    config: &MachineConfig,
-    st: &mut LeaderState,
-) -> Option<ReleasePlan> {
+fn try_release(procs: usize, config: &MachineConfig, st: &mut LeaderState) -> Option<ReleasePlan> {
     if st.arrivals.len() < procs {
         return None;
     }
     debug_assert_eq!(st.arrivals.len(), procs, "one arrival per processor");
-    let max_arrival = st.arrivals.iter().map(|a| a.arrive).max().expect("nonempty");
-    let min_arrival = st.arrivals.iter().map(|a| a.arrive).min().expect("nonempty");
+    let max_arrival = st
+        .arrivals
+        .iter()
+        .map(|a| a.arrive)
+        .max()
+        .expect("nonempty");
+    let min_arrival = st
+        .arrivals
+        .iter()
+        .map(|a| a.arrive)
+        .min()
+        .expect("nonempty");
     // The rendezvous point: the last arrival in dispatch order (the one
     // whose dispatch would have run `release_barrier` sequentially).
     let trig = st
@@ -1207,8 +1207,7 @@ fn merge(
     for (pi, finish) in proc_cycles.iter().enumerate() {
         per_proc[pi].idle = exec_cycles - finish;
     }
-    let barriers_aligned =
-        !config.check_barrier_alignment || seqs.iter().all(|sq| sq == &seqs[0]);
+    let barriers_aligned = !config.check_barrier_alignment || seqs.iter().all(|sq| sq == &seqs[0]);
 
     let mut net = NetStats::default();
     let mut stalls = StallStats::default();
@@ -1291,7 +1290,11 @@ fn merge(
     } else {
         Vec::new()
     };
-    let barrier_seqs = if outputs.barrier_seqs { seqs } else { Vec::new() };
+    let barrier_seqs = if outputs.barrier_seqs {
+        seqs
+    } else {
+        Vec::new()
+    };
 
     SimResult {
         exec_cycles,
@@ -1335,8 +1338,7 @@ mod tests {
         let cfg = lower_main(&prepare_program(src).unwrap()).unwrap();
         let config = MachineConfig::cm5(procs);
         let seq = simulate(&cfg, &config).unwrap();
-        let par =
-            simulate_sharded_with(&cfg, &config, shards, part, SimOutputs::full()).unwrap();
+        let par = simulate_sharded_with(&cfg, &config, shards, part, SimOutputs::full()).unwrap();
         assert_eq!(seq.exec_cycles, par.exec_cycles, "s={shards} {part}");
         assert_eq!(seq.proc_cycles, par.proc_cycles, "s={shards} {part}");
         assert_eq!(seq.net, par.net, "s={shards} {part}");
@@ -1344,8 +1346,14 @@ mod tests {
         assert_eq!(seq.memory, par.memory, "s={shards} {part}");
         assert_eq!(seq.barriers_aligned, par.barriers_aligned);
         assert_eq!(seq.barrier_seqs, par.barrier_seqs);
-        assert_eq!(seq.metrics.per_proc, par.metrics.per_proc, "s={shards} {part}");
-        assert_eq!(seq.metrics.latency, par.metrics.latency, "s={shards} {part}");
+        assert_eq!(
+            seq.metrics.per_proc, par.metrics.per_proc,
+            "s={shards} {part}"
+        );
+        assert_eq!(
+            seq.metrics.latency, par.metrics.latency,
+            "s={shards} {part}"
+        );
         assert_eq!(seq.metrics.barrier_epochs, par.metrics.barrier_epochs);
     }
 
@@ -1373,13 +1381,26 @@ mod tests {
                 let s = s.min(procs as usize);
                 let map = partition_map(&cfg, procs, s, part);
                 assert_eq!(map.len(), procs as usize, "{part} p{procs} s{s}");
-                assert!(map.iter().all(|&o| (o as usize) < s), "{part} p{procs} s{s}");
-                assert_eq!(map, partition_map(&cfg, procs, s, part), "{part} deterministic");
+                assert!(
+                    map.iter().all(|&o| (o as usize) < s),
+                    "{part} p{procs} s{s}"
+                );
+                assert_eq!(
+                    map,
+                    partition_map(&cfg, procs, s, part),
+                    "{part} deterministic"
+                );
             }
         }
         // Cyclic is round-robin; Block is contiguous.
-        assert_eq!(partition_map(&cfg, 4, 2, ShardPartition::Cyclic), [0, 1, 0, 1]);
-        assert_eq!(partition_map(&cfg, 4, 2, ShardPartition::Block), [0, 0, 1, 1]);
+        assert_eq!(
+            partition_map(&cfg, 4, 2, ShardPartition::Cyclic),
+            [0, 1, 0, 1]
+        );
+        assert_eq!(
+            partition_map(&cfg, 4, 2, ShardPartition::Block),
+            [0, 0, 1, 1]
+        );
     }
 
     #[test]
@@ -1398,8 +1419,7 @@ mod tests {
         "#;
         let cfg = lower_main(&prepare_program(src).unwrap()).unwrap();
         let map = partition_map(&cfg, 8, 4, ShardPartition::Profiled);
-        let hot_shards: std::collections::HashSet<u32> =
-            (0..4).map(|p| map[p as usize]).collect();
+        let hot_shards: std::collections::HashSet<u32> = (0..4).map(|p| map[p as usize]).collect();
         assert!(
             hot_shards.len() > 2,
             "hot homes 0..3 should spread across shards, got map {map:?}"
@@ -1437,7 +1457,10 @@ mod tests {
                         .unwrap();
                 assert_eq!(seq.exec_cycles, par.exec_cycles, "s={shards} {part}");
                 assert_eq!(seq.memory, par.memory, "s={shards} {part}");
-                assert_eq!(seq.metrics.per_proc, par.metrics.per_proc, "s={shards} {part}");
+                assert_eq!(
+                    seq.metrics.per_proc, par.metrics.per_proc,
+                    "s={shards} {part}"
+                );
                 assert_eq!(seq.metrics.barrier_epochs, par.metrics.barrier_epochs);
             }
         }
@@ -1462,7 +1485,10 @@ mod tests {
         let par = simulate_sharded(&cfg, &config, 4, SimOutputs::lean()).unwrap();
         let w = &par.metrics.work;
         assert!(w.shard_horizon_advances > 0, "windows must advance");
-        assert!(w.shard_cross_messages > 0, "remote traffic must cross shards");
+        assert!(
+            w.shard_cross_messages > 0,
+            "remote traffic must cross shards"
+        );
         assert!(w.shard_mailbox_drains > 0, "mailboxes must drain");
         assert!(w.shard_leader_merge_steps > 0, "leader must rank positions");
         assert_eq!(
@@ -1476,10 +1502,7 @@ mod tests {
             par.metrics.shards.iter().map(|s| s.events).sum::<u64>(),
             w.events_dequeued
         );
-        assert_eq!(
-            par.metrics.shards.iter().map(|s| s.procs).sum::<u32>(),
-            8
-        );
+        assert_eq!(par.metrics.shards.iter().map(|s| s.procs).sum::<u32>(), 8);
         assert!(par.metrics.shard_imbalance_permille().unwrap() >= 1000);
         // Sequential runs report no shard machinery at all.
         let seq = simulate(&cfg, &config).unwrap();
@@ -1544,7 +1567,10 @@ mod tests {
         assert_eq!(eval_index(&loopy, 0, 8, None), None);
         // ...but sampling spreads it across the processor range.
         let samples = index_samples(Some(&loopy), 0, 8);
-        assert!(samples.len() > 1, "loop variable must be sampled: {samples:?}");
+        assert!(
+            samples.len() > 1,
+            "loop variable must be sampled: {samples:?}"
+        );
         // Negative and dividing-by-zero indexes produce no samples.
         assert_eq!(eval_index(&Expr::Int(-1), 0, 8, None), None);
         let div0 = Expr::Binary {

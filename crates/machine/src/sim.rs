@@ -261,14 +261,23 @@ pub(crate) enum Delivery {
 #[derive(Debug, Clone)]
 pub(crate) enum Event {
     Run(u32),
-    Arrive { home: u32, msg: Msg },
-    Deliver { to: u32, del: Delivery },
+    Arrive {
+        home: u32,
+        msg: Msg,
+    },
+    Deliver {
+        to: u32,
+        del: Delivery,
+    },
     /// Sharded engine only: apply a deferred split-phase receive steal to
     /// a processor's CPU. Scheduled by the *issuing* shard at the
     /// request's arrival time, keyed immediately after the request, so it
     /// lands at exactly the global dispatch position where the sequential
     /// engine writes the steal at the remote home.
-    Credit { to: u32, amount: u64 },
+    Credit {
+        to: u32,
+        amount: u64,
+    },
 }
 
 // ---- the event queue ----------------------------------------------------
@@ -701,7 +710,7 @@ impl<'a> Simulator<'a> {
     /// belongs to this simulator instance. Always true for the sequential
     /// engines; the sharded engine partitions processors across instances.
     fn shard_owns(&self, p: u32) -> bool {
-        self.shard.as_ref().map_or(true, |s| s.owns(p))
+        self.shard.as_ref().is_none_or(|s| s.owns(p))
     }
 
     /// Split-phase receive steal for a wake-up delivery to `to`: written

@@ -51,9 +51,19 @@
 //!     compares the fresh counters against a committed baseline and exits
 //!     1 on a >20% regression; `--threads` fans independent configs
 //!     across workers without changing any counter
-//! syncoptc ping|stats|shutdown [--socket PATH]
-//!     control a running syncoptd: liveness probe, cumulative cache
-//!     statistics (schema syncopt.rpc.v1), clean shutdown
+//! syncoptc ping|stats|metrics|shutdown [--socket PATH]
+//!     control a running syncoptd: liveness probe, service statistics,
+//!     Prometheus metrics, clean shutdown. `stats` renders a table
+//!     (uptime, cache, per-op latency); `stats --format json` emits the
+//!     syncopt.metrics.v1 document; `stats --watch [--interval-ms N]`
+//!     refreshes the table live. `metrics` prints Prometheus text
+//!     exposition format for scraping
+//! syncoptc daemon-trace <reqlog> [--out PATH]
+//!     convert a syncoptd request log (syncoptd --log FILE, schema
+//!     syncopt.reqlog.v1) into Chrome Trace Event Format (schema
+//!     syncopt.trace.v1) for Perfetto: one track per connection, one
+//!     slice per request with nested decode/execute/encode phases;
+//!     verifies span accounting (phases sum to recorded wall time)
 //! ```
 //!
 //! `opt --dot` emits Graphviz instead of text; `run --trace` appends the
@@ -117,6 +127,8 @@ struct Args {
     seeded: Option<String>,
     daemon: bool,
     socket: Option<String>,
+    watch: bool,
+    interval_ms: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -155,6 +167,8 @@ fn parse_args() -> Result<Args, String> {
         seeded: None,
         daemon: false,
         socket: None,
+        watch: false,
+        interval_ms: 1000,
     };
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -264,6 +278,14 @@ fn parse_args() -> Result<Args, String> {
             "--socket" => {
                 args.socket = Some(argv.next().ok_or("--socket needs a path")?);
             }
+            "--watch" => args.watch = true,
+            "--interval-ms" => {
+                args.interval_ms = argv
+                    .next()
+                    .ok_or("--interval-ms needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --interval-ms: {e}"))?;
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -271,7 +293,7 @@ fn parse_args() -> Result<Args, String> {
         || (args.command == "lint" && (args.kernels || args.seeded.is_some()))
         || matches!(
             args.command.as_str(),
-            "bench" | "ping" | "stats" | "shutdown"
+            "bench" | "ping" | "stats" | "metrics" | "shutdown"
         );
     if args.file.is_empty() && !file_optional {
         return Err("missing input file".to_string());
@@ -329,8 +351,14 @@ fn real_main() -> Result<(), String> {
         }
         return cmd_bench(&args);
     }
-    if matches!(args.command.as_str(), "ping" | "stats" | "shutdown") {
+    if matches!(
+        args.command.as_str(),
+        "ping" | "stats" | "metrics" | "shutdown"
+    ) {
         return cmd_daemon_control(&args);
+    }
+    if args.command == "daemon-trace" {
+        return cmd_daemon_trace(&args);
     }
     // Read the input locally even in daemon mode: the source travels in
     // the query, so the daemon never needs access to the client's files.
@@ -427,21 +455,81 @@ fn cmd_daemon_control(args: &Args) -> Result<(), String> {
             println!("pong");
         }
         "stats" => {
-            let stats = client.stats()?;
-            let mut doc = vec![(
-                "schema".to_string(),
-                json::Value::Str(syncopt::rpc::RPC_SCHEMA.to_string()),
-            )];
-            if let json::Value::Obj(fields) = stats {
-                doc.extend(fields);
+            if args.watch {
+                // Refresh the table until interrupted (or the daemon
+                // goes away, which surfaces as the call error).
+                loop {
+                    let stats = client.stats()?;
+                    // Clear the screen and home the cursor.
+                    print!(
+                        "\x1b[2J\x1b[H{}",
+                        syncopt::report::render_stats_table(&stats)
+                    );
+                    use std::io::Write as _;
+                    let _ = std::io::stdout().flush();
+                    std::thread::sleep(std::time::Duration::from_millis(args.interval_ms.max(50)));
+                }
             }
-            println!("{}", json::Value::Obj(doc));
+            let stats = client.stats()?;
+            match args.format {
+                // The machine format is the syncopt.metrics.v1 document
+                // when telemetry is on; a --no-telemetry daemon falls
+                // back to the raw rpc.v1 stats payload.
+                Format::Json => match stats.get("metrics") {
+                    Some(doc) => println!("{doc}"),
+                    None => {
+                        let mut doc = vec![(
+                            "schema".to_string(),
+                            json::Value::Str(syncopt::rpc::RPC_SCHEMA.to_string()),
+                        )];
+                        if let json::Value::Obj(fields) = stats {
+                            doc.extend(fields);
+                        }
+                        println!("{}", json::Value::Obj(doc));
+                    }
+                },
+                Format::Human => print!("{}", syncopt::report::render_stats_table(&stats)),
+            }
+        }
+        "metrics" => {
+            let text = client.metrics()?;
+            print!("{text}");
+            if !text.ends_with('\n') {
+                println!();
+            }
         }
         "shutdown" => {
             client.shutdown()?;
             eprintln!("syncoptd stopped");
         }
         _ => unreachable!("guarded by the caller"),
+    }
+    Ok(())
+}
+
+/// `daemon-trace`: convert a `syncopt.reqlog.v1` request log into the
+/// `syncopt.trace.v1` Chrome Trace file, verifying span accounting.
+/// Runs locally — no daemon connection needed.
+fn cmd_daemon_trace(args: &Args) -> Result<(), String> {
+    let text = std::fs::read_to_string(&args.file)
+        .map_err(|e| format!("cannot read {}: {e}", args.file))?;
+    let entries =
+        syncopt::telemetry::parse_reqlog(&text).map_err(|e| format!("{}: {e}", args.file))?;
+    syncopt::telemetry::verify_reqlog_accounting(&entries)
+        .map_err(|e| format!("{}: span accounting violated: {e}", args.file))?;
+    let trace = syncopt::telemetry::daemon_chrome_trace(&entries);
+    match &args.out {
+        Some(path) => {
+            std::fs::write(path, format!("{trace}\n"))
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!(
+                "daemon trace written to {path}: {} request(s) on {} connection(s), {} us wall time",
+                trace.get("requests").and_then(json::Value::as_int).unwrap_or(0),
+                trace.get("connections").and_then(json::Value::as_int).unwrap_or(0),
+                trace.get("wall_us").and_then(json::Value::as_int).unwrap_or(0),
+            );
+        }
+        None => println!("{trace}"),
     }
     Ok(())
 }

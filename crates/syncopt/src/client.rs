@@ -1,7 +1,7 @@
 //! Client side of the `syncopt.rpc.v1` protocol.
 //!
 //! [`DaemonClient`] wraps one Unix-socket connection to a running
-//! `syncoptd` and exposes typed calls for the four protocol operations.
+//! `syncoptd` and exposes typed calls for the protocol operations.
 //! `syncoptc --daemon` is a thin shell around this: it builds the same
 //! [`Query`] it would execute directly, sends it
 //! here instead, and prints the returned [`CmdOut`] — which is why the
@@ -92,6 +92,19 @@ impl DaemonClient {
         match self.call(RequestBody::Stats)?.body {
             ReplyBody::Stats(v) => Ok(v),
             other => Err(format!("unexpected reply to stats: {other:?}")),
+        }
+    }
+
+    /// Fetches the service metrics in Prometheus text exposition format.
+    ///
+    /// # Errors
+    ///
+    /// I/O or protocol failure, as a displayable message — including the
+    /// daemon rejecting the op because it runs with `--no-telemetry`.
+    pub fn metrics(&mut self) -> Result<String, String> {
+        match self.call(RequestBody::Metrics)?.body {
+            ReplyBody::Metrics(text) => Ok(text),
+            other => Err(format!("unexpected reply to metrics: {other:?}")),
         }
     }
 

@@ -12,18 +12,28 @@
 //! The daemon never touches the client's filesystem: file-producing
 //! queries (`run --emit-report`, `trace --out`) return the artifact in
 //! the response and the client writes it locally.
+//!
+//! Telemetry (see [`crate::telemetry`]) is on by default: every request
+//! gets a monotonic id and a decode → execute → encode span recorded
+//! into the metrics registry, served back via the extended `stats` op
+//! (`syncopt.metrics.v1`) and the `metrics` op (Prometheus text). It is
+//! strictly observational — responses are byte-identical whether
+//! telemetry is on or off, because it never touches response fields.
 
 use crate::commands::execute;
 use crate::rpc::{
-    decode_request, error_response, ping_response, query_response, shutdown_response,
-    stats_response, Request, RequestBody, RpcError,
+    decode_request, error_response, metrics_response, ping_response, query_response,
+    shutdown_response, stats_response, Request, RequestBody, RpcError, ServiceStats,
 };
 use crate::session::AnalysisSession;
+use crate::telemetry::{RequestOutcome, RequestSpan, ServiceTelemetry, TelemetryConfig};
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
+use syncopt_core::cache::CacheStats;
 
 /// The default socket path: `syncoptd.sock` in the system temp directory.
 pub fn default_socket_path() -> PathBuf {
@@ -34,6 +44,12 @@ struct State {
     session: Mutex<AnalysisSession>,
     shutdown: AtomicBool,
     socket_path: PathBuf,
+    /// `None` ⇒ `--no-telemetry`: no ids, no timestamps, no metrics.
+    telemetry: Option<Arc<ServiceTelemetry>>,
+    /// Service fields of the `stats` response, maintained even with
+    /// telemetry off (one atomic increment per request, no allocation).
+    started: Instant,
+    requests: AtomicU64,
 }
 
 /// A bound, not-yet-running daemon.
@@ -58,12 +74,32 @@ impl Daemon {
     }
 
     /// [`bind`](Daemon::bind) with a caller-configured session (e.g. a
-    /// custom cache capacity).
+    /// custom cache capacity). Telemetry is on with default settings.
     ///
     /// # Errors
     ///
     /// See [`bind`](Daemon::bind).
     pub fn bind_with_session(path: &Path, session: AnalysisSession) -> std::io::Result<Daemon> {
+        Daemon::bind_with(path, session, Some(TelemetryConfig::default()))
+    }
+
+    /// [`bind`](Daemon::bind) with a caller-configured session and
+    /// telemetry: `None` disables telemetry entirely (`--no-telemetry`),
+    /// `Some(config)` enables it with a request log and slow threshold.
+    ///
+    /// # Errors
+    ///
+    /// See [`bind`](Daemon::bind); additionally propagates request-log
+    /// creation failures.
+    pub fn bind_with(
+        path: &Path,
+        session: AnalysisSession,
+        telemetry: Option<TelemetryConfig>,
+    ) -> std::io::Result<Daemon> {
+        let telemetry = match telemetry {
+            Some(config) => Some(Arc::new(ServiceTelemetry::new(&config)?)),
+            None => None,
+        };
         let listener = match UnixListener::bind(path) {
             Ok(listener) => listener,
             Err(e) if e.kind() == std::io::ErrorKind::AddrInUse => {
@@ -85,6 +121,9 @@ impl Daemon {
                 session: Mutex::new(session),
                 shutdown: AtomicBool::new(false),
                 socket_path: path.to_path_buf(),
+                telemetry,
+                started: Instant::now(),
+                requests: AtomicU64::new(0),
             }),
         })
     }
@@ -122,9 +161,38 @@ impl Daemon {
     }
 }
 
+/// Lowers the open-connections gauge on every exit path.
+struct ConnGuard<'a>(Option<&'a ServiceTelemetry>);
+
+impl Drop for ConnGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(t) = self.0 {
+            t.close_connection();
+        }
+    }
+}
+
+/// What [`handle_line`] observed about one request, for telemetry.
+struct ReqMeta {
+    /// Operation label: the RPC op for control requests, the query
+    /// command for queries, `invalid` for undecodable lines.
+    op: String,
+    /// Protocol-level success (`ok: true` response).
+    ok: bool,
+    /// A query ran but reported a command failure.
+    failed: bool,
+    /// Per-request cache delta (zero for control ops).
+    cache: CacheStats,
+    /// Shut the server down after answering.
+    shutdown: bool,
+}
+
 /// Reads request lines from one client until EOF or shutdown, answering
 /// each in order.
 fn serve_connection(stream: UnixStream, state: &State) {
+    let telemetry = state.telemetry.as_deref();
+    let conn_id = telemetry.map(|t| t.open_connection()).unwrap_or(0);
+    let _guard = ConnGuard(telemetry);
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
@@ -138,14 +206,29 @@ fn serve_connection(stream: UnixStream, state: &State) {
         if line.trim().is_empty() {
             continue;
         }
-        let (response, shutdown) = handle_line(&line, state);
-        if writeln!(writer, "{response}")
+        // +1: the framing newline consumed by `lines()`.
+        let mut span = telemetry.map(|t| t.begin_request(conn_id, line.len() as u64 + 1));
+        let (response, meta) = handle_line(&line, state, span.as_mut());
+        let text = response.to_string();
+        let sent = writeln!(writer, "{text}")
             .and_then(|()| writer.flush())
-            .is_err()
-        {
+            .is_ok();
+        if let (Some(t), Some(span)) = (telemetry, span.take()) {
+            t.finish_request(
+                span,
+                &RequestOutcome {
+                    op: &meta.op,
+                    ok: meta.ok,
+                    failed: meta.failed,
+                    bytes_out: text.len() as u64 + 1,
+                    cache: meta.cache,
+                },
+            );
+        }
+        if !sent {
             return;
         }
-        if shutdown {
+        if meta.shutdown {
             state.shutdown.store(true, Ordering::SeqCst);
             // Wake the accept loop so `run` can observe the flag.
             let _ = UnixStream::connect(&state.socket_path);
@@ -154,20 +237,69 @@ fn serve_connection(stream: UnixStream, state: &State) {
     }
 }
 
-/// Answers one request line. Returns the response document and whether
-/// the server should shut down after sending it.
-fn handle_line(line: &str, state: &State) -> (syncopt_core::diag::json::Value, bool) {
-    let req = match decode_request(line) {
+/// Answers one request line. Returns the response document and the
+/// request metadata for telemetry. The span (when telemetry is on) has
+/// its decode phase closed right after the envelope parse and its
+/// execute phase closed once the response document is built; the encode
+/// remainder is measured by `finish_request`.
+fn handle_line(
+    line: &str,
+    state: &State,
+    mut span: Option<&mut RequestSpan>,
+) -> (syncopt_core::diag::json::Value, ReqMeta) {
+    state.requests.fetch_add(1, Ordering::Relaxed);
+    let decoded = decode_request(line);
+    if let Some(s) = span.as_deref_mut() {
+        s.decode_done();
+    }
+    let answer = respond(line, decoded, state);
+    if let Some(s) = span {
+        s.execute_done();
+    }
+    answer
+}
+
+/// Builds the response document for one decoded (or undecodable) request.
+fn respond(
+    line: &str,
+    decoded: Result<Request, RpcError>,
+    state: &State,
+) -> (syncopt_core::diag::json::Value, ReqMeta) {
+    let meta = |op: &str, ok: bool, failed: bool, cache: CacheStats, shutdown: bool| ReqMeta {
+        op: op.to_string(),
+        ok,
+        failed,
+        cache,
+        shutdown,
+    };
+    let req = match decoded {
         Ok(req) => req,
         // Echo the id when the envelope carried one; a request too broken
         // to carry an id gets id 0.
-        Err(e) => return (error_response(crate::rpc::request_id(line), &e), false),
+        Err(e) => {
+            return (
+                error_response(crate::rpc::request_id(line), &e),
+                meta("invalid", false, false, CacheStats::default(), false),
+            );
+        }
     };
     let Request { id, body } = req;
     match body {
-        RequestBody::Ping => (ping_response(id), false),
+        RequestBody::Ping => (
+            ping_response(id),
+            meta("ping", true, false, CacheStats::default(), false),
+        ),
         RequestBody::Stats => {
             let session = state.session.lock().unwrap_or_else(|e| e.into_inner());
+            let service = ServiceStats {
+                uptime_ms: match &state.telemetry {
+                    Some(t) => t.uptime_ms(),
+                    None => u64::try_from(state.started.elapsed().as_millis()).unwrap_or(u64::MAX),
+                },
+                requests_total: state.requests.load(Ordering::Relaxed),
+                version: crate::telemetry::SERVICE_VERSION.to_string(),
+            };
+            let metrics = state.telemetry.as_ref().map(|t| t.metrics_json());
             (
                 stats_response(
                     id,
@@ -175,17 +307,39 @@ fn handle_line(line: &str, state: &State) -> (syncopt_core::diag::json::Value, b
                     session.cached_artifacts(),
                     session.cache_capacity(),
                     session.kind_counters(),
+                    &service,
+                    metrics,
                 ),
-                false,
+                meta("stats", true, false, CacheStats::default(), false),
             )
         }
-        RequestBody::Shutdown => (shutdown_response(id), true),
+        RequestBody::Metrics => match &state.telemetry {
+            Some(t) => (
+                metrics_response(id, &t.prometheus_text()),
+                meta("metrics", true, false, CacheStats::default(), false),
+            ),
+            None => {
+                let e =
+                    RpcError::unsupported("telemetry is disabled on this daemon (--no-telemetry)");
+                (
+                    error_response(id, &e),
+                    meta("metrics", false, false, CacheStats::default(), false),
+                )
+            }
+        },
+        RequestBody::Shutdown => (
+            shutdown_response(id),
+            meta("shutdown", true, false, CacheStats::default(), true),
+        ),
         RequestBody::Query(q) => {
             if q.command == "bench" {
                 let e = RpcError::unsupported(
                     "`bench` measures this machine and does not route through the daemon",
                 );
-                return (error_response(id, &e), false);
+                return (
+                    error_response(id, &e),
+                    meta(&q.command, false, false, CacheStats::default(), false),
+                );
             }
             // One session serves all clients; the lock makes each query
             // atomic with respect to the cache, and per-request stats are
@@ -194,7 +348,11 @@ fn handle_line(line: &str, state: &State) -> (syncopt_core::diag::json::Value, b
             let before = session.cache_stats();
             let out = execute(&mut session, &q);
             let delta = session.cache_stats().since(before);
-            (query_response(id, &out, delta), false)
+            let failed = out.failure.is_some();
+            (
+                query_response(id, &out, delta),
+                meta(&q.command, true, failed, delta, false),
+            )
         }
     }
 }

@@ -50,6 +50,7 @@ pub mod report;
 pub mod rpc;
 pub mod session;
 pub mod simbench;
+pub mod telemetry;
 pub mod trace_export;
 
 pub use report::{PipelineReport, ProfileReport, ReportMeta, SimReport};
@@ -57,6 +58,7 @@ pub use session::{AnalysisSession, SessionOptions};
 pub use syncopt_codegen::{DelayChoice, OptLevel, OptStats, Optimized};
 pub use syncopt_core::{Analysis, AnalysisStats, CacheStats, DelaySet};
 pub use syncopt_machine::{MachineConfig, ShardPartition, SimResult};
+pub use telemetry::{ServiceTelemetry, TelemetryConfig, METRICS_SCHEMA, REQLOG_SCHEMA};
 pub use trace_export::{chrome_trace, verify_span_accounting, TRACE_SCHEMA};
 
 /// Optimization stage (split-phase codegen and communication passes).

@@ -190,14 +190,14 @@ pub fn host_cpus() -> usize {
 pub fn run_par_bench(smoke: bool, threads: usize) -> Result<ParBenchReport, SyncoptError> {
     let groups = if smoke { smoke_sweep() } else { sweep() };
     let workers = threads.max(1).min(groups.len().max(1));
-    let mut results: Vec<Option<Result<Vec<ParBenchConfigResult>, SyncoptError>>> = Vec::new();
+    type GroupSlot = Option<Result<Vec<ParBenchConfigResult>, SyncoptError>>;
+    let mut results: Vec<GroupSlot> = Vec::new();
     if workers <= 1 {
         for group in &groups {
             results.push(Some(run_group(group)));
         }
     } else {
-        let slots: Vec<Mutex<Option<Result<Vec<ParBenchConfigResult>, SyncoptError>>>> =
-            (0..groups.len()).map(|_| Mutex::new(None)).collect();
+        let slots: Vec<Mutex<GroupSlot>> = (0..groups.len()).map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
         std::thread::scope(|scope| {
             for _ in 0..workers {
@@ -597,4 +597,3 @@ mod tests {
         }
     }
 }
-

@@ -798,6 +798,99 @@ pub(crate) fn meta_for(
     }
 }
 
+/// Renders the daemon `stats` reply (the object [`DaemonClient::stats`]
+/// returns) as a human-readable table: service header, cache totals,
+/// and — when the daemon runs with telemetry — live gauges plus a
+/// per-operation request/latency breakdown from the
+/// `syncopt.metrics.v1` document. This is what `syncoptc stats` (and
+/// `stats --watch`) prints.
+///
+/// [`DaemonClient::stats`]: crate::client::DaemonClient::stats
+pub fn render_stats_table(stats: &Value) -> String {
+    let int = |v: Option<&Value>| v.and_then(Value::as_int).unwrap_or(0);
+    let mut out = String::new();
+    let version = stats.get("version").and_then(Value::as_str).unwrap_or("?");
+    let uptime_ms = int(stats.get("uptime_ms"));
+    out.push_str(&format!(
+        "syncoptd {version} — up {}.{:03} s, {} request(s)\n",
+        uptime_ms / 1000,
+        uptime_ms % 1000,
+        int(stats.get("requests_total")),
+    ));
+    if let Some(cache) = stats.get("cache") {
+        out.push_str(&format!(
+            "  cache: {} hit(s), {} miss(es), {} eviction(s); {} artifact(s) of capacity {}\n",
+            int(cache.get("hits")),
+            int(cache.get("misses")),
+            int(cache.get("evictions")),
+            int(stats.get("artifacts")),
+            int(stats.get("capacity")),
+        ));
+    }
+    let Some(doc) = stats.get("metrics") else {
+        out.push_str("  telemetry: off (--no-telemetry)\n");
+        return out;
+    };
+    let registry = doc.get("metrics");
+    let counters = registry.and_then(|m| m.get("counters"));
+    let gauges = registry.and_then(|m| m.get("gauges"));
+    let counter = |name: &str| int(counters.and_then(|c| c.get(name)));
+    out.push_str(&format!(
+        "  service: {} in flight, {} connection(s) open ({} opened, {} closed)\n",
+        int(gauges.and_then(|g| g.get("rpc.in_flight"))),
+        int(gauges.and_then(|g| g.get("rpc.connections_open"))),
+        counter("rpc.connections_opened"),
+        counter("rpc.connections_closed"),
+    ));
+    out.push_str(&format!(
+        "  traffic: {} byte(s) in, {} byte(s) out; {} error(s), {} failure(s), {} slow\n",
+        counter("rpc.bytes_in"),
+        counter("rpc.bytes_out"),
+        counter("rpc.errors_total"),
+        counter("rpc.failures_total"),
+        counter("rpc.slow_requests_total"),
+    ));
+    // Per-op breakdown: every labeled requests_total counter, joined
+    // with its latency histogram.
+    let Some(Value::Obj(counter_fields)) = counters else {
+        return out;
+    };
+    let histograms = registry.and_then(|m| m.get("histograms"));
+    let mut rows = Vec::new();
+    for (key, value) in counter_fields {
+        let Some(op) = key
+            .strip_prefix("rpc.requests_total{op=\"")
+            .and_then(|rest| rest.strip_suffix("\"}"))
+        else {
+            continue;
+        };
+        let count = value.as_int().unwrap_or(0);
+        let hist =
+            histograms.and_then(|h| h.get(&format!("rpc.request_latency_us{{op=\"{op}\"}}")));
+        let sum = int(hist.and_then(|h| h.get("sum_us")));
+        let mean = if count > 0 { sum / count } else { 0 };
+        rows.push((
+            op.to_string(),
+            count,
+            mean,
+            int(hist.and_then(|h| h.get("min_us"))),
+            int(hist.and_then(|h| h.get("max_us"))),
+        ));
+    }
+    if !rows.is_empty() {
+        out.push_str(&format!(
+            "  {:<12} {:>8} {:>10} {:>10} {:>10}\n",
+            "op", "requests", "mean_us", "min_us", "max_us"
+        ));
+        for (op, count, mean, min, max) in rows {
+            out.push_str(&format!(
+                "  {op:<12} {count:>8} {mean:>10} {min:>10} {max:>10}\n"
+            ));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -876,6 +969,50 @@ mod tests {
         assert!(t.contains("exec cycles"), "{t}");
         let single = empty_report(OptLevel::Full, Some(10)).render_table();
         assert!(single.contains("pipeline report"), "{single}");
+    }
+
+    #[test]
+    fn stats_table_renders_service_and_per_op_rows() {
+        let stats = Value::parse(
+            r#"{"cache":{"hits":5,"misses":2,"evictions":0},"artifacts":3,"capacity":64,
+                "uptime_ms":2500,"requests_total":7,"version":"0.1.0",
+                "metrics":{"schema":"syncopt.metrics.v1","metrics":{
+                  "counters":{"rpc.requests_total":7,
+                              "rpc.requests_total{op=\"check\"}":4,
+                              "rpc.requests_total{op=\"ping\"}":3,
+                              "rpc.bytes_in":100,"rpc.bytes_out":900,
+                              "rpc.errors_total":0,"rpc.failures_total":1,
+                              "rpc.slow_requests_total":0,
+                              "rpc.connections_opened":2,"rpc.connections_closed":1},
+                  "gauges":{"rpc.in_flight":1,"rpc.connections_open":1},
+                  "histograms":{"rpc.request_latency_us{op=\"check\"}":
+                      {"count":4,"sum_us":400,"min_us":50,"max_us":200}}}}}"#,
+        )
+        .unwrap();
+        let t = render_stats_table(&stats);
+        assert!(
+            t.contains("syncoptd 0.1.0 — up 2.500 s, 7 request(s)"),
+            "{t}"
+        );
+        assert!(t.contains("5 hit(s), 2 miss(es)"), "{t}");
+        assert!(t.contains("1 in flight"), "{t}");
+        // check row: 4 requests, mean 100us.
+        let check_row = t.lines().find(|l| l.trim().starts_with("check")).unwrap();
+        assert!(
+            check_row.contains('4') && check_row.contains("100"),
+            "{check_row}"
+        );
+    }
+
+    #[test]
+    fn stats_table_reports_disabled_telemetry() {
+        let stats = Value::parse(
+            r#"{"cache":{"hits":0,"misses":0,"evictions":0},"artifacts":0,"capacity":64,
+                "uptime_ms":10,"requests_total":1,"version":"0.1.0"}"#,
+        )
+        .unwrap();
+        let t = render_stats_table(&stats);
+        assert!(t.contains("telemetry: off"), "{t}");
     }
 
     #[test]

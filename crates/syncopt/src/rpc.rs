@@ -7,12 +7,18 @@
 //! document never spans lines and the framing is unambiguous.
 //!
 //! Every envelope carries `"schema": "syncopt.rpc.v1"` and the client's
-//! `id`, which the server echoes back. Four operations exist:
+//! `id`, which the server echoes back. Five operations exist:
 //!
 //! * `ping` — liveness probe; the response carries `"pong": true`.
 //! * `stats` — cumulative cache statistics of the server's
 //!   [`AnalysisSession`](crate::AnalysisSession): totals, artifact count,
-//!   capacity, and the per-kind `cache.<kind>.*` counters.
+//!   capacity, and the per-kind `cache.<kind>.*` counters — plus service
+//!   fields (`uptime_ms`, `requests_total`, `version`) and, when
+//!   telemetry is enabled, a full `syncopt.metrics.v1` document under
+//!   `metrics`.
+//! * `metrics` — Prometheus text exposition format of the service
+//!   metrics registry, carried as one JSON string (`metrics_text`);
+//!   `unsupported` when the daemon runs with `--no-telemetry`.
 //! * `query` — run one [`Query`] through the shared command engine
 //!   ([`crate::commands::execute`]); the response carries the exact
 //!   stdout bytes, the optional failure message, the optional file
@@ -77,6 +83,8 @@ pub enum RequestBody {
     Ping,
     /// Cumulative session cache statistics.
     Stats,
+    /// Prometheus text exposition of the service metrics registry.
+    Metrics,
     /// Run one command query.
     Query(Query),
     /// Stop the server.
@@ -298,6 +306,7 @@ pub fn encode_request(req: &Request) -> Value {
     match &req.body {
         RequestBody::Ping => field(&mut f, "op", Value::Str("ping".to_string())),
         RequestBody::Stats => field(&mut f, "op", Value::Str("stats".to_string())),
+        RequestBody::Metrics => field(&mut f, "op", Value::Str("metrics".to_string())),
         RequestBody::Shutdown => field(&mut f, "op", Value::Str("shutdown".to_string())),
         RequestBody::Query(q) => {
             field(&mut f, "op", Value::Str("query".to_string()));
@@ -345,6 +354,7 @@ pub fn decode_request(line: &str) -> Result<Request, RpcError> {
     let body = match op {
         "ping" => RequestBody::Ping,
         "stats" => RequestBody::Stats,
+        "metrics" => RequestBody::Metrics,
         "shutdown" => RequestBody::Shutdown,
         "query" => {
             let q = v
@@ -373,13 +383,28 @@ pub fn ping_response(id: i64) -> Value {
     Value::Obj(f)
 }
 
-/// Encodes a successful `stats` response.
+/// Service-level fields of a `stats` response, always present since
+/// `syncopt.metrics.v1` (PR 10) regardless of whether telemetry is on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Milliseconds since the daemon started.
+    pub uptime_ms: u64,
+    /// Total requests handled (all ops, all connections).
+    pub requests_total: u64,
+    /// Daemon build version (`CARGO_PKG_VERSION`).
+    pub version: String,
+}
+
+/// Encodes a successful `stats` response. `metrics` is the full
+/// `syncopt.metrics.v1` document, present only when telemetry is on.
 pub fn stats_response(
     id: i64,
     stats: CacheStats,
     artifacts: usize,
     capacity: usize,
     kinds: &Counters,
+    service: &ServiceStats,
+    metrics: Option<Value>,
 ) -> Value {
     let mut f = envelope(id);
     field(&mut f, "ok", Value::Bool(true));
@@ -387,6 +412,26 @@ pub fn stats_response(
     field(&mut f, "artifacts", Value::Int(artifacts as i64));
     field(&mut f, "capacity", Value::Int(capacity as i64));
     field(&mut f, "kinds", kinds.to_json());
+    field(&mut f, "uptime_ms", Value::Int(service.uptime_ms as i64));
+    field(
+        &mut f,
+        "requests_total",
+        Value::Int(service.requests_total as i64),
+    );
+    field(&mut f, "version", Value::Str(service.version.clone()));
+    if let Some(doc) = metrics {
+        field(&mut f, "metrics", doc);
+    }
+    Value::Obj(f)
+}
+
+/// Encodes a successful `metrics` response: the Prometheus text
+/// exposition is carried as one JSON string so the one-line framing
+/// holds (the emitter escapes every `\n`).
+pub fn metrics_response(id: i64, text: &str) -> Value {
+    let mut f = envelope(id);
+    field(&mut f, "ok", Value::Bool(true));
+    field(&mut f, "metrics_text", Value::Str(text.to_string()));
     Value::Obj(f)
 }
 
@@ -454,6 +499,8 @@ pub enum ReplyBody {
     Pong,
     /// `stats` payload (the raw object, for display).
     Stats(Value),
+    /// `metrics` payload: Prometheus text exposition.
+    Metrics(String),
     /// `shutdown` acknowledgement.
     Shutdown,
     /// A completed query with its per-request cache delta.
@@ -524,6 +571,8 @@ pub fn decode_response(line: &str) -> Result<Reply, RpcError> {
         ReplyBody::Pong
     } else if v.get("shutdown").is_some() {
         ReplyBody::Shutdown
+    } else if let Some(text) = v.get("metrics_text") {
+        ReplyBody::Metrics(expect_str(text, "metrics_text")?)
     } else if let Some(stdout) = v.get("stdout") {
         let stdout = expect_str(stdout, "stdout")?;
         let failure = match v.get("failure") {
@@ -564,7 +613,7 @@ pub fn decode_response(line: &str) -> Result<Reply, RpcError> {
             cache,
         )
     } else if let Some(stats) = v.get("cache") {
-        ReplyBody::Stats(Value::Obj(vec![
+        let mut fields = vec![
             ("cache".to_string(), stats.clone()),
             (
                 "artifacts".to_string(),
@@ -578,7 +627,25 @@ pub fn decode_response(line: &str) -> Result<Reply, RpcError> {
                 "kinds".to_string(),
                 v.get("kinds").cloned().unwrap_or(Value::Obj(Vec::new())),
             ),
-        ]))
+            (
+                "uptime_ms".to_string(),
+                v.get("uptime_ms").cloned().unwrap_or(Value::Int(0)),
+            ),
+            (
+                "requests_total".to_string(),
+                v.get("requests_total").cloned().unwrap_or(Value::Int(0)),
+            ),
+            (
+                "version".to_string(),
+                v.get("version")
+                    .cloned()
+                    .unwrap_or_else(|| Value::Str(String::new())),
+            ),
+        ];
+        if let Some(doc) = v.get("metrics") {
+            fields.push(("metrics".to_string(), doc.clone()));
+        }
+        ReplyBody::Stats(Value::Obj(fields))
     } else {
         return Err(RpcError::bad_request("unrecognized response payload"));
     };
@@ -620,7 +687,12 @@ mod tests {
 
     #[test]
     fn control_ops_round_trip() {
-        for body in [RequestBody::Ping, RequestBody::Stats, RequestBody::Shutdown] {
+        for body in [
+            RequestBody::Ping,
+            RequestBody::Stats,
+            RequestBody::Metrics,
+            RequestBody::Shutdown,
+        ] {
             let req = Request { id: 7, body };
             let back = decode_request(&encode_request(&req).to_string()).unwrap();
             assert_eq!(back, req);
@@ -648,6 +720,52 @@ mod tests {
         let reply = decode_response(&line).unwrap();
         assert_eq!(reply.id, 9);
         assert_eq!(reply.body, ReplyBody::Query(out, cache));
+    }
+
+    #[test]
+    fn metrics_response_round_trips_multiline_text() {
+        let text = "# TYPE syncopt_rpc_requests_total counter\nsyncopt_rpc_requests_total 5\n";
+        let line = metrics_response(4, text).to_string();
+        assert!(!line.contains('\n'), "framing requires one line");
+        let reply = decode_response(&line).unwrap();
+        assert_eq!(reply.id, 4);
+        assert_eq!(reply.body, ReplyBody::Metrics(text.to_string()));
+    }
+
+    #[test]
+    fn stats_response_carries_service_fields() {
+        let service = ServiceStats {
+            uptime_ms: 1234,
+            requests_total: 17,
+            version: "0.1.0".to_string(),
+        };
+        let doc = Value::Obj(vec![(
+            "schema".to_string(),
+            Value::Str("syncopt.metrics.v1".to_string()),
+        )]);
+        let line = stats_response(
+            2,
+            CacheStats::default(),
+            3,
+            64,
+            &Counters::new(),
+            &service,
+            Some(doc),
+        )
+        .to_string();
+        let reply = decode_response(&line).unwrap();
+        let ReplyBody::Stats(obj) = reply.body else {
+            panic!("expected stats body");
+        };
+        assert_eq!(obj.get("uptime_ms").and_then(Value::as_int), Some(1234));
+        assert_eq!(obj.get("requests_total").and_then(Value::as_int), Some(17));
+        assert_eq!(obj.get("version").and_then(Value::as_str), Some("0.1.0"));
+        assert_eq!(
+            obj.get("metrics")
+                .and_then(|m| m.get("schema"))
+                .and_then(Value::as_str),
+            Some("syncopt.metrics.v1")
+        );
     }
 
     #[test]

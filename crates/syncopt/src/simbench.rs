@@ -64,7 +64,7 @@ pub fn wall_bucket_for(procs: u32, wall_us: u64) -> u64 {
         return u64::MAX; // off the scale of any real measurement
     }
     let p2 = wall_us.max(1).next_power_of_two();
-    if procs < 256 || p2.trailing_zeros() % 2 == 0 {
+    if procs < 256 || p2.trailing_zeros().is_multiple_of(2) {
         p2
     } else {
         // Odd exponent: promote to the enclosing power of four.

@@ -1,0 +1,727 @@
+//! Service-level telemetry for `syncoptd`: request ids, per-request
+//! spans, the concurrent metrics registry, the structured request log,
+//! and the `daemon-trace` exporter.
+//!
+//! Every request the daemon serves gets a **monotonic request id** and a
+//! three-phase span measured with one clock:
+//!
+//! ```text
+//! decode (parse the envelope) → execute (cache lookup + session work,
+//! under the session lock) → encode (serialize the response)
+//! ```
+//!
+//! The phases tile the request exactly — `total_us` is *defined* as
+//! their sum, so span accounting holds by construction and is verified
+//! end to end by [`verify_reqlog_accounting`]. Each finished request is
+//! recorded into the [`MetricsRegistry`]:
+//!
+//! * `rpc.requests_total{op="..."}` / `rpc.request_latency_us{op="..."}`
+//!   — per-operation counts and fixed-bucket latency histograms. The
+//!   `op` label is the RPC op for control requests (`ping`, `stats`,
+//!   `metrics`, `shutdown`) and the query *command* for queries
+//!   (`check`, `profile`, ...).
+//! * `rpc.errors_total` — protocol errors (`ok: false` responses);
+//!   `rpc.failures_total` — queries that ran but failed (exit-1 results).
+//! * `rpc.bytes_in` / `rpc.bytes_out` — wire traffic including framing
+//!   newlines.
+//! * `rpc.cache_hits_total` / `rpc.cache_misses_total` — the summed
+//!   per-request cache deltas (the live hit ratio of the artifact
+//!   cache).
+//! * `rpc.slow_requests_total` — requests over the slow threshold.
+//! * `rpc.in_flight` (gauge), `rpc.connections_open` (gauge),
+//!   `rpc.connections_opened` / `rpc.connections_closed` — request and
+//!   connection lifecycle.
+//!
+//! With `--log FILE` the daemon also appends one JSON line per request
+//! (schema [`REQLOG_SCHEMA`], first line is a header), which
+//! `syncoptc daemon-trace` converts into a `syncopt.trace.v1` Chrome
+//! Trace Event file: one track per connection, one slice per request,
+//! nested phase slices — a serving timeline that opens in Perfetto.
+//!
+//! Telemetry is optional: a daemon started with `--no-telemetry` carries
+//! no registry, takes no timestamps, and allocates nothing on the
+//! request path — responses are byte-identical either way.
+
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+use syncopt_core::cache::CacheStats;
+use syncopt_core::diag::json::Value;
+use syncopt_core::metrics::{labeled, Counter, Gauge, MetricsRegistry};
+
+/// Schema identifier of the `stats` metrics document.
+pub const METRICS_SCHEMA: &str = "syncopt.metrics.v1";
+/// Schema identifier of the structured request log.
+pub const REQLOG_SCHEMA: &str = "syncopt.reqlog.v1";
+/// The daemon build version reported by `stats`.
+pub const SERVICE_VERSION: &str = env!("CARGO_PKG_VERSION");
+/// Default slow-request threshold (microseconds) when `--slow-ms` is not
+/// given: 500 ms.
+pub const DEFAULT_SLOW_US: u64 = 500_000;
+
+/// Base names of every metric the daemon emits. The glossary drift test
+/// pins this list against `docs/OBSERVABILITY.md`, so adding a metric
+/// here (or emitting an undeclared one) without documenting it fails CI.
+pub const SERVICE_METRIC_NAMES: &[&str] = &[
+    "rpc.requests_total",
+    "rpc.request_latency_us",
+    "rpc.errors_total",
+    "rpc.failures_total",
+    "rpc.bytes_in",
+    "rpc.bytes_out",
+    "rpc.cache_hits_total",
+    "rpc.cache_misses_total",
+    "rpc.slow_requests_total",
+    "rpc.in_flight",
+    "rpc.connections_open",
+    "rpc.connections_opened",
+    "rpc.connections_closed",
+];
+
+/// Telemetry configuration, as parsed from the `syncoptd` command line.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetryConfig {
+    /// Append one JSON line per request to this file.
+    pub log: Option<std::path::PathBuf>,
+    /// Slow-request threshold in microseconds (`None` =
+    /// [`DEFAULT_SLOW_US`]).
+    pub slow_us: Option<u64>,
+    /// Emit deterministically scrubbed metrics documents (timing fields
+    /// zeroed, counts exact) — for golden tests and byte-stable smoke
+    /// checks.
+    pub scrub: bool,
+}
+
+/// The state of one in-flight request: its id and phase clocks.
+///
+/// Phases are measured against `begun` with a single monotonic clock;
+/// each `*_done` call closes one phase. The span is finished by
+/// [`ServiceTelemetry::finish_request`], which records metrics and the
+/// log line.
+pub struct RequestSpan {
+    /// The monotonic request id.
+    pub id: u64,
+    conn: u64,
+    start_us: u64,
+    begun: Instant,
+    decode_us: u64,
+    execute_us: u64,
+    bytes_in: u64,
+}
+
+impl RequestSpan {
+    /// Closes the decode phase.
+    pub fn decode_done(&mut self) {
+        self.decode_us = self.elapsed_since_phase_start();
+    }
+
+    /// Closes the execute phase.
+    pub fn execute_done(&mut self) {
+        self.execute_us = self.elapsed_since_phase_start();
+    }
+
+    fn elapsed_since_phase_start(&self) -> u64 {
+        let total = u64::try_from(self.begun.elapsed().as_micros()).unwrap_or(u64::MAX);
+        total.saturating_sub(self.decode_us + self.execute_us)
+    }
+}
+
+/// What one finished request looked like, for metrics and the log.
+pub struct RequestOutcome<'a> {
+    /// Operation label (`ping` / `stats` / `metrics` / `shutdown`, or
+    /// the query command).
+    pub op: &'a str,
+    /// Whether the response was `ok: true` (protocol level).
+    pub ok: bool,
+    /// Whether a query ran but reported a command failure.
+    pub failed: bool,
+    /// Response bytes including the framing newline.
+    pub bytes_out: u64,
+    /// Per-request artifact-cache delta (zero for control ops).
+    pub cache: CacheStats,
+}
+
+/// Shared telemetry state of one daemon process.
+pub struct ServiceTelemetry {
+    registry: MetricsRegistry,
+    started: Instant,
+    next_request: AtomicU64,
+    next_conn: AtomicU64,
+    requests_total: Arc<Counter>,
+    errors_total: Arc<Counter>,
+    failures_total: Arc<Counter>,
+    bytes_in: Arc<Counter>,
+    bytes_out: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    slow_total: Arc<Counter>,
+    in_flight: Arc<Gauge>,
+    connections_open: Arc<Gauge>,
+    connections_opened: Arc<Counter>,
+    connections_closed: Arc<Counter>,
+    log: Option<Mutex<std::io::BufWriter<std::fs::File>>>,
+    slow_us: u64,
+    scrub: bool,
+}
+
+impl ServiceTelemetry {
+    /// Creates the telemetry state, opening (and truncating) the request
+    /// log if configured and writing its header line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates request-log creation failures.
+    pub fn new(config: &TelemetryConfig) -> std::io::Result<ServiceTelemetry> {
+        let registry = MetricsRegistry::new();
+        let log = match &config.log {
+            Some(path) => {
+                let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+                writeln!(
+                    w,
+                    r#"{{"schema":"{REQLOG_SCHEMA}","version":"{SERVICE_VERSION}"}}"#
+                )?;
+                w.flush()?;
+                Some(Mutex::new(w))
+            }
+            None => None,
+        };
+        Ok(ServiceTelemetry {
+            requests_total: registry.counter("rpc.requests_total"),
+            errors_total: registry.counter("rpc.errors_total"),
+            failures_total: registry.counter("rpc.failures_total"),
+            bytes_in: registry.counter("rpc.bytes_in"),
+            bytes_out: registry.counter("rpc.bytes_out"),
+            cache_hits: registry.counter("rpc.cache_hits_total"),
+            cache_misses: registry.counter("rpc.cache_misses_total"),
+            slow_total: registry.counter("rpc.slow_requests_total"),
+            in_flight: registry.gauge("rpc.in_flight"),
+            connections_open: registry.gauge("rpc.connections_open"),
+            connections_opened: registry.counter("rpc.connections_opened"),
+            connections_closed: registry.counter("rpc.connections_closed"),
+            registry,
+            started: Instant::now(),
+            next_request: AtomicU64::new(1),
+            next_conn: AtomicU64::new(1),
+            log,
+            slow_us: config.slow_us.unwrap_or(DEFAULT_SLOW_US),
+            scrub: config.scrub,
+        })
+    }
+
+    /// Microseconds since the daemon started.
+    pub fn uptime_us(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    /// Milliseconds since the daemon started, honoring scrub mode (the
+    /// `uptime_ms` value reported by the `stats` op).
+    pub fn uptime_ms(&self) -> u64 {
+        if self.scrub {
+            0
+        } else {
+            self.uptime_us() / 1000
+        }
+    }
+
+    /// Total requests observed so far.
+    pub fn requests_total(&self) -> u64 {
+        self.requests_total.get()
+    }
+
+    /// Registers a new connection and returns its id.
+    pub fn open_connection(&self) -> u64 {
+        self.connections_opened.inc();
+        self.connections_open.inc();
+        self.next_conn.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Records a connection teardown.
+    pub fn close_connection(&self) {
+        self.connections_closed.inc();
+        self.connections_open.dec();
+    }
+
+    /// Starts a request span: allocates the monotonic id, stamps the
+    /// arrival time, and raises the in-flight gauge.
+    pub fn begin_request(&self, conn: u64, bytes_in: u64) -> RequestSpan {
+        self.in_flight.inc();
+        RequestSpan {
+            id: self.next_request.fetch_add(1, Ordering::Relaxed),
+            conn,
+            start_us: self.uptime_us(),
+            begun: Instant::now(),
+            decode_us: 0,
+            execute_us: 0,
+            bytes_in,
+        }
+    }
+
+    /// Finishes a request span: closes the encode phase, lowers the
+    /// in-flight gauge, records every metric, and appends the log line.
+    pub fn finish_request(&self, span: RequestSpan, outcome: &RequestOutcome<'_>) {
+        let encode_us = span.elapsed_since_phase_start();
+        let total_us = span.decode_us + span.execute_us + encode_us;
+        self.in_flight.dec();
+        self.requests_total.inc();
+        self.registry
+            .counter(&labeled("rpc.requests_total", "op", outcome.op))
+            .inc();
+        self.registry
+            .histogram(&labeled("rpc.request_latency_us", "op", outcome.op))
+            .observe(total_us);
+        if !outcome.ok {
+            self.errors_total.inc();
+        }
+        if outcome.failed {
+            self.failures_total.inc();
+        }
+        self.bytes_in.add(span.bytes_in);
+        self.bytes_out.add(outcome.bytes_out);
+        self.cache_hits.add(outcome.cache.hits);
+        self.cache_misses.add(outcome.cache.misses);
+        let slow = total_us >= self.slow_us;
+        if slow {
+            self.slow_total.inc();
+        }
+        if let Some(log) = &self.log {
+            let mut w = log.lock().unwrap_or_else(|e| e.into_inner());
+            let _ = writeln!(
+                w,
+                r#"{{"id":{},"conn":{},"op":"{}","start_us":{},"decode_us":{},"execute_us":{},"encode_us":{},"total_us":{},"bytes_in":{},"bytes_out":{},"cache_hits":{},"cache_misses":{},"ok":{},"failed":{},"slow":{}}}"#,
+                span.id,
+                span.conn,
+                outcome.op,
+                span.start_us,
+                span.decode_us,
+                span.execute_us,
+                encode_us,
+                total_us,
+                span.bytes_in,
+                outcome.bytes_out,
+                outcome.cache.hits,
+                outcome.cache.misses,
+                outcome.ok,
+                outcome.failed,
+                slow
+            );
+            let _ = w.flush();
+        }
+    }
+
+    /// The `syncopt.metrics.v1` document: uptime, totals, the daemon
+    /// version, and the full registry snapshot (per-op counters and
+    /// latency histograms). In scrub mode every timing-derived value is
+    /// zeroed while counts stay exact.
+    pub fn metrics_json(&self) -> Value {
+        let scrub = self.scrub;
+        Value::Obj(vec![
+            ("schema".to_string(), Value::Str(METRICS_SCHEMA.to_string())),
+            (
+                "version".to_string(),
+                Value::Str(SERVICE_VERSION.to_string()),
+            ),
+            (
+                "uptime_ms".to_string(),
+                Value::Int(if scrub {
+                    0
+                } else {
+                    (self.uptime_us() / 1000) as i64
+                }),
+            ),
+            (
+                "requests_total".to_string(),
+                Value::Int(self.requests_total() as i64),
+            ),
+            ("metrics".to_string(), self.registry.to_json(scrub)),
+        ])
+    }
+
+    /// The registry in Prometheus text exposition format, prefixed
+    /// `syncopt_`, plus the uptime as `syncopt_uptime_seconds`.
+    pub fn prometheus_text(&self) -> String {
+        let uptime = if self.scrub {
+            0
+        } else {
+            self.uptime_us() / 1_000_000
+        };
+        format!(
+            "# TYPE syncopt_uptime_seconds gauge\nsyncopt_uptime_seconds {uptime}\n{}",
+            self.registry.prometheus_text("syncopt")
+        )
+    }
+}
+
+// ---- request-log parsing and the daemon-trace exporter ------------------
+
+/// One parsed request-log line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReqLogEntry {
+    /// Monotonic request id.
+    pub id: u64,
+    /// Connection the request arrived on.
+    pub conn: u64,
+    /// Operation label.
+    pub op: String,
+    /// Arrival time, microseconds since daemon start.
+    pub start_us: u64,
+    /// Envelope-decode phase duration.
+    pub decode_us: u64,
+    /// Execute phase duration (cache lookup + session work).
+    pub execute_us: u64,
+    /// Response-encode phase duration.
+    pub encode_us: u64,
+    /// Recorded wall time of the whole request.
+    pub total_us: u64,
+    /// Request bytes (with framing newline).
+    pub bytes_in: u64,
+    /// Response bytes (with framing newline).
+    pub bytes_out: u64,
+    /// Per-request cache delta: artifacts served from cache.
+    pub cache_hits: u64,
+    /// Per-request cache delta: artifacts built.
+    pub cache_misses: u64,
+    /// Protocol-level success.
+    pub ok: bool,
+    /// Command-level failure (query ran, exit code 1).
+    pub failed: bool,
+    /// Over the slow threshold.
+    pub slow: bool,
+}
+
+/// Parses a request log: validates the header line's schema and decodes
+/// every entry.
+///
+/// # Errors
+///
+/// A displayable message naming the offending line.
+pub fn parse_reqlog(text: &str) -> Result<Vec<ReqLogEntry>, String> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| "request log is empty".to_string())?;
+    let header = Value::parse(header).map_err(|e| format!("log header is not JSON: {e}"))?;
+    match header.get("schema").and_then(Value::as_str) {
+        Some(REQLOG_SCHEMA) => {}
+        Some(other) => return Err(format!("unsupported request-log schema `{other}`")),
+        None => return Err("request log has no schema header line".to_string()),
+    }
+    let mut entries = Vec::new();
+    for (i, line) in lines {
+        let v = Value::parse(line).map_err(|e| format!("line {}: invalid JSON: {e}", i + 1))?;
+        let int = |key: &str| {
+            v.get(key)
+                .and_then(Value::as_int)
+                .and_then(|n| u64::try_from(n).ok())
+                .ok_or_else(|| format!("line {}: missing `{key}`", i + 1))
+        };
+        let boolean = |key: &str| match v.get(key) {
+            Some(Value::Bool(b)) => Ok(*b),
+            _ => Err(format!("line {}: missing boolean `{key}`", i + 1)),
+        };
+        entries.push(ReqLogEntry {
+            id: int("id")?,
+            conn: int("conn")?,
+            op: v
+                .get("op")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("line {}: missing `op`", i + 1))?
+                .to_string(),
+            start_us: int("start_us")?,
+            decode_us: int("decode_us")?,
+            execute_us: int("execute_us")?,
+            encode_us: int("encode_us")?,
+            total_us: int("total_us")?,
+            bytes_in: int("bytes_in")?,
+            bytes_out: int("bytes_out")?,
+            cache_hits: int("cache_hits")?,
+            cache_misses: int("cache_misses")?,
+            ok: boolean("ok")?,
+            failed: boolean("failed")?,
+            slow: boolean("slow")?,
+        });
+    }
+    Ok(entries)
+}
+
+/// The serving-timeline analogue of
+/// [`verify_span_accounting`](crate::verify_span_accounting): every
+/// request's phase spans must sum exactly to its recorded wall time,
+/// request ids must be unique across the log, and monotonic **per
+/// connection** (log lines are appended in completion order, so ids from
+/// different connections interleave — but one connection serves its
+/// requests strictly in order).
+///
+/// # Errors
+///
+/// A displayable message naming the first violating request.
+pub fn verify_reqlog_accounting(entries: &[ReqLogEntry]) -> Result<(), String> {
+    let mut seen = std::collections::BTreeSet::new();
+    let mut last_per_conn: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+    for e in entries {
+        let parts = e.decode_us + e.execute_us + e.encode_us;
+        if parts != e.total_us {
+            return Err(format!(
+                "request #{}: phases sum to {parts}us but recorded wall time is {}us",
+                e.id, e.total_us
+            ));
+        }
+        if !seen.insert(e.id) {
+            return Err(format!("request id #{} appears twice", e.id));
+        }
+        if let Some(prev) = last_per_conn.insert(e.conn, e.id) {
+            if e.id <= prev {
+                return Err(format!(
+                    "connection {}: request ids are not monotonic: #{} follows #{prev}",
+                    e.conn, e.id
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Converts a parsed request log into Chrome Trace Event Format
+/// (`syncopt.trace.v1`, the same schema as `syncoptc trace`): one thread
+/// track per connection, one `ph:"X"` slice per request, and nested
+/// `decode` / `execute` / `encode` phase slices that tile the request
+/// exactly. Timestamps are microseconds since daemon start, so Perfetto
+/// renders real service time.
+pub fn daemon_chrome_trace(entries: &[ReqLogEntry]) -> Value {
+    let obj = |fields: Vec<(&str, Value)>| {
+        Value::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    };
+    let s = |text: &str| Value::Str(text.to_string());
+    let mut events = Vec::new();
+    let mut conns: Vec<u64> = entries.iter().map(|e| e.conn).collect();
+    conns.sort_unstable();
+    conns.dedup();
+    for &conn in &conns {
+        events.push(obj(vec![
+            ("ph", s("M")),
+            ("pid", Value::Int(0)),
+            ("tid", Value::Int(conn as i64)),
+            ("name", s("thread_name")),
+            (
+                "args",
+                obj(vec![("name", Value::Str(format!("conn {conn}")))]),
+            ),
+        ]));
+    }
+    for e in entries {
+        events.push(obj(vec![
+            ("ph", s("X")),
+            ("pid", Value::Int(0)),
+            ("tid", Value::Int(e.conn as i64)),
+            ("ts", Value::Int(e.start_us as i64)),
+            ("dur", Value::Int(e.total_us as i64)),
+            ("name", Value::Str(format!("#{} {}", e.id, e.op))),
+            ("cat", s("request")),
+            (
+                "args",
+                obj(vec![
+                    ("bytes_in", Value::Int(e.bytes_in as i64)),
+                    ("bytes_out", Value::Int(e.bytes_out as i64)),
+                    ("cache_hits", Value::Int(e.cache_hits as i64)),
+                    ("cache_misses", Value::Int(e.cache_misses as i64)),
+                    ("ok", Value::Bool(e.ok)),
+                    ("failed", Value::Bool(e.failed)),
+                    ("slow", Value::Bool(e.slow)),
+                ]),
+            ),
+        ]));
+        let phases = [
+            ("decode", e.start_us, e.decode_us),
+            ("execute", e.start_us + e.decode_us, e.execute_us),
+            (
+                "encode",
+                e.start_us + e.decode_us + e.execute_us,
+                e.encode_us,
+            ),
+        ];
+        for (name, ts, dur) in phases {
+            events.push(obj(vec![
+                ("ph", s("X")),
+                ("pid", Value::Int(0)),
+                ("tid", Value::Int(e.conn as i64)),
+                ("ts", Value::Int(ts as i64)),
+                ("dur", Value::Int(dur as i64)),
+                ("name", s(name)),
+                ("cat", s("phase")),
+            ]));
+        }
+    }
+    let wall_us = entries
+        .iter()
+        .map(|e| e.start_us + e.total_us)
+        .max()
+        .unwrap_or(0)
+        .saturating_sub(entries.iter().map(|e| e.start_us).min().unwrap_or(0));
+    Value::Obj(vec![
+        (
+            "schema".to_string(),
+            Value::Str(crate::TRACE_SCHEMA.to_string()),
+        ),
+        ("source".to_string(), Value::Str("daemon-trace".to_string())),
+        ("requests".to_string(), Value::Int(entries.len() as i64)),
+        ("connections".to_string(), Value::Int(conns.len() as i64)),
+        ("wall_us".to_string(), Value::Int(wall_us as i64)),
+        ("displayTimeUnit".to_string(), Value::Str("ms".to_string())),
+        ("traceEvents".to_string(), Value::Arr(events)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_log() -> String {
+        let mut log = format!(r#"{{"schema":"{REQLOG_SCHEMA}","version":"0.1.0"}}"#);
+        log.push('\n');
+        for (id, conn, op, start, d, x, e) in [
+            (1u64, 1u64, "check", 100u64, 3u64, 40u64, 2u64),
+            (2, 2, "ping", 150, 1, 0, 1),
+            (3, 1, "profile", 200, 2, 900, 3),
+        ] {
+            log.push_str(&format!(
+                r#"{{"id":{id},"conn":{conn},"op":"{op}","start_us":{start},"decode_us":{d},"execute_us":{x},"encode_us":{e},"total_us":{},"bytes_in":10,"bytes_out":20,"cache_hits":1,"cache_misses":2,"ok":true,"failed":false,"slow":false}}"#,
+                d + x + e
+            ));
+            log.push('\n');
+        }
+        log
+    }
+
+    #[test]
+    fn reqlog_round_trips_and_accounts() {
+        let entries = parse_reqlog(&sample_log()).unwrap();
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[0].op, "check");
+        assert_eq!(entries[2].total_us, 905);
+        verify_reqlog_accounting(&entries).unwrap();
+    }
+
+    #[test]
+    fn accounting_rejects_phase_mismatch() {
+        let mut entries = parse_reqlog(&sample_log()).unwrap();
+        entries[1].encode_us += 7;
+        let err = verify_reqlog_accounting(&entries).unwrap_err();
+        assert!(err.contains("request #2"), "{err}");
+    }
+
+    #[test]
+    fn accounting_rejects_duplicate_ids() {
+        let mut entries = parse_reqlog(&sample_log()).unwrap();
+        entries[2].id = 1;
+        let err = verify_reqlog_accounting(&entries).unwrap_err();
+        assert!(err.contains("twice"), "{err}");
+    }
+
+    #[test]
+    fn accounting_rejects_non_monotonic_ids_within_a_connection() {
+        let mut entries = parse_reqlog(&sample_log()).unwrap();
+        // Requests #1 and #3 share connection 1; reversing their order
+        // in the log is impossible for a serial connection.
+        entries[2].id = 1;
+        entries[0].id = 3;
+        let err = verify_reqlog_accounting(&entries).unwrap_err();
+        assert!(err.contains("monotonic"), "{err}");
+    }
+
+    #[test]
+    fn reqlog_requires_schema_header() {
+        let err = parse_reqlog("{\"id\":1}\n").unwrap_err();
+        assert!(err.contains("schema"), "{err}");
+    }
+
+    #[test]
+    fn daemon_trace_tiles_requests_with_phases() {
+        let entries = parse_reqlog(&sample_log()).unwrap();
+        let trace = daemon_chrome_trace(&entries);
+        assert_eq!(
+            trace.get("schema").and_then(Value::as_str),
+            Some(crate::TRACE_SCHEMA)
+        );
+        assert_eq!(trace.get("requests").and_then(Value::as_int), Some(3));
+        assert_eq!(trace.get("connections").and_then(Value::as_int), Some(2));
+        let events = trace.get("traceEvents").and_then(Value::as_arr).unwrap();
+        // 2 thread-name metas + 3 requests × (1 request slice + 3 phases).
+        assert_eq!(events.len(), 2 + 3 * 4);
+        // Phase slices of request #3 tile [200, 1105) exactly.
+        let slices: Vec<_> = events
+            .iter()
+            .filter(|e| {
+                e.get("cat").and_then(Value::as_str) == Some("phase")
+                    && e.get("ts").and_then(Value::as_int).unwrap_or(0) >= 200
+            })
+            .collect();
+        let dur_sum: i64 = slices
+            .iter()
+            .map(|e| e.get("dur").and_then(Value::as_int).unwrap())
+            .sum();
+        assert_eq!(dur_sum, 905);
+    }
+
+    #[test]
+    fn telemetry_records_requests_and_connections() {
+        let t = ServiceTelemetry::new(&TelemetryConfig::default()).unwrap();
+        let conn = t.open_connection();
+        let mut span = t.begin_request(conn, 42);
+        span.decode_done();
+        span.execute_done();
+        t.finish_request(
+            span,
+            &RequestOutcome {
+                op: "check",
+                ok: true,
+                failed: false,
+                bytes_out: 100,
+                cache: CacheStats {
+                    hits: 3,
+                    misses: 2,
+                    evictions: 0,
+                },
+            },
+        );
+        t.close_connection();
+        assert_eq!(t.requests_total(), 1);
+        let doc = t.metrics_json();
+        assert_eq!(
+            doc.get("schema").and_then(Value::as_str),
+            Some(METRICS_SCHEMA)
+        );
+        assert_eq!(doc.get("requests_total").and_then(Value::as_int), Some(1));
+        let counters = doc.get("metrics").and_then(|m| m.get("counters")).unwrap();
+        assert_eq!(
+            counters
+                .get("rpc.requests_total{op=\"check\"}")
+                .and_then(Value::as_int),
+            Some(1)
+        );
+        assert_eq!(
+            counters.get("rpc.bytes_in").and_then(Value::as_int),
+            Some(42)
+        );
+        assert_eq!(
+            counters.get("rpc.cache_hits_total").and_then(Value::as_int),
+            Some(3)
+        );
+        let hist = doc
+            .get("metrics")
+            .and_then(|m| m.get("histograms"))
+            .and_then(|h| h.get("rpc.request_latency_us{op=\"check\"}"))
+            .unwrap();
+        assert_eq!(hist.get("count").and_then(Value::as_int), Some(1));
+        let text = t.prometheus_text();
+        assert!(text.contains("syncopt_uptime_seconds"));
+        assert!(text.contains("syncopt_rpc_requests_total{op=\"check\"} 1"));
+    }
+}

@@ -6,10 +6,15 @@
 # Starts a daemon on a private socket, routes check / explain / lint
 # through `syncoptc --daemon`, and diffs every byte of stdout against
 # direct (in-process) mode — the two must be identical. Also verifies
-# ping/stats control ops, that a repeated daemon query is served from the
-# artifact cache (stats hits grow, misses do not), and that `shutdown`
-# stops the daemon cleanly and removes the socket file.
-# See docs/API.md for the syncopt.rpc.v1 protocol.
+# ping/stats control ops, that `stats --format json` returns a
+# `syncopt.metrics.v1` document with the required service metrics, that
+# the `metrics` op emits well-shaped Prometheus text, that a repeated
+# daemon query is served from the artifact cache (stats hits grow,
+# misses do not), that query stdout is byte-identical with telemetry
+# enabled and disabled (`--no-telemetry`), and that `shutdown` stops the
+# daemon cleanly and removes the socket file.
+# See docs/API.md for the syncopt.rpc.v1 protocol and
+# docs/OBSERVABILITY.md for the service metrics.
 set -eu
 
 BIN="${1:-./target/release/syncoptc}"
@@ -72,23 +77,83 @@ for cmd in check explain lint; do
     done
 done
 
-echo "== cache reuse across requests =="
+echo "== syncopt.metrics.v1 required keys =="
 stats1="$TMPDIR_SMOKE/stats1.json"
-"$BIN" stats --socket "$SOCK" > "$stats1"
-grep -q '"schema":"syncopt.rpc.v1"' "$stats1" || {
-    echo "daemon_smoke: stats missing rpc schema marker" >&2
+"$BIN" stats --socket "$SOCK" --format json > "$stats1"
+grep -q '"schema":"syncopt.metrics.v1"' "$stats1" || {
+    echo "daemon_smoke: stats --format json missing metrics.v1 schema marker" >&2
     exit 1
 }
+for key in version uptime_ms requests_total; do
+    grep -q "\"$key\":" "$stats1" || {
+        echo "daemon_smoke: metrics.v1 document missing required key \`$key\`" >&2
+        exit 1
+    }
+done
+for metric in rpc.requests_total rpc.request_latency_us rpc.bytes_in \
+    rpc.bytes_out rpc.cache_hits_total rpc.cache_misses_total \
+    rpc.connections_opened; do
+    grep -q "\"$metric" "$stats1" || {
+        echo "daemon_smoke: metrics.v1 document missing metric \`$metric\`" >&2
+        exit 1
+    }
+done
+
+echo "== Prometheus exposition shape =="
+prom="$TMPDIR_SMOKE/metrics.prom"
+"$BIN" metrics --socket "$SOCK" > "$prom"
+grep -q '^# TYPE syncopt_uptime_seconds gauge$' "$prom" || {
+    echo "daemon_smoke: Prometheus output missing uptime gauge TYPE line" >&2
+    exit 1
+}
+grep -q '^# TYPE syncopt_rpc_requests_total counter$' "$prom" || {
+    echo "daemon_smoke: Prometheus output missing requests_total TYPE line" >&2
+    exit 1
+}
+grep -q '^syncopt_rpc_request_latency_us_bucket{.*le="+Inf".*} [0-9]' "$prom" || {
+    echo "daemon_smoke: Prometheus output missing +Inf histogram bucket" >&2
+    exit 1
+}
+
+echo "== cache reuse across requests =="
 # Repeat a query: the daemon must answer it from cache (misses stay put).
-misses_before=$(sed 's/.*"misses":\([0-9]*\).*/\1/' "$stats1")
+misses_before=$(sed 's/.*"rpc.cache_misses_total":\([0-9]*\).*/\1/' "$stats1")
 "$BIN" check programs/figure1.ms --format json --daemon --socket "$SOCK" > /dev/null 2>&1 || true
 stats2="$TMPDIR_SMOKE/stats2.json"
-"$BIN" stats --socket "$SOCK" > "$stats2"
-misses_after=$(sed 's/.*"misses":\([0-9]*\).*/\1/' "$stats2")
+"$BIN" stats --socket "$SOCK" --format json > "$stats2"
+misses_after=$(sed 's/.*"rpc.cache_misses_total":\([0-9]*\).*/\1/' "$stats2")
 if [ "$misses_before" != "$misses_after" ]; then
     echo "daemon_smoke: repeated check rebuilt artifacts (misses $misses_before -> $misses_after)" >&2
     exit 1
 fi
+
+echo "== telemetry on vs off byte-identity =="
+SOCK_OFF="$TMPDIR_SMOKE/syncoptd-off.sock"
+"$DBIN" --socket "$SOCK_OFF" --no-telemetry 2> "$TMPDIR_SMOKE/daemon-off.log" &
+OFF_PID=$!
+tries=0
+until "$BIN" ping --socket "$SOCK_OFF" > /dev/null 2>&1; do
+    tries=$((tries + 1))
+    if [ "$tries" -ge 50 ]; then
+        echo "daemon_smoke: --no-telemetry daemon did not come up" >&2
+        cat "$TMPDIR_SMOKE/daemon-off.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+for cmd in check explain; do
+    on="$TMPDIR_SMOKE/on-$cmd.out"
+    off="$TMPDIR_SMOKE/off-$cmd.out"
+    "$BIN" "$cmd" programs/figure1.ms --format json --daemon --socket "$SOCK" > "$on" 2>/dev/null || true
+    "$BIN" "$cmd" programs/figure1.ms --format json --daemon --socket "$SOCK_OFF" > "$off" 2>/dev/null || true
+    if ! cmp -s "$on" "$off"; then
+        echo "daemon_smoke: $cmd output differs between telemetry-on and --no-telemetry daemons" >&2
+        diff "$on" "$off" >&2 || true
+        exit 1
+    fi
+done
+"$BIN" shutdown --socket "$SOCK_OFF" 2>/dev/null
+wait "$OFF_PID" || true
 
 echo "== clean shutdown =="
 "$BIN" shutdown --socket "$SOCK" 2>/dev/null
@@ -99,4 +164,4 @@ if [ -e "$SOCK" ]; then
     exit 1
 fi
 
-echo "daemon_smoke: daemon output byte-identical, cache reused, clean shutdown"
+echo "daemon_smoke: daemon output byte-identical (direct / telemetry on / telemetry off), metrics well-formed, cache reused, clean shutdown"

@@ -160,12 +160,7 @@ fn run_partition_strategies_match_sequential_output() {
 
 #[test]
 fn run_rejects_unknown_partition_strategy() {
-    let (ok, _, stderr) = syncoptc(&[
-        "run",
-        "programs/stencil.ms",
-        "--sim-partition",
-        "striped",
-    ]);
+    let (ok, _, stderr) = syncoptc(&["run", "programs/stencil.ms", "--sim-partition", "striped"]);
     assert!(!ok);
     assert!(stderr.contains("unknown partition strategy"), "{stderr}");
     assert!(stderr.contains("block|cyclic|profiled"), "{stderr}");
@@ -173,8 +168,7 @@ fn run_rejects_unknown_partition_strategy() {
 
 #[test]
 fn run_accepts_sharded_engine_and_matches_sequential() {
-    let (ok, sequential, stderr) =
-        syncoptc(&["run", "programs/postwait.ms", "--procs", "2"]);
+    let (ok, sequential, stderr) = syncoptc(&["run", "programs/postwait.ms", "--procs", "2"]);
     assert!(ok, "{stderr}");
     let (ok, sharded, stderr) = syncoptc(&[
         "run",

@@ -9,6 +9,7 @@ use std::sync::Arc;
 use syncopt::client::DaemonClient;
 use syncopt::commands::{execute, CmdOut, Format, Query};
 use syncopt::core::corpus::corpus_program;
+use syncopt::core::CacheStats;
 use syncopt::daemon::Daemon;
 use syncopt::kernels::all_kernels;
 use syncopt::session::AnalysisSession;
@@ -151,5 +152,83 @@ fn parallel_clients_get_deterministic_uncorrupted_responses() {
     for t in threads {
         t.join().expect("client thread must not panic");
     }
+    stop(&path, handle);
+}
+
+/// Pins the `daemon.rs` claim that per-request cache deltas are "atomic
+/// with respect to the cache": with 8 concurrent clients contending on
+/// the shared session, every delta must be internally consistent, and —
+/// because each delta is computed under the session lock around exactly
+/// one query — the deltas must sum *exactly* to the global cache
+/// counters. A race (delta windows overlapping another client's query)
+/// would double-count or drop lookups and break the equality.
+#[test]
+fn concurrent_cache_deltas_sum_to_global_counters() {
+    const CLIENTS: usize = 8;
+    const ROUNDS: usize = 5;
+    let (path, handle) = start("deltas");
+    let kernels = Arc::new(all_kernels(4));
+    let threads: Vec<_> = (0..CLIENTS)
+        .map(|client| {
+            let path = path.clone();
+            let kernels = Arc::clone(&kernels);
+            std::thread::spawn(move || {
+                let mut conn = DaemonClient::connect(&path).expect("connect");
+                let mut sum = CacheStats::default();
+                for round in 0..ROUNDS {
+                    let kernel = &kernels[(client + round) % kernels.len()];
+                    let q = query("check", kernel.name, &kernel.source, Format::Json);
+                    let (out, delta) = conn.query(&q).expect("query");
+                    assert!(out.failure.is_none(), "kernel check must pass");
+                    // Internal consistency: every check performs cache
+                    // lookups, and nothing can be evicted that was not
+                    // first inserted on a miss.
+                    assert!(
+                        delta.hits + delta.misses > 0,
+                        "client {client} round {round}: empty delta"
+                    );
+                    assert!(
+                        delta.evictions <= delta.misses,
+                        "client {client} round {round}: more evictions than insertions"
+                    );
+                    sum.hits += delta.hits;
+                    sum.misses += delta.misses;
+                    sum.evictions += delta.evictions;
+                }
+                sum
+            })
+        })
+        .collect();
+    let mut total = CacheStats::default();
+    for t in threads {
+        let sum = t.join().expect("client thread must not panic");
+        total.hits += sum.hits;
+        total.misses += sum.misses;
+        total.evictions += sum.evictions;
+    }
+    // Queries are the only cache traffic, so the summed deltas must
+    // equal the session's global counters exactly.
+    let stats = DaemonClient::connect(&path)
+        .expect("connect for stats")
+        .stats()
+        .expect("stats");
+    let global = |key: &str| {
+        stats
+            .get("cache")
+            .and_then(|c| c.get(key))
+            .and_then(syncopt::core::diag::json::Value::as_int)
+            .unwrap_or(-1) as u64
+    };
+    assert_eq!(global("hits"), total.hits, "hit deltas must tile the total");
+    assert_eq!(
+        global("misses"),
+        total.misses,
+        "miss deltas must tile the total"
+    );
+    assert_eq!(
+        global("evictions"),
+        total.evictions,
+        "eviction deltas must tile the total"
+    );
     stop(&path, handle);
 }

@@ -192,9 +192,13 @@ fn sharded_engine_is_bit_identical_to_calendar_at_every_shard_count() {
                 .expect("calendar engine runs");
                 for shards in SHARD_COUNTS {
                     let what = format!("{} {label} p{procs} s{shards}", kernel.name);
-                    let sharded =
-                        simulate_sharded(&compiled.optimized.cfg, &config, shards, SimOutputs::full())
-                            .expect("sharded engine runs");
+                    let sharded = simulate_sharded(
+                        &compiled.optimized.cfg,
+                        &config,
+                        shards,
+                        SimOutputs::full(),
+                    )
+                    .expect("sharded engine runs");
                     assert_identical(&calendar, &sharded, &what);
                     assert_cycles_conserve(&sharded, &what);
                 }
